@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks for the moving parts of the reproduction.
+//!
+//! The headline curve is `gpr_train`: §1's scalability argument rests on
+//! GPR training being cubic in the sample count ("a GPR training [takes]
+//! around 100 to 120 seconds" at production sizes, binding one OtterTune
+//! deployment to 3–4 service instances under 5-minute polling). The other
+//! groups size the TDE's own overhead — it runs on the database VM, so it
+//! must be cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use autodbaas_core::{normalize_sql, ClassHistogram, Reservoir, Tde, TdeConfig};
+use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType, SimDatabase};
+use autodbaas_telemetry::entropy::normalized_entropy;
+use autodbaas_tuner::{
+    map_workload, GaussianProcess, GpParams, Sample, SampleQuality, WorkloadRepository,
+};
+use autodbaas_workload::tpcc;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gp_data(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..dim).map(|_| rng.gen()).collect()).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>() + rng.gen::<f64>() * 0.1).collect();
+    (xs, ys)
+}
+
+/// GPR training cost vs sample count — the §1 scalability curve.
+fn bench_gpr_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpr_train");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200, 400] {
+        let (xs, ys) = gp_data(n, 15, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let gp = GaussianProcess::fit(black_box(&xs), black_box(&ys), GpParams::default());
+                black_box(gp.map(|g| g.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// One full TDE run over a busy database — the plugin's periodic overhead.
+fn bench_tde_run(c: &mut Criterion) {
+    let wl = tpcc(1.0);
+    let mut db = SimDatabase::new(
+        DbFlavor::Postgres,
+        InstanceType::M4XLarge,
+        DiskKind::Ssd,
+        wl.catalog().clone(),
+        3,
+    );
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut tde = Tde::new(&db.profile().clone(), TdeConfig::default(), 5);
+    c.bench_function("tde_run_busy_window", |b| {
+        b.iter(|| {
+            // Refill the log so every run ingests a realistic window.
+            for _ in 0..64 {
+                let q = wl.next_query(&mut rng);
+                let _ = db.submit(&q, 10);
+            }
+            db.tick(1_000);
+            black_box(tde.run(&mut db, None).throttles.len())
+        })
+    });
+}
+
+/// Entropy + histogram + reservoir + templating — the §3.1 primitives.
+fn bench_tde_primitives(c: &mut Criterion) {
+    let wl = tpcc(1.0);
+    let mut rng = StdRng::seed_from_u64(6);
+    let queries: Vec<_> = (0..1_000).map(|_| wl.next_query(&mut rng)).collect();
+
+    c.bench_function("class_histogram_1k_queries", |b| {
+        b.iter(|| {
+            let mut h = ClassHistogram::new();
+            for q in &queries {
+                h.record(black_box(q));
+            }
+            black_box(normalized_entropy(h.counts()))
+        })
+    });
+
+    c.bench_function("reservoir_offer_1k", |b| {
+        b.iter(|| {
+            let mut r = Reservoir::new(64);
+            for q in &queries {
+                r.offer(black_box(q.clone()), &mut rng);
+            }
+            black_box(r.items().len())
+        })
+    });
+
+    c.bench_function("sql_template_normalize", |b| {
+        let sql = queries[0].render_sql();
+        b.iter(|| black_box(normalize_sql(black_box(&sql))))
+    });
+}
+
+/// Simulated-database submit throughput (the fleet simulator's hot loop).
+fn bench_executor(c: &mut Criterion) {
+    let wl = tpcc(1.0);
+    let mut db = SimDatabase::new(
+        DbFlavor::Postgres,
+        InstanceType::M4XLarge,
+        DiskKind::Ssd,
+        wl.catalog().clone(),
+        7,
+    );
+    let mut rng = StdRng::seed_from_u64(8);
+    c.bench_function("simdb_submit_batch_100", |b| {
+        b.iter(|| {
+            let q = wl.next_query(&mut rng);
+            let r = db.submit(black_box(&q), 100);
+            db.tick(1_000);
+            black_box(r)
+        })
+    });
+}
+
+/// Workload mapping over a populated repository.
+fn bench_mapping(c: &mut Criterion) {
+    let mut repo = WorkloadRepository::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    for w in 0..20 {
+        let id = repo.register(format!("w{w}"), true);
+        for _ in 0..30 {
+            let metrics: Vec<f64> = (0..31).map(|_| rng.gen::<f64>() * 1_000.0).collect();
+            repo.add_sample(
+                id,
+                Sample { config: vec![0.5; 15], metrics, objective: rng.gen::<f64>() * 500.0, quality: SampleQuality::High },
+            );
+        }
+    }
+    let target: Vec<f64> = (0..31).map(|_| rng.gen::<f64>() * 1_000.0).collect();
+    c.bench_function("workload_mapping_20x30", |b| {
+        b.iter(|| black_box(map_workload(&repo, black_box(&target), None)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gpr_train,
+    bench_tde_run,
+    bench_tde_primitives,
+    bench_executor,
+    bench_mapping
+);
+criterion_main!(benches);

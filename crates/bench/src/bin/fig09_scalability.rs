@@ -1,0 +1,162 @@
+//! Fig. 9 — "Requests per minute graph for 80 live connected databases".
+//!
+//! The same fleet is run under three tuning-request policies: TDE
+//! event-driven, periodic 5-minute, and periodic 10-minute. Expectation:
+//! the TDE curve sits well below both periodic curves and peaks when the
+//! workload pattern shifts (the 8–11 AM microservice surge); the periodic
+//! curves are flat at `fleet / period`. Fewer requests × the ~100–200 s
+//! GPR service time is precisely what multiplies how many databases one
+//! tuner deployment can serve.
+//!
+//! Flags: `--dbs 80 --hours 12 --tick 5` (defaults shown).
+
+use autodbaas_bench::arg_value;
+use autodbaas_bench::header;
+use autodbaas_bench::sparkline;
+use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
+use autodbaas_core::{TdeConfig, TuningPolicy};
+use autodbaas_ctrlplane::TunerKind;
+use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+use autodbaas_telemetry::{MILLIS_PER_HOUR, MILLIS_PER_MIN};
+use autodbaas_tuner::WorkloadId;
+use autodbaas_workload::{
+    production, tpcc, twitter, wikipedia, ycsb, AdulteratedWorkload, ArrivalProcess,
+    DiurnalProfile, QuerySource,
+};
+
+fn build_fleet(policy: TuningPolicy, n_dbs: usize, tick_ms: u64, seed: u64) -> FleetSim {
+    let mut sim = FleetSim::new(
+        FleetConfig {
+            tick_ms,
+            tde_period_ms: 5 * MILLIS_PER_MIN,
+            gate_samples_with_tde: true,
+            tuner: TunerKind::Bo,
+            seed,
+            ..FleetConfig::default()
+        },
+        12, // the paper's 12 tuner instances
+    );
+    let plans = [
+        InstanceType::T2Small,
+        InstanceType::T2Medium,
+        InstanceType::M4Large,
+        InstanceType::T2Large,
+        InstanceType::M4XLarge,
+    ];
+    // Bootstrap like the paper: offline training on the standard mixes.
+    sim.seed_offline_training(&tpcc(1.0), DbFlavor::Postgres, 16);
+    sim.seed_offline_training(&ycsb(1.0), DbFlavor::Postgres, 12);
+
+    for i in 0..n_dbs {
+        // A realistic customer mix: some production-diurnal services, some
+        // steady OLTP services, and every fifth one genuinely mis-tuned.
+        let (workload, arrival, catalog): (Box<dyn QuerySource + Send>, ArrivalProcess, _) =
+            match i % 5 {
+                0 => {
+                    let wl = AdulteratedWorkload::new(tpcc(1.0), 0.3);
+                    let cat = wl.base().catalog().clone();
+                    (Box::new(wl), ArrivalProcess::Constant(150.0), cat)
+                }
+                1 => {
+                    // Diurnal production-like service (scaled per tenant).
+                    let wl = production();
+                    let cat = wl.catalog().clone();
+                    let arr = ArrivalProcess::Diurnal(DiurnalProfile {
+                        base_rps: 40.0,
+                        peak_rps: 420.0,
+                        ..DiurnalProfile::default()
+                    });
+                    (Box::new(wl), arr, cat)
+                }
+                2 => {
+                    let wl = ycsb(1.0);
+                    let cat = wl.catalog().clone();
+                    (Box::new(wl), ArrivalProcess::Constant(250.0), cat)
+                }
+                3 => {
+                    let wl = wikipedia(1.0);
+                    let cat = wl.catalog().clone();
+                    (Box::new(wl), ArrivalProcess::Constant(120.0), cat)
+                }
+                _ => {
+                    let wl = twitter(1.0);
+                    let cat = wl.catalog().clone();
+                    (Box::new(wl), ArrivalProcess::Constant(300.0), cat)
+                }
+            };
+        let node = ManagedDatabase::new(
+            DbFlavor::Postgres,
+            plans[i % plans.len()],
+            DiskKind::Ssd,
+            catalog,
+            workload,
+            arrival,
+            policy,
+            WorkloadId(0),
+            TdeConfig::default(),
+            seed ^ (i as u64).wrapping_mul(0x45d9),
+        );
+        sim.add_node(node, &format!("db-{i}"));
+    }
+    sim
+}
+
+fn main() {
+    let n_dbs: usize = arg_value("--dbs").map(|v| v.parse().unwrap()).unwrap_or(80);
+    let hours: u64 = arg_value("--hours").map(|v| v.parse().unwrap()).unwrap_or(12);
+    let tick_s: u64 = arg_value("--tick").map(|v| v.parse().unwrap()).unwrap_or(5);
+    header(
+        "Fig. 9",
+        &format!("tuning requests/min, {n_dbs} live databases over {hours} h"),
+        "TDE-driven requests sit well below 5-/10-min periodic polling and \
+         peak with the morning workload surge; periodic curves are flat",
+    );
+
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("TDE-driven", TuningPolicy::TdeDriven),
+        ("periodic 5 min", TuningPolicy::Periodic(5 * MILLIS_PER_MIN)),
+        ("periodic 10 min", TuningPolicy::Periodic(10 * MILLIS_PER_MIN)),
+    ] {
+        let mut sim = build_fleet(policy, n_dbs, tick_s * 1000, 42);
+        sim.run_for(hours * MILLIS_PER_HOUR);
+        let series = sim.director.requests_per_minute(0, hours * MILLIS_PER_HOUR);
+        // 15-minute bins for readability.
+        let binned: Vec<f64> = series
+            .chunks(15)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        let total = sim.director.total_requests();
+        let backlog = sim.director.backlog_ms(sim.now()) / 1000.0;
+        let (_, _, dollars) = sim.meter.totals();
+        let instances = sim.meter.instances_needed((hours * MILLIS_PER_HOUR) as f64);
+        rows.push((name, binned, total, backlog, dollars, instances));
+    }
+
+    println!("\nrequests/min (15-min bins across the run):");
+    for (name, binned, ..) in &rows {
+        sparkline(name, binned);
+    }
+    println!(
+        "\n{:<18} {:>11} {:>13} {:>15} {:>11} {:>9}",
+        "policy", "total reqs", "reqs/min avg", "backlog (s)", "tuner $", "tuners"
+    );
+    for (name, _, total, backlog, dollars, instances) in &rows {
+        println!(
+            "{:<18} {:>11} {:>13.2} {:>15.1} {:>11.2} {:>9}",
+            name,
+            total,
+            *total as f64 / (hours * 60) as f64,
+            backlog,
+            dollars,
+            instances
+        );
+    }
+    let tde_total = rows[0].2;
+    let p5_total = rows[1].2;
+    assert!(
+        tde_total < p5_total,
+        "TDE-driven ({tde_total}) must undercut periodic 5-min ({p5_total})"
+    );
+    println!("\nresult: the TDE breaks the periodic-polling floor — shape reproduced.");
+}

@@ -1,0 +1,140 @@
+//! Figs. 10 & 11 — "Performance Throttles detected on postgresql / mysql
+//! for varied set of workloads".
+//!
+//! Each workload runs at its §5 parameters on an m4.large instance with
+//! *no tuning sessions* ("In order to purely measure the performance
+//! throttles, we do not go for a tuning session"); throttles are averaged
+//! over ~20 iterations. Expectation: write-heavy workloads (TPCC) raise
+//! mostly background-writer throttles; read-heavy/mix workloads
+//! (Wikipedia, Twitter, YCSB) raise memory and async/planner throttles;
+//! the production workload shows a blend.
+//!
+//! `--db pg` (default, Fig. 10) or `--db mysql` (Fig. 11).
+
+use autodbaas_bench::{arg_value, header, seed_offline, Rig};
+use autodbaas_core::{Tde, TdeConfig};
+use autodbaas_simdb::{DbFlavor, InstanceType, KnobClass};
+use autodbaas_telemetry::MILLIS_PER_MIN;
+use autodbaas_tuner::WorkloadRepository;
+use autodbaas_workload::{production, MixWorkload};
+
+const ITERATIONS: usize = 20;
+
+fn census(flavor: DbFlavor, wl: &MixWorkload, rate: u64, repo: &WorkloadRepository) -> [f64; 3] {
+    let mut rig = Rig::new(flavor, InstanceType::M4Large, wl.catalog().clone(), 13);
+    // PaaS provisioning sizes the buffer pool at 25% of RAM, as a DBA
+    // would; the census measures throttles beyond that baseline config.
+    let p = rig.db.profile().clone();
+    let roles = rig.db.planner().roles().clone();
+    rig.db.set_knob_direct(roles.buffer_pool, InstanceType::M4Large.mem_bytes() * 0.25);
+    let _ = p;
+    // Warm the buffer pool for ten windows before the census so cold-start
+    // misses don't masquerade as memory pressure; the TDE is installed
+    // (like the paper's plugin) when the census starts.
+    for _ in 0..10 {
+        rig.drive(wl, rate, 60, 24);
+    }
+    let mut tde = Tde::new(&rig.db.profile().clone(), TdeConfig::default(), 23);
+    let before = tde.throttle_counts();
+    for _ in 0..ITERATIONS {
+        // One observation window per iteration (5 minutes of §5 monitoring
+        // cadence, compressed to 60 s of sim time per iteration).
+        rig.drive(wl, rate, 60, 24);
+        let _ = tde.run(&mut rig.db, Some(repo));
+    }
+    let after = tde.throttle_counts();
+    let mut out = [0.0; 3];
+    for k in 0..3 {
+        out[k] = (after[k] - before[k]) as f64 / ITERATIONS as f64;
+    }
+    out
+}
+
+fn main() {
+    let flavor = match arg_value("--db").as_deref() {
+        Some("mysql") => DbFlavor::MySql,
+        _ => DbFlavor::Postgres,
+    };
+    let fig = if flavor == DbFlavor::Postgres { "Fig. 10" } else { "Fig. 11" };
+    header(
+        fig,
+        &format!("performance throttles per knob class on {flavor} (no tuning sessions)"),
+        "write-heavy (TPCC) -> background-writer class dominates; \
+         read/mix (Wikipedia, Twitter, YCSB) -> memory + async/planner; \
+         production -> a blend",
+    );
+
+    // A baseline repository so the bgwriter detector has experience to map
+    // against (the paper trains tuners before measuring).
+    let mut repo = WorkloadRepository::new();
+    seed_offline(&mut repo, &autodbaas_workload::tpcc(2.0), flavor, 10, 31);
+
+    // §5 parameters: tpcc 3300 rps / 26 GB; wikipedia 1000 rps / 12 GB;
+    // twitter 10000 rps / 22 GB; ycsb 5000 rps / 20 GB.
+    let runs: Vec<(&str, MixWorkload, u64)> = vec![
+        ("tpcc (write-heavy)", autodbaas_workload::tpcc(26.0), 3_300),
+        ("wikipedia (read)", autodbaas_workload::wikipedia(12.0), 1_000),
+        ("twitter (read/mix)", autodbaas_workload::twitter(22.0), 10_000),
+        ("ycsb (mix)", autodbaas_workload::ycsb(20.0), 5_000),
+    ];
+
+    println!(
+        "\n{:<22} {:>10} {:>14} {:>14}",
+        "workload", "memory", "bgwriter", "async/planner"
+    );
+    let mut rows = Vec::new();
+    for (name, wl, rate) in runs {
+        let counts = census(flavor, &wl, rate, &repo);
+        println!(
+            "{:<22} {:>10.2} {:>14.2} {:>14.2}",
+            name, counts[0], counts[1], counts[2]
+        );
+        rows.push((name, counts));
+    }
+
+    // Production workload: "captured from live systems directly" — one
+    // diurnal day's worth, measured at different timestamps.
+    let prod = production();
+    let mut rig = Rig::new(flavor, InstanceType::M4Large, prod.catalog().clone(), 29);
+    let roles = rig.db.planner().roles().clone();
+    rig.db.set_knob_direct(roles.buffer_pool, InstanceType::M4Large.mem_bytes() * 0.25);
+    for _ in 0..10 {
+        rig.drive(&prod, 400, 60, 24);
+    }
+    let mut tde = Tde::new(&rig.db.profile().clone(), TdeConfig::default(), 41);
+    let mut counts = [0.0; 3];
+    let windows = 20;
+    for w in 0..windows {
+        // Sample different times of day.
+        let rate = prod.default_arrival().rate_at(w * 70 * MILLIS_PER_MIN) as u64 / 4;
+        let before = tde.throttle_counts();
+        rig.drive(&prod, rate.max(10), 60, 24);
+        let _ = tde.run(&mut rig.db, Some(&repo));
+        let after = tde.throttle_counts();
+        for k in 0..3 {
+            counts[k] += (after[k] - before[k]) as f64;
+        }
+    }
+    for c in &mut counts {
+        *c /= windows as f64;
+    }
+    println!(
+        "{:<22} {:>10.2} {:>14.2} {:>14.2}",
+        "production (live)", counts[0], counts[1], counts[2]
+    );
+    rows.push(("production", counts));
+
+    // Shape checks.
+    let tpcc_counts = rows[0].1;
+    assert!(
+        tpcc_counts[KnobClass::BackgroundWriter.index()] >= tpcc_counts[KnobClass::AsyncPlanner.index()],
+        "write-heavy must throttle the bgwriter class at least as much as async"
+    );
+    let read_mix_mem: f64 = rows[1..4].iter().map(|r| r.1[0] + r.1[2]).sum();
+    let read_mix_bg: f64 = rows[1..4].iter().map(|r| r.1[1]).sum();
+    assert!(
+        read_mix_mem >= read_mix_bg,
+        "read/mix workloads must lean toward memory+async ({read_mix_mem:.2} vs {read_mix_bg:.2})"
+    );
+    println!("\nresult: class distribution per workload type — shape reproduced.");
+}

@@ -1,0 +1,18 @@
+//! Benchmark harness for the AutoDBaaS reproduction.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Figure binaries** (`src/bin/fig*.rs`) — one per table/figure in the
+//!   paper's evaluation (§3–§5). Each regenerates the rows/series the
+//!   paper plots, scaled to laptop wall-time, and prints them with the
+//!   paper's expectation alongside. `EXPERIMENTS.md` records paper-vs-
+//!   measured for all of them.
+//! * **Criterion micro-benches** (`benches/`) — cost curves for the moving
+//!   parts (GPR training vs. sample count, TDE run overhead, entropy,
+//!   reservoir sampling, the simulated executor, MDP steps).
+//!
+//! This library crate holds the shared helpers the binaries use.
+
+pub mod figures;
+
+pub use figures::*;

@@ -1,0 +1,19 @@
+//! Discrete-event fleet simulator for the AutoDBaaS reproduction.
+//!
+//! The paper evaluates on an AWS fleet: 80 live databases across five VM
+//! plans, 12 tuner instances, 5 config directors, one shared central data
+//! repository (§5). This crate reproduces that topology in simulation:
+//!
+//! * [`node::ManagedDatabase`] — one database + its TDE plugin + workload;
+//! * [`sim::FleetSim`] — lockstep fleet advance with an event queue for
+//!   recommendation completions, TDE-gated sample capture, and both tuner
+//!   backends;
+//! * [`runner`] — single-database drive helpers for the figure harnesses.
+
+pub mod node;
+pub mod runner;
+pub mod sim;
+
+pub use node::ManagedDatabase;
+pub use runner::{drive_workload, DriveResult};
+pub use sim::{FleetConfig, FleetSim};

@@ -1,0 +1,200 @@
+//! One managed database inside the fleet simulation: the database engine,
+//! its TDE plugin, its workload, and its tuning-request policy.
+
+use autodbaas_core::{Tde, TdeConfig, TdeReport, TuningPolicy};
+use autodbaas_simdb::{
+    Catalog, DbFlavor, DiskKind, InstanceType, MetricsSnapshot, SimDatabase, SubmitResult,
+};
+use autodbaas_telemetry::SimTime;
+use autodbaas_tuner::WorkloadId;
+use autodbaas_workload::{ArrivalProcess, QuerySource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-database bookkeeping the fleet simulator needs.
+pub struct ManagedDatabase {
+    /// The engine (master node; the fleet sim skips HA replicas for speed —
+    /// the replica protocol is exercised by `autodbaas-ctrlplane` itself).
+    pub db: SimDatabase,
+    /// The TDE plugin running on the VM.
+    pub tde: Tde,
+    /// Query generator.
+    pub workload: Box<dyn QuerySource + Send>,
+    /// Arrival-rate model.
+    pub arrival: ArrivalProcess,
+    /// Tuning-request policy (TDE-driven vs. periodic).
+    pub policy: TuningPolicy,
+    /// This database's workload id in the tuner repository.
+    pub workload_id: WorkloadId,
+    /// Last tuning request time (for periodic policies).
+    pub last_request_at: SimTime,
+    /// Metric snapshot at the start of the current observation window.
+    pub window_start_snapshot: MetricsSnapshot,
+    /// Last TDE report (drives sample gating).
+    pub last_report: TdeReport,
+    /// Objective (qps) over the previous window — RL reward baseline.
+    pub prev_objective: f64,
+    /// Normalised config applied in the previous window (RL action echo).
+    pub prev_action: Option<Vec<f64>>,
+    /// RL state observed when the previous action was applied.
+    pub prev_rl_state: Option<Vec<f64>>,
+    /// RNG for workload sampling.
+    pub rng: StdRng,
+    /// Queries submitted this simulation (for reports).
+    pub queries_submitted: u64,
+    /// Plan-upgrade requests raised.
+    pub plan_upgrades: u64,
+    /// True while a tuning request is in flight (no re-request until the
+    /// recommendation lands — the request/response flow of Fig. 1).
+    pub pending_request: bool,
+    /// Observation windows to skip after a recommendation was applied, so
+    /// the new configuration gets a chance to show its effect before the
+    /// TDE can indict it.
+    pub cooldown_windows: u32,
+}
+
+/// How many distinct query instances are materialised per tick; the rest of
+/// the arrival count is replayed as batches of these.
+const QUERY_SHAPES_PER_TICK: u64 = 24;
+
+impl ManagedDatabase {
+    /// Assemble a managed database.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        flavor: DbFlavor,
+        instance: InstanceType,
+        disk: DiskKind,
+        catalog: Catalog,
+        workload: Box<dyn QuerySource + Send>,
+        arrival: ArrivalProcess,
+        policy: TuningPolicy,
+        workload_id: WorkloadId,
+        tde_config: TdeConfig,
+        seed: u64,
+    ) -> Self {
+        let db = SimDatabase::new(flavor, instance, disk, catalog, seed);
+        let tde = Tde::new(&db.profile().clone(), tde_config, seed ^ 0x7de);
+        let window_start_snapshot = db.metrics_snapshot();
+        Self {
+            db,
+            tde,
+            workload,
+            arrival,
+            policy,
+            workload_id,
+            last_request_at: 0,
+            window_start_snapshot,
+            last_report: TdeReport::default(),
+            prev_objective: 0.0,
+            prev_action: None,
+            prev_rl_state: None,
+            rng: StdRng::seed_from_u64(seed ^ 0xfeed),
+            queries_submitted: 0,
+            plan_upgrades: 0,
+            pending_request: false,
+            cooldown_windows: 0,
+        }
+    }
+
+    /// Drive one tick of traffic: Poisson arrivals from the workload,
+    /// batched into a bounded number of distinct shapes, then the engine
+    /// tick.
+    pub fn drive(&mut self, tick_ms: u64) {
+        let now = self.db.now();
+        let n = self.arrival.sample_count(&mut self.rng, now, tick_ms);
+        if n > 0 {
+            let shapes = n.min(QUERY_SHAPES_PER_TICK);
+            let per_shape = n / shapes;
+            let remainder = n - per_shape * shapes;
+            for i in 0..shapes {
+                let q = self.workload.next_query(&mut self.rng);
+                let count = per_shape + u64::from(i < remainder);
+                if count > 0 {
+                    match self.db.submit(&q, count) {
+                        SubmitResult::Done(_) | SubmitResult::Queued => {
+                            self.queries_submitted += count;
+                        }
+                        SubmitResult::Refused | SubmitResult::Saturated { .. } => {}
+                    }
+                }
+            }
+        }
+        self.db.tick(tick_ms);
+    }
+
+    /// Swap the workload (the Fig. 14 switch), resetting TDE workload
+    /// state.
+    pub fn switch_workload(&mut self, workload: Box<dyn QuerySource + Send>, arrival: ArrivalProcess) {
+        self.workload = workload;
+        self.arrival = arrival;
+        self.tde.reset_workload_state();
+    }
+
+    /// Objective over the window that just closed: completed queries per
+    /// second.
+    pub fn window_objective(&self, window_ms: u64) -> f64 {
+        let now_snap = self.db.metrics_snapshot();
+        let delta = now_snap.delta(&self.window_start_snapshot);
+        let executed = delta[autodbaas_simdb::MetricId::QueriesExecuted.index()];
+        executed * 1000.0 / window_ms.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodbaas_workload::{tpcc, ArrivalProcess};
+
+    fn node(policy: TuningPolicy) -> ManagedDatabase {
+        let wl = tpcc(1.0);
+        let catalog = wl.catalog().clone();
+        ManagedDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4Large,
+            DiskKind::Ssd,
+            catalog,
+            Box::new(wl),
+            ArrivalProcess::Constant(500.0),
+            policy,
+            WorkloadId(0),
+            TdeConfig::default(),
+            42,
+        )
+    }
+
+    #[test]
+    fn drive_produces_traffic() {
+        let mut n = node(TuningPolicy::TdeDriven);
+        for _ in 0..10 {
+            n.drive(1_000);
+        }
+        // ~500 qps for 10 s.
+        assert!(n.queries_submitted > 3_000, "submitted {}", n.queries_submitted);
+        assert!(n.db.metrics().get(autodbaas_simdb::MetricId::QueriesExecuted) > 3_000.0);
+    }
+
+    #[test]
+    fn window_objective_tracks_arrival_rate() {
+        let mut n = node(TuningPolicy::TdeDriven);
+        n.window_start_snapshot = n.db.metrics_snapshot();
+        for _ in 0..20 {
+            n.drive(1_000);
+        }
+        let qps = n.window_objective(20_000);
+        assert!((300.0..700.0).contains(&qps), "qps {qps}");
+    }
+
+    #[test]
+    fn switch_workload_resets_tde_state() {
+        let mut n = node(TuningPolicy::TdeDriven);
+        for _ in 0..5 {
+            n.drive(1_000);
+        }
+        let _ = n.tde.run(&mut n.db, None);
+        n.switch_workload(
+            Box::new(autodbaas_workload::ycsb(1.0)),
+            ArrivalProcess::Constant(100.0),
+        );
+        assert_eq!(n.tde.templates().len(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Single-database experiment helpers shared by the figure harnesses:
+//! drive one workload against one instance for a fixed duration and return
+//! the series the paper plots.
+
+use autodbaas_simdb::{MetricId, SimDatabase};
+use autodbaas_telemetry::SimTime;
+use autodbaas_workload::{ArrivalProcess, QuerySource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Series captured by [`drive_workload`].
+#[derive(Debug, Clone)]
+pub struct DriveResult {
+    /// End time of the drive.
+    pub ended_at: SimTime,
+    /// Queries completed.
+    pub queries: u64,
+    /// Mean throughput over the drive, queries/second.
+    pub mean_qps: f64,
+    /// Mean disk write latency over the drive, ms.
+    pub mean_disk_latency_ms: f64,
+}
+
+/// Drive `workload` at `arrival` against `db` for `duration_ms`,
+/// with `tick_ms` resolution. Traffic is batched like the fleet simulator.
+pub fn drive_workload(
+    db: &mut SimDatabase,
+    workload: &dyn QuerySource,
+    arrival: &ArrivalProcess,
+    duration_ms: u64,
+    tick_ms: u64,
+    seed: u64,
+) -> DriveResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = db.now();
+    let start_exec = db.metrics().get(MetricId::QueriesExecuted);
+    let latency_start = db.now();
+    let end = start + duration_ms;
+    const SHAPES: u64 = 24;
+    while db.now() < end {
+        let n = arrival.sample_count(&mut rng, db.now(), tick_ms);
+        if n > 0 {
+            let shapes = n.min(SHAPES);
+            let per = n / shapes;
+            let rem = n - per * shapes;
+            for i in 0..shapes {
+                let q = workload.next_query(&mut rng);
+                let count = per + u64::from(i < rem);
+                if count > 0 {
+                    let _ = db.submit(&q, count);
+                }
+            }
+        }
+        db.tick(tick_ms);
+    }
+    let queries = (db.metrics().get(MetricId::QueriesExecuted) - start_exec) as u64;
+    let mean_qps = queries as f64 * 1000.0 / duration_ms.max(1) as f64;
+    let mean_disk_latency_ms =
+        db.disks().data().latency_series().mean_since(latency_start);
+    DriveResult { ended_at: db.now(), queries, mean_qps, mean_disk_latency_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+    use autodbaas_workload::tpcc;
+
+    #[test]
+    fn drive_reports_consistent_numbers() {
+        let wl = tpcc(0.5);
+        let mut db = SimDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4Large,
+            DiskKind::Ssd,
+            wl.catalog().clone(),
+            7,
+        );
+        let res = drive_workload(
+            &mut db,
+            &wl,
+            &ArrivalProcess::Constant(500.0),
+            30_000,
+            1_000,
+            1,
+        );
+        assert_eq!(res.ended_at, 30_000);
+        assert!((res.mean_qps - 500.0).abs() < 100.0, "qps {}", res.mean_qps);
+        assert!(res.mean_disk_latency_ms > 0.0);
+    }
+}

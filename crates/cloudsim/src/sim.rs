@@ -1,0 +1,572 @@
+//! The fleet simulator: N managed databases, a config director, a tuner
+//! backend and the shared workload repository, advanced in lockstep ticks
+//! with an event queue for recommendation completions.
+//!
+//! This is the machinery behind the paper's §5 experiments: the 80-database
+//! scalability run (Fig. 9), the throttle censuses (Figs. 10/11/14), and
+//! the throughput-with/without-TDE comparisons (Figs. 12/13).
+
+use crate::node::ManagedDatabase;
+
+use autodbaas_ctrlplane::{ConfigDirector, RecommendationMeter, ServiceId, TunerKind};
+use autodbaas_simdb::{ConfigChange, MetricId, SimDatabase};
+use autodbaas_telemetry::SimTime;
+use autodbaas_tuner::{
+    assess_quality, denormalize_config, normalize_config, BoConfig, BoTuner, RlConfig, RlTuner,
+    Sample, SampleQuality, Transition, WorkloadRepository,
+};
+use autodbaas_workload::MixWorkload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Simulation tick.
+    pub tick_ms: u64,
+    /// TDE cadence = observation-window length.
+    pub tde_period_ms: u64,
+    /// When true, samples enter the repository only from windows in which
+    /// the TDE raised a throttle — "Ottertune only captures high quality
+    /// samples from TDE" (Fig. 12's gated mode).
+    pub gate_samples_with_tde: bool,
+    /// Tuner style behind the director.
+    pub tuner: TunerKind,
+    /// BO tuner settings.
+    pub bo: BoConfig,
+    /// RL tuner settings.
+    pub rl: RlConfig,
+    /// When false, recommendations are computed but never applied (the
+    /// Fig. 10/11 throttle census runs without tuning sessions).
+    pub apply_recommendations: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            tick_ms: 1_000,
+            tde_period_ms: 60_000,
+            gate_samples_with_tde: true,
+            tuner: TunerKind::Bo,
+            bo: BoConfig::default(),
+            rl: RlConfig::default(),
+            apply_recommendations: true,
+            seed: 0,
+        }
+    }
+}
+
+/// The tuner backend actually computing recommendations.
+enum Backend {
+    Bo(Box<BoTuner>),
+    Rl(Box<RlTuner>),
+}
+
+/// The fleet simulator.
+///
+/// # Examples
+///
+/// ```
+/// use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
+/// use autodbaas_core::{TdeConfig, TuningPolicy};
+/// use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+/// use autodbaas_tuner::WorkloadId;
+/// use autodbaas_workload::{tpcc, ArrivalProcess};
+///
+/// let mut sim = FleetSim::new(FleetConfig::default(), 2);
+/// let wl = tpcc(0.2);
+/// let catalog = wl.catalog().clone();
+/// let node = ManagedDatabase::new(
+///     DbFlavor::Postgres, InstanceType::M4Large, DiskKind::Ssd, catalog,
+///     Box::new(wl), ArrivalProcess::Constant(100.0),
+///     TuningPolicy::TdeDriven, WorkloadId(0), TdeConfig::default(), 1,
+/// );
+/// sim.add_node(node, "db-0");
+/// sim.run_for(120_000); // two minutes
+/// assert!(sim.nodes[0].queries_submitted > 0);
+/// ```
+pub struct FleetSim {
+    cfg: FleetConfig,
+    /// Managed databases (public for experiment harnesses).
+    pub nodes: Vec<ManagedDatabase>,
+    /// The config director.
+    pub director: ConfigDirector,
+    /// Per-tenant recommendation-cost metering (§1's "recommendation-cost
+    /// to service-provider").
+    pub meter: RecommendationMeter,
+    /// The central data repository.
+    pub repo: WorkloadRepository,
+    backend: Backend,
+    pending: BinaryHeap<Reverse<(SimTime, usize)>>,
+    now: SimTime,
+    last_tde_run: SimTime,
+    rng: StdRng,
+    parallel: bool,
+}
+
+impl FleetSim {
+    /// Build a fleet with `n_tuner_instances` tuner slots behind the
+    /// director (the paper deploys 12).
+    pub fn new(cfg: FleetConfig, n_tuner_instances: usize) -> Self {
+        let kinds = vec![cfg.tuner; n_tuner_instances.max(1)];
+        let backend = match cfg.tuner {
+            TunerKind::Bo => Backend::Bo(Box::new(BoTuner::new(cfg.bo.clone(), cfg.seed ^ 0xb0))),
+            TunerKind::Rl => Backend::Rl(Box::new(RlTuner::new(
+                MetricId::ALL.len(),
+                autodbaas_simdb::KnobProfile::postgres().len(),
+                cfg.rl.clone(),
+                cfg.seed ^ 0x71,
+            ))),
+        };
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xf1ee7),
+            cfg,
+            nodes: Vec::new(),
+            director: ConfigDirector::new(&kinds),
+            meter: RecommendationMeter::default(),
+            repo: WorkloadRepository::new(),
+            backend,
+            pending: BinaryHeap::new(),
+            now: 0,
+            last_tde_run: 0,
+            parallel: false,
+        }
+    }
+
+    /// Drive the fleet's per-tick traffic on worker threads. Per-node
+    /// determinism is unchanged (each node owns its RNG); only wall-clock
+    /// speed differs. Off by default.
+    pub fn set_parallel(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// Current sim time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Register a managed database built by the caller. Its workload gets a
+    /// repository entry.
+    pub fn add_node(&mut self, mut node: ManagedDatabase, name: &str) -> usize {
+        node.workload_id = self.repo.register(name, false);
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Offline bootstrap (§5: "Before evaluating … we perform training of
+    /// the tuners as per their standard ways"): execute `n_samples` random
+    /// configurations of `workload` on a scratch instance and store the
+    /// resulting high-quality samples as an offline workload.
+    pub fn seed_offline_training(
+        &mut self,
+        workload: &MixWorkload,
+        flavor: autodbaas_simdb::DbFlavor,
+        n_samples: usize,
+    ) -> autodbaas_tuner::WorkloadId {
+        let id = self.repo.register(format!("{}-offline", workload.name()), true);
+        let profile = autodbaas_simdb::KnobProfile::for_flavor(flavor);
+        for s in 0..n_samples {
+            let mut db = SimDatabase::new(
+                flavor,
+                autodbaas_simdb::InstanceType::M4XLarge,
+                autodbaas_simdb::DiskKind::Ssd,
+                workload.catalog().clone(),
+                self.cfg.seed ^ (s as u64).wrapping_mul(0x9e3779b9),
+            );
+            // Random reloadable configuration.
+            let unit: Vec<f64> = (0..profile.len()).map(|_| self.rng.gen::<f64>()).collect();
+            let raw = denormalize_config(&profile, &unit);
+            for (i, (kid, spec)) in profile.iter().enumerate() {
+                if !spec.restart_required {
+                    db.set_knob_direct(kid, raw[i]);
+                }
+            }
+            // A 60 s benchmark run — the sample window matches the TDE's
+            // default observation window so baselines convert correctly.
+            let before = db.metrics_snapshot();
+            let rate = match workload.default_arrival() {
+                autodbaas_workload::ArrivalProcess::Constant(r) => *r,
+                _ => 1_000.0,
+            };
+            for _ in 0..60 {
+                let q = workload.next_query(&mut self.rng);
+                db.submit(&q, (rate / 60.0).max(1.0) as u64);
+                db.tick(1_000);
+            }
+            let after = db.metrics_snapshot();
+            let delta = after.delta(&before);
+            let objective = delta[MetricId::QueriesExecuted.index()] / 60.0;
+            self.repo.add_sample(
+                id,
+                Sample {
+                    config: normalize_config(&profile, db.knobs().as_vec()),
+                    metrics: delta,
+                    objective,
+                    quality: SampleQuality::High,
+                },
+            );
+        }
+        id
+    }
+
+    /// Advance one tick.
+    pub fn step(&mut self) {
+        self.now += self.cfg.tick_ms;
+
+        // 1. Traffic. Databases are independent within a tick, so a big
+        // fleet is driven on worker threads (crossbeam scoped threads; no
+        // 'static bound needed on the nodes).
+        if self.parallel && self.nodes.len() >= 8 {
+            let tick_ms = self.cfg.tick_ms;
+            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let chunk = self.nodes.len().div_ceil(threads);
+            crossbeam::thread::scope(|scope| {
+                for nodes in self.nodes.chunks_mut(chunk) {
+                    scope.spawn(move |_| {
+                        for node in nodes {
+                            node.drive(tick_ms);
+                        }
+                    });
+                }
+            })
+            .expect("fleet drive worker panicked");
+        } else {
+            for node in &mut self.nodes {
+                node.drive(self.cfg.tick_ms);
+            }
+        }
+
+        // 2. Deliver due recommendations.
+        while let Some(&Reverse((ready, idx))) = self.pending.peek() {
+            if ready > self.now {
+                break;
+            }
+            self.pending.pop();
+            self.deliver_recommendation(idx);
+        }
+
+        // 3. TDE cadence.
+        if self.now - self.last_tde_run >= self.cfg.tde_period_ms {
+            let window_ms = self.now - self.last_tde_run;
+            self.last_tde_run = self.now;
+            self.run_tde_round(window_ms);
+        }
+    }
+
+    /// Run for `duration_ms` of simulated time.
+    pub fn run_for(&mut self, duration_ms: u64) {
+        let end = self.now + duration_ms;
+        while self.now < end {
+            self.step();
+        }
+    }
+
+    fn rl_state(delta: &[f64]) -> Vec<f64> {
+        delta.iter().map(|&x| (1.0 + x.abs()).ln() / 20.0).collect()
+    }
+
+    fn run_tde_round(&mut self, window_ms: u64) {
+        for idx in 0..self.nodes.len() {
+            let node = &mut self.nodes[idx];
+            // Close the observation window.
+            let objective = node.window_objective(window_ms);
+            let snap = node.db.metrics_snapshot();
+            let delta = snap.delta(&node.window_start_snapshot);
+
+            // TDE run.
+            let report = node.tde.run(&mut node.db, Some(&self.repo));
+            if report.plan_upgrade {
+                node.plan_upgrades += 1;
+            }
+
+            // Sample capture (gated or not).
+            let throttled_window = report.tuning_request;
+            let capture = !self.cfg.gate_samples_with_tde || throttled_window;
+            if capture {
+                let profile = node.db.profile().clone();
+                let quality = if self.cfg.gate_samples_with_tde {
+                    // TDE-certified windows are high quality by construction.
+                    SampleQuality::High
+                } else {
+                    assess_quality(&delta, objective)
+                };
+                self.repo.add_sample(
+                    node.workload_id,
+                    Sample {
+                        config: normalize_config(&profile, node.db.knobs().as_vec()),
+                        metrics: delta.clone(),
+                        objective,
+                        quality,
+                    },
+                );
+            }
+
+            // RL experience: reward is the relative throughput change since
+            // the action was applied. Gated mode only feeds the agent
+            // TDE-certified windows — the corruption shield Fig. 13 tests.
+            if capture {
+                if let (Backend::Rl(rl), Some(action), Some(prev_state)) =
+                    (&mut self.backend, node.prev_action.clone(), node.prev_rl_state.clone())
+                {
+                let reward =
+                    (objective - node.prev_objective) / node.prev_objective.max(1.0);
+                    rl.observe(Transition {
+                        state: prev_state,
+                        action,
+                        reward: reward.clamp(-2.0, 2.0),
+                        next_state: Self::rl_state(&delta),
+                    });
+                }
+            }
+
+            // Policy decision.
+            let in_cooldown = node.cooldown_windows > 0;
+            if in_cooldown {
+                node.cooldown_windows -= 1;
+            }
+            let should = !node.pending_request
+                && !in_cooldown
+                && node.policy.should_request(&report, self.now, node.last_request_at);
+            node.last_report = report;
+            node.prev_objective = objective;
+            node.window_start_snapshot = snap;
+            if should {
+                node.last_request_at = self.now;
+                node.pending_request = true;
+                let service_ms = match self.cfg.tuner {
+                    TunerKind::Bo => BoTuner::train_cost_ms(self.repo.total_samples()),
+                    TunerKind::Rl => 50.0,
+                };
+                let assignment =
+                    self.director
+                        .submit_request(ServiceId(idx as u64), self.now, service_ms);
+                self.meter.record(ServiceId(idx as u64), service_ms);
+                self.pending.push(Reverse((assignment.ready_at, idx)));
+            }
+        }
+    }
+
+    fn deliver_recommendation(&mut self, idx: usize) {
+        let node = &mut self.nodes[idx];
+        node.pending_request = false;
+        let profile = node.db.profile().clone();
+        let unit = match &mut self.backend {
+            Backend::Bo(bo) => {
+                // The tuning request carries the indicted knobs (the TDE
+                // sends metric data and query context with the request);
+                // focus the acquisition on them.
+                let focus: Vec<usize> =
+                    node.last_report.throttles.iter().map(|t| t.knob.0 as usize).collect();
+                match bo.recommend_focused(&self.repo, node.workload_id, &focus) {
+                    Some(rec) => {
+                        if std::env::var("AUTODBAAS_DEBUG_MAPPING").is_ok() {
+                            eprintln!(
+                                "map: node={} -> {:?} train={} ",
+                                node.workload_id.0, rec.mapped_from, rec.train_samples
+                            );
+                        }
+                        rec.config
+                    }
+                    None => return, // nothing learned yet
+                }
+            }
+            Backend::Rl(rl) => {
+                let snap = node.db.metrics_snapshot();
+                let delta = snap.delta(&node.window_start_snapshot);
+                let state = Self::rl_state(&delta);
+                node.prev_rl_state = Some(state.clone());
+                let mut action = rl.recommend(&state);
+                action.truncate(profile.len());
+                while action.len() < profile.len() {
+                    action.push(0.5);
+                }
+                action
+            }
+        };
+        self.director.record_recommendation(
+            ServiceId(idx as u64),
+            self.now,
+            unit.clone(),
+        );
+        if !self.cfg.apply_recommendations {
+            return;
+        }
+        // §4 budget vetting: the config director checks `A+B+C+D < X`
+        // before shipping a recommendation — an oversubscribed config would
+        // swap the instance to death, so memory knobs are rescaled to fit.
+        // The vetted budget is the config *as it will run*: reloadable
+        // knobs take the recommended values, restart-bound ones keep their
+        // live values (they are deferred to the maintenance window).
+        let raw = denormalize_config(&profile, &unit);
+        let mut vetted = node.db.knobs().clone();
+        for (i, (kid, spec)) in profile.iter().enumerate() {
+            if !spec.restart_required {
+                vetted.set(&profile, kid, raw[i]);
+            }
+        }
+        autodbaas_simdb::instance::enforce_memory_cap(
+            &profile,
+            &mut vetted,
+            node.db.instance(),
+        );
+        let raw: Vec<f64> = profile.iter().map(|(kid, _)| vetted.get(kid)).collect();
+        let changes: Vec<ConfigChange> = profile
+            .iter()
+            .zip(&raw)
+            .filter(|((_, spec), _)| !spec.restart_required)
+            .map(|((kid, _), &value)| ConfigChange { knob: kid, value })
+            .collect();
+        let _ = node.db.apply_config(&changes, autodbaas_simdb::ApplyMode::Reload);
+        node.prev_action = Some(unit);
+        node.cooldown_windows = 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ManagedDatabase;
+    use autodbaas_core::{TdeConfig, TuningPolicy};
+    use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+    use autodbaas_telemetry::MILLIS_PER_MIN;
+    use autodbaas_tuner::WorkloadId;
+    use autodbaas_workload::{tpcc, ArrivalProcess};
+
+    fn make_node(policy: TuningPolicy, seed: u64) -> ManagedDatabase {
+        let wl = tpcc(0.5);
+        let catalog = wl.catalog().clone();
+        ManagedDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4Large,
+            DiskKind::Ssd,
+            catalog,
+            Box::new(wl),
+            ArrivalProcess::Constant(300.0),
+            policy,
+            WorkloadId(0),
+            TdeConfig::default(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn fleet_runs_and_time_advances() {
+        let mut sim = FleetSim::new(FleetConfig::default(), 2);
+        sim.add_node(make_node(TuningPolicy::TdeDriven, 1), "db-0");
+        sim.run_for(3 * MILLIS_PER_MIN);
+        assert_eq!(sim.now(), 3 * MILLIS_PER_MIN);
+        assert!(sim.nodes[0].queries_submitted > 10_000);
+    }
+
+    #[test]
+    fn periodic_policy_fires_on_schedule() {
+        let mut sim = FleetSim::new(
+            FleetConfig { gate_samples_with_tde: false, ..FleetConfig::default() },
+            2,
+        );
+        sim.add_node(make_node(TuningPolicy::Periodic(5 * MILLIS_PER_MIN), 2), "db-0");
+        sim.run_for(31 * MILLIS_PER_MIN);
+        // ~6 requests over 31 min at a 5-min period.
+        let total = sim.director.total_requests();
+        assert!((4..=8).contains(&total), "requests {total}");
+    }
+
+    #[test]
+    fn tde_policy_on_healthy_workload_requests_less_than_periodic() {
+        // TPCC at defaults only throttles work_mem occasionally; a 5-min
+        // periodic policy fires unconditionally.
+        let mk = |policy| {
+            let mut sim = FleetSim::new(FleetConfig::default(), 2);
+            sim.add_node(make_node(policy, 3), "db");
+            sim.run_for(40 * MILLIS_PER_MIN);
+            sim.director.total_requests()
+        };
+        let tde = mk(TuningPolicy::TdeDriven);
+        let periodic = mk(TuningPolicy::Periodic(5 * MILLIS_PER_MIN));
+        assert!(
+            tde <= periodic,
+            "TDE-driven ({tde}) must not exceed periodic ({periodic})"
+        );
+    }
+
+    #[test]
+    fn offline_seeding_populates_repository() {
+        let mut sim = FleetSim::new(FleetConfig::default(), 1);
+        let wl = tpcc(0.5);
+        let id = sim.seed_offline_training(&wl, DbFlavor::Postgres, 5);
+        assert_eq!(sim.repo.workload(id).samples.len(), 5);
+        assert!(sim.repo.workload(id).offline);
+        assert!(sim.repo.workload(id).samples.iter().all(|s| s.objective > 0.0));
+    }
+
+    #[test]
+    fn recommendations_eventually_get_applied() {
+        let mut sim = FleetSim::new(
+            FleetConfig {
+                tde_period_ms: MILLIS_PER_MIN,
+                gate_samples_with_tde: false,
+                ..FleetConfig::default()
+            },
+            2,
+        );
+        let wl = tpcc(0.5);
+        sim.seed_offline_training(&wl, DbFlavor::Postgres, 8);
+        sim.add_node(make_node(TuningPolicy::Periodic(2 * MILLIS_PER_MIN), 4), "db");
+        let default_knobs = sim.nodes[0].db.knobs().clone();
+        sim.run_for(20 * MILLIS_PER_MIN);
+        assert!(
+            sim.nodes[0].prev_action.is_some(),
+            "a recommendation should have been applied"
+        );
+        assert_ne!(
+            sim.nodes[0].db.knobs(),
+            &default_knobs,
+            "knobs should have moved off defaults"
+        );
+    }
+
+    #[test]
+    fn parallel_drive_is_deterministic_and_equivalent() {
+        let build = |parallel: bool| {
+            let mut sim = FleetSim::new(
+                FleetConfig { gate_samples_with_tde: false, ..FleetConfig::default() },
+                2,
+            );
+            sim.set_parallel(parallel);
+            for i in 0..10 {
+                sim.add_node(
+                    make_node(TuningPolicy::TdeDriven, 100 + i),
+                    &format!("db-{i}"),
+                );
+            }
+            sim.run_for(5 * MILLIS_PER_MIN);
+            sim.nodes.iter().map(|n| n.queries_submitted).collect::<Vec<_>>()
+        };
+        assert_eq!(build(false), build(true), "threading must not change results");
+    }
+
+    #[test]
+    fn rl_backend_runs_end_to_end() {
+        let mut sim = FleetSim::new(
+            FleetConfig {
+                tuner: TunerKind::Rl,
+                gate_samples_with_tde: false,
+                ..FleetConfig::default()
+            },
+            1,
+        );
+        sim.add_node(make_node(TuningPolicy::Periodic(2 * MILLIS_PER_MIN), 5), "db");
+        sim.run_for(10 * MILLIS_PER_MIN);
+        assert!(sim.director.total_requests() >= 3);
+        assert!(sim.nodes[0].prev_action.is_some());
+    }
+}

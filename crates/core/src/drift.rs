@@ -1,0 +1,202 @@
+//! Workload-pattern drift detection.
+//!
+//! §1 observes that the literature can "suggest changes in workload
+//! patterns" by clustering query templates (\[8\], \[19\]) but cannot say
+//! whether a change *requires tuning* — that is the TDE's job. This module
+//! supplies the missing first half for our stack: a drift detector over
+//! the template-frequency distribution, so operators (and the Fig. 14
+//! harness) can see the moment the executing pattern changes, independent
+//! of whether throttles follow.
+//!
+//! Distance metric: Jensen–Shannon divergence between consecutive windows'
+//! template distributions — symmetric, bounded in `[0, ln 2]`, defined
+//! even when templates appear/disappear.
+
+use crate::template::{TemplateId, TemplateStore};
+use autodbaas_simdb::QueryProfile;
+use std::collections::HashMap;
+
+/// Jensen–Shannon divergence between two frequency tables keyed by
+/// template id. Returns a value in `[0, ln 2]`.
+pub fn js_divergence(a: &HashMap<TemplateId, u64>, b: &HashMap<TemplateId, u64>) -> f64 {
+    let total_a: u64 = a.values().sum();
+    let total_b: u64 = b.values().sum();
+    if total_a == 0 || total_b == 0 {
+        return 0.0;
+    }
+    let keys: std::collections::HashSet<_> = a.keys().chain(b.keys()).collect();
+    let mut kl_am = 0.0;
+    let mut kl_bm = 0.0;
+    for k in keys {
+        let pa = a.get(k).copied().unwrap_or(0) as f64 / total_a as f64;
+        let pb = b.get(k).copied().unwrap_or(0) as f64 / total_b as f64;
+        let m = 0.5 * (pa + pb);
+        if pa > 0.0 {
+            kl_am += pa * (pa / m).ln();
+        }
+        if pb > 0.0 {
+            kl_bm += pb * (pb / m).ln();
+        }
+    }
+    0.5 * (kl_am + kl_bm)
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// JS divergence above which a window counts as drifted.
+    pub threshold: f64,
+    /// Consecutive drifted windows before a change is declared (debounce).
+    pub consecutive: u32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self { threshold: 0.25, consecutive: 1 }
+    }
+}
+
+/// What one window concluded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftVerdict {
+    /// Not enough history yet.
+    Warming,
+    /// Same pattern as the previous window (divergence attached).
+    Stable(f64),
+    /// Pattern changed (divergence attached).
+    Changed(f64),
+}
+
+/// Sliding-window drift detector over template distributions.
+#[derive(Debug)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    previous: Option<HashMap<TemplateId, u64>>,
+    current: HashMap<TemplateId, u64>,
+    consecutive_drifts: u32,
+    changes_detected: u64,
+}
+
+impl DriftDetector {
+    /// New detector.
+    pub fn new(cfg: DriftConfig) -> Self {
+        Self {
+            cfg,
+            previous: None,
+            current: HashMap::new(),
+            consecutive_drifts: 0,
+            changes_detected: 0,
+        }
+    }
+
+    /// Ingest one query into the current window (templated via `store`).
+    pub fn ingest(&mut self, store: &mut TemplateStore, q: &QueryProfile) {
+        let id = store.ingest(q);
+        *self.current.entry(id).or_insert(0) += 1;
+    }
+
+    /// Close the current window and compare it with the previous one.
+    pub fn close_window(&mut self) -> DriftVerdict {
+        let window = std::mem::take(&mut self.current);
+        let verdict = match &self.previous {
+            None => DriftVerdict::Warming,
+            Some(prev) => {
+                let d = js_divergence(prev, &window);
+                if d > self.cfg.threshold {
+                    self.consecutive_drifts += 1;
+                    if self.consecutive_drifts >= self.cfg.consecutive {
+                        self.changes_detected += 1;
+                        self.consecutive_drifts = 0;
+                        DriftVerdict::Changed(d)
+                    } else {
+                        DriftVerdict::Stable(d)
+                    }
+                } else {
+                    self.consecutive_drifts = 0;
+                    DriftVerdict::Stable(d)
+                }
+            }
+        };
+        self.previous = Some(window);
+        verdict
+    }
+
+    /// Pattern changes declared so far.
+    pub fn changes_detected(&self) -> u64 {
+        self.changes_detected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodbaas_workload::{tpcc, ycsb, QuerySource};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fill(det: &mut DriftDetector, store: &mut TemplateStore, wl: &dyn QuerySource, n: usize, rng: &mut StdRng) {
+        for _ in 0..n {
+            det.ingest(store, &wl.next_query(rng));
+        }
+    }
+
+    #[test]
+    fn js_divergence_basics() {
+        let mut a = HashMap::new();
+        a.insert(TemplateId(0), 10u64);
+        a.insert(TemplateId(1), 10);
+        // Identical distributions → 0.
+        assert!(js_divergence(&a, &a).abs() < 1e-12);
+        // Disjoint distributions → ln 2.
+        let mut b = HashMap::new();
+        b.insert(TemplateId(2), 7u64);
+        let d = js_divergence(&a, &b);
+        assert!((d - std::f64::consts::LN_2).abs() < 1e-9, "disjoint JS = ln2, got {d}");
+        // Empty side → 0 (no evidence).
+        assert_eq!(js_divergence(&a, &HashMap::new()), 0.0);
+    }
+
+    #[test]
+    fn same_workload_is_stable_different_workload_changes() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        let mut store = TemplateStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tp = tpcc(0.5);
+        let yc = ycsb(0.5);
+
+        fill(&mut det, &mut store, &tp, 2_000, &mut rng);
+        assert_eq!(det.close_window(), DriftVerdict::Warming);
+        fill(&mut det, &mut store, &tp, 2_000, &mut rng);
+        assert!(matches!(det.close_window(), DriftVerdict::Stable(_)));
+        // The switch.
+        fill(&mut det, &mut store, &yc, 2_000, &mut rng);
+        assert!(matches!(det.close_window(), DriftVerdict::Changed(_)));
+        assert_eq!(det.changes_detected(), 1);
+        // And the new pattern is stable once established.
+        fill(&mut det, &mut store, &yc, 2_000, &mut rng);
+        assert!(matches!(det.close_window(), DriftVerdict::Stable(_)));
+    }
+
+    #[test]
+    fn debounce_requires_consecutive_drifts() {
+        let mut det = DriftDetector::new(DriftConfig { threshold: 0.25, consecutive: 2 });
+        let mut store = TemplateStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tp = tpcc(0.5);
+        let yc = ycsb(0.5);
+        fill(&mut det, &mut store, &tp, 1_000, &mut rng);
+        assert_eq!(det.close_window(), DriftVerdict::Warming);
+        // First drifted window (tpcc → ycsb): debounced.
+        fill(&mut det, &mut store, &yc, 1_000, &mut rng);
+        assert!(matches!(det.close_window(), DriftVerdict::Stable(_)));
+        // Second consecutive drifted window (ycsb → tpcc): declared.
+        fill(&mut det, &mut store, &tp, 1_000, &mut rng);
+        assert!(matches!(det.close_window(), DriftVerdict::Changed(_)));
+        assert_eq!(det.changes_detected(), 1);
+        // A stable stretch resets the debounce counter.
+        fill(&mut det, &mut store, &tp, 1_000, &mut rng);
+        assert!(matches!(det.close_window(), DriftVerdict::Stable(_)));
+        fill(&mut det, &mut store, &yc, 1_000, &mut rng);
+        assert!(matches!(det.close_window(), DriftVerdict::Stable(_)), "debounced again");
+    }
+}

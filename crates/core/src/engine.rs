@@ -1,0 +1,621 @@
+//! The Throttling Detection Engine (TDE) — the paper's central
+//! contribution.
+//!
+//! The TDE "gets periodically executed on the database master VM (like a
+//! plugin)". Each run it:
+//!
+//! 1. ingests the streaming query log into the class histogram, the
+//!    template store, and a reservoir sample;
+//! 2. re-plans the sampled templates to find work-area **spills** (memory
+//!    detector), passing repeated throttles through the **entropy filter**
+//!    to separate mis-tuned knobs from undersized instances;
+//! 3. gauges the **working set** against the restart-bound buffer knob
+//!    (finding reserved for the maintenance window);
+//! 4. compares checkpoint cadence / disk latency against the tuner-mapped
+//!    **baseline** (background-writer detector);
+//! 5. on its own 2–4-minute cadence, advances the **MDP** over the
+//!    async/planner knobs and throttles on demonstrated profit.
+//!
+//! A *tuning request* is emitted only when throttles fire — that event-
+//! driven break from periodic polling is exactly what Fig. 9 measures.
+
+use crate::bgwriter::{baseline_from_repo, BgwriterDetector};
+use crate::classify::ClassHistogram;
+use crate::filter::{EntropyFilter, FilterConfig, FilterDecision};
+use crate::mdp::{MdpConfig, MdpEngine};
+use crate::memory::{check_working_set, detect_spills, knob_at_cap, WorkingSetFinding};
+use crate::reservoir::Reservoir;
+use crate::template::TemplateStore;
+use autodbaas_simdb::{KnobClass, KnobId, QueryProfile, SimDatabase, SpillKind};
+use autodbaas_telemetry::{SimTime, MILLIS_PER_MIN};
+use autodbaas_tuner::WorkloadRepository;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a throttle fired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThrottleReason {
+    /// A sampled template spills the given work area.
+    MemorySpill(SpillKind),
+    /// The gauged working set exceeds the buffer-pool knob.
+    WorkingSetExceedsBuffer,
+    /// The §4 memory budget `A+B+C+D` exceeds the instance cap: the OS is
+    /// swapping. §3.1's end state of "increasing the knob values to the
+    /// maximum" — only rebalancing (or a bigger plan) can help.
+    MemoryOversubscribed,
+    /// The buffer hit ratio over the window fell below the floor — the
+    /// read set does not fit (a memory throttle on the buffer knob).
+    BufferHitRatio,
+    /// Checkpoint-cadence/latency ratio above the mapped baseline.
+    CheckpointLatencyRatio,
+    /// The MDP demonstrated a planner-knob profit.
+    PlannerProfit,
+}
+
+/// One throttle signal — the unit Fig. 10/11/14 count.
+#[derive(Debug, Clone, Copy)]
+pub struct ThrottleSignal {
+    /// The knob indicted.
+    pub knob: KnobId,
+    /// Its class.
+    pub class: KnobClass,
+    /// Why.
+    pub reason: ThrottleReason,
+    /// When (sim time).
+    pub at: SimTime,
+}
+
+/// What one TDE run concluded.
+#[derive(Debug, Clone, Default)]
+pub struct TdeReport {
+    /// Throttles raised this run (after filtration).
+    pub throttles: Vec<ThrottleSignal>,
+    /// Whether a tuning request should go to the config director.
+    pub tuning_request: bool,
+    /// Whether a hardware plan upgrade was requested instead.
+    pub plan_upgrade: bool,
+    /// Buffer-pool findings reserved for the maintenance window.
+    pub buffer_findings: Vec<WorkingSetFinding>,
+}
+
+/// TDE configuration.
+#[derive(Debug, Clone)]
+pub struct TdeConfig {
+    /// Reservoir sample size per observation window.
+    pub reservoir_capacity: usize,
+    /// Entropy-filter parameters.
+    pub filter: FilterConfig,
+    /// Toggle for the filter (ablation).
+    pub enable_entropy_filter: bool,
+    /// MDP parameters.
+    pub mdp: MdpConfig,
+    /// MDP cadence ("the TDE triggers the MDP at interval of 2 to 4
+    /// minutes").
+    pub mdp_interval_ms: u64,
+    /// Observation-window seconds assumed for repository baselines.
+    pub baseline_window_s: f64,
+    /// TDE runs per working-set gauging epoch (the Curino-style gauge \[5\]
+    /// accumulates across several observation windows before resetting).
+    pub ws_epoch_runs: u32,
+    /// Buffer hit ratio below which a memory throttle fires on the buffer
+    /// knob.
+    pub hit_ratio_floor: f64,
+}
+
+impl Default for TdeConfig {
+    fn default() -> Self {
+        Self {
+            reservoir_capacity: 64,
+            filter: FilterConfig::default(),
+            enable_entropy_filter: true,
+            mdp: MdpConfig::default(),
+            mdp_interval_ms: 3 * MILLIS_PER_MIN,
+            baseline_window_s: 60.0,
+            ws_epoch_runs: 10,
+            hit_ratio_floor: 0.45,
+        }
+    }
+}
+
+/// The engine itself; one per database instance.
+///
+/// # Examples
+///
+/// ```
+/// use autodbaas_core::{Tde, TdeConfig};
+/// use autodbaas_simdb::{Catalog, DbFlavor, DiskKind, InstanceType, SimDatabase};
+///
+/// let catalog = Catalog::synthetic(4, 100_000_000, 150, 1);
+/// let mut db = SimDatabase::new(
+///     DbFlavor::Postgres, InstanceType::M4Large, DiskKind::Ssd, catalog, 42,
+/// );
+/// let mut tde = Tde::new(&db.profile().clone(), TdeConfig::default(), 7);
+/// // An idle database raises no tuning request.
+/// db.tick(60_000);
+/// let report = tde.run(&mut db, None);
+/// assert!(!report.tuning_request);
+/// ```
+#[derive(Debug)]
+pub struct Tde {
+    cfg: TdeConfig,
+    reservoir: Reservoir<QueryProfile>,
+    templates: TemplateStore,
+    hist: ClassHistogram,
+    filter: EntropyFilter,
+    bg_detector: BgwriterDetector,
+    mdp: MdpEngine,
+    mdp_last_run: SimTime,
+    last_ingested_at: SimTime,
+    rng: StdRng,
+    class_counts: [u64; 3],
+    ws_run_counter: u32,
+    window_snapshot: Option<autodbaas_simdb::MetricsSnapshot>,
+    total_tuning_requests: u64,
+    total_plan_upgrades: u64,
+    total_suppressed: u64,
+}
+
+impl Tde {
+    /// Build a TDE for a database's knob profile.
+    pub fn new(profile: &autodbaas_simdb::KnobProfile, cfg: TdeConfig, seed: u64) -> Self {
+        let mdp = MdpEngine::new(profile, cfg.mdp);
+        Self {
+            reservoir: Reservoir::new(cfg.reservoir_capacity),
+            templates: TemplateStore::new(),
+            hist: ClassHistogram::new(),
+            filter: EntropyFilter::new(cfg.filter),
+            bg_detector: BgwriterDetector::new(),
+            mdp,
+            cfg,
+            mdp_last_run: 0,
+            last_ingested_at: 0,
+            rng: StdRng::seed_from_u64(seed),
+            class_counts: [0; 3],
+            ws_run_counter: 0,
+            window_snapshot: None,
+            total_tuning_requests: 0,
+            total_plan_upgrades: 0,
+            total_suppressed: 0,
+        }
+    }
+
+    /// Cumulative throttles per knob class, `[memory, bgwriter, async]` —
+    /// the paper's proposed evaluation metric.
+    pub fn throttle_counts(&self) -> [u64; 3] {
+        self.class_counts
+    }
+
+    /// Tuning requests emitted so far.
+    pub fn tuning_requests(&self) -> u64 {
+        self.total_tuning_requests
+    }
+
+    /// Plan-upgrade requests emitted so far.
+    pub fn plan_upgrades(&self) -> u64 {
+        self.total_plan_upgrades
+    }
+
+    /// Throttle windows suppressed by the rule-based cap filter (§3.1's
+    /// first case).
+    pub fn suppressed(&self) -> u64 {
+        self.total_suppressed
+    }
+
+    /// The MDP (learning curves for Fig. 6).
+    pub fn mdp(&self) -> &MdpEngine {
+        &self.mdp
+    }
+
+    /// Template dictionary built so far.
+    pub fn templates(&self) -> &TemplateStore {
+        &self.templates
+    }
+
+    /// Class histogram over the recent window.
+    pub fn histogram(&self) -> &ClassHistogram {
+        &self.hist
+    }
+
+    /// Forget workload-specific state (on a known workload switch).
+    pub fn reset_workload_state(&mut self) {
+        self.reservoir.clear();
+        self.templates.clear();
+        self.hist.clear();
+        self.filter.reset();
+    }
+
+    /// One periodic TDE run against `db`, optionally consulting the tuner
+    /// repository for the background-writer baseline.
+    pub fn run(&mut self, db: &mut SimDatabase, repo: Option<&WorkloadRepository>) -> TdeReport {
+        let now = db.now();
+        let mut report = TdeReport::default();
+
+        // --- 1. Ingest the streaming log since the last run -------------
+        // Decay the histogram so the window tracks the *current* pattern
+        // (Fig. 14's point is quick reaction to workload change).
+        self.hist.decay_half();
+        // The reservoir samples the *current* observation window, not the
+        // whole history — a stale sample would keep indicting queries that
+        // stopped arriving.
+        self.reservoir.clear();
+        let new_queries: Vec<QueryProfile> = db
+            .query_log()
+            .filter(|l| l.at >= self.last_ingested_at)
+            .map(|l| l.query.clone())
+            .collect();
+        self.last_ingested_at = now;
+        for q in &new_queries {
+            self.hist.record(q);
+            self.templates.ingest(q);
+            self.reservoir.offer(q.clone(), &mut self.rng);
+        }
+        let sampled: Vec<QueryProfile> = self.reservoir.items().to_vec();
+
+        // --- 2. Memory detector + entropy filtration --------------------
+        let spills = detect_spills(db, &sampled);
+        // Oversubscription: work areas were pushed past the instance's
+        // memory; there may be no spills left, but the machine is swapping.
+        let swapping = db.swap_factor() > 1.05 && !new_queries.is_empty();
+        let throttled = !spills.is_empty() || swapping;
+        let any_at_cap = swapping
+            || spills.iter().any(|f| knob_at_cap(db, f.knob, self.cfg.filter.cap_fraction));
+        let decision = if self.cfg.enable_entropy_filter {
+            self.filter.observe(throttled, any_at_cap, &self.hist)
+        } else {
+            FilterDecision::Forward
+        };
+        match decision {
+            FilterDecision::PlanUpgrade => {
+                report.plan_upgrade = true;
+                self.total_plan_upgrades += 1;
+            }
+            FilterDecision::Suppress => {
+                self.total_suppressed += 1;
+            }
+            FilterDecision::Forward | FilterDecision::Hold => {
+                // Dedup: one throttle per knob per run.
+                let mut seen: Vec<KnobId> = Vec::new();
+                for f in &spills {
+                    if seen.contains(&f.knob) {
+                        continue;
+                    }
+                    seen.push(f.knob);
+                    report.throttles.push(ThrottleSignal {
+                        knob: f.knob,
+                        class: KnobClass::Memory,
+                        reason: ThrottleReason::MemorySpill(f.kind),
+                        at: now,
+                    });
+                }
+                if swapping {
+                    report.throttles.push(ThrottleSignal {
+                        knob: db.planner().roles().work_area,
+                        class: KnobClass::Memory,
+                        reason: ThrottleReason::MemoryOversubscribed,
+                        at: now,
+                    });
+                }
+            }
+        }
+
+        // --- 3. Working-set gauge (maintenance-window finding) ----------
+        // Evaluated once per gauging epoch so a single oversized working
+        // set yields one throttle per epoch, not one per window.
+        self.ws_run_counter += 1;
+        let reset_epoch = self.ws_run_counter >= self.cfg.ws_epoch_runs;
+        if reset_epoch {
+            self.ws_run_counter = 0;
+        }
+        if let Some(ws) = (reset_epoch).then(|| check_working_set(db, true)).flatten() {
+            // The buffer knob is restart-bound, so this throttle is
+            // *collected* by the config director for the maintenance window
+            // rather than triggering a tuner recommendation — but it still
+            // counts in the per-class throttle census (Figs. 10/11).
+            report.throttles.push(ThrottleSignal {
+                knob: ws.knob,
+                class: KnobClass::Memory,
+                reason: ThrottleReason::WorkingSetExceedsBuffer,
+                at: now,
+            });
+            report.buffer_findings.push(ws);
+        }
+
+        // --- 3b. Buffer hit-ratio floor ----------------------------------
+        // Read-heavy workloads whose hot set outgrows the buffer show up as
+        // a depressed hit ratio rather than a spill; that is a memory-class
+        // throttle on the (restart-bound) buffer knob.
+        {
+            let snap = db.metrics_snapshot();
+            let delta = snap.delta(&self.window_snapshot.take().unwrap_or(snap.clone()));
+            self.window_snapshot = Some(snap);
+            let hits = delta[autodbaas_simdb::MetricId::BlksHit.index()];
+            let reads = delta[autodbaas_simdb::MetricId::BlksRead.index()];
+            let total = hits + reads;
+            if total > 1_000.0 {
+                let ratio = hits / total;
+                if ratio < self.cfg.hit_ratio_floor {
+                    report.throttles.push(ThrottleSignal {
+                        knob: db.planner().roles().buffer_pool,
+                        class: KnobClass::Memory,
+                        reason: ThrottleReason::BufferHitRatio,
+                        at: now,
+                    });
+                }
+            }
+        }
+
+        // --- 4. Background-writer detector -------------------------------
+        if let Some(repo) = repo {
+            let signature = db.metrics_snapshot().as_vec().to_vec();
+            if let Some(baseline) =
+                baseline_from_repo(repo, &signature, self.cfg.baseline_window_s)
+            {
+                if self.bg_detector.detect(db, baseline).is_some() {
+                    let knob = db.planner().roles().checkpoint_interval;
+                    report.throttles.push(ThrottleSignal {
+                        knob,
+                        class: KnobClass::BackgroundWriter,
+                        reason: ThrottleReason::CheckpointLatencyRatio,
+                        at: now,
+                    });
+                }
+            }
+        }
+
+        // --- 5. MDP over async/planner knobs ------------------------------
+        if now.saturating_sub(self.mdp_last_run) >= self.cfg.mdp_interval_ms && !sampled.is_empty()
+        {
+            self.mdp_last_run = now;
+            let mut knobs = db.knobs().clone();
+            let outcomes = self.mdp.step(db, &mut knobs, &sampled, &mut self.rng);
+            for o in &outcomes {
+                // Accepted moves persist on the live instance (the probe is
+                // a real knob change, reload-class by construction).
+                if knobs.get(o.knob) != db.knobs().get(o.knob) {
+                    db.set_knob_direct(o.knob, knobs.get(o.knob));
+                }
+                if o.throttle {
+                    report.throttles.push(ThrottleSignal {
+                        knob: o.knob,
+                        class: KnobClass::AsyncPlanner,
+                        reason: ThrottleReason::PlannerProfit,
+                        at: now,
+                    });
+                }
+            }
+        }
+
+        // --- Bookkeeping ---------------------------------------------------
+        for t in &report.throttles {
+            self.class_counts[t.class.index()] += 1;
+        }
+        // Working-set throttles wait for the maintenance window; everything
+        // else asks the tuner now.
+        let tunable_now = report.throttles.iter().any(|t| {
+            !matches!(
+                t.reason,
+                ThrottleReason::WorkingSetExceedsBuffer | ThrottleReason::BufferHitRatio
+            )
+        });
+        report.tuning_request = tunable_now && !report.plan_upgrade;
+        if report.tuning_request {
+            self.total_tuning_requests += 1;
+        }
+        report
+    }
+
+}
+
+/// When the config director asks for recommendations: on throttle events
+/// (the paper's approach) or on a fixed period (the baseline it beats).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TuningPolicy {
+    /// Event-driven by TDE throttles.
+    TdeDriven,
+    /// Fixed-period requests regardless of need (5- or 10-minute periods in
+    /// Fig. 9).
+    Periodic(u64),
+}
+
+impl TuningPolicy {
+    /// Should a tuning request fire now?
+    pub fn should_request(&self, report: &TdeReport, now: SimTime, last_request: SimTime) -> bool {
+        match self {
+            TuningPolicy::TdeDriven => report.tuning_request,
+            TuningPolicy::Periodic(period) => now.saturating_sub(last_request) >= *period,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodbaas_simdb::{Catalog, DbFlavor, DiskKind, InstanceType, QueryKind};
+
+    const MIB: u64 = 1024 * 1024;
+
+    fn db() -> SimDatabase {
+        let catalog = Catalog::synthetic(6, 2_000_000_000, 150, 2);
+        SimDatabase::new(DbFlavor::Postgres, InstanceType::M4XLarge, DiskKind::Ssd, catalog, 77)
+    }
+
+    fn run_queries(d: &mut SimDatabase, q: &QueryProfile, n: usize) {
+        for _ in 0..n {
+            d.submit(q, 1);
+            d.tick(100);
+        }
+    }
+
+    #[test]
+    fn clean_workload_raises_no_throttles_and_no_requests() {
+        let mut d = db();
+        let mut tde = Tde::new(&d.profile().clone(), TdeConfig::default(), 1);
+        let q = QueryProfile::new(QueryKind::PointSelect, 0);
+        run_queries(&mut d, &q, 50);
+        let report = tde.run(&mut d, None);
+        assert!(report.throttles.iter().all(|t| t.class != KnobClass::Memory));
+        assert!(!report.plan_upgrade);
+    }
+
+    #[test]
+    fn spilling_workload_raises_memory_throttle_and_tuning_request() {
+        let mut d = db();
+        let mut tde = Tde::new(&d.profile().clone(), TdeConfig::default(), 2);
+        let mut q = QueryProfile::new(QueryKind::ComplexAggregate, 0);
+        q.rows_examined = 100_000;
+        q.sort_bytes = 350 * MIB;
+        run_queries(&mut d, &q, 30);
+        let report = tde.run(&mut d, None);
+        assert!(report
+            .throttles
+            .iter()
+            .any(|t| t.class == KnobClass::Memory
+                && t.reason == ThrottleReason::MemorySpill(SpillKind::WorkMem)));
+        assert!(report.tuning_request);
+        assert!(tde.throttle_counts()[KnobClass::Memory.index()] >= 1);
+        assert_eq!(tde.tuning_requests(), 1);
+    }
+
+    #[test]
+    fn throttles_stop_after_tuner_fixes_the_knob() {
+        let mut d = db();
+        let mut tde = Tde::new(&d.profile().clone(), TdeConfig::default(), 3);
+        let mut q = QueryProfile::new(QueryKind::OrderBy, 0);
+        q.rows_examined = 50_000;
+        q.sort_bytes = 64 * MIB;
+        run_queries(&mut d, &q, 30);
+        let before = tde.run(&mut d, None);
+        assert!(before.tuning_request);
+        // "Tuner" fixes work_mem.
+        let wm = d.profile().lookup("work_mem").unwrap();
+        d.set_knob_direct(wm, (256 * MIB) as f64);
+        run_queries(&mut d, &q, 30);
+        let after = tde.run(&mut d, None);
+        assert!(
+            !after.throttles.iter().any(|t| t.reason
+                == ThrottleReason::MemorySpill(SpillKind::WorkMem)),
+            "fixed knob must stop memory throttles"
+        );
+    }
+
+    #[test]
+    fn capped_even_workload_escalates_to_plan_upgrade() {
+        // Tiny instance + queries from every class at once + knobs at cap.
+        let catalog = Catalog::synthetic(6, 2_000_000_000, 150, 2);
+        let mut d =
+            SimDatabase::new(DbFlavor::Postgres, InstanceType::T2Small, DiskKind::Ssd, catalog, 9);
+        let p = d.profile().clone();
+        for name in ["work_mem", "maintenance_work_mem", "temp_buffers"] {
+            let id = p.lookup(name).unwrap();
+            d.set_knob_direct(id, p.spec(id).max);
+        }
+        let mut tde = Tde::new(&p, TdeConfig::default(), 4);
+        // Evenly mixed demanding queries (high entropy in Shannon terms,
+        // low in the paper's orientation).
+        let mut queries = Vec::new();
+        let mut agg = QueryProfile::new(QueryKind::ComplexAggregate, 0);
+        agg.sort_bytes = 5 * 1024 * MIB;
+        queries.push(agg);
+        let mut ci = QueryProfile::new(QueryKind::CreateIndex, 1);
+        ci.maintenance_bytes = 9 * 1024 * MIB;
+        queries.push(ci);
+        let mut tt = QueryProfile::new(QueryKind::TempTable, 2);
+        tt.temp_bytes = 5 * 1024 * MIB;
+        queries.push(tt);
+        let mut ins = QueryProfile::new(QueryKind::Insert, 3);
+        ins.rows_written = 5;
+        queries.push(ins);
+        queries.push(QueryProfile::new(QueryKind::PointSelect, 4));
+        let mut par = QueryProfile::new(QueryKind::RangeSelect, 5);
+        par.parallelizable = true;
+        par.rows_examined = 500_000;
+        queries.push(par);
+
+        let mut upgraded = false;
+        for _ in 0..15 {
+            for q in &queries {
+                for _ in 0..5 {
+                    d.submit(q, 1);
+                    d.tick(50);
+                }
+            }
+            let r = tde.run(&mut d, None);
+            upgraded |= r.plan_upgrade;
+        }
+        assert!(upgraded, "cap-limited even workload must request a plan upgrade");
+        assert!(tde.plan_upgrades() >= 1);
+    }
+
+    #[test]
+    fn ablation_disabling_filter_never_upgrades() {
+        let catalog = Catalog::synthetic(4, 1_000_000_000, 150, 2);
+        let mut d =
+            SimDatabase::new(DbFlavor::Postgres, InstanceType::T2Small, DiskKind::Ssd, catalog, 10);
+        let p = d.profile().clone();
+        for name in ["work_mem", "maintenance_work_mem", "temp_buffers"] {
+            let id = p.lookup(name).unwrap();
+            d.set_knob_direct(id, p.spec(id).max);
+        }
+        let cfg = TdeConfig { enable_entropy_filter: false, ..TdeConfig::default() };
+        let mut tde = Tde::new(&p, cfg, 5);
+        let mut agg = QueryProfile::new(QueryKind::ComplexAggregate, 0);
+        agg.sort_bytes = 5 * 1024 * MIB;
+        for _ in 0..20 {
+            run_queries(&mut d, &agg, 5);
+            let r = tde.run(&mut d, None);
+            assert!(!r.plan_upgrade);
+        }
+    }
+
+    #[test]
+    fn mdp_runs_on_its_own_cadence() {
+        let mut d = db();
+        let cfg = TdeConfig { mdp_interval_ms: 2 * MILLIS_PER_MIN, ..TdeConfig::default() };
+        let mut tde = Tde::new(&d.profile().clone(), cfg, 6);
+        let mut q = QueryProfile::new(QueryKind::RangeSelect, 0);
+        q.rows_examined = 200_000;
+        // First run at t≈5s: MDP fires (cadence from 0).
+        run_queries(&mut d, &q, 50);
+        let _ = tde.run(&mut d, None);
+        let first_mdp_time = d.now();
+        // Second run immediately after: cadence not yet elapsed.
+        run_queries(&mut d, &q, 5);
+        let _ = tde.run(&mut d, None);
+        assert!(d.now() - first_mdp_time < 2 * MILLIS_PER_MIN);
+        // The engine tracked exactly one MDP invocation's worth of steps so
+        // far; advance past the cadence and confirm a second fires.
+        while d.now() < first_mdp_time + 2 * MILLIS_PER_MIN {
+            run_queries(&mut d, &q, 10);
+        }
+        let _ = tde.run(&mut d, None);
+        // Indirect check: visited history grows only on MDP runs.
+        assert!(tde.mdp().knob_count() > 0);
+    }
+
+    #[test]
+    fn tuning_policies_differ() {
+        let report_empty = TdeReport::default();
+        let report_hot = TdeReport { tuning_request: true, ..TdeReport::default() };
+
+        let tde_pol = TuningPolicy::TdeDriven;
+        assert!(!tde_pol.should_request(&report_empty, 1_000, 0));
+        assert!(tde_pol.should_request(&report_hot, 1_000, 0));
+
+        let periodic = TuningPolicy::Periodic(5 * MILLIS_PER_MIN);
+        assert!(!periodic.should_request(&report_empty, 2 * MILLIS_PER_MIN, 0));
+        assert!(periodic.should_request(&report_empty, 5 * MILLIS_PER_MIN, 0));
+    }
+
+    #[test]
+    fn reset_clears_workload_state() {
+        let mut d = db();
+        let mut tde = Tde::new(&d.profile().clone(), TdeConfig::default(), 7);
+        let q = QueryProfile::new(QueryKind::Insert, 0);
+        run_queries(&mut d, &q, 20);
+        let _ = tde.run(&mut d, None);
+        assert!(!tde.templates().is_empty());
+        tde.reset_workload_state();
+        assert_eq!(tde.templates().len(), 0);
+        assert_eq!(tde.histogram().total(), 0);
+    }
+}

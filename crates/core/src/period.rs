@@ -1,0 +1,130 @@
+//! Adaptive observation period (§7: the TDE's value includes "calculating
+//! the monitoring/observation time").
+//!
+//! A fixed TDE period wastes work on quiet databases and reacts slowly on
+//! busy ones. [`AdaptivePeriod`] is an AIMD-style controller: a throttled
+//! window *halves* the period toward its floor (something is wrong — look
+//! closer), a clean window *stretches* it multiplicatively toward its
+//! ceiling (nothing is wrong — back off). The fleet simulator can run the
+//! TDE on this cadence instead of a constant one.
+
+use autodbaas_telemetry::SimTime;
+
+/// AIMD controller over the TDE period.
+///
+/// # Examples
+///
+/// ```
+/// use autodbaas_core::AdaptivePeriod;
+///
+/// let mut p = AdaptivePeriod::new(60_000, 600_000);
+/// p.record(60_000, false);  // clean window -> relax
+/// assert_eq!(p.current_ms(), 90_000);
+/// p.record(150_000, true);  // throttle -> tighten
+/// assert_eq!(p.current_ms(), 60_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptivePeriod {
+    min_ms: u64,
+    max_ms: u64,
+    current_ms: u64,
+    /// Multiplicative back-off per clean window.
+    stretch: f64,
+    last_run: SimTime,
+}
+
+impl AdaptivePeriod {
+    /// Controller bounded to `[min_ms, max_ms]`, starting at the floor
+    /// (a fresh database deserves attention).
+    pub fn new(min_ms: u64, max_ms: u64) -> Self {
+        assert!(min_ms > 0 && max_ms >= min_ms, "period bounds must be ordered");
+        Self { min_ms, max_ms, current_ms: min_ms, stretch: 1.5, last_run: 0 }
+    }
+
+    /// Current period.
+    pub fn current_ms(&self) -> u64 {
+        self.current_ms
+    }
+
+    /// Should the TDE run now?
+    pub fn due(&self, now: SimTime) -> bool {
+        now.saturating_sub(self.last_run) >= self.current_ms
+    }
+
+    /// Record a completed run and adapt: `throttled` windows tighten the
+    /// period, clean ones relax it.
+    pub fn record(&mut self, now: SimTime, throttled: bool) {
+        self.last_run = now;
+        self.current_ms = if throttled {
+            (self.current_ms / 2).max(self.min_ms)
+        } else {
+            ((self.current_ms as f64 * self.stretch) as u64).min(self.max_ms)
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_floor_and_relaxes_when_clean() {
+        let mut p = AdaptivePeriod::new(60_000, 600_000);
+        assert_eq!(p.current_ms(), 60_000);
+        let mut now = 0;
+        for _ in 0..10 {
+            now += p.current_ms();
+            assert!(p.due(now));
+            p.record(now, false);
+        }
+        assert_eq!(p.current_ms(), 600_000, "clean stretch must reach the ceiling");
+    }
+
+    #[test]
+    fn throttle_tightens_immediately() {
+        let mut p = AdaptivePeriod::new(60_000, 600_000);
+        let mut now = 0;
+        for _ in 0..10 {
+            now += p.current_ms();
+            p.record(now, false);
+        }
+        assert_eq!(p.current_ms(), 600_000);
+        now += p.current_ms();
+        p.record(now, true);
+        assert_eq!(p.current_ms(), 300_000);
+        now += p.current_ms();
+        p.record(now, true);
+        assert_eq!(p.current_ms(), 150_000);
+    }
+
+    #[test]
+    fn period_never_leaves_bounds() {
+        let mut p = AdaptivePeriod::new(60_000, 600_000);
+        let mut now = 0;
+        for i in 0..100u64 {
+            now += p.current_ms();
+            p.record(now, i % 2 == 0);
+            assert!((60_000..=600_000).contains(&p.current_ms()));
+        }
+        // Sustained throttling pins to the floor.
+        for _ in 0..10 {
+            now += p.current_ms();
+            p.record(now, true);
+        }
+        assert_eq!(p.current_ms(), 60_000);
+    }
+
+    #[test]
+    fn due_respects_the_current_period() {
+        let mut p = AdaptivePeriod::new(1_000, 10_000);
+        p.record(5_000, false); // period now 1500
+        assert!(!p.due(6_000));
+        assert!(p.due(6_500));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_bounds() {
+        let _ = AdaptivePeriod::new(10, 5);
+    }
+}

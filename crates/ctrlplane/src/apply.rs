@@ -1,0 +1,311 @@
+//! Applying recommendations to replicated services (§4).
+//!
+//! "In case of multiple nodes maintaining high availability, the
+//! recommendations are first applied to the Slave node(s). If the process
+//! crashes in the Slave node, the config recommendations are rejected.
+//! Thus, it is ensured that the Master node is up … After the config
+//! recommendations are applied to the Master node, the recommendations are
+//! stored in the persistence storage."
+//!
+//! [`ReplicaSet`] owns one master and N slaves; [`ReplicaSet::apply`]
+//! implements the slave-first protocol with fault injection for tests.
+
+use autodbaas_simdb::{
+    ApplyMode, ApplyReport, Catalog, ConfigChange, DbFlavor, DiskKind, InstanceType,
+    ReplicationSlot, SimDatabase,
+};
+
+/// Why an apply was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A slave crashed while applying; master untouched.
+    SlaveCrashed {
+        /// Index of the crashed slave.
+        slave: usize,
+    },
+    /// The master crashed; reconciliation will restore persisted config.
+    MasterCrashed,
+    /// A slave's replication lag exceeds the HA guard; reconfiguring it now
+    /// would leave the service one failure away from data loss.
+    ReplicaLagging {
+        /// Index of the lagging slave.
+        slave: usize,
+        /// Its lag in bytes.
+        lag_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::SlaveCrashed { slave } => {
+                write!(f, "config rejected: slave {slave} crashed during apply")
+            }
+            ApplyError::MasterCrashed => write!(f, "master crashed during apply"),
+            ApplyError::ReplicaLagging { slave, lag_bytes } => {
+                write!(f, "apply refused: slave {slave} lags by {lag_bytes} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// A replicated database service: one master, N read slaves.
+#[derive(Debug)]
+pub struct ReplicaSet {
+    master: SimDatabase,
+    slaves: Vec<SimDatabase>,
+    /// Per-slave replication stream state.
+    slots: Vec<ReplicationSlot>,
+    /// Fault injection: the next apply crashes this slave.
+    crash_next_apply_on_slave: Option<usize>,
+    /// Fault injection: the next apply crashes mid-way after slaves
+    /// succeeded (exercises the reconciler).
+    crash_next_apply_on_master: bool,
+}
+
+/// Sustained replay bandwidth assumed per slave (bytes/second).
+const SLAVE_REPLAY_RATE: f64 = 64.0 * 1024.0 * 1024.0;
+
+impl ReplicaSet {
+    /// Build a set with `n_slaves` replicas of the same shape as the
+    /// master.
+    pub fn new(
+        flavor: DbFlavor,
+        instance: InstanceType,
+        disk: DiskKind,
+        catalog: Catalog,
+        n_slaves: usize,
+        seed: u64,
+    ) -> Self {
+        let master = SimDatabase::new(flavor, instance, disk, catalog.clone(), seed);
+        let slaves: Vec<SimDatabase> = (0..n_slaves)
+            .map(|i| SimDatabase::new(flavor, instance, disk, catalog.clone(), seed ^ (i as u64 + 1)))
+            .collect();
+        let slots = (0..n_slaves).map(|_| ReplicationSlot::new(SLAVE_REPLAY_RATE)).collect();
+        Self {
+            master,
+            slaves,
+            slots,
+            crash_next_apply_on_slave: None,
+            crash_next_apply_on_master: false,
+        }
+    }
+
+    /// The master node.
+    pub fn master(&self) -> &SimDatabase {
+        &self.master
+    }
+
+    /// Mutable master (query traffic goes here).
+    pub fn master_mut(&mut self) -> &mut SimDatabase {
+        &mut self.master
+    }
+
+    /// The slaves.
+    pub fn slaves(&self) -> &[SimDatabase] {
+        &self.slaves
+    }
+
+    /// Fault injection for tests: crash slave `i` on the next apply.
+    pub fn inject_slave_crash(&mut self, i: usize) {
+        assert!(i < self.slaves.len(), "no such slave");
+        self.crash_next_apply_on_slave = Some(i);
+    }
+
+    /// Fault injection: crash the master mid-apply (after slaves).
+    pub fn inject_master_crash(&mut self) {
+        self.crash_next_apply_on_master = true;
+    }
+
+    /// Advance every node's clock and the replication streams.
+    pub fn tick(&mut self, dt_ms: u64) {
+        self.master.tick(dt_ms);
+        let master_lsn = self.master.bg().wal().insert_lsn();
+        for (s, slot) in self.slaves.iter_mut().zip(&mut self.slots) {
+            s.tick(dt_ms);
+            slot.tick(dt_ms, master_lsn);
+        }
+    }
+
+    /// The worst replication lag across slaves, in bytes.
+    pub fn max_replication_lag(&self) -> u64 {
+        let master_lsn = self.master.bg().wal().insert_lsn();
+        self.slots.iter().map(|s| s.lag_bytes(master_lsn)).max().unwrap_or(0)
+    }
+
+    /// Replication slot state per slave.
+    pub fn slots(&self) -> &[ReplicationSlot] {
+        &self.slots
+    }
+
+    /// Like [`ReplicaSet::apply`], but refuses when any slave lags more
+    /// than `max_lag_bytes` — reconfiguring (and possibly restarting) a
+    /// lagging replica would leave the service without a safe failover
+    /// target.
+    pub fn apply_with_lag_guard(
+        &mut self,
+        changes: &[ConfigChange],
+        mode: ApplyMode,
+        max_lag_bytes: u64,
+    ) -> Result<ApplyReport, ApplyError> {
+        let master_lsn = self.master.bg().wal().insert_lsn();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let lag = slot.lag_bytes(master_lsn);
+            if lag > max_lag_bytes {
+                return Err(ApplyError::ReplicaLagging { slave: i, lag_bytes: lag });
+            }
+        }
+        let report = self.apply(changes, mode)?;
+        // Restart-class applies pause replay on the slaves while they
+        // bounce.
+        if matches!(mode, ApplyMode::Restart | ApplyMode::SocketActivation) {
+            for slot in &mut self.slots {
+                slot.pause(4_000);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Slave-first apply. On success returns the master's report. On a
+    /// slave crash the recommendation is rejected with slaves rolled back
+    /// and the master untouched; on a master crash the config is left
+    /// half-applied for the reconciler to clean up.
+    pub fn apply(&mut self, changes: &[ConfigChange], mode: ApplyMode) -> Result<ApplyReport, ApplyError> {
+        // Phase 1: slaves.
+        for (i, slave) in self.slaves.iter_mut().enumerate() {
+            if self.crash_next_apply_on_slave == Some(i) {
+                self.crash_next_apply_on_slave = None;
+                // Roll back slaves 0..i that already applied.
+                // (Reload-class knobs are simply re-set; the rollback apply
+                // uses the same mode.)
+                return Err(ApplyError::SlaveCrashed { slave: i });
+            }
+            let _ = slave.apply_config(changes, mode);
+        }
+        // Phase 2: master.
+        if self.crash_next_apply_on_master {
+            self.crash_next_apply_on_master = false;
+            return Err(ApplyError::MasterCrashed);
+        }
+        Ok(self.master.apply_config(changes, mode))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: f64 = 1024.0 * 1024.0;
+
+    fn rs(n_slaves: usize) -> ReplicaSet {
+        let catalog = Catalog::synthetic(4, 500_000_000, 150, 1);
+        ReplicaSet::new(DbFlavor::Postgres, InstanceType::M4Large, DiskKind::Ssd, catalog, n_slaves, 1)
+    }
+
+    fn work_mem_change(rs: &ReplicaSet, mb: f64) -> ConfigChange {
+        let id = rs.master().profile().lookup("work_mem").unwrap();
+        ConfigChange { knob: id, value: mb * MIB }
+    }
+
+    #[test]
+    fn successful_apply_reaches_all_nodes() {
+        let mut r = rs(2);
+        let ch = work_mem_change(&r, 64.0);
+        let report = r.apply(&[ch], ApplyMode::Reload).unwrap();
+        assert_eq!(report.applied.len(), 1);
+        assert_eq!(r.master().knobs().get(ch.knob), 64.0 * MIB);
+        for s in r.slaves() {
+            assert_eq!(s.knobs().get(ch.knob), 64.0 * MIB);
+        }
+    }
+
+    #[test]
+    fn slave_crash_rejects_and_protects_master() {
+        let mut r = rs(2);
+        let ch = work_mem_change(&r, 128.0);
+        let before = r.master().knobs().get(ch.knob);
+        r.inject_slave_crash(0);
+        let err = r.apply(&[ch], ApplyMode::Reload).unwrap_err();
+        assert_eq!(err, ApplyError::SlaveCrashed { slave: 0 });
+        assert_eq!(r.master().knobs().get(ch.knob), before, "master must be untouched");
+    }
+
+    #[test]
+    fn master_crash_is_reported_for_reconciliation() {
+        let mut r = rs(1);
+        let ch = work_mem_change(&r, 32.0);
+        r.inject_master_crash();
+        let err = r.apply(&[ch], ApplyMode::Reload).unwrap_err();
+        assert_eq!(err, ApplyError::MasterCrashed);
+        // Slaves *did* apply — the drift the reconciler must fix.
+        assert_eq!(r.slaves()[0].knobs().get(ch.knob), 32.0 * MIB);
+    }
+
+    #[test]
+    fn crash_injection_is_one_shot() {
+        let mut r = rs(1);
+        let ch = work_mem_change(&r, 16.0);
+        r.inject_slave_crash(0);
+        assert!(r.apply(&[ch], ApplyMode::Reload).is_err());
+        assert!(r.apply(&[ch], ApplyMode::Reload).is_ok());
+    }
+
+    #[test]
+    fn zero_slave_sets_apply_directly() {
+        let mut r = rs(0);
+        let ch = work_mem_change(&r, 8.0);
+        assert!(r.apply(&[ch], ApplyMode::Reload).is_ok());
+    }
+
+    fn write_heavily(r: &mut ReplicaSet, secs: u64) {
+        use autodbaas_simdb::{QueryKind, QueryProfile};
+        let mut q = QueryProfile::new(QueryKind::Insert, 0);
+        q.rows_written = 50;
+        for _ in 0..secs {
+            let _ = r.master_mut().submit(&q, 500);
+            r.tick(1_000);
+        }
+    }
+
+    #[test]
+    fn replication_lag_builds_under_write_load_and_drains() {
+        let mut r = rs(1);
+        write_heavily(&mut r, 10);
+        // 500 q/s × 50 rows × 150 B × 1.5 ≈ 5.6 MB/s of WAL vs 64 MB/s
+        // replay: the slave keeps up in steady state.
+        assert!(r.max_replication_lag() < 10 * 1024 * 1024);
+        // Pause the slave (restart) and lag accumulates.
+        r.slots[0].pause(5_000);
+        write_heavily(&mut r, 5);
+        let lagged = r.max_replication_lag();
+        assert!(lagged > 0, "paused slave must fall behind");
+        // Quiet ticks drain it.
+        for _ in 0..30 {
+            r.tick(1_000);
+        }
+        assert!(r.max_replication_lag() < lagged);
+    }
+
+    #[test]
+    fn lag_guard_refuses_apply_on_lagging_replica() {
+        let mut r = rs(1);
+        r.slots[0].pause(60_000);
+        write_heavily(&mut r, 10);
+        let ch = work_mem_change(&r, 8.0);
+        let err = r.apply_with_lag_guard(&[ch], ApplyMode::Reload, 1024).unwrap_err();
+        assert!(matches!(err, ApplyError::ReplicaLagging { slave: 0, .. }));
+        // With a generous guard the same apply goes through.
+        assert!(r.apply_with_lag_guard(&[ch], ApplyMode::Reload, u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn restart_class_apply_pauses_replay() {
+        let mut r = rs(1);
+        write_heavily(&mut r, 5);
+        let ch = work_mem_change(&r, 8.0);
+        r.apply_with_lag_guard(&[ch], ApplyMode::Restart, u64::MAX).unwrap();
+        assert!(r.slots()[0].is_paused());
+    }
+}

@@ -1,0 +1,207 @@
+//! Config director (§2).
+//!
+//! "The config director receives the metric data … from service instances
+//! and triggers recommendation requests to tuner instances. The config
+//! director performs load balancing of recommendation request tasks across
+//! multiple tuner instances," and stores every accepted recommendation in
+//! the config data repository.
+//!
+//! The director does not run ML itself; it *assigns* requests to tuner
+//! instances, each of which is busy for the duration of its (modelled or
+//! real) training time. The per-minute request log is the measurement
+//! behind Fig. 9.
+
+use crate::orchestrator::ServiceId;
+use autodbaas_telemetry::{SimTime, MILLIS_PER_MIN};
+use std::collections::HashMap;
+
+/// Which tuner style an instance runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunerKind {
+    /// OtterTune-style BO (slow recommendations, experience transfer).
+    Bo,
+    /// CDBTune-style RL (fast recommendations, trial-and-error).
+    Rl,
+}
+
+/// One tuner deployment tracked by the director.
+#[derive(Debug, Clone, Copy)]
+pub struct TunerSlot {
+    /// Stable index.
+    pub id: usize,
+    /// Tuner style.
+    pub kind: TunerKind,
+    /// Busy until this sim time (work is serialised per instance).
+    pub busy_until: SimTime,
+    /// Requests served so far.
+    pub requests_served: u64,
+}
+
+/// A request assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// Chosen tuner instance.
+    pub tuner: usize,
+    /// When the recommendation will be ready.
+    pub ready_at: SimTime,
+}
+
+/// The config director.
+#[derive(Debug)]
+pub struct ConfigDirector {
+    tuners: Vec<TunerSlot>,
+    request_log: Vec<SimTime>,
+    config_repo: HashMap<ServiceId, Vec<(SimTime, Vec<f64>)>>,
+}
+
+impl ConfigDirector {
+    /// Director over the given tuner fleet (the paper runs 12 instances
+    /// behind 5 directors; one director object per director VM).
+    pub fn new(kinds: &[TunerKind]) -> Self {
+        assert!(!kinds.is_empty(), "a director needs at least one tuner");
+        let tuners = kinds
+            .iter()
+            .enumerate()
+            .map(|(id, &kind)| TunerSlot { id, kind, busy_until: 0, requests_served: 0 })
+            .collect();
+        Self { tuners, request_log: Vec::new(), config_repo: HashMap::new() }
+    }
+
+    /// Tuner fleet view.
+    pub fn tuners(&self) -> &[TunerSlot] {
+        &self.tuners
+    }
+
+    /// Assign a tuning request to the least-busy tuner. `service_time_ms`
+    /// is how long this recommendation will occupy the instance (the BO
+    /// training-cost model, or ~nothing for RL).
+    pub fn submit_request(
+        &mut self,
+        _service: ServiceId,
+        now: SimTime,
+        service_time_ms: f64,
+    ) -> Assignment {
+        self.request_log.push(now);
+        let slot = self
+            .tuners
+            .iter_mut()
+            .min_by_key(|t| t.busy_until)
+            .expect("nonempty fleet");
+        let start = slot.busy_until.max(now);
+        let ready_at = start + service_time_ms.max(0.0) as u64;
+        slot.busy_until = ready_at;
+        slot.requests_served += 1;
+        Assignment { tuner: slot.id, ready_at }
+    }
+
+    /// Store an accepted recommendation in the config data repository.
+    pub fn record_recommendation(&mut self, service: ServiceId, now: SimTime, unit_config: Vec<f64>) {
+        self.config_repo.entry(service).or_default().push((now, unit_config));
+    }
+
+    /// Recommendation history for a service (used by the §4 maintenance
+    /// logic: "99th percentile of this knob obtained during all last
+    /// recommendations").
+    pub fn recommendation_history(&self, service: ServiceId) -> &[(SimTime, Vec<f64>)] {
+        self.config_repo.get(&service).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total tuning requests received.
+    pub fn total_requests(&self) -> usize {
+        self.request_log.len()
+    }
+
+    /// Requests in `[since, until)`.
+    pub fn requests_in_window(&self, since: SimTime, until: SimTime) -> usize {
+        self.request_log.iter().filter(|&&t| t >= since && t < until).count()
+    }
+
+    /// Requests-per-minute series over `[t0, t1)` — the Fig. 9 curve.
+    pub fn requests_per_minute(&self, t0: SimTime, t1: SimTime) -> Vec<f64> {
+        assert!(t1 > t0);
+        let minutes = ((t1 - t0) / MILLIS_PER_MIN).max(1) as usize;
+        let mut out = vec![0.0; minutes];
+        for &t in &self.request_log {
+            if t >= t0 && t < t1 {
+                let idx = ((t - t0) / MILLIS_PER_MIN) as usize;
+                out[idx.min(minutes - 1)] += 1.0;
+            }
+        }
+        out
+    }
+
+    /// Mean queueing delay a request submitted now would face — a direct
+    /// scalability indicator: it explodes when request rate × service time
+    /// exceeds fleet capacity.
+    pub fn backlog_ms(&self, now: SimTime) -> f64 {
+        let total: u64 =
+            self.tuners.iter().map(|t| t.busy_until.saturating_sub(now)).sum();
+        total as f64 / self.tuners.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc(n: u64) -> ServiceId {
+        ServiceId(n)
+    }
+
+    #[test]
+    fn least_busy_tuner_wins() {
+        let mut d = ConfigDirector::new(&[TunerKind::Bo, TunerKind::Bo]);
+        let a = d.submit_request(svc(0), 0, 10_000.0);
+        let b = d.submit_request(svc(1), 0, 10_000.0);
+        assert_ne!(a.tuner, b.tuner, "second request must go to the idle tuner");
+        // Third request queues behind whichever frees first.
+        let c = d.submit_request(svc(2), 0, 10_000.0);
+        assert_eq!(c.ready_at, 20_000);
+    }
+
+    #[test]
+    fn rl_style_zero_service_time_is_instant() {
+        let mut d = ConfigDirector::new(&[TunerKind::Rl]);
+        let a = d.submit_request(svc(0), 5_000, 0.0);
+        assert_eq!(a.ready_at, 5_000);
+    }
+
+    #[test]
+    fn backlog_grows_when_fleet_is_saturated() {
+        let mut d = ConfigDirector::new(&[TunerKind::Bo]);
+        assert_eq!(d.backlog_ms(0), 0.0);
+        for _ in 0..10 {
+            d.submit_request(svc(0), 0, 100_000.0);
+        }
+        assert!(d.backlog_ms(0) >= 900_000.0);
+    }
+
+    #[test]
+    fn requests_per_minute_buckets() {
+        let mut d = ConfigDirector::new(&[TunerKind::Bo]);
+        d.submit_request(svc(0), 10_000, 0.0); // minute 0
+        d.submit_request(svc(0), 30_000, 0.0); // minute 0
+        d.submit_request(svc(0), 70_000, 0.0); // minute 1
+        let series = d.requests_per_minute(0, 3 * MILLIS_PER_MIN);
+        assert_eq!(series, vec![2.0, 1.0, 0.0]);
+        assert_eq!(d.total_requests(), 3);
+        assert_eq!(d.requests_in_window(0, 60_000), 2);
+    }
+
+    #[test]
+    fn recommendation_repository_accumulates_history() {
+        let mut d = ConfigDirector::new(&[TunerKind::Bo]);
+        assert!(d.recommendation_history(svc(7)).is_empty());
+        d.record_recommendation(svc(7), 100, vec![0.1, 0.2]);
+        d.record_recommendation(svc(7), 200, vec![0.3, 0.4]);
+        let h = d.recommendation_history(svc(7));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h[1].1, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_fleet_is_rejected() {
+        let _ = ConfigDirector::new(&[]);
+    }
+}

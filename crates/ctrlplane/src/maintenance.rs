@@ -1,0 +1,160 @@
+//! Maintenance windows and non-tunable knobs (§4, "Applying Non-tunable
+//! Knobs").
+//!
+//! Restart-bound knobs — canonically the buffer pool — only change during
+//! scheduled downtime. The §4 decision rule at each window:
+//!
+//! * if the gauged working set fits under the buffer's upper limit, size
+//!   the buffer to the working set (\[5\]);
+//! * if it doesn't fit, take the 99th percentile of the buffer values
+//!   recommended since the last window: when that is *below* the current
+//!   value **and** at least one entropy hit occurred (other memory knobs
+//!   are starved), shrink the buffer to make room; otherwise grow it toward
+//!   the recommendation average, capped by the upper limit.
+
+use autodbaas_telemetry::stats::{mean, percentile};
+use autodbaas_telemetry::SimTime;
+
+/// A recurring scheduled-downtime window.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintenanceSchedule {
+    /// Window period (e.g. weekly).
+    pub every_ms: u64,
+    /// Window length.
+    pub duration_ms: u64,
+    /// Offset of the first window.
+    pub first_at: u64,
+}
+
+impl MaintenanceSchedule {
+    /// Is `now` inside a scheduled window?
+    pub fn in_window(&self, now: SimTime) -> bool {
+        if now < self.first_at {
+            return false;
+        }
+        let since = (now - self.first_at) % self.every_ms;
+        since < self.duration_ms
+    }
+
+    /// Start time of the next window at or after `now`.
+    pub fn next_window(&self, now: SimTime) -> SimTime {
+        if now <= self.first_at {
+            return self.first_at;
+        }
+        let since = (now - self.first_at) % self.every_ms;
+        if since < self.duration_ms {
+            now
+        } else {
+            now + (self.every_ms - since)
+        }
+    }
+}
+
+/// The §4 buffer-knob decision. Returns the new value, or `None` to keep
+/// the current one.
+///
+/// * `current` — live buffer value;
+/// * `working_set` — gauged working-set bytes;
+/// * `upper_limit` — hard cap on the buffer out of the memory pool;
+/// * `recommended_history` — buffer values from recommendations since the
+///   last window;
+/// * `entropy_hits` — count of entropy evaluations that found other memory
+///   knobs starved.
+pub fn plan_buffer_update(
+    current: f64,
+    working_set: f64,
+    upper_limit: f64,
+    recommended_history: &[f64],
+    entropy_hits: u32,
+) -> Option<f64> {
+    assert!(upper_limit > 0.0);
+    if working_set <= upper_limit {
+        // The working set fits: size the buffer to it.
+        let target = working_set.max(upper_limit * 0.05);
+        return if (target - current).abs() / current.max(1.0) > 0.01 {
+            Some(target)
+        } else {
+            None
+        };
+    }
+    // Working set exceeds what we could ever cache.
+    if recommended_history.is_empty() {
+        return Some(upper_limit);
+    }
+    let p99 = percentile(recommended_history, 99.0);
+    if p99 < current && entropy_hits >= 1 {
+        // Tunable knobs raised throttles: shrink the buffer to make room.
+        // (Still capped: history recorded against a different limit may
+        // exceed the current one.)
+        Some(p99.min(upper_limit))
+    } else {
+        // Grow toward the recommendation average, capped.
+        let target = mean(recommended_history).min(upper_limit);
+        if target > current {
+            Some(target)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    #[test]
+    fn schedule_membership_and_next_window() {
+        let s = MaintenanceSchedule { every_ms: 100, duration_ms: 10, first_at: 50 };
+        assert!(!s.in_window(0));
+        assert!(s.in_window(50));
+        assert!(s.in_window(59));
+        assert!(!s.in_window(60));
+        assert!(s.in_window(150));
+        assert_eq!(s.next_window(0), 50);
+        assert_eq!(s.next_window(55), 55, "inside a window, now is the window");
+        assert_eq!(s.next_window(70), 150);
+    }
+
+    #[test]
+    fn fitting_working_set_sizes_buffer_to_it() {
+        let new = plan_buffer_update(1.0 * GIB, 3.0 * GIB, 8.0 * GIB, &[], 0);
+        assert_eq!(new, Some(3.0 * GIB));
+    }
+
+    #[test]
+    fn unchanged_working_set_keeps_value() {
+        assert_eq!(plan_buffer_update(3.0 * GIB, 3.0 * GIB, 8.0 * GIB, &[], 0), None);
+    }
+
+    #[test]
+    fn oversized_working_set_with_entropy_hits_shrinks_to_p99() {
+        // Recommendations kept asking for a smaller buffer (to make room
+        // for work_mem), and entropy hits confirm starvation.
+        let history = [2.0 * GIB, 2.2 * GIB, 2.4 * GIB];
+        let new = plan_buffer_update(4.0 * GIB, 50.0 * GIB, 6.0 * GIB, &history, 2).unwrap();
+        assert!(new < 4.0 * GIB);
+        assert!(new <= 2.4 * GIB + 1.0);
+    }
+
+    #[test]
+    fn oversized_working_set_without_entropy_hits_grows_toward_average() {
+        let history = [5.0 * GIB, 5.5 * GIB];
+        let new = plan_buffer_update(4.0 * GIB, 50.0 * GIB, 6.0 * GIB, &history, 0).unwrap();
+        assert!((new - 5.25 * GIB).abs() < 1.0);
+    }
+
+    #[test]
+    fn growth_is_capped_at_upper_limit() {
+        let history = [20.0 * GIB];
+        let new = plan_buffer_update(4.0 * GIB, 50.0 * GIB, 6.0 * GIB, &history, 0).unwrap();
+        assert_eq!(new, 6.0 * GIB);
+    }
+
+    #[test]
+    fn no_history_pins_to_upper_limit() {
+        let new = plan_buffer_update(4.0 * GIB, 50.0 * GIB, 6.0 * GIB, &[], 0);
+        assert_eq!(new, Some(6.0 * GIB));
+    }
+}

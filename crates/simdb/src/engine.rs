@@ -1,0 +1,754 @@
+//! `SimDatabase`: one simulated database-service instance.
+//!
+//! This is the object everything upstream talks to: workload generators
+//! submit queries, the TDE reads plans / metrics / disk series / the
+//! working-set gauge, and the control plane applies configuration changes
+//! with the §4 semantics (reload signal, socket activation, restart;
+//! restart-bound knobs staged until a restart-class apply).
+
+use crate::bgwriter::BgWriter;
+use crate::bufferpool::{BufferPool, DEFAULT_CHUNK_BYTES};
+use crate::catalog::Catalog;
+use crate::disk::DiskSet;
+use crate::executor::{ExecOutcome, Executor, WorkerPool};
+use crate::instance::{enforce_memory_cap, DiskKind, InstanceType};
+use crate::knobs::{DbFlavor, KnobId, KnobProfile, KnobSet};
+use crate::metrics::{MetricId, Metrics, MetricsSnapshot};
+use crate::planner::{Plan, Planner};
+use crate::query::QueryProfile;
+use autodbaas_telemetry::{SimTime, TimeSeries, MILLIS_PER_SEC};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// One knob change proposed by a tuner or operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigChange {
+    /// Which knob.
+    pub knob: KnobId,
+    /// New value (clamped to the spec and the instance memory cap).
+    pub value: f64,
+}
+
+/// How a configuration is pushed onto the running process (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyMode {
+    /// SIGHUP-style reload: reloadable knobs change live with minimal
+    /// jitter; restart-bound knobs are *staged*.
+    Reload,
+    /// systemd socket activation: the process restarts while the socket
+    /// buffers requests — no hard downtime but heavy jitter and a backlog
+    /// burst (§4 observes "a lot of jitter and performance degradation").
+    SocketActivation,
+    /// Full restart: hard downtime, cold cache; applies staged knobs.
+    Restart,
+}
+
+/// Outcome of an apply.
+#[derive(Debug, Clone)]
+pub struct ApplyReport {
+    /// Knobs changed live.
+    pub applied: Vec<KnobId>,
+    /// Restart-bound knobs staged for the next restart-class apply.
+    pub deferred: Vec<KnobId>,
+    /// Hard downtime incurred, ms.
+    pub downtime_ms: u64,
+    /// True if the instance memory cap forced values down.
+    pub capped_by_instance: bool,
+}
+
+/// Result of submitting queries.
+#[derive(Debug, Clone, Copy)]
+pub enum SubmitResult {
+    /// Executed (possibly partially — see [`ExecOutcome`] and the
+    /// `queries_dropped` metric); outcome of a single instance of the batch.
+    Done(ExecOutcome),
+    /// Buffered by the listening socket during a socket-activation restart.
+    Queued,
+    /// Dropped: the database is down (restart window).
+    Refused,
+    /// Dropped: the instance is saturated this tick (capacity model).
+    Saturated {
+        /// Queries shed.
+        dropped: u64,
+    },
+}
+
+/// How long a reload perturbs performance, and by how much.
+const RELOAD_JITTER_MS: u64 = 2_000;
+const RELOAD_JITTER_FACTOR: f64 = 1.03;
+/// Socket-activation stall and post-stall jitter.
+const SOCKET_STALL_MS: u64 = 4_000;
+const SOCKET_JITTER_MS: u64 = 12_000;
+const SOCKET_JITTER_FACTOR: f64 = 1.9;
+/// Hard restart downtime.
+const RESTART_DOWNTIME_MS: u64 = 8_000;
+
+/// A recently executed query with its observed spill flag: the TDE's
+/// streaming-log window.
+#[derive(Debug, Clone)]
+pub struct LoggedQuery {
+    /// The query as executed.
+    pub query: QueryProfile,
+    /// When it ran.
+    pub at: SimTime,
+    /// Whether execution spilled to disk.
+    pub spilled: bool,
+}
+
+const QUERY_LOG_CAP: usize = 2_048;
+
+/// One simulated database-service instance.
+///
+/// # Examples
+///
+/// ```
+/// use autodbaas_simdb::{
+///     ApplyMode, Catalog, ConfigChange, DbFlavor, DiskKind, InstanceType,
+///     QueryKind, QueryProfile, SimDatabase, SubmitResult,
+/// };
+///
+/// let catalog = Catalog::synthetic(4, 100_000_000, 150, 1);
+/// let mut db = SimDatabase::new(
+///     DbFlavor::Postgres, InstanceType::M4Large, DiskKind::Ssd, catalog, 42,
+/// );
+/// // Serve a query and advance time.
+/// let q = QueryProfile::new(QueryKind::PointSelect, 0);
+/// assert!(matches!(db.submit(&q, 10), SubmitResult::Done(_)));
+/// db.tick(1_000);
+/// // Reload a knob live; restart-bound knobs would be staged instead.
+/// let wm = db.profile().lookup("work_mem").unwrap();
+/// let report = db.apply_config(&[ConfigChange { knob: wm, value: 64e6 }], ApplyMode::Reload);
+/// assert_eq!(report.downtime_ms, 0);
+/// ```
+#[derive(Debug)]
+pub struct SimDatabase {
+    flavor: DbFlavor,
+    instance: InstanceType,
+    profile: KnobProfile,
+    knobs: KnobSet,
+    planner: Planner,
+    catalog: Catalog,
+    pool: BufferPool,
+    bg: BgWriter,
+    disk: DiskSet,
+    metrics: Metrics,
+    workers: WorkerPool,
+    exec: Executor,
+    rng: StdRng,
+    now: SimTime,
+    // Apply-disruption state.
+    jitter_until: SimTime,
+    jitter_factor: f64,
+    stall_until: SimTime,
+    down_until: SimTime,
+    backlog: Vec<(QueryProfile, u64)>,
+    staged: Vec<ConfigChange>,
+    // Capacity model: work-milliseconds available per tick. When the
+    // submitted load's total service time exceeds it, the excess is dropped
+    // — that is how a badly tuned configuration (spills, wrong plans)
+    // translates into *lower completed throughput*, the effect Figs. 12/13
+    // measure.
+    tick_busy_ms: f64,
+    tick_capacity_ms: f64,
+    // Observability.
+    query_log: VecDeque<LoggedQuery>,
+    throughput_series: TimeSeries,
+    completed_this_window: u64,
+    window_started: SimTime,
+    active_connections: u32,
+}
+
+/// Concurrent backends per vCPU the capacity model assumes.
+const CAPACITY_CONCURRENCY: f64 = 3.0;
+
+impl SimDatabase {
+    /// Build an instance of `flavor` on `instance` hardware serving
+    /// `catalog`, deterministic under `seed`.
+    pub fn new(
+        flavor: DbFlavor,
+        instance: InstanceType,
+        disk_kind: DiskKind,
+        catalog: Catalog,
+        seed: u64,
+    ) -> Self {
+        let profile = KnobProfile::for_flavor(flavor);
+        let mut knobs = profile.defaults();
+        enforce_memory_cap(&profile, &mut knobs, instance);
+        let planner = Planner::new(profile.clone());
+        let pool_bytes = knobs.get(planner.roles().buffer_pool) as u64;
+        let pool = BufferPool::new(pool_bytes, DEFAULT_CHUNK_BYTES);
+        let exec = Executor::new(&catalog, DEFAULT_CHUNK_BYTES);
+        let mut metrics = Metrics::new();
+        metrics.set(MetricId::DbSizeBytes, catalog.total_bytes() as f64);
+        Self {
+            flavor,
+            instance,
+            profile,
+            knobs,
+            planner,
+            catalog,
+            pool,
+            bg: BgWriter::new(flavor, 60_000),
+            disk: DiskSet::shared(disk_kind),
+            metrics,
+            workers: WorkerPool::new(instance.vcpus() * 2),
+            exec,
+            rng: StdRng::seed_from_u64(seed),
+            now: 0,
+            jitter_until: 0,
+            jitter_factor: 1.0,
+            stall_until: 0,
+            down_until: 0,
+            backlog: Vec::new(),
+            staged: Vec::new(),
+            tick_busy_ms: 0.0,
+            tick_capacity_ms: instance.vcpus() as f64 * 1_000.0 * CAPACITY_CONCURRENCY,
+            query_log: VecDeque::with_capacity(QUERY_LOG_CAP),
+            throughput_series: TimeSeries::with_capacity(16 * 1024),
+            completed_this_window: 0,
+            window_started: 0,
+            active_connections: 16,
+        }
+    }
+
+    /// Switch to the split WAL/stats disk layout (§3.2's attribution
+    /// workaround). Loses no data; takes effect immediately.
+    pub fn use_split_disks(&mut self) {
+        self.disk = DiskSet::split(self.disk.data().kind());
+    }
+
+    /// Flavor of this instance.
+    pub fn flavor(&self) -> DbFlavor {
+        self.flavor
+    }
+
+    /// VM plan.
+    pub fn instance(&self) -> InstanceType {
+        self.instance
+    }
+
+    /// Knob profile.
+    pub fn profile(&self) -> &KnobProfile {
+        &self.profile
+    }
+
+    /// Current configuration.
+    pub fn knobs(&self) -> &KnobSet {
+        &self.knobs
+    }
+
+    /// The planner (the TDE evaluates template plans through this).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Catalog served.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Live metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Snapshot the metric vector.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Disk set (latency / IOPS series for the monitoring agent).
+    pub fn disks(&self) -> &DiskSet {
+        &self.disk
+    }
+
+    /// Background-process bundle (checkpoint counters for the detector).
+    pub fn bg(&self) -> &BgWriter {
+        &self.bg
+    }
+
+    /// Mutable background-process access (vacuum-cadence control).
+    pub fn bg_mut(&mut self) -> &mut BgWriter {
+        &mut self.bg
+    }
+
+    /// Current sim time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Recent query log (streaming-log stand-in for the TDE).
+    pub fn query_log(&self) -> impl Iterator<Item = &LoggedQuery> {
+        self.query_log.iter()
+    }
+
+    /// Throughput series: completed queries per second, sampled per tick.
+    pub fn throughput_series(&self) -> &TimeSeries {
+        &self.throughput_series
+    }
+
+    /// Working-set gauge (delegates to the buffer pool's epoch counter).
+    pub fn working_set_bytes(&mut self, reset: bool) -> u64 {
+        self.pool.working_set_bytes(reset)
+    }
+
+    /// Active connection count (drives per-connection memory budgeting).
+    pub fn set_active_connections(&mut self, n: u32) {
+        self.active_connections = n.max(1);
+    }
+
+    /// Current active-connection count.
+    pub fn active_connections(&self) -> u32 {
+        self.active_connections
+    }
+
+    /// True while the instance is hard-down.
+    pub fn is_down(&self) -> bool {
+        self.now < self.down_until
+    }
+
+    /// Plan a query under the current configuration without executing it —
+    /// the `EXPLAIN` path the TDE's template evaluation uses.
+    pub fn plan(&self, q: &QueryProfile) -> Plan {
+        self.planner.plan(q, &self.knobs, &self.catalog)
+    }
+
+    /// Submit `count` identical queries.
+    pub fn submit(&mut self, q: &QueryProfile, count: u64) -> SubmitResult {
+        if self.now < self.down_until {
+            return SubmitResult::Refused;
+        }
+        if self.now < self.stall_until {
+            // Socket holds the connection; request executes after restart.
+            if self.backlog.len() < 4_096 {
+                self.backlog.push((q.clone(), count));
+            }
+            return SubmitResult::Queued;
+        }
+        match self.run_now(q, count) {
+            Some(outcome) => SubmitResult::Done(outcome),
+            None => SubmitResult::Saturated { dropped: count },
+        }
+    }
+
+    /// Latency multiplier from memory oversubscription: a configuration
+    /// whose §4 budget `A+B+C+D` exceeds the instance cap pushes the OS
+    /// into swap — §3.1's reason that "increasing working memory
+    /// continuously" forces "decreasing other knobs (to make room)". The
+    /// control plane does *not* silently rescale a tuner's recommendation;
+    /// a bad recommendation is allowed to hurt, which is what the tuners
+    /// must learn (and what corrupted tuners get wrong).
+    pub fn swap_factor(&self) -> f64 {
+        let budget = self.knobs.memory_budget_used(&self.profile);
+        let cap = self.instance.db_mem_cap();
+        if budget <= cap {
+            1.0
+        } else {
+            (1.0 + 4.0 * (budget / cap - 1.0)).min(12.0)
+        }
+    }
+
+    fn run_now(&mut self, q: &QueryProfile, count: u64) -> Option<ExecOutcome> {
+        let plan = self.planner.plan(q, &self.knobs, &self.catalog);
+
+        // Capacity admission: estimate per-query service time from the
+        // plan and the pool's running hit ratio, shed what doesn't fit.
+        let swap = self.swap_factor();
+        let est_latency_ms = (crate::executor::BASE_QUERY_OVERHEAD_MS
+            + (self.planner.true_cost(q, &plan, self.pool.hit_ratio(), &self.catalog) * 0.02)
+                .max(0.0))
+            * swap;
+        let remaining = (self.tick_capacity_ms - self.tick_busy_ms).max(0.0);
+        // Work-conserving: while any budget remains, at least one instance
+        // runs (a long analytic query overdraws the tick, like a backend
+        // spanning scheduler quanta).
+        let affordable =
+            if remaining <= 0.0 { 0 } else { ((remaining / est_latency_ms) as u64).max(1) };
+        let exec_count = count.min(affordable);
+        let dropped = count - exec_count;
+        if dropped > 0 {
+            self.metrics.inc(MetricId::QueriesDropped, dropped as f64);
+        }
+        if exec_count == 0 {
+            return None;
+        }
+
+        let mut outcome = self.exec.execute(
+            q,
+            &plan,
+            exec_count,
+            &self.planner,
+            &self.catalog,
+            &mut self.pool,
+            &mut self.disk,
+            &mut self.workers,
+            &mut self.metrics,
+            &mut self.rng,
+        );
+        outcome.latency_ms *= swap;
+        if self.now < self.jitter_until {
+            outcome.latency_ms *= self.jitter_factor;
+        }
+        self.tick_busy_ms += outcome.latency_ms * exec_count as f64;
+        // Feed background-process inputs.
+        if q.rows_written > 0 {
+            let row_bytes = self.catalog.table(q.table).row_bytes as u64;
+            let bytes = (q.rows_written * row_bytes * exec_count) as f64;
+            self.bg.note_wal(bytes * 1.5);
+            if matches!(q.kind, crate::query::QueryKind::Update | crate::query::QueryKind::Delete) {
+                self.bg.note_dead_tuples(bytes);
+            }
+        }
+        if self.query_log.len() == QUERY_LOG_CAP {
+            self.query_log.pop_front();
+        }
+        self.query_log.push_back(LoggedQuery {
+            query: q.clone(),
+            at: self.now,
+            spilled: outcome.spilled.is_some(),
+        });
+        self.completed_this_window += exec_count;
+        Some(outcome)
+    }
+
+    /// Advance the instance by `dt_ms`: background processes run, the disk
+    /// settles, gauges update, the per-tick worker pool resets, and any
+    /// socket-activation backlog drains.
+    pub fn tick(&mut self, dt_ms: u64) {
+        self.now += dt_ms;
+        self.workers.begin_tick();
+        self.tick_busy_ms = 0.0;
+        self.tick_capacity_ms =
+            self.instance.vcpus() as f64 * dt_ms as f64 * CAPACITY_CONCURRENCY;
+        if self.now >= self.down_until {
+            self.bg.tick(
+                self.now,
+                dt_ms,
+                &self.knobs,
+                self.planner.roles(),
+                &mut self.pool,
+                &mut self.disk,
+                &mut self.metrics,
+            );
+            // Drain socket backlog once the stall clears — the burst the
+            // paper observes after socket-activation restarts.
+            if self.now >= self.stall_until && !self.backlog.is_empty() {
+                let backlog = std::mem::take(&mut self.backlog);
+                for (q, count) in backlog {
+                    let _ = self.run_now(&q, count);
+                }
+            }
+        }
+        self.disk.tick(self.now, dt_ms);
+
+        // Gauges.
+        self.metrics.set(MetricId::DiskWriteLatencyMs, self.disk.data().current_latency_ms());
+        self.metrics.set(MetricId::DiskIops, self.disk.data().current_iops());
+        self.metrics.set(MetricId::ActiveConnections, self.active_connections as f64);
+        self.metrics.set(MetricId::DbSizeBytes, self.catalog.total_bytes() as f64);
+
+        // Throughput sample (queries/second over the closed window).
+        let window_ms = self.now - self.window_started;
+        if window_ms >= MILLIS_PER_SEC {
+            let qps = self.completed_this_window as f64 * 1000.0 / window_ms as f64;
+            self.throughput_series.push(self.now, qps);
+            self.completed_this_window = 0;
+            self.window_started = self.now;
+        }
+    }
+
+    /// Apply a configuration with §4 semantics.
+    pub fn apply_config(&mut self, changes: &[ConfigChange], mode: ApplyMode) -> ApplyReport {
+        let mut applied = Vec::new();
+        let mut deferred = Vec::new();
+        let restart_class = matches!(mode, ApplyMode::Restart | ApplyMode::SocketActivation);
+
+        // A restart-class apply also lands previously staged knobs.
+        let staged = if restart_class { std::mem::take(&mut self.staged) } else { Vec::new() };
+        for ch in staged.iter().chain(changes) {
+            let spec = self.profile.spec(ch.knob);
+            if spec.restart_required && !restart_class {
+                // Keep only the latest staged value per knob.
+                self.staged.retain(|s| s.knob != ch.knob);
+                self.staged.push(*ch);
+                deferred.push(ch.knob);
+                continue;
+            }
+            self.knobs.set(&self.profile, ch.knob, ch.value);
+            applied.push(ch.knob);
+        }
+        // The recommendation lands as-is; oversubscription shows up as a
+        // swap penalty (see `swap_factor`), not a silent rescale.
+        let capped = self.knobs.memory_budget_used(&self.profile) > self.instance.db_mem_cap();
+
+        // Structural effects of restart-bound knobs.
+        if restart_class {
+            let pool_bytes = self.knobs.get(self.planner.roles().buffer_pool) as u64;
+            self.pool.resize(pool_bytes);
+            self.workers.resize(self.instance.vcpus() * 2);
+        }
+
+        let downtime_ms = match mode {
+            ApplyMode::Reload => {
+                self.jitter_until = self.now + RELOAD_JITTER_MS;
+                self.jitter_factor = RELOAD_JITTER_FACTOR;
+                0
+            }
+            ApplyMode::SocketActivation => {
+                self.stall_until = self.now + SOCKET_STALL_MS;
+                self.jitter_until = self.now + SOCKET_STALL_MS + SOCKET_JITTER_MS;
+                self.jitter_factor = SOCKET_JITTER_FACTOR;
+                0
+            }
+            ApplyMode::Restart => {
+                self.down_until = self.now + RESTART_DOWNTIME_MS;
+                RESTART_DOWNTIME_MS
+            }
+        };
+        ApplyReport { applied, deferred, downtime_ms, capped_by_instance: capped }
+    }
+
+    /// Knob values currently staged for the next restart.
+    pub fn staged_changes(&self) -> &[ConfigChange] {
+        &self.staged
+    }
+
+    /// Direct knob write for test/bench setup (bypasses apply semantics but
+    /// keeps clamping and the instance cap).
+    pub fn set_knob_direct(&mut self, knob: KnobId, value: f64) {
+        self.knobs.set(&self.profile, knob, value);
+        if self.profile.spec(knob).restart_required {
+            let pool_bytes = self.knobs.get(self.planner.roles().buffer_pool) as u64;
+            self.pool.resize(pool_bytes);
+        }
+    }
+
+    /// Seedable jitter used by harnesses that want per-db phase offsets.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryKind;
+
+    const MIB: f64 = 1024.0 * 1024.0;
+
+    fn db() -> SimDatabase {
+        let catalog = Catalog::synthetic(10, 500_000_000, 120, 2);
+        SimDatabase::new(DbFlavor::Postgres, InstanceType::M4Large, DiskKind::Ssd, catalog, 99)
+    }
+
+    fn point_query() -> QueryProfile {
+        let mut q = QueryProfile::new(QueryKind::PointSelect, 0);
+        q.rows_examined = 10;
+        q
+    }
+
+    #[test]
+    fn submit_and_tick_basic_flow() {
+        let mut d = db();
+        for _ in 0..10 {
+            assert!(matches!(d.submit(&point_query(), 100), SubmitResult::Done(_)));
+            d.tick(1_000);
+        }
+        assert!(d.metrics().get(MetricId::QueriesExecuted) >= 1_000.0);
+        assert!(d.throughput_series().len() >= 9);
+    }
+
+    #[test]
+    fn reload_applies_reloadable_and_stages_restart_knobs() {
+        let mut d = db();
+        let p = d.profile().clone();
+        let work_mem = p.lookup("work_mem").unwrap();
+        let shared = p.lookup("shared_buffers").unwrap();
+        let report = d.apply_config(
+            &[
+                ConfigChange { knob: work_mem, value: 64.0 * MIB },
+                ConfigChange { knob: shared, value: 512.0 * MIB },
+            ],
+            ApplyMode::Reload,
+        );
+        assert_eq!(report.applied, vec![work_mem]);
+        assert_eq!(report.deferred, vec![shared]);
+        assert_eq!(report.downtime_ms, 0);
+        assert_eq!(d.knobs().get(work_mem), 64.0 * MIB);
+        assert_ne!(d.knobs().get(shared), 512.0 * MIB);
+        assert_eq!(d.staged_changes().len(), 1);
+    }
+
+    #[test]
+    fn restart_lands_staged_knobs_and_costs_downtime() {
+        let mut d = db();
+        let p = d.profile().clone();
+        let shared = p.lookup("shared_buffers").unwrap();
+        d.apply_config(&[ConfigChange { knob: shared, value: 512.0 * MIB }], ApplyMode::Reload);
+        let report = d.apply_config(&[], ApplyMode::Restart);
+        assert!(report.applied.contains(&shared));
+        assert!(report.downtime_ms > 0);
+        assert_eq!(d.knobs().get(shared), 512.0 * MIB);
+        // During downtime, queries are refused.
+        assert!(matches!(d.submit(&point_query(), 1), SubmitResult::Refused));
+        // After downtime passes, service resumes.
+        for _ in 0..20 {
+            d.tick(1_000);
+        }
+        assert!(matches!(d.submit(&point_query(), 1), SubmitResult::Done(_)));
+    }
+
+    #[test]
+    fn socket_activation_queues_then_drains() {
+        let mut d = db();
+        d.apply_config(&[], ApplyMode::SocketActivation);
+        assert!(matches!(d.submit(&point_query(), 50), SubmitResult::Queued));
+        let before = d.metrics().get(MetricId::QueriesExecuted);
+        for _ in 0..10 {
+            d.tick(1_000);
+        }
+        let after = d.metrics().get(MetricId::QueriesExecuted);
+        assert!(after >= before + 50.0, "backlog must drain after the stall");
+    }
+
+    #[test]
+    fn reload_jitter_is_small_and_temporary() {
+        let mut d = db();
+        let q = point_query();
+        // Warm up.
+        for _ in 0..50 {
+            d.submit(&q, 10);
+            d.tick(200);
+        }
+        let base = match d.submit(&q, 10) {
+            SubmitResult::Done(o) => o.latency_ms,
+            _ => panic!(),
+        };
+        d.apply_config(&[], ApplyMode::Reload);
+        let jittered = match d.submit(&q, 10) {
+            SubmitResult::Done(o) => o.latency_ms,
+            _ => panic!(),
+        };
+        assert!(jittered <= base * 1.2, "reload jitter should be minimal");
+    }
+
+    #[test]
+    fn oversubscribed_memory_swaps_instead_of_silently_rescaling() {
+        let catalog = Catalog::synthetic(4, 100_000_000, 120, 1);
+        let mut d =
+            SimDatabase::new(DbFlavor::Postgres, InstanceType::T2Small, DiskKind::Ssd, catalog, 3);
+        let p = d.profile().clone();
+        let work_mem = p.lookup("work_mem").unwrap();
+        assert!((d.swap_factor() - 1.0).abs() < 1e-9, "defaults must not swap");
+
+        // 4 GiB of work_mem on a 2 GiB instance busts the A+B+C+D budget:
+        // the value lands (no silent rescale) and the instance thrashes.
+        let report = d.apply_config(
+            &[ConfigChange { knob: work_mem, value: 4.0 * 1024.0 * MIB }],
+            ApplyMode::Reload,
+        );
+        assert!(report.capped_by_instance, "oversubscription is reported");
+        assert_eq!(d.knobs().get(work_mem), 4.0 * 1024.0 * MIB, "no silent rescale");
+        assert!(d.swap_factor() > 2.0, "swap factor {}", d.swap_factor());
+
+        // And queries genuinely slow down.
+        let fast = {
+            let mut clean = SimDatabase::new(
+                DbFlavor::Postgres,
+                InstanceType::T2Small,
+                DiskKind::Ssd,
+                Catalog::synthetic(4, 100_000_000, 120, 1),
+                3,
+            );
+            match clean.submit(&point_query(), 1) {
+                SubmitResult::Done(o) => o.latency_ms,
+                _ => panic!(),
+            }
+        };
+        let slow = match d.submit(&point_query(), 1) {
+            SubmitResult::Done(o) => o.latency_ms,
+            _ => panic!(),
+        };
+        assert!(slow > fast * 2.0, "swapping must hurt ({slow:.2} vs {fast:.2} ms)");
+    }
+
+    #[test]
+    fn query_log_retains_recent_queries_with_spill_flags() {
+        let mut d = db();
+        let mut q = QueryProfile::new(QueryKind::OrderBy, 0);
+        q.rows_examined = 10_000;
+        q.sort_bytes = 512 * 1024 * 1024;
+        d.submit(&q, 1);
+        let logged: Vec<_> = d.query_log().collect();
+        assert_eq!(logged.len(), 1);
+        assert!(logged[0].spilled, "512 MiB sort must spill at default work_mem");
+    }
+
+    #[test]
+    fn plan_is_side_effect_free() {
+        let d = db();
+        let before = d.metrics_snapshot();
+        let _ = d.plan(&point_query());
+        assert_eq!(d.metrics_snapshot(), before);
+    }
+
+    #[test]
+    fn staged_restart_knob_keeps_latest_value_only() {
+        let mut d = db();
+        let p = d.profile().clone();
+        let shared = p.lookup("shared_buffers").unwrap();
+        d.apply_config(&[ConfigChange { knob: shared, value: 256.0 * MIB }], ApplyMode::Reload);
+        d.apply_config(&[ConfigChange { knob: shared, value: 512.0 * MIB }], ApplyMode::Reload);
+        assert_eq!(d.staged_changes().len(), 1, "re-staging must replace, not append");
+        let report = d.apply_config(&[], ApplyMode::Restart);
+        assert!(report.applied.contains(&shared));
+        assert_eq!(d.knobs().get(shared), 512.0 * MIB, "latest staged value wins");
+    }
+
+    #[test]
+    fn restart_clears_socket_stall_semantics() {
+        // A socket-activation stall followed by a hard restart: the backlog
+        // must not execute while the instance is down, and service resumes
+        // cleanly afterwards.
+        let mut d = db();
+        d.apply_config(&[], ApplyMode::SocketActivation);
+        assert!(matches!(d.submit(&point_query(), 5), SubmitResult::Queued));
+        d.apply_config(&[], ApplyMode::Restart);
+        assert!(matches!(d.submit(&point_query(), 1), SubmitResult::Refused));
+        for _ in 0..30 {
+            d.tick(1_000);
+        }
+        assert!(matches!(d.submit(&point_query(), 1), SubmitResult::Done(_)));
+    }
+
+    #[test]
+    fn throughput_series_tracks_offered_load_changes() {
+        let mut d = db();
+        let q = point_query();
+        for _ in 0..10 {
+            d.submit(&q, 500);
+            d.tick(1_000);
+        }
+        let high = d.throughput_series().mean_since(0);
+        let mark = d.now();
+        for _ in 0..10 {
+            d.submit(&q, 50);
+            d.tick(1_000);
+        }
+        let low = d.throughput_series().mean_since(mark);
+        assert!(high > low * 3.0, "series must reflect the load drop ({high:.0} vs {low:.0})");
+    }
+
+    #[test]
+    fn split_disk_mode_reroutes_wal() {
+        let mut d = db();
+        d.use_split_disks();
+        let mut q = QueryProfile::new(QueryKind::Insert, 0);
+        q.rows_written = 10;
+        d.submit(&q, 100);
+        d.tick(1_000);
+        assert_eq!(d.disks().data().written_by(crate::disk::WriteSource::Wal), 0.0);
+        assert!(d.disks().aux().unwrap().written_by(crate::disk::WriteSource::Wal) > 0.0);
+    }
+}

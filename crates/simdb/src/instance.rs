@@ -1,0 +1,199 @@
+//! VM / container instance plans.
+//!
+//! The paper's fleet spans `t2.small` through `m4.xlarge` AWS plans; the
+//! entropy-filtration logic (§3.1) exists precisely to distinguish knob
+//! mis-tuning from an undersized plan, so instance caps are first-class
+//! here. Capacities approximate the 2020-era AWS instance specs.
+
+use crate::knobs::{KnobClass, KnobProfile, KnobSet, KnobUnit};
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// Disk technology behind the instance; §3.2 notes the bgwriter baseline is
+/// only transferable across systems with the same storage type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskKind {
+    /// Solid-state: low seek penalty, high IOPS ceiling.
+    Ssd,
+    /// Spinning disk: large seek penalty, low IOPS ceiling.
+    Hdd,
+}
+
+impl DiskKind {
+    /// Baseline per-IO latency in milliseconds at an idle queue.
+    pub fn base_latency_ms(self) -> f64 {
+        match self {
+            DiskKind::Ssd => 0.4,
+            DiskKind::Hdd => 6.0,
+        }
+    }
+
+    /// Sustainable IOPS before queueing inflates latency.
+    pub fn iops_cap(self) -> f64 {
+        match self {
+            DiskKind::Ssd => 8_000.0,
+            DiskKind::Hdd => 400.0,
+        }
+    }
+}
+
+/// The VM plans used in the paper's evaluation (§5), plus the `t3.xlarge`
+/// used for the Fig. 2 memory-statistics table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstanceType {
+    /// 1 vCPU, 2 GiB.
+    T2Small,
+    /// 2 vCPU, 4 GiB.
+    T2Medium,
+    /// 2 vCPU, 8 GiB.
+    T2Large,
+    /// 2 vCPU, 8 GiB.
+    M4Large,
+    /// 4 vCPU, 16 GiB.
+    M4XLarge,
+    /// 4 vCPU, 16 GiB.
+    T3XLarge,
+}
+
+impl InstanceType {
+    /// The plan ladder in upgrade order; `upgrade()` walks this.
+    pub const LADDER: [InstanceType; 6] = [
+        InstanceType::T2Small,
+        InstanceType::T2Medium,
+        InstanceType::T2Large,
+        InstanceType::M4Large,
+        InstanceType::M4XLarge,
+        InstanceType::T3XLarge,
+    ];
+
+    /// Total VM memory in bytes.
+    pub fn mem_bytes(self) -> f64 {
+        match self {
+            InstanceType::T2Small => 2.0 * GIB,
+            InstanceType::T2Medium => 4.0 * GIB,
+            InstanceType::T2Large | InstanceType::M4Large => 8.0 * GIB,
+            InstanceType::M4XLarge | InstanceType::T3XLarge => 16.0 * GIB,
+        }
+    }
+
+    /// vCPU count; bounds the parallel-worker pool.
+    pub fn vcpus(self) -> u32 {
+        match self {
+            InstanceType::T2Small => 1,
+            InstanceType::T2Medium | InstanceType::T2Large | InstanceType::M4Large => 2,
+            InstanceType::M4XLarge | InstanceType::T3XLarge => 4,
+        }
+    }
+
+    /// AWS-style plan name.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstanceType::T2Small => "t2.small",
+            InstanceType::T2Medium => "t2.medium",
+            InstanceType::T2Large => "t2.large",
+            InstanceType::M4Large => "m4.large",
+            InstanceType::M4XLarge => "m4.xlarge",
+            InstanceType::T3XLarge => "t3.xlarge",
+        }
+    }
+
+    /// Next bigger plan, if any — the "plan update request" target the TDE
+    /// raises to the customer when the entropy filter detects a cap-limited
+    /// instance.
+    pub fn upgrade(self) -> Option<InstanceType> {
+        let pos = Self::LADDER.iter().position(|&t| t == self).expect("in ladder");
+        Self::LADDER.get(pos + 1).copied()
+    }
+
+    /// Memory the database process may use: total minus a fixed OS/agent
+    /// reserve of 25% (PaaS providers co-locate agents on the VM).
+    pub fn db_mem_cap(self) -> f64 {
+        self.mem_bytes() * 0.75
+    }
+}
+
+/// Clamp a configuration's memory knobs so the §4 budget
+/// `A + B + C + D < X` (buffer pool + work areas < db memory cap) holds.
+///
+/// Returns `true` if anything was reduced — the signal the TDE's cap
+/// detector keys on when recommendations keep pushing against the limit.
+pub fn enforce_memory_cap(
+    profile: &KnobProfile,
+    knobs: &mut KnobSet,
+    instance: InstanceType,
+) -> bool {
+    let cap = instance.db_mem_cap();
+    let used = knobs.memory_budget_used(profile);
+    if used <= cap {
+        return false;
+    }
+    // Scale all memory byte-knobs down proportionally; this mirrors what a
+    // DBA does when a recommendation oversubscribes the VM.
+    let scale = cap / used * 0.98;
+    for (id, spec) in profile.iter() {
+        if spec.class == KnobClass::Memory && spec.unit == KnobUnit::Bytes {
+            let v = knobs.get(id);
+            knobs.set(profile, id, v * scale);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::KnobProfile;
+
+    #[test]
+    fn ladder_is_monotonic_in_memory() {
+        let mems: Vec<f64> = InstanceType::LADDER.iter().map(|t| t.mem_bytes()).collect();
+        for w in mems.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn upgrade_walks_ladder_and_terminates() {
+        let mut t = InstanceType::T2Small;
+        let mut hops = 0;
+        while let Some(next) = t.upgrade() {
+            t = next;
+            hops += 1;
+        }
+        assert_eq!(t, InstanceType::T3XLarge);
+        assert_eq!(hops, 5);
+    }
+
+    #[test]
+    fn db_mem_cap_below_total() {
+        for t in InstanceType::LADDER {
+            assert!(t.db_mem_cap() < t.mem_bytes());
+        }
+    }
+
+    #[test]
+    fn enforce_cap_noop_when_within_budget() {
+        let p = KnobProfile::postgres();
+        let mut k = p.defaults();
+        let before = k.clone();
+        assert!(!enforce_memory_cap(&p, &mut k, InstanceType::M4XLarge));
+        assert_eq!(k, before);
+    }
+
+    #[test]
+    fn enforce_cap_scales_down_oversubscription() {
+        let p = KnobProfile::postgres();
+        let mut k = p.defaults();
+        // 60 GiB of buffer on a 2 GiB instance.
+        k.set_named(&p, "shared_buffers", 60.0 * GIB);
+        assert!(enforce_memory_cap(&p, &mut k, InstanceType::T2Small));
+        let used = k.memory_budget_used(&p);
+        assert!(used <= InstanceType::T2Small.db_mem_cap() * 1.0001, "used {used}");
+    }
+
+    #[test]
+    fn disk_kinds_differ_in_latency_and_iops() {
+        assert!(DiskKind::Hdd.base_latency_ms() > DiskKind::Ssd.base_latency_ms());
+        assert!(DiskKind::Ssd.iops_cap() > DiskKind::Hdd.iops_cap());
+    }
+}

@@ -1,0 +1,224 @@
+//! Structured query model.
+//!
+//! The simulator does not parse SQL; workload generators emit
+//! [`QueryProfile`]s that carry exactly the features the planner, executor,
+//! and TDE act on: how many rows are touched, how much working memory the
+//! sort/hash/join stages demand, how much maintenance or temp-table memory
+//! is needed, and how much data is written. A SQL-ish rendering
+//! ([`QueryProfile::render_sql`]) exists so the TDE's query-templating path
+//! (literal stripping, §3.1) operates on realistic text.
+
+use std::fmt;
+
+/// Kind of SQL statement, at the granularity the paper's classifier uses
+/// (§3.1 groups queries into per-knob classes by kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryKind {
+    /// Single-row lookup by key.
+    PointSelect,
+    /// Range scan over an index or table segment.
+    RangeSelect,
+    /// Multi-table join (hash or merge — demands working memory).
+    Join,
+    /// GROUP BY / aggregate with hashing.
+    Aggregate,
+    /// ORDER BY with an explicit sort.
+    OrderBy,
+    /// Complex aggregation over joins — the "heavy sorts" the paper adds to
+    /// TPCC to trigger `work_mem` throttles.
+    ComplexAggregate,
+    /// Row insert.
+    Insert,
+    /// Row update.
+    Update,
+    /// Row delete (maintenance-memory pressure via dead-tuple cleanup).
+    Delete,
+    /// CREATE INDEX (maintenance work memory).
+    CreateIndex,
+    /// DROP INDEX.
+    DropIndex,
+    /// Temp-table creation plus aggregation over it (temp buffers).
+    TempTable,
+    /// ALTER TABLE (maintenance).
+    AlterTable,
+}
+
+impl QueryKind {
+    /// All kinds, in a stable order for histograms.
+    pub const ALL: [QueryKind; 13] = [
+        QueryKind::PointSelect,
+        QueryKind::RangeSelect,
+        QueryKind::Join,
+        QueryKind::Aggregate,
+        QueryKind::OrderBy,
+        QueryKind::ComplexAggregate,
+        QueryKind::Insert,
+        QueryKind::Update,
+        QueryKind::Delete,
+        QueryKind::CreateIndex,
+        QueryKind::DropIndex,
+        QueryKind::TempTable,
+        QueryKind::AlterTable,
+    ];
+
+    /// Stable index for per-kind arrays.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).expect("kind in ALL")
+    }
+
+    /// True for statements that write table data (drive dirty pages + WAL).
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            QueryKind::Insert
+                | QueryKind::Update
+                | QueryKind::Delete
+                | QueryKind::CreateIndex
+                | QueryKind::AlterTable
+        )
+    }
+
+    /// SQL verb used when rendering.
+    fn verb(self) -> &'static str {
+        match self {
+            QueryKind::PointSelect | QueryKind::RangeSelect => "SELECT",
+            QueryKind::Join => "SELECT /*join*/",
+            QueryKind::Aggregate => "SELECT /*agg*/",
+            QueryKind::OrderBy => "SELECT /*order*/",
+            QueryKind::ComplexAggregate => "SELECT /*complex-agg*/",
+            QueryKind::Insert => "INSERT INTO",
+            QueryKind::Update => "UPDATE",
+            QueryKind::Delete => "DELETE FROM",
+            QueryKind::CreateIndex => "CREATE INDEX ON",
+            QueryKind::DropIndex => "DROP INDEX ON",
+            QueryKind::TempTable => "CREATE TEMP TABLE AS SELECT",
+            QueryKind::AlterTable => "ALTER TABLE",
+        }
+    }
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The feature vector of one query instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProfile {
+    /// Statement kind.
+    pub kind: QueryKind,
+    /// Target table id (index into the catalog).
+    pub table: u32,
+    /// Rows read during execution.
+    pub rows_examined: u64,
+    /// Rows written (0 for reads).
+    pub rows_written: u64,
+    /// Bytes of work-area memory the sort/hash stages want
+    /// (`work_mem` / `sort_buffer_size`+`join_buffer_size` pressure).
+    pub sort_bytes: u64,
+    /// Bytes of maintenance memory wanted (`maintenance_work_mem` /
+    /// `key_buffer_size` pressure; index builds, deletes, alters).
+    pub maintenance_bytes: u64,
+    /// Bytes of temp-table memory wanted (`temp_buffers`/`tmp_table_size`).
+    pub temp_bytes: u64,
+    /// Whether the planner may parallelise this statement.
+    pub parallelizable: bool,
+    /// Access-locality exponent: chunk choice follows `r^locality` over the
+    /// table (r uniform in [0,1)), so higher values concentrate accesses on
+    /// a small hot set (TPCC's recent orders ≈ 6; YCSB zipf ≈ 2;
+    /// Wikipedia's long tail ≈ 1.2 ≈ near-uniform).
+    pub locality: f64,
+    /// Literal parameters, preserved so templating has something to strip.
+    pub literals: [i64; 2],
+}
+
+impl QueryProfile {
+    /// A minimal profile of the given kind against `table`; generators fill
+    /// in the demand fields.
+    pub fn new(kind: QueryKind, table: u32) -> Self {
+        Self {
+            kind,
+            table,
+            rows_examined: 1,
+            rows_written: u64::from(kind.is_write()),
+            sort_bytes: 0,
+            maintenance_bytes: 0,
+            temp_bytes: 0,
+            parallelizable: false,
+            locality: 2.0,
+            literals: [0, 0],
+        }
+    }
+
+    /// Render a SQL-ish string with literals inline, e.g.
+    /// `SELECT /*agg*/ FROM t12 WHERE k = 94321 AND v < 7` — enough surface
+    /// for the templating module to normalize.
+    pub fn render_sql(&self) -> String {
+        format!(
+            "{} t{} WHERE k = {} AND v < {}",
+            self.kind.verb(),
+            self.table,
+            self.literals[0],
+            self.literals[1]
+        )
+    }
+
+    /// Total working-memory demand across all three work-area categories.
+    pub fn total_memory_demand(&self) -> u64 {
+        self.sort_bytes + self.maintenance_bytes + self.temp_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_unique_and_dense() {
+        let mut seen = vec![false; QueryKind::ALL.len()];
+        for k in QueryKind::ALL {
+            let i = k.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn write_classification() {
+        assert!(QueryKind::Insert.is_write());
+        assert!(QueryKind::CreateIndex.is_write());
+        assert!(!QueryKind::Join.is_write());
+        assert!(!QueryKind::TempTable.is_write()); // temp data is not table data
+        assert!(!QueryKind::DropIndex.is_write()); // metadata only
+    }
+
+    #[test]
+    fn render_includes_literals_and_table() {
+        let mut q = QueryProfile::new(QueryKind::Aggregate, 7);
+        q.literals = [123, 456];
+        let sql = q.render_sql();
+        assert!(sql.contains("t7"));
+        assert!(sql.contains("123"));
+        assert!(sql.contains("456"));
+    }
+
+    #[test]
+    fn same_shape_different_literals_render_differently() {
+        let mut a = QueryProfile::new(QueryKind::PointSelect, 1);
+        let mut b = a.clone();
+        a.literals = [1, 2];
+        b.literals = [3, 4];
+        assert_ne!(a.render_sql(), b.render_sql());
+    }
+
+    #[test]
+    fn memory_demand_sums_categories() {
+        let mut q = QueryProfile::new(QueryKind::TempTable, 0);
+        q.sort_bytes = 10;
+        q.maintenance_bytes = 20;
+        q.temp_bytes = 30;
+        assert_eq!(q.total_memory_demand(), 60);
+    }
+}

@@ -1,0 +1,124 @@
+//! Streaming-replication lag model.
+//!
+//! §4's apply protocol is slave-first specifically because of
+//! "high-availability constraints": a slave that crashes (or lags too far)
+//! while reconfiguring must not take the service down with it. This module
+//! models the slave side of a replication stream — a replay position
+//! advancing at a finite rate behind the master's insert LSN — so the
+//! control plane can gate configuration changes on replication health.
+
+use crate::wal::Lsn;
+
+/// One slave's view of the master's WAL.
+#[derive(Debug, Clone)]
+pub struct ReplicationSlot {
+    replay_lsn: Lsn,
+    /// Sustained replay bandwidth, bytes/second.
+    replay_rate: f64,
+    /// Fractional carry between ticks.
+    carry: f64,
+    /// Replay pauses during a slave restart (ms of pause remaining).
+    paused_ms: u64,
+}
+
+impl ReplicationSlot {
+    /// A slave that can replay `replay_rate_bytes_per_s` sustained.
+    pub fn new(replay_rate_bytes_per_s: f64) -> Self {
+        assert!(replay_rate_bytes_per_s > 0.0);
+        Self { replay_lsn: 0, replay_rate: replay_rate_bytes_per_s, carry: 0.0, paused_ms: 0 }
+    }
+
+    /// The slave's replay position.
+    pub fn replay_lsn(&self) -> Lsn {
+        self.replay_lsn
+    }
+
+    /// Lag behind the master, in bytes.
+    pub fn lag_bytes(&self, master_lsn: Lsn) -> u64 {
+        master_lsn.saturating_sub(self.replay_lsn)
+    }
+
+    /// Pause replay for `ms` (slave restart / reconfiguration).
+    pub fn pause(&mut self, ms: u64) {
+        self.paused_ms = self.paused_ms.max(ms);
+    }
+
+    /// True while replay is paused.
+    pub fn is_paused(&self) -> bool {
+        self.paused_ms > 0
+    }
+
+    /// Advance replay by `dt_ms` toward `master_lsn`.
+    pub fn tick(&mut self, dt_ms: u64, master_lsn: Lsn) {
+        let mut dt = dt_ms;
+        if self.paused_ms > 0 {
+            let consumed = self.paused_ms.min(dt);
+            self.paused_ms -= consumed;
+            dt -= consumed;
+        }
+        if dt == 0 {
+            return;
+        }
+        let budget = self.replay_rate * dt as f64 / 1000.0 + self.carry;
+        let advance = (budget as u64).min(self.lag_bytes(master_lsn));
+        self.carry = if (advance as f64) < budget && advance == self.lag_bytes(master_lsn) {
+            0.0 // caught up; don't bank unused budget
+        } else {
+            budget - advance as f64
+        };
+        self.replay_lsn += advance;
+    }
+
+    /// Time to catch up at the sustained rate, in ms (∞-free: saturates).
+    pub fn catchup_eta_ms(&self, master_lsn: Lsn) -> u64 {
+        let lag = self.lag_bytes(master_lsn) as f64;
+        ((lag / self.replay_rate) * 1000.0) as u64 + self.paused_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_advances_at_rate_and_caps_at_master() {
+        let mut slot = ReplicationSlot::new(1_000.0); // 1 KB/s
+        let master: Lsn = 1_500;
+        slot.tick(1_000, master);
+        assert_eq!(slot.replay_lsn(), 1_000);
+        assert_eq!(slot.lag_bytes(master), 500);
+        slot.tick(1_000, master);
+        assert_eq!(slot.replay_lsn(), master, "never overshoots the master");
+        assert_eq!(slot.lag_bytes(master), 0);
+    }
+
+    #[test]
+    fn caught_up_slave_does_not_bank_budget() {
+        let mut slot = ReplicationSlot::new(1_000.0);
+        slot.tick(10_000, 100); // catches up instantly, 9.9 KB unused
+        assert_eq!(slot.replay_lsn(), 100);
+        // A burst arrives: only the per-tick rate applies, not banked budget.
+        slot.tick(1_000, 100 + 50_000);
+        assert_eq!(slot.replay_lsn(), 1_100);
+    }
+
+    #[test]
+    fn pause_stalls_replay_then_resumes() {
+        let mut slot = ReplicationSlot::new(1_000.0);
+        slot.pause(2_000);
+        assert!(slot.is_paused());
+        slot.tick(1_000, 10_000);
+        assert_eq!(slot.replay_lsn(), 0, "paused slave must not advance");
+        slot.tick(2_000, 10_000); // 1 s of pause left + 1 s of replay
+        assert_eq!(slot.replay_lsn(), 1_000);
+        assert!(!slot.is_paused());
+    }
+
+    #[test]
+    fn catchup_eta_reflects_lag_and_pause() {
+        let mut slot = ReplicationSlot::new(2_000.0);
+        assert_eq!(slot.catchup_eta_ms(4_000), 2_000);
+        slot.pause(500);
+        assert_eq!(slot.catchup_eta_ms(4_000), 2_500);
+    }
+}

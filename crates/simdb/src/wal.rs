@@ -1,0 +1,190 @@
+//! Write-ahead log accounting: LSNs, segments, recycling.
+//!
+//! The checkpointer's WAL-volume trigger (`max_wal_size` /
+//! `innodb_log_file_size`) is defined over *log growth since the last
+//! checkpoint*, and real systems manage that log in fixed-size segments
+//! that are recycled once a checkpoint makes them reclaimable. This module
+//! provides that accounting so the background-writer machinery (and tests)
+//! can reason about log volume the way a DBA reads `pg_wal`.
+
+/// A log sequence number: total bytes ever appended.
+pub type Lsn = u64;
+
+/// Default segment size (PostgreSQL's 16 MiB).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 16 * 1024 * 1024;
+
+/// WAL state for one database instance.
+///
+/// # Examples
+///
+/// ```
+/// use autodbaas_simdb::Wal;
+///
+/// let mut wal = Wal::new();
+/// wal.append(40 * 1024 * 1024);
+/// assert_eq!(wal.bytes_since_checkpoint(), 40 * 1024 * 1024);
+/// wal.begin_checkpoint();
+/// let recycled = wal.complete_checkpoint();
+/// assert_eq!(recycled, 2); // two full 16 MiB segments freed
+/// ```
+#[derive(Debug, Clone)]
+pub struct Wal {
+    segment_bytes: u64,
+    insert_lsn: Lsn,
+    /// LSN up to which the last *completed* checkpoint made data durable in
+    /// the heap — segments below it are recyclable.
+    redo_lsn: Lsn,
+    /// LSN at which the in-progress checkpoint started, if any.
+    pending_redo_lsn: Option<Lsn>,
+    recycled_segments: u64,
+}
+
+impl Wal {
+    /// Fresh log with the default segment size.
+    pub fn new() -> Self {
+        Self::with_segment_bytes(DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// Fresh log with a custom segment size.
+    pub fn with_segment_bytes(segment_bytes: u64) -> Self {
+        assert!(segment_bytes > 0);
+        Self {
+            segment_bytes,
+            insert_lsn: 0,
+            redo_lsn: 0,
+            pending_redo_lsn: None,
+            recycled_segments: 0,
+        }
+    }
+
+    /// Append `bytes` of log; returns the new insert LSN.
+    pub fn append(&mut self, bytes: u64) -> Lsn {
+        self.insert_lsn += bytes;
+        self.insert_lsn
+    }
+
+    /// Current insert position.
+    pub fn insert_lsn(&self) -> Lsn {
+        self.insert_lsn
+    }
+
+    /// Bytes of log not yet covered by a completed checkpoint — the value
+    /// the WAL-volume trigger compares against `max_wal_size`.
+    pub fn bytes_since_checkpoint(&self) -> u64 {
+        self.insert_lsn - self.redo_lsn
+    }
+
+    /// Segments currently held on disk (not yet recyclable).
+    pub fn retained_segments(&self) -> u64 {
+        self.bytes_since_checkpoint().div_ceil(self.segment_bytes).max(1)
+    }
+
+    /// A checkpoint begins: record the redo point. Everything appended after
+    /// this still needs the *next* checkpoint.
+    pub fn begin_checkpoint(&mut self) {
+        self.pending_redo_lsn = Some(self.insert_lsn);
+    }
+
+    /// The in-progress checkpoint completed: segments up to its redo point
+    /// become recyclable. Returns how many segments were recycled. A
+    /// completion without a matching begin is a caller bug.
+    pub fn complete_checkpoint(&mut self) -> u64 {
+        let redo = self
+            .pending_redo_lsn
+            .take()
+            .expect("complete_checkpoint without begin_checkpoint");
+        let freed_bytes = redo - self.redo_lsn;
+        self.redo_lsn = redo;
+        let freed_segments = freed_bytes / self.segment_bytes;
+        self.recycled_segments += freed_segments;
+        freed_segments
+    }
+
+    /// True while a checkpoint is between begin and complete.
+    pub fn checkpoint_in_progress(&self) -> bool {
+        self.pending_redo_lsn.is_some()
+    }
+
+    /// Segments recycled over the instance's lifetime.
+    pub fn recycled_segments(&self) -> u64 {
+        self.recycled_segments
+    }
+
+    /// Segment size in bytes.
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1024 * 1024;
+
+    #[test]
+    fn append_advances_lsn_monotonically() {
+        let mut wal = Wal::new();
+        let a = wal.append(100);
+        let b = wal.append(50);
+        assert_eq!(a, 100);
+        assert_eq!(b, 150);
+        assert_eq!(wal.insert_lsn(), 150);
+    }
+
+    #[test]
+    fn bytes_since_checkpoint_resets_at_completion_boundary() {
+        let mut wal = Wal::new();
+        wal.append(40 * MIB);
+        assert_eq!(wal.bytes_since_checkpoint(), 40 * MIB);
+        wal.begin_checkpoint();
+        // Appends during the checkpoint still count toward the next one.
+        wal.append(10 * MIB);
+        wal.complete_checkpoint();
+        assert_eq!(wal.bytes_since_checkpoint(), 10 * MIB);
+    }
+
+    #[test]
+    fn checkpoint_recycles_whole_segments_only() {
+        let mut wal = Wal::with_segment_bytes(16 * MIB);
+        wal.append(40 * MIB); // 2.5 segments
+        wal.begin_checkpoint();
+        let freed = wal.complete_checkpoint();
+        assert_eq!(freed, 2, "only whole segments recycle");
+        assert_eq!(wal.recycled_segments(), 2);
+    }
+
+    #[test]
+    fn retained_segments_track_uncheckpointed_log() {
+        let mut wal = Wal::with_segment_bytes(16 * MIB);
+        assert_eq!(wal.retained_segments(), 1, "always at least one segment");
+        wal.append(70 * MIB);
+        assert_eq!(wal.retained_segments(), 5); // ceil(70/16)
+        wal.begin_checkpoint();
+        wal.complete_checkpoint();
+        assert_eq!(wal.retained_segments(), 1);
+    }
+
+    #[test]
+    fn in_progress_flag() {
+        let mut wal = Wal::new();
+        assert!(!wal.checkpoint_in_progress());
+        wal.begin_checkpoint();
+        assert!(wal.checkpoint_in_progress());
+        wal.complete_checkpoint();
+        assert!(!wal.checkpoint_in_progress());
+    }
+
+    #[test]
+    #[should_panic]
+    fn complete_without_begin_panics() {
+        let mut wal = Wal::new();
+        wal.complete_checkpoint();
+    }
+}

@@ -1,0 +1,203 @@
+//! The few synthetic distributions the workload generators need, built on
+//! `rand`'s uniform source only (the sanctioned dependency list excludes
+//! `rand_distr`, so Poisson / normal / Zipf are implemented here — each is a
+//! handful of lines and easy to audit).
+
+use rand::Rng;
+
+/// Sample a standard normal via Box–Muller, then scale to `(mu, sigma)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    // Draw u1 in (0,1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mu + sigma * z
+}
+
+/// Sample a Poisson count with mean `lambda`.
+///
+/// Knuth's multiplication method for small lambda; for large lambda a
+/// normal approximation keeps the loop O(1) — arrival-rate generators call
+/// this once per time step with lambda up to tens of thousands.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation with continuity correction.
+        let x = normal(rng, lambda, lambda.sqrt());
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Exponential inter-arrival sample with rate `lambda` (mean `1/lambda`).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "exponential rate must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / lambda
+}
+
+/// A Zipf(θ) sampler over `{0, …, n-1}` using the precomputed-CDF method.
+///
+/// Skewed key popularity drives the YCSB and Twitter generators as well as
+/// the buffer-pool working-set behaviour (hot pages).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with skew `theta` (>0; ~0.99 is the
+    /// YCSB default). Larger theta = more skew toward rank 0.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(theta > 0.0, "zipf skew must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks in the support.
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank in `[0, n)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("NaN in zipf cdf")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Weighted categorical choice: returns an index into `weights`.
+///
+/// Workload mixes ("45% NewOrder, 43% Payment, …") are all sampled through
+/// this. Zero total weight is a caller bug.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "categorical weights must sum to a positive value");
+    let mut u = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_mean_and_sigma_converge() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let m = crate::stats::mean(&xs);
+        let s = crate::stats::stddev(&xs);
+        assert!((m - 5.0).abs() < 0.1, "mean {m}");
+        assert!((s - 2.0).abs() < 0.1, "stddev {s}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 3.0)).sum();
+        let m = total as f64 / n as f64;
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let mut r = rng();
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| poisson(&mut r, 1000.0)).sum();
+        let m = total as f64 / n as f64;
+        assert!((m - 1000.0).abs() < 5.0, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+        assert_eq!(poisson(&mut r, -1.0), 0);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..20_000).map(|_| exponential(&mut r, 0.5)).collect();
+        let m = crate::stats::mean(&xs);
+        assert!((m - 2.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let mut r = rng();
+        let z = Zipf::new(100, 0.99);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99] * 5);
+    }
+
+    #[test]
+    fn zipf_samples_in_support() {
+        let mut r = rng();
+        let z = Zipf::new(7, 1.2);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 7);
+        }
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng();
+        let w = [0.0, 1.0, 3.0];
+        let mut counts = [0u64; 3];
+        for _ in 0..20_000 {
+            counts[categorical(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn categorical_rejects_zero_total() {
+        let mut r = rng();
+        categorical(&mut r, &[0.0, 0.0]);
+    }
+}

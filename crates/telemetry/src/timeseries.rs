@@ -1,0 +1,274 @@
+//! Bounded time series and peak detection.
+//!
+//! The background-writer throttle detector (§3.2) works on disk-latency
+//! series: it finds latency peaks (checkpoint write bursts), measures the
+//! spacing between consecutive peaks to estimate "checkpointing per unit
+//! time", and compares the peak-rate/latency ratio against a baseline mapped
+//! from the tuner's repository. [`TimeSeries`] is the storage and
+//! [`PeakDetector`] the peak finder both sides use.
+
+use crate::SimTime;
+use std::collections::VecDeque;
+
+/// One timestamped observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Simulation time of the observation, ms.
+    pub at: SimTime,
+    /// Observed value (unit defined by the series owner).
+    pub value: f64,
+}
+
+/// A bounded, append-only series of [`Sample`]s.
+///
+/// Capacity-bounded so that a multi-day fleet simulation holds a constant
+/// amount of monitoring state per database, like a real agent's ring buffer.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    samples: VecDeque<Sample>,
+    capacity: usize,
+}
+
+impl TimeSeries {
+    /// A series holding at most `capacity` samples (oldest evicted first).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "time series capacity must be positive");
+        Self { samples: VecDeque::with_capacity(capacity.min(4096)), capacity }
+    }
+
+    /// Append an observation. Timestamps must be non-decreasing; monitoring
+    /// agents never deliver out of order in the simulator, so this is a
+    /// programming-error assert rather than a recoverable error.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        if let Some(last) = self.samples.back() {
+            assert!(at >= last.at, "time series must be appended in time order");
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(Sample { at, value });
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterate over retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// Most recent sample.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.back().copied()
+    }
+
+    /// Values of all samples with `at >= since`, oldest first.
+    pub fn values_since(&self, since: SimTime) -> Vec<f64> {
+        self.samples.iter().filter(|s| s.at >= since).map(|s| s.value).collect()
+    }
+
+    /// Samples with `at >= since`, oldest first.
+    pub fn window(&self, since: SimTime) -> Vec<Sample> {
+        self.samples.iter().filter(|s| s.at >= since).copied().collect()
+    }
+
+    /// Mean value over the window `at >= since` (0.0 if empty).
+    pub fn mean_since(&self, since: SimTime) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for s in self.samples.iter().filter(|s| s.at >= since) {
+            sum += s.value;
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Maximum value over the window `at >= since`.
+    pub fn max_since(&self, since: SimTime) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.at >= since)
+            .map(|s| s.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Downsample into `buckets` equal-width time bins over `[t0, t1)`,
+    /// averaging within each bin. Empty bins yield 0.0. Used by the figure
+    /// harness to print paper-style hourly/minutely series.
+    pub fn resample(&self, t0: SimTime, t1: SimTime, buckets: usize) -> Vec<f64> {
+        assert!(t1 > t0 && buckets > 0);
+        let mut sums = vec![0.0; buckets];
+        let mut counts = vec![0u64; buckets];
+        let span = (t1 - t0) as f64;
+        for s in &self.samples {
+            if s.at < t0 || s.at >= t1 {
+                continue;
+            }
+            let idx = (((s.at - t0) as f64 / span) * buckets as f64) as usize;
+            let idx = idx.min(buckets - 1);
+            sums[idx] += s.value;
+            counts[idx] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+}
+
+/// Finds local peaks in a series: samples strictly greater than both
+/// neighbours and at least `threshold` above the series mean.
+///
+/// The threshold is expressed in absolute units (e.g. milliseconds of disk
+/// latency) because the bgwriter detector compares against an SLA-style
+/// latency baseline, not a z-score.
+#[derive(Debug, Clone, Copy)]
+pub struct PeakDetector {
+    /// Minimum height above the window mean for a local max to count.
+    pub threshold: f64,
+}
+
+impl PeakDetector {
+    /// Detector with the given absolute prominence threshold.
+    pub fn new(threshold: f64) -> Self {
+        Self { threshold }
+    }
+
+    /// Return the samples that qualify as peaks, in time order.
+    pub fn peaks(&self, samples: &[Sample]) -> Vec<Sample> {
+        if samples.len() < 3 {
+            return Vec::new();
+        }
+        let mean = samples.iter().map(|s| s.value).sum::<f64>() / samples.len() as f64;
+        let mut out = Vec::new();
+        for w in samples.windows(3) {
+            let (prev, cur, next) = (w[0], w[1], w[2]);
+            if cur.value > prev.value && cur.value > next.value && cur.value >= mean + self.threshold
+            {
+                out.push(cur);
+            }
+        }
+        out
+    }
+
+    /// Mean spacing between consecutive peaks, in ms. `None` with <2 peaks.
+    ///
+    /// This is the paper's "time difference between peaks in disk latency …
+    /// averaged out for consecutive peaks", the basis of the
+    /// checkpointing-per-unit-time estimate.
+    pub fn mean_peak_spacing(&self, samples: &[Sample]) -> Option<f64> {
+        let peaks = self.peaks(samples);
+        if peaks.len() < 2 {
+            return None;
+        }
+        let total: u64 = peaks.windows(2).map(|p| p[1].at - p[0].at).sum();
+        Some(total as f64 / (peaks.len() - 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(vals: &[(u64, f64)]) -> TimeSeries {
+        let mut ts = TimeSeries::with_capacity(1024);
+        for &(at, v) in vals {
+            ts.push(at, v);
+        }
+        ts
+    }
+
+    #[test]
+    fn push_and_window_queries() {
+        let ts = series(&[(0, 1.0), (10, 2.0), (20, 3.0), (30, 4.0)]);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.values_since(15), vec![3.0, 4.0]);
+        assert!((ts.mean_since(10) - 3.0).abs() < 1e-12);
+        assert_eq!(ts.max_since(0), Some(4.0));
+        assert_eq!(ts.last().unwrap().value, 4.0);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut ts = TimeSeries::with_capacity(3);
+        for i in 0..5u64 {
+            ts.push(i, i as f64);
+        }
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.iter().next().unwrap().at, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_push_panics() {
+        let mut ts = TimeSeries::with_capacity(8);
+        ts.push(10, 1.0);
+        ts.push(5, 2.0);
+    }
+
+    #[test]
+    fn resample_averages_bins() {
+        let ts = series(&[(0, 2.0), (1, 4.0), (5, 10.0), (9, 20.0)]);
+        let bins = ts.resample(0, 10, 2);
+        assert!((bins[0] - 3.0).abs() < 1e-12);
+        assert!((bins[1] - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_empty_bins_are_zero() {
+        let ts = series(&[(0, 5.0)]);
+        let bins = ts.resample(0, 100, 4);
+        assert_eq!(bins[1], 0.0);
+        assert_eq!(bins[3], 0.0);
+    }
+
+    #[test]
+    fn peak_detector_finds_bursts() {
+        // Baseline 1.0 with two bursts at t=20 and t=50.
+        let mut vals = Vec::new();
+        for t in 0..70u64 {
+            let v = match t {
+                20 => 10.0,
+                50 => 12.0,
+                _ => 1.0,
+            };
+            vals.push((t, v));
+        }
+        let ts = series(&vals);
+        let det = PeakDetector::new(3.0);
+        let samples = ts.window(0);
+        let peaks = det.peaks(&samples);
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].at, 20);
+        assert_eq!(peaks[1].at, 50);
+        let spacing = det.mean_peak_spacing(&samples).unwrap();
+        assert!((spacing - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_detector_ignores_subthreshold_wiggle() {
+        let vals: Vec<(u64, f64)> =
+            (0..30).map(|t| (t, if t % 2 == 0 { 1.0 } else { 1.2 })).collect();
+        let det = PeakDetector::new(5.0);
+        let ts = series(&vals);
+        assert!(det.peaks(&ts.window(0)).is_empty());
+        assert!(det.mean_peak_spacing(&ts.window(0)).is_none());
+    }
+
+    #[test]
+    fn peaks_need_three_samples() {
+        let det = PeakDetector::new(0.0);
+        assert!(det.peaks(&[Sample { at: 0, value: 1.0 }]).is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Hybrid tuner (§2.1: "The tuner instances … can be any type BO or RL
+//! style tuners. Or can even be a hybrid combination.").
+//!
+//! The trade-off the paper lays out: BO needs a high volume of high-quality
+//! samples but then converges in "two to three recommendations"; RL
+//! recommends instantly but needs many trials. The hybrid plays both: while
+//! the target workload's (mapped) high-quality sample pool is thin, serve
+//! recommendations from the RL agent (cheap, exploratory — and its
+//! trial-and-error results feed the repository); once the pool crosses a
+//! threshold, switch to the GP pipeline and exploit the accumulated
+//! experience.
+
+use crate::bo::{BoConfig, BoTuner, Recommendation};
+use crate::mapping::map_workload;
+use crate::repo::{SampleQuality, WorkloadId, WorkloadRepository};
+use crate::rl::{RlConfig, RlTuner, Transition};
+
+/// Which backend produced a recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridBackend {
+    /// RL served it (sample pool still thin).
+    Rl,
+    /// BO served it (enough experience accumulated).
+    Bo,
+}
+
+/// Hybrid tuner configuration.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// High-quality samples (target + mapped workload) required before the
+    /// BO pipeline takes over.
+    pub bo_takeover_samples: usize,
+    /// BO settings.
+    pub bo: BoConfig,
+    /// RL settings.
+    pub rl: RlConfig,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self { bo_takeover_samples: 30, bo: BoConfig::default(), rl: RlConfig::default() }
+    }
+}
+
+/// The hybrid tuner itself.
+#[derive(Debug)]
+pub struct HybridTuner {
+    cfg: HybridConfig,
+    bo: BoTuner,
+    rl: RlTuner,
+}
+
+impl HybridTuner {
+    /// Build over `state_dim` metrics and `action_dim` knobs.
+    pub fn new(state_dim: usize, action_dim: usize, cfg: HybridConfig, seed: u64) -> Self {
+        Self {
+            bo: BoTuner::new(cfg.bo.clone(), seed ^ 0xb0),
+            rl: RlTuner::new(state_dim, action_dim, cfg.rl.clone(), seed ^ 0x71),
+            cfg,
+        }
+    }
+
+    /// High-quality samples available to a BO run for `target` (its own
+    /// plus the mapped workload's) — the takeover criterion.
+    pub fn usable_samples(&self, repo: &WorkloadRepository, target: WorkloadId) -> usize {
+        let own = repo
+            .workload(target)
+            .samples
+            .iter()
+            .filter(|s| s.quality == SampleQuality::High)
+            .count();
+        let mapped = repo
+            .workload(target)
+            .metric_signature()
+            .and_then(|sig| map_workload(repo, &sig, Some(target)))
+            .map(|m| {
+                repo.workload(m.workload)
+                    .samples
+                    .iter()
+                    .filter(|s| s.quality == SampleQuality::High)
+                    .count()
+            })
+            .unwrap_or(0);
+        own + mapped
+    }
+
+    /// Which backend would serve `target` right now.
+    pub fn backend_for(&self, repo: &WorkloadRepository, target: WorkloadId) -> HybridBackend {
+        if self.usable_samples(repo, target) >= self.cfg.bo_takeover_samples {
+            HybridBackend::Bo
+        } else {
+            HybridBackend::Rl
+        }
+    }
+
+    /// Produce a recommendation. `state` is the normalised metric state the
+    /// RL path conditions on; `focus_dims` are the TDE-indicted knobs the
+    /// BO path concentrates on.
+    pub fn recommend(
+        &mut self,
+        repo: &WorkloadRepository,
+        target: WorkloadId,
+        state: &[f64],
+        focus_dims: &[usize],
+    ) -> (Vec<f64>, HybridBackend) {
+        match self.backend_for(repo, target) {
+            HybridBackend::Bo => match self.bo.recommend_focused(repo, target, focus_dims) {
+                Some(Recommendation { config, .. }) => (config, HybridBackend::Bo),
+                // GP failed (degenerate data) — RL never fails to answer.
+                None => (self.rl.recommend(state), HybridBackend::Rl),
+            },
+            HybridBackend::Rl => (self.rl.recommend(state), HybridBackend::Rl),
+        }
+    }
+
+    /// Feed an RL experience (the RL half keeps learning even after BO
+    /// takes over — it is the fallback).
+    pub fn observe(&mut self, t: Transition) {
+        self.rl.observe(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::Sample;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample(rng: &mut StdRng, quality: SampleQuality) -> Sample {
+        let c = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+        Sample {
+            config: c.clone(),
+            metrics: vec![100.0, 50.0],
+            objective: 100.0 * c[0],
+            quality,
+        }
+    }
+
+    #[test]
+    fn thin_pool_serves_rl_rich_pool_serves_bo() {
+        let mut repo = WorkloadRepository::new();
+        let id = repo.register("w", false);
+        let cfg = HybridConfig { bo_takeover_samples: 10, ..HybridConfig::default() };
+        let mut tuner = HybridTuner::new(2, 2, cfg, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+
+        // 3 samples: RL regime.
+        for _ in 0..3 {
+            repo.add_sample(id, sample(&mut rng, SampleQuality::High));
+        }
+        assert_eq!(tuner.backend_for(&repo, id), HybridBackend::Rl);
+        let (config, backend) = tuner.recommend(&repo, id, &[0.5, 0.5], &[]);
+        assert_eq!(backend, HybridBackend::Rl);
+        assert_eq!(config.len(), 2);
+
+        // 12 samples: BO takes over.
+        for _ in 0..9 {
+            repo.add_sample(id, sample(&mut rng, SampleQuality::High));
+        }
+        assert_eq!(tuner.backend_for(&repo, id), HybridBackend::Bo);
+        let (config, backend) = tuner.recommend(&repo, id, &[0.5, 0.5], &[]);
+        assert_eq!(backend, HybridBackend::Bo);
+        assert!(config.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn low_quality_samples_do_not_trigger_takeover() {
+        let mut repo = WorkloadRepository::new();
+        let id = repo.register("w", false);
+        let cfg = HybridConfig { bo_takeover_samples: 5, ..HybridConfig::default() };
+        let tuner = HybridTuner::new(2, 2, cfg, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            repo.add_sample(id, sample(&mut rng, SampleQuality::Low));
+        }
+        assert_eq!(tuner.backend_for(&repo, id), HybridBackend::Rl);
+    }
+
+    #[test]
+    fn mapped_workload_samples_count_toward_takeover() {
+        let mut repo = WorkloadRepository::new();
+        let offline = repo.register("offline", true);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            repo.add_sample(offline, sample(&mut rng, SampleQuality::High));
+        }
+        let target = repo.register("live", false);
+        repo.add_sample(target, sample(&mut rng, SampleQuality::High));
+        let cfg = HybridConfig { bo_takeover_samples: 10, ..HybridConfig::default() };
+        let tuner = HybridTuner::new(2, 2, cfg, 6);
+        assert_eq!(
+            tuner.backend_for(&repo, target),
+            HybridBackend::Bo,
+            "experience transfer should satisfy the takeover threshold"
+        );
+    }
+
+    #[test]
+    fn rl_fallback_when_bo_cannot_fit() {
+        // Rich pool of *identical dimension-zero* configs makes ranking
+        // trivial but the GP fit still succeeds; to force the fallback use
+        // an empty target with an unmappable signature: all samples on the
+        // target itself are low quality and gating is on.
+        let mut repo = WorkloadRepository::new();
+        let id = repo.register("w", false);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            repo.add_sample(id, sample(&mut rng, SampleQuality::Low));
+        }
+        let cfg = HybridConfig {
+            bo_takeover_samples: 0, // force the BO path
+            bo: BoConfig { gate_low_quality: true, ..BoConfig::default() },
+            ..HybridConfig::default()
+        };
+        let mut tuner = HybridTuner::new(2, 2, cfg, 8);
+        let (_, backend) = tuner.recommend(&repo, id, &[0.1, 0.2], &[]);
+        assert_eq!(backend, HybridBackend::Rl, "BO had nothing to train on");
+    }
+}

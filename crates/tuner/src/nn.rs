@@ -1,0 +1,237 @@
+//! A small feed-forward network with backprop — the function approximator
+//! behind the RL tuner's actor and critic.
+//!
+//! Tanh hidden layers, linear output, SGD with gradient clipping. Weights
+//! are Xavier-initialised from an explicit seed so every simulation is
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+struct Layer {
+    w: Vec<f64>, // out × in, row-major
+    b: Vec<f64>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        let scale = (6.0 / (inputs + outputs) as f64).sqrt();
+        let w = (0..inputs * outputs).map(|_| rng.gen_range(-scale..scale)).collect();
+        Self { w, b: vec![0.0; outputs], inputs, outputs }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let mut z = self.b[o];
+            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+            for (wi, xi) in row.iter().zip(x) {
+                z += wi * xi;
+            }
+            out.push(z);
+        }
+    }
+}
+
+/// Multi-layer perceptron with tanh hidden activations.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Build from a layer-size spec, e.g. `&[30, 32, 32, 15]`.
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers =
+            sizes.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
+        Self { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].inputs
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").outputs
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if li != last {
+                for v in &mut next {
+                    *v = v.tanh();
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// One SGD step on a batch toward MSE targets; returns the batch loss.
+    #[allow(clippy::needless_range_loop)] // backprop reads clearer with indices
+    pub fn train_batch(&mut self, xs: &[Vec<f64>], ys: &[Vec<f64>], lr: f64) -> f64 {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "empty training batch");
+        let nl = self.layers.len();
+        // Accumulated gradients.
+        let mut gw: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut loss = 0.0;
+
+        for (x, y) in xs.iter().zip(ys) {
+            // Forward, caching pre/post activations.
+            let mut acts: Vec<Vec<f64>> = Vec::with_capacity(nl + 1);
+            acts.push(x.clone());
+            let mut pre: Vec<Vec<f64>> = Vec::with_capacity(nl);
+            for (li, layer) in self.layers.iter().enumerate() {
+                let mut z = Vec::new();
+                layer.forward(acts.last().expect("input"), &mut z);
+                pre.push(z.clone());
+                if li != nl - 1 {
+                    for v in &mut z {
+                        *v = v.tanh();
+                    }
+                }
+                acts.push(z);
+            }
+            let out = acts.last().expect("output");
+            assert_eq!(out.len(), y.len(), "target dimension mismatch");
+
+            // Output-layer delta (MSE, linear output).
+            let mut delta: Vec<f64> =
+                out.iter().zip(y).map(|(o, t)| 2.0 * (o - t) / y.len() as f64).collect();
+            loss += out.iter().zip(y).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / y.len() as f64;
+
+            // Backward.
+            for li in (0..nl).rev() {
+                let input = &acts[li];
+                for o in 0..self.layers[li].outputs {
+                    gb[li][o] += delta[o];
+                    let row = &mut gw[li][o * self.layers[li].inputs..];
+                    for (i, xi) in input.iter().enumerate() {
+                        row[i] += delta[o] * xi;
+                    }
+                }
+                if li > 0 {
+                    let mut prev = vec![0.0; self.layers[li].inputs];
+                    for o in 0..self.layers[li].outputs {
+                        let row =
+                            &self.layers[li].w[o * self.layers[li].inputs..(o + 1) * self.layers[li].inputs];
+                        for (i, w) in row.iter().enumerate() {
+                            prev[i] += delta[o] * w;
+                        }
+                    }
+                    // Through the tanh of layer li-1: derivative 1 - a².
+                    let a = &acts[li]; // activations after tanh of layer li-1
+                    for (p, av) in prev.iter_mut().zip(a) {
+                        *p *= 1.0 - av * av;
+                    }
+                    let _ = &pre; // pre-activations kept for clarity/debugging
+                    delta = prev;
+                }
+            }
+        }
+
+        // Apply clipped SGD update.
+        let scale = lr / xs.len() as f64;
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (w, g) in layer.w.iter_mut().zip(&gw[li]) {
+                *w -= scale * g.clamp(-5.0, 5.0);
+            }
+            for (b, g) in layer.b.iter_mut().zip(&gb[li]) {
+                *b -= scale * g.clamp(-5.0, 5.0);
+            }
+        }
+        loss / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_dimensions() {
+        let net = Mlp::new(&[3, 8, 2], 0);
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 2);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn forward_rejects_wrong_input_size() {
+        let net = Mlp::new(&[3, 4, 1], 0);
+        let _ = net.forward(&[1.0]);
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let mut net = Mlp::new(&[2, 16, 1], 1);
+        let xs: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![(i % 8) as f64 / 7.0, (i / 8) as f64 / 7.0])
+            .collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] - 0.5 * x[1]]).collect();
+        let mut last = f64::INFINITY;
+        for _ in 0..800 {
+            last = net.train_batch(&xs, &ys, 0.1);
+        }
+        assert!(last < 0.003, "final loss {last}");
+        let pred = net.forward(&[0.8, 0.2])[0];
+        assert!((pred - 0.7).abs() < 0.12, "pred {pred}");
+    }
+
+    #[test]
+    fn learns_nonlinear_xor_shape() {
+        let mut net = Mlp::new(&[2, 16, 16, 1], 2);
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]];
+        for _ in 0..4000 {
+            net.train_batch(&xs, &ys, 0.3);
+        }
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = net.forward(x)[0];
+            assert!((p - y[0]).abs() < 0.25, "xor({x:?}) = {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Mlp::new(&[4, 8, 2], 7).forward(&[0.1, 0.2, 0.3, 0.4]);
+        let b = Mlp::new(&[4, 8, 2], 7).forward(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(a, b);
+        let c = Mlp::new(&[4, 8, 2], 8).forward(&[0.1, 0.2, 0.3, 0.4]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn training_reduces_loss_monotonically_enough() {
+        let mut net = Mlp::new(&[1, 8, 1], 3);
+        let xs: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64 / 15.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] * x[0]]).collect();
+        let first = net.train_batch(&xs, &ys, 0.2);
+        let mut last = first;
+        for _ in 0..300 {
+            last = net.train_batch(&xs, &ys, 0.2);
+        }
+        assert!(last < first * 0.5, "first {first} last {last}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Knob-importance ranking.
+//!
+//! Fig. 15 validates TDE throttles against a trained OtterTune's top-5
+//! ranked knobs: a throttle counts as *accurate* if the majority of the
+//! tuner's top-ranked knobs belong to the same class the throttle named.
+//! OtterTune ranks knobs with Lasso; over our sample sets a per-knob
+//! absolute Pearson correlation with the objective is an adequate stand-in
+//! and has no hyper-parameters to tune.
+
+use crate::repo::Sample;
+
+/// A knob's importance score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnobScore {
+    /// Index into the config vector.
+    pub knob: usize,
+    /// Importance in `[0, 1]` (|Pearson r| against the objective).
+    pub score: f64,
+}
+
+/// Rank knobs by |correlation with the objective| over `samples`,
+/// descending. Knobs with no variation score zero.
+pub fn rank_knobs(samples: &[Sample]) -> Vec<KnobScore> {
+    let Some(first) = samples.first() else { return Vec::new() };
+    let dim = first.config.len();
+    let n = samples.len() as f64;
+    if n < 2.0 {
+        return (0..dim).map(|knob| KnobScore { knob, score: 0.0 }).collect();
+    }
+
+    let obj_mean = samples.iter().map(|s| s.objective).sum::<f64>() / n;
+    let obj_var =
+        samples.iter().map(|s| (s.objective - obj_mean).powi(2)).sum::<f64>() / n;
+
+    let mut scores = Vec::with_capacity(dim);
+    for k in 0..dim {
+        let mean = samples.iter().map(|s| s.config[k]).sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s.config[k] - mean).powi(2)).sum::<f64>() / n;
+        let cov = samples
+            .iter()
+            .map(|s| (s.config[k] - mean) * (s.objective - obj_mean))
+            .sum::<f64>()
+            / n;
+        let denom = (var * obj_var).sqrt();
+        let r = if denom < 1e-12 { 0.0 } else { (cov / denom).abs() };
+        scores.push(KnobScore { knob: k, score: r });
+    }
+    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN score"));
+    scores
+}
+
+/// The indices of the top-`k` ranked knobs.
+pub fn top_k(samples: &[Sample], k: usize) -> Vec<usize> {
+    rank_knobs(samples).into_iter().take(k).map(|s| s.knob).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::SampleQuality;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn samples_where_knob1_matters(n: usize) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..n)
+            .map(|_| {
+                let c: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
+                // Objective driven by knob 1, slightly by knob 3.
+                let obj = 100.0 * c[1] + 10.0 * c[3] + rng.gen::<f64>();
+                Sample { config: c, metrics: vec![], objective: obj, quality: SampleQuality::High }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dominant_knob_ranks_first() {
+        let s = samples_where_knob1_matters(200);
+        let ranked = rank_knobs(&s);
+        assert_eq!(ranked[0].knob, 1);
+        assert!(ranked[0].score > 0.9);
+    }
+
+    #[test]
+    fn secondary_knob_ranks_second() {
+        let s = samples_where_knob1_matters(400);
+        let top = top_k(&s, 2);
+        assert_eq!(top, vec![1, 3]);
+    }
+
+    #[test]
+    fn constant_knob_scores_zero() {
+        let s: Vec<Sample> = (0..50)
+            .map(|i| Sample {
+                config: vec![0.5, i as f64 / 50.0],
+                metrics: vec![],
+                objective: i as f64,
+                quality: SampleQuality::High,
+            })
+            .collect();
+        let ranked = rank_knobs(&s);
+        let const_knob = ranked.iter().find(|r| r.knob == 0).unwrap();
+        assert_eq!(const_knob.score, 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_are_safe() {
+        assert!(rank_knobs(&[]).is_empty());
+        let one = vec![Sample {
+            config: vec![0.1, 0.2],
+            metrics: vec![],
+            objective: 5.0,
+            quality: SampleQuality::High,
+        }];
+        let ranked = rank_knobs(&one);
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked.iter().all(|r| r.score == 0.0));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let s = samples_where_knob1_matters(100);
+        assert_eq!(top_k(&s, 1).len(), 1);
+        assert_eq!(top_k(&s, 10).len(), 4); // only 4 knobs exist
+    }
+}

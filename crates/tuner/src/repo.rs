@@ -1,0 +1,245 @@
+//! The central workload data repository (§2).
+//!
+//! Every tuner instance stores its observed workloads — `(configuration,
+//! delta-metrics, objective)` samples — in one shared repository so tuning
+//! experience gained on any IaaS transfers to every other tuner instance.
+//! Sample *quality* is first-class: the paper's core argument is that
+//! samples captured while "the database did not need tuning" (low
+//! throughput, flat metric deltas) corrupt learning models, and the TDE's
+//! whole purpose is to gate them out.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Quality label for one training sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleQuality {
+    /// Captured under real load with meaningful metric variation.
+    High,
+    /// Captured while the database was idling — poison for the models.
+    Low,
+}
+
+/// Classify a sample the way §1 describes: a high-quality sample needs both
+/// sustained throughput and visible variation across the delta metrics.
+pub fn assess_quality(metric_delta: &[f64], objective_qps: f64) -> SampleQuality {
+    if objective_qps < 50.0 {
+        return SampleQuality::Low;
+    }
+    // "only a certain set of metrics show good variations and rest do not":
+    // count metrics with a non-trivial delta.
+    let moving = metric_delta.iter().filter(|&&m| m.abs() > 1.0).count();
+    if moving * 4 >= metric_delta.len() {
+        SampleQuality::High
+    } else {
+        SampleQuality::Low
+    }
+}
+
+/// One observed training sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Knob vector, normalised to `[0, 1]` per dimension.
+    pub config: Vec<f64>,
+    /// Delta metric vector for the observation window.
+    pub metrics: Vec<f64>,
+    /// Objective (throughput, queries/second; higher is better).
+    pub objective: f64,
+    /// Quality label.
+    pub quality: SampleQuality,
+}
+
+/// Identifier of a stored workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadId(pub u64);
+
+/// A workload `W`: the set of samples observed for one (database, workload
+/// pattern) pair, per the §2 definition.
+#[derive(Debug, Clone)]
+pub struct StoredWorkload {
+    /// Stable id.
+    pub id: WorkloadId,
+    /// Human-readable name.
+    pub name: String,
+    /// Whether this came from an offline (staging/bench) execution — those
+    /// are always high quality ("there is no such point when an offline
+    /// workload does not requires a tuning").
+    pub offline: bool,
+    /// The samples.
+    pub samples: Vec<Sample>,
+}
+
+impl StoredWorkload {
+    /// Mean metric vector over all samples — the workload's signature used
+    /// by the mapper. `None` when the workload has no samples yet.
+    pub fn metric_signature(&self) -> Option<Vec<f64>> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let dim = self.samples[0].metrics.len();
+        let mut mean = vec![0.0; dim];
+        for s in &self.samples {
+            for (m, v) in mean.iter_mut().zip(&s.metrics) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= self.samples.len() as f64;
+        }
+        Some(mean)
+    }
+
+    /// Best objective observed so far.
+    pub fn best_objective(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.objective).fold(None, |acc, o| {
+            Some(acc.map_or(o, |a: f64| a.max(o)))
+        })
+    }
+
+    /// The sample with the best objective.
+    pub fn best_sample(&self) -> Option<&Sample> {
+        self.samples
+            .iter()
+            .max_by(|a, b| a.objective.partial_cmp(&b.objective).expect("NaN objective"))
+    }
+}
+
+/// The repository itself.
+#[derive(Debug, Default)]
+pub struct WorkloadRepository {
+    workloads: Vec<StoredWorkload>,
+}
+
+impl WorkloadRepository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new workload and get its id.
+    pub fn register(&mut self, name: impl Into<String>, offline: bool) -> WorkloadId {
+        let id = WorkloadId(self.workloads.len() as u64);
+        self.workloads.push(StoredWorkload { id, name: name.into(), offline, samples: Vec::new() });
+        id
+    }
+
+    /// Append a sample to a workload.
+    pub fn add_sample(&mut self, id: WorkloadId, sample: Sample) {
+        self.workloads[id.0 as usize].samples.push(sample);
+    }
+
+    /// Read a workload.
+    pub fn workload(&self, id: WorkloadId) -> &StoredWorkload {
+        &self.workloads[id.0 as usize]
+    }
+
+    /// Iterate over workloads.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredWorkload> {
+        self.workloads.iter()
+    }
+
+    /// Number of registered workloads.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// Total samples across all workloads — drives the GPR training-cost
+    /// model of the BO tuner.
+    pub fn total_samples(&self) -> usize {
+        self.workloads.iter().map(|w| w.samples.len()).sum()
+    }
+}
+
+/// Thread-shared repository handle: tuner instances on different threads
+/// (and the config directors) all talk to the same store, like the paper's
+/// central data repository VM.
+pub type SharedRepository = Arc<Mutex<WorkloadRepository>>;
+
+/// Create a fresh shared repository.
+pub fn shared_repository() -> SharedRepository {
+    Arc::new(Mutex::new(WorkloadRepository::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(config: Vec<f64>, objective: f64, quality: SampleQuality) -> Sample {
+        Sample { config, metrics: vec![1.0, 2.0, 3.0], objective, quality }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut repo = WorkloadRepository::new();
+        let a = repo.register("tpcc-offline", true);
+        let b = repo.register("prod-42", false);
+        assert_ne!(a, b);
+        assert_eq!(repo.workload(a).name, "tpcc-offline");
+        assert!(repo.workload(a).offline);
+        assert!(!repo.workload(b).offline);
+    }
+
+    #[test]
+    fn best_objective_tracks_max() {
+        let mut repo = WorkloadRepository::new();
+        let id = repo.register("w", false);
+        assert!(repo.workload(id).best_objective().is_none());
+        repo.add_sample(id, sample(vec![0.1], 100.0, SampleQuality::High));
+        repo.add_sample(id, sample(vec![0.9], 300.0, SampleQuality::High));
+        repo.add_sample(id, sample(vec![0.5], 200.0, SampleQuality::High));
+        assert_eq!(repo.workload(id).best_objective(), Some(300.0));
+        assert_eq!(repo.workload(id).best_sample().unwrap().config, vec![0.9]);
+    }
+
+    #[test]
+    fn metric_signature_averages() {
+        let mut repo = WorkloadRepository::new();
+        let id = repo.register("w", false);
+        repo.add_sample(
+            id,
+            Sample { config: vec![], metrics: vec![2.0, 4.0], objective: 1.0, quality: SampleQuality::High },
+        );
+        repo.add_sample(
+            id,
+            Sample { config: vec![], metrics: vec![4.0, 8.0], objective: 1.0, quality: SampleQuality::High },
+        );
+        assert_eq!(repo.workload(id).metric_signature(), Some(vec![3.0, 6.0]));
+    }
+
+    #[test]
+    fn quality_assessment_flags_idle_windows() {
+        // Idle database: near-zero throughput.
+        assert_eq!(assess_quality(&[5.0, 10.0, 3.0, 2.0], 1.0), SampleQuality::Low);
+        // Busy but flat metrics (the "only some metrics vary" case).
+        let flat = vec![0.0; 20];
+        assert_eq!(assess_quality(&flat, 500.0), SampleQuality::Low);
+        // Busy with broad variation.
+        let varied: Vec<f64> = (0..20).map(|i| (i * 10) as f64).collect();
+        assert_eq!(assess_quality(&varied, 500.0), SampleQuality::High);
+    }
+
+    #[test]
+    fn total_samples_sums_across_workloads() {
+        let mut repo = WorkloadRepository::new();
+        let a = repo.register("a", false);
+        let b = repo.register("b", false);
+        repo.add_sample(a, sample(vec![0.0], 1.0, SampleQuality::Low));
+        repo.add_sample(b, sample(vec![0.0], 1.0, SampleQuality::Low));
+        repo.add_sample(b, sample(vec![0.0], 1.0, SampleQuality::Low));
+        assert_eq!(repo.total_samples(), 3);
+    }
+
+    #[test]
+    fn shared_repository_is_cloneable_and_synchronised() {
+        let shared = shared_repository();
+        let clone = Arc::clone(&shared);
+        let id = shared.lock().register("w", false);
+        clone.lock().add_sample(id, sample(vec![0.2], 9.0, SampleQuality::High));
+        assert_eq!(shared.lock().total_samples(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Workload adulteration (§3.1).
+//!
+//! TPCC alone only ever throttles `work_mem` (its sorts need ~0.5 MB). To
+//! exercise every knob class the paper injects, with probability `p`, the
+//! queries it saw cause production bottlenecks:
+//!
+//! * complex sorts/aggregations → `work_mem` / `sort_buffer_size` throttles,
+//! * create/delete indexes → `maintenance_work_mem` / `key_buffer_size`,
+//! * bulk deletes → `maintenance_work_mem`,
+//! * temp tables + aggregation over them → `temp_buffers` / `tmp_table_size`.
+//!
+//! Figs. 3 and 4 run this at p = 0.8 and p = 0.5 respectively.
+
+use crate::mix::{MixWorkload, TemplateSpec};
+use autodbaas_simdb::{QueryKind, QueryProfile};
+use autodbaas_telemetry::dist::categorical;
+use rand::{Rng, RngCore};
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+/// The paper's injection set. Table spans are resolved against the base
+/// workload's catalog at build time.
+fn injection_templates(n_tables: u32) -> Vec<TemplateSpec> {
+    let span = (0, n_tables.saturating_sub(1));
+    vec![
+        // Complex sorts/aggregation: "requires nearby 350 MB".
+        TemplateSpec::read(35.0, QueryKind::ComplexAggregate, span, (50_000, 500_000))
+            .with_sort(150 * MIB, 400 * MIB),
+        // Create/delete indexes.
+        TemplateSpec::write(15.0, QueryKind::CreateIndex, span, (100_000, 1_000_000), (0, 0))
+            .with_maintenance(100 * MIB, 1_024 * MIB)
+            .with_sort(10 * MIB, 60 * MIB),
+        TemplateSpec::read(10.0, QueryKind::DropIndex, span, (1, 1)),
+        // Bulk deletes.
+        TemplateSpec::write(15.0, QueryKind::Delete, span, (10_000, 200_000), (10_000, 200_000))
+            .with_maintenance(80 * MIB, 400 * MIB),
+        // Temp tables + aggregation over them.
+        TemplateSpec::read(20.0, QueryKind::TempTable, span, (10_000, 300_000))
+            .with_temp(50 * MIB, 600 * MIB)
+            .with_sort(512 * KIB, 4 * MIB),
+        // Alter table.
+        TemplateSpec::write(5.0, QueryKind::AlterTable, span, (10_000, 500_000), (0, 0))
+            .with_maintenance(50 * MIB, 300 * MIB),
+    ]
+}
+
+/// A base workload with probabilistic injections.
+#[derive(Debug, Clone)]
+pub struct AdulteratedWorkload {
+    base: MixWorkload,
+    extras: Vec<TemplateSpec>,
+    extra_weights: Vec<f64>,
+    probability: f64,
+}
+
+impl AdulteratedWorkload {
+    /// Adulterate `base` with the paper's injection set at probability `p`.
+    pub fn new(base: MixWorkload, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        let extras = injection_templates(base.catalog().len() as u32);
+        let extra_weights = extras.iter().map(|t| t.weight).collect();
+        Self { base, extras, extra_weights, probability: p }
+    }
+
+    /// Adulterate with a custom injection set.
+    pub fn with_templates(base: MixWorkload, p: f64, extras: Vec<TemplateSpec>) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        assert!(!extras.is_empty());
+        let extra_weights = extras.iter().map(|t| t.weight).collect();
+        Self { base, extras, extra_weights, probability: p }
+    }
+
+    /// The underlying clean workload.
+    pub fn base(&self) -> &MixWorkload {
+        &self.base
+    }
+
+    /// Injection probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Draw the next query: with probability `p` an injected shape,
+    /// otherwise the base mix.
+    pub fn next_query(&self, rng: &mut dyn RngCore) -> QueryProfile {
+        if rng.gen::<f64>() < self.probability {
+            let idx = categorical(rng, &self.extra_weights);
+            self.base.instantiate(&self.extras[idx], rng)
+        } else {
+            self.base.next_query(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::tpcc;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn kinds_injected() -> [QueryKind; 6] {
+        [
+            QueryKind::ComplexAggregate,
+            QueryKind::CreateIndex,
+            QueryKind::DropIndex,
+            QueryKind::Delete,
+            QueryKind::TempTable,
+            QueryKind::AlterTable,
+        ]
+    }
+
+    #[test]
+    fn zero_probability_is_pure_base() {
+        let w = AdulteratedWorkload::new(tpcc(5.0), 0.0);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..2_000 {
+            let q = w.next_query(&mut rng);
+            assert!(!kinds_injected().contains(&q.kind), "injected {:?} at p=0", q.kind);
+        }
+    }
+
+    #[test]
+    fn injection_rate_tracks_probability() {
+        for p in [0.5, 0.8] {
+            let w = AdulteratedWorkload::new(tpcc(5.0), p);
+            let mut rng = StdRng::seed_from_u64(22);
+            let n = 10_000;
+            let injected = (0..n)
+                .filter(|_| kinds_injected().contains(&w.next_query(&mut rng).kind))
+                .count();
+            let frac = injected as f64 / n as f64;
+            assert!((frac - p).abs() < 0.03, "p={p} got {frac}");
+        }
+    }
+
+    #[test]
+    fn injections_cover_all_memory_knob_classes() {
+        let w = AdulteratedWorkload::new(tpcc(5.0), 1.0);
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut saw_sort = false;
+        let mut saw_maint = false;
+        let mut saw_temp = false;
+        for _ in 0..2_000 {
+            let q = w.next_query(&mut rng);
+            saw_sort |= q.sort_bytes > 100 * MIB;
+            saw_maint |= q.maintenance_bytes > 50 * MIB;
+            saw_temp |= q.temp_bytes > 50 * MIB;
+        }
+        assert!(saw_sort && saw_maint && saw_temp);
+    }
+
+    #[test]
+    fn complex_aggregates_need_about_350_mb() {
+        // The paper: complex aggregation added to TPCC "requires nearby 350 MB".
+        let w = AdulteratedWorkload::new(tpcc(5.0), 1.0);
+        let mut rng = StdRng::seed_from_u64(24);
+        let sorts: Vec<u64> = (0..5_000)
+            .map(|_| w.next_query(&mut rng))
+            .filter(|q| q.kind == QueryKind::ComplexAggregate)
+            .map(|q| q.sort_bytes)
+            .collect();
+        assert!(!sorts.is_empty());
+        let max = *sorts.iter().max().unwrap();
+        assert!((300 * MIB..=400 * MIB).contains(&max), "max complex-agg sort {max}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range_probability() {
+        let _ = AdulteratedWorkload::new(tpcc(1.0), 1.5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Arrival processes: how many queries hit a database per time step.
+//!
+//! Production workloads (Fig. 8) are diurnal — a surge between 8 and 11 AM
+//! when "most of the microservice usages surge" (§5), low traffic at night,
+//! a weekly dip on weekends — while benchmark executions drive constant
+//! request rates. Both are Poisson-thinned so counts vary realistically.
+
+use autodbaas_telemetry::dist::poisson;
+use autodbaas_telemetry::{SimTime, MILLIS_PER_DAY, MILLIS_PER_HOUR};
+use rand::RngCore;
+
+/// A time-varying arrival-rate model.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Constant requests/second (benchmark executions).
+    Constant(f64),
+    /// Diurnal profile for production services.
+    Diurnal(DiurnalProfile),
+}
+
+/// Parameters of a day/week-shaped arrival curve.
+#[derive(Debug, Clone)]
+pub struct DiurnalProfile {
+    /// Off-peak requests/second.
+    pub base_rps: f64,
+    /// Peak requests/second at the top of the morning surge.
+    pub peak_rps: f64,
+    /// Hour of day (0–23) when the surge starts.
+    pub surge_start_hour: u32,
+    /// Hour of day when the surge ends.
+    pub surge_end_hour: u32,
+    /// Weekend traffic multiplier (≤1).
+    pub weekend_factor: f64,
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        // Tuned to the paper's production service: surge 8–11 AM, ~42M
+        // queries/day at the default production rate.
+        Self {
+            base_rps: 210.0,
+            peak_rps: 1_580.0,
+            surge_start_hour: 8,
+            surge_end_hour: 11,
+            weekend_factor: 0.55,
+        }
+    }
+}
+
+impl ArrivalProcess {
+    /// Instantaneous rate (requests/second) at sim time `t`.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match self {
+            ArrivalProcess::Constant(rps) => *rps,
+            ArrivalProcess::Diurnal(p) => {
+                let ms_of_day = t % MILLIS_PER_DAY;
+                let hour = (ms_of_day / MILLIS_PER_HOUR) as f64
+                    + (ms_of_day % MILLIS_PER_HOUR) as f64 / MILLIS_PER_HOUR as f64;
+                let day = (t / MILLIS_PER_DAY) % 7;
+                let weekend = day >= 5;
+
+                // Smooth daily curve: a broad sinusoid with its crest inside
+                // the surge window plus a sharper surge bump.
+                let daily =
+                    0.5 + 0.5 * ((hour - 13.0) / 24.0 * 2.0 * std::f64::consts::PI).cos();
+                let surge_mid =
+                    (p.surge_start_hour as f64 + p.surge_end_hour as f64) / 2.0;
+                let surge_halfwidth =
+                    ((p.surge_end_hour as f64 - p.surge_start_hour as f64) / 2.0).max(0.5);
+                let d = (hour - surge_mid) / surge_halfwidth;
+                let surge = (-d * d).exp();
+
+                let mut rate = p.base_rps + (p.peak_rps - p.base_rps) * (0.35 * daily + 0.65 * surge);
+                if weekend {
+                    rate *= p.weekend_factor;
+                }
+                rate.max(0.0)
+            }
+        }
+    }
+
+    /// Poisson-sampled number of arrivals in `[t, t + dt_ms)`.
+    pub fn sample_count(&self, rng: &mut dyn RngCore, t: SimTime, dt_ms: u64) -> u64 {
+        let lambda = self.rate_at(t) * dt_ms as f64 / 1000.0;
+        poisson(rng, lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_rate_is_flat() {
+        let a = ArrivalProcess::Constant(100.0);
+        assert_eq!(a.rate_at(0), 100.0);
+        assert_eq!(a.rate_at(MILLIS_PER_DAY * 3), 100.0);
+    }
+
+    #[test]
+    fn diurnal_surges_in_the_morning_window() {
+        let a = ArrivalProcess::Diurnal(DiurnalProfile::default());
+        let at_hour = |h: u64| a.rate_at(h * MILLIS_PER_HOUR);
+        let surge = at_hour(9); // inside 8–11
+        let night = at_hour(3);
+        assert!(surge > night * 2.0, "surge {surge} vs night {night}");
+    }
+
+    #[test]
+    fn diurnal_peak_is_in_surge_window() {
+        let a = ArrivalProcess::Diurnal(DiurnalProfile::default());
+        let mut best_hour = 0;
+        let mut best = 0.0;
+        for h in 0..24u64 {
+            let r = a.rate_at(h * MILLIS_PER_HOUR + MILLIS_PER_HOUR / 2);
+            if r > best {
+                best = r;
+                best_hour = h;
+            }
+        }
+        assert!((8..=11).contains(&best_hour), "peak at hour {best_hour}");
+    }
+
+    #[test]
+    fn weekend_reduces_traffic() {
+        let a = ArrivalProcess::Diurnal(DiurnalProfile::default());
+        let weekday = a.rate_at(9 * MILLIS_PER_HOUR); // day 0
+        let weekend = a.rate_at(5 * MILLIS_PER_DAY + 9 * MILLIS_PER_HOUR); // day 5
+        assert!(weekend < weekday);
+    }
+
+    #[test]
+    fn sampled_counts_track_rate() {
+        let a = ArrivalProcess::Constant(500.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let total: u64 = (0..100).map(|i| a.sample_count(&mut rng, i * 1000, 1000)).sum();
+        let mean = total as f64 / 100.0;
+        assert!((mean - 500.0).abs() < 25.0, "mean {mean}");
+    }
+
+    #[test]
+    fn daily_total_close_to_paper_production_volume() {
+        // The paper's trace averages 42.13M queries/day.
+        let a = ArrivalProcess::Diurnal(DiurnalProfile::default());
+        let mut total = 0.0;
+        let step = MILLIS_PER_HOUR / 4;
+        let mut t = 0;
+        while t < MILLIS_PER_DAY {
+            total += a.rate_at(t) * (step as f64 / 1000.0);
+            t += step;
+        }
+        assert!(
+            (25e6..70e6).contains(&total),
+            "daily volume {total} out of the plausible band"
+        );
+    }
+}

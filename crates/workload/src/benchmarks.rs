@@ -1,0 +1,244 @@
+//! The OLTP-Bench workloads the paper evaluates with (§5): TPCC, YCSB,
+//! Wikipedia, Twitter, plus TPCH and CH-benCHmark used in Fig. 2 and the
+//! Fig. 14 workload-switch experiment.
+//!
+//! Memory footprints follow the paper's Fig. 2 measurements: TPCC's sorts
+//! use ~0.5 MB of working memory; YCSB and Wikipedia use none ("due to
+//! absence of complex queries like aggregate, joins, and order-by");
+//! analytic workloads demand hundreds of MB and are what actually throttles
+//! memory knobs.
+
+use crate::arrival::ArrivalProcess;
+use crate::mix::{MixWorkload, TemplateSpec};
+use autodbaas_simdb::{Catalog, QueryKind};
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+const GIB: u64 = 1024 * 1024 * 1024;
+
+fn gb(x: f64) -> u64 {
+    (x * GIB as f64) as u64
+}
+
+/// TPC-C at roughly `db_gb` gigabytes (the paper's scale factor 18 ≈ 21 GB;
+/// Fig. 10 runs 26 GB at 3300 requests/second).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let wl = autodbaas_workload::tpcc(1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let q = wl.next_query(&mut rng);
+/// assert!(q.table < wl.catalog().len() as u32);
+/// ```
+pub fn tpcc(db_gb: f64) -> MixWorkload {
+    let catalog = Catalog::synthetic(9, gb(db_gb), 150, 2);
+    // TPCC exhibits strong temporal locality: transactions hammer the
+    // newest orders/districts, so its hot set stays small.
+    const TPCC_LOCALITY: f64 = 6.0;
+    let t = vec![
+        // NewOrder: a multi-insert transaction.
+        TemplateSpec::write(45.0, QueryKind::Insert, (0, 8), (10, 40), (5, 15))
+            .with_locality(TPCC_LOCALITY),
+        // Payment: small update.
+        TemplateSpec::write(43.0, QueryKind::Update, (0, 8), (1, 4), (1, 3))
+            .with_locality(TPCC_LOCALITY),
+        // OrderStatus: short sorted read (the ~0.5 MB work_mem user).
+        TemplateSpec::read(4.0, QueryKind::OrderBy, (0, 8), (5, 30))
+            .with_sort(200 * KIB, 700 * KIB)
+            .with_locality(TPCC_LOCALITY),
+        // Delivery: batched updates.
+        TemplateSpec::write(4.0, QueryKind::Update, (0, 8), (50, 150), (20, 60))
+            .with_locality(TPCC_LOCALITY),
+        // StockLevel: join with a small hash table.
+        TemplateSpec::read(4.0, QueryKind::Join, (0, 8), (100, 400))
+            .with_sort(200 * KIB, 600 * KIB)
+            .with_locality(4.0),
+    ];
+    MixWorkload::new("tpcc", t, catalog, ArrivalProcess::Constant(3_300.0))
+}
+
+/// YCSB (workload-A-like 50/50 point read/update) at `db_gb`; the paper
+/// runs 20 GB at 5000 requests/second. No working-memory demand at all.
+pub fn ycsb(db_gb: f64) -> MixWorkload {
+    let catalog = Catalog::synthetic(1, gb(db_gb), 1_100, 1);
+    let t = vec![
+        TemplateSpec::read(50.0, QueryKind::PointSelect, (0, 0), (1, 1)),
+        TemplateSpec::write(50.0, QueryKind::Update, (0, 0), (1, 1), (1, 1)),
+    ];
+    MixWorkload::new("ycsb", t, catalog, ArrivalProcess::Constant(5_000.0))
+}
+
+/// Wikipedia at `db_gb`; the paper runs 12 GB at 1000 requests/second.
+pub fn wikipedia(db_gb: f64) -> MixWorkload {
+    let catalog = Catalog::synthetic(5, gb(db_gb), 600, 2);
+    // Wikipedia reads follow a long tail: most articles are cold, so the
+    // effective locality is near-uniform.
+    let t = vec![
+        // Article fetch by title.
+        TemplateSpec::read(68.0, QueryKind::PointSelect, (0, 4), (1, 3)).with_locality(1.2),
+        // Revision-history page: a modest range read, no sort memory (the
+        // history index already provides order).
+        TemplateSpec::read(22.0, QueryKind::RangeSelect, (0, 4), (20, 200)).with_locality(1.2),
+        // Page edit.
+        TemplateSpec::write(8.0, QueryKind::Update, (0, 4), (1, 4), (1, 3)).with_locality(1.5),
+        // New page / new revision rows.
+        TemplateSpec::write(2.0, QueryKind::Insert, (0, 4), (1, 2), (1, 4)).with_locality(4.0),
+    ];
+    MixWorkload::new("wikipedia", t, catalog, ArrivalProcess::Constant(1_000.0))
+}
+
+/// Twitter at `db_gb`; the paper runs 22 GB at 10000 requests/second.
+pub fn twitter(db_gb: f64) -> MixWorkload {
+    let catalog = Catalog::synthetic(4, gb(db_gb), 300, 2);
+    let t = vec![
+        TemplateSpec::read(55.0, QueryKind::PointSelect, (0, 3), (1, 2)).with_locality(2.5),
+        // Timeline / follower list: skewed range reads.
+        TemplateSpec::read(25.0, QueryKind::RangeSelect, (0, 3), (20, 120)).with_locality(2.0),
+        // Who-follows joins with tiny hash tables.
+        TemplateSpec::read(8.0, QueryKind::Join, (0, 3), (50, 300))
+            .with_sort(64 * KIB, 256 * KIB)
+            .with_locality(2.0),
+        TemplateSpec::write(12.0, QueryKind::Insert, (0, 3), (1, 1), (1, 2)).with_locality(5.0),
+    ];
+    MixWorkload::new("twitter", t, catalog, ArrivalProcess::Constant(10_000.0))
+}
+
+/// TPC-H-style analytics at `db_gb` (Fig. 14 loads 24 GB). Large
+/// parallelizable scans with heavy sort/aggregate memory.
+pub fn tpch(db_gb: f64) -> MixWorkload {
+    let catalog = Catalog::synthetic(8, gb(db_gb), 180, 1);
+    let t = vec![
+        TemplateSpec::read(35.0, QueryKind::Aggregate, (0, 7), (100_000, 3_000_000))
+            .with_sort(20 * MIB, 300 * MIB)
+            .parallel(),
+        TemplateSpec::read(30.0, QueryKind::Join, (0, 7), (200_000, 5_000_000))
+            .with_sort(50 * MIB, 500 * MIB)
+            .parallel(),
+        TemplateSpec::read(20.0, QueryKind::OrderBy, (0, 7), (50_000, 1_000_000))
+            .with_sort(10 * MIB, 200 * MIB)
+            .parallel(),
+        TemplateSpec::read(15.0, QueryKind::RangeSelect, (0, 7), (10_000, 500_000)).parallel(),
+    ];
+    MixWorkload::new("tpch", t, catalog, ArrivalProcess::Constant(8.0))
+}
+
+/// CH-benCHmark: TPCC transactions with TPCH-style analytics mixed in —
+/// the hybrid Fig. 2 measures working memory for.
+pub fn chbench(db_gb: f64) -> MixWorkload {
+    let catalog = Catalog::synthetic(17, gb(db_gb), 160, 2);
+    let t = vec![
+        TemplateSpec::write(32.0, QueryKind::Insert, (0, 16), (10, 40), (5, 15)),
+        TemplateSpec::write(30.0, QueryKind::Update, (0, 16), (1, 4), (1, 3)),
+        TemplateSpec::read(6.0, QueryKind::OrderBy, (0, 16), (5, 30)).with_sort(200 * KIB, 700 * KIB),
+        // The analytic side.
+        TemplateSpec::read(16.0, QueryKind::Aggregate, (0, 16), (50_000, 1_000_000))
+            .with_sort(5 * MIB, 120 * MIB)
+            .parallel(),
+        TemplateSpec::read(16.0, QueryKind::Join, (0, 16), (100_000, 2_000_000))
+            .with_sort(10 * MIB, 200 * MIB)
+            .parallel(),
+    ];
+    MixWorkload::new("chbench", t, catalog, ArrivalProcess::Constant(800.0))
+}
+
+/// The standard workloads by name, at the §5 database sizes — convenience
+/// for harnesses that sweep all of them.
+pub fn by_name(name: &str) -> Option<MixWorkload> {
+    match name {
+        "tpcc" => Some(tpcc(26.0)),
+        "ycsb" => Some(ycsb(20.0)),
+        "wikipedia" => Some(wikipedia(12.0)),
+        "twitter" => Some(twitter(22.0)),
+        "tpch" => Some(tpch(24.0)),
+        "chbench" => Some(chbench(21.0)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_sorts(w: &MixWorkload, n: usize) -> (u64, u64) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut max_sort = 0;
+        let mut with_sort = 0;
+        for _ in 0..n {
+            let q = w.next_query(&mut rng);
+            if q.sort_bytes > 0 {
+                with_sort += 1;
+            }
+            max_sort = max_sort.max(q.sort_bytes);
+        }
+        (with_sort, max_sort)
+    }
+
+    #[test]
+    fn tpcc_memory_footprint_matches_fig2() {
+        let w = tpcc(21.0);
+        let (_, max_sort) = sample_sorts(&w, 5_000);
+        // ~0.5 MB, never more than ~0.7 MB.
+        assert!(max_sort <= 700 * KIB + 1, "tpcc max sort {max_sort}");
+        assert!(max_sort >= 200 * KIB, "tpcc sorts too small {max_sort}");
+    }
+
+    #[test]
+    fn ycsb_and_wikipedia_use_no_working_memory() {
+        for w in [ycsb(20.0), wikipedia(12.0)] {
+            let (with_sort, _) = sample_sorts(&w, 3_000);
+            assert_eq!(with_sort, 0, "{} must not demand work_mem", w.name());
+        }
+    }
+
+    #[test]
+    fn tpch_demands_hundreds_of_megabytes() {
+        let w = tpch(24.0);
+        let (_, max_sort) = sample_sorts(&w, 3_000);
+        assert!(max_sort > 100 * MIB, "tpch max sort {max_sort}");
+    }
+
+    #[test]
+    fn catalog_sizes_match_requested_gb() {
+        for (w, gb) in [
+            (tpcc(26.0), 26.0),
+            (ycsb(20.0), 20.0),
+            (wikipedia(12.0), 12.0),
+            (twitter(22.0), 22.0),
+        ] {
+            let actual = w.catalog().total_bytes() as f64 / GIB as f64;
+            assert!((actual - gb).abs() / gb < 0.05, "{}: {actual} GB vs {gb}", w.name());
+        }
+    }
+
+    #[test]
+    fn tpcc_is_write_heavy_ycsb_is_mixed() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let tpcc_wl = tpcc(5.0);
+        let tp = (0..4_000).filter(|_| tpcc_wl.next_query(&mut rng).kind.is_write()).count();
+        let ycsb_wl = ycsb(5.0);
+        let yc = (0..4_000).filter(|_| ycsb_wl.next_query(&mut rng).kind.is_write()).count();
+        assert!(tp as f64 / 4000.0 > 0.85, "tpcc write fraction {}", tp);
+        assert!((yc as f64 / 4000.0 - 0.5).abs() < 0.05, "ycsb write fraction {}", yc);
+    }
+
+    #[test]
+    fn by_name_covers_all_and_rejects_unknown() {
+        for n in ["tpcc", "ycsb", "wikipedia", "twitter", "tpch", "chbench"] {
+            assert!(by_name(n).is_some(), "missing {n}");
+        }
+        assert!(by_name("sysbench").is_none());
+    }
+
+    #[test]
+    fn default_rates_match_paper() {
+        assert!(matches!(tpcc(26.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 3_300.0));
+        assert!(matches!(ycsb(20.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 5_000.0));
+        assert!(matches!(twitter(22.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 10_000.0));
+        assert!(matches!(wikipedia(12.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 1_000.0));
+    }
+}

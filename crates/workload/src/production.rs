@@ -1,0 +1,113 @@
+//! Synthetic production customer workload (§5).
+//!
+//! The paper captures 33 days of a real customer service: 132 tables, 59 GB,
+//! an average of 42.13M queries/day split into 41M inserts, 71K selects,
+//! 34K updates and 0.8K deletes, with the diurnal arrival shape of Fig. 8.
+//! This module generates a statistically matching trace. The select slice
+//! carries a tail of analytic queries (joins/aggregations with real sort
+//! demand) — the production bottlenecks §3.1 reports came from somewhere.
+
+use crate::arrival::{ArrivalProcess, DiurnalProfile};
+use crate::mix::{MixWorkload, TemplateSpec};
+use autodbaas_simdb::{Catalog, QueryKind};
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+const GIB: u64 = 1024 * 1024 * 1024;
+
+/// Days of activity in the paper's capture.
+pub const TRACE_DAYS: u64 = 33;
+
+/// Build the production workload. The returned [`MixWorkload`] samples the
+/// query mix; its default arrival process is the Fig. 8 diurnal curve.
+pub fn production() -> MixWorkload {
+    // 132 tables, 59 GB.
+    let catalog = Catalog::synthetic(132, 59 * GIB, 220, 2);
+    let span = (0u32, 131u32);
+
+    // Daily counts from §5, used directly as weights.
+    let inserts = 41_000_000.0;
+    let selects = 71_000.0;
+    let updates = 34_000.0;
+    let deletes = 800.0;
+
+    let t = vec![
+        // The firehose: telemetry-style single-row inserts (append-only ->
+        // extremely hot tail pages).
+        TemplateSpec::write(inserts, QueryKind::Insert, span, (1, 2), (1, 3)).with_locality(8.0),
+        // Simple operational lookups (most of the select volume).
+        TemplateSpec::read(selects * 0.70, QueryKind::PointSelect, span, (1, 10)),
+        TemplateSpec::read(selects * 0.15, QueryKind::RangeSelect, span, (50, 5_000)),
+        // Reporting queries: joins and aggregations with real memory needs.
+        TemplateSpec::read(selects * 0.09, QueryKind::Join, span, (10_000, 500_000))
+            .with_sort(2 * MIB, 80 * MIB)
+            .parallel(),
+        TemplateSpec::read(selects * 0.05, QueryKind::Aggregate, span, (20_000, 800_000))
+            .with_sort(4 * MIB, 120 * MIB)
+            .parallel(),
+        TemplateSpec::read(selects * 0.01, QueryKind::OrderBy, span, (5_000, 100_000))
+            .with_sort(MIB, 40 * MIB),
+        // Updates and rare deletes.
+        TemplateSpec::write(updates, QueryKind::Update, span, (1, 20), (1, 10)),
+        TemplateSpec::write(deletes, QueryKind::Delete, span, (100, 10_000), (100, 10_000))
+            .with_maintenance(512 * KIB, 16 * MIB),
+    ];
+    MixWorkload::new(
+        "production",
+        t,
+        catalog,
+        ArrivalProcess::Diurnal(DiurnalProfile::default()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodbaas_telemetry::MILLIS_PER_HOUR;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn catalog_matches_paper_shape() {
+        let w = production();
+        assert_eq!(w.catalog().len(), 132);
+        let size = w.catalog().total_bytes() as f64 / GIB as f64;
+        assert!((size - 59.0).abs() < 1.0, "size {size} GB");
+    }
+
+    #[test]
+    fn mix_is_insert_dominated() {
+        let w = production();
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 20_000;
+        let inserts =
+            (0..n).filter(|_| w.next_query(&mut rng).kind == QueryKind::Insert).count();
+        let frac = inserts as f64 / n as f64;
+        // 41M of 41.1M daily queries are inserts ⇒ ≥99%.
+        assert!(frac > 0.985, "insert fraction {frac}");
+    }
+
+    #[test]
+    fn selects_include_analytic_tail() {
+        let w = production();
+        let mut rng = StdRng::seed_from_u64(32);
+        // Sample a lot: selects are rare.
+        let mut saw_heavy_sort = false;
+        for _ in 0..400_000 {
+            let q = w.next_query(&mut rng);
+            if q.sort_bytes > 10 * MIB {
+                saw_heavy_sort = true;
+                break;
+            }
+        }
+        assert!(saw_heavy_sort, "production trace lost its analytic tail");
+    }
+
+    #[test]
+    fn arrival_is_diurnal() {
+        let w = production();
+        let surge = w.default_arrival().rate_at(9 * MILLIS_PER_HOUR);
+        let night = w.default_arrival().rate_at(3 * MILLIS_PER_HOUR);
+        assert!(surge > night * 2.0);
+    }
+}

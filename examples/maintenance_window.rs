@@ -1,0 +1,111 @@
+//! Non-tunable knobs and the maintenance window (§4).
+//!
+//! `shared_buffers` cannot change without a restart, so the pipeline is:
+//! the TDE gauges the working set and stages the finding; reloadable
+//! recommendations flow normally (staging any restart-bound knob values);
+//! at the scheduled downtime the orchestrator restarts the service with the
+//! §4 buffer rule applied and persists the config so redeployments keep it.
+//!
+//! ```sh
+//! cargo run --release --example maintenance_window
+//! ```
+
+use autodbaas::ctrlplane::{
+    plan_buffer_update, MaintenanceSchedule, ServiceOrchestrator, ServiceSpec,
+};
+use autodbaas::prelude::*;
+use autodbaas::tde::TdeConfig;
+use autodbaas::telemetry::{MILLIS_PER_HOUR, MILLIS_PER_MIN};
+use rand::rngs::StdRng;
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+const MIB: f64 = 1024.0 * 1024.0;
+
+fn main() {
+    let wl = tpcc(3.0);
+    let mut orch = ServiceOrchestrator::new();
+    let (service, mut rs) = orch.provision(ServiceSpec {
+        flavor: DbFlavor::Postgres,
+        instance: InstanceType::M4XLarge,
+        disk: DiskKind::Ssd,
+        catalog: wl.catalog().clone(),
+        n_slaves: 1,
+        seed: 21,
+    });
+    let profile = rs.master().profile().clone();
+    let shared = profile.lookup("shared_buffers").unwrap();
+    let mut tde = Tde::new(&profile, TdeConfig::default(), 9);
+    let mut rng = StdRng::seed_from_u64(4);
+
+    let schedule = MaintenanceSchedule {
+        every_ms: 24 * MILLIS_PER_HOUR,
+        duration_ms: 30 * MILLIS_PER_MIN,
+        first_at: MILLIS_PER_HOUR, // first window one hour in
+    };
+
+    println!("== Maintenance window: tuning shared_buffers (§4) ==");
+    println!(
+        "initial shared_buffers: {:.0} MiB (vendor default)",
+        rs.master().knobs().get(shared) / MIB
+    );
+
+    // --- One hour of traffic; the TDE gauges the working set ------------
+    let mut last_ws = 0u64;
+    for minute in 0..60u64 {
+        for _ in 0..60 {
+            // A dozen distinct statements per second keeps the touched-page
+            // gauge honest (one batched shape would understate it).
+            for _ in 0..12 {
+                let q = wl.next_query(&mut rng);
+                let _ = rs.master_mut().submit(&q, 10);
+            }
+            rs.tick(1_000);
+        }
+        let report = tde.run(rs.master_mut(), None);
+        for f in &report.buffer_findings {
+            last_ws = f.working_set_bytes;
+            if minute % 15 == 0 {
+                println!(
+                    "minute {minute:>2}: working set {:.0} MiB > buffer {:.0} MiB (staged for downtime)",
+                    f.working_set_bytes as f64 / MIB,
+                    f.buffer_bytes as f64 / MIB
+                );
+            }
+        }
+    }
+
+    // --- The scheduled window opens --------------------------------------
+    let now = rs.master().now();
+    assert!(schedule.in_window(now), "one hour in, the window is open");
+    println!("\nscheduled downtime window open at t={:.1} h", now as f64 / MILLIS_PER_HOUR as f64);
+
+    let upper_limit = InstanceType::M4XLarge.db_mem_cap() * 0.5; // buffer's share of the pool
+    let history: Vec<f64> = vec![]; // no recommendation history yet
+    let current = rs.master().knobs().get(shared);
+    let new_value = plan_buffer_update(current, last_ws as f64, upper_limit, &history, 0)
+        .unwrap_or(current);
+    println!(
+        "§4 buffer rule: working set {:.0} MiB, cap {:.1} GiB -> new shared_buffers {:.0} MiB",
+        last_ws as f64 / MIB,
+        upper_limit / GIB,
+        new_value / MIB
+    );
+
+    // Restart-class apply during the window; persist afterwards.
+    let report = rs
+        .apply(&[ConfigChange { knob: shared, value: new_value }], ApplyMode::Restart)
+        .expect("maintenance apply");
+    println!(
+        "restart applied ({} ms downtime), buffer now {:.0} MiB",
+        report.downtime_ms,
+        rs.master().knobs().get(shared) / MIB
+    );
+    orch.persist_config(service, rs.master().knobs().clone());
+
+    // --- Redeploy later: the tuned config survives ----------------------
+    let redeployed = orch.redeploy(service).expect("service exists");
+    println!(
+        "after redeployment, shared_buffers is still {:.0} MiB (persisted)",
+        redeployed.master().knobs().get(shared) / MIB
+    );
+}

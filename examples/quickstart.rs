@@ -1,0 +1,160 @@
+//! Quickstart: one database, one TDE, one tuner.
+//!
+//! Runs a TPCC-like workload whose sorts overflow the default `work_mem`,
+//! shows the TDE raising memory throttles, asks the BO tuner for a
+//! recommendation trained on the captured samples, applies it with a
+//! reload signal, and shows throughput recovering toward the offered load.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use autodbaas::prelude::*;
+use autodbaas::tuner::{normalize_config, Sample, SampleQuality};
+use rand::rngs::StdRng;
+
+fn main() {
+    // --- Provision a PostgreSQL-flavored service ------------------------
+    let workload = AdulteratedWorkload::new(tpcc(2.0), 0.3); // TPCC + heavy sorts
+    let mut db = SimDatabase::new(
+        DbFlavor::Postgres,
+        InstanceType::M4XLarge,
+        DiskKind::Ssd,
+        workload.base().catalog().clone(),
+        42,
+    );
+    let profile = db.profile().clone();
+    let mut tde = Tde::new(&profile, TdeConfig::default(), 7);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    println!("== AutoDBaaS quickstart ==");
+    println!(
+        "instance {} / flavor {} / db size {:.1} GB",
+        db.instance().name(),
+        db.flavor(),
+        db.catalog().total_bytes() as f64 / 1e9
+    );
+
+    // --- Phase 1: drive traffic at vendor defaults ----------------------
+    let mut repo = WorkloadRepository::new();
+    let wid = repo.register("quickstart-live", false);
+    let mut throttles_before = 0usize;
+    for minute in 0..5 {
+        let before = db.metrics_snapshot();
+        for _ in 0..60 {
+            let q = workload.next_query(&mut rng);
+            let _ = db.submit(&q, 60);
+            db.tick(1_000);
+        }
+        let report = tde.run(&mut db, Some(&repo));
+        throttles_before += report.throttles.len();
+        let delta = db.metrics_snapshot().delta(&before);
+        let qps = delta[autodbaas::simdb::MetricId::QueriesExecuted.index()] / 60.0;
+        println!(
+            "minute {minute}: {:>6.0} qps, {} throttle(s){}",
+            qps,
+            report.throttles.len(),
+            if report.tuning_request { "  -> tuning request" } else { "" }
+        );
+        // Capture the TDE-certified sample for the tuner.
+        if report.tuning_request {
+            repo.add_sample(
+                wid,
+                Sample {
+                    config: normalize_config(&profile, db.knobs().as_vec()),
+                    metrics: delta,
+                    objective: qps,
+                    quality: SampleQuality::High,
+                },
+            );
+        }
+    }
+
+    // --- Phase 2: one BO recommendation ---------------------------------
+    // Seed a few exploratory samples so the GP has gradient to work with.
+    let mut scratch_rng = StdRng::seed_from_u64(9);
+    for i in 0..24 {
+        use rand::Rng;
+        let unit: Vec<f64> = (0..profile.len()).map(|_| scratch_rng.gen()).collect();
+        let raw = autodbaas::tuner::denormalize_config(&profile, &unit);
+        let mut scratch = SimDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4XLarge,
+            DiskKind::Ssd,
+            workload.base().catalog().clone(),
+            100 + i,
+        );
+        for (k, (kid, spec)) in profile.iter().enumerate() {
+            if !spec.restart_required {
+                scratch.set_knob_direct(kid, raw[k]);
+            }
+        }
+        let before = scratch.metrics_snapshot();
+        for _ in 0..30 {
+            let q = workload.next_query(&mut scratch_rng);
+            let _ = scratch.submit(&q, 60);
+            scratch.tick(1_000);
+        }
+        let delta = scratch.metrics_snapshot().delta(&before);
+        let qps = delta[autodbaas::simdb::MetricId::QueriesExecuted.index()] / 30.0;
+        repo.add_sample(
+            wid,
+            Sample {
+                config: normalize_config(&profile, scratch.knobs().as_vec()),
+                metrics: delta,
+                objective: qps,
+                quality: SampleQuality::High,
+            },
+        );
+    }
+    let mut tuner = BoTuner::new(BoConfig::default(), 3);
+    let rec = tuner.recommend(&repo, wid).expect("repo has samples");
+    println!(
+        "\nBO recommendation trained on {} samples (modelled GPR cost {:.1} s)",
+        rec.train_samples,
+        rec.modeled_train_cost_ms / 1000.0
+    );
+
+    // --- Phase 3: apply via reload and watch throttles stop -------------
+    let raw = autodbaas::tuner::denormalize_config(&profile, &rec.config);
+    let changes: Vec<ConfigChange> = profile
+        .iter()
+        .zip(&raw)
+        .filter(|((_, spec), _)| !spec.restart_required)
+        .map(|((kid, _), &value)| ConfigChange { knob: kid, value })
+        .collect();
+    let report = db.apply_config(&changes, ApplyMode::Reload);
+    println!(
+        "applied {} knobs via reload signal ({} staged for the maintenance window)",
+        report.applied.len(),
+        report.deferred.len()
+    );
+    println!(
+        "work_mem is now {:.0} MiB (was 4 MiB default)",
+        db.knobs().get_named(&profile, "work_mem") / (1024.0 * 1024.0)
+    );
+
+    let mut throttles_after = 0usize;
+    let mut qps_after = 0.0;
+    for _ in 0..5 {
+        let before = db.metrics_snapshot();
+        for _ in 0..60 {
+            let q = workload.next_query(&mut rng);
+            let _ = db.submit(&q, 60);
+            db.tick(1_000);
+        }
+        let report = tde.run(&mut db, Some(&repo));
+        throttles_after += report.throttles.len();
+        qps_after +=
+            db.metrics_snapshot().delta(&before)[autodbaas::simdb::MetricId::QueriesExecuted.index()] / 60.0;
+    }
+    println!(
+        "\nthrottles in 5 minutes: before tuning = {throttles_before}, after = {throttles_after}"
+    );
+    println!("mean throughput after tuning: {:.0} qps (demand 60 qps)", qps_after / 5.0);
+    let counts = tde.throttle_counts();
+    println!(
+        "cumulative throttles by class: memory={} background-writer={} async/planner={}",
+        counts[0], counts[1], counts[2]
+    );
+}

@@ -1,0 +1,81 @@
+//! Workload-shift detection (the Fig. 14 / Table 1 scenario, miniature).
+//!
+//! One PostgreSQL instance has several datasets loaded. The executing
+//! workload switches (YCSB → TPCC → TPCH), and the TDE's throttle signals
+//! show how quickly — and through which knob classes — it notices each
+//! change without any explicit notification.
+//!
+//! ```sh
+//! cargo run --release --example workload_shift
+//! ```
+
+use autodbaas::prelude::*;
+use autodbaas::simdb::Catalog;
+use autodbaas::tde::TdeConfig;
+use rand::rngs::StdRng;
+
+fn main() {
+    // Load all three datasets into one catalog, rebasing table ids.
+    let mut ycsb_wl = ycsb(2.0);
+    let mut tpcc_wl = tpcc(2.0);
+    let mut tpch_wl = autodbaas::workload::tpch(2.0);
+    let mut catalog = Catalog::new();
+    let mut offset = 0u32;
+    for wl in [&mut ycsb_wl, &mut tpcc_wl, &mut tpch_wl] {
+        wl.rebase_tables(offset);
+        for t in wl.catalog().clone().iter() {
+            catalog.add_table(format!("{}_{}", wl.name(), t.name), t.rows, t.row_bytes, t.indexes);
+        }
+        offset += wl.catalog().len() as u32;
+    }
+
+    let mut db = SimDatabase::new(
+        DbFlavor::Postgres,
+        InstanceType::M4XLarge,
+        DiskKind::Ssd,
+        catalog,
+        11,
+    );
+    let mut tde = Tde::new(&db.profile().clone(), TdeConfig::default(), 5);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    println!("== Workload-shift detection ==");
+    println!("{:<8} {:<10} {:>7} {:>7} {:>7}  detected classes", "minute", "workload", "mem", "bgwr", "async");
+
+    let phases: [(&str, &MixWorkload, u64, u64); 3] =
+        [("ycsb", &ycsb_wl, 300, 6), ("tpcc", &tpcc_wl, 200, 6), ("tpch", &tpch_wl, 4, 6)];
+    let mut minute = 0u64;
+    for (name, wl, rate, minutes) in phases {
+        // The TDE is NOT told about the switch; detection is organic.
+        for _ in 0..minutes {
+            let before = tde.throttle_counts();
+            for _ in 0..60 {
+                let q = wl.next_query(&mut rng);
+                let _ = db.submit(&q, rate.max(1));
+                db.tick(1_000);
+            }
+            let report = tde.run(&mut db, None);
+            let after = tde.throttle_counts();
+            let classes: Vec<String> = report
+                .throttles
+                .iter()
+                .map(|t| t.class.to_string())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            println!(
+                "{:<8} {:<10} {:>7} {:>7} {:>7}  {}",
+                minute,
+                name,
+                after[0] - before[0],
+                after[1] - before[1],
+                after[2] - before[2],
+                if classes.is_empty() { "-".to_string() } else { classes.join(", ") }
+            );
+            minute += 1;
+        }
+    }
+    println!("\nYCSB (point reads/updates, no sorts) runs clean; the switch to");
+    println!("TPCH (100 MB-class sorts/joins) lights up the memory class within");
+    println!("one observation window — the Fig. 14 effect.");
+}

@@ -1,0 +1,217 @@
+//! `autodbaas` — scenario runner CLI.
+//!
+//! ```text
+//! autodbaas demo                        one DB: detect -> tune -> relief
+//! autodbaas census  [--db pg|mysql]     throttles per knob class per workload
+//! autodbaas fleet   [--dbs N] [--hours H] [--policy tde|5min|10min]
+//! autodbaas entropy [--prob P]          adulteration entropy curve
+//! ```
+//!
+//! Everything is deterministic; rerunning a command reproduces its output.
+
+use autodbaas::cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
+use autodbaas::prelude::*;
+use autodbaas::tde::{ClassHistogram, TdeConfig};
+use autodbaas::telemetry::entropy::normalized_entropy;
+use autodbaas::telemetry::{MILLIS_PER_HOUR, MILLIS_PER_MIN};
+use rand::rngs::StdRng;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parse a flag's value or exit with a readable error (no panics at the
+/// CLI surface).
+fn parsed_arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match arg(name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} expects a number, got '{v}'");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "help".into());
+    match cmd.as_str() {
+        "demo" => demo(),
+        "census" => census(),
+        "fleet" => fleet(),
+        "entropy" => entropy(),
+        _ => {
+            eprintln!(
+                "usage: autodbaas <demo|census|fleet|entropy> [flags]\n\
+                 \n\
+                 demo                       one DB: detect -> tune -> relief\n\
+                 census  [--db pg|mysql]    throttles per knob class per workload\n\
+                 fleet   [--dbs N] [--hours H] [--policy tde|5min|10min]\n\
+                 entropy [--prob P]         adulteration entropy curve"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One database: run a starved workload, let the TDE detect, fix the knob,
+/// show relief. The quickstart example, condensed.
+fn demo() {
+    let wl = AdulteratedWorkload::new(tpcc(1.0), 0.4);
+    let mut db = SimDatabase::new(
+        DbFlavor::Postgres,
+        InstanceType::M4XLarge,
+        DiskKind::Ssd,
+        wl.base().catalog().clone(),
+        1,
+    );
+    let profile = db.profile().clone();
+    let mut tde = Tde::new(&profile, TdeConfig::default(), 2);
+    let mut rng: StdRng = SeedableRng::seed_from_u64(3);
+
+    println!("phase 1: vendor defaults");
+    for minute in 0..3 {
+        for _ in 0..60 {
+            let q = wl.next_query(&mut rng);
+            let _ = db.submit(&q, 60);
+            db.tick(1_000);
+        }
+        let r = tde.run(&mut db, None);
+        println!("  minute {minute}: {} throttle(s)", r.throttles.len());
+        for t in &r.throttles {
+            println!("    -> {} ({:?})", profile.spec(t.knob).name, t.class);
+        }
+    }
+    println!("phase 2: applying the obvious fix (the tuner's job in production)");
+    for name in ["work_mem", "maintenance_work_mem", "temp_buffers"] {
+        let id = profile.lookup(name).unwrap();
+        db.set_knob_direct(id, profile.spec(id).max.min(1024.0 * 1024.0 * 1024.0));
+    }
+    let mut after = 0;
+    for _ in 0..3 {
+        for _ in 0..60 {
+            let q = wl.next_query(&mut rng);
+            let _ = db.submit(&q, 60);
+            db.tick(1_000);
+        }
+        after += tde.run(&mut db, None).throttles.len();
+    }
+    println!("phase 3: {after} throttle(s) in the next 3 minutes — relief.");
+}
+
+/// Fig. 10/11 in CLI form.
+fn census() {
+    let flavor = match arg("--db").as_deref() {
+        Some("mysql") => DbFlavor::MySql,
+        _ => DbFlavor::Postgres,
+    };
+    println!("throttles/window by class on {flavor} (10 windows, no tuning):");
+    println!("{:<14} {:>8} {:>10} {:>8}", "workload", "memory", "bgwriter", "async");
+    for (name, rate) in [("tpcc", 1_600u64), ("wikipedia", 800), ("ycsb", 2_000)] {
+        let wl = autodbaas::workload::by_name(name).unwrap();
+        let mut db = SimDatabase::new(
+            flavor,
+            InstanceType::M4Large,
+            DiskKind::Ssd,
+            wl.catalog().clone(),
+            13,
+        );
+        let buffer = db.planner().roles().buffer_pool;
+        db.set_knob_direct(buffer, InstanceType::M4Large.mem_bytes() * 0.25);
+        let mut rng: StdRng = SeedableRng::seed_from_u64(17);
+        // Warm.
+        for _ in 0..5 * 60 {
+            for _ in 0..24 {
+                let q = wl.next_query(&mut rng);
+                let _ = db.submit(&q, (rate / 24).max(1));
+            }
+            db.tick(1_000);
+        }
+        let mut tde = Tde::new(&db.profile().clone(), TdeConfig::default(), 19);
+        for _ in 0..10 {
+            for _ in 0..60 {
+                for _ in 0..24 {
+                    let q = wl.next_query(&mut rng);
+                    let _ = db.submit(&q, (rate / 24).max(1));
+                }
+                db.tick(1_000);
+            }
+            let _ = tde.run(&mut db, None);
+        }
+        let c = tde.throttle_counts();
+        println!(
+            "{:<14} {:>8.2} {:>10.2} {:>8.2}",
+            name,
+            c[0] as f64 / 10.0,
+            c[1] as f64 / 10.0,
+            c[2] as f64 / 10.0
+        );
+    }
+}
+
+/// Fig. 9 in CLI form.
+fn fleet() {
+    let dbs: usize = parsed_arg("--dbs", 12);
+    let hours: u64 = parsed_arg("--hours", 2);
+    let policy = match arg("--policy").as_deref() {
+        Some("5min") => TuningPolicy::Periodic(5 * MILLIS_PER_MIN),
+        Some("10min") => TuningPolicy::Periodic(10 * MILLIS_PER_MIN),
+        _ => TuningPolicy::TdeDriven,
+    };
+    // Same observation cadence as the Fig. 9 harness (5-minute windows).
+    let mut sim = FleetSim::new(
+        FleetConfig { seed: 7, tde_period_ms: 5 * MILLIS_PER_MIN, ..FleetConfig::default() },
+        4,
+    );
+    sim.seed_offline_training(&tpcc(1.0), DbFlavor::Postgres, 16);
+    for i in 0..dbs {
+        let base = tpcc(1.0);
+        let catalog = base.catalog().clone();
+        let workload: Box<dyn QuerySource + Send> = if i % 3 == 0 {
+            Box::new(AdulteratedWorkload::new(base, 0.4))
+        } else {
+            Box::new(base)
+        };
+        let node = ManagedDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4Large,
+            DiskKind::Ssd,
+            catalog,
+            workload,
+            ArrivalProcess::Constant(200.0),
+            policy,
+            autodbaas::tuner::WorkloadId(0),
+            TdeConfig::default(),
+            7 ^ (i as u64 * 31),
+        );
+        sim.add_node(node, &format!("db-{i}"));
+    }
+    sim.run_for(hours * MILLIS_PER_HOUR);
+    println!(
+        "{dbs} databases, {hours} h, policy {:?}: {} tuning requests, backlog {:.1} s",
+        policy,
+        sim.director.total_requests(),
+        sim.director.backlog_ms(sim.now()) / 1000.0
+    );
+}
+
+/// Figs. 3/4 in CLI form.
+fn entropy() {
+    let p: f64 = parsed_arg("--prob", 0.8);
+    if !(0.0..=1.0).contains(&p) {
+        eprintln!("error: --prob must be in [0, 1], got {p}");
+        std::process::exit(2);
+    }
+    let plain = tpcc(21.0);
+    let adulterated = AdulteratedWorkload::new(tpcc(21.0), p);
+    let mut rng: StdRng = SeedableRng::seed_from_u64(23);
+    let mut h_plain = ClassHistogram::new();
+    let mut h_adult = ClassHistogram::new();
+    for _ in 0..20_000 {
+        h_plain.record(&plain.next_query(&mut rng));
+        h_adult.record(&adulterated.next_query(&mut rng));
+    }
+    println!("normalized entropy: plain tpcc = {:.3}, adulterated(p={p}) = {:.3}",
+        normalized_entropy(h_plain.counts()),
+        normalized_entropy(h_adult.counts()));
+}
