@@ -22,8 +22,13 @@ use rand::{Rng, SeedableRng};
 
 fn gp_data(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let xs: Vec<Vec<f64>> = (0..n).map(|_| (0..dim).map(|_| rng.gen()).collect()).collect();
-    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>() + rng.gen::<f64>() * 0.1).collect();
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen()).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| x.iter().sum::<f64>() + rng.gen::<f64>() * 0.1)
+        .collect();
     (xs, ys)
 }
 
@@ -34,6 +39,65 @@ fn bench_gpr_train(c: &mut Criterion) {
     for &n in &[50usize, 100, 200, 400] {
         let (xs, ys) = gp_data(n, 15, 1);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let gp = GaussianProcess::fit(black_box(&xs), black_box(&ys), GpParams::default());
+                black_box(gp.map(|g| g.len()))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Random SPD matrix (kernel-like: Gram matrix plus diagonal dominance).
+fn spd(n: usize, seed: u64) -> autodbaas_tuner::linalg::Matrix {
+    use autodbaas_tuner::linalg::Matrix;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            g[(i, j)] = rng.gen::<f64>() - 0.5;
+        }
+    }
+    let mut k = g.matmul_transpose(&g);
+    for i in 0..n {
+        k[(i, i)] += n as f64 * 0.1 + 1.0;
+    }
+    k
+}
+
+/// Blocked vs reference Cholesky — the factorisation at the core of every
+/// GP fit.
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200, 400] {
+        let k = spd(n, 2);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
+            b.iter(|| black_box(black_box(&k).cholesky().unwrap().rows()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(black_box(&k).cholesky_naive().unwrap().rows()))
+        });
+    }
+    group.finish();
+}
+
+/// Appending one sample: O(n²) incremental `extend` vs the O(n³) full refit
+/// it replaces in the steady-state tuner loop.
+fn bench_gp_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp_incremental");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200, 400] {
+        let (xs, ys) = gp_data(n + 1, 15, 3);
+        let base = GaussianProcess::fit(&xs[..n], &ys[..n], GpParams::default()).unwrap();
+        group.bench_with_input(BenchmarkId::new("extend", n), &n, |b, _| {
+            b.iter(|| {
+                let mut gp = base.clone();
+                assert!(gp.extend(black_box(&xs[n]), black_box(ys[n])));
+                black_box(gp.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_fit", n), &n, |b, _| {
             b.iter(|| {
                 let gp = GaussianProcess::fit(black_box(&xs), black_box(&ys), GpParams::default());
                 black_box(gp.map(|g| g.len()))
@@ -131,7 +195,12 @@ fn bench_mapping(c: &mut Criterion) {
             let metrics: Vec<f64> = (0..31).map(|_| rng.gen::<f64>() * 1_000.0).collect();
             repo.add_sample(
                 id,
-                Sample { config: vec![0.5; 15], metrics, objective: rng.gen::<f64>() * 500.0, quality: SampleQuality::High },
+                Sample {
+                    config: vec![0.5; 15],
+                    metrics,
+                    objective: rng.gen::<f64>() * 500.0,
+                    quality: SampleQuality::High,
+                },
             );
         }
     }
@@ -144,6 +213,8 @@ fn bench_mapping(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gpr_train,
+    bench_cholesky,
+    bench_gp_incremental,
     bench_tde_run,
     bench_tde_primitives,
     bench_executor,

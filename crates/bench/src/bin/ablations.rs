@@ -15,7 +15,9 @@
 use autodbaas_bench::{header, seed_offline, Rig};
 use autodbaas_core::{LearnedDetector, Tde, TdeConfig};
 use autodbaas_simdb::{DbFlavor, InstanceType, MetricId, SimDatabase};
-use autodbaas_tuner::{normalize_config, BoConfig, BoTuner, Sample, SampleQuality, WorkloadRepository};
+use autodbaas_tuner::{
+    normalize_config, BoConfig, BoTuner, Sample, SampleQuality, WorkloadRepository,
+};
 use autodbaas_workload::{tpcc, AdulteratedWorkload, QuerySource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,7 +40,10 @@ fn main() {
 /// must divert unfixable throttles away from the tuner.
 fn ablate_entropy_filter() {
     println!("\n--- 1. entropy filtration on a cap-limited instance ---");
-    println!("{:<10} {:>16} {:>22}", "filter", "tuning requests", "upgrades+suppressed");
+    println!(
+        "{:<10} {:>16} {:>22}",
+        "filter", "tuning requests", "upgrades+suppressed"
+    );
     let mut results = Vec::new();
     for enable in [true, false] {
         let wl = AdulteratedWorkload::new(tpcc(1.0), 0.8);
@@ -53,17 +58,28 @@ fn ablate_entropy_filter() {
             let id = p.lookup(name).unwrap();
             rig.db.set_knob_direct(id, p.spec(id).max);
         }
-        let cfg = TdeConfig { enable_entropy_filter: enable, ..TdeConfig::default() };
+        let cfg = TdeConfig {
+            enable_entropy_filter: enable,
+            ..TdeConfig::default()
+        };
         let mut tde = Tde::new(&p, cfg, 5);
         for _ in 0..30 {
             rig.drive(&wl, 80, 60, 24);
             let _ = tde.run(&mut rig.db, None);
         }
         let diverted = tde.plan_upgrades() + tde.suppressed();
-        println!("{:<10} {:>16} {:>22}", enable, tde.tuning_requests(), diverted);
+        println!(
+            "{:<10} {:>16} {:>22}",
+            enable,
+            tde.tuning_requests(),
+            diverted
+        );
         results.push((tde.tuning_requests(), diverted));
     }
-    assert!(results[0].0 < results[1].0, "the filter must cut tuning requests");
+    assert!(
+        results[0].0 < results[1].0,
+        "the filter must cut tuning requests"
+    );
     assert!(results[0].1 > 0 && results[1].1 == 0);
 }
 
@@ -96,7 +112,10 @@ fn ablate_tde_period() {
         println!("{:<14} {:>22}", period_s, at);
         latencies.push(at);
     }
-    assert!(latencies[0] <= latencies[2], "longer periods cannot detect sooner");
+    assert!(
+        latencies[0] <= latencies[2],
+        "longer periods cannot detect sooner"
+    );
 }
 
 /// Ablation 3 — reservoir size: too small a sample misses rare spilling
@@ -114,22 +133,29 @@ fn ablate_reservoir() {
             wl.base().catalog().clone(),
             11,
         );
-        let cfg = TdeConfig { reservoir_capacity: cap, ..TdeConfig::default() };
+        let cfg = TdeConfig {
+            reservoir_capacity: cap,
+            ..TdeConfig::default()
+        };
         let mut tde = Tde::new(&rig.db.profile().clone(), cfg, 13);
         let mut windows_with = 0;
         for _ in 0..20 {
             rig.drive(&wl, 100, 60, 24);
             let r = tde.run(&mut rig.db, None);
-            if r.throttles.iter().any(|t| {
-                matches!(t.reason, autodbaas_core::ThrottleReason::MemorySpill(_))
-            }) {
+            if r.throttles
+                .iter()
+                .any(|t| matches!(t.reason, autodbaas_core::ThrottleReason::MemorySpill(_)))
+            {
                 windows_with += 1;
             }
         }
         println!("{:<14} {:>18}", cap, windows_with);
         hits.push(windows_with);
     }
-    assert!(hits[2] >= hits[0], "bigger reservoirs must not reduce recall");
+    assert!(
+        hits[2] >= hits[0],
+        "bigger reservoirs must not reduce recall"
+    );
     assert!(hits[2] > 0, "the rare spill must be caught at k=64");
 }
 
@@ -173,7 +199,11 @@ fn ablate_knob_subset() {
     }
     let mut achieved = Vec::new();
     for k in [3usize, 6, 15] {
-        let cfg = BoConfig { tune_top_k: k, kappa: 0.1, ..BoConfig::default() };
+        let cfg = BoConfig {
+            tune_top_k: k,
+            kappa: 0.1,
+            ..BoConfig::default()
+        };
         let mut tuner = BoTuner::new(cfg, 23);
         let rec = tuner.recommend(&repo, wid).expect("trained");
         // Evaluate the recommendation.

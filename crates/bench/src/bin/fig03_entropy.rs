@@ -17,7 +17,12 @@ use autodbaas_workload::{tpcc, AdulteratedWorkload, QuerySource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn entropy_series(wl: &dyn QuerySource, windows: usize, queries_per_window: usize, seed: u64) -> Vec<f64> {
+fn entropy_series(
+    wl: &dyn QuerySource,
+    windows: usize,
+    queries_per_window: usize,
+    seed: u64,
+) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(windows);
     for _ in 0..windows {
@@ -31,8 +36,14 @@ fn entropy_series(wl: &dyn QuerySource, windows: usize, queries_per_window: usiz
 }
 
 fn main() {
-    let p: f64 = arg_value("--prob").map(|v| v.parse().expect("--prob takes a float")).unwrap_or(0.8);
-    let fig = if (p - 0.8).abs() < 0.01 { "Fig. 3" } else { "Fig. 4" };
+    let p: f64 = arg_value("--prob")
+        .map(|v| v.parse().expect("--prob takes a float"))
+        .unwrap_or(0.8);
+    let fig = if (p - 0.8).abs() < 0.01 {
+        "Fig. 3"
+    } else {
+        "Fig. 4"
+    };
     header(
         fig,
         &format!("entropy variation, {:.0}% adulteration of TPCC", p * 100.0),
@@ -45,8 +56,12 @@ fn main() {
     let per_window = 2_000;
 
     let plain = entropy_series(&tpcc(18.0 * 1.17), windows, per_window, 1);
-    let adulterated =
-        entropy_series(&AdulteratedWorkload::new(tpcc(18.0 * 1.17), p), windows, per_window, 1);
+    let adulterated = entropy_series(
+        &AdulteratedWorkload::new(tpcc(18.0 * 1.17), p),
+        windows,
+        per_window,
+        1,
+    );
 
     println!("\nper-window normalized entropy η (40 one-minute windows):");
     sparkline("plain TPCC", &plain);

@@ -15,11 +15,19 @@ use autodbaas_workload::tpcc;
 
 fn run(tuned: bool) -> (Vec<f64>, f64, usize) {
     let wl = tpcc(26.0);
-    let mut rig = Rig::new(DbFlavor::Postgres, InstanceType::M4XLarge, wl.catalog().clone(), 5);
+    let mut rig = Rig::new(
+        DbFlavor::Postgres,
+        InstanceType::M4XLarge,
+        wl.catalog().clone(),
+        5,
+    );
     let p = rig.db.profile().clone();
     // A DBA-sized buffer pool either way (25% of RAM) — checkpoint pain
     // scales with the dirty set, not with the knob being tuned.
-    rig.db.set_knob_direct(p.lookup("shared_buffers").unwrap(), 4.0 * 1024.0 * 1024.0 * 1024.0);
+    rig.db.set_knob_direct(
+        p.lookup("shared_buffers").unwrap(),
+        4.0 * 1024.0 * 1024.0 * 1024.0,
+    );
     if tuned {
         for (name, v) in [
             ("checkpoint_timeout", 1_800_000.0),
@@ -32,9 +40,12 @@ fn run(tuned: bool) -> (Vec<f64>, f64, usize) {
     } else {
         // Stock 9.6-style defaults: 5-min checkpoints, half-spread flush,
         // timid background writer.
-        rig.db.set_knob_direct(p.lookup("checkpoint_completion_target").unwrap(), 0.3);
-        rig.db.set_knob_direct(p.lookup("bgwriter_lru_maxpages").unwrap(), 20.0);
-        rig.db.set_knob_direct(p.lookup("max_wal_size").unwrap(), 1024.0 * 1024.0 * 1024.0);
+        rig.db
+            .set_knob_direct(p.lookup("checkpoint_completion_target").unwrap(), 0.3);
+        rig.db
+            .set_knob_direct(p.lookup("bgwriter_lru_maxpages").unwrap(), 20.0);
+        rig.db
+            .set_knob_direct(p.lookup("max_wal_size").unwrap(), 1024.0 * 1024.0 * 1024.0);
     }
     // Warm the cache for 5 minutes, then measure 20 minutes.
     rig.drive(&wl, 3_300, 5 * 60, 64);
@@ -68,6 +79,9 @@ fn main() {
     );
     println!("latency peaks detected: default = {default_peaks}, tuned = {tuned_peaks}");
 
-    assert!(default_mean > tuned_mean, "tuned knobs must lower mean latency");
+    assert!(
+        default_mean > tuned_mean,
+        "tuned knobs must lower mean latency"
+    );
     println!("\nresult: tuned background-writer knobs cut disk latency — shape reproduced.");
 }

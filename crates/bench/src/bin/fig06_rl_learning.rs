@@ -23,20 +23,33 @@ fn main() {
          action probabilities converge",
     );
     let wl = production();
-    let mut rig = Rig::new(DbFlavor::Postgres, InstanceType::M4XLarge, wl.catalog().clone(), 3);
+    let mut rig = Rig::new(
+        DbFlavor::Postgres,
+        InstanceType::M4XLarge,
+        wl.catalog().clone(),
+        3,
+    );
     // Start the planner knobs far from their workload optimum so there is
     // something to learn (stock defaults already sit in a decent region).
     let p = rig.db.profile().clone();
-    rig.db.set_knob_direct(p.lookup("random_page_cost").unwrap(), 10.0);
-    rig.db.set_knob_direct(p.lookup("effective_cache_size").unwrap(), 8.0 * 1024.0 * 1024.0);
-    rig.db.set_knob_direct(p.lookup("max_parallel_workers_per_gather").unwrap(), 0.0);
+    rig.db
+        .set_knob_direct(p.lookup("random_page_cost").unwrap(), 10.0);
+    rig.db.set_knob_direct(
+        p.lookup("effective_cache_size").unwrap(),
+        8.0 * 1024.0 * 1024.0,
+    );
+    rig.db
+        .set_knob_direct(p.lookup("max_parallel_workers_per_gather").unwrap(), 0.0);
 
     // Warm the instance with production traffic so cost evaluation sees a
     // realistic hit ratio.
     rig.drive(&wl, 800, 120, 16);
 
     // Episodes of ~375 steps, as in the paper.
-    let cfg = MdpConfig { episode_steps: 375, ..MdpConfig::default() };
+    let cfg = MdpConfig {
+        episode_steps: 375,
+        ..MdpConfig::default()
+    };
     let mut mdp = MdpEngine::new(&p, cfg);
     let mut rng = StdRng::seed_from_u64(17);
     let mut knobs = rig.db.knobs().clone();
@@ -73,8 +86,7 @@ fn main() {
     sparkline("accuracy", accuracy);
 
     let early: f64 = rewards.iter().take(3).sum::<f64>() / 3.0;
-    let late: f64 =
-        rewards.iter().rev().take(3).sum::<f64>() / 3.0;
+    let late: f64 = rewards.iter().rev().take(3).sum::<f64>() / 3.0;
     println!("\nmean episodic reward: first 3 episodes = {early:.3}, last 3 = {late:.3}");
     let cum: Vec<f64> = rewards
         .iter()
@@ -87,7 +99,9 @@ fn main() {
     println!(
         "\nfinal knob values: random_page_cost = {:.2}, workers = {:.0}",
         rig.db.knobs().get(p.lookup("random_page_cost").unwrap()),
-        rig.db.knobs().get(p.lookup("max_parallel_workers_per_gather").unwrap()),
+        rig.db
+            .knobs()
+            .get(p.lookup("max_parallel_workers_per_gather").unwrap()),
     );
     assert!(
         late > early,

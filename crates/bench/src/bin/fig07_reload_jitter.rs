@@ -14,12 +14,20 @@ use autodbaas_workload::tpcc;
 
 fn run(mode: Option<ApplyMode>) -> (Vec<f64>, f64, f64) {
     let wl = tpcc(10.0);
-    let mut rig = Rig::new(DbFlavor::MySql, InstanceType::M4XLarge, wl.catalog().clone(), 8);
+    let mut rig = Rig::new(
+        DbFlavor::MySql,
+        InstanceType::M4XLarge,
+        wl.catalog().clone(),
+        8,
+    );
     let p = rig.db.profile().clone();
     // "Tuned MySQL": sane buffers and calm flushing.
-    rig.db.set_knob_direct(p.lookup("sort_buffer_size").unwrap(), 8.0 * 1024.0 * 1024.0);
-    rig.db.set_knob_direct(p.lookup("innodb_io_capacity").unwrap(), 2_000.0);
-    rig.db.set_knob_direct(p.lookup("innodb_max_dirty_pages_pct").unwrap(), 90.0);
+    rig.db
+        .set_knob_direct(p.lookup("sort_buffer_size").unwrap(), 8.0 * 1024.0 * 1024.0);
+    rig.db
+        .set_knob_direct(p.lookup("innodb_io_capacity").unwrap(), 2_000.0);
+    rig.db
+        .set_knob_direct(p.lookup("innodb_max_dirty_pages_pct").unwrap(), 90.0);
     let reload_knob = p.lookup("join_buffer_size").unwrap();
 
     // Warm up.
@@ -34,7 +42,10 @@ fn run(mode: Option<ApplyMode>) -> (Vec<f64>, f64, f64) {
             if s % 20 == 0 {
                 let v = rig.db.knobs().get(reload_knob);
                 let _ = rig.db.apply_config(
-                    &[autodbaas_simdb::ConfigChange { knob: reload_knob, value: v }],
+                    &[autodbaas_simdb::ConfigChange {
+                        knob: reload_knob,
+                        value: v,
+                    }],
                     m,
                 );
             }
@@ -46,11 +57,16 @@ fn run(mode: Option<ApplyMode>) -> (Vec<f64>, f64, f64) {
         }
         rig.db.tick(1_000);
     }
-    let iops = rig.db.disks().data().iops_series().resample(start, rig.db.now(), 45);
+    let iops = rig
+        .db
+        .disks()
+        .data()
+        .iops_series()
+        .resample(start, rig.db.now(), 45);
     let qps = rig.qps_since(&start_snap, secs);
     let delta = rig.db.metrics_snapshot().delta(&start_snap);
-    let mean_latency = delta[MetricId::QueryTimeMs.index()]
-        / delta[MetricId::QueriesExecuted.index()].max(1.0);
+    let mean_latency =
+        delta[MetricId::QueryTimeMs.index()] / delta[MetricId::QueriesExecuted.index()].max(1.0);
     (iops, qps, mean_latency)
 }
 
@@ -79,10 +95,8 @@ fn main() {
     // Degradation shows up as lost throughput (shed load during stalls)
     // and/or inflated latency, depending on how close to capacity the
     // instance runs.
-    let reload_cost =
-        (1.0 - qps_reload / qps_none).max(lat_reload / lat_none - 1.0);
-    let socket_cost =
-        (1.0 - qps_socket / qps_none).max(lat_socket / lat_none - 1.0);
+    let reload_cost = (1.0 - qps_reload / qps_none).max(lat_reload / lat_none - 1.0);
+    let socket_cost = (1.0 - qps_socket / qps_none).max(lat_socket / lat_none - 1.0);
     println!(
         "\nperformance cost vs no-reload baseline: reload = {:+.1}%, socket activation = {:+.1}%",
         reload_cost * 100.0,

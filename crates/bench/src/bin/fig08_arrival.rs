@@ -28,8 +28,9 @@ fn main() {
     sparkline("week (Mon..Sun)", &week);
 
     // One weekday, and the peak location.
-    let day: Vec<f64> =
-        (0..24).map(|h| arrival.rate_at(h * MILLIS_PER_HOUR + MILLIS_PER_HOUR / 2)).collect();
+    let day: Vec<f64> = (0..24)
+        .map(|h| arrival.rate_at(h * MILLIS_PER_HOUR + MILLIS_PER_HOUR / 2))
+        .collect();
     sparkline("weekday by hour", &day);
     let peak_hour = day
         .iter()
@@ -55,7 +56,13 @@ fn main() {
     let avg = volumes.iter().sum::<f64>() / volumes.len() as f64;
     println!("\naverage daily volume: {avg:.2}M queries/day (paper: 42.13M)");
 
-    assert!((8..=11).contains(&peak_hour), "peak must sit in the surge window");
-    assert!((25.0..70.0).contains(&avg), "daily volume in the plausible band");
+    assert!(
+        (8..=11).contains(&peak_hour),
+        "peak must sit in the surge window"
+    );
+    assert!(
+        (25.0..70.0).contains(&avg),
+        "daily volume in the plausible band"
+    );
     println!("\nresult: diurnal shape with 8–11 AM surge reproduced.");
 }

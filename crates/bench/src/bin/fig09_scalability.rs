@@ -103,7 +103,9 @@ fn build_fleet(policy: TuningPolicy, n_dbs: usize, tick_ms: u64, seed: u64) -> F
 
 fn main() {
     let n_dbs: usize = arg_value("--dbs").map(|v| v.parse().unwrap()).unwrap_or(80);
-    let hours: u64 = arg_value("--hours").map(|v| v.parse().unwrap()).unwrap_or(12);
+    let hours: u64 = arg_value("--hours")
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(12);
     let tick_s: u64 = arg_value("--tick").map(|v| v.parse().unwrap()).unwrap_or(5);
     header(
         "Fig. 9",
@@ -116,7 +118,10 @@ fn main() {
     for (name, policy) in [
         ("TDE-driven", TuningPolicy::TdeDriven),
         ("periodic 5 min", TuningPolicy::Periodic(5 * MILLIS_PER_MIN)),
-        ("periodic 10 min", TuningPolicy::Periodic(10 * MILLIS_PER_MIN)),
+        (
+            "periodic 10 min",
+            TuningPolicy::Periodic(10 * MILLIS_PER_MIN),
+        ),
     ] {
         let mut sim = build_fleet(policy, n_dbs, tick_s * 1000, 42);
         sim.run_for(hours * MILLIS_PER_HOUR);

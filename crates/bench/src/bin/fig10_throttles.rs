@@ -26,7 +26,8 @@ fn census(flavor: DbFlavor, wl: &MixWorkload, rate: u64, repo: &WorkloadReposito
     // would; the census measures throttles beyond that baseline config.
     let p = rig.db.profile().clone();
     let roles = rig.db.planner().roles().clone();
-    rig.db.set_knob_direct(roles.buffer_pool, InstanceType::M4Large.mem_bytes() * 0.25);
+    rig.db
+        .set_knob_direct(roles.buffer_pool, InstanceType::M4Large.mem_bytes() * 0.25);
     let _ = p;
     // Warm the buffer pool for ten windows before the census so cold-start
     // misses don't masquerade as memory pressure; the TDE is installed
@@ -55,7 +56,11 @@ fn main() {
         Some("mysql") => DbFlavor::MySql,
         _ => DbFlavor::Postgres,
     };
-    let fig = if flavor == DbFlavor::Postgres { "Fig. 10" } else { "Fig. 11" };
+    let fig = if flavor == DbFlavor::Postgres {
+        "Fig. 10"
+    } else {
+        "Fig. 11"
+    };
     header(
         fig,
         &format!("performance throttles per knob class on {flavor} (no tuning sessions)"),
@@ -73,8 +78,16 @@ fn main() {
     // twitter 10000 rps / 22 GB; ycsb 5000 rps / 20 GB.
     let runs: Vec<(&str, MixWorkload, u64)> = vec![
         ("tpcc (write-heavy)", autodbaas_workload::tpcc(26.0), 3_300),
-        ("wikipedia (read)", autodbaas_workload::wikipedia(12.0), 1_000),
-        ("twitter (read/mix)", autodbaas_workload::twitter(22.0), 10_000),
+        (
+            "wikipedia (read)",
+            autodbaas_workload::wikipedia(12.0),
+            1_000,
+        ),
+        (
+            "twitter (read/mix)",
+            autodbaas_workload::twitter(22.0),
+            10_000,
+        ),
         ("ycsb (mix)", autodbaas_workload::ycsb(20.0), 5_000),
     ];
 
@@ -97,7 +110,8 @@ fn main() {
     let prod = production();
     let mut rig = Rig::new(flavor, InstanceType::M4Large, prod.catalog().clone(), 29);
     let roles = rig.db.planner().roles().clone();
-    rig.db.set_knob_direct(roles.buffer_pool, InstanceType::M4Large.mem_bytes() * 0.25);
+    rig.db
+        .set_knob_direct(roles.buffer_pool, InstanceType::M4Large.mem_bytes() * 0.25);
     for _ in 0..10 {
         rig.drive(&prod, 400, 60, 24);
     }
@@ -127,7 +141,8 @@ fn main() {
     // Shape checks.
     let tpcc_counts = rows[0].1;
     assert!(
-        tpcc_counts[KnobClass::BackgroundWriter.index()] >= tpcc_counts[KnobClass::AsyncPlanner.index()],
+        tpcc_counts[KnobClass::BackgroundWriter.index()]
+            >= tpcc_counts[KnobClass::AsyncPlanner.index()],
         "write-heavy must throttle the bgwriter class at least as much as async"
     );
     let read_mix_mem: f64 = rows[1..4].iter().map(|r| r.1[0] + r.1[2]).sum();

@@ -132,8 +132,11 @@ fn main() {
         Some("mysql") => DbFlavor::MySql,
         _ => DbFlavor::Postgres,
     };
-    let (fig, tuner_name) =
-        if kind == TunerKind::Bo { ("Fig. 12", "OtterTune-style BO") } else { ("Fig. 13", "CDBTune-style RL") };
+    let (fig, tuner_name) = if kind == TunerKind::Bo {
+        ("Fig. 12", "OtterTune-style BO")
+    } else {
+        ("Fig. 13", "CDBTune-style RL")
+    };
     header(
         fig,
         &format!("hourly throughput on {flavor} with {tuner_name}, gated vs ungated samples"),

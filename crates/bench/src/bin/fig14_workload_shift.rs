@@ -63,7 +63,8 @@ fn run_switch(from: &str, to: &str, repo: &WorkloadRepository, seed: u64) -> Out
 
     let mut rig = Rig::new(DbFlavor::Postgres, InstanceType::M4XLarge, catalog, seed);
     let roles = rig.db.planner().roles().clone();
-    rig.db.set_knob_direct(roles.buffer_pool, InstanceType::M4XLarge.mem_bytes() * 0.25);
+    rig.db
+        .set_knob_direct(roles.buffer_pool, InstanceType::M4XLarge.mem_bytes() * 0.25);
     let mut tde = Tde::new(&rig.db.profile().clone(), TdeConfig::default(), seed ^ 1);
 
     // Phase A: settle on the "from" workload.
@@ -120,7 +121,13 @@ fn main() {
          #6 twitter->tpcc: bgwriter",
     );
     let mut repo = WorkloadRepository::new();
-    seed_offline(&mut repo, &autodbaas_workload::tpcc(2.0), DbFlavor::Postgres, 10, 7);
+    seed_offline(
+        &mut repo,
+        &autodbaas_workload::tpcc(2.0),
+        DbFlavor::Postgres,
+        10,
+        7,
+    );
 
     let experiments = [
         ("#1", "ycsb", "tpcc"),
@@ -130,7 +137,10 @@ fn main() {
         ("#5", "tpcc", "twitter"),
         ("#6", "twitter", "tpcc"),
     ];
-    println!("\n{:<4} {:<22} {:>10} {:>12}  classes", "exp", "switch", "throttles", "detected in");
+    println!(
+        "\n{:<4} {:<22} {:>10} {:>12}  classes",
+        "exp", "switch", "throttles", "detected in"
+    );
     let mut any_detected = 0;
     for (id, from, to) in experiments {
         let o = run_switch(from, to, &repo, 0x14);
@@ -138,16 +148,23 @@ fn main() {
             any_detected += 1;
         }
         let switch = format!("{from} -> {to}");
-        let detected =
-            o.detected_in_windows.map_or_else(|| "-".to_string(), |w| format!("window {w}"));
-        let classes =
-            if o.classes.is_empty() { "-".to_string() } else { o.classes.join(", ") };
+        let detected = o
+            .detected_in_windows
+            .map_or_else(|| "-".to_string(), |w| format!("window {w}"));
+        let classes = if o.classes.is_empty() {
+            "-".to_string()
+        } else {
+            o.classes.join(", ")
+        };
         println!(
             "{:<4} {:<22} {:>10} {:>12}  {}",
             id, switch, o.throttles_after, detected, classes
         );
     }
-    assert!(any_detected >= 4, "most switches must be detected ({any_detected}/6)");
+    assert!(
+        any_detected >= 4,
+        "most switches must be detected ({any_detected}/6)"
+    );
     println!(
         "\nresult: workload switches surface as throttles within a few \
          observation windows — shape reproduced."

@@ -66,9 +66,15 @@ fn main() {
         // The tuner's view of what matters for this workload.
         let votes = top5_class_votes(&repo, *wid, &profile);
 
-        let mut rig = Rig::new(DbFlavor::Postgres, InstanceType::M4XLarge, wl.catalog().clone(), 77);
+        let mut rig = Rig::new(
+            DbFlavor::Postgres,
+            InstanceType::M4XLarge,
+            wl.catalog().clone(),
+            77,
+        );
         let roles = rig.db.planner().roles().clone();
-        rig.db.set_knob_direct(roles.buffer_pool, InstanceType::M4XLarge.mem_bytes() * 0.25);
+        rig.db
+            .set_knob_direct(roles.buffer_pool, InstanceType::M4XLarge.mem_bytes() * 0.25);
         let mut tde = Tde::new(&profile, TdeConfig::default(), 55);
         // Warm, then observe.
         for _ in 0..8 {
@@ -94,11 +100,18 @@ fn main() {
         );
     }
 
-    println!("\n{:<22} {:>10} {:>10} {:>10}", "throttle class", "matched", "total", "accuracy");
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>10}",
+        "throttle class", "matched", "total", "accuracy"
+    );
     let mut accuracy = [0.0f64; 3];
     for class in KnobClass::ALL {
         let k = class.index();
-        accuracy[k] = if acc[k][1] == 0 { 0.0 } else { acc[k][0] as f64 / acc[k][1] as f64 };
+        accuracy[k] = if acc[k][1] == 0 {
+            0.0
+        } else {
+            acc[k][0] as f64 / acc[k][1] as f64
+        };
         println!(
             "{:<22} {:>10} {:>10} {:>9.0}%",
             class.to_string(),

@@ -124,18 +124,37 @@ impl ManagedDatabase {
 
     /// Swap the workload (the Fig. 14 switch), resetting TDE workload
     /// state.
-    pub fn switch_workload(&mut self, workload: Box<dyn QuerySource + Send>, arrival: ArrivalProcess) {
+    pub fn switch_workload(
+        &mut self,
+        workload: Box<dyn QuerySource + Send>,
+        arrival: ArrivalProcess,
+    ) {
         self.workload = workload;
         self.arrival = arrival;
         self.tde.reset_workload_state();
     }
 
     /// Objective over the window that just closed: completed queries per
-    /// second.
+    /// second. Reads the one counter it needs instead of materialising a
+    /// full snapshot + delta vector.
     pub fn window_objective(&self, window_ms: u64) -> f64 {
-        let now_snap = self.db.metrics_snapshot();
-        let delta = now_snap.delta(&self.window_start_snapshot);
-        let executed = delta[autodbaas_simdb::MetricId::QueriesExecuted.index()];
+        let executed = self
+            .db
+            .metrics()
+            .get(autodbaas_simdb::MetricId::QueriesExecuted)
+            - self
+                .window_start_snapshot
+                .get(autodbaas_simdb::MetricId::QueriesExecuted);
+        executed * 1000.0 / window_ms.max(1) as f64
+    }
+
+    /// [`ManagedDatabase::window_objective`] from an already-taken snapshot
+    /// (the fleet TDE round snapshots once and derives everything from it).
+    pub fn window_objective_from(&self, snap: &MetricsSnapshot, window_ms: u64) -> f64 {
+        let executed = snap.delta_of(
+            &self.window_start_snapshot,
+            autodbaas_simdb::MetricId::QueriesExecuted,
+        );
         executed * 1000.0 / window_ms.max(1) as f64
     }
 }
@@ -169,8 +188,16 @@ mod tests {
             n.drive(1_000);
         }
         // ~500 qps for 10 s.
-        assert!(n.queries_submitted > 3_000, "submitted {}", n.queries_submitted);
-        assert!(n.db.metrics().get(autodbaas_simdb::MetricId::QueriesExecuted) > 3_000.0);
+        assert!(
+            n.queries_submitted > 3_000,
+            "submitted {}",
+            n.queries_submitted
+        );
+        assert!(
+            n.db.metrics()
+                .get(autodbaas_simdb::MetricId::QueriesExecuted)
+                > 3_000.0
+        );
     }
 
     #[test]

@@ -55,9 +55,13 @@ pub fn drive_workload(
     }
     let queries = (db.metrics().get(MetricId::QueriesExecuted) - start_exec) as u64;
     let mean_qps = queries as f64 * 1000.0 / duration_ms.max(1) as f64;
-    let mean_disk_latency_ms =
-        db.disks().data().latency_series().mean_since(latency_start);
-    DriveResult { ended_at: db.now(), queries, mean_qps, mean_disk_latency_ms }
+    let mean_disk_latency_ms = db.disks().data().latency_series().mean_since(latency_start);
+    DriveResult {
+        ended_at: db.now(),
+        queries,
+        mean_qps,
+        mean_disk_latency_ms,
+    }
 }
 
 #[cfg(test)]

@@ -43,6 +43,18 @@ pub struct FleetConfig {
     pub apply_recommendations: bool,
     /// Master seed.
     pub seed: u64,
+    /// Minimum fleet size before [`FleetSim::set_parallel`] actually fans
+    /// ticks out to worker threads — below this the spawn overhead exceeds
+    /// the win. Also the minimum number of nodes handed to each worker:
+    /// threads are spawned per tick, so the drive never uses more than
+    /// `nodes / parallel_threshold` of them regardless of
+    /// [`drive_threads`](Self::drive_threads).
+    pub parallel_threshold: usize,
+    /// Worker threads for the parallel drive; `0` means "use the machine's
+    /// available parallelism". Node order and RNG streams are per-node, so
+    /// serial and parallel drives produce bit-identical fleets for any
+    /// thread count (pinned by `parallel_drive_is_deterministic_and_equivalent`).
+    pub drive_threads: usize,
 }
 
 impl Default for FleetConfig {
@@ -56,6 +68,8 @@ impl Default for FleetConfig {
             rl: RlConfig::default(),
             apply_recommendations: true,
             seed: 0,
+            parallel_threshold: 8,
+            drive_threads: 0,
         }
     }
 }
@@ -172,7 +186,9 @@ impl FleetSim {
         flavor: autodbaas_simdb::DbFlavor,
         n_samples: usize,
     ) -> autodbaas_tuner::WorkloadId {
-        let id = self.repo.register(format!("{}-offline", workload.name()), true);
+        let id = self
+            .repo
+            .register(format!("{}-offline", workload.name()), true);
         let profile = autodbaas_simdb::KnobProfile::for_flavor(flavor);
         for s in 0..n_samples {
             let mut db = SimDatabase::new(
@@ -223,22 +239,38 @@ impl FleetSim {
         self.now += self.cfg.tick_ms;
 
         // 1. Traffic. Databases are independent within a tick, so a big
-        // fleet is driven on worker threads (crossbeam scoped threads; no
-        // 'static bound needed on the nodes).
-        if self.parallel && self.nodes.len() >= 8 {
+        // fleet is driven on worker threads (std scoped threads; no 'static
+        // bound needed on the nodes). Threshold and fan-out are
+        // configurable via `FleetConfig::{parallel_threshold, drive_threads}`.
+        if self.parallel && self.nodes.len() >= self.cfg.parallel_threshold.max(2) {
             let tick_ms = self.cfg.tick_ms;
-            let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            let threads = if self.cfg.drive_threads > 0 {
+                self.cfg.drive_threads
+            } else {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            };
+            // Never hand a worker fewer than `parallel_threshold` nodes:
+            // threads are spawned per tick, so oversubscribing a small
+            // fleet buys only spawn overhead.
+            let threads = threads
+                .min(
+                    self.nodes
+                        .len()
+                        .div_ceil(self.cfg.parallel_threshold.max(1)),
+                )
+                .max(1);
             let chunk = self.nodes.len().div_ceil(threads);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for nodes in self.nodes.chunks_mut(chunk) {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for node in nodes {
                             node.drive(tick_ms);
                         }
                     });
                 }
-            })
-            .expect("fleet drive worker panicked");
+            });
         } else {
             for node in &mut self.nodes {
                 node.drive(self.cfg.tick_ms);
@@ -277,9 +309,11 @@ impl FleetSim {
     fn run_tde_round(&mut self, window_ms: u64) {
         for idx in 0..self.nodes.len() {
             let node = &mut self.nodes[idx];
-            // Close the observation window.
-            let objective = node.window_objective(window_ms);
+            // Close the observation window: one snapshot and one delta
+            // vector serve the objective, the RL transition and the
+            // captured sample (which takes the vector by value below).
             let snap = node.db.metrics_snapshot();
+            let objective = node.window_objective_from(&snap, window_ms);
             let delta = snap.delta(&node.window_start_snapshot);
 
             // TDE run.
@@ -291,34 +325,17 @@ impl FleetSim {
             // Sample capture (gated or not).
             let throttled_window = report.tuning_request;
             let capture = !self.cfg.gate_samples_with_tde || throttled_window;
-            if capture {
-                let profile = node.db.profile().clone();
-                let quality = if self.cfg.gate_samples_with_tde {
-                    // TDE-certified windows are high quality by construction.
-                    SampleQuality::High
-                } else {
-                    assess_quality(&delta, objective)
-                };
-                self.repo.add_sample(
-                    node.workload_id,
-                    Sample {
-                        config: normalize_config(&profile, node.db.knobs().as_vec()),
-                        metrics: delta.clone(),
-                        objective,
-                        quality,
-                    },
-                );
-            }
 
             // RL experience: reward is the relative throughput change since
             // the action was applied. Gated mode only feeds the agent
             // TDE-certified windows — the corruption shield Fig. 13 tests.
             if capture {
-                if let (Backend::Rl(rl), Some(action), Some(prev_state)) =
-                    (&mut self.backend, node.prev_action.clone(), node.prev_rl_state.clone())
-                {
-                let reward =
-                    (objective - node.prev_objective) / node.prev_objective.max(1.0);
+                if let (Backend::Rl(rl), Some(action), Some(prev_state)) = (
+                    &mut self.backend,
+                    node.prev_action.clone(),
+                    node.prev_rl_state.clone(),
+                ) {
+                    let reward = (objective - node.prev_objective) / node.prev_objective.max(1.0);
                     rl.observe(Transition {
                         state: prev_state,
                         action,
@@ -328,6 +345,24 @@ impl FleetSim {
                 }
             }
 
+            if capture {
+                let quality = if self.cfg.gate_samples_with_tde {
+                    // TDE-certified windows are high quality by construction.
+                    SampleQuality::High
+                } else {
+                    assess_quality(&delta, objective)
+                };
+                self.repo.add_sample(
+                    node.workload_id,
+                    Sample {
+                        config: normalize_config(node.db.profile(), node.db.knobs().as_vec()),
+                        metrics: delta,
+                        objective,
+                        quality,
+                    },
+                );
+            }
+
             // Policy decision.
             let in_cooldown = node.cooldown_windows > 0;
             if in_cooldown {
@@ -335,7 +370,9 @@ impl FleetSim {
             }
             let should = !node.pending_request
                 && !in_cooldown
-                && node.policy.should_request(&report, self.now, node.last_request_at);
+                && node
+                    .policy
+                    .should_request(&report, self.now, node.last_request_at);
             node.last_report = report;
             node.prev_objective = objective;
             node.window_start_snapshot = snap;
@@ -358,14 +395,18 @@ impl FleetSim {
     fn deliver_recommendation(&mut self, idx: usize) {
         let node = &mut self.nodes[idx];
         node.pending_request = false;
-        let profile = node.db.profile().clone();
+        let profile = node.db.profile();
         let unit = match &mut self.backend {
             Backend::Bo(bo) => {
                 // The tuning request carries the indicted knobs (the TDE
                 // sends metric data and query context with the request);
                 // focus the acquisition on them.
-                let focus: Vec<usize> =
-                    node.last_report.throttles.iter().map(|t| t.knob.0 as usize).collect();
+                let focus: Vec<usize> = node
+                    .last_report
+                    .throttles
+                    .iter()
+                    .map(|t| t.knob.0 as usize)
+                    .collect();
                 match bo.recommend_focused(&self.repo, node.workload_id, &focus) {
                     Some(rec) => {
                         if std::env::var("AUTODBAAS_DEBUG_MAPPING").is_ok() {
@@ -392,11 +433,8 @@ impl FleetSim {
                 action
             }
         };
-        self.director.record_recommendation(
-            ServiceId(idx as u64),
-            self.now,
-            unit.clone(),
-        );
+        self.director
+            .record_recommendation(ServiceId(idx as u64), self.now, unit.clone());
         if !self.cfg.apply_recommendations {
             return;
         }
@@ -406,18 +444,14 @@ impl FleetSim {
         // The vetted budget is the config *as it will run*: reloadable
         // knobs take the recommended values, restart-bound ones keep their
         // live values (they are deferred to the maintenance window).
-        let raw = denormalize_config(&profile, &unit);
+        let raw = denormalize_config(profile, &unit);
         let mut vetted = node.db.knobs().clone();
         for (i, (kid, spec)) in profile.iter().enumerate() {
             if !spec.restart_required {
-                vetted.set(&profile, kid, raw[i]);
+                vetted.set(profile, kid, raw[i]);
             }
         }
-        autodbaas_simdb::instance::enforce_memory_cap(
-            &profile,
-            &mut vetted,
-            node.db.instance(),
-        );
+        autodbaas_simdb::instance::enforce_memory_cap(profile, &mut vetted, node.db.instance());
         let raw: Vec<f64> = profile.iter().map(|(kid, _)| vetted.get(kid)).collect();
         let changes: Vec<ConfigChange> = profile
             .iter()
@@ -425,7 +459,9 @@ impl FleetSim {
             .filter(|((_, spec), _)| !spec.restart_required)
             .map(|((kid, _), &value)| ConfigChange { knob: kid, value })
             .collect();
-        let _ = node.db.apply_config(&changes, autodbaas_simdb::ApplyMode::Reload);
+        let _ = node
+            .db
+            .apply_config(&changes, autodbaas_simdb::ApplyMode::Reload);
         node.prev_action = Some(unit);
         node.cooldown_windows = 1;
     }
@@ -470,10 +506,16 @@ mod tests {
     #[test]
     fn periodic_policy_fires_on_schedule() {
         let mut sim = FleetSim::new(
-            FleetConfig { gate_samples_with_tde: false, ..FleetConfig::default() },
+            FleetConfig {
+                gate_samples_with_tde: false,
+                ..FleetConfig::default()
+            },
             2,
         );
-        sim.add_node(make_node(TuningPolicy::Periodic(5 * MILLIS_PER_MIN), 2), "db-0");
+        sim.add_node(
+            make_node(TuningPolicy::Periodic(5 * MILLIS_PER_MIN), 2),
+            "db-0",
+        );
         sim.run_for(31 * MILLIS_PER_MIN);
         // ~6 requests over 31 min at a 5-min period.
         let total = sim.director.total_requests();
@@ -505,7 +547,12 @@ mod tests {
         let id = sim.seed_offline_training(&wl, DbFlavor::Postgres, 5);
         assert_eq!(sim.repo.workload(id).samples.len(), 5);
         assert!(sim.repo.workload(id).offline);
-        assert!(sim.repo.workload(id).samples.iter().all(|s| s.objective > 0.0));
+        assert!(sim
+            .repo
+            .workload(id)
+            .samples
+            .iter()
+            .all(|s| s.objective > 0.0));
     }
 
     #[test]
@@ -520,7 +567,10 @@ mod tests {
         );
         let wl = tpcc(0.5);
         sim.seed_offline_training(&wl, DbFlavor::Postgres, 8);
-        sim.add_node(make_node(TuningPolicy::Periodic(2 * MILLIS_PER_MIN), 4), "db");
+        sim.add_node(
+            make_node(TuningPolicy::Periodic(2 * MILLIS_PER_MIN), 4),
+            "db",
+        );
         let default_knobs = sim.nodes[0].db.knobs().clone();
         sim.run_for(20 * MILLIS_PER_MIN);
         assert!(
@@ -538,7 +588,10 @@ mod tests {
     fn parallel_drive_is_deterministic_and_equivalent() {
         let build = |parallel: bool| {
             let mut sim = FleetSim::new(
-                FleetConfig { gate_samples_with_tde: false, ..FleetConfig::default() },
+                FleetConfig {
+                    gate_samples_with_tde: false,
+                    ..FleetConfig::default()
+                },
                 2,
             );
             sim.set_parallel(parallel);
@@ -549,9 +602,16 @@ mod tests {
                 );
             }
             sim.run_for(5 * MILLIS_PER_MIN);
-            sim.nodes.iter().map(|n| n.queries_submitted).collect::<Vec<_>>()
+            sim.nodes
+                .iter()
+                .map(|n| n.queries_submitted)
+                .collect::<Vec<_>>()
         };
-        assert_eq!(build(false), build(true), "threading must not change results");
+        assert_eq!(
+            build(false),
+            build(true),
+            "threading must not change results"
+        );
     }
 
     #[test]
@@ -564,7 +624,10 @@ mod tests {
             },
             1,
         );
-        sim.add_node(make_node(TuningPolicy::Periodic(2 * MILLIS_PER_MIN), 5), "db");
+        sim.add_node(
+            make_node(TuningPolicy::Periodic(2 * MILLIS_PER_MIN), 5),
+            "db",
+        );
         sim.run_for(10 * MILLIS_PER_MIN);
         assert!(sim.director.total_requests() >= 3);
         assert!(sim.nodes[0].prev_action.is_some());

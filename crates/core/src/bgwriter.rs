@@ -51,7 +51,11 @@ pub fn baseline_from_repo(
     // sample's checkpoint count over one window is too noisy to be a
     // baseline.
     let mut by_objective: Vec<_> = w.samples.iter().collect();
-    by_objective.sort_by(|a, b| b.objective.partial_cmp(&a.objective).expect("NaN objective"));
+    by_objective.sort_by(|a, b| {
+        b.objective
+            .partial_cmp(&a.objective)
+            .expect("NaN objective")
+    });
     let top = &by_objective[..by_objective.len().div_ceil(4)];
     let idx = |m: &[f64], id: MetricId| m.get(id.index()).copied().unwrap_or(0.0);
     let mut cpm = 0.0;
@@ -68,7 +72,10 @@ pub fn baseline_from_repo(
     if latency <= 0.0 {
         return None;
     }
-    Some(BgBaseline { checkpoints_per_min: cpm, disk_latency_ms: latency })
+    Some(BgBaseline {
+        checkpoints_per_min: cpm,
+        disk_latency_ms: latency,
+    })
 }
 
 /// A background-writer throttle finding.
@@ -94,7 +101,11 @@ pub struct BgwriterDetector {
 impl BgwriterDetector {
     /// New detector; `latency_guard` defaults to 2× baseline.
     pub fn new() -> Self {
-        Self { last_checkpoints: 0, last_run_at: 0, latency_guard: 2.0 }
+        Self {
+            last_checkpoints: 0,
+            last_run_at: 0,
+            latency_guard: 2.0,
+        }
     }
 
     /// Estimate checkpoint cadence from disk-latency peaks alone — the
@@ -103,11 +114,10 @@ impl BgwriterDetector {
     pub fn cadence_from_latency_peaks(db: &SimDatabase, since: SimTime) -> Option<f64> {
         let series = db.disks().data().latency_series();
         let window = series.window(since);
-        let mean = autodbaas_telemetry::mean(
-            &window.iter().map(|s| s.value).collect::<Vec<_>>(),
-        );
+        let mean = autodbaas_telemetry::mean(&window.iter().map(|s| s.value).collect::<Vec<_>>());
         let det = PeakDetector::new((mean * 0.5).max(0.5));
-        det.mean_peak_spacing(&window).map(|ms| MILLIS_PER_MIN as f64 / ms)
+        det.mean_peak_spacing(&window)
+            .map(|ms| MILLIS_PER_MIN as f64 / ms)
     }
 
     /// Run the detector over the window since the last run. Returns a
@@ -122,7 +132,11 @@ impl BgwriterDetector {
         let checkpoints_now = db.bg().checkpoints_done();
         let delta = checkpoints_now.saturating_sub(self.last_checkpoints);
         let cpm = delta as f64 * MILLIS_PER_MIN as f64 / window_ms as f64;
-        let latency = db.disks().data().latency_series().mean_since(self.last_run_at);
+        let latency = db
+            .disks()
+            .data()
+            .latency_series()
+            .mean_since(self.last_run_at);
         self.last_checkpoints = checkpoints_now;
         self.last_run_at = now;
         if latency <= 0.0 {
@@ -137,7 +151,11 @@ impl BgwriterDetector {
             live_ratio > baseline.ratio() && cpm > baseline.checkpoints_per_min * 1.2 && delta > 0;
         let guard_rule = latency > baseline.disk_latency_ms * self.latency_guard;
         if ratio_rule || guard_rule {
-            Some(BgFinding { checkpoints_per_min: cpm, disk_latency_ms: latency, baseline })
+            Some(BgFinding {
+                checkpoints_per_min: cpm,
+                disk_latency_ms: latency,
+                baseline,
+            })
         } else {
             None
         }
@@ -152,7 +170,13 @@ mod tests {
 
     fn db() -> SimDatabase {
         let catalog = Catalog::synthetic(4, 1_000_000_000, 150, 2);
-        SimDatabase::new(DbFlavor::Postgres, InstanceType::M4Large, DiskKind::Ssd, catalog, 3)
+        SimDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4Large,
+            DiskKind::Ssd,
+            catalog,
+            3,
+        )
     }
 
     /// Drive a write-heavy load for `secs` seconds.
@@ -166,7 +190,10 @@ mod tests {
     }
 
     fn tuned_baseline() -> BgBaseline {
-        BgBaseline { checkpoints_per_min: 0.2, disk_latency_ms: 6.5 }
+        BgBaseline {
+            checkpoints_per_min: 0.2,
+            disk_latency_ms: 6.5,
+        }
     }
 
     #[test]
@@ -180,7 +207,10 @@ mod tests {
         let mut det = BgwriterDetector::new();
         run_writes(&mut d, 300, 20);
         let finding = det.detect(&d, tuned_baseline());
-        assert!(finding.is_some(), "30 s checkpoints must out-ratio a tuned baseline");
+        assert!(
+            finding.is_some(),
+            "30 s checkpoints must out-ratio a tuned baseline"
+        );
         let f = finding.unwrap();
         assert!(f.checkpoints_per_min > tuned_baseline().checkpoints_per_min);
     }
@@ -193,11 +223,17 @@ mod tests {
         d.set_knob_direct(p.lookup("checkpoint_timeout").unwrap(), 900_000.0);
         d.set_knob_direct(p.lookup("checkpoint_completion_target").unwrap(), 0.9);
         d.set_knob_direct(p.lookup("bgwriter_lru_maxpages").unwrap(), 800.0);
-        d.set_knob_direct(p.lookup("max_wal_size").unwrap(), 8.0 * 1024.0 * 1024.0 * 1024.0);
+        d.set_knob_direct(
+            p.lookup("max_wal_size").unwrap(),
+            8.0 * 1024.0 * 1024.0 * 1024.0,
+        );
         let mut det = BgwriterDetector::new();
         run_writes(&mut d, 300, 5);
         // Baseline measured generously above this machine's idle latency.
-        let base = BgBaseline { checkpoints_per_min: 1.0, disk_latency_ms: 6.5 };
+        let base = BgBaseline {
+            checkpoints_per_min: 1.0,
+            disk_latency_ms: 6.5,
+        };
         assert!(det.detect(&d, base).is_none());
     }
 
@@ -212,7 +248,12 @@ mod tests {
         metrics[MetricId::WalBytes.index()] = 1e7;
         repo.add_sample(
             id,
-            Sample { config: vec![0.5], metrics: metrics.clone(), objective: 900.0, quality: SampleQuality::High },
+            Sample {
+                config: vec![0.5],
+                metrics: metrics.clone(),
+                objective: 900.0,
+                quality: SampleQuality::High,
+            },
         );
         // 3 checkpoints over a 180 s window = 1/min.
         let base = baseline_from_repo(&repo, &metrics, 180.0).unwrap();
@@ -255,7 +296,10 @@ mod tests {
 
     #[test]
     fn ratio_helper() {
-        let b = BgBaseline { checkpoints_per_min: 2.0, disk_latency_ms: 4.0 };
+        let b = BgBaseline {
+            checkpoints_per_min: 2.0,
+            disk_latency_ms: 4.0,
+        };
         assert!((b.ratio() - 0.5).abs() < 1e-12);
     }
 }

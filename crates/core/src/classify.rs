@@ -41,7 +41,10 @@ impl QueryClass {
 
     /// Stable index.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class in ALL")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class in ALL")
     }
 
     /// The knob class this query class throttles.
@@ -65,14 +68,20 @@ pub fn classify(q: &QueryProfile) -> QueryClass {
         return QueryClass::TempBuf;
     }
     if q.maintenance_bytes > 0
-        || matches!(q.kind, QueryKind::CreateIndex | QueryKind::AlterTable | QueryKind::Delete)
+        || matches!(
+            q.kind,
+            QueryKind::CreateIndex | QueryKind::AlterTable | QueryKind::Delete
+        )
     {
         return QueryClass::Maintenance;
     }
     if q.sort_bytes > 0
         || matches!(
             q.kind,
-            QueryKind::Join | QueryKind::Aggregate | QueryKind::OrderBy | QueryKind::ComplexAggregate
+            QueryKind::Join
+                | QueryKind::Aggregate
+                | QueryKind::OrderBy
+                | QueryKind::ComplexAggregate
         )
     {
         return QueryClass::WorkMem;
@@ -152,9 +161,15 @@ mod tests {
 
     #[test]
     fn kind_based_classification() {
-        assert_eq!(classify(&q(QueryKind::ComplexAggregate)), QueryClass::WorkMem);
+        assert_eq!(
+            classify(&q(QueryKind::ComplexAggregate)),
+            QueryClass::WorkMem
+        );
         assert_eq!(classify(&q(QueryKind::OrderBy)), QueryClass::WorkMem);
-        assert_eq!(classify(&q(QueryKind::CreateIndex)), QueryClass::Maintenance);
+        assert_eq!(
+            classify(&q(QueryKind::CreateIndex)),
+            QueryClass::Maintenance
+        );
         assert_eq!(classify(&q(QueryKind::Delete)), QueryClass::Maintenance);
         assert_eq!(classify(&q(QueryKind::TempTable)), QueryClass::TempBuf);
         assert_eq!(classify(&q(QueryKind::Insert)), QueryClass::WriteHeavy);
@@ -200,8 +215,14 @@ mod tests {
     #[test]
     fn classes_map_to_knob_classes() {
         assert_eq!(QueryClass::WorkMem.knob_class(), Some(KnobClass::Memory));
-        assert_eq!(QueryClass::WriteHeavy.knob_class(), Some(KnobClass::BackgroundWriter));
-        assert_eq!(QueryClass::Parallel.knob_class(), Some(KnobClass::AsyncPlanner));
+        assert_eq!(
+            QueryClass::WriteHeavy.knob_class(),
+            Some(KnobClass::BackgroundWriter)
+        );
+        assert_eq!(
+            QueryClass::Parallel.knob_class(),
+            Some(KnobClass::AsyncPlanner)
+        );
         assert_eq!(QueryClass::Other.knob_class(), None);
     }
 }

@@ -52,7 +52,10 @@ pub struct DriftConfig {
 
 impl Default for DriftConfig {
     fn default() -> Self {
-        Self { threshold: 0.25, consecutive: 1 }
+        Self {
+            threshold: 0.25,
+            consecutive: 1,
+        }
     }
 }
 
@@ -134,7 +137,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn fill(det: &mut DriftDetector, store: &mut TemplateStore, wl: &dyn QuerySource, n: usize, rng: &mut StdRng) {
+    fn fill(
+        det: &mut DriftDetector,
+        store: &mut TemplateStore,
+        wl: &dyn QuerySource,
+        n: usize,
+        rng: &mut StdRng,
+    ) {
         for _ in 0..n {
             det.ingest(store, &wl.next_query(rng));
         }
@@ -151,7 +160,10 @@ mod tests {
         let mut b = HashMap::new();
         b.insert(TemplateId(2), 7u64);
         let d = js_divergence(&a, &b);
-        assert!((d - std::f64::consts::LN_2).abs() < 1e-9, "disjoint JS = ln2, got {d}");
+        assert!(
+            (d - std::f64::consts::LN_2).abs() < 1e-9,
+            "disjoint JS = ln2, got {d}"
+        );
         // Empty side → 0 (no evidence).
         assert_eq!(js_divergence(&a, &HashMap::new()), 0.0);
     }
@@ -179,7 +191,10 @@ mod tests {
 
     #[test]
     fn debounce_requires_consecutive_drifts() {
-        let mut det = DriftDetector::new(DriftConfig { threshold: 0.25, consecutive: 2 });
+        let mut det = DriftDetector::new(DriftConfig {
+            threshold: 0.25,
+            consecutive: 2,
+        });
         let mut store = TemplateStore::new();
         let mut rng = StdRng::seed_from_u64(2);
         let tp = tpcc(0.5);
@@ -197,6 +212,9 @@ mod tests {
         fill(&mut det, &mut store, &tp, 1_000, &mut rng);
         assert!(matches!(det.close_window(), DriftVerdict::Stable(_)));
         fill(&mut det, &mut store, &yc, 1_000, &mut rng);
-        assert!(matches!(det.close_window(), DriftVerdict::Stable(_)), "debounced again");
+        assert!(
+            matches!(det.close_window(), DriftVerdict::Stable(_)),
+            "debounced again"
+        );
     }
 }

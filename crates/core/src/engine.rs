@@ -258,7 +258,9 @@ impl Tde {
         let swapping = db.swap_factor() > 1.05 && !new_queries.is_empty();
         let throttled = !spills.is_empty() || swapping;
         let any_at_cap = swapping
-            || spills.iter().any(|f| knob_at_cap(db, f.knob, self.cfg.filter.cap_fraction));
+            || spills
+                .iter()
+                .any(|f| knob_at_cap(db, f.knob, self.cfg.filter.cap_fraction));
         let decision = if self.cfg.enable_entropy_filter {
             self.filter.observe(throttled, any_at_cap, &self.hist)
         } else {
@@ -347,8 +349,7 @@ impl Tde {
         // --- 4. Background-writer detector -------------------------------
         if let Some(repo) = repo {
             let signature = db.metrics_snapshot().as_vec().to_vec();
-            if let Some(baseline) =
-                baseline_from_repo(repo, &signature, self.cfg.baseline_window_s)
+            if let Some(baseline) = baseline_from_repo(repo, &signature, self.cfg.baseline_window_s)
             {
                 if self.bg_detector.detect(db, baseline).is_some() {
                     let knob = db.planner().roles().checkpoint_interval;
@@ -403,7 +404,6 @@ impl Tde {
         }
         report
     }
-
 }
 
 /// When the config director asks for recommendations: on throttle events
@@ -436,7 +436,13 @@ mod tests {
 
     fn db() -> SimDatabase {
         let catalog = Catalog::synthetic(6, 2_000_000_000, 150, 2);
-        SimDatabase::new(DbFlavor::Postgres, InstanceType::M4XLarge, DiskKind::Ssd, catalog, 77)
+        SimDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4XLarge,
+            DiskKind::Ssd,
+            catalog,
+            77,
+        )
     }
 
     fn run_queries(d: &mut SimDatabase, q: &QueryProfile, n: usize) {
@@ -453,7 +459,10 @@ mod tests {
         let q = QueryProfile::new(QueryKind::PointSelect, 0);
         run_queries(&mut d, &q, 50);
         let report = tde.run(&mut d, None);
-        assert!(report.throttles.iter().all(|t| t.class != KnobClass::Memory));
+        assert!(report
+            .throttles
+            .iter()
+            .all(|t| t.class != KnobClass::Memory));
         assert!(!report.plan_upgrade);
     }
 
@@ -466,11 +475,8 @@ mod tests {
         q.sort_bytes = 350 * MIB;
         run_queries(&mut d, &q, 30);
         let report = tde.run(&mut d, None);
-        assert!(report
-            .throttles
-            .iter()
-            .any(|t| t.class == KnobClass::Memory
-                && t.reason == ThrottleReason::MemorySpill(SpillKind::WorkMem)));
+        assert!(report.throttles.iter().any(|t| t.class == KnobClass::Memory
+            && t.reason == ThrottleReason::MemorySpill(SpillKind::WorkMem)));
         assert!(report.tuning_request);
         assert!(tde.throttle_counts()[KnobClass::Memory.index()] >= 1);
         assert_eq!(tde.tuning_requests(), 1);
@@ -492,8 +498,10 @@ mod tests {
         run_queries(&mut d, &q, 30);
         let after = tde.run(&mut d, None);
         assert!(
-            !after.throttles.iter().any(|t| t.reason
-                == ThrottleReason::MemorySpill(SpillKind::WorkMem)),
+            !after
+                .throttles
+                .iter()
+                .any(|t| t.reason == ThrottleReason::MemorySpill(SpillKind::WorkMem)),
             "fixed knob must stop memory throttles"
         );
     }
@@ -502,8 +510,13 @@ mod tests {
     fn capped_even_workload_escalates_to_plan_upgrade() {
         // Tiny instance + queries from every class at once + knobs at cap.
         let catalog = Catalog::synthetic(6, 2_000_000_000, 150, 2);
-        let mut d =
-            SimDatabase::new(DbFlavor::Postgres, InstanceType::T2Small, DiskKind::Ssd, catalog, 9);
+        let mut d = SimDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::T2Small,
+            DiskKind::Ssd,
+            catalog,
+            9,
+        );
         let p = d.profile().clone();
         for name in ["work_mem", "maintenance_work_mem", "temp_buffers"] {
             let id = p.lookup(name).unwrap();
@@ -542,21 +555,32 @@ mod tests {
             let r = tde.run(&mut d, None);
             upgraded |= r.plan_upgrade;
         }
-        assert!(upgraded, "cap-limited even workload must request a plan upgrade");
+        assert!(
+            upgraded,
+            "cap-limited even workload must request a plan upgrade"
+        );
         assert!(tde.plan_upgrades() >= 1);
     }
 
     #[test]
     fn ablation_disabling_filter_never_upgrades() {
         let catalog = Catalog::synthetic(4, 1_000_000_000, 150, 2);
-        let mut d =
-            SimDatabase::new(DbFlavor::Postgres, InstanceType::T2Small, DiskKind::Ssd, catalog, 10);
+        let mut d = SimDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::T2Small,
+            DiskKind::Ssd,
+            catalog,
+            10,
+        );
         let p = d.profile().clone();
         for name in ["work_mem", "maintenance_work_mem", "temp_buffers"] {
             let id = p.lookup(name).unwrap();
             d.set_knob_direct(id, p.spec(id).max);
         }
-        let cfg = TdeConfig { enable_entropy_filter: false, ..TdeConfig::default() };
+        let cfg = TdeConfig {
+            enable_entropy_filter: false,
+            ..TdeConfig::default()
+        };
         let mut tde = Tde::new(&p, cfg, 5);
         let mut agg = QueryProfile::new(QueryKind::ComplexAggregate, 0);
         agg.sort_bytes = 5 * 1024 * MIB;
@@ -570,7 +594,10 @@ mod tests {
     #[test]
     fn mdp_runs_on_its_own_cadence() {
         let mut d = db();
-        let cfg = TdeConfig { mdp_interval_ms: 2 * MILLIS_PER_MIN, ..TdeConfig::default() };
+        let cfg = TdeConfig {
+            mdp_interval_ms: 2 * MILLIS_PER_MIN,
+            ..TdeConfig::default()
+        };
         let mut tde = Tde::new(&d.profile().clone(), cfg, 6);
         let mut q = QueryProfile::new(QueryKind::RangeSelect, 0);
         q.rows_examined = 200_000;
@@ -595,7 +622,10 @@ mod tests {
     #[test]
     fn tuning_policies_differ() {
         let report_empty = TdeReport::default();
-        let report_hot = TdeReport { tuning_request: true, ..TdeReport::default() };
+        let report_hot = TdeReport {
+            tuning_request: true,
+            ..TdeReport::default()
+        };
 
         let tde_pol = TuningPolicy::TdeDriven;
         assert!(!tde_pol.should_request(&report_empty, 1_000, 0));

@@ -50,7 +50,11 @@ pub struct FilterConfig {
 
 impl Default for FilterConfig {
     fn default() -> Self {
-        Self { consecutive_threshold: 8, entropy_threshold: 0.35, cap_fraction: 0.95 }
+        Self {
+            consecutive_threshold: 8,
+            entropy_threshold: 0.35,
+            cap_fraction: 0.95,
+        }
     }
 }
 
@@ -67,13 +71,22 @@ pub struct EntropyFilter {
 impl EntropyFilter {
     /// New filter with config.
     pub fn new(cfg: FilterConfig) -> Self {
-        Self { cfg, consecutive: 0, entropy_hits: 0 }
+        Self {
+            cfg,
+            consecutive: 0,
+            entropy_hits: 0,
+        }
     }
 
     /// Record that a detector window produced a throttle (`true`) or ran
     /// clean (`false`), then decide. `knob_at_cap` is whether the throttled
     /// knob is pinned at its maximum; `hist` is the current class table.
-    pub fn observe(&mut self, throttled: bool, knob_at_cap: bool, hist: &ClassHistogram) -> FilterDecision {
+    pub fn observe(
+        &mut self,
+        throttled: bool,
+        knob_at_cap: bool,
+        hist: &ClassHistogram,
+    ) -> FilterDecision {
         if !throttled {
             self.consecutive = 0;
             return FilterDecision::Forward; // nothing to suppress

@@ -23,16 +23,18 @@ use autodbaas_tuner::Mlp;
 
 /// Feature layout: one entry per metric (log-scaled delta) plus one per
 /// knob (normalised position).
-fn features(
-    profile: &KnobProfile,
-    knobs: &KnobSet,
-    window_delta: &[f64],
-) -> Vec<f64> {
-    let mut out: Vec<f64> =
-        window_delta.iter().map(|&x| (1.0 + x.abs()).ln() / 20.0).collect();
+fn features(profile: &KnobProfile, knobs: &KnobSet, window_delta: &[f64]) -> Vec<f64> {
+    let mut out: Vec<f64> = window_delta
+        .iter()
+        .map(|&x| (1.0 + x.abs()).ln() / 20.0)
+        .collect();
     for (id, spec) in profile.iter() {
         let v = knobs.get(id);
-        out.push(if spec.max > spec.min { (v - spec.min) / (spec.max - spec.min) } else { 0.0 });
+        out.push(if spec.max > spec.min {
+            (v - spec.min) / (spec.max - spec.min)
+        } else {
+            0.0
+        });
     }
     out
 }
@@ -168,12 +170,7 @@ impl LearnedDetector {
         self.observations += 1;
         // Per-class (Hamming) agreement: fraction of the three classes the
         // prediction got right this window.
-        let correct = predicted
-            .iter()
-            .zip(&truth)
-            .filter(|(p, t)| p == t)
-            .count() as f64
-            / 3.0;
+        let correct = predicted.iter().zip(&truth).filter(|(p, t)| p == t).count() as f64 / 3.0;
         self.agreement_sum += correct;
         if self.recent.len() == RECENT_WINDOW {
             self.recent.pop_front();
@@ -184,7 +181,10 @@ impl LearnedDetector {
         // the sigmoid to ~0.88/0.12 — soft targets keep the net from
         // saturating).
         let x = features(&self.profile, knobs, window_delta);
-        let y: Vec<f64> = label.iter().map(|&l| if l > 0.5 { 2.0 } else { -2.0 }).collect();
+        let y: Vec<f64> = label
+            .iter()
+            .map(|&l| if l > 0.5 { 2.0 } else { -2.0 })
+            .collect();
         if self.replay.len() == REPLAY_CAP {
             self.replay.remove(self.observations as usize % REPLAY_CAP);
         }
@@ -192,8 +192,14 @@ impl LearnedDetector {
         // A few passes over a recent slice each window.
         let take = self.replay.len().min(16);
         let start = self.replay.len() - take;
-        let xs: Vec<Vec<f64>> = self.replay[start..].iter().map(|(x, _)| x.clone()).collect();
-        let ys: Vec<Vec<f64>> = self.replay[start..].iter().map(|(_, y)| y.clone()).collect();
+        let xs: Vec<Vec<f64>> = self.replay[start..]
+            .iter()
+            .map(|(x, _)| x.clone())
+            .collect();
+        let ys: Vec<Vec<f64>> = self.replay[start..]
+            .iter()
+            .map(|(_, y)| y.clone())
+            .collect();
         for _ in 0..3 {
             self.net.train_batch(&xs, &ys, 0.05);
         }
@@ -251,7 +257,11 @@ mod tests {
         let mut det = LearnedDetector::new(&p, 2);
         // Train: spiky windows are memory throttles, quiet windows clean.
         for i in 0..400 {
-            let spills = if i % 2 == 0 { 20.0 + (i % 7) as f64 } else { 0.0 };
+            let spills = if i % 2 == 0 {
+                20.0 + (i % 7) as f64
+            } else {
+                0.0
+            };
             let d = delta_with(spills, 0.0);
             det.observe(&knobs, &d, &report_with_memory_throttle(spills > 0.0));
         }
@@ -268,8 +278,15 @@ mod tests {
 
     #[test]
     fn classes_over_threshold() {
-        let s = LearnedScores { memory: 0.9, bgwriter: 0.2, async_planner: 0.6 };
-        assert_eq!(s.classes_over(0.5), vec![KnobClass::Memory, KnobClass::AsyncPlanner]);
+        let s = LearnedScores {
+            memory: 0.9,
+            bgwriter: 0.2,
+            async_planner: 0.6,
+        };
+        assert_eq!(
+            s.classes_over(0.5),
+            vec![KnobClass::Memory, KnobClass::AsyncPlanner]
+        );
         assert!(s.classes_over(0.95).is_empty());
     }
 

@@ -65,7 +65,12 @@ pub struct MdpConfig {
 
 impl Default for MdpConfig {
     fn default() -> Self {
-        Self { alpha: 0.15, beta: 0.05, profit_threshold: 0.02, episode_steps: 375 }
+        Self {
+            alpha: 0.15,
+            beta: 0.05,
+            profit_threshold: 0.02,
+            episode_steps: 375,
+        }
     }
 }
 
@@ -119,7 +124,10 @@ impl MdpEngine {
 
     /// Current increase-probability of a knob's automaton (tests/reports).
     pub fn p_increase(&self, knob: KnobId) -> Option<f64> {
-        self.automata.iter().find(|a| a.knob == knob).map(|a| a.p_increase)
+        self.automata
+            .iter()
+            .find(|a| a.knob == knob)
+            .map(|a| a.p_increase)
     }
 
     /// Completed episodes' total rewards (Fig. 6a's learning curve).
@@ -141,7 +149,11 @@ impl MdpEngine {
         // Hit ratio approximated from metrics (blks_hit / total).
         let hits = db.metrics().get(autodbaas_simdb::MetricId::BlksHit);
         let reads = db.metrics().get(autodbaas_simdb::MetricId::BlksRead);
-        let hit_ratio = if hits + reads > 0.0 { hits / (hits + reads) } else { 0.5 };
+        let hit_ratio = if hits + reads > 0.0 {
+            hits / (hits + reads)
+        } else {
+            0.5
+        };
         queries
             .iter()
             .map(|q| {
@@ -186,7 +198,11 @@ impl MdpEngine {
             let new = knobs.set(&profile, a.knob, proposed);
             a.visited.push(new);
             let new_cost = Self::evaluate_cost(db, knobs, sampled);
-            let profit = if base_cost > 0.0 { (base_cost - new_cost) / base_cost } else { 0.0 };
+            let profit = if base_cost > 0.0 {
+                (base_cost - new_cost) / base_cost
+            } else {
+                0.0
+            };
 
             // Linear reward–penalty update of the chosen action.
             let rewarded = profit > NEUTRAL_EPS;
@@ -214,7 +230,12 @@ impl MdpEngine {
                 self.episode_profitable_steps += 1;
             }
             self.steps_in_episode += 1;
-            outcomes.push(MdpOutcome { knob: a.knob, action, profit, throttle });
+            outcomes.push(MdpOutcome {
+                knob: a.knob,
+                action,
+                profit,
+                throttle,
+            });
         }
 
         // Episode rollover.
@@ -239,7 +260,13 @@ mod tests {
 
     fn db() -> SimDatabase {
         let catalog = Catalog::synthetic(4, 2_000_000_000, 150, 2);
-        SimDatabase::new(DbFlavor::Postgres, InstanceType::M4XLarge, DiskKind::Ssd, catalog, 5)
+        SimDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4XLarge,
+            DiskKind::Ssd,
+            catalog,
+            5,
+        )
     }
 
     fn analytic_queries() -> Vec<QueryProfile> {
@@ -276,7 +303,11 @@ mod tests {
         assert_eq!(out.len(), engine.knob_count());
         for (id, spec) in d.profile().iter() {
             let v = knobs.get(id);
-            assert!(v >= spec.min && v <= spec.max, "{} out of bounds", spec.name);
+            assert!(
+                v >= spec.min && v <= spec.max,
+                "{} out of bounds",
+                spec.name
+            );
         }
     }
 
@@ -314,14 +345,20 @@ mod tests {
             engine.step(&d, &mut knobs, &queries, &mut rng);
         }
         let after = engine.p_increase(rpc).unwrap();
-        assert!(after < before, "p_increase {before} -> {after} should fall at the cap");
+        assert!(
+            after < before,
+            "p_increase {before} -> {after} should fall at the cap"
+        );
     }
 
     #[test]
     fn episodes_roll_over_and_record_curves() {
         let d = db();
         let mut knobs = d.knobs().clone();
-        let cfg = MdpConfig { episode_steps: 8, ..MdpConfig::default() };
+        let cfg = MdpConfig {
+            episode_steps: 8,
+            ..MdpConfig::default()
+        };
         let mut engine = MdpEngine::new(d.profile(), cfg);
         let mut rng = StdRng::seed_from_u64(4);
         let qs = analytic_queries();
@@ -329,7 +366,10 @@ mod tests {
             engine.step(&d, &mut knobs, &qs, &mut rng);
         }
         assert!(!engine.episode_rewards().is_empty());
-        assert_eq!(engine.episode_rewards().len(), engine.episode_accuracy().len());
+        assert_eq!(
+            engine.episode_rewards().len(),
+            engine.episode_accuracy().len()
+        );
         for &a in engine.episode_accuracy() {
             assert!((0.0..=1.0).contains(&a));
         }
@@ -356,7 +396,8 @@ mod tests {
         }
         // At least the mechanism must be consistent: accepted moves are
         // either profitable or neutral.
-        assert!(out.iter().all(|o| o.profit >= -1e-9
-            || knobs.get(o.knob) == before.get(o.knob)));
+        assert!(out
+            .iter()
+            .all(|o| o.profit >= -1e-9 || knobs.get(o.knob) == before.get(o.knob)));
     }
 }

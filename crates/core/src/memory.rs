@@ -67,7 +67,11 @@ pub fn check_working_set(db: &mut SimDatabase, reset: bool) -> Option<WorkingSet
     let buffer_bytes = db.knobs().get(knob) as u64;
     let ws = db.working_set_bytes(reset);
     if ws > buffer_bytes {
-        Some(WorkingSetFinding { knob, working_set_bytes: ws, buffer_bytes })
+        Some(WorkingSetFinding {
+            knob,
+            working_set_bytes: ws,
+            buffer_bytes,
+        })
     } else {
         None
     }
@@ -96,7 +100,13 @@ mod tests {
 
     fn db() -> SimDatabase {
         let catalog = Catalog::synthetic(6, 2_000_000_000, 150, 2);
-        SimDatabase::new(DbFlavor::Postgres, InstanceType::M4XLarge, DiskKind::Ssd, catalog, 17)
+        SimDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4XLarge,
+            DiskKind::Ssd,
+            catalog,
+            17,
+        )
     }
 
     fn heavy_sort() -> QueryProfile {
@@ -133,8 +143,10 @@ mod tests {
         let mut tt = QueryProfile::new(QueryKind::TempTable, 0);
         tt.temp_bytes = 512 * MIB;
         let findings = detect_spills(&d, &[ci, tt]);
-        let names: Vec<&str> =
-            findings.iter().map(|f| d.profile().spec(f.knob).name).collect();
+        let names: Vec<&str> = findings
+            .iter()
+            .map(|f| d.profile().spec(f.knob).name)
+            .collect();
         assert!(names.contains(&"maintenance_work_mem"));
         assert!(names.contains(&"temp_buffers"));
     }

@@ -37,8 +37,17 @@ impl AdaptivePeriod {
     /// Controller bounded to `[min_ms, max_ms]`, starting at the floor
     /// (a fresh database deserves attention).
     pub fn new(min_ms: u64, max_ms: u64) -> Self {
-        assert!(min_ms > 0 && max_ms >= min_ms, "period bounds must be ordered");
-        Self { min_ms, max_ms, current_ms: min_ms, stretch: 1.5, last_run: 0 }
+        assert!(
+            min_ms > 0 && max_ms >= min_ms,
+            "period bounds must be ordered"
+        );
+        Self {
+            min_ms,
+            max_ms,
+            current_ms: min_ms,
+            stretch: 1.5,
+            last_run: 0,
+        }
     }
 
     /// Current period.
@@ -77,7 +86,11 @@ mod tests {
             assert!(p.due(now));
             p.record(now, false);
         }
-        assert_eq!(p.current_ms(), 600_000, "clean stretch must reach the ceiling");
+        assert_eq!(
+            p.current_ms(),
+            600_000,
+            "clean stretch must reach the ceiling"
+        );
     }
 
     #[test]

@@ -34,7 +34,11 @@ impl<T> Reservoir<T> {
     /// Reservoir holding at most `capacity` items.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "reservoir capacity must be positive");
-        Self { capacity, seen: 0, items: Vec::with_capacity(capacity) }
+        Self {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        }
     }
 
     /// Offer one stream element (Algorithm R).

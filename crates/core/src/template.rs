@@ -88,8 +88,11 @@ impl TemplateStore {
         *lit_count += 1;
         // Keep the representative at the most frequent literal set.
         let best = *lit_count;
-        let rep_count =
-            e.literal_counts.get(&e.representative.literals).copied().unwrap_or(0);
+        let rep_count = e
+            .literal_counts
+            .get(&e.representative.literals)
+            .copied()
+            .unwrap_or(0);
         if best >= rep_count {
             e.representative = q.clone();
         }
@@ -136,7 +139,10 @@ mod tests {
 
     #[test]
     fn normalize_strips_digit_runs() {
-        assert_eq!(normalize_sql("SELECT t12 WHERE k = 94321"), "SELECT t? WHERE k = ?");
+        assert_eq!(
+            normalize_sql("SELECT t12 WHERE k = 94321"),
+            "SELECT t? WHERE k = ?"
+        );
         assert_eq!(normalize_sql("no digits"), "no digits");
         assert_eq!(normalize_sql("a1b22c333"), "a?b?c?");
     }

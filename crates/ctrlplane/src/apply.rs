@@ -81,9 +81,19 @@ impl ReplicaSet {
     ) -> Self {
         let master = SimDatabase::new(flavor, instance, disk, catalog.clone(), seed);
         let slaves: Vec<SimDatabase> = (0..n_slaves)
-            .map(|i| SimDatabase::new(flavor, instance, disk, catalog.clone(), seed ^ (i as u64 + 1)))
+            .map(|i| {
+                SimDatabase::new(
+                    flavor,
+                    instance,
+                    disk,
+                    catalog.clone(),
+                    seed ^ (i as u64 + 1),
+                )
+            })
             .collect();
-        let slots = (0..n_slaves).map(|_| ReplicationSlot::new(SLAVE_REPLAY_RATE)).collect();
+        let slots = (0..n_slaves)
+            .map(|_| ReplicationSlot::new(SLAVE_REPLAY_RATE))
+            .collect();
         Self {
             master,
             slaves,
@@ -132,7 +142,11 @@ impl ReplicaSet {
     /// The worst replication lag across slaves, in bytes.
     pub fn max_replication_lag(&self) -> u64 {
         let master_lsn = self.master.bg().wal().insert_lsn();
-        self.slots.iter().map(|s| s.lag_bytes(master_lsn)).max().unwrap_or(0)
+        self.slots
+            .iter()
+            .map(|s| s.lag_bytes(master_lsn))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Replication slot state per slave.
@@ -154,7 +168,10 @@ impl ReplicaSet {
         for (i, slot) in self.slots.iter().enumerate() {
             let lag = slot.lag_bytes(master_lsn);
             if lag > max_lag_bytes {
-                return Err(ApplyError::ReplicaLagging { slave: i, lag_bytes: lag });
+                return Err(ApplyError::ReplicaLagging {
+                    slave: i,
+                    lag_bytes: lag,
+                });
             }
         }
         let report = self.apply(changes, mode)?;
@@ -172,7 +189,11 @@ impl ReplicaSet {
     /// slave crash the recommendation is rejected with slaves rolled back
     /// and the master untouched; on a master crash the config is left
     /// half-applied for the reconciler to clean up.
-    pub fn apply(&mut self, changes: &[ConfigChange], mode: ApplyMode) -> Result<ApplyReport, ApplyError> {
+    pub fn apply(
+        &mut self,
+        changes: &[ConfigChange],
+        mode: ApplyMode,
+    ) -> Result<ApplyReport, ApplyError> {
         // Phase 1: slaves.
         for (i, slave) in self.slaves.iter_mut().enumerate() {
             if self.crash_next_apply_on_slave == Some(i) {
@@ -201,12 +222,22 @@ mod tests {
 
     fn rs(n_slaves: usize) -> ReplicaSet {
         let catalog = Catalog::synthetic(4, 500_000_000, 150, 1);
-        ReplicaSet::new(DbFlavor::Postgres, InstanceType::M4Large, DiskKind::Ssd, catalog, n_slaves, 1)
+        ReplicaSet::new(
+            DbFlavor::Postgres,
+            InstanceType::M4Large,
+            DiskKind::Ssd,
+            catalog,
+            n_slaves,
+            1,
+        )
     }
 
     fn work_mem_change(rs: &ReplicaSet, mb: f64) -> ConfigChange {
         let id = rs.master().profile().lookup("work_mem").unwrap();
-        ConfigChange { knob: id, value: mb * MIB }
+        ConfigChange {
+            knob: id,
+            value: mb * MIB,
+        }
     }
 
     #[test]
@@ -229,7 +260,11 @@ mod tests {
         r.inject_slave_crash(0);
         let err = r.apply(&[ch], ApplyMode::Reload).unwrap_err();
         assert_eq!(err, ApplyError::SlaveCrashed { slave: 0 });
-        assert_eq!(r.master().knobs().get(ch.knob), before, "master must be untouched");
+        assert_eq!(
+            r.master().knobs().get(ch.knob),
+            before,
+            "master must be untouched"
+        );
     }
 
     #[test]
@@ -294,10 +329,14 @@ mod tests {
         r.slots[0].pause(60_000);
         write_heavily(&mut r, 10);
         let ch = work_mem_change(&r, 8.0);
-        let err = r.apply_with_lag_guard(&[ch], ApplyMode::Reload, 1024).unwrap_err();
+        let err = r
+            .apply_with_lag_guard(&[ch], ApplyMode::Reload, 1024)
+            .unwrap_err();
         assert!(matches!(err, ApplyError::ReplicaLagging { slave: 0, .. }));
         // With a generous guard the same apply goes through.
-        assert!(r.apply_with_lag_guard(&[ch], ApplyMode::Reload, u64::MAX).is_ok());
+        assert!(r
+            .apply_with_lag_guard(&[ch], ApplyMode::Reload, u64::MAX)
+            .is_ok());
     }
 
     #[test]
@@ -305,7 +344,8 @@ mod tests {
         let mut r = rs(1);
         write_heavily(&mut r, 5);
         let ch = work_mem_change(&r, 8.0);
-        r.apply_with_lag_guard(&[ch], ApplyMode::Restart, u64::MAX).unwrap();
+        r.apply_with_lag_guard(&[ch], ApplyMode::Restart, u64::MAX)
+            .unwrap();
         assert!(r.slots()[0].is_paused());
     }
 }

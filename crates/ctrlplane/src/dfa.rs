@@ -50,9 +50,15 @@ pub trait DbAdapter: Send + Sync {
 
     /// Preferred apply mode for a set of changes: reload unless a
     /// restart-bound knob changed *and* the caller allows restarts.
-    fn pick_mode(&self, profile: &KnobProfile, changes: &[ConfigChange], allow_restart: bool) -> ApplyMode {
-        let needs_restart =
-            changes.iter().any(|c| profile.spec(c.knob).restart_required);
+    fn pick_mode(
+        &self,
+        profile: &KnobProfile,
+        changes: &[ConfigChange],
+        allow_restart: bool,
+    ) -> ApplyMode {
+        let needs_restart = changes
+            .iter()
+            .any(|c| profile.spec(c.knob).restart_required);
         if needs_restart && allow_restart {
             ApplyMode::Restart
         } else {
@@ -118,12 +124,16 @@ impl std::fmt::Debug for DataFederationAgent {
 impl DataFederationAgent {
     /// DFA with both built-in adapters registered.
     pub fn new() -> Self {
-        Self { adapters: vec![Box::new(PostgresAdapter), Box::new(MySqlAdapter)] }
+        Self {
+            adapters: vec![Box::new(PostgresAdapter), Box::new(MySqlAdapter)],
+        }
     }
 
     /// DFA with no adapters (register explicitly).
     pub fn empty() -> Self {
-        Self { adapters: Vec::new() }
+        Self {
+            adapters: Vec::new(),
+        }
     }
 
     /// Register an adapter.
@@ -132,7 +142,10 @@ impl DataFederationAgent {
     }
 
     fn adapter_for(&self, flavor: DbFlavor) -> Option<&dyn DbAdapter> {
-        self.adapters.iter().find(|a| a.flavor() == flavor).map(|b| b.as_ref())
+        self.adapters
+            .iter()
+            .find(|a| a.flavor() == flavor)
+            .map(|b| b.as_ref())
     }
 
     /// Apply a normalised recommendation to every node of a service:
@@ -147,10 +160,14 @@ impl DataFederationAgent {
         unit_config: &[f64],
         allow_restart: bool,
     ) -> Result<(Credentials, ApplyReport), DfaError> {
-        let creds =
-            orchestrator.credentials(service).cloned().ok_or(DfaError::NoCredentials)?;
+        let creds = orchestrator
+            .credentials(service)
+            .cloned()
+            .ok_or(DfaError::NoCredentials)?;
         let flavor = rs.master().flavor();
-        let adapter = self.adapter_for(flavor).ok_or(DfaError::NoAdapter(flavor))?;
+        let adapter = self
+            .adapter_for(flavor)
+            .ok_or(DfaError::NoAdapter(flavor))?;
         let profile = rs.master().profile().clone();
         let changes = adapter.translate(&profile, unit_config);
         let mode = adapter.pick_mode(&profile, &changes, allow_restart);
@@ -196,9 +213,15 @@ mod tests {
         let wm = profile.lookup("work_mem").unwrap();
         let sb = profile.lookup("shared_buffers").unwrap();
         let a = PostgresAdapter;
-        let reloadable = [ConfigChange { knob: wm, value: 1e6 }];
+        let reloadable = [ConfigChange {
+            knob: wm,
+            value: 1e6,
+        }];
         assert_eq!(a.pick_mode(&profile, &reloadable, true), ApplyMode::Reload);
-        let restarty = [ConfigChange { knob: sb, value: 1e9 }];
+        let restarty = [ConfigChange {
+            knob: sb,
+            value: 1e9,
+        }];
         assert_eq!(a.pick_mode(&profile, &restarty, true), ApplyMode::Restart);
         // Restart disallowed outside maintenance: reload (staging the knob).
         assert_eq!(a.pick_mode(&profile, &restarty, false), ApplyMode::Reload);
@@ -209,7 +232,9 @@ mod tests {
         let (orch, id, mut rs) = provision();
         let dfa = DataFederationAgent::new();
         let unit = vec![0.5; rs.master().profile().len()];
-        let (creds, report) = dfa.apply_recommendation(&orch, id, &mut rs, &unit, false).unwrap();
+        let (creds, report) = dfa
+            .apply_recommendation(&orch, id, &mut rs, &unit, false)
+            .unwrap();
         assert!(creds.user.starts_with("admin-"));
         assert!(!report.applied.is_empty());
         // Restart-bound knobs were staged, not applied.
@@ -222,7 +247,9 @@ mod tests {
         orch.deprovision(id);
         let dfa = DataFederationAgent::new();
         let unit = vec![0.5; rs.master().profile().len()];
-        let err = dfa.apply_recommendation(&orch, id, &mut rs, &unit, false).unwrap_err();
+        let err = dfa
+            .apply_recommendation(&orch, id, &mut rs, &unit, false)
+            .unwrap_err();
         assert_eq!(err, DfaError::NoCredentials);
     }
 
@@ -231,7 +258,9 @@ mod tests {
         let (orch, id, mut rs) = provision();
         let dfa = DataFederationAgent::empty();
         let unit = vec![0.5; rs.master().profile().len()];
-        let err = dfa.apply_recommendation(&orch, id, &mut rs, &unit, false).unwrap_err();
+        let err = dfa
+            .apply_recommendation(&orch, id, &mut rs, &unit, false)
+            .unwrap_err();
         assert_eq!(err, DfaError::NoAdapter(DbFlavor::Postgres));
     }
 
@@ -241,7 +270,12 @@ mod tests {
         rs.inject_slave_crash(0);
         let dfa = DataFederationAgent::new();
         let unit = vec![0.5; rs.master().profile().len()];
-        let err = dfa.apply_recommendation(&orch, id, &mut rs, &unit, false).unwrap_err();
-        assert!(matches!(err, DfaError::Apply(ApplyError::SlaveCrashed { .. })));
+        let err = dfa
+            .apply_recommendation(&orch, id, &mut rs, &unit, false)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DfaError::Apply(ApplyError::SlaveCrashed { .. })
+        ));
     }
 }

@@ -62,9 +62,18 @@ impl ConfigDirector {
         let tuners = kinds
             .iter()
             .enumerate()
-            .map(|(id, &kind)| TunerSlot { id, kind, busy_until: 0, requests_served: 0 })
+            .map(|(id, &kind)| TunerSlot {
+                id,
+                kind,
+                busy_until: 0,
+                requests_served: 0,
+            })
             .collect();
-        Self { tuners, request_log: Vec::new(), config_repo: HashMap::new() }
+        Self {
+            tuners,
+            request_log: Vec::new(),
+            config_repo: HashMap::new(),
+        }
     }
 
     /// Tuner fleet view.
@@ -91,19 +100,33 @@ impl ConfigDirector {
         let ready_at = start + service_time_ms.max(0.0) as u64;
         slot.busy_until = ready_at;
         slot.requests_served += 1;
-        Assignment { tuner: slot.id, ready_at }
+        Assignment {
+            tuner: slot.id,
+            ready_at,
+        }
     }
 
     /// Store an accepted recommendation in the config data repository.
-    pub fn record_recommendation(&mut self, service: ServiceId, now: SimTime, unit_config: Vec<f64>) {
-        self.config_repo.entry(service).or_default().push((now, unit_config));
+    pub fn record_recommendation(
+        &mut self,
+        service: ServiceId,
+        now: SimTime,
+        unit_config: Vec<f64>,
+    ) {
+        self.config_repo
+            .entry(service)
+            .or_default()
+            .push((now, unit_config));
     }
 
     /// Recommendation history for a service (used by the §4 maintenance
     /// logic: "99th percentile of this knob obtained during all last
     /// recommendations").
     pub fn recommendation_history(&self, service: ServiceId) -> &[(SimTime, Vec<f64>)] {
-        self.config_repo.get(&service).map(|v| v.as_slice()).unwrap_or(&[])
+        self.config_repo
+            .get(&service)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Total tuning requests received.
@@ -113,7 +136,10 @@ impl ConfigDirector {
 
     /// Requests in `[since, until)`.
     pub fn requests_in_window(&self, since: SimTime, until: SimTime) -> usize {
-        self.request_log.iter().filter(|&&t| t >= since && t < until).count()
+        self.request_log
+            .iter()
+            .filter(|&&t| t >= since && t < until)
+            .count()
     }
 
     /// Requests-per-minute series over `[t0, t1)` — the Fig. 9 curve.
@@ -134,8 +160,11 @@ impl ConfigDirector {
     /// scalability indicator: it explodes when request rate × service time
     /// exceeds fleet capacity.
     pub fn backlog_ms(&self, now: SimTime) -> f64 {
-        let total: u64 =
-            self.tuners.iter().map(|t| t.busy_until.saturating_sub(now)).sum();
+        let total: u64 = self
+            .tuners
+            .iter()
+            .map(|t| t.busy_until.saturating_sub(now))
+            .sum();
         total as f64 / self.tuners.len() as f64
     }
 }

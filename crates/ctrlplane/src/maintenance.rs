@@ -106,7 +106,11 @@ mod tests {
 
     #[test]
     fn schedule_membership_and_next_window() {
-        let s = MaintenanceSchedule { every_ms: 100, duration_ms: 10, first_at: 50 };
+        let s = MaintenanceSchedule {
+            every_ms: 100,
+            duration_ms: 10,
+            first_at: 50,
+        };
         assert!(!s.in_window(0));
         assert!(s.in_window(50));
         assert!(s.in_window(59));
@@ -125,7 +129,10 @@ mod tests {
 
     #[test]
     fn unchanged_working_set_keeps_value() {
-        assert_eq!(plan_buffer_update(3.0 * GIB, 3.0 * GIB, 8.0 * GIB, &[], 0), None);
+        assert_eq!(
+            plan_buffer_update(3.0 * GIB, 3.0 * GIB, 8.0 * GIB, &[], 0),
+            None
+        );
     }
 
     #[test]

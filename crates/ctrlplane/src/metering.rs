@@ -52,7 +52,10 @@ impl RecommendationMeter {
     /// Meter with an hourly tuner-instance rate.
     pub fn new(rate_per_hour: f64) -> Self {
         assert!(rate_per_hour >= 0.0);
-        Self { rate_per_hour, tenants: HashMap::new() }
+        Self {
+            rate_per_hour,
+            tenants: HashMap::new(),
+        }
     }
 
     /// Record one recommendation of `service_time_ms` tuner busy-time for
@@ -140,7 +143,10 @@ mod tests {
             }
         }
         let needed = m.instances_needed(3_600_000.0);
-        assert!((1..=2).contains(&needed), "4 DBs at 5-min polling ≈ 1-2 tuners, got {needed}");
+        assert!(
+            (1..=2).contains(&needed),
+            "4 DBs at 5-min polling ≈ 1-2 tuners, got {needed}"
+        );
         // 80 databases at the same cadence need ~20x that — the Fig. 9
         // scalability problem.
         let mut m80 = RecommendationMeter::default();

@@ -7,7 +7,9 @@
 //! reset or re-deployment doesn't over-write the settings".
 
 use crate::apply::ReplicaSet;
-use autodbaas_simdb::{ApplyMode, Catalog, ConfigChange, DbFlavor, DiskKind, InstanceType, KnobSet};
+use autodbaas_simdb::{
+    ApplyMode, Catalog, ConfigChange, DbFlavor, DiskKind, InstanceType, KnobSet,
+};
 use std::collections::HashMap;
 
 /// Identifier of a managed service instance.
@@ -72,7 +74,10 @@ impl ServiceOrchestrator {
         self.persisted.insert(id, rs.master().knobs().clone());
         self.credentials.insert(
             id,
-            Credentials { user: format!("admin-{}", id.0), secret: format!("s3cr3t-{}", id.0) },
+            Credentials {
+                user: format!("admin-{}", id.0),
+                secret: format!("s3cr3t-{}", id.0),
+            },
         );
         self.specs.insert(id, spec);
         (id, rs)
@@ -111,7 +116,10 @@ impl ServiceOrchestrator {
             let profile = rs.master().profile().clone();
             let changes: Vec<ConfigChange> = profile
                 .iter()
-                .map(|(kid, _)| ConfigChange { knob: kid, value: knobs.get(kid) })
+                .map(|(kid, _)| ConfigChange {
+                    knob: kid,
+                    value: knobs.get(kid),
+                })
                 .collect();
             // A redeploy is a restart by definition, so restart-bound knobs
             // land too.
@@ -172,8 +180,14 @@ mod tests {
         let sb = profile.lookup("shared_buffers").unwrap();
         // Tune, then persist (as the director would after a good apply).
         let changes = [
-            ConfigChange { knob: wm, value: 64.0 * 1024.0 * 1024.0 },
-            ConfigChange { knob: sb, value: 512.0 * 1024.0 * 1024.0 },
+            ConfigChange {
+                knob: wm,
+                value: 64.0 * 1024.0 * 1024.0,
+            },
+            ConfigChange {
+                knob: sb,
+                value: 512.0 * 1024.0 * 1024.0,
+            },
         ];
         rs.apply(&changes, ApplyMode::Restart).unwrap();
         orch.persist_config(id, rs.master().knobs().clone());
@@ -190,8 +204,14 @@ mod tests {
         let wm = rs.master().profile().lookup("work_mem").unwrap();
         let default = rs.master().knobs().get(wm);
         // Tune but do NOT persist.
-        rs.apply(&[ConfigChange { knob: wm, value: 99.0 * 1024.0 * 1024.0 }], ApplyMode::Reload)
-            .unwrap();
+        rs.apply(
+            &[ConfigChange {
+                knob: wm,
+                value: 99.0 * 1024.0 * 1024.0,
+            }],
+            ApplyMode::Reload,
+        )
+        .unwrap();
         let redeployed = orch.redeploy(id).unwrap();
         assert_eq!(redeployed.master().knobs().get(wm), default);
     }

@@ -40,7 +40,12 @@ pub struct Reconciler {
 impl Reconciler {
     /// Reconciler for `service` with the given watcher timeout.
     pub fn new(service: ServiceId, watcher_timeout_ms: u64) -> Self {
-        Self { service, watcher_timeout_ms, drift_since: None, reconciliations: 0 }
+        Self {
+            service,
+            watcher_timeout_ms,
+            drift_since: None,
+            reconciliations: 0,
+        }
     }
 
     /// Total reconciliations performed.
@@ -79,7 +84,10 @@ impl Reconciler {
         let changes: Vec<ConfigChange> = profile
             .iter()
             .filter(|(_, spec)| !spec.restart_required)
-            .map(|(id, _)| ConfigChange { knob: id, value: persisted.get(id) })
+            .map(|(id, _)| ConfigChange {
+                knob: id,
+                value: persisted.get(id),
+            })
             .collect();
         // Reconciliation must succeed even if a crash was injected for the
         // *recommendation* path; a second attempt next tick is fine, so
@@ -136,7 +144,10 @@ mod tests {
             rec.check(&orch, &mut rs, 5_000),
             ReconcileOutcome::DriftObserved { for_ms: 4_000 }
         ));
-        assert_eq!(rec.check(&orch, &mut rs, 11_001), ReconcileOutcome::Reconciled);
+        assert_eq!(
+            rec.check(&orch, &mut rs, 11_001),
+            ReconcileOutcome::Reconciled
+        );
         assert_eq!(rs.master().knobs().get(wm), persisted_value);
         assert_eq!(rec.reconciliations(), 1);
     }

@@ -116,7 +116,10 @@ impl BgWriter {
         let cleaned = pool.clean_dirty(chunks_per_tick as usize);
         if cleaned > 0 {
             disk.submit_write(cleaned as f64 * chunk_bytes, WriteSource::BgWriter);
-            metrics.inc(MetricId::BuffersClean, cleaned as f64 * chunk_bytes / (8.0 * 1024.0));
+            metrics.inc(
+                MetricId::BuffersClean,
+                cleaned as f64 * chunk_bytes / (8.0 * 1024.0),
+            );
         }
 
         // --- Checkpoint trigger -----------------------------------------
@@ -134,7 +137,10 @@ impl BgWriter {
                 DbFlavor::MySql => {
                     let pct = knobs.get(roles.checkpoint_interval);
                     let dirty_frac = dirty as f64 / pool.capacity().max(1) as f64 * 100.0;
-                    (dirty_frac >= pct, self.wal.bytes_since_checkpoint() as f64 >= wal_trigger)
+                    (
+                        dirty_frac >= pct,
+                        self.wal.bytes_since_checkpoint() as f64 >= wal_trigger,
+                    )
                 }
             };
             if (timed || requested) && dirty > 0 {
@@ -147,7 +153,11 @@ impl BgWriter {
                     DbFlavor::Postgres => {
                         let timeout = knobs.get(roles.checkpoint_interval);
                         let elapsed = now.saturating_sub(self.last_checkpoint_at) as f64;
-                        let interval = if requested && !timed { elapsed.min(timeout) } else { timeout };
+                        let interval = if requested && !timed {
+                            elapsed.min(timeout)
+                        } else {
+                            timeout
+                        };
                         (interval * knobs.get(roles.checkpoint_spread)).max(1_000.0)
                     }
                     // innodb_flush_neighbors ∈ {0,1,2}: higher = burstier.
@@ -163,7 +173,11 @@ impl BgWriter {
                 self.wal.begin_checkpoint();
                 self.last_checkpoint_at = now;
                 metrics.inc(
-                    if timed { MetricId::CheckpointsTimed } else { MetricId::CheckpointsReq },
+                    if timed {
+                        MetricId::CheckpointsTimed
+                    } else {
+                        MetricId::CheckpointsReq
+                    },
                     1.0,
                 );
             }
@@ -176,7 +190,10 @@ impl BgWriter {
             run.carry = want - flush as f64;
             if flush > 0 {
                 let actually = pool.clean_dirty(flush as usize) as u64;
-                disk.submit_write(actually.max(flush) as f64 * chunk_bytes, WriteSource::Checkpoint);
+                disk.submit_write(
+                    actually.max(flush) as f64 * chunk_bytes,
+                    WriteSource::Checkpoint,
+                );
                 metrics.inc(
                     MetricId::BuffersCheckpoint,
                     flush as f64 * chunk_bytes / (8.0 * 1024.0),
@@ -251,7 +268,15 @@ mod tests {
     fn bgwriter_cleans_steadily() {
         let mut r = rig();
         dirty_n(&mut r.pool, 100);
-        r.bg.tick(1_000, 1_000, &r.knobs, &r.roles, &mut r.pool, &mut r.disk, &mut r.metrics);
+        r.bg.tick(
+            1_000,
+            1_000,
+            &r.knobs,
+            &r.roles,
+            &mut r.pool,
+            &mut r.disk,
+            &mut r.metrics,
+        );
         assert!(r.pool.dirty_count() < 100);
         assert!(r.disk.data().written_by(WriteSource::BgWriter) > 0.0);
     }
@@ -262,7 +287,15 @@ mod tests {
         r.knobs.set_named(&r.profile, "bgwriter_lru_maxpages", 0.0); // isolate checkpointer
         dirty_n(&mut r.pool, 50);
         // Default timeout 300 s: at t=301 s a checkpoint must have started.
-        r.bg.tick(301_000, 1_000, &r.knobs, &r.roles, &mut r.pool, &mut r.disk, &mut r.metrics);
+        r.bg.tick(
+            301_000,
+            1_000,
+            &r.knobs,
+            &r.roles,
+            &mut r.pool,
+            &mut r.disk,
+            &mut r.metrics,
+        );
         assert!(r.bg.checkpoint_in_progress() || r.bg.checkpoints_done() > 0);
         assert_eq!(r.metrics.get(MetricId::CheckpointsTimed), 1.0);
     }
@@ -273,7 +306,15 @@ mod tests {
         r.knobs.set_named(&r.profile, "bgwriter_lru_maxpages", 0.0);
         dirty_n(&mut r.pool, 50);
         r.bg.note_wal(2e9); // 2 GB > default max_wal_size of 1 GiB
-        r.bg.tick(10_000, 1_000, &r.knobs, &r.roles, &mut r.pool, &mut r.disk, &mut r.metrics);
+        r.bg.tick(
+            10_000,
+            1_000,
+            &r.knobs,
+            &r.roles,
+            &mut r.pool,
+            &mut r.disk,
+            &mut r.metrics,
+        );
         assert_eq!(r.metrics.get(MetricId::CheckpointsReq), 1.0);
     }
 
@@ -281,16 +322,34 @@ mod tests {
     fn checkpoint_spreads_over_completion_window() {
         let mut r = rig();
         r.knobs.set_named(&r.profile, "bgwriter_lru_maxpages", 0.0);
-        r.knobs.set_named(&r.profile, "checkpoint_timeout", 60_000.0);
-        r.knobs.set_named(&r.profile, "checkpoint_completion_target", 0.9);
+        r.knobs
+            .set_named(&r.profile, "checkpoint_timeout", 60_000.0);
+        r.knobs
+            .set_named(&r.profile, "checkpoint_completion_target", 0.9);
         dirty_n(&mut r.pool, 200);
-        r.bg.tick(61_000, 1_000, &r.knobs, &r.roles, &mut r.pool, &mut r.disk, &mut r.metrics);
+        r.bg.tick(
+            61_000,
+            1_000,
+            &r.knobs,
+            &r.roles,
+            &mut r.pool,
+            &mut r.disk,
+            &mut r.metrics,
+        );
         assert!(r.bg.checkpoint_in_progress());
         // After one second of a 54 s window only a fraction is flushed.
         assert!(r.pool.dirty_count() > 150, "dirty={}", r.pool.dirty_count());
         // Run it long enough and the checkpoint completes.
         for s in 62..130u64 {
-            r.bg.tick(s * 1_000, 1_000, &r.knobs, &r.roles, &mut r.pool, &mut r.disk, &mut r.metrics);
+            r.bg.tick(
+                s * 1_000,
+                1_000,
+                &r.knobs,
+                &r.roles,
+                &mut r.pool,
+                &mut r.disk,
+                &mut r.metrics,
+            );
         }
         assert_eq!(r.bg.checkpoints_done(), 1);
         assert!(!r.bg.checkpoint_in_progress());
@@ -311,7 +370,15 @@ mod tests {
         for c in 0..30u64 {
             pool.access(c, true);
         }
-        bg.tick(1_000, 1_000, &knobs, &roles, &mut pool, &mut disk, &mut metrics);
+        bg.tick(
+            1_000,
+            1_000,
+            &knobs,
+            &roles,
+            &mut pool,
+            &mut disk,
+            &mut metrics,
+        );
         assert!(bg.checkpoint_in_progress() || bg.checkpoints_done() > 0);
     }
 
@@ -319,9 +386,25 @@ mod tests {
     fn vacuum_runs_on_interval_and_clears_dead_bytes() {
         let mut r = rig();
         r.bg.note_dead_tuples(1e6);
-        r.bg.tick(59_000, 1_000, &r.knobs, &r.roles, &mut r.pool, &mut r.disk, &mut r.metrics);
+        r.bg.tick(
+            59_000,
+            1_000,
+            &r.knobs,
+            &r.roles,
+            &mut r.pool,
+            &mut r.disk,
+            &mut r.metrics,
+        );
         assert_eq!(r.metrics.get(MetricId::VacuumRuns), 0.0);
-        r.bg.tick(61_000, 1_000, &r.knobs, &r.roles, &mut r.pool, &mut r.disk, &mut r.metrics);
+        r.bg.tick(
+            61_000,
+            1_000,
+            &r.knobs,
+            &r.roles,
+            &mut r.pool,
+            &mut r.disk,
+            &mut r.metrics,
+        );
         assert_eq!(r.metrics.get(MetricId::VacuumRuns), 1.0);
         assert!(r.disk.data().written_by(WriteSource::Vacuum) >= 1e6);
     }
@@ -329,7 +412,15 @@ mod tests {
     #[test]
     fn stats_writes_drip_constantly() {
         let mut r = rig();
-        r.bg.tick(1_000, 1_000, &r.knobs, &r.roles, &mut r.pool, &mut r.disk, &mut r.metrics);
+        r.bg.tick(
+            1_000,
+            1_000,
+            &r.knobs,
+            &r.roles,
+            &mut r.pool,
+            &mut r.disk,
+            &mut r.metrics,
+        );
         assert!(r.disk.data().written_by(WriteSource::Stats) > 0.0);
     }
 }

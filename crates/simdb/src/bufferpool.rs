@@ -13,9 +13,35 @@
 
 use std::collections::HashMap;
 use std::collections::HashSet;
+use std::hash::BuildHasherDefault;
 
 /// Default chunk granularity.
 pub const DEFAULT_CHUNK_BYTES: u64 = 256 * 1024;
+
+/// Multiply-fold hasher for chunk ids (FxHash-style). [`BufferPool::access`]
+/// runs once per chunk per query execution, and the default SipHash
+/// dominates it; chunk ids are dense integers that don't need DoS-resistant
+/// hashing.
+#[derive(Default)]
+struct ChunkHasher(u64);
+
+impl std::hash::Hasher for ChunkHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type ChunkBuild = BuildHasherDefault<ChunkHasher>;
 
 /// Identifies a chunk of the database's address space. The executor maps
 /// `(table, page range)` onto this flat space.
@@ -30,7 +56,12 @@ struct Frame {
 }
 
 impl Frame {
-    const EMPTY: Frame = Frame { chunk: 0, referenced: false, dirty: false, valid: false };
+    const EMPTY: Frame = Frame {
+        chunk: 0,
+        referenced: false,
+        dirty: false,
+        valid: false,
+    };
 }
 
 /// Counters the metrics layer exports (`blks_hit`, `blks_read`,
@@ -53,10 +84,13 @@ pub struct PoolStats {
 pub struct BufferPool {
     chunk_bytes: u64,
     frames: Vec<Frame>,
-    map: HashMap<ChunkId, u32>,
+    map: HashMap<ChunkId, u32, ChunkBuild>,
     hand: usize,
     stats: PoolStats,
-    epoch_touched: HashSet<ChunkId>,
+    /// Dirty-frame count maintained incrementally — the background writer
+    /// polls it every tick, so it must not cost a frame scan.
+    dirty_frames: usize,
+    epoch_touched: HashSet<ChunkId, ChunkBuild>,
 }
 
 impl BufferPool {
@@ -69,10 +103,11 @@ impl BufferPool {
         Self {
             chunk_bytes,
             frames: vec![Frame::EMPTY; n],
-            map: HashMap::with_capacity(n),
+            map: HashMap::with_capacity_and_hasher(n, ChunkBuild::default()),
             hand: 0,
             stats: PoolStats::default(),
-            epoch_touched: HashSet::new(),
+            dirty_frames: 0,
+            epoch_touched: HashSet::default(),
         }
     }
 
@@ -95,7 +130,10 @@ impl BufferPool {
         if let Some(&idx) = self.map.get(&chunk) {
             let f = &mut self.frames[idx as usize];
             f.referenced = true;
-            f.dirty |= write;
+            if write && !f.dirty {
+                f.dirty = true;
+                self.dirty_frames += 1;
+            }
             self.stats.hits += 1;
             return true;
         }
@@ -107,13 +145,22 @@ impl BufferPool {
             self.stats.evictions += 1;
             if old.dirty {
                 self.stats.backend_writes += 1;
+                self.dirty_frames -= 1;
             }
         }
         // New frames start unreferenced (PostgreSQL-style usage counting):
         // only a *re*-access earns a second chance, so one-shot scans don't
         // flush the hot set.
-        self.frames[victim] = Frame { chunk, referenced: false, dirty: write, valid: true };
+        self.frames[victim] = Frame {
+            chunk,
+            referenced: false,
+            dirty: write,
+            valid: true,
+        };
         self.map.insert(chunk, victim as u32);
+        if write {
+            self.dirty_frames += 1;
+        }
         false
     }
 
@@ -139,9 +186,10 @@ impl BufferPool {
         idx
     }
 
-    /// Number of dirty frames awaiting writeback.
+    /// Number of dirty frames awaiting writeback (O(1); maintained on every
+    /// access/clean/evict).
     pub fn dirty_count(&self) -> usize {
-        self.frames.iter().filter(|f| f.valid && f.dirty).count()
+        self.dirty_frames
     }
 
     /// Clean up to `max` dirty frames (oldest-position first), returning how
@@ -158,6 +206,7 @@ impl BufferPool {
                 cleaned += 1;
             }
         }
+        self.dirty_frames -= cleaned;
         cleaned
     }
 
@@ -218,7 +267,10 @@ mod tests {
         p.access(2, false);
         p.access(3, false); // evicts something
         assert_eq!(p.stats().evictions, 1);
-        let resident = [1u64, 2, 3].iter().filter(|&&c| p.map.contains_key(&c)).count();
+        let resident = [1u64, 2, 3]
+            .iter()
+            .filter(|&&c| p.map.contains_key(&c))
+            .count();
         assert_eq!(resident, 2);
     }
 
@@ -281,6 +333,25 @@ mod tests {
         assert_eq!(p.capacity(), 8);
         assert_eq!(p.dirty_count(), 0);
         assert!(!p.access(1, false), "cache must be cold after resize");
+    }
+
+    #[test]
+    fn dirty_counter_matches_frame_scan() {
+        let scan = |p: &BufferPool| p.frames.iter().filter(|f| f.valid && f.dirty).count();
+        let mut p = pool(4);
+        // Misses (some evicting dirty frames), hits, re-dirtying hits.
+        for c in 0..10u64 {
+            p.access(c, c % 2 == 0);
+            assert_eq!(p.dirty_count(), scan(&p), "after miss {c}");
+        }
+        p.access(8, true);
+        p.access(8, true); // double-dirty on the hit path must count once
+        assert_eq!(p.dirty_count(), scan(&p));
+        p.clean_dirty(1);
+        assert_eq!(p.dirty_count(), scan(&p));
+        p.clean_dirty(100);
+        assert_eq!(p.dirty_count(), 0);
+        assert_eq!(scan(&p), 0);
     }
 
     #[test]

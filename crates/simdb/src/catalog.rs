@@ -50,9 +50,21 @@ impl Catalog {
     }
 
     /// Add a table and return its id.
-    pub fn add_table(&mut self, name: impl Into<String>, rows: u64, row_bytes: u32, indexes: u32) -> u32 {
+    pub fn add_table(
+        &mut self,
+        name: impl Into<String>,
+        rows: u64,
+        row_bytes: u32,
+        indexes: u32,
+    ) -> u32 {
         let id = self.tables.len() as u32;
-        self.tables.push(Table { id, name: name.into(), rows, row_bytes, indexes });
+        self.tables.push(Table {
+            id,
+            name: name.into(),
+            rows,
+            row_bytes,
+            indexes,
+        });
         id
     }
 
@@ -93,7 +105,12 @@ impl Catalog {
 
     /// Build a catalog of `n_tables` tables totalling ~`total_bytes`, with a
     /// Zipf-ish size skew (a few big tables, a long tail) like real schemas.
-    pub fn synthetic(n_tables: usize, total_bytes: u64, row_bytes: u32, indexes_per_table: u32) -> Self {
+    pub fn synthetic(
+        n_tables: usize,
+        total_bytes: u64,
+        row_bytes: u32,
+        indexes_per_table: u32,
+    ) -> Self {
         assert!(n_tables > 0);
         let mut cat = Self::new();
         // Harmonic weights: table k gets weight 1/(k+1).

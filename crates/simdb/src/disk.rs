@@ -35,7 +35,10 @@ impl WriteSource {
     /// Sequential writers (log-structured streams): these cost far fewer
     /// IOs per byte than random page writeback.
     pub fn is_sequential(self) -> bool {
-        matches!(self, WriteSource::Wal | WriteSource::Stats | WriteSource::TempSpill)
+        matches!(
+            self,
+            WriteSource::Wal | WriteSource::Stats | WriteSource::TempSpill
+        )
     }
 
     /// All sources, for attribution reports.
@@ -50,7 +53,10 @@ impl WriteSource {
     ];
 
     fn index(self) -> usize {
-        Self::ALL.iter().position(|&s| s == self).expect("source in ALL")
+        Self::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("source in ALL")
     }
 }
 
@@ -95,7 +101,11 @@ impl Disk {
     /// sources (WAL, stats, temp streams) coalesce into large IOs.
     pub fn submit_write(&mut self, bytes: f64, source: WriteSource) {
         let b = bytes.max(0.0);
-        let io_size = if source.is_sequential() { Self::SEQ_IO_BYTES } else { PAGE_BYTES as f64 };
+        let io_size = if source.is_sequential() {
+            Self::SEQ_IO_BYTES
+        } else {
+            PAGE_BYTES as f64
+        };
         self.pending_ios += b / io_size;
         self.written_by_source[source.index()] += b;
     }
@@ -167,12 +177,18 @@ pub struct DiskSet {
 impl DiskSet {
     /// Single shared disk (the default production layout).
     pub fn shared(kind: DiskKind) -> Self {
-        Self { data: Disk::new(kind), aux: None }
+        Self {
+            data: Disk::new(kind),
+            aux: None,
+        }
     }
 
     /// Separate WAL/stats disk of the same kind.
     pub fn split(kind: DiskKind) -> Self {
-        Self { data: Disk::new(kind), aux: Some(Disk::new(kind)) }
+        Self {
+            data: Disk::new(kind),
+            aux: Some(Disk::new(kind)),
+        }
     }
 
     /// True when WAL/stats traffic is isolated.
@@ -249,7 +265,10 @@ mod tests {
         d.tick(1000, 1000);
         let burst = d.current_latency_ms();
         d.tick(2000, 1000);
-        assert!(d.current_latency_ms() < burst, "latency must recover after burst");
+        assert!(
+            d.current_latency_ms() < burst,
+            "latency must recover after burst"
+        );
     }
 
     #[test]

@@ -356,15 +356,21 @@ impl SimDatabase {
         // plan and the pool's running hit ratio, shed what doesn't fit.
         let swap = self.swap_factor();
         let est_latency_ms = (crate::executor::BASE_QUERY_OVERHEAD_MS
-            + (self.planner.true_cost(q, &plan, self.pool.hit_ratio(), &self.catalog) * 0.02)
+            + (self
+                .planner
+                .true_cost(q, &plan, self.pool.hit_ratio(), &self.catalog)
+                * 0.02)
                 .max(0.0))
             * swap;
         let remaining = (self.tick_capacity_ms - self.tick_busy_ms).max(0.0);
         // Work-conserving: while any budget remains, at least one instance
         // runs (a long analytic query overdraws the tick, like a backend
         // spanning scheduler quanta).
-        let affordable =
-            if remaining <= 0.0 { 0 } else { ((remaining / est_latency_ms) as u64).max(1) };
+        let affordable = if remaining <= 0.0 {
+            0
+        } else {
+            ((remaining / est_latency_ms) as u64).max(1)
+        };
         let exec_count = count.min(affordable);
         let dropped = count - exec_count;
         if dropped > 0 {
@@ -396,7 +402,10 @@ impl SimDatabase {
             let row_bytes = self.catalog.table(q.table).row_bytes as u64;
             let bytes = (q.rows_written * row_bytes * exec_count) as f64;
             self.bg.note_wal(bytes * 1.5);
-            if matches!(q.kind, crate::query::QueryKind::Update | crate::query::QueryKind::Delete) {
+            if matches!(
+                q.kind,
+                crate::query::QueryKind::Update | crate::query::QueryKind::Delete
+            ) {
                 self.bg.note_dead_tuples(bytes);
             }
         }
@@ -419,8 +428,7 @@ impl SimDatabase {
         self.now += dt_ms;
         self.workers.begin_tick();
         self.tick_busy_ms = 0.0;
-        self.tick_capacity_ms =
-            self.instance.vcpus() as f64 * dt_ms as f64 * CAPACITY_CONCURRENCY;
+        self.tick_capacity_ms = self.instance.vcpus() as f64 * dt_ms as f64 * CAPACITY_CONCURRENCY;
         if self.now >= self.down_until {
             self.bg.tick(
                 self.now,
@@ -443,10 +451,16 @@ impl SimDatabase {
         self.disk.tick(self.now, dt_ms);
 
         // Gauges.
-        self.metrics.set(MetricId::DiskWriteLatencyMs, self.disk.data().current_latency_ms());
-        self.metrics.set(MetricId::DiskIops, self.disk.data().current_iops());
-        self.metrics.set(MetricId::ActiveConnections, self.active_connections as f64);
-        self.metrics.set(MetricId::DbSizeBytes, self.catalog.total_bytes() as f64);
+        self.metrics.set(
+            MetricId::DiskWriteLatencyMs,
+            self.disk.data().current_latency_ms(),
+        );
+        self.metrics
+            .set(MetricId::DiskIops, self.disk.data().current_iops());
+        self.metrics
+            .set(MetricId::ActiveConnections, self.active_connections as f64);
+        self.metrics
+            .set(MetricId::DbSizeBytes, self.catalog.total_bytes() as f64);
 
         // Throughput sample (queries/second over the closed window).
         let window_ms = self.now - self.window_started;
@@ -465,7 +479,11 @@ impl SimDatabase {
         let restart_class = matches!(mode, ApplyMode::Restart | ApplyMode::SocketActivation);
 
         // A restart-class apply also lands previously staged knobs.
-        let staged = if restart_class { std::mem::take(&mut self.staged) } else { Vec::new() };
+        let staged = if restart_class {
+            std::mem::take(&mut self.staged)
+        } else {
+            Vec::new()
+        };
         for ch in staged.iter().chain(changes) {
             let spec = self.profile.spec(ch.knob);
             if spec.restart_required && !restart_class {
@@ -506,7 +524,12 @@ impl SimDatabase {
                 RESTART_DOWNTIME_MS
             }
         };
-        ApplyReport { applied, deferred, downtime_ms, capped_by_instance: capped }
+        ApplyReport {
+            applied,
+            deferred,
+            downtime_ms,
+            capped_by_instance: capped,
+        }
     }
 
     /// Knob values currently staged for the next restart.
@@ -539,7 +562,13 @@ mod tests {
 
     fn db() -> SimDatabase {
         let catalog = Catalog::synthetic(10, 500_000_000, 120, 2);
-        SimDatabase::new(DbFlavor::Postgres, InstanceType::M4Large, DiskKind::Ssd, catalog, 99)
+        SimDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4Large,
+            DiskKind::Ssd,
+            catalog,
+            99,
+        )
     }
 
     fn point_query() -> QueryProfile {
@@ -552,7 +581,10 @@ mod tests {
     fn submit_and_tick_basic_flow() {
         let mut d = db();
         for _ in 0..10 {
-            assert!(matches!(d.submit(&point_query(), 100), SubmitResult::Done(_)));
+            assert!(matches!(
+                d.submit(&point_query(), 100),
+                SubmitResult::Done(_)
+            ));
             d.tick(1_000);
         }
         assert!(d.metrics().get(MetricId::QueriesExecuted) >= 1_000.0);
@@ -567,8 +599,14 @@ mod tests {
         let shared = p.lookup("shared_buffers").unwrap();
         let report = d.apply_config(
             &[
-                ConfigChange { knob: work_mem, value: 64.0 * MIB },
-                ConfigChange { knob: shared, value: 512.0 * MIB },
+                ConfigChange {
+                    knob: work_mem,
+                    value: 64.0 * MIB,
+                },
+                ConfigChange {
+                    knob: shared,
+                    value: 512.0 * MIB,
+                },
             ],
             ApplyMode::Reload,
         );
@@ -585,7 +623,13 @@ mod tests {
         let mut d = db();
         let p = d.profile().clone();
         let shared = p.lookup("shared_buffers").unwrap();
-        d.apply_config(&[ConfigChange { knob: shared, value: 512.0 * MIB }], ApplyMode::Reload);
+        d.apply_config(
+            &[ConfigChange {
+                knob: shared,
+                value: 512.0 * MIB,
+            }],
+            ApplyMode::Reload,
+        );
         let report = d.apply_config(&[], ApplyMode::Restart);
         assert!(report.applied.contains(&shared));
         assert!(report.downtime_ms > 0);
@@ -636,20 +680,35 @@ mod tests {
     #[test]
     fn oversubscribed_memory_swaps_instead_of_silently_rescaling() {
         let catalog = Catalog::synthetic(4, 100_000_000, 120, 1);
-        let mut d =
-            SimDatabase::new(DbFlavor::Postgres, InstanceType::T2Small, DiskKind::Ssd, catalog, 3);
+        let mut d = SimDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::T2Small,
+            DiskKind::Ssd,
+            catalog,
+            3,
+        );
         let p = d.profile().clone();
         let work_mem = p.lookup("work_mem").unwrap();
-        assert!((d.swap_factor() - 1.0).abs() < 1e-9, "defaults must not swap");
+        assert!(
+            (d.swap_factor() - 1.0).abs() < 1e-9,
+            "defaults must not swap"
+        );
 
         // 4 GiB of work_mem on a 2 GiB instance busts the A+B+C+D budget:
         // the value lands (no silent rescale) and the instance thrashes.
         let report = d.apply_config(
-            &[ConfigChange { knob: work_mem, value: 4.0 * 1024.0 * MIB }],
+            &[ConfigChange {
+                knob: work_mem,
+                value: 4.0 * 1024.0 * MIB,
+            }],
             ApplyMode::Reload,
         );
         assert!(report.capped_by_instance, "oversubscription is reported");
-        assert_eq!(d.knobs().get(work_mem), 4.0 * 1024.0 * MIB, "no silent rescale");
+        assert_eq!(
+            d.knobs().get(work_mem),
+            4.0 * 1024.0 * MIB,
+            "no silent rescale"
+        );
         assert!(d.swap_factor() > 2.0, "swap factor {}", d.swap_factor());
 
         // And queries genuinely slow down.
@@ -670,7 +729,10 @@ mod tests {
             SubmitResult::Done(o) => o.latency_ms,
             _ => panic!(),
         };
-        assert!(slow > fast * 2.0, "swapping must hurt ({slow:.2} vs {fast:.2} ms)");
+        assert!(
+            slow > fast * 2.0,
+            "swapping must hurt ({slow:.2} vs {fast:.2} ms)"
+        );
     }
 
     #[test]
@@ -682,7 +744,10 @@ mod tests {
         d.submit(&q, 1);
         let logged: Vec<_> = d.query_log().collect();
         assert_eq!(logged.len(), 1);
-        assert!(logged[0].spilled, "512 MiB sort must spill at default work_mem");
+        assert!(
+            logged[0].spilled,
+            "512 MiB sort must spill at default work_mem"
+        );
     }
 
     #[test]
@@ -698,12 +763,32 @@ mod tests {
         let mut d = db();
         let p = d.profile().clone();
         let shared = p.lookup("shared_buffers").unwrap();
-        d.apply_config(&[ConfigChange { knob: shared, value: 256.0 * MIB }], ApplyMode::Reload);
-        d.apply_config(&[ConfigChange { knob: shared, value: 512.0 * MIB }], ApplyMode::Reload);
-        assert_eq!(d.staged_changes().len(), 1, "re-staging must replace, not append");
+        d.apply_config(
+            &[ConfigChange {
+                knob: shared,
+                value: 256.0 * MIB,
+            }],
+            ApplyMode::Reload,
+        );
+        d.apply_config(
+            &[ConfigChange {
+                knob: shared,
+                value: 512.0 * MIB,
+            }],
+            ApplyMode::Reload,
+        );
+        assert_eq!(
+            d.staged_changes().len(),
+            1,
+            "re-staging must replace, not append"
+        );
         let report = d.apply_config(&[], ApplyMode::Restart);
         assert!(report.applied.contains(&shared));
-        assert_eq!(d.knobs().get(shared), 512.0 * MIB, "latest staged value wins");
+        assert_eq!(
+            d.knobs().get(shared),
+            512.0 * MIB,
+            "latest staged value wins"
+        );
     }
 
     #[test]
@@ -737,7 +822,10 @@ mod tests {
             d.tick(1_000);
         }
         let low = d.throughput_series().mean_since(mark);
-        assert!(high > low * 3.0, "series must reflect the load drop ({high:.0} vs {low:.0})");
+        assert!(
+            high > low * 3.0,
+            "series must reflect the load drop ({high:.0} vs {low:.0})"
+        );
     }
 
     #[test]
@@ -748,7 +836,16 @@ mod tests {
         q.rows_written = 10;
         d.submit(&q, 100);
         d.tick(1_000);
-        assert_eq!(d.disks().data().written_by(crate::disk::WriteSource::Wal), 0.0);
-        assert!(d.disks().aux().unwrap().written_by(crate::disk::WriteSource::Wal) > 0.0);
+        assert_eq!(
+            d.disks().data().written_by(crate::disk::WriteSource::Wal),
+            0.0
+        );
+        assert!(
+            d.disks()
+                .aux()
+                .unwrap()
+                .written_by(crate::disk::WriteSource::Wal)
+                > 0.0
+        );
     }
 }

@@ -105,7 +105,10 @@ impl Executor {
             chunk_base.push(next);
             next += t.pages().div_ceil(chunk_pages) + 1;
         }
-        Self { chunk_base, chunk_pages }
+        Self {
+            chunk_base,
+            chunk_pages,
+        }
     }
 
     /// Execute `count` instances of `q` whose plan is `plan`.
@@ -163,13 +166,19 @@ impl Executor {
             disk.submit_read(miss_pages * PAGE_BYTES as f64);
         }
         let _ = scale; // retained for the latency model below
-        metrics.inc(MetricId::BlksHit, plan.est_pages as f64 * hit_ratio * count as f64);
+        metrics.inc(
+            MetricId::BlksHit,
+            plan.est_pages as f64 * hit_ratio * count as f64,
+        );
         metrics.inc(MetricId::BlksRead, miss_pages);
 
         // --- Workers --------------------------------------------------------
         let workers_granted = workers.acquire(plan.workers_requested);
         if plan.workers_requested > 0 {
-            metrics.inc(MetricId::ParallelWorkersLaunched, workers_granted as f64 * count as f64);
+            metrics.inc(
+                MetricId::ParallelWorkersLaunched,
+                workers_granted as f64 * count as f64,
+            );
             metrics.inc(
                 MetricId::ParallelWorkersDenied,
                 (plan.workers_requested - workers_granted) as f64 * count as f64,
@@ -186,7 +195,10 @@ impl Executor {
             metrics.inc(id, count as f64);
             metrics.inc(MetricId::TempFiles, count as f64);
             metrics.inc(MetricId::TempBytes, plan.spill_bytes as f64 * count as f64);
-            disk.submit_write(plan.spill_bytes as f64 * count as f64, WriteSource::TempSpill);
+            disk.submit_write(
+                plan.spill_bytes as f64 * count as f64,
+                WriteSource::TempSpill,
+            );
         } else if q.sort_bytes > 0 {
             metrics.inc(MetricId::SortsInMemory, count as f64);
         }
@@ -215,18 +227,22 @@ impl Executor {
         // --- Latency ------------------------------------------------------------
         // A degraded plan (spills, wrong path, cold cache) costs more; the
         // worker shortfall re-inflates a plan that banked on parallelism.
-        let mut effective_plan = plan.clone();
+        let mut effective_plan = *plan;
         effective_plan.workers_requested = workers_granted;
         let cost = planner.true_cost(q, &effective_plan, hit_ratio, catalog);
-        let io_wait =
-            (touched - hits) as f64 * scale * disk.data().current_latency_ms() * 0.2;
+        let io_wait = (touched - hits) as f64 * scale * disk.data().current_latency_ms() * 0.2;
         let latency_ms = BASE_QUERY_OVERHEAD_MS + cost * MS_PER_COST_UNIT + io_wait;
 
         metrics.inc(MetricId::QueriesExecuted, count as f64);
         metrics.inc(MetricId::QueryTimeMs, latency_ms * count as f64);
         metrics.inc(MetricId::XactCommit, count as f64);
 
-        ExecOutcome { latency_ms, spilled: plan.spill, workers_granted, hit_ratio }
+        ExecOutcome {
+            latency_ms,
+            spilled: plan.spill,
+            workers_granted,
+            hit_ratio,
+        }
     }
 }
 
@@ -272,7 +288,12 @@ mod tests {
         }
     }
 
-    fn run(r: &mut Rig, q: &QueryProfile, knobs: &crate::knobs::KnobSet, count: u64) -> ExecOutcome {
+    fn run(
+        r: &mut Rig,
+        q: &QueryProfile,
+        knobs: &crate::knobs::KnobSet,
+        count: u64,
+    ) -> ExecOutcome {
         let plan = r.planner.plan(q, knobs, &r.catalog);
         r.exec.execute(
             q,

@@ -101,7 +101,10 @@ impl InstanceType {
     /// raises to the customer when the entropy filter detects a cap-limited
     /// instance.
     pub fn upgrade(self) -> Option<InstanceType> {
-        let pos = Self::LADDER.iter().position(|&t| t == self).expect("in ladder");
+        let pos = Self::LADDER
+            .iter()
+            .position(|&t| t == self)
+            .expect("in ladder");
         Self::LADDER.get(pos + 1).copied()
     }
 
@@ -188,7 +191,10 @@ mod tests {
         k.set_named(&p, "shared_buffers", 60.0 * GIB);
         assert!(enforce_memory_cap(&p, &mut k, InstanceType::T2Small));
         let used = k.memory_budget_used(&p);
-        assert!(used <= InstanceType::T2Small.db_mem_cap() * 1.0001, "used {used}");
+        assert!(
+            used <= InstanceType::T2Small.db_mem_cap() * 1.0001,
+            "used {used}"
+        );
     }
 
     #[test]

@@ -40,8 +40,11 @@ pub enum KnobClass {
 
 impl KnobClass {
     /// All classes, in a stable order used by histograms and reports.
-    pub const ALL: [KnobClass; 3] =
-        [KnobClass::Memory, KnobClass::BackgroundWriter, KnobClass::AsyncPlanner];
+    pub const ALL: [KnobClass; 3] = [
+        KnobClass::Memory,
+        KnobClass::BackgroundWriter,
+        KnobClass::AsyncPlanner,
+    ];
 
     /// Stable index for per-class arrays.
     pub fn index(self) -> usize {
@@ -119,25 +122,148 @@ impl KnobProfile {
         use KnobUnit::*;
         let specs = vec![
             // Memory class. shared_buffers is the §4 "non-tunable" example.
-            KnobSpec { name: "shared_buffers", class: Memory, unit: Bytes, min: 16.0 * MIB, max: 64.0 * GIB, default: 128.0 * MIB, restart_required: true },
-            KnobSpec { name: "work_mem", class: Memory, unit: Bytes, min: 64.0 * KIB, max: 4.0 * GIB, default: 4.0 * MIB, restart_required: false },
-            KnobSpec { name: "maintenance_work_mem", class: Memory, unit: Bytes, min: 1.0 * MIB, max: 8.0 * GIB, default: 64.0 * MIB, restart_required: false },
-            KnobSpec { name: "temp_buffers", class: Memory, unit: Bytes, min: 800.0 * KIB, max: 4.0 * GIB, default: 8.0 * MIB, restart_required: false },
-            KnobSpec { name: "wal_buffers", class: Memory, unit: Bytes, min: 32.0 * KIB, max: 1.0 * GIB, default: 16.0 * MIB, restart_required: true },
+            KnobSpec {
+                name: "shared_buffers",
+                class: Memory,
+                unit: Bytes,
+                min: 16.0 * MIB,
+                max: 64.0 * GIB,
+                default: 128.0 * MIB,
+                restart_required: true,
+            },
+            KnobSpec {
+                name: "work_mem",
+                class: Memory,
+                unit: Bytes,
+                min: 64.0 * KIB,
+                max: 4.0 * GIB,
+                default: 4.0 * MIB,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "maintenance_work_mem",
+                class: Memory,
+                unit: Bytes,
+                min: 1.0 * MIB,
+                max: 8.0 * GIB,
+                default: 64.0 * MIB,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "temp_buffers",
+                class: Memory,
+                unit: Bytes,
+                min: 800.0 * KIB,
+                max: 4.0 * GIB,
+                default: 8.0 * MIB,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "wal_buffers",
+                class: Memory,
+                unit: Bytes,
+                min: 32.0 * KIB,
+                max: 1.0 * GIB,
+                default: 16.0 * MIB,
+                restart_required: true,
+            },
             // Background-writer class.
-            KnobSpec { name: "checkpoint_timeout", class: BackgroundWriter, unit: Millis, min: 30_000.0, max: 3_600_000.0, default: 300_000.0, restart_required: false },
-            KnobSpec { name: "checkpoint_completion_target", class: BackgroundWriter, unit: Scalar, min: 0.1, max: 0.95, default: 0.5, restart_required: false },
-            KnobSpec { name: "bgwriter_delay", class: BackgroundWriter, unit: Millis, min: 10.0, max: 10_000.0, default: 200.0, restart_required: false },
-            KnobSpec { name: "bgwriter_lru_maxpages", class: BackgroundWriter, unit: Count, min: 0.0, max: 1000.0, default: 100.0, restart_required: false },
-            KnobSpec { name: "max_wal_size", class: BackgroundWriter, unit: Bytes, min: 32.0 * MIB, max: 64.0 * GIB, default: 1.0 * GIB, restart_required: false },
+            KnobSpec {
+                name: "checkpoint_timeout",
+                class: BackgroundWriter,
+                unit: Millis,
+                min: 30_000.0,
+                max: 3_600_000.0,
+                default: 300_000.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "checkpoint_completion_target",
+                class: BackgroundWriter,
+                unit: Scalar,
+                min: 0.1,
+                max: 0.95,
+                default: 0.5,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "bgwriter_delay",
+                class: BackgroundWriter,
+                unit: Millis,
+                min: 10.0,
+                max: 10_000.0,
+                default: 200.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "bgwriter_lru_maxpages",
+                class: BackgroundWriter,
+                unit: Count,
+                min: 0.0,
+                max: 1000.0,
+                default: 100.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "max_wal_size",
+                class: BackgroundWriter,
+                unit: Bytes,
+                min: 32.0 * MIB,
+                max: 64.0 * GIB,
+                default: 1.0 * GIB,
+                restart_required: false,
+            },
             // Async / planner-estimate class.
-            KnobSpec { name: "max_parallel_workers_per_gather", class: AsyncPlanner, unit: Count, min: 0.0, max: 16.0, default: 0.0, restart_required: false },
-            KnobSpec { name: "max_worker_processes", class: AsyncPlanner, unit: Count, min: 1.0, max: 64.0, default: 8.0, restart_required: true },
-            KnobSpec { name: "random_page_cost", class: AsyncPlanner, unit: Scalar, min: 1.0, max: 10.0, default: 4.0, restart_required: false },
-            KnobSpec { name: "effective_cache_size", class: AsyncPlanner, unit: Bytes, min: 8.0 * MIB, max: 128.0 * GIB, default: 4.0 * GIB, restart_required: false },
-            KnobSpec { name: "effective_io_concurrency", class: AsyncPlanner, unit: Count, min: 0.0, max: 256.0, default: 1.0, restart_required: false },
+            KnobSpec {
+                name: "max_parallel_workers_per_gather",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 0.0,
+                max: 16.0,
+                default: 0.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "max_worker_processes",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 1.0,
+                max: 64.0,
+                default: 8.0,
+                restart_required: true,
+            },
+            KnobSpec {
+                name: "random_page_cost",
+                class: AsyncPlanner,
+                unit: Scalar,
+                min: 1.0,
+                max: 10.0,
+                default: 4.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "effective_cache_size",
+                class: AsyncPlanner,
+                unit: Bytes,
+                min: 8.0 * MIB,
+                max: 128.0 * GIB,
+                default: 4.0 * GIB,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "effective_io_concurrency",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 0.0,
+                max: 256.0,
+                default: 1.0,
+                restart_required: false,
+            },
         ];
-        Self { flavor: DbFlavor::Postgres, specs }
+        Self {
+            flavor: DbFlavor::Postgres,
+            specs,
+        }
     }
 
     /// The MySQL-style profile (§3.1 maps PG knobs to `sort_buffer_size`,
@@ -147,25 +273,148 @@ impl KnobProfile {
         use KnobUnit::*;
         let specs = vec![
             // Memory class. The buffer pool is restart-bound on 5.6.
-            KnobSpec { name: "innodb_buffer_pool_size", class: Memory, unit: Bytes, min: 64.0 * MIB, max: 64.0 * GIB, default: 128.0 * MIB, restart_required: true },
-            KnobSpec { name: "sort_buffer_size", class: Memory, unit: Bytes, min: 32.0 * KIB, max: 1.0 * GIB, default: 256.0 * KIB, restart_required: false },
-            KnobSpec { name: "join_buffer_size", class: Memory, unit: Bytes, min: 128.0 * KIB, max: 1.0 * GIB, default: 256.0 * KIB, restart_required: false },
-            KnobSpec { name: "key_buffer_size", class: Memory, unit: Bytes, min: 8.0 * MIB, max: 4.0 * GIB, default: 8.0 * MIB, restart_required: false },
-            KnobSpec { name: "tmp_table_size", class: Memory, unit: Bytes, min: 1.0 * MIB, max: 4.0 * GIB, default: 16.0 * MIB, restart_required: false },
+            KnobSpec {
+                name: "innodb_buffer_pool_size",
+                class: Memory,
+                unit: Bytes,
+                min: 64.0 * MIB,
+                max: 64.0 * GIB,
+                default: 128.0 * MIB,
+                restart_required: true,
+            },
+            KnobSpec {
+                name: "sort_buffer_size",
+                class: Memory,
+                unit: Bytes,
+                min: 32.0 * KIB,
+                max: 1.0 * GIB,
+                default: 256.0 * KIB,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "join_buffer_size",
+                class: Memory,
+                unit: Bytes,
+                min: 128.0 * KIB,
+                max: 1.0 * GIB,
+                default: 256.0 * KIB,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "key_buffer_size",
+                class: Memory,
+                unit: Bytes,
+                min: 8.0 * MIB,
+                max: 4.0 * GIB,
+                default: 8.0 * MIB,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "tmp_table_size",
+                class: Memory,
+                unit: Bytes,
+                min: 1.0 * MIB,
+                max: 4.0 * GIB,
+                default: 16.0 * MIB,
+                restart_required: false,
+            },
             // Background-writer class.
-            KnobSpec { name: "innodb_io_capacity", class: BackgroundWriter, unit: Count, min: 100.0, max: 20_000.0, default: 200.0, restart_required: false },
-            KnobSpec { name: "innodb_max_dirty_pages_pct", class: BackgroundWriter, unit: Scalar, min: 5.0, max: 99.0, default: 75.0, restart_required: false },
-            KnobSpec { name: "innodb_log_file_size", class: BackgroundWriter, unit: Bytes, min: 4.0 * MIB, max: 16.0 * GIB, default: 48.0 * MIB, restart_required: true },
-            KnobSpec { name: "innodb_flush_log_at_trx_commit", class: BackgroundWriter, unit: Scalar, min: 0.0, max: 2.0, default: 1.0, restart_required: false },
-            KnobSpec { name: "innodb_flush_neighbors", class: BackgroundWriter, unit: Scalar, min: 0.0, max: 2.0, default: 1.0, restart_required: false },
+            KnobSpec {
+                name: "innodb_io_capacity",
+                class: BackgroundWriter,
+                unit: Count,
+                min: 100.0,
+                max: 20_000.0,
+                default: 200.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "innodb_max_dirty_pages_pct",
+                class: BackgroundWriter,
+                unit: Scalar,
+                min: 5.0,
+                max: 99.0,
+                default: 75.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "innodb_log_file_size",
+                class: BackgroundWriter,
+                unit: Bytes,
+                min: 4.0 * MIB,
+                max: 16.0 * GIB,
+                default: 48.0 * MIB,
+                restart_required: true,
+            },
+            KnobSpec {
+                name: "innodb_flush_log_at_trx_commit",
+                class: BackgroundWriter,
+                unit: Scalar,
+                min: 0.0,
+                max: 2.0,
+                default: 1.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "innodb_flush_neighbors",
+                class: BackgroundWriter,
+                unit: Scalar,
+                min: 0.0,
+                max: 2.0,
+                default: 1.0,
+                restart_required: false,
+            },
             // Async / planner class.
-            KnobSpec { name: "innodb_read_io_threads", class: AsyncPlanner, unit: Count, min: 1.0, max: 64.0, default: 4.0, restart_required: true },
-            KnobSpec { name: "innodb_write_io_threads", class: AsyncPlanner, unit: Count, min: 1.0, max: 64.0, default: 4.0, restart_required: true },
-            KnobSpec { name: "optimizer_search_depth", class: AsyncPlanner, unit: Count, min: 0.0, max: 62.0, default: 62.0, restart_required: false },
-            KnobSpec { name: "thread_concurrency", class: AsyncPlanner, unit: Count, min: 0.0, max: 64.0, default: 10.0, restart_required: false },
-            KnobSpec { name: "read_rnd_buffer_size", class: AsyncPlanner, unit: Bytes, min: 64.0 * KIB, max: 512.0 * MIB, default: 256.0 * KIB, restart_required: false },
+            KnobSpec {
+                name: "innodb_read_io_threads",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 1.0,
+                max: 64.0,
+                default: 4.0,
+                restart_required: true,
+            },
+            KnobSpec {
+                name: "innodb_write_io_threads",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 1.0,
+                max: 64.0,
+                default: 4.0,
+                restart_required: true,
+            },
+            KnobSpec {
+                name: "optimizer_search_depth",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 0.0,
+                max: 62.0,
+                default: 62.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "thread_concurrency",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 0.0,
+                max: 64.0,
+                default: 10.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "read_rnd_buffer_size",
+                class: AsyncPlanner,
+                unit: Bytes,
+                min: 64.0 * KIB,
+                max: 512.0 * MIB,
+                default: 256.0 * KIB,
+                restart_required: false,
+            },
         ];
-        Self { flavor: DbFlavor::MySql, specs }
+        Self {
+            flavor: DbFlavor::MySql,
+            specs,
+        }
     }
 
     /// Profile for a flavor.
@@ -198,22 +447,33 @@ impl KnobProfile {
 
     /// Look a knob up by name.
     pub fn lookup(&self, name: &str) -> Option<KnobId> {
-        self.specs.iter().position(|s| s.name == name).map(|i| KnobId(i as u16))
+        self.specs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| KnobId(i as u16))
     }
 
     /// Iterate over `(id, spec)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (KnobId, &KnobSpec)> {
-        self.specs.iter().enumerate().map(|(i, s)| (KnobId(i as u16), s))
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (KnobId(i as u16), s))
     }
 
     /// Ids of all knobs in a class.
     pub fn ids_in_class(&self, class: KnobClass) -> Vec<KnobId> {
-        self.iter().filter(|(_, s)| s.class == class).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(_, s)| s.class == class)
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// A [`KnobSet`] holding every knob at its vendor default.
     pub fn defaults(&self) -> KnobSet {
-        KnobSet { values: self.specs.iter().map(|s| s.default).collect() }
+        KnobSet {
+            values: self.specs.iter().map(|s| s.default).collect(),
+        }
     }
 }
 
@@ -242,13 +502,17 @@ impl KnobSet {
     /// Convenience: value by name (panics if the name is unknown — test and
     /// harness code only).
     pub fn get_named(&self, profile: &KnobProfile, name: &str) -> f64 {
-        let id = profile.lookup(name).unwrap_or_else(|| panic!("unknown knob {name}"));
+        let id = profile
+            .lookup(name)
+            .unwrap_or_else(|| panic!("unknown knob {name}"));
         self.get(id)
     }
 
     /// Convenience: set by name with clamping.
     pub fn set_named(&mut self, profile: &KnobProfile, name: &str, value: f64) -> f64 {
-        let id = profile.lookup(name).unwrap_or_else(|| panic!("unknown knob {name}"));
+        let id = profile
+            .lookup(name)
+            .unwrap_or_else(|| panic!("unknown knob {name}"));
         self.set(profile, id, value)
     }
 
@@ -335,9 +599,15 @@ mod tests {
     #[test]
     fn restart_required_knobs_exist_in_both_flavors() {
         let pg = KnobProfile::postgres();
-        assert!(pg.spec(pg.lookup("shared_buffers").unwrap()).restart_required);
+        assert!(
+            pg.spec(pg.lookup("shared_buffers").unwrap())
+                .restart_required
+        );
         let my = KnobProfile::mysql();
-        assert!(my.spec(my.lookup("innodb_buffer_pool_size").unwrap()).restart_required);
+        assert!(
+            my.spec(my.lookup("innodb_buffer_pool_size").unwrap())
+                .restart_required
+        );
     }
 
     #[test]
@@ -363,7 +633,11 @@ mod tests {
         k.set_named(&p, "shared_buffers", 1024.0 * 1024.0 * 1024.0); // 1 GiB
         let base = k.memory_budget_used(&p);
         assert!(base > 1024.0 * 1024.0 * 1024.0);
-        k.set_named(&p, "work_mem", k.get_named(&p, "work_mem") + 10.0 * 1024.0 * 1024.0);
+        k.set_named(
+            &p,
+            "work_mem",
+            k.get_named(&p, "work_mem") + 10.0 * 1024.0 * 1024.0,
+        );
         let bumped = k.memory_budget_used(&p);
         assert!((bumped - base - 10.0 * 1024.0 * 1024.0).abs() < 1.0);
     }

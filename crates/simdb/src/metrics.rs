@@ -110,9 +110,13 @@ impl MetricId {
         MetricId::QueriesDropped,
     ];
 
-    /// Position in the metric vector.
-    pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&m| m == self).expect("metric in ALL")
+    /// Position in the metric vector. Variants carry no explicit
+    /// discriminants and `ALL` lists them in declaration order, so the cast
+    /// is the index (pinned by `all_indices_dense_and_names_unique`) — this
+    /// is on the per-query counter path, where the old linear scan over
+    /// `ALL` showed up in profiles.
+    pub const fn index(self) -> usize {
+        self as usize
     }
 
     /// `pg_stat`-style name.
@@ -181,7 +185,9 @@ impl Default for Metrics {
 impl Metrics {
     /// All-zero counters.
     pub fn new() -> Self {
-        Self { values: vec![0.0; MetricId::ALL.len()] }
+        Self {
+            values: vec![0.0; MetricId::ALL.len()],
+        }
     }
 
     /// Add to a counter.
@@ -201,7 +207,9 @@ impl Metrics {
 
     /// Point-in-time copy.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot { values: self.values.clone() }
+        MetricsSnapshot {
+            values: self.values.clone(),
+        }
     }
 }
 
@@ -225,17 +233,28 @@ impl MetricsSnapshot {
     /// The training-sample vector for the window `earlier → self`:
     /// counters are differenced, gauges take the newer reading.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> Vec<f64> {
-        MetricId::ALL
-            .iter()
-            .map(|&id| {
-                let i = id.index();
-                if id.is_gauge() {
-                    self.values[i]
-                } else {
-                    self.values[i] - earlier.values[i]
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.delta_into(earlier, &mut out);
+        out
+    }
+
+    /// [`delta`](MetricsSnapshot::delta) into a caller-owned buffer, for
+    /// per-window paths that run every TDE round.
+    pub fn delta_into(&self, earlier: &MetricsSnapshot, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(MetricId::ALL.iter().map(|&id| self.delta_of(earlier, id)));
+    }
+
+    /// The delta of a single metric over the window `earlier → self` —
+    /// saves materialising the whole vector when only one value is needed
+    /// (e.g. the per-window throughput objective).
+    pub fn delta_of(&self, earlier: &MetricsSnapshot, id: MetricId) -> f64 {
+        let i = id.index();
+        if id.is_gauge() {
+            self.values[i]
+        } else {
+            self.values[i] - earlier.values[i]
+        }
     }
 }
 
@@ -280,6 +299,24 @@ mod tests {
         let s1 = m.snapshot();
         let d = s1.delta(&s0);
         assert_eq!(d[MetricId::DiskWriteLatencyMs.index()], 9.0);
+    }
+
+    #[test]
+    fn delta_of_matches_full_delta() {
+        let mut m = Metrics::new();
+        m.inc(MetricId::QueriesExecuted, 12.0);
+        m.set(MetricId::DiskIops, 3.0);
+        let s0 = m.snapshot();
+        m.inc(MetricId::QueriesExecuted, 30.0);
+        m.set(MetricId::DiskIops, 8.0);
+        let s1 = m.snapshot();
+        let full = s1.delta(&s0);
+        for &id in &MetricId::ALL {
+            assert_eq!(s1.delta_of(&s0, id), full[id.index()], "{}", id.name());
+        }
+        let mut buf = vec![999.0; 3];
+        s1.delta_into(&s0, &mut buf);
+        assert_eq!(buf, full);
     }
 
     #[test]

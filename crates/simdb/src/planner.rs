@@ -40,8 +40,10 @@ pub enum AccessPath {
     IndexScan,
 }
 
-/// The planner's output for one query.
-#[derive(Debug, Clone)]
+/// The planner's output for one query. All fields are plain scalars, so a
+/// `Plan` is `Copy` — the executor stamps per-execution variants without
+/// heap traffic.
+#[derive(Debug, Clone, Copy)]
 pub struct Plan {
     /// Chosen scan path.
     pub path: AccessPath,
@@ -204,7 +206,9 @@ impl Planner {
         let table = catalog.table(q.table);
         let table_pages = table.pages().max(1);
         let rows = q.rows_examined.max(1);
-        let sel_pages = (rows * table.row_bytes as u64).div_ceil(PAGE_BYTES).min(table_pages);
+        let sel_pages = (rows * table.row_bytes as u64)
+            .div_ceil(PAGE_BYTES)
+            .min(table_pages);
 
         // --- Work-area grant and spill decision --------------------------
         let (spill, spill_bytes, mem_grant) = self.spill_decision(q, knobs);
@@ -212,7 +216,11 @@ impl Planner {
         // --- Parallelism --------------------------------------------------
         let max_workers = knobs.get(self.roles.parallel_workers).max(0.0) as u32;
         let useful_workers = (rows / 50_000) as u32; // below ~50k rows a worker costs more than it saves
-        let workers_requested = if q.parallelizable { max_workers.min(useful_workers) } else { 0 };
+        let workers_requested = if q.parallelizable {
+            max_workers.min(useful_workers)
+        } else {
+            0
+        };
 
         // --- Access path --------------------------------------------------
         let rnd = self.random_cost_factor(knobs);
@@ -223,8 +231,7 @@ impl Planner {
         // per row (heap clustering amortises the rest) plus doubled per-row
         // CPU for the index probe.
         let index_cost = if has_index {
-            rows as f64 * rnd * miss_est * RANDOM_FETCH_PER_ROW
-                + rows as f64 * 2.0 * CPU_TUPLE_COST
+            rows as f64 * rnd * miss_est * RANDOM_FETCH_PER_ROW + rows as f64 * 2.0 * CPU_TUPLE_COST
         } else {
             f64::INFINITY
         };
@@ -236,7 +243,11 @@ impl Planner {
         let (path, mut est_cost, est_pages) = if index_cost < seq_cost {
             (AccessPath::IndexScan, index_cost, sel_pages)
         } else {
-            (AccessPath::SeqScan, seq_cost, table_pages.min(sel_pages * 8).max(sel_pages))
+            (
+                AccessPath::SeqScan,
+                seq_cost,
+                table_pages.min(sel_pages * 8).max(sel_pages),
+            )
         };
         if spill.is_some() {
             est_cost += (spill_bytes / PAGE_BYTES) as f64 * SPILL_PAGE_COST;
@@ -257,7 +268,11 @@ impl Planner {
     fn spill_decision(&self, q: &QueryProfile, knobs: &KnobSet) -> (Option<SpillKind>, u64, u64) {
         let checks = [
             (q.sort_bytes, self.roles.work_area, SpillKind::WorkMem),
-            (q.maintenance_bytes, self.roles.maintenance_area, SpillKind::MaintenanceMem),
+            (
+                q.maintenance_bytes,
+                self.roles.maintenance_area,
+                SpillKind::MaintenanceMem,
+            ),
             (q.temp_bytes, self.roles.temp_area, SpillKind::TempBuffers),
         ];
         let mut grant = 0u64;
@@ -284,7 +299,13 @@ impl Planner {
     /// The *true* cost of executing `plan` given the actually observed
     /// buffer hit ratio — the ground truth the MDP's cost/benefit analysis
     /// compares against the estimate. Same units as `est_cost`.
-    pub fn true_cost(&self, q: &QueryProfile, plan: &Plan, actual_hit_ratio: f64, catalog: &Catalog) -> f64 {
+    pub fn true_cost(
+        &self,
+        q: &QueryProfile,
+        plan: &Plan,
+        actual_hit_ratio: f64,
+        catalog: &Catalog,
+    ) -> f64 {
         let table = catalog.table(q.table);
         let miss = (1.0 - actual_hit_ratio).clamp(0.0, 1.0);
         let rows = q.rows_examined.max(1);
@@ -297,8 +318,16 @@ impl Planner {
         // optimum moves with the workload mix (the reason re-tuning after a
         // workload switch pays, Fig. 14).
         let eic = (1.0 + plan.io_concurrency).ln();
-        let prefetch = if plan.est_pages > 4 { 1.0 + 0.15 * eic } else { 1.0 };
-        let pollution = if plan.est_pages <= 4 { 1.0 + 0.10 * eic } else { 1.0 };
+        let prefetch = if plan.est_pages > 4 {
+            1.0 + 0.15 * eic
+        } else {
+            1.0
+        };
+        let pollution = if plan.est_pages <= 4 {
+            1.0 + 0.10 * eic
+        } else {
+            1.0
+        };
         let scan = match plan.path {
             AccessPath::IndexScan => {
                 plan.est_pages as f64 * TRUE_RANDOM_FACTOR * miss.max(0.02) * pollution / prefetch
@@ -398,7 +427,10 @@ mod tests {
         let (p, knobs, cat) = setup();
         let mut q = query(QueryKind::CreateIndex, 0, 1_000_000);
         q.maintenance_bytes = 10_000 * MIB;
-        assert_eq!(p.plan(&q, &knobs, &cat).spill, Some(SpillKind::MaintenanceMem));
+        assert_eq!(
+            p.plan(&q, &knobs, &cat).spill,
+            Some(SpillKind::MaintenanceMem)
+        );
 
         let mut q = query(QueryKind::TempTable, 0, 10_000);
         q.temp_bytes = 1_000 * MIB;
@@ -451,9 +483,7 @@ mod tests {
         knobs.set_named(&profile, "work_mem", (128 * MIB) as f64);
         let in_mem = p.plan(&q, &knobs, &cat);
         assert!(spilled.est_cost > in_mem.est_cost);
-        assert!(
-            p.true_cost(&q, &spilled, 0.9, &cat) > p.true_cost(&q, &in_mem, 0.9, &cat)
-        );
+        assert!(p.true_cost(&q, &spilled, 0.9, &cat) > p.true_cost(&q, &in_mem, 0.9, &cat));
     }
 
     #[test]

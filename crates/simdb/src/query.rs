@@ -63,7 +63,10 @@ impl QueryKind {
 
     /// Stable index for per-kind arrays.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&k| k == self).expect("kind in ALL")
+        Self::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kind in ALL")
     }
 
     /// True for statements that write table data (drive dirty pages + WAL).

@@ -25,7 +25,12 @@ impl ReplicationSlot {
     /// A slave that can replay `replay_rate_bytes_per_s` sustained.
     pub fn new(replay_rate_bytes_per_s: f64) -> Self {
         assert!(replay_rate_bytes_per_s > 0.0);
-        Self { replay_lsn: 0, replay_rate: replay_rate_bytes_per_s, carry: 0.0, paused_ms: 0 }
+        Self {
+            replay_lsn: 0,
+            replay_rate: replay_rate_bytes_per_s,
+            carry: 0.0,
+            paused_ms: 0,
+        }
     }
 
     /// The slave's replay position.

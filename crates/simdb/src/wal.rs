@@ -76,7 +76,9 @@ impl Wal {
 
     /// Segments currently held on disk (not yet recyclable).
     pub fn retained_segments(&self) -> u64 {
-        self.bytes_since_checkpoint().div_ceil(self.segment_bytes).max(1)
+        self.bytes_since_checkpoint()
+            .div_ceil(self.segment_bytes)
+            .max(1)
     }
 
     /// A checkpoint begins: record the redo point. Everything appended after

@@ -83,7 +83,10 @@ impl Zipf {
     /// Draw one rank in `[0, n)`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("NaN in zipf cdf")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in zipf cdf"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -96,7 +99,10 @@ impl Zipf {
 /// this. Zero total weight is a caller bug.
 pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     let total: f64 = weights.iter().sum();
-    assert!(total > 0.0, "categorical weights must sum to a positive value");
+    assert!(
+        total > 0.0,
+        "categorical weights must sum to a positive value"
+    );
     let mut u = rng.gen::<f64>() * total;
     for (i, &w) in weights.iter().enumerate() {
         if u < w {

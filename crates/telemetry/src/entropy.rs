@@ -76,7 +76,10 @@ mod tests {
     #[test]
     fn uniform_distribution_maximizes_normalized_entropy() {
         let eta = normalized_entropy(&[10, 10, 10, 10]);
-        assert!((eta - 1.0).abs() < 1e-12, "uniform should give η=1, got {eta}");
+        assert!(
+            (eta - 1.0).abs() < 1e-12,
+            "uniform should give η=1, got {eta}"
+        );
     }
 
     #[test]
@@ -84,7 +87,10 @@ mod tests {
         let cases: [&[u64]; 4] = [&[1, 2, 3], &[100, 1, 1], &[5, 5], &[7, 0, 0, 3]];
         for counts in cases {
             let eta = normalized_entropy(counts);
-            assert!((0.0..=1.0 + 1e-12).contains(&eta), "η={eta} out of range for {counts:?}");
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&eta),
+                "η={eta} out of range for {counts:?}"
+            );
         }
     }
 

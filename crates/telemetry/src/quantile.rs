@@ -60,7 +60,8 @@ impl P2Quantile {
         if self.init.len() < 5 {
             self.init.push(x);
             if self.init.len() == 5 {
-                self.init.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
                 for (h, v) in self.heights.iter_mut().zip(&self.init) {
                     *h = *v;
                 }
@@ -101,8 +102,7 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let s = d.signum();
                 let candidate = self.parabolic(i, s);
-                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
+                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
                     candidate
                 } else {
                     self.linear(i, s)

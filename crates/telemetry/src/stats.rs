@@ -98,7 +98,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(hi > lo, "histogram range must be non-empty");
         assert!(buckets > 0, "histogram needs at least one bucket");
-        Self { lo, hi, counts: vec![0; buckets], total: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            total: 0,
+        }
     }
 
     /// Record one observation. Values outside the range clamp to the edge
@@ -153,7 +158,13 @@ pub struct SummaryStats {
 impl SummaryStats {
     /// Empty summary.
     pub fn new() -> Self {
-        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation (Welford's online update).

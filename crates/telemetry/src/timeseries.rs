@@ -33,7 +33,10 @@ impl TimeSeries {
     /// A series holding at most `capacity` samples (oldest evicted first).
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "time series capacity must be positive");
-        Self { samples: VecDeque::with_capacity(capacity.min(4096)), capacity }
+        Self {
+            samples: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+        }
     }
 
     /// Append an observation. Timestamps must be non-decreasing; monitoring
@@ -71,12 +74,20 @@ impl TimeSeries {
 
     /// Values of all samples with `at >= since`, oldest first.
     pub fn values_since(&self, since: SimTime) -> Vec<f64> {
-        self.samples.iter().filter(|s| s.at >= since).map(|s| s.value).collect()
+        self.samples
+            .iter()
+            .filter(|s| s.at >= since)
+            .map(|s| s.value)
+            .collect()
     }
 
     /// Samples with `at >= since`, oldest first.
     pub fn window(&self, since: SimTime) -> Vec<Sample> {
-        self.samples.iter().filter(|s| s.at >= since).copied().collect()
+        self.samples
+            .iter()
+            .filter(|s| s.at >= since)
+            .copied()
+            .collect()
     }
 
     /// Mean value over the window `at >= since` (0.0 if empty).
@@ -154,7 +165,9 @@ impl PeakDetector {
         let mut out = Vec::new();
         for w in samples.windows(3) {
             let (prev, cur, next) = (w[0], w[1], w[2]);
-            if cur.value > prev.value && cur.value > next.value && cur.value >= mean + self.threshold
+            if cur.value > prev.value
+                && cur.value > next.value
+                && cur.value >= mean + self.threshold
             {
                 out.push(cur);
             }
@@ -258,8 +271,9 @@ mod tests {
 
     #[test]
     fn peak_detector_ignores_subthreshold_wiggle() {
-        let vals: Vec<(u64, f64)> =
-            (0..30).map(|t| (t, if t % 2 == 0 { 1.0 } else { 1.2 })).collect();
+        let vals: Vec<(u64, f64)> = (0..30)
+            .map(|t| (t, if t % 2 == 0 { 1.0 } else { 1.2 }))
+            .collect();
         let det = PeakDetector::new(5.0);
         let ts = series(&vals);
         assert!(det.peaks(&ts.window(0)).is_empty());

@@ -6,11 +6,22 @@
 //! Cholesky solve; inputs are expected pre-normalised to `[0, 1]` per
 //! dimension (the tuner does that).
 //!
-//! Training is O(n³) in the sample count, which is precisely the
-//! scalability pain §1 describes ("a GPR training takes 100 to 120
-//! seconds"); the criterion bench `gpr_train` measures the growth curve.
+//! Training from scratch is O(n³) in the sample count, which is precisely
+//! the scalability pain §1 describes ("a GPR training takes 100 to 120
+//! seconds"). Two things keep the steady-state tuner off that curve:
+//!
+//! * [`GaussianProcess::extend`] appends one training sample in O(n²) by
+//!   growing the cached Cholesky factor with a rank-1 border update instead
+//!   of refactoring — the kernel matrix does not depend on the targets, so
+//!   re-standardising `y` only costs two triangular solves.
+//! * [`GaussianProcess::predict_batch_into`] scores a whole candidate batch
+//!   against shared kernel-row buffers (one matrix product + one batched
+//!   triangular solve), instead of per-candidate allocation and solves.
+//!
+//! The criterion bench `gpr_train` measures the full-fit growth curve;
+//! `gp_incremental` compares it against the extend path.
 
-use crate::linalg::{euclidean, Matrix};
+use crate::linalg::{dot, Matrix};
 
 /// Hyper-parameters of the RBF kernel.
 #[derive(Debug, Clone, Copy)]
@@ -25,19 +36,52 @@ pub struct GpParams {
 
 impl Default for GpParams {
     fn default() -> Self {
-        Self { length_scale: 0.3, signal_variance: 1.0, noise: 1e-3 }
+        Self {
+            length_scale: 0.3,
+            signal_variance: 1.0,
+            noise: 1e-3,
+        }
     }
 }
 
 /// A fitted Gaussian process.
+///
+/// Keeps the Cholesky factor of the (jittered) kernel matrix and the raw
+/// targets alive so the model can be *extended* with new samples in O(n²)
+/// — see [`GaussianProcess::extend`].
 #[derive(Debug, Clone)]
 pub struct GaussianProcess {
     params: GpParams,
-    x: Vec<Vec<f64>>,
+    /// Training inputs, one row per sample (n × d).
+    x: Matrix,
+    /// Cached squared norms of the training rows (for batched kernels).
+    x_sq_norms: Vec<f64>,
+    /// Raw (unstandardised) targets; kept so `extend` can re-standardise.
+    y_raw: Vec<f64>,
     alpha: Vec<f64>,
     chol: Matrix,
+    /// Diagonal jitter the factorisation actually succeeded with (≥ noise).
+    jitter: f64,
     y_mean: f64,
     y_scale: f64,
+}
+
+/// Reusable buffers for [`GaussianProcess::predict_batch_into`]. Create once
+/// and pass to every call; allocations happen only when batch shape grows.
+#[derive(Debug, Default, Clone)]
+pub struct GpScratch {
+    /// Candidate batch, stored *transposed* (dim × m) so the kernel GEMM's
+    /// inner loop runs along the contiguous candidate axis.
+    qt: Matrix,
+    kstar: Matrix,
+    q_sq_norms: Vec<f64>,
+}
+
+impl GpScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl GaussianProcess {
@@ -49,9 +93,13 @@ impl GaussianProcess {
             return None;
         }
         let n = x.len();
-        let y_mean = y.iter().sum::<f64>() / n as f64;
-        let var = y.iter().map(|v| (v - y_mean) * (v - y_mean)).sum::<f64>() / n as f64;
-        let y_scale = var.sqrt().max(1e-9);
+        let mut xm = Matrix::zeros(0, 0);
+        for xi in x {
+            xm.push_row(xi);
+        }
+        let x_sq_norms: Vec<f64> = (0..n).map(|i| dot(xm.row(i), xm.row(i))).collect();
+
+        let (y_mean, y_scale) = standardisation(y);
         let yn: Vec<f64> = y.iter().map(|v| (v - y_mean) / y_scale).collect();
 
         let mut jitter = params.noise.max(1e-9);
@@ -59,46 +107,175 @@ impl GaussianProcess {
             let mut k = Matrix::zeros(n, n);
             for i in 0..n {
                 for j in 0..=i {
-                    let v = rbf(&x[i], &x[j], params);
+                    let v = rbf_sq(sq_dist(xm.row(i), xm.row(j)), params);
                     k[(i, j)] = v;
                     k[(j, i)] = v;
                 }
                 k[(i, i)] += jitter;
             }
-            if let Some(chol) = k.cholesky() {
-                let z = chol.solve_lower(&yn);
-                let alpha = chol.solve_lower_transpose(&z);
-                return Some(Self { params, x: x.to_vec(), alpha, chol, y_mean, y_scale });
+            if k.cholesky_in_place() {
+                let mut alpha = yn.clone();
+                k.solve_lower_in_place(&mut alpha);
+                k.solve_lower_transpose_in_place(&mut alpha);
+                return Some(Self {
+                    params,
+                    x: xm,
+                    x_sq_norms,
+                    y_raw: y.to_vec(),
+                    alpha,
+                    chol: k,
+                    jitter,
+                    y_mean,
+                    y_scale,
+                });
             }
             jitter *= 10.0;
         }
         None
     }
 
+    /// Append one training sample in O(n²), reusing the cached Cholesky
+    /// factor via a rank-1 border update instead of the O(n³) refit.
+    ///
+    /// The kernel matrix depends only on the inputs, so the new targets'
+    /// re-standardisation costs just two triangular solves for a fresh
+    /// `α = K⁻¹ỹ`. Numerically this matches a from-scratch [`fit`] (with
+    /// the same jitter) to ~1e-9 — pinned by `extend_matches_full_refit`.
+    ///
+    /// Returns `false` — leaving the model untouched — if the bordered
+    /// kernel matrix is not numerically positive definite (the caller
+    /// should fall back to a full refit, which escalates jitter).
+    ///
+    /// [`fit`]: GaussianProcess::fit
+    pub fn extend(&mut self, x_new: &[f64], y_new: f64) -> bool {
+        assert_eq!(x_new.len(), self.x.cols(), "input dimension mismatch");
+        let n = self.x.rows();
+        let mut border = vec![0.0; n];
+        let q_norm = dot(x_new, x_new);
+        for (i, b) in border.iter_mut().enumerate() {
+            let d2 = self.x_sq_norms[i] + q_norm - 2.0 * dot(self.x.row(i), x_new);
+            *b = rbf_sq(d2.max(0.0), self.params);
+        }
+        let diag = self.params.signal_variance + self.jitter;
+        if !self.chol.cholesky_update_append(&border, diag) {
+            return false;
+        }
+        self.x.push_row(x_new);
+        self.x_sq_norms.push(q_norm);
+        self.y_raw.push(y_new);
+
+        // Re-standardise and recompute α against the grown factor: two
+        // O(n²) triangular solves.
+        let (y_mean, y_scale) = standardisation(&self.y_raw);
+        self.y_mean = y_mean;
+        self.y_scale = y_scale;
+        self.alpha.clear();
+        self.alpha
+            .extend(self.y_raw.iter().map(|v| (v - y_mean) / y_scale));
+        self.chol.solve_lower_in_place(&mut self.alpha);
+        self.chol.solve_lower_transpose_in_place(&mut self.alpha);
+        true
+    }
+
     /// Number of training points.
     pub fn len(&self) -> usize {
-        self.x.len()
+        self.x.rows()
     }
 
     /// True when fitted on no points (unreachable via `fit`, kept for API
     /// completeness).
     pub fn is_empty(&self) -> bool {
-        self.x.is_empty()
+        self.x.rows() == 0
     }
 
     /// Predictive mean and variance at `q`.
     pub fn predict(&self, q: &[f64]) -> (f64, f64) {
-        let n = self.x.len();
+        let n = self.x.rows();
+        let q_norm = dot(q, q);
         let mut kstar = vec![0.0; n];
-        for (i, xi) in self.x.iter().enumerate() {
-            kstar[i] = rbf(q, xi, self.params);
+        for (i, k) in kstar.iter_mut().enumerate() {
+            let d2 = self.x_sq_norms[i] + q_norm - 2.0 * dot(self.x.row(i), q);
+            *k = rbf_sq(d2.max(0.0), self.params);
         }
-        let mean_n: f64 = kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let mean_n = dot(&kstar, &self.alpha);
         // var = k(q,q) - vᵀv with v = L⁻¹ k*.
-        let v = self.chol.solve_lower(&kstar);
+        self.chol.solve_lower_in_place(&mut kstar);
         let kqq = self.params.signal_variance + self.params.noise;
-        let var_n = (kqq - v.iter().map(|t| t * t).sum::<f64>()).max(1e-12);
-        (mean_n * self.y_scale + self.y_mean, var_n * self.y_scale * self.y_scale)
+        let var_n = (kqq - dot(&kstar, &kstar)).max(1e-12);
+        (
+            mean_n * self.y_scale + self.y_mean,
+            var_n * self.y_scale * self.y_scale,
+        )
+    }
+
+    /// Predictive means and variances for a whole candidate batch, written
+    /// into `means`/`vars` (resized to the batch length). All kernel rows
+    /// share one `n × m` buffer in `scratch`: the cross-covariance block is
+    /// one [`Matrix::matmul_transpose_into`] (via ‖a−b‖² = |a|²+|b|²−2a·b),
+    /// and the variance term one batched forward solve. Equivalent to
+    /// calling [`predict`](GaussianProcess::predict) per candidate, without
+    /// the per-candidate allocations — this is the UCB sweep's hot path.
+    pub fn predict_batch_into(
+        &self,
+        queries: &[Vec<f64>],
+        means: &mut Vec<f64>,
+        vars: &mut Vec<f64>,
+        scratch: &mut GpScratch,
+    ) {
+        let n = self.x.rows();
+        let d = self.x.cols();
+        let m = queries.len();
+        means.clear();
+        means.resize(m, 0.0);
+        vars.clear();
+        let kqq = self.params.signal_variance + self.params.noise;
+        vars.resize(m, kqq);
+        if m == 0 {
+            return;
+        }
+        scratch.qt.reset_stale(d, m);
+        scratch.q_sq_norms.clear();
+        for (j, q) in queries.iter().enumerate() {
+            assert_eq!(q.len(), d, "query dimension mismatch");
+            for (t, &v) in q.iter().enumerate() {
+                scratch.qt[(t, j)] = v;
+            }
+            scratch.q_sq_norms.push(dot(q, q));
+        }
+        // Cross-covariance block K* (n × m): row-major so the per-candidate
+        // axis is contiguous for every pass below, including the GEMM
+        // against the transposed batch.
+        scratch.kstar.reset_stale(n, m);
+        self.x.matmul_into(&scratch.qt, &mut scratch.kstar);
+        // One fused pass per row: dot products → kernel values, and the
+        // means accumulation K*ᵀα, while the row is still cache-hot.
+        for i in 0..n {
+            let xn = self.x_sq_norms[i];
+            let a = self.alpha[i];
+            let row = scratch.kstar.row_mut(i);
+            for ((v, &qn), mj) in row
+                .iter_mut()
+                .zip(&scratch.q_sq_norms)
+                .zip(means.iter_mut())
+            {
+                let d2 = (xn + qn - 2.0 * *v).max(0.0);
+                let k = rbf_sq(d2, self.params);
+                *v = k;
+                *mj += a * k;
+            }
+        }
+        // Variances: V = L⁻¹ K* in place, then subtract column norms.
+        self.chol.solve_lower_batch_in_place(&mut scratch.kstar);
+        for i in 0..n {
+            for (vj, &v) in vars.iter_mut().zip(scratch.kstar.row(i)) {
+                *vj -= v * v;
+            }
+        }
+        let s2 = self.y_scale * self.y_scale;
+        for (mj, vj) in means.iter_mut().zip(vars.iter_mut()) {
+            *mj = *mj * self.y_scale + self.y_mean;
+            *vj = vj.max(1e-12) * s2;
+        }
     }
 
     /// Upper-confidence-bound acquisition at `q` with exploration weight
@@ -112,33 +289,19 @@ impl GaussianProcess {
 
 impl GaussianProcess {
     /// Log marginal likelihood of the training data under the fitted
-    /// hyper-parameters: `-½ yᵀα − Σ log Lᵢᵢ − n/2 log 2π` (standardised
-    /// targets). Higher is better; used by [`fit_auto`] for model selection.
-    #[allow(clippy::needless_range_loop)] // triangular solves read clearer with indices
+    /// hyper-parameters: `-½ ỹᵀα − Σ log Lᵢᵢ − n/2 log 2π` (standardised
+    /// targets ỹ). Higher is better; used by [`fit_auto`] for model
+    /// selection.
     pub fn log_marginal_likelihood(&self) -> f64 {
-        let n = self.x.len() as f64;
-        // Recover the standardised targets from alpha: y = K α, but we kept
-        // alpha and the Cholesky factor, so yᵀα = αᵀKα = |Lᵀα|²  — compute
-        // via the stored pieces instead: yᵀα = Σ yᵢαᵢ where yᵢ can be
-        // reconstructed as (L Lᵀ α)ᵢ.
-        // Simpler: data-fit term = αᵀ K α; K α = y, so term = yᵀα.
-        // We reconstruct y by multiplying L(Lᵀ α).
-        let nx = self.x.len();
-        let mut lt_alpha = vec![0.0; nx];
-        for i in 0..nx {
-            for k in i..nx {
-                lt_alpha[i] += self.chol[(k, i)] * self.alpha[k];
-            }
-        }
-        let mut y = vec![0.0; nx];
-        for i in 0..nx {
-            for k in 0..=i {
-                y[i] += self.chol[(i, k)] * lt_alpha[k];
-            }
-        }
-        let data_fit: f64 = y.iter().zip(&self.alpha).map(|(yi, ai)| yi * ai).sum();
-        let log_det: f64 = (0..nx).map(|i| self.chol[(i, i)].ln()).sum();
-        -0.5 * data_fit - log_det - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+        let n = self.y_raw.len();
+        let data_fit: f64 = self
+            .y_raw
+            .iter()
+            .zip(&self.alpha)
+            .map(|(y, a)| (y - self.y_mean) / self.y_scale * a)
+            .sum();
+        let log_det: f64 = (0..n).map(|i| self.chol[(i, i)].ln()).sum();
+        -0.5 * data_fit - log_det - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
     }
 }
 
@@ -149,7 +312,10 @@ pub fn fit_auto(x: &[Vec<f64>], y: &[f64], base: GpParams) -> Option<GaussianPro
     const GRID: [f64; 5] = [0.1, 0.2, 0.3, 0.5, 1.0];
     let mut best: Option<(f64, GaussianProcess)> = None;
     for &ls in &GRID {
-        let params = GpParams { length_scale: ls, ..base };
+        let params = GpParams {
+            length_scale: ls,
+            ..base
+        };
         if let Some(gp) = GaussianProcess::fit(x, y, params) {
             let lml = gp.log_marginal_likelihood();
             if best.as_ref().is_none_or(|(b, _)| lml > *b) {
@@ -160,14 +326,107 @@ pub fn fit_auto(x: &[Vec<f64>], y: &[f64], base: GpParams) -> Option<GaussianPro
     best.map(|(_, gp)| gp)
 }
 
-fn rbf(a: &[f64], b: &[f64], p: GpParams) -> f64 {
-    let d = euclidean(a, b);
-    p.signal_variance * (-(d * d) / (2.0 * p.length_scale * p.length_scale)).exp()
+/// Target standardisation constants: mean and (floored) standard deviation.
+fn standardisation(y: &[f64]) -> (f64, f64) {
+    let n = y.len() as f64;
+    let mean = y.iter().sum::<f64>() / n;
+    let var = y.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt().max(1e-9))
+}
+
+/// RBF kernel from a squared distance (the batched paths already have d²,
+/// so the kernel never recomputes it — and never needs the sqrt).
+#[inline]
+fn rbf_sq(d2: f64, p: GpParams) -> f64 {
+    // Multiply by the reciprocal rather than divide: the factor is loop
+    // invariant in the batched sweeps, so this trades a vdivpd per element
+    // for one division hoisted out of the loop.
+    let scale = -0.5 / (p.length_scale * p.length_scale);
+    p.signal_variance * exp_neg(d2 * scale)
+}
+
+/// `exp(x)` for non-positive `x`, accurate to ~1e-14 relative error.
+///
+/// The RBF kernel evaluates exp tens of thousands of times per candidate
+/// sweep (n training points × m candidates) and libm's `exp` dominates the
+/// whole recommend hot path. This branch-light polynomial form (argument
+/// reduction x = k·ln2 + r, degree-11 Taylor on |r| ≤ ln2/2, bit-shift
+/// scaling by 2^k) is several times cheaper per call and simple enough for
+/// LLVM to vectorise inside the elementwise kernel loops.
+#[inline]
+fn exp_neg(x: f64) -> f64 {
+    debug_assert!(x <= 0.0, "exp_neg wants a non-positive argument, got {x}");
+    // Saturate instead of branching to zero: exp(−708) ≈ 3e−308 is already
+    // indistinguishable from zero for a covariance, and keeping the body
+    // branch-free lets the batched kernel loops auto-vectorise it.
+    let x = x.max(-708.0);
+    // Split the high/low parts of ln2 so r = x − k·ln2 stays accurate
+    // through the cancellation.
+    const LN2_HI: f64 = 0.693_147_180_369_123_8;
+    const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+    // Round-to-nearest-integer via the 1.5·2^52 shift trick (|x·log₂e| is
+    // far below 2^51 here).
+    const SHIFT: f64 = 6_755_399_441_055_744.0;
+    let kf = x * std::f64::consts::LOG2_E + SHIFT;
+    let k = kf - SHIFT;
+    let r = (x - k * LN2_HI) - k * LN2_LO;
+    // exp(r) on r ∈ [−0.347, 0.347]: Taylor to r¹¹ (max rel. err ≈ 6e-15).
+    let p = 1.0 / 39_916_800.0;
+    let p = p * r + 1.0 / 3_628_800.0;
+    let p = p * r + 1.0 / 362_880.0;
+    let p = p * r + 1.0 / 40_320.0;
+    let p = p * r + 1.0 / 5_040.0;
+    let p = p * r + 1.0 / 720.0;
+    let p = p * r + 1.0 / 120.0;
+    let p = p * r + 1.0 / 24.0;
+    let p = p * r + 1.0 / 6.0;
+    let p = p * r + 0.5;
+    let p = p * r + 1.0;
+    let p = p * r + 1.0;
+    // Scale by 2^k: k ∈ [−1021, 0], so the biased exponent never leaves
+    // the normal range and the bit shift is exact. The integer k is read
+    // straight out of `kf`'s mantissa (kf = 1.5·2⁵² + k exactly, so its low
+    // 52 bits hold 2⁵¹ + k) — a saturating `as i64` cast here would stop
+    // LLVM from vectorising the kernel loops this sits inside.
+    let ki = (kf.to_bits() & 0x000F_FFFF_FFFF_FFFF) as i64 - (1 << 51);
+    p * f64::from_bits(((ki + 1023) as u64) << 52)
+}
+
+/// Squared Euclidean distance between two rows.
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    crate::linalg::sq_euclidean(a, b)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exp_neg_matches_libm_across_the_kernel_range() {
+        // Dense linear sweep over the range the RBF kernel actually
+        // produces, plus the extremes.
+        for i in 0..=400_000 {
+            let x = -(i as f64) * 2e-4; // 0 down to −80
+            let want = x.exp();
+            let got = exp_neg(x);
+            let rel = if want == 0.0 {
+                got.abs()
+            } else {
+                ((got - want) / want).abs()
+            };
+            assert!(
+                rel < 1e-13,
+                "x={x}: got {got:e}, want {want:e}, rel {rel:e}"
+            );
+        }
+        assert_eq!(exp_neg(0.0), 1.0);
+        // Saturated tail: anything below −708 pins to exp(−708) ≈ 3.3e−308.
+        assert!(exp_neg(-800.0) < 1e-300);
+        assert!((exp_neg(-700.0) / (-700.0f64).exp() - 1.0).abs() < 1e-12);
+    }
 
     fn grid_1d(n: usize) -> Vec<Vec<f64>> {
         (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
@@ -182,7 +441,10 @@ mod tests {
     #[test]
     fn interpolates_training_points() {
         let x = grid_1d(9);
-        let y: Vec<f64> = x.iter().map(|v| (v[0] * std::f64::consts::PI).sin()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| (v[0] * std::f64::consts::PI).sin())
+            .collect();
         let gp = GaussianProcess::fit(&x, &y, GpParams::default()).unwrap();
         for (xi, yi) in x.iter().zip(&y) {
             let (m, _) = gp.predict(xi);
@@ -193,7 +455,10 @@ mod tests {
     #[test]
     fn predicts_between_points() {
         let x = grid_1d(17);
-        let y: Vec<f64> = x.iter().map(|v| (v[0] * std::f64::consts::PI).sin()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| (v[0] * std::f64::consts::PI).sin())
+            .collect();
         let gp = GaussianProcess::fit(&x, &y, GpParams::default()).unwrap();
         let (m, _) = gp.predict(&[0.5]);
         assert!((m - 1.0).abs() < 0.05, "sin peak prediction {m}");
@@ -241,24 +506,43 @@ mod tests {
     fn log_marginal_likelihood_prefers_sane_length_scales() {
         // Smooth data: a too-small length scale must score worse.
         let x = grid_1d(17);
-        let y: Vec<f64> = x.iter().map(|v| (v[0] * std::f64::consts::PI).sin()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| (v[0] * std::f64::consts::PI).sin())
+            .collect();
         let lml = |ls: f64| {
-            GaussianProcess::fit(&x, &y, GpParams { length_scale: ls, ..GpParams::default() })
-                .unwrap()
-                .log_marginal_likelihood()
+            GaussianProcess::fit(
+                &x,
+                &y,
+                GpParams {
+                    length_scale: ls,
+                    ..GpParams::default()
+                },
+            )
+            .unwrap()
+            .log_marginal_likelihood()
         };
-        assert!(lml(0.3) > lml(0.02), "smooth data should prefer a wide kernel");
+        assert!(
+            lml(0.3) > lml(0.02),
+            "smooth data should prefer a wide kernel"
+        );
     }
 
     #[test]
     fn fit_auto_beats_or_matches_a_bad_fixed_scale() {
         let x = grid_1d(17);
-        let y: Vec<f64> = x.iter().map(|v| (v[0] * std::f64::consts::PI).sin()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| (v[0] * std::f64::consts::PI).sin())
+            .collect();
         let auto = fit_auto(&x, &y, GpParams::default()).unwrap();
         let bad = GaussianProcess::fit(
             &x,
             &y,
-            GpParams { length_scale: 0.02, ..GpParams::default() },
+            GpParams {
+                length_scale: 0.02,
+                ..GpParams::default()
+            },
         )
         .unwrap();
         // Generalisation check off-grid.
@@ -277,5 +561,112 @@ mod tests {
         let gp = GaussianProcess::fit(&x, &y, GpParams::default()).unwrap();
         let (m, _) = gp.predict(&[0.5, 0.5]);
         assert!((m - 1.5).abs() < 0.1, "prediction {m}");
+    }
+
+    /// Random training set in [0,1]^d with a smooth target.
+    fn random_data(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .enumerate()
+                    .map(|(i, t)| (i as f64 + 1.0) * t)
+                    .sum::<f64>()
+            })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn extend_matches_full_refit() {
+        // The tentpole parity pin: incremental extends must agree with a
+        // from-scratch fit on the full data to 1e-9 — predictions AND the
+        // internal factor-derived quantities (via lml).
+        let (x, y) = random_data(60, 4, 42);
+        let head = 40;
+        let mut inc = GaussianProcess::fit(&x[..head], &y[..head], GpParams::default()).unwrap();
+        for i in head..x.len() {
+            assert!(inc.extend(&x[i], y[i]), "extend failed at {i}");
+        }
+        let full = GaussianProcess::fit(&x, &y, GpParams::default()).unwrap();
+        assert_eq!(inc.len(), full.len());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
+            let (mi, vi) = inc.predict(&q);
+            let (mf, vf) = full.predict(&q);
+            assert!((mi - mf).abs() < 1e-9, "mean {mi} vs {mf}");
+            assert!((vi - vf).abs() < 1e-9, "var {vi} vs {vf}");
+        }
+        let (li, lf) = (
+            inc.log_marginal_likelihood(),
+            full.log_marginal_likelihood(),
+        );
+        assert!((li - lf).abs() < 1e-9, "lml {li} vs {lf}");
+    }
+
+    #[test]
+    fn extend_restandardises_targets() {
+        // Feed targets whose mean/scale shift dramatically mid-stream; the
+        // incremental path must track the full refit regardless.
+        let (x, _) = random_data(30, 2, 3);
+        let y: Vec<f64> = (0..30)
+            .map(|i| {
+                if i < 20 {
+                    1.0 + i as f64 * 0.01
+                } else {
+                    100.0 + i as f64
+                }
+            })
+            .collect();
+        let mut inc = GaussianProcess::fit(&x[..20], &y[..20], GpParams::default()).unwrap();
+        for i in 20..30 {
+            assert!(inc.extend(&x[i], y[i]));
+        }
+        let full = GaussianProcess::fit(&x, &y, GpParams::default()).unwrap();
+        let (mi, _) = inc.predict(&[0.5, 0.5]);
+        let (mf, _) = full.predict(&[0.5, 0.5]);
+        assert!((mi - mf).abs() < 1e-9, "{mi} vs {mf}");
+    }
+
+    #[test]
+    fn predict_batch_matches_single_predictions() {
+        let (x, y) = random_data(50, 3, 9);
+        let gp = GaussianProcess::fit(&x, &y, GpParams::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let queries: Vec<Vec<f64>> = (0..33)
+            .map(|_| (0..3).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let mut means = Vec::new();
+        let mut vars = Vec::new();
+        let mut scratch = GpScratch::new();
+        gp.predict_batch_into(&queries, &mut means, &mut vars, &mut scratch);
+        // Second call with the same scratch must be identical (buffer reuse
+        // must not leak state).
+        let mut means2 = Vec::new();
+        let mut vars2 = Vec::new();
+        gp.predict_batch_into(&queries, &mut means2, &mut vars2, &mut scratch);
+        assert_eq!(means, means2);
+        assert_eq!(vars, vars2);
+        for (j, q) in queries.iter().enumerate() {
+            let (m, v) = gp.predict(q);
+            assert!((means[j] - m).abs() < 1e-9, "mean[{j}] {} vs {m}", means[j]);
+            assert!((vars[j] - v).abs() < 1e-9, "var[{j}] {} vs {v}", vars[j]);
+        }
+    }
+
+    #[test]
+    fn predict_batch_handles_empty_batch() {
+        let (x, y) = random_data(10, 2, 5);
+        let gp = GaussianProcess::fit(&x, &y, GpParams::default()).unwrap();
+        let mut means = vec![1.0];
+        let mut vars = vec![1.0];
+        gp.predict_batch_into(&[], &mut means, &mut vars, &mut GpScratch::new());
+        assert!(means.is_empty());
+        assert!(vars.is_empty());
     }
 }

@@ -38,7 +38,11 @@ pub struct HybridConfig {
 
 impl Default for HybridConfig {
     fn default() -> Self {
-        Self { bo_takeover_samples: 30, bo: BoConfig::default(), rl: RlConfig::default() }
+        Self {
+            bo_takeover_samples: 30,
+            bo: BoConfig::default(),
+            rl: RlConfig::default(),
+        }
     }
 }
 
@@ -141,7 +145,10 @@ mod tests {
     fn thin_pool_serves_rl_rich_pool_serves_bo() {
         let mut repo = WorkloadRepository::new();
         let id = repo.register("w", false);
-        let cfg = HybridConfig { bo_takeover_samples: 10, ..HybridConfig::default() };
+        let cfg = HybridConfig {
+            bo_takeover_samples: 10,
+            ..HybridConfig::default()
+        };
         let mut tuner = HybridTuner::new(2, 2, cfg, 1);
         let mut rng = StdRng::seed_from_u64(2);
 
@@ -168,7 +175,10 @@ mod tests {
     fn low_quality_samples_do_not_trigger_takeover() {
         let mut repo = WorkloadRepository::new();
         let id = repo.register("w", false);
-        let cfg = HybridConfig { bo_takeover_samples: 5, ..HybridConfig::default() };
+        let cfg = HybridConfig {
+            bo_takeover_samples: 5,
+            ..HybridConfig::default()
+        };
         let tuner = HybridTuner::new(2, 2, cfg, 3);
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..20 {
@@ -187,7 +197,10 @@ mod tests {
         }
         let target = repo.register("live", false);
         repo.add_sample(target, sample(&mut rng, SampleQuality::High));
-        let cfg = HybridConfig { bo_takeover_samples: 10, ..HybridConfig::default() };
+        let cfg = HybridConfig {
+            bo_takeover_samples: 10,
+            ..HybridConfig::default()
+        };
         let tuner = HybridTuner::new(2, 2, cfg, 6);
         assert_eq!(
             tuner.backend_for(&repo, target),
@@ -210,7 +223,10 @@ mod tests {
         }
         let cfg = HybridConfig {
             bo_takeover_samples: 0, // force the BO path
-            bo: BoConfig { gate_low_quality: true, ..BoConfig::default() },
+            bo: BoConfig {
+                gate_low_quality: true,
+                ..BoConfig::default()
+            },
             ..HybridConfig::default()
         };
         let mut tuner = HybridTuner::new(2, 2, cfg, 8);

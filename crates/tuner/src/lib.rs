@@ -26,12 +26,12 @@ pub mod ranking;
 pub mod repo;
 pub mod rl;
 
-pub use bo::{BoConfig, BoTuner, Recommendation};
-pub use gp::{fit_auto, GaussianProcess, GpParams};
+pub use bo::{BoConfig, BoStats, BoTuner, Recommendation};
+pub use gp::{fit_auto, GaussianProcess, GpParams, GpScratch};
 pub use hybrid::{HybridBackend, HybridConfig, HybridTuner};
 pub use mapping::{map_workload, MappingResult};
 pub use nn::Mlp;
-pub use ranking::{rank_knobs, top_k, KnobScore};
+pub use ranking::{rank_knobs, rank_knobs_xy, top_k, top_k_xy, KnobScore};
 pub use repo::{
     assess_quality, shared_repository, Sample, SampleQuality, SharedRepository, StoredWorkload,
     WorkloadId, WorkloadRepository,

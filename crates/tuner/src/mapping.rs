@@ -42,9 +42,7 @@ pub fn map_workload(
         *s = s.max(v.abs()).max(1e-12);
     }
 
-    let norm = |sig: &[f64]| -> Vec<f64> {
-        sig.iter().zip(&scale).map(|(v, s)| v / s).collect()
-    };
+    let norm = |sig: &[f64]| -> Vec<f64> { sig.iter().zip(&scale).map(|(v, s)| v / s).collect() };
     let target_n = norm(target_signature);
 
     let mut best: Option<MappingResult> = None;
@@ -52,14 +50,19 @@ pub fn map_workload(
         if Some(w.id) == exclude {
             continue;
         }
-        let Some(sig) = w.metric_signature() else { continue };
+        let Some(sig) = w.metric_signature() else {
+            continue;
+        };
         if sig.len() != dim {
             continue;
         }
         let d = euclidean(&target_n, &norm(&sig));
         let score = 1.0 / (1.0 + d);
         if best.is_none_or(|b| score > b.score) {
-            best = Some(MappingResult { workload: w.id, score });
+            best = Some(MappingResult {
+                workload: w.id,
+                score,
+            });
         }
     }
     best
@@ -74,7 +77,12 @@ mod tests {
         let id = repo.register(name, true);
         repo.add_sample(
             id,
-            Sample { config: vec![0.5], metrics, objective: 100.0, quality: SampleQuality::High },
+            Sample {
+                config: vec![0.5],
+                metrics,
+                objective: 100.0,
+                quality: SampleQuality::High,
+            },
         );
         id
     }

@@ -19,8 +19,15 @@ struct Layer {
 impl Layer {
     fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
         let scale = (6.0 / (inputs + outputs) as f64).sqrt();
-        let w = (0..inputs * outputs).map(|_| rng.gen_range(-scale..scale)).collect();
-        Self { w, b: vec![0.0; outputs], inputs, outputs }
+        let w = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Self {
+            w,
+            b: vec![0.0; outputs],
+            inputs,
+            outputs,
+        }
     }
 
     fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
@@ -47,8 +54,10 @@ impl Mlp {
     pub fn new(sizes: &[usize], seed: u64) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
         let mut rng = StdRng::seed_from_u64(seed);
-        let layers =
-            sizes.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
+        let layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
         Self { layers }
     }
 
@@ -111,9 +120,17 @@ impl Mlp {
             assert_eq!(out.len(), y.len(), "target dimension mismatch");
 
             // Output-layer delta (MSE, linear output).
-            let mut delta: Vec<f64> =
-                out.iter().zip(y).map(|(o, t)| 2.0 * (o - t) / y.len() as f64).collect();
-            loss += out.iter().zip(y).map(|(o, t)| (o - t) * (o - t)).sum::<f64>() / y.len() as f64;
+            let mut delta: Vec<f64> = out
+                .iter()
+                .zip(y)
+                .map(|(o, t)| 2.0 * (o - t) / y.len() as f64)
+                .collect();
+            loss += out
+                .iter()
+                .zip(y)
+                .map(|(o, t)| (o - t) * (o - t))
+                .sum::<f64>()
+                / y.len() as f64;
 
             // Backward.
             for li in (0..nl).rev() {
@@ -128,8 +145,8 @@ impl Mlp {
                 if li > 0 {
                     let mut prev = vec![0.0; self.layers[li].inputs];
                     for o in 0..self.layers[li].outputs {
-                        let row =
-                            &self.layers[li].w[o * self.layers[li].inputs..(o + 1) * self.layers[li].inputs];
+                        let row = &self.layers[li].w
+                            [o * self.layers[li].inputs..(o + 1) * self.layers[li].inputs];
                         for (i, w) in row.iter().enumerate() {
                             prev[i] += delta[o] * w;
                         }

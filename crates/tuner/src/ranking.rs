@@ -21,28 +21,57 @@ pub struct KnobScore {
 /// Rank knobs by |correlation with the objective| over `samples`,
 /// descending. Knobs with no variation score zero.
 pub fn rank_knobs(samples: &[Sample]) -> Vec<KnobScore> {
-    let Some(first) = samples.first() else { return Vec::new() };
-    let dim = first.config.len();
-    let n = samples.len() as f64;
-    if n < 2.0 {
-        return (0..dim).map(|knob| KnobScore { knob, score: 0.0 }).collect();
+    let dim = samples.first().map_or(0, |s| s.config.len());
+    rank_by(
+        samples.len(),
+        dim,
+        |i, k| samples[i].config[k],
+        |i| samples[i].objective,
+    )
+}
+
+/// Slice-based variant of [`rank_knobs`] over parallel `(configs, objectives)`
+/// arrays — lets callers that already hold training vectors (the BO tuner's
+/// hot path) rank without materialising `Sample` clones.
+pub fn rank_knobs_xy(xs: &[Vec<f64>], ys: &[f64]) -> Vec<KnobScore> {
+    assert_eq!(xs.len(), ys.len(), "configs/objectives length mismatch");
+    let dim = xs.first().map_or(0, |x| x.len());
+    rank_by(xs.len(), dim, |i, k| xs[i][k], |i| ys[i])
+}
+
+fn rank_by(
+    len: usize,
+    dim: usize,
+    cfg: impl Fn(usize, usize) -> f64,
+    obj: impl Fn(usize) -> f64,
+) -> Vec<KnobScore> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let n = len as f64;
+    if len < 2 {
+        return (0..dim)
+            .map(|knob| KnobScore { knob, score: 0.0 })
+            .collect();
     }
 
-    let obj_mean = samples.iter().map(|s| s.objective).sum::<f64>() / n;
-    let obj_var =
-        samples.iter().map(|s| (s.objective - obj_mean).powi(2)).sum::<f64>() / n;
+    let obj_mean = (0..len).map(&obj).sum::<f64>() / n;
+    let obj_var = (0..len).map(|i| (obj(i) - obj_mean).powi(2)).sum::<f64>() / n;
 
     let mut scores = Vec::with_capacity(dim);
     for k in 0..dim {
-        let mean = samples.iter().map(|s| s.config[k]).sum::<f64>() / n;
-        let var = samples.iter().map(|s| (s.config[k] - mean).powi(2)).sum::<f64>() / n;
-        let cov = samples
-            .iter()
-            .map(|s| (s.config[k] - mean) * (s.objective - obj_mean))
+        let mean = (0..len).map(|i| cfg(i, k)).sum::<f64>() / n;
+        let var = (0..len).map(|i| (cfg(i, k) - mean).powi(2)).sum::<f64>() / n;
+        let cov = (0..len)
+            .map(|i| (cfg(i, k) - mean) * (obj(i) - obj_mean))
             .sum::<f64>()
             / n;
         let denom = (var * obj_var).sqrt();
-        let r = if denom < 1e-12 { 0.0 } else { (cov / denom).abs() };
+        let r = if denom < 1e-12 {
+            0.0
+        } else {
+            (cov / denom).abs()
+        };
         scores.push(KnobScore { knob: k, score: r });
     }
     scores.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("NaN score"));
@@ -51,7 +80,20 @@ pub fn rank_knobs(samples: &[Sample]) -> Vec<KnobScore> {
 
 /// The indices of the top-`k` ranked knobs.
 pub fn top_k(samples: &[Sample], k: usize) -> Vec<usize> {
-    rank_knobs(samples).into_iter().take(k).map(|s| s.knob).collect()
+    rank_knobs(samples)
+        .into_iter()
+        .take(k)
+        .map(|s| s.knob)
+        .collect()
+}
+
+/// Slice-based variant of [`top_k`]; see [`rank_knobs_xy`].
+pub fn top_k_xy(xs: &[Vec<f64>], ys: &[f64], k: usize) -> Vec<usize> {
+    rank_knobs_xy(xs, ys)
+        .into_iter()
+        .take(k)
+        .map(|s| s.knob)
+        .collect()
 }
 
 #[cfg(test)]
@@ -68,7 +110,12 @@ mod tests {
                 let c: Vec<f64> = (0..4).map(|_| rng.gen::<f64>()).collect();
                 // Objective driven by knob 1, slightly by knob 3.
                 let obj = 100.0 * c[1] + 10.0 * c[3] + rng.gen::<f64>();
-                Sample { config: c, metrics: vec![], objective: obj, quality: SampleQuality::High }
+                Sample {
+                    config: c,
+                    metrics: vec![],
+                    objective: obj,
+                    quality: SampleQuality::High,
+                }
             })
             .collect()
     }
@@ -115,6 +162,15 @@ mod tests {
         let ranked = rank_knobs(&one);
         assert_eq!(ranked.len(), 2);
         assert!(ranked.iter().all(|r| r.score == 0.0));
+    }
+
+    #[test]
+    fn xy_variant_matches_sample_variant() {
+        let s = samples_where_knob1_matters(150);
+        let xs: Vec<Vec<f64>> = s.iter().map(|smp| smp.config.clone()).collect();
+        let ys: Vec<f64> = s.iter().map(|smp| smp.objective).collect();
+        assert_eq!(rank_knobs(&s), rank_knobs_xy(&xs, &ys));
+        assert_eq!(top_k(&s, 3), top_k_xy(&xs, &ys, 3));
     }
 
     #[test]

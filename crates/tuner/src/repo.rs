@@ -91,16 +91,19 @@ impl StoredWorkload {
 
     /// Best objective observed so far.
     pub fn best_objective(&self) -> Option<f64> {
-        self.samples.iter().map(|s| s.objective).fold(None, |acc, o| {
-            Some(acc.map_or(o, |a: f64| a.max(o)))
-        })
+        self.samples
+            .iter()
+            .map(|s| s.objective)
+            .fold(None, |acc, o| Some(acc.map_or(o, |a: f64| a.max(o))))
     }
 
     /// The sample with the best objective.
     pub fn best_sample(&self) -> Option<&Sample> {
-        self.samples
-            .iter()
-            .max_by(|a, b| a.objective.partial_cmp(&b.objective).expect("NaN objective"))
+        self.samples.iter().max_by(|a, b| {
+            a.objective
+                .partial_cmp(&b.objective)
+                .expect("NaN objective")
+        })
     }
 }
 
@@ -119,7 +122,12 @@ impl WorkloadRepository {
     /// Register a new workload and get its id.
     pub fn register(&mut self, name: impl Into<String>, offline: bool) -> WorkloadId {
         let id = WorkloadId(self.workloads.len() as u64);
-        self.workloads.push(StoredWorkload { id, name: name.into(), offline, samples: Vec::new() });
+        self.workloads.push(StoredWorkload {
+            id,
+            name: name.into(),
+            offline,
+            samples: Vec::new(),
+        });
         id
     }
 
@@ -170,7 +178,12 @@ mod tests {
     use super::*;
 
     fn sample(config: Vec<f64>, objective: f64, quality: SampleQuality) -> Sample {
-        Sample { config, metrics: vec![1.0, 2.0, 3.0], objective, quality }
+        Sample {
+            config,
+            metrics: vec![1.0, 2.0, 3.0],
+            objective,
+            quality,
+        }
     }
 
     #[test]
@@ -202,11 +215,21 @@ mod tests {
         let id = repo.register("w", false);
         repo.add_sample(
             id,
-            Sample { config: vec![], metrics: vec![2.0, 4.0], objective: 1.0, quality: SampleQuality::High },
+            Sample {
+                config: vec![],
+                metrics: vec![2.0, 4.0],
+                objective: 1.0,
+                quality: SampleQuality::High,
+            },
         );
         repo.add_sample(
             id,
-            Sample { config: vec![], metrics: vec![4.0, 8.0], objective: 1.0, quality: SampleQuality::High },
+            Sample {
+                config: vec![],
+                metrics: vec![4.0, 8.0],
+                objective: 1.0,
+                quality: SampleQuality::High,
+            },
         );
         assert_eq!(repo.workload(id).metric_signature(), Some(vec![3.0, 6.0]));
     }
@@ -214,7 +237,10 @@ mod tests {
     #[test]
     fn quality_assessment_flags_idle_windows() {
         // Idle database: near-zero throughput.
-        assert_eq!(assess_quality(&[5.0, 10.0, 3.0, 2.0], 1.0), SampleQuality::Low);
+        assert_eq!(
+            assess_quality(&[5.0, 10.0, 3.0, 2.0], 1.0),
+            SampleQuality::Low
+        );
         // Busy but flat metrics (the "only some metrics vary" case).
         let flat = vec![0.0; 20];
         assert_eq!(assess_quality(&flat, 500.0), SampleQuality::Low);
@@ -239,7 +265,9 @@ mod tests {
         let shared = shared_repository();
         let clone = Arc::clone(&shared);
         let id = shared.lock().register("w", false);
-        clone.lock().add_sample(id, sample(vec![0.2], 9.0, SampleQuality::High));
+        clone
+            .lock()
+            .add_sample(id, sample(vec![0.2], 9.0, SampleQuality::High));
         assert_eq!(shared.lock().total_samples(), 1);
     }
 }

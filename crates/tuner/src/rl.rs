@@ -80,7 +80,10 @@ impl RlTuner {
     /// Agent over `state_dim` metrics and `action_dim` knobs.
     pub fn new(state_dim: usize, action_dim: usize, cfg: RlConfig, seed: u64) -> Self {
         let actor = Mlp::new(&[state_dim, cfg.hidden, cfg.hidden, action_dim], seed);
-        let critic = Mlp::new(&[state_dim + action_dim, cfg.hidden, cfg.hidden, 1], seed ^ 0x9e37);
+        let critic = Mlp::new(
+            &[state_dim + action_dim, cfg.hidden, cfg.hidden, 1],
+            seed ^ 0x9e37,
+        );
         Self {
             cfg,
             actor,
@@ -110,7 +113,11 @@ impl RlTuner {
     /// Deterministic policy output (no exploration) in `[0,1]^k`.
     pub fn exploit(&self, state: &[f64]) -> Vec<f64> {
         assert_eq!(state.len(), self.state_dim);
-        self.actor.forward(state).into_iter().map(Self::squash).collect()
+        self.actor
+            .forward(state)
+            .into_iter()
+            .map(Self::squash)
+            .collect()
     }
 
     /// Recommendation with exploration noise — what a live tuning request
@@ -146,8 +153,9 @@ impl RlTuner {
             return;
         }
         // Sample a minibatch.
-        let idxs: Vec<usize> =
-            (0..self.cfg.batch).map(|_| self.rng.gen_range(0..self.replay.len())).collect();
+        let idxs: Vec<usize> = (0..self.cfg.batch)
+            .map(|_| self.rng.gen_range(0..self.replay.len()))
+            .collect();
 
         // --- Critic: TD(0) targets -------------------------------------
         let mut xs = Vec::with_capacity(idxs.len());
@@ -229,7 +237,10 @@ mod tests {
 
     #[test]
     fn bandit_policy_improves_with_experience() {
-        let cfg = RlConfig { exploration_noise: 0.3, ..RlConfig::default() };
+        let cfg = RlConfig {
+            exploration_noise: 0.3,
+            ..RlConfig::default()
+        };
         let mut t = RlTuner::new(2, 2, cfg, 3);
         let state = vec![0.5, 0.5];
         let naive = reward(&t.exploit(&state));
@@ -254,12 +265,22 @@ mod tests {
     fn noisy_rewards_degrade_the_policy() {
         // Train one agent on the true signal and a twin on pure noise —
         // the corruption mechanism behind Fig. 13.
-        let mk = || RlTuner::new(2, 2, RlConfig { exploration_noise: 0.3, ..Default::default() }, 4);
+        let mk = || {
+            RlTuner::new(
+                2,
+                2,
+                RlConfig {
+                    exploration_noise: 0.3,
+                    ..Default::default()
+                },
+                4,
+            )
+        };
         let state = vec![0.5, 0.5];
         let mut clean = mk();
         let mut dirty = mk();
         let mut noise_rng = StdRng::seed_from_u64(9);
-        for _ in 0..600 {
+        for _ in 0..1200 {
             let a = clean.recommend(&state);
             let r = reward(&a);
             clean.observe(Transition {
@@ -284,7 +305,11 @@ mod tests {
 
     #[test]
     fn replay_buffer_is_bounded() {
-        let cfg = RlConfig { buffer_capacity: 10, batch: 4, ..RlConfig::default() };
+        let cfg = RlConfig {
+            buffer_capacity: 10,
+            batch: 4,
+            ..RlConfig::default()
+        };
         let mut t = RlTuner::new(1, 1, cfg, 5);
         for i in 0..50 {
             t.observe(Transition {
@@ -301,6 +326,11 @@ mod tests {
     #[should_panic]
     fn observe_rejects_dimension_mismatch() {
         let mut t = RlTuner::new(2, 2, RlConfig::default(), 6);
-        t.observe(Transition { state: vec![0.0], action: vec![0.5, 0.5], reward: 0.0, next_state: vec![0.0, 0.0] });
+        t.observe(Transition {
+            state: vec![0.0],
+            action: vec![0.5, 0.5],
+            reward: 0.0,
+            next_state: vec![0.0, 0.0],
+        });
     }
 }

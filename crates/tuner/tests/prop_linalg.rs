@@ -1,0 +1,131 @@
+//! Property tests for the dense linear algebra under the GP tuner.
+//!
+//! The incremental-training fast path rests on two algebraic identities:
+//! the blocked Cholesky must agree with the textbook factorisation, and a
+//! rank-1 `cholesky_update_append` followed by the in-place triangular
+//! solves must be indistinguishable (to solver tolerance) from factoring
+//! the bordered matrix from scratch. These run over randomly generated
+//! SPD matrices across a range of jitter levels, not just the seeded
+//! fixtures the unit tests use.
+
+use autodbaas_tuner::linalg::Matrix;
+use proptest::prelude::*;
+
+/// Kernel-like SPD matrix from random points: `K[i][j] = exp(-‖pᵢ-pⱼ‖²) +
+/// jitter·δᵢⱼ`, the exact shape the GP feeds the factorisation.
+fn kernel_matrix(points: &[Vec<f64>], jitter: f64) -> Matrix {
+    let n = points.len();
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let d2: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            k[(i, j)] = (-d2).exp();
+        }
+        k[(i, i)] += jitter;
+    }
+    k
+}
+
+fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    let mut worst = 0.0f64;
+    for i in 0..a.rows() {
+        for (x, y) in a.row(i).iter().zip(b.row(i)) {
+            worst = worst.max((x - y).abs());
+        }
+    }
+    worst
+}
+
+proptest! {
+    #[test]
+    fn blocked_cholesky_matches_naive(
+        flat in prop::collection::vec(0.0f64..1.0, 3 * 40),
+        n in 2usize..=40,
+        jitter_exp in -6.0f64..-1.0,
+    ) {
+        let jitter = 10.0f64.powf(jitter_exp);
+        let points: Vec<Vec<f64>> = flat.chunks(3).take(n).map(|c| c.to_vec()).collect();
+        let k = kernel_matrix(&points, jitter);
+        let blocked = k.cholesky().expect("jittered kernel is SPD");
+        let naive = k.cholesky_naive().expect("jittered kernel is SPD");
+        prop_assert!(
+            max_abs_diff(&blocked, &naive) < 1e-10,
+            "blocked vs naive diverged: {:e}",
+            max_abs_diff(&blocked, &naive)
+        );
+    }
+
+    #[test]
+    fn rank1_append_matches_from_scratch_factorisation(
+        flat in prop::collection::vec(0.0f64..1.0, 3 * 24),
+        n in 1usize..=23,
+        jitter_exp in -6.0f64..-1.0,
+    ) {
+        let jitter = 10.0f64.powf(jitter_exp);
+        let points: Vec<Vec<f64>> = flat.chunks(3).take(n + 1).map(|c| c.to_vec()).collect();
+        // Factor of the full (n+1)-point kernel, from scratch.
+        let k_full = kernel_matrix(&points, jitter);
+        let l_full = k_full.cholesky().expect("jittered kernel is SPD");
+        // Factor of the leading n-point kernel, grown by one border row.
+        let k_head = kernel_matrix(&points[..n], jitter);
+        let mut l_inc = k_head.cholesky().expect("jittered kernel is SPD");
+        let border: Vec<f64> = (0..n).map(|i| k_full[(n, i)]).collect();
+        prop_assert!(
+            l_inc.cholesky_update_append(&border, k_full[(n, n)]),
+            "append refused a positive-definite border"
+        );
+        prop_assert!(
+            max_abs_diff(&l_inc, &l_full) < 1e-9,
+            "appended factor diverged from scratch refactorisation: {:e}",
+            max_abs_diff(&l_inc, &l_full)
+        );
+    }
+
+    #[test]
+    fn in_place_solves_invert_the_factorisation(
+        flat in prop::collection::vec(0.0f64..1.0, 3 * 24),
+        rhs in prop::collection::vec(-10.0f64..10.0, 24),
+        n in 2usize..=24,
+        jitter_exp in -5.0f64..-1.0,
+    ) {
+        let jitter = 10.0f64.powf(jitter_exp);
+        let points: Vec<Vec<f64>> = flat.chunks(3).take(n).map(|c| c.to_vec()).collect();
+        let k = kernel_matrix(&points, jitter);
+        let l = k.cholesky().expect("jittered kernel is SPD");
+        // α = K⁻¹y via the two in-place triangular solves the GP uses.
+        let mut alpha = rhs[..n].to_vec();
+        l.solve_lower_in_place(&mut alpha);
+        l.solve_lower_transpose_in_place(&mut alpha);
+        // Residual ‖Kα − y‖∞ scaled by the conditioning-driven magnitude.
+        let scale = 1.0 + alpha.iter().fold(0.0f64, |m, a| m.max(a.abs()));
+        for i in 0..n {
+            let kx: f64 = k.row(i).iter().zip(&alpha).map(|(a, b)| a * b).sum();
+            prop_assert!(
+                (kx - rhs[i]).abs() < 1e-7 * scale,
+                "row {i}: K·α = {kx}, want {}, α-scale {scale}",
+                rhs[i]
+            );
+        }
+        // The batched solve agrees with the vector solve column-by-column.
+        let mut batch = Matrix::zeros(n, 2);
+        for i in 0..n {
+            batch[(i, 0)] = rhs[i];
+            batch[(i, 1)] = rhs[n - 1 - i];
+        }
+        l.solve_lower_batch_in_place(&mut batch);
+        let mut col0: Vec<f64> = (0..n).map(|i| rhs[i]).collect();
+        l.solve_lower_in_place(&mut col0);
+        for i in 0..n {
+            prop_assert!(
+                (batch[(i, 0)] - col0[i]).abs() < 1e-9 * scale,
+                "batched vs vector solve diverged at row {i}"
+            );
+        }
+    }
+}

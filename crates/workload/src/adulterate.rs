@@ -28,13 +28,25 @@ fn injection_templates(n_tables: u32) -> Vec<TemplateSpec> {
         TemplateSpec::read(35.0, QueryKind::ComplexAggregate, span, (50_000, 500_000))
             .with_sort(150 * MIB, 400 * MIB),
         // Create/delete indexes.
-        TemplateSpec::write(15.0, QueryKind::CreateIndex, span, (100_000, 1_000_000), (0, 0))
-            .with_maintenance(100 * MIB, 1_024 * MIB)
-            .with_sort(10 * MIB, 60 * MIB),
+        TemplateSpec::write(
+            15.0,
+            QueryKind::CreateIndex,
+            span,
+            (100_000, 1_000_000),
+            (0, 0),
+        )
+        .with_maintenance(100 * MIB, 1_024 * MIB)
+        .with_sort(10 * MIB, 60 * MIB),
         TemplateSpec::read(10.0, QueryKind::DropIndex, span, (1, 1)),
         // Bulk deletes.
-        TemplateSpec::write(15.0, QueryKind::Delete, span, (10_000, 200_000), (10_000, 200_000))
-            .with_maintenance(80 * MIB, 400 * MIB),
+        TemplateSpec::write(
+            15.0,
+            QueryKind::Delete,
+            span,
+            (10_000, 200_000),
+            (10_000, 200_000),
+        )
+        .with_maintenance(80 * MIB, 400 * MIB),
         // Temp tables + aggregation over them.
         TemplateSpec::read(20.0, QueryKind::TempTable, span, (10_000, 300_000))
             .with_temp(50 * MIB, 600 * MIB)
@@ -60,7 +72,12 @@ impl AdulteratedWorkload {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
         let extras = injection_templates(base.catalog().len() as u32);
         let extra_weights = extras.iter().map(|t| t.weight).collect();
-        Self { base, extras, extra_weights, probability: p }
+        Self {
+            base,
+            extras,
+            extra_weights,
+            probability: p,
+        }
     }
 
     /// Adulterate with a custom injection set.
@@ -68,7 +85,12 @@ impl AdulteratedWorkload {
         assert!((0.0..=1.0).contains(&p));
         assert!(!extras.is_empty());
         let extra_weights = extras.iter().map(|t| t.weight).collect();
-        Self { base, extras, extra_weights, probability: p }
+        Self {
+            base,
+            extras,
+            extra_weights,
+            probability: p,
+        }
     }
 
     /// The underlying clean workload.
@@ -117,7 +139,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         for _ in 0..2_000 {
             let q = w.next_query(&mut rng);
-            assert!(!kinds_injected().contains(&q.kind), "injected {:?} at p=0", q.kind);
+            assert!(
+                !kinds_injected().contains(&q.kind),
+                "injected {:?} at p=0",
+                q.kind
+            );
         }
     }
 
@@ -163,7 +189,10 @@ mod tests {
             .collect();
         assert!(!sorts.is_empty());
         let max = *sorts.iter().max().unwrap();
-        assert!((300 * MIB..=400 * MIB).contains(&max), "max complex-agg sort {max}");
+        assert!(
+            (300 * MIB..=400 * MIB).contains(&max),
+            "max complex-agg sort {max}"
+        );
     }
 
     #[test]

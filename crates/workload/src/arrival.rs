@@ -61,16 +61,15 @@ impl ArrivalProcess {
 
                 // Smooth daily curve: a broad sinusoid with its crest inside
                 // the surge window plus a sharper surge bump.
-                let daily =
-                    0.5 + 0.5 * ((hour - 13.0) / 24.0 * 2.0 * std::f64::consts::PI).cos();
-                let surge_mid =
-                    (p.surge_start_hour as f64 + p.surge_end_hour as f64) / 2.0;
+                let daily = 0.5 + 0.5 * ((hour - 13.0) / 24.0 * 2.0 * std::f64::consts::PI).cos();
+                let surge_mid = (p.surge_start_hour as f64 + p.surge_end_hour as f64) / 2.0;
                 let surge_halfwidth =
                     ((p.surge_end_hour as f64 - p.surge_start_hour as f64) / 2.0).max(0.5);
                 let d = (hour - surge_mid) / surge_halfwidth;
                 let surge = (-d * d).exp();
 
-                let mut rate = p.base_rps + (p.peak_rps - p.base_rps) * (0.35 * daily + 0.65 * surge);
+                let mut rate =
+                    p.base_rps + (p.peak_rps - p.base_rps) * (0.35 * daily + 0.65 * surge);
                 if weekend {
                     rate *= p.weekend_factor;
                 }
@@ -135,7 +134,9 @@ mod tests {
     fn sampled_counts_track_rate() {
         let a = ArrivalProcess::Constant(500.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let total: u64 = (0..100).map(|i| a.sample_count(&mut rng, i * 1000, 1000)).sum();
+        let total: u64 = (0..100)
+            .map(|i| a.sample_count(&mut rng, i * 1000, 1000))
+            .sum();
         let mean = total as f64 / 100.0;
         assert!((mean - 500.0).abs() < 25.0, "mean {mean}");
     }

@@ -132,7 +132,8 @@ pub fn chbench(db_gb: f64) -> MixWorkload {
     let t = vec![
         TemplateSpec::write(32.0, QueryKind::Insert, (0, 16), (10, 40), (5, 15)),
         TemplateSpec::write(30.0, QueryKind::Update, (0, 16), (1, 4), (1, 3)),
-        TemplateSpec::read(6.0, QueryKind::OrderBy, (0, 16), (5, 30)).with_sort(200 * KIB, 700 * KIB),
+        TemplateSpec::read(6.0, QueryKind::OrderBy, (0, 16), (5, 30))
+            .with_sort(200 * KIB, 700 * KIB),
         // The analytic side.
         TemplateSpec::read(16.0, QueryKind::Aggregate, (0, 16), (50_000, 1_000_000))
             .with_sort(5 * MIB, 120 * MIB)
@@ -211,7 +212,11 @@ mod tests {
             (twitter(22.0), 22.0),
         ] {
             let actual = w.catalog().total_bytes() as f64 / GIB as f64;
-            assert!((actual - gb).abs() / gb < 0.05, "{}: {actual} GB vs {gb}", w.name());
+            assert!(
+                (actual - gb).abs() / gb < 0.05,
+                "{}: {actual} GB vs {gb}",
+                w.name()
+            );
         }
     }
 
@@ -219,11 +224,19 @@ mod tests {
     fn tpcc_is_write_heavy_ycsb_is_mixed() {
         let mut rng = StdRng::seed_from_u64(12);
         let tpcc_wl = tpcc(5.0);
-        let tp = (0..4_000).filter(|_| tpcc_wl.next_query(&mut rng).kind.is_write()).count();
+        let tp = (0..4_000)
+            .filter(|_| tpcc_wl.next_query(&mut rng).kind.is_write())
+            .count();
         let ycsb_wl = ycsb(5.0);
-        let yc = (0..4_000).filter(|_| ycsb_wl.next_query(&mut rng).kind.is_write()).count();
+        let yc = (0..4_000)
+            .filter(|_| ycsb_wl.next_query(&mut rng).kind.is_write())
+            .count();
         assert!(tp as f64 / 4000.0 > 0.85, "tpcc write fraction {}", tp);
-        assert!((yc as f64 / 4000.0 - 0.5).abs() < 0.05, "ycsb write fraction {}", yc);
+        assert!(
+            (yc as f64 / 4000.0 - 0.5).abs() < 0.05,
+            "ycsb write fraction {}",
+            yc
+        );
     }
 
     #[test]
@@ -236,9 +249,17 @@ mod tests {
 
     #[test]
     fn default_rates_match_paper() {
-        assert!(matches!(tpcc(26.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 3_300.0));
-        assert!(matches!(ycsb(20.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 5_000.0));
-        assert!(matches!(twitter(22.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 10_000.0));
-        assert!(matches!(wikipedia(12.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 1_000.0));
+        assert!(
+            matches!(tpcc(26.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 3_300.0)
+        );
+        assert!(
+            matches!(ycsb(20.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 5_000.0)
+        );
+        assert!(
+            matches!(twitter(22.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 10_000.0)
+        );
+        assert!(
+            matches!(wikipedia(12.0).default_arrival(), ArrivalProcess::Constant(r) if *r == 1_000.0)
+        );
     }
 }

@@ -127,7 +127,10 @@ impl MixWorkload {
         catalog: Catalog,
         default_arrival: ArrivalProcess,
     ) -> Self {
-        assert!(!templates.is_empty(), "a workload needs at least one template");
+        assert!(
+            !templates.is_empty(),
+            "a workload needs at least one template"
+        );
         let weights = templates.iter().map(|t| t.weight).collect();
         let n_tables = catalog.len().max(1);
         Self {
@@ -192,7 +195,10 @@ impl MixWorkload {
         q.temp_bytes = log_uniform(rng, t.temp_bytes.0, t.temp_bytes.1);
         q.parallelizable = t.parallelizable;
         q.locality = t.locality;
-        q.literals = [rng.gen::<i64>().rem_euclid(1_000_000), rng.gen::<i64>().rem_euclid(1_000)];
+        q.literals = [
+            rng.gen::<i64>().rem_euclid(1_000_000),
+            rng.gen::<i64>().rem_euclid(1_000),
+        ];
         q
     }
 }

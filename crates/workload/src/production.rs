@@ -42,15 +42,26 @@ pub fn production() -> MixWorkload {
         TemplateSpec::read(selects * 0.09, QueryKind::Join, span, (10_000, 500_000))
             .with_sort(2 * MIB, 80 * MIB)
             .parallel(),
-        TemplateSpec::read(selects * 0.05, QueryKind::Aggregate, span, (20_000, 800_000))
-            .with_sort(4 * MIB, 120 * MIB)
-            .parallel(),
+        TemplateSpec::read(
+            selects * 0.05,
+            QueryKind::Aggregate,
+            span,
+            (20_000, 800_000),
+        )
+        .with_sort(4 * MIB, 120 * MIB)
+        .parallel(),
         TemplateSpec::read(selects * 0.01, QueryKind::OrderBy, span, (5_000, 100_000))
             .with_sort(MIB, 40 * MIB),
         // Updates and rare deletes.
         TemplateSpec::write(updates, QueryKind::Update, span, (1, 20), (1, 10)),
-        TemplateSpec::write(deletes, QueryKind::Delete, span, (100, 10_000), (100, 10_000))
-            .with_maintenance(512 * KIB, 16 * MIB),
+        TemplateSpec::write(
+            deletes,
+            QueryKind::Delete,
+            span,
+            (100, 10_000),
+            (100, 10_000),
+        )
+        .with_maintenance(512 * KIB, 16 * MIB),
     ];
     MixWorkload::new(
         "production",
@@ -80,8 +91,9 @@ mod tests {
         let w = production();
         let mut rng = StdRng::seed_from_u64(31);
         let n = 20_000;
-        let inserts =
-            (0..n).filter(|_| w.next_query(&mut rng).kind == QueryKind::Insert).count();
+        let inserts = (0..n)
+            .filter(|_| w.next_query(&mut rng).kind == QueryKind::Insert)
+            .count();
         let frac = inserts as f64 / n as f64;
         // 41M of 41.1M daily queries are inserts ⇒ ≥99%.
         assert!(frac > 0.985, "insert fraction {frac}");

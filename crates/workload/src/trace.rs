@@ -165,12 +165,18 @@ impl Trace {
             let num = |idx: usize, field: &'static str| -> Result<u64, TraceParseError> {
                 fields[idx]
                     .parse::<u64>()
-                    .map_err(|_| TraceParseError::BadField { line: line_no, field })
+                    .map_err(|_| TraceParseError::BadField {
+                        line: line_no,
+                        field,
+                    })
             };
             let kind_idx = num(1, "kind")? as usize;
             let kind = *QueryKind::ALL
                 .get(kind_idx)
-                .ok_or(TraceParseError::BadField { line: line_no, field: "kind" })?;
+                .ok_or(TraceParseError::BadField {
+                    line: line_no,
+                    field: "kind",
+                })?;
             let mut q = QueryProfile::new(kind, num(2, "table")? as u32);
             q.rows_examined = num(4, "rows")?;
             q.rows_written = num(5, "writes")?;
@@ -180,22 +186,34 @@ impl Trace {
             q.parallelizable = num(9, "par")? != 0;
             q.locality = fields[10]
                 .parse::<f64>()
-                .map_err(|_| TraceParseError::BadField { line: line_no, field: "loc" })?;
-            for (slot, (idx, field)) in
-                q.literals.iter_mut().zip([(11usize, "lit0"), (12, "lit1")])
+                .map_err(|_| TraceParseError::BadField {
+                    line: line_no,
+                    field: "loc",
+                })?;
+            for (slot, (idx, field)) in q.literals.iter_mut().zip([(11usize, "lit0"), (12, "lit1")])
             {
                 *slot = fields[idx]
                     .parse::<i64>()
-                    .map_err(|_| TraceParseError::BadField { line: line_no, field })?;
+                    .map_err(|_| TraceParseError::BadField {
+                        line: line_no,
+                        field,
+                    })?;
             }
-            events.push(TraceEvent { at: num(0, "at")?, query: q, count: num(3, "count")? });
+            events.push(TraceEvent {
+                at: num(0, "at")?,
+                query: q,
+                count: num(3, "count")?,
+            });
         }
         Ok(Self { events })
     }
 
     /// A replay cursor over the trace.
     pub fn replay(&self) -> TraceReplay<'_> {
-        TraceReplay { trace: self, next: 0 }
+        TraceReplay {
+            trace: self,
+            next: 0,
+        }
     }
 }
 
@@ -228,7 +246,14 @@ mod tests {
     use crate::benchmarks::tpcc;
 
     fn record_small() -> Trace {
-        Trace::record(&tpcc(0.5), &ArrivalProcess::Constant(100.0), 10_000, 1_000, 8, 7)
+        Trace::record(
+            &tpcc(0.5),
+            &ArrivalProcess::Constant(100.0),
+            10_000,
+            1_000,
+            8,
+            7,
+        )
     }
 
     #[test]
@@ -256,10 +281,11 @@ mod tests {
             Err(TraceParseError::BadFieldCount { line: 2 })
         );
         assert_eq!(
-            Trace::from_bytes(&Bytes::from_static(
-                b"h\n1,99,0,1,1,0,0,0,0,0,2.0,0,0\n"
-            )),
-            Err(TraceParseError::BadField { line: 2, field: "kind" })
+            Trace::from_bytes(&Bytes::from_static(b"h\n1,99,0,1,1,0,0,0,0,0,2.0,0,0\n")),
+            Err(TraceParseError::BadField {
+                line: 2,
+                field: "kind"
+            })
         );
         let not_utf8 = Bytes::from(vec![0xff, 0xfe, 0x00]);
         assert_eq!(Trace::from_bytes(&not_utf8), Err(TraceParseError::NotUtf8));
@@ -289,8 +315,22 @@ mod tests {
 
     #[test]
     fn recording_is_deterministic_per_seed() {
-        let a = Trace::record(&tpcc(0.5), &ArrivalProcess::Constant(50.0), 5_000, 1_000, 4, 9);
-        let b = Trace::record(&tpcc(0.5), &ArrivalProcess::Constant(50.0), 5_000, 1_000, 4, 9);
+        let a = Trace::record(
+            &tpcc(0.5),
+            &ArrivalProcess::Constant(50.0),
+            5_000,
+            1_000,
+            4,
+            9,
+        );
+        let b = Trace::record(
+            &tpcc(0.5),
+            &ArrivalProcess::Constant(50.0),
+            5_000,
+            1_000,
+            4,
+            9,
+        );
         assert_eq!(a, b);
     }
 }

@@ -73,7 +73,10 @@ fn main() {
     for (name, policy) in [
         ("TDE-driven", TuningPolicy::TdeDriven),
         ("periodic 5 min", TuningPolicy::Periodic(5 * MILLIS_PER_MIN)),
-        ("periodic 10 min", TuningPolicy::Periodic(10 * MILLIS_PER_MIN)),
+        (
+            "periodic 10 min",
+            TuningPolicy::Periodic(10 * MILLIS_PER_MIN),
+        ),
     ] {
         let mut sim = build_fleet(policy, 7);
         // Bootstrap the BO tuner offline, as the paper does (§5), so its

@@ -77,13 +77,16 @@ fn main() {
     // --- The scheduled window opens --------------------------------------
     let now = rs.master().now();
     assert!(schedule.in_window(now), "one hour in, the window is open");
-    println!("\nscheduled downtime window open at t={:.1} h", now as f64 / MILLIS_PER_HOUR as f64);
+    println!(
+        "\nscheduled downtime window open at t={:.1} h",
+        now as f64 / MILLIS_PER_HOUR as f64
+    );
 
     let upper_limit = InstanceType::M4XLarge.db_mem_cap() * 0.5; // buffer's share of the pool
     let history: Vec<f64> = vec![]; // no recommendation history yet
     let current = rs.master().knobs().get(shared);
-    let new_value = plan_buffer_update(current, last_ws as f64, upper_limit, &history, 0)
-        .unwrap_or(current);
+    let new_value =
+        plan_buffer_update(current, last_ws as f64, upper_limit, &history, 0).unwrap_or(current);
     println!(
         "§4 buffer rule: working set {:.0} MiB, cap {:.1} GiB -> new shared_buffers {:.0} MiB",
         last_ws as f64 / MIB,
@@ -93,7 +96,13 @@ fn main() {
 
     // Restart-class apply during the window; persist afterwards.
     let report = rs
-        .apply(&[ConfigChange { knob: shared, value: new_value }], ApplyMode::Restart)
+        .apply(
+            &[ConfigChange {
+                knob: shared,
+                value: new_value,
+            }],
+            ApplyMode::Restart,
+        )
         .expect("maintenance apply");
     println!(
         "restart applied ({} ms downtime), buffer now {:.0} MiB",

@@ -11,7 +11,9 @@
 //! ```
 
 use autodbaas::prelude::*;
-use autodbaas::tde::{DriftConfig, DriftDetector, DriftVerdict, LearnedDetector, TdeConfig, TemplateStore};
+use autodbaas::tde::{
+    DriftConfig, DriftDetector, DriftVerdict, LearnedDetector, TdeConfig, TemplateStore,
+};
 use autodbaas::telemetry::{MILLIS_PER_HOUR, MILLIS_PER_MIN};
 use rand::rngs::StdRng;
 

@@ -54,7 +54,11 @@ fn main() {
             "minute {minute}: {:>6.0} qps, {} throttle(s){}",
             qps,
             report.throttles.len(),
-            if report.tuning_request { "  -> tuning request" } else { "" }
+            if report.tuning_request {
+                "  -> tuning request"
+            } else {
+                ""
+            }
         );
         // Capture the TDE-certified sample for the tuner.
         if report.tuning_request {
@@ -145,13 +149,17 @@ fn main() {
         }
         let report = tde.run(&mut db, Some(&repo));
         throttles_after += report.throttles.len();
-        qps_after +=
-            db.metrics_snapshot().delta(&before)[autodbaas::simdb::MetricId::QueriesExecuted.index()] / 60.0;
+        qps_after += db.metrics_snapshot().delta(&before)
+            [autodbaas::simdb::MetricId::QueriesExecuted.index()]
+            / 60.0;
     }
     println!(
         "\nthrottles in 5 minutes: before tuning = {throttles_before}, after = {throttles_after}"
     );
-    println!("mean throughput after tuning: {:.0} qps (demand 60 qps)", qps_after / 5.0);
+    println!(
+        "mean throughput after tuning: {:.0} qps (demand 60 qps)",
+        qps_after / 5.0
+    );
     let counts = tde.throttle_counts();
     println!(
         "cumulative throttles by class: memory={} background-writer={} async/planner={}",

@@ -42,7 +42,11 @@ fn main() {
         16,
         42,
     );
-    println!("recorded {} events / {} queries", trace.len(), trace.total_queries());
+    println!(
+        "recorded {} events / {} queries",
+        trace.len(),
+        trace.total_queries()
+    );
 
     // --- Export and re-import --------------------------------------------
     let bytes = trace.to_bytes();

@@ -24,7 +24,12 @@ fn main() {
     for wl in [&mut ycsb_wl, &mut tpcc_wl, &mut tpch_wl] {
         wl.rebase_tables(offset);
         for t in wl.catalog().clone().iter() {
-            catalog.add_table(format!("{}_{}", wl.name(), t.name), t.rows, t.row_bytes, t.indexes);
+            catalog.add_table(
+                format!("{}_{}", wl.name(), t.name),
+                t.rows,
+                t.row_bytes,
+                t.indexes,
+            );
         }
         offset += wl.catalog().len() as u32;
     }
@@ -40,10 +45,16 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2);
 
     println!("== Workload-shift detection ==");
-    println!("{:<8} {:<10} {:>7} {:>7} {:>7}  detected classes", "minute", "workload", "mem", "bgwr", "async");
+    println!(
+        "{:<8} {:<10} {:>7} {:>7} {:>7}  detected classes",
+        "minute", "workload", "mem", "bgwr", "async"
+    );
 
-    let phases: [(&str, &MixWorkload, u64, u64); 3] =
-        [("ycsb", &ycsb_wl, 300, 6), ("tpcc", &tpcc_wl, 200, 6), ("tpch", &tpch_wl, 4, 6)];
+    let phases: [(&str, &MixWorkload, u64, u64); 3] = [
+        ("ycsb", &ycsb_wl, 300, 6),
+        ("tpcc", &tpcc_wl, 200, 6),
+        ("tpch", &tpch_wl, 4, 6),
+    ];
     let mut minute = 0u64;
     for (name, wl, rate, minutes) in phases {
         // The TDE is NOT told about the switch; detection is organic.
@@ -70,7 +81,11 @@ fn main() {
                 after[0] - before[0],
                 after[1] - before[1],
                 after[2] - before[2],
-                if classes.is_empty() { "-".to_string() } else { classes.join(", ") }
+                if classes.is_empty() {
+                    "-".to_string()
+                } else {
+                    classes.join(", ")
+                }
             );
             minute += 1;
         }

@@ -18,7 +18,9 @@ use rand::rngs::StdRng;
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Parse a flag's value or exit with a readable error (no panics at the
@@ -106,7 +108,10 @@ fn census() {
         _ => DbFlavor::Postgres,
     };
     println!("throttles/window by class on {flavor} (10 windows, no tuning):");
-    println!("{:<14} {:>8} {:>10} {:>8}", "workload", "memory", "bgwriter", "async");
+    println!(
+        "{:<14} {:>8} {:>10} {:>8}",
+        "workload", "memory", "bgwriter", "async"
+    );
     for (name, rate) in [("tpcc", 1_600u64), ("wikipedia", 800), ("ycsb", 2_000)] {
         let wl = autodbaas::workload::by_name(name).unwrap();
         let mut db = SimDatabase::new(
@@ -160,7 +165,11 @@ fn fleet() {
     };
     // Same observation cadence as the Fig. 9 harness (5-minute windows).
     let mut sim = FleetSim::new(
-        FleetConfig { seed: 7, tde_period_ms: 5 * MILLIS_PER_MIN, ..FleetConfig::default() },
+        FleetConfig {
+            seed: 7,
+            tde_period_ms: 5 * MILLIS_PER_MIN,
+            ..FleetConfig::default()
+        },
         4,
     );
     sim.seed_offline_training(&tpcc(1.0), DbFlavor::Postgres, 16);
@@ -211,7 +220,9 @@ fn entropy() {
         h_plain.record(&plain.next_query(&mut rng));
         h_adult.record(&adulterated.next_query(&mut rng));
     }
-    println!("normalized entropy: plain tpcc = {:.3}, adulterated(p={p}) = {:.3}",
+    println!(
+        "normalized entropy: plain tpcc = {:.3}, adulterated(p={p}) = {:.3}",
         normalized_entropy(h_plain.counts()),
-        normalized_entropy(h_adult.counts()));
+        normalized_entropy(h_adult.counts())
+    );
 }

@@ -81,7 +81,7 @@ fn hybrid_tuner_promotes_from_rl_to_bo_as_samples_accumulate() {
     let profile = KnobProfile::postgres();
     let mut db = SimDatabase::new(
         DbFlavor::Postgres,
-        InstanceType::M4XLarge,
+        InstanceType::M4Large,
         DiskKind::Ssd,
         wl.base().catalog().clone(),
         4,
@@ -89,7 +89,10 @@ fn hybrid_tuner_promotes_from_rl_to_bo_as_samples_accumulate() {
     let mut tde = Tde::new(&profile, TdeConfig::default(), 5);
     let mut repo = WorkloadRepository::new();
     let wid = repo.register("live", false);
-    let cfg = HybridConfig { bo_takeover_samples: 4, ..HybridConfig::default() };
+    let cfg = HybridConfig {
+        bo_takeover_samples: 4,
+        ..HybridConfig::default()
+    };
     let mut tuner = HybridTuner::new(MetricId::ALL.len(), profile.len(), cfg, 6);
     let mut rng = StdRng::seed_from_u64(7);
 
@@ -113,10 +116,8 @@ fn hybrid_tuner_promotes_from_rl_to_bo_as_samples_accumulate() {
                     quality: SampleQuality::High,
                 },
             );
-            let state: Vec<f64> =
-                delta.iter().map(|&x| (1.0 + x.abs()).ln() / 20.0).collect();
-            let focus: Vec<usize> =
-                report.throttles.iter().map(|t| t.knob.0 as usize).collect();
+            let state: Vec<f64> = delta.iter().map(|&x| (1.0 + x.abs()).ln() / 20.0).collect();
+            let focus: Vec<usize> = report.throttles.iter().map(|t| t.knob.0 as usize).collect();
             let (config, backend) = tuner.recommend(&repo, wid, &state, &focus);
             backends.push(backend);
             // Apply it so subsequent samples vary.
@@ -128,7 +129,10 @@ fn hybrid_tuner_promotes_from_rl_to_bo_as_samples_accumulate() {
             }
         }
     }
-    assert!(backends.len() >= 4, "the demanding workload must keep asking ({backends:?})");
+    assert!(
+        backends.len() >= 4,
+        "the demanding workload must keep asking ({backends:?})"
+    );
     assert_eq!(backends[0], HybridBackend::Rl, "cold start is served by RL");
     assert!(
         backends.contains(&HybridBackend::Bo),

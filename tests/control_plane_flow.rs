@@ -32,8 +32,9 @@ fn recommendation_applies_to_whole_service_and_persists() {
 
     // A mid-range recommendation for every knob.
     let unit = vec![0.5; profile.len()];
-    let (creds, report) =
-        dfa.apply_recommendation(&orch, id, &mut rs, &unit, false).expect("apply ok");
+    let (creds, report) = dfa
+        .apply_recommendation(&orch, id, &mut rs, &unit, false)
+        .expect("apply ok");
     assert!(creds.user.starts_with("admin-"));
     assert!(!report.applied.is_empty());
 
@@ -65,7 +66,9 @@ fn slave_crash_rejects_recommendation_and_reconciler_restores_consistency() {
     // and the master untouched.
     rs.inject_slave_crash(1);
     let unit = vec![0.9; profile.len()];
-    assert!(dfa.apply_recommendation(&orch, id, &mut rs, &unit, false).is_err());
+    assert!(dfa
+        .apply_recommendation(&orch, id, &mut rs, &unit, false)
+        .is_err());
     assert_eq!(rs.master().knobs().get(wm), persisted_value);
 
     // Slave 0 applied before the crash → drift. The reconciler (watcher
@@ -75,8 +78,14 @@ fn slave_crash_rejects_recommendation_and_reconciler_restores_consistency() {
     // re-checking over time; drift on slaves only is healed through a full
     // apply once the master deviates too. Force master drift to trigger:
     rs.master_mut().set_knob_direct(wm, persisted_value * 3.0);
-    assert!(matches!(rec.check(&orch, &mut rs, 1_000), ReconcileOutcome::DriftObserved { .. }));
-    assert_eq!(rec.check(&orch, &mut rs, 7_000), ReconcileOutcome::Reconciled);
+    assert!(matches!(
+        rec.check(&orch, &mut rs, 1_000),
+        ReconcileOutcome::DriftObserved { .. }
+    ));
+    assert_eq!(
+        rec.check(&orch, &mut rs, 7_000),
+        ReconcileOutcome::Reconciled
+    );
     assert_eq!(rs.master().knobs().get(wm), persisted_value);
     for s in rs.slaves() {
         assert_eq!(s.knobs().get(wm), persisted_value);
@@ -97,17 +106,33 @@ fn restart_bound_knob_flows_through_maintenance_window() {
     let spec_sb = profile.spec(shared);
     unit[shared.0 as usize] = (2.0 * GIB - spec_sb.min) / (spec_sb.max - spec_sb.min);
     let before = rs.master().knobs().get(shared);
-    let (_, report) = dfa.apply_recommendation(&orch, id, &mut rs, &unit, false).unwrap();
+    let (_, report) = dfa
+        .apply_recommendation(&orch, id, &mut rs, &unit, false)
+        .unwrap();
     assert!(report.deferred.contains(&shared));
-    assert_eq!(rs.master().knobs().get(shared), before, "no live change outside the window");
+    assert_eq!(
+        rs.master().knobs().get(shared),
+        before,
+        "no live change outside the window"
+    );
 
     // Window opens: the §4 buffer rule computes the value, the apply runs
     // restart-class, staged values land.
-    let schedule = MaintenanceSchedule { every_ms: 86_400_000, duration_ms: 1_800_000, first_at: 0 };
+    let schedule = MaintenanceSchedule {
+        every_ms: 86_400_000,
+        duration_ms: 1_800_000,
+        first_at: 0,
+    };
     assert!(schedule.in_window(rs.master().now()));
     let target = plan_buffer_update(before, 3.0 * GIB, 6.0 * GIB, &[], 0).unwrap_or(before);
     let report = rs
-        .apply(&[ConfigChange { knob: shared, value: target }], ApplyMode::Restart)
+        .apply(
+            &[ConfigChange {
+                knob: shared,
+                value: target,
+            }],
+            ApplyMode::Restart,
+        )
         .expect("maintenance apply");
     assert!(report.downtime_ms > 0);
     assert!((rs.master().knobs().get(shared) - target).abs() < 1.0);
@@ -122,7 +147,9 @@ fn mysql_services_flow_through_the_same_control_plane() {
     let dfa = DataFederationAgent::new();
     let profile = rs.master().profile().clone();
     let unit = vec![0.4; profile.len()];
-    let (_, report) = dfa.apply_recommendation(&orch, id, &mut rs, &unit, false).unwrap();
+    let (_, report) = dfa
+        .apply_recommendation(&orch, id, &mut rs, &unit, false)
+        .unwrap();
     assert!(!report.applied.is_empty());
     let sort_buf = profile.lookup("sort_buffer_size").unwrap();
     let spec_sb = profile.spec(sort_buf);

@@ -38,7 +38,10 @@ fn tde_detects_then_tuner_relieves_work_mem_starvation() {
     // Phase 1: detect.
     drive(&mut db, &wl, &mut rng, 60, 100);
     let report = tde.run(&mut db, None);
-    assert!(report.tuning_request, "starved work areas must raise a tuning request");
+    assert!(
+        report.tuning_request,
+        "starved work areas must raise a tuning request"
+    );
     let memory_throttles: Vec<_> = report
         .throttles
         .iter()
@@ -111,7 +114,13 @@ fn bo_tuner_recommendation_improves_throughput_under_saturation() {
     }
 
     // Recommend and compare against defaults on a fresh instance.
-    let mut tuner = BoTuner::new(BoConfig { kappa: 0.1, ..BoConfig::default() }, 9);
+    let mut tuner = BoTuner::new(
+        BoConfig {
+            kappa: 0.1,
+            ..BoConfig::default()
+        },
+        9,
+    );
     let rec = tuner.recommend(&repo, wid).expect("trained");
 
     let measure = |unit: Option<&[f64]>| {
@@ -176,5 +185,8 @@ fn plan_upgrade_fires_on_undersized_instance_and_points_to_bigger_plan() {
         plan_upgrades > 0 || suppressed_or_upgraded > 0,
         "the entropy filter must stop asking the tuner for an unfixable instance"
     );
-    assert_eq!(InstanceType::T2Small.upgrade(), Some(InstanceType::T2Medium));
+    assert_eq!(
+        InstanceType::T2Small.upgrade(),
+        Some(InstanceType::T2Medium)
+    );
 }

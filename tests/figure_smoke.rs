@@ -25,7 +25,10 @@ fn drive(db: &mut SimDatabase, wl: &dyn QuerySource, rng: &mut StdRng, secs: u64
 fn fig02_shape_memory_demands() {
     let mut rng = StdRng::seed_from_u64(1);
     let max_sort = |wl: &dyn QuerySource, rng: &mut StdRng| {
-        (0..2_000).map(|_| wl.next_query(rng).total_memory_demand()).max().unwrap()
+        (0..2_000)
+            .map(|_| wl.next_query(rng).total_memory_demand())
+            .max()
+            .unwrap()
     };
     let tpcc_demand = max_sort(&tpcc(1.0), &mut rng);
     let ycsb_demand = max_sort(&ycsb(1.0), &mut rng);
@@ -126,7 +129,10 @@ fn fig09_shape_tde_requests_sparser_than_periodic() {
         }
     }
     // A healthy TPCC instance barely ever asks; periodic would ask 20 times.
-    assert!(tde_requests < windows / 2, "tde asked {tde_requests}/{windows} windows");
+    assert!(
+        tde_requests < windows / 2,
+        "tde asked {tde_requests}/{windows} windows"
+    );
 }
 
 /// Fig. 14: a workload switch registers within two observation windows.
@@ -145,7 +151,13 @@ fn fig14_shape_switch_detected_fast() {
     tpch_wl.rebase_tables(offset);
     let _ = &mut ycsb_wl;
 
-    let mut db = SimDatabase::new(DbFlavor::Postgres, InstanceType::M4XLarge, DiskKind::Ssd, catalog, 8);
+    let mut db = SimDatabase::new(
+        DbFlavor::Postgres,
+        InstanceType::M4XLarge,
+        DiskKind::Ssd,
+        catalog,
+        8,
+    );
     let mut tde = Tde::new(&db.profile().clone(), TdeConfig::default(), 9);
     let mut rng = StdRng::seed_from_u64(10);
     for _ in 0..5 {
@@ -179,7 +191,7 @@ fn fig12_shape_gate_admits_only_throttle_windows() {
             DiskKind::Ssd,
             catalog,
             Box::new(wl),
-            ArrivalProcess::Constant(50.0), // idle-ish: never throttles
+            ArrivalProcess::Constant(5.0), // idle-ish: never throttles
             TuningPolicy::TdeDriven,
             WorkloadId(0),
             TdeConfig::default(),
@@ -188,12 +200,19 @@ fn fig12_shape_gate_admits_only_throttle_windows() {
     };
     let live_samples = |gate: bool| {
         let mut sim = FleetSim::new(
-            FleetConfig { gate_samples_with_tde: gate, ..FleetConfig::default() },
+            FleetConfig {
+                gate_samples_with_tde: gate,
+                ..FleetConfig::default()
+            },
             1,
         );
         sim.add_node(mk_node(1), "idle");
         sim.run_for(30 * MILLIS_PER_MIN);
-        sim.repo.iter().filter(|w| !w.offline).map(|w| w.samples.len()).sum::<usize>()
+        sim.repo
+            .iter()
+            .filter(|w| !w.offline)
+            .map(|w| w.samples.len())
+            .sum::<usize>()
     };
     let gated = live_samples(true);
     let ungated = live_samples(false);
@@ -224,7 +243,10 @@ fn throttle_census_is_deterministic() {
             drive(&mut db, &wl, &mut rng, 30, 100);
             let _ = tde.run(&mut db, None);
         }
-        (tde.throttle_counts(), db.metrics().get(MetricId::QueriesExecuted) as u64)
+        (
+            tde.throttle_counts(),
+            db.metrics().get(MetricId::QueriesExecuted) as u64,
+        )
     };
     assert_eq!(run(), run());
 }

@@ -31,12 +31,19 @@ fn node(policy: TuningPolicy, adulterated: bool, seed: u64) -> ManagedDatabase {
 
 fn fleet(policy: TuningPolicy, gate: bool, seed: u64) -> FleetSim {
     let mut sim = FleetSim::new(
-        FleetConfig { gate_samples_with_tde: gate, seed, ..FleetConfig::default() },
+        FleetConfig {
+            gate_samples_with_tde: gate,
+            seed,
+            ..FleetConfig::default()
+        },
         3,
     );
     sim.seed_offline_training(&tpcc(0.5), DbFlavor::Postgres, 10);
     for i in 0..6 {
-        sim.add_node(node(policy, i % 3 == 0, seed ^ (i * 101) as u64), &format!("db-{i}"));
+        sim.add_node(
+            node(policy, i % 3 == 0, seed ^ (i * 101) as u64),
+            &format!("db-{i}"),
+        );
     }
     sim
 }
@@ -58,7 +65,10 @@ fn tde_policy_undercuts_periodic_polling() {
         "TDE-driven ({tde_reqs}) must undercut 5-min periodic ({periodic_reqs})"
     );
     // And the TDE fleet's tuner queue stays shorter.
-    assert!(tde_sim.director.backlog_ms(tde_sim.now()) <= periodic_sim.director.backlog_ms(periodic_sim.now()));
+    assert!(
+        tde_sim.director.backlog_ms(tde_sim.now())
+            <= periodic_sim.director.backlog_ms(periodic_sim.now())
+    );
 }
 
 #[test]
@@ -107,7 +117,10 @@ fn recommendations_move_struggling_databases_forward() {
         late >= early * 0.8,
         "tuning must not regress the struggling node ({early:.0} -> {late:.0} qps)"
     );
-    assert!(sim.nodes[0].prev_action.is_some(), "a recommendation should have been applied");
+    assert!(
+        sim.nodes[0].prev_action.is_some(),
+        "a recommendation should have been applied"
+    );
 }
 
 #[test]
@@ -117,7 +130,10 @@ fn fleet_simulation_is_deterministic_under_seed() {
         sim.run_for(20 * MILLIS_PER_MIN);
         (
             sim.director.total_requests(),
-            sim.nodes.iter().map(|n| n.queries_submitted).collect::<Vec<_>>(),
+            sim.nodes
+                .iter()
+                .map(|n| n.queries_submitted)
+                .collect::<Vec<_>>(),
         )
     };
     assert_eq!(run(5), run(5));

@@ -6,8 +6,7 @@
 
 use autodbaas::ctrlplane::{
     plan_buffer_update, ConfigDirector, DataFederationAgent, MaintenanceSchedule,
-    ReconcileOutcome, Reconciler, RecommendationMeter, ServiceOrchestrator, ServiceSpec,
-    TunerKind,
+    RecommendationMeter, ReconcileOutcome, Reconciler, ServiceOrchestrator, ServiceSpec, TunerKind,
 };
 use autodbaas::prelude::*;
 use autodbaas::tde::{Tde, TdeConfig};
@@ -39,7 +38,13 @@ fn a_day_in_the_life_of_a_managed_service() {
     let mut tde = Tde::new(&profile, TdeConfig::default(), 1);
     let mut repo = WorkloadRepository::new();
     let wid = repo.register("svc", false);
-    let mut tuner = BoTuner::new(BoConfig { kappa: 0.2, ..BoConfig::default() }, 3);
+    let mut tuner = BoTuner::new(
+        BoConfig {
+            kappa: 0.2,
+            ..BoConfig::default()
+        },
+        3,
+    );
     let mut rng: StdRng = SeedableRng::seed_from_u64(4);
 
     let mut drive = |rs: &mut autodbaas::ctrlplane::ReplicaSet, rng: &mut StdRng, secs: u64| {
@@ -55,7 +60,10 @@ fn a_day_in_the_life_of_a_managed_service() {
     // --- 08:05 — the TDE notices the starved work areas --------------------
     drive(&mut rs, &mut rng, 120);
     let report = tde.run(rs.master_mut(), Some(&repo));
-    assert!(report.tuning_request, "the adulterated workload must throttle");
+    assert!(
+        report.tuning_request,
+        "the adulterated workload must throttle"
+    );
     let focus: Vec<usize> = report.throttles.iter().map(|t| t.knob.0 as usize).collect();
 
     // --- 08:06..09:00 — tuning loop with samples flowing through the gate --
@@ -66,8 +74,7 @@ fn a_day_in_the_life_of_a_managed_service() {
         let delta = rs.master().metrics_snapshot().delta(&before);
         let r = tde.run(rs.master_mut(), Some(&repo));
         if r.tuning_request {
-            let qps =
-                delta[autodbaas::simdb::MetricId::QueriesExecuted.index()] / 60.0;
+            let qps = delta[autodbaas::simdb::MetricId::QueriesExecuted.index()] / 60.0;
             repo.add_sample(
                 wid,
                 Sample {
@@ -93,7 +100,10 @@ fn a_day_in_the_life_of_a_managed_service() {
     }
     assert!(applied_any, "at least one recommendation must land");
     assert!(director.total_requests() >= 1);
-    assert!(meter.tenant_cost(service) > 0.0, "tuning compute is metered");
+    assert!(
+        meter.tenant_cost(service) > 0.0,
+        "tuning compute is metered"
+    );
     // Config is consistent across the service and persisted.
     let wm = profile.lookup("work_mem").unwrap();
     for s in rs.slaves() {
@@ -107,7 +117,9 @@ fn a_day_in_the_life_of_a_managed_service() {
     // --- 14:00 — a slave crashes during the next apply ---------------------
     rs.inject_slave_crash(1);
     let bad = vec![0.9; profile.len()];
-    assert!(dfa.apply_recommendation(&orch, service, &mut rs, &bad, false).is_err());
+    assert!(dfa
+        .apply_recommendation(&orch, service, &mut rs, &bad, false)
+        .is_err());
     // The master still matches the persisted config (the rejected
     // recommendation never reached it).
     assert_eq!(
@@ -147,7 +159,10 @@ fn a_day_in_the_life_of_a_managed_service() {
     let target = plan_buffer_update(current, ws, 6.0 * GIB, &[], 0).unwrap_or(current);
     let report = rs
         .apply_with_lag_guard(
-            &[ConfigChange { knob: shared, value: target }],
+            &[ConfigChange {
+                knob: shared,
+                value: target,
+            }],
             ApplyMode::Restart,
             u64::MAX,
         )

@@ -3,9 +3,9 @@
 
 use autodbaas::prelude::*;
 use autodbaas::simdb::{Catalog, QueryKind};
+use autodbaas::tde::{classify, normalize_sql, ClassHistogram, Reservoir, TemplateStore};
 use autodbaas::telemetry::entropy::{normalized_entropy, paper_entropy_score, shannon_entropy};
 use autodbaas::telemetry::stats::percentile;
-use autodbaas::tde::{classify, normalize_sql, ClassHistogram, Reservoir, TemplateStore};
 use autodbaas::tuner::{denormalize_config, normalize_config};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -86,7 +86,10 @@ fn saturation_sheds_load_and_tuning_restores_it() {
     let (exec_default, dropped_default) = run(false);
     let (exec_tuned, dropped_tuned) = run(true);
     assert!(dropped_default > 0.0, "defaults must shed under spill load");
-    assert!(exec_tuned > exec_default, "tuning must raise completed volume");
+    assert!(
+        exec_tuned > exec_default,
+        "tuning must raise completed volume"
+    );
     assert!(dropped_tuned < dropped_default);
 }
 
@@ -116,7 +119,10 @@ fn wal_trigger_controls_checkpoint_cadence() {
         small_wal > big_wal,
         "a tiny WAL trigger must checkpoint more often ({small_wal} vs {big_wal})"
     );
-    assert!(small_wal >= 2, "write load must trip the small trigger repeatedly");
+    assert!(
+        small_wal >= 2,
+        "write load must trip the small trigger repeatedly"
+    );
 }
 
 /// The split-disk layout isolates WAL/stats from the data disk under real
@@ -183,10 +189,28 @@ fn mysql_defaults_spill_where_postgres_does_not() {
     q.rows_examined = 1_000;
     q.sort_bytes = 600 * 1024; // the paper's ~0.5 MB TPCC sorts
 
-    let pg = SimDatabase::new(DbFlavor::Postgres, InstanceType::M4Large, DiskKind::Ssd, catalog.clone(), 9);
-    let my = SimDatabase::new(DbFlavor::MySql, InstanceType::M4Large, DiskKind::Ssd, catalog, 9);
-    assert!(pg.plan(&q).spill.is_none(), "4 MiB work_mem absorbs a 600 KiB sort");
-    assert!(my.plan(&q).spill.is_some(), "256 KiB sort_buffer_size spills it");
+    let pg = SimDatabase::new(
+        DbFlavor::Postgres,
+        InstanceType::M4Large,
+        DiskKind::Ssd,
+        catalog.clone(),
+        9,
+    );
+    let my = SimDatabase::new(
+        DbFlavor::MySql,
+        InstanceType::M4Large,
+        DiskKind::Ssd,
+        catalog,
+        9,
+    );
+    assert!(
+        pg.plan(&q).spill.is_none(),
+        "4 MiB work_mem absorbs a 600 KiB sort"
+    );
+    assert!(
+        my.plan(&q).spill.is_some(),
+        "256 KiB sort_buffer_size spills it"
+    );
 }
 
 /// Restart applies cold-start the cache; reloads keep it warm.

@@ -1,0 +1,212 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! Implements the `criterion_group!`/`criterion_main!`/`Criterion` bench
+//! harness API with a simple but honest measurement loop: warm up for a
+//! fixed budget, then take `sample_size` timed batches and report the
+//! median per-iteration time. No plots, no statistics beyond min/median/max.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-batch timing budget.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param` identifier.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Identifier carrying only the parameter.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Runs one benchmark's iterations.
+pub struct Bencher {
+    /// Median per-iteration nanoseconds, filled by [`Bencher::iter`].
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, then time `sample_size` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup, and calibrate how many iterations fill one batch budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((MEASURE_BUDGET.as_secs_f64() / self.sample_size as f64 / per_iter) as u64)
+            .clamp(1, 1_000_000);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        self.median_ns = samples[samples.len() / 2];
+        self.min_ns = samples[0];
+        self.max_ns = samples[samples.len() - 1];
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_and_report(id: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        median_ns: 0.0,
+        min_ns: 0.0,
+        max_ns: 0.0,
+        sample_size,
+    };
+    f(&mut b);
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_ns(b.min_ns),
+        fmt_ns(b.median_ns),
+        fmt_ns(b.max_ns)
+    );
+}
+
+/// The bench harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_and_report(id, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one parameterised benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_and_report(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_and_report(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Close the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        for &n in &[4u64, 8] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(smoke, trivial_bench);
+
+    #[test]
+    fn harness_runs_and_times() {
+        smoke();
+    }
+}
