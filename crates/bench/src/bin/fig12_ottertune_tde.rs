@@ -115,9 +115,9 @@ fn run(kind: TunerKind, flavor: DbFlavor, gated: bool, seed: u64) -> Vec<f64> {
     // Measure hourly throughput.
     let mut hourly = Vec::new();
     for _ in 0..HOURS {
-        let before = sim.nodes[idx].db.metrics_snapshot();
+        let before = sim.nodes[idx].db().metrics_snapshot();
         sim.run_for(MILLIS_PER_HOUR);
-        let delta = sim.nodes[idx].db.metrics_snapshot().delta(&before);
+        let delta = sim.nodes[idx].db().metrics_snapshot().delta(&before);
         hourly.push(delta[MetricId::QueriesExecuted.index()] / 3_600.0);
     }
     hourly

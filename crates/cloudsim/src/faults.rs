@@ -1,0 +1,256 @@
+//! Deterministic, seeded fault injection for the fleet simulator.
+//!
+//! A [`FaultPlan`] is an immutable, time-sorted schedule of [`FaultEvent`]s
+//! decided *before* the run — either the canonical [`FaultPlan::standard`]
+//! mix or a seeded random [`FaultPlan::generate`]. The [`FaultEngine`]
+//! hands events to [`crate::FleetSim`] as simulation time passes them.
+//! Nothing here draws randomness at injection time, so the same plan against
+//! the same fleet seed produces a bit-for-bit identical run (pinned by the
+//! chaos tests via the telemetry event-log fingerprint).
+
+use autodbaas_telemetry::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The master VM dies now: failover if the service has slaves, WAL
+    /// crash recovery either way.
+    VmCrash,
+    /// Arm the §4 mid-apply master crash: the *next* apply on this service
+    /// fails after the slaves succeeded, leaving drift for the reconciler.
+    MasterCrashMidApply,
+    /// Arm a slave crash during the next apply: the recommendation is
+    /// rejected slave-first, master untouched.
+    SlaveCrashMidApply,
+    /// The tuner service is unreachable; recommendation deliveries stall
+    /// until the window ends (in-flight requests may time out and retry).
+    TunerOutage {
+        /// Outage length.
+        duration_ms: u64,
+    },
+    /// The monitoring agent goes dark on this node: TDE windows during the
+    /// blackout are skipped and never become samples.
+    TelemetryDrop {
+        /// Blackout length.
+        duration_ms: u64,
+    },
+    /// Disk latency inflates by `factor` for `duration_ms` (noisy
+    /// neighbor / EBS degradation).
+    DiskStall {
+        /// Stall length.
+        duration_ms: u64,
+        /// Latency multiplier, ≥ 1.
+        factor: f64,
+    },
+    /// Replication replay stalls on every slave for `pause_ms` — lag builds
+    /// and the apply lag-guard starts refusing.
+    ReplicaLagSpike {
+        /// Replay pause.
+        pause_ms: u64,
+    },
+    /// The in-flight tuning request's response is lost in transit; only the
+    /// deadline/retry machinery can recover the node's tuning loop.
+    RequestLoss,
+}
+
+/// A scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When to inject.
+    pub at: SimTime,
+    /// Which fleet node (index into `FleetSim::nodes`).
+    pub node: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A time-sorted fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+/// The rotation [`FaultPlan::standard`] deals faults from.
+const STANDARD_ROTATION: [FaultKind; 8] = [
+    FaultKind::VmCrash,
+    FaultKind::DiskStall {
+        duration_ms: 30_000,
+        factor: 4.0,
+    },
+    FaultKind::RequestLoss,
+    FaultKind::MasterCrashMidApply,
+    FaultKind::TelemetryDrop {
+        duration_ms: 90_000,
+    },
+    FaultKind::ReplicaLagSpike { pause_ms: 45_000 },
+    FaultKind::SlaveCrashMidApply,
+    FaultKind::TunerOutage {
+        duration_ms: 120_000,
+    },
+];
+
+impl FaultPlan {
+    /// A plan from explicit events; sorted by `(at, node)` so injection
+    /// order never depends on construction order.
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.at, e.node));
+        Self { events }
+    }
+
+    /// The canonical chaos mix used by fig16 and the smoke tests: two
+    /// rotations of the eight fault kinds dealt round-robin across the
+    /// fleet, evenly spaced over the first 75% of the run so the tail is
+    /// quiet enough for every recovery and reconciliation to land. Fully
+    /// deterministic — no RNG.
+    pub fn standard(n_nodes: usize, duration_ms: u64) -> Self {
+        assert!(n_nodes > 0);
+        let n_events = STANDARD_ROTATION.len() * 2;
+        let window = duration_ms * 3 / 4;
+        let events = (0..n_events)
+            .map(|i| FaultEvent {
+                at: window * (i as u64 + 1) / (n_events as u64 + 1),
+                node: i % n_nodes,
+                kind: STANDARD_ROTATION[i % STANDARD_ROTATION.len()],
+            })
+            .collect();
+        Self::new(events)
+    }
+
+    /// A seeded random plan: `n_events` faults at uniform times in the
+    /// first 75% of the run, uniform nodes, kinds drawn from the standard
+    /// rotation. Same `(seed, n_nodes, duration_ms, n_events)` ⇒ same plan.
+    pub fn generate(seed: u64, n_nodes: usize, duration_ms: u64, n_events: usize) -> Self {
+        assert!(n_nodes > 0);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa017);
+        let window = (duration_ms * 3 / 4).max(1);
+        let events = (0..n_events)
+            .map(|_| FaultEvent {
+                at: rng.gen_range(0..window),
+                node: rng.gen_range(0..n_nodes),
+                kind: STANDARD_ROTATION[rng.gen_range(0..STANDARD_ROTATION.len())],
+            })
+            .collect();
+        Self::new(events)
+    }
+
+    /// The schedule, time-sorted.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last scheduled fault (0 for an empty plan).
+    pub fn last_at(&self) -> SimTime {
+        self.events.last().map_or(0, |e| e.at)
+    }
+}
+
+/// Cursor over a [`FaultPlan`] during a run.
+#[derive(Debug, Clone)]
+pub struct FaultEngine {
+    plan: FaultPlan,
+    cursor: usize,
+}
+
+impl FaultEngine {
+    /// Engine over `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan, cursor: 0 }
+    }
+
+    /// Events that have come due by `now`, in schedule order. Each event is
+    /// returned exactly once.
+    pub fn take_due(&mut self, now: SimTime) -> &[FaultEvent] {
+        let start = self.cursor;
+        while self.cursor < self.plan.events.len() && self.plan.events[self.cursor].at <= now {
+            self.cursor += 1;
+        }
+        &self.plan.events[start..self.cursor]
+    }
+
+    /// Faults not yet injected.
+    pub fn remaining(&self) -> usize {
+        self.plan.events.len() - self.cursor
+    }
+
+    /// The full plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_time_sorted() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: 500,
+                node: 1,
+                kind: FaultKind::VmCrash,
+            },
+            FaultEvent {
+                at: 100,
+                node: 0,
+                kind: FaultKind::RequestLoss,
+            },
+        ]);
+        assert_eq!(plan.events()[0].at, 100);
+        assert_eq!(plan.last_at(), 500);
+    }
+
+    #[test]
+    fn standard_plan_is_deterministic_and_covers_all_kinds() {
+        let a = FaultPlan::standard(4, 1_000_000);
+        let b = FaultPlan::standard(4, 1_000_000);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.len(), 16);
+        for kind in STANDARD_ROTATION {
+            assert!(a.events().iter().any(|e| e.kind == kind));
+        }
+        // A quiet tail: nothing in the last quarter of the run.
+        assert!(a.last_at() <= 750_000);
+        // Every node gets hit.
+        for n in 0..4 {
+            assert!(a.events().iter().any(|e| e.node == n));
+        }
+    }
+
+    #[test]
+    fn generated_plans_reproduce_under_the_same_seed() {
+        let a = FaultPlan::generate(7, 3, 600_000, 20);
+        let b = FaultPlan::generate(7, 3, 600_000, 20);
+        let c = FaultPlan::generate(8, 3, 600_000, 20);
+        assert_eq!(a.events(), b.events());
+        assert_ne!(a.events(), c.events());
+        assert!(a.events().iter().all(|e| e.node < 3 && e.at < 450_000));
+    }
+
+    #[test]
+    fn engine_hands_out_each_event_once_in_order() {
+        let plan = FaultPlan::standard(2, 100_000);
+        let total = plan.len();
+        let mut engine = FaultEngine::new(plan);
+        let first = engine.take_due(40_000).to_vec();
+        assert!(!first.is_empty());
+        assert!(first.windows(2).all(|w| w[0].at <= w[1].at));
+        let again = engine.take_due(40_000);
+        assert!(again.is_empty(), "events must not repeat");
+        let rest = engine.take_due(u64::MAX).len();
+        assert_eq!(first.len() + rest, total);
+        assert_eq!(engine.remaining(), 0);
+    }
+}

@@ -4,16 +4,22 @@
 //! plans, 12 tuner instances, 5 config directors, one shared central data
 //! repository (§5). This crate reproduces that topology in simulation:
 //!
-//! * [`node::ManagedDatabase`] — one database + its TDE plugin + workload;
+//! * [`node::ManagedDatabase`] — one replicated service + its TDE plugin +
+//!   workload, with the in-flight/retry/rollback control state;
 //! * [`sim::FleetSim`] — lockstep fleet advance with an event queue for
-//!   recommendation completions, TDE-gated sample capture, and both tuner
-//!   backends;
+//!   recommendation completions, TDE-gated sample capture, both tuner
+//!   backends, and the self-healing control plane (failover, crash
+//!   recovery, retry/backoff, reconciliation, safe rollback);
+//! * [`faults`] — the deterministic seeded chaos engine driving the
+//!   robustness experiments (Fig. 16);
 //! * [`runner`] — single-database drive helpers for the figure harnesses.
 
+pub mod faults;
 pub mod node;
 pub mod runner;
 pub mod sim;
 
-pub use node::ManagedDatabase;
-pub use runner::{drive_workload, DriveResult};
-pub use sim::{FleetConfig, FleetSim};
+pub use faults::{FaultEngine, FaultEvent, FaultKind, FaultPlan};
+pub use node::{DeferredApply, InFlightRequest, ManagedDatabase, RollbackGuard};
+pub use runner::{drive_workload, drive_workload_with_faults, ChaosDriveResult, DriveResult};
+pub use sim::{FleetConfig, FleetSim, RollbackPolicy};

@@ -1,9 +1,10 @@
-//! One managed database inside the fleet simulation: the database engine,
-//! its TDE plugin, its workload, and its tuning-request policy.
+//! One managed database inside the fleet simulation: the replicated
+//! service, its TDE plugin, its workload, and its tuning-request policy.
 
 use autodbaas_core::{Tde, TdeConfig, TdeReport, TuningPolicy};
+use autodbaas_ctrlplane::ReplicaSet;
 use autodbaas_simdb::{
-    Catalog, DbFlavor, DiskKind, InstanceType, MetricsSnapshot, SimDatabase, SubmitResult,
+    Catalog, DbFlavor, DiskKind, InstanceType, KnobSet, MetricsSnapshot, SimDatabase, SubmitResult,
 };
 use autodbaas_telemetry::SimTime;
 use autodbaas_tuner::WorkloadId;
@@ -11,11 +12,51 @@ use autodbaas_workload::{ArrivalProcess, QuerySource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// A tuning request awaiting its recommendation. Responses are matched by
+/// sequence number so a late delivery for a request that already timed out
+/// (and was retried) is dropped instead of double-applying.
+#[derive(Debug, Clone, Copy)]
+pub struct InFlightRequest {
+    /// Give up and retry when `now` passes this.
+    pub deadline: SimTime,
+    /// Request sequence number (monotonic per node).
+    pub seq: u64,
+    /// Fault injection: the response was lost in transit; delivery drops it
+    /// and only the deadline can clear the request.
+    pub lost: bool,
+}
+
+/// A recommendation refused by the replica-lag guard, parked for a
+/// backoff-retry instead of being thrown away.
+#[derive(Debug, Clone)]
+pub struct DeferredApply {
+    /// The unit-cube config still waiting to land.
+    pub unit: Vec<f64>,
+    /// Next attempt time.
+    pub next_try_at: SimTime,
+    /// Attempts already made.
+    pub attempts: u32,
+}
+
+/// Post-apply safety guard: if the observation windows after an applied
+/// recommendation regress the objective beyond the configured threshold,
+/// the service is rolled back to `revert_to` and the window's sample is
+/// quarantined.
+#[derive(Debug, Clone)]
+pub struct RollbackGuard {
+    /// Objective over the window preceding the apply.
+    pub baseline: f64,
+    /// Config to restore (and re-persist) on regression.
+    pub revert_to: KnobSet,
+    /// Observation windows left before the new config is accepted.
+    pub windows_left: u32,
+}
+
 /// Per-database bookkeeping the fleet simulator needs.
 pub struct ManagedDatabase {
-    /// The engine (master node; the fleet sim skips HA replicas for speed —
-    /// the replica protocol is exercised by `autodbaas-ctrlplane` itself).
-    pub db: SimDatabase,
+    /// The replicated service: master plus optional HA slaves (built with
+    /// [`ManagedDatabase::with_slaves`]); query traffic runs on the master.
+    pub service: ReplicaSet,
     /// The TDE plugin running on the VM.
     pub tde: Tde,
     /// Query generator.
@@ -38,19 +79,41 @@ pub struct ManagedDatabase {
     pub prev_action: Option<Vec<f64>>,
     /// RL state observed when the previous action was applied.
     pub prev_rl_state: Option<Vec<f64>>,
-    /// RNG for workload sampling.
+    /// RNG for workload sampling (and retry-backoff jitter under chaos).
     pub rng: StdRng,
     /// Queries submitted this simulation (for reports).
     pub queries_submitted: u64,
     /// Plan-upgrade requests raised.
     pub plan_upgrades: u64,
-    /// True while a tuning request is in flight (no re-request until the
-    /// recommendation lands — the request/response flow of Fig. 1).
-    pub pending_request: bool,
+    /// The tuning request in flight, if any. Replaces the old
+    /// `pending_request` flag, whose lost-response failure mode wedged the
+    /// node forever; the deadline here guarantees progress.
+    pub in_flight: Option<InFlightRequest>,
+    /// Next request sequence number.
+    pub request_seq: u64,
+    /// When a timed-out request retries (exponential backoff + jitter).
+    pub retry_at: Option<SimTime>,
+    /// Consecutive timeouts for the current request.
+    pub retry_attempt: u32,
+    /// Lag-refused recommendation awaiting a backoff-retry.
+    pub deferred_apply: Option<DeferredApply>,
+    /// Post-apply regression guard, when the fleet's rollback policy is on.
+    pub guard: Option<RollbackGuard>,
+    /// A fault hit this observation window; its sample is not trustworthy
+    /// and is quarantined.
+    pub window_tainted: bool,
+    /// Monitoring-agent blackout: TDE windows before this are skipped.
+    pub telemetry_blackout_until: SimTime,
+    /// Ticks the master spent hard-down (availability numerator).
+    pub down_ticks: u64,
+    /// Ticks driven in total (availability denominator).
+    pub total_ticks: u64,
     /// Observation windows to skip after a recommendation was applied, so
     /// the new configuration gets a chance to show its effect before the
     /// TDE can indict it.
     pub cooldown_windows: u32,
+    /// Construction seed (HA slaves added later derive theirs from it).
+    seed: u64,
 }
 
 /// How many distinct query instances are materialised per tick; the rest of
@@ -58,7 +121,8 @@ pub struct ManagedDatabase {
 const QUERY_SHAPES_PER_TICK: u64 = 24;
 
 impl ManagedDatabase {
-    /// Assemble a managed database.
+    /// Assemble a managed database (no HA slaves; chain
+    /// [`ManagedDatabase::with_slaves`] to add them).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         flavor: DbFlavor,
@@ -72,11 +136,15 @@ impl ManagedDatabase {
         tde_config: TdeConfig,
         seed: u64,
     ) -> Self {
-        let db = SimDatabase::new(flavor, instance, disk, catalog, seed);
-        let tde = Tde::new(&db.profile().clone(), tde_config, seed ^ 0x7de);
-        let window_start_snapshot = db.metrics_snapshot();
+        let service = ReplicaSet::new(flavor, instance, disk, catalog, 0, seed);
+        let tde = Tde::new(
+            &service.master().profile().clone(),
+            tde_config,
+            seed ^ 0x7de,
+        );
+        let window_start_snapshot = service.master().metrics_snapshot();
         Self {
-            db,
+            service,
             tde,
             workload,
             arrival,
@@ -91,16 +159,65 @@ impl ManagedDatabase {
             rng: StdRng::seed_from_u64(seed ^ 0xfeed),
             queries_submitted: 0,
             plan_upgrades: 0,
-            pending_request: false,
+            in_flight: None,
+            request_seq: 0,
+            retry_at: None,
+            retry_attempt: 0,
+            deferred_apply: None,
+            guard: None,
+            window_tainted: false,
+            telemetry_blackout_until: 0,
+            down_ticks: 0,
+            total_ticks: 0,
             cooldown_windows: 0,
+            seed,
         }
     }
 
+    /// Rebuild the service with `n` HA slaves of the master's shape. Only
+    /// meaningful before the simulation starts (the replicas boot fresh).
+    pub fn with_slaves(mut self, n: usize) -> Self {
+        let m = self.service.master();
+        self.service = ReplicaSet::new(
+            m.flavor(),
+            m.instance(),
+            m.disks().data().kind(),
+            m.catalog().clone(),
+            n,
+            self.seed,
+        );
+        self.window_start_snapshot = self.service.master().metrics_snapshot();
+        self
+    }
+
+    /// The master node (where traffic and tuning act).
+    pub fn db(&self) -> &SimDatabase {
+        self.service.master()
+    }
+
+    /// Mutable master.
+    pub fn db_mut(&mut self) -> &mut SimDatabase {
+        self.service.master_mut()
+    }
+
+    /// Fraction of driven ticks the master was serving (1.0 before any
+    /// tick).
+    pub fn availability(&self) -> f64 {
+        if self.total_ticks == 0 {
+            return 1.0;
+        }
+        1.0 - self.down_ticks as f64 / self.total_ticks as f64
+    }
+
     /// Drive one tick of traffic: Poisson arrivals from the workload,
-    /// batched into a bounded number of distinct shapes, then the engine
-    /// tick.
+    /// batched into a bounded number of distinct shapes, then the service
+    /// tick (master, slaves, replication streams).
     pub fn drive(&mut self, tick_ms: u64) {
-        let now = self.db.now();
+        self.total_ticks += 1;
+        if self.service.master().is_down() {
+            self.down_ticks += 1;
+        }
+        let now = self.service.master().now();
         let n = self.arrival.sample_count(&mut self.rng, now, tick_ms);
         if n > 0 {
             let shapes = n.min(QUERY_SHAPES_PER_TICK);
@@ -110,7 +227,7 @@ impl ManagedDatabase {
                 let q = self.workload.next_query(&mut self.rng);
                 let count = per_shape + u64::from(i < remainder);
                 if count > 0 {
-                    match self.db.submit(&q, count) {
+                    match self.service.master_mut().submit(&q, count) {
                         SubmitResult::Done(_) | SubmitResult::Queued => {
                             self.queries_submitted += count;
                         }
@@ -119,7 +236,7 @@ impl ManagedDatabase {
                 }
             }
         }
-        self.db.tick(tick_ms);
+        self.service.tick(tick_ms);
     }
 
     /// Swap the workload (the Fig. 14 switch), resetting TDE workload
@@ -139,7 +256,7 @@ impl ManagedDatabase {
     /// full snapshot + delta vector.
     pub fn window_objective(&self, window_ms: u64) -> f64 {
         let executed = self
-            .db
+            .db()
             .metrics()
             .get(autodbaas_simdb::MetricId::QueriesExecuted)
             - self
@@ -194,16 +311,18 @@ mod tests {
             n.queries_submitted
         );
         assert!(
-            n.db.metrics()
+            n.db()
+                .metrics()
                 .get(autodbaas_simdb::MetricId::QueriesExecuted)
                 > 3_000.0
         );
+        assert!((n.availability() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn window_objective_tracks_arrival_rate() {
         let mut n = node(TuningPolicy::TdeDriven);
-        n.window_start_snapshot = n.db.metrics_snapshot();
+        n.window_start_snapshot = n.db().metrics_snapshot();
         for _ in 0..20 {
             n.drive(1_000);
         }
@@ -217,11 +336,42 @@ mod tests {
         for _ in 0..5 {
             n.drive(1_000);
         }
-        let _ = n.tde.run(&mut n.db, None);
+        let _ = n.tde.run(n.service.master_mut(), None);
         n.switch_workload(
             Box::new(autodbaas_workload::ycsb(1.0)),
             ArrivalProcess::Constant(100.0),
         );
         assert_eq!(n.tde.templates().len(), 0);
+    }
+
+    #[test]
+    fn with_slaves_builds_replicas_and_keeps_determinism() {
+        let mk = || node(TuningPolicy::TdeDriven).with_slaves(2);
+        let mut a = mk();
+        let mut b = mk();
+        assert_eq!(a.service.n_slaves(), 2);
+        for _ in 0..10 {
+            a.drive(1_000);
+            b.drive(1_000);
+        }
+        assert_eq!(a.queries_submitted, b.queries_submitted);
+        assert_eq!(
+            a.service.max_replication_lag(),
+            b.service.max_replication_lag()
+        );
+    }
+
+    #[test]
+    fn down_master_ticks_count_against_availability() {
+        let mut n = node(TuningPolicy::TdeDriven);
+        n.drive(1_000);
+        let report = n.db_mut().crash();
+        let down_ticks_expected = report.recovery_ms.div_ceil(1_000);
+        for _ in 0..30 {
+            n.drive(1_000);
+        }
+        assert!(n.down_ticks >= down_ticks_expected.min(2));
+        assert!(n.availability() < 1.0);
+        assert!(!n.db().is_down());
     }
 }

@@ -2,6 +2,8 @@
 //! drive one workload against one instance for a fixed duration and return
 //! the series the paper plots.
 
+use crate::faults::{FaultEngine, FaultKind, FaultPlan};
+
 use autodbaas_simdb::{MetricId, SimDatabase};
 use autodbaas_telemetry::SimTime;
 use autodbaas_workload::{ArrivalProcess, QuerySource};
@@ -64,6 +66,101 @@ pub fn drive_workload(
     }
 }
 
+/// What a chaos-enabled drive observed on top of [`DriveResult`].
+#[derive(Debug, Clone)]
+pub struct ChaosDriveResult {
+    /// The plain drive series.
+    pub drive: DriveResult,
+    /// Faults actually injected (node-level kinds only; control-plane
+    /// faults in the plan are skipped by this single-database harness).
+    pub faults_injected: usize,
+    /// Ticks the database spent in crash recovery.
+    pub down_ticks: u64,
+    /// Fraction of ticks the database was serving.
+    pub availability: f64,
+}
+
+/// [`drive_workload`], but with a [`FaultPlan`] applied along the way.
+/// Only the faults meaningful to a single unmanaged database are injected:
+/// `VmCrash` runs WAL crash recovery, `DiskStall` degrades the disks. The
+/// control-plane kinds (mid-apply crashes, tuner outages, request loss,
+/// replica lag) need the fleet simulator and are ignored here.
+pub fn drive_workload_with_faults(
+    db: &mut SimDatabase,
+    workload: &dyn QuerySource,
+    arrival: &ArrivalProcess,
+    duration_ms: u64,
+    tick_ms: u64,
+    seed: u64,
+    plan: FaultPlan,
+) -> ChaosDriveResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engine = FaultEngine::new(plan);
+    let start = db.now();
+    let start_exec = db.metrics().get(MetricId::QueriesExecuted);
+    let latency_start = db.now();
+    let end = start + duration_ms;
+    const SHAPES: u64 = 24;
+    let mut faults_injected = 0usize;
+    let mut down_ticks = 0u64;
+    let mut total_ticks = 0u64;
+    while db.now() < end {
+        let due = engine.take_due(db.now().saturating_sub(start)).to_vec();
+        for ev in due {
+            match ev.kind {
+                FaultKind::VmCrash => {
+                    let _ = db.crash();
+                    faults_injected += 1;
+                }
+                FaultKind::DiskStall {
+                    duration_ms: stall_ms,
+                    factor,
+                } => {
+                    db.degrade(stall_ms, factor);
+                    faults_injected += 1;
+                }
+                _ => {} // control-plane faults: fleet-sim only
+            }
+        }
+        total_ticks += 1;
+        if db.is_down() {
+            down_ticks += 1;
+        }
+        let n = arrival.sample_count(&mut rng, db.now(), tick_ms);
+        if n > 0 {
+            let shapes = n.min(SHAPES);
+            let per = n / shapes;
+            let rem = n - per * shapes;
+            for i in 0..shapes {
+                let q = workload.next_query(&mut rng);
+                let count = per + u64::from(i < rem);
+                if count > 0 {
+                    let _ = db.submit(&q, count);
+                }
+            }
+        }
+        db.tick(tick_ms);
+    }
+    let queries = (db.metrics().get(MetricId::QueriesExecuted) - start_exec) as u64;
+    let mean_qps = queries as f64 * 1000.0 / duration_ms.max(1) as f64;
+    let mean_disk_latency_ms = db.disks().data().latency_series().mean_since(latency_start);
+    ChaosDriveResult {
+        drive: DriveResult {
+            ended_at: db.now(),
+            queries,
+            mean_qps,
+            mean_disk_latency_ms,
+        },
+        faults_injected,
+        down_ticks,
+        availability: if total_ticks == 0 {
+            1.0
+        } else {
+            1.0 - down_ticks as f64 / total_ticks as f64
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +188,35 @@ mod tests {
         assert_eq!(res.ended_at, 30_000);
         assert!((res.mean_qps - 500.0).abs() < 100.0, "qps {}", res.mean_qps);
         assert!(res.mean_disk_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn faulty_drive_loses_throughput_to_downtime() {
+        use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+        let wl = tpcc(0.5);
+        let mk = || {
+            SimDatabase::new(
+                DbFlavor::Postgres,
+                InstanceType::M4Large,
+                DiskKind::Ssd,
+                wl.catalog().clone(),
+                7,
+            )
+        };
+        let arrival = ArrivalProcess::Constant(500.0);
+        let mut clean_db = mk();
+        let clean = drive_workload(&mut clean_db, &wl, &arrival, 60_000, 1_000, 1);
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 20_000,
+            node: 0,
+            kind: FaultKind::VmCrash,
+        }]);
+        let mut db = mk();
+        let res = drive_workload_with_faults(&mut db, &wl, &arrival, 60_000, 1_000, 1, plan);
+        assert_eq!(res.faults_injected, 1);
+        assert!(res.down_ticks >= 2, "down {} ticks", res.down_ticks);
+        assert!(res.availability < 1.0);
+        assert!(!db.is_down(), "recovery must complete within the run");
+        assert!(res.drive.queries < clean.queries);
     }
 }

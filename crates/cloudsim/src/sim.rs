@@ -6,11 +6,15 @@
 //! scalability run (Fig. 9), the throttle censuses (Figs. 10/11/14), and
 //! the throughput-with/without-TDE comparisons (Figs. 12/13).
 
-use crate::node::ManagedDatabase;
+use crate::faults::{FaultEngine, FaultEvent, FaultKind, FaultPlan};
+use crate::node::{DeferredApply, InFlightRequest, ManagedDatabase, RollbackGuard};
 
-use autodbaas_ctrlplane::{ConfigDirector, RecommendationMeter, ServiceId, TunerKind};
-use autodbaas_simdb::{ConfigChange, MetricId, SimDatabase};
-use autodbaas_telemetry::SimTime;
+use autodbaas_ctrlplane::{
+    ApplyError, ConfigDirector, RecommendationMeter, ReconcileOutcome, Reconciler, ServiceId,
+    ServiceOrchestrator, TunerKind,
+};
+use autodbaas_simdb::{ApplyMode, ConfigChange, MetricId, SimDatabase};
+use autodbaas_telemetry::{EventLog, SimTime};
 use autodbaas_tuner::{
     assess_quality, denormalize_config, normalize_config, BoConfig, BoTuner, RlConfig, RlTuner,
     Sample, SampleQuality, Transition, WorkloadRepository,
@@ -55,6 +59,44 @@ pub struct FleetConfig {
     /// serial and parallel drives produce bit-identical fleets for any
     /// thread count (pinned by `parallel_drive_is_deterministic_and_equivalent`).
     pub drive_threads: usize,
+    /// How long past its promised `ready_at` a tuning request may wait for
+    /// its recommendation before the node gives up and retries. Counted
+    /// from `ready_at` (not submission) so director backlog under
+    /// saturation never triggers spurious retries.
+    pub request_timeout_ms: u64,
+    /// Base of the exponential retry backoff for timed-out requests.
+    pub retry_base_ms: u64,
+    /// Retries (of a timed-out request, or of a lag-refused apply) before
+    /// the recommendation is abandoned cleanly.
+    pub retry_max_attempts: u32,
+    /// Reconciler watcher timeout (§4): drift older than this is forced
+    /// back to the persisted config.
+    pub watcher_timeout_ms: u64,
+    /// Replica-lag guard for applies: a recommendation is deferred (with
+    /// backoff) while any slave lags more than this many bytes.
+    pub max_apply_lag_bytes: u64,
+    /// Post-apply safety rollback; `None` disables the guard.
+    pub rollback: Option<RollbackPolicy>,
+}
+
+/// Safe-tuning rollback guard settings (OnlineTune-style safety).
+#[derive(Debug, Clone, Copy)]
+pub struct RollbackPolicy {
+    /// Roll back when a post-apply window's objective drops below
+    /// `baseline × (1 − regression_frac)`.
+    pub regression_frac: f64,
+    /// Clean observation windows before the applied config is accepted and
+    /// the guard disarms.
+    pub observe_windows: u32,
+}
+
+impl Default for RollbackPolicy {
+    fn default() -> Self {
+        Self {
+            regression_frac: 0.25,
+            observe_windows: 3,
+        }
+    }
 }
 
 impl Default for FleetConfig {
@@ -70,6 +112,12 @@ impl Default for FleetConfig {
             seed: 0,
             parallel_threshold: 8,
             drive_threads: 0,
+            request_timeout_ms: 5 * 60 * 1_000,
+            retry_base_ms: 30_000,
+            retry_max_attempts: 6,
+            watcher_timeout_ms: 2 * 60 * 1_000,
+            max_apply_lag_bytes: 64 * 1024 * 1024,
+            rollback: None,
         }
     }
 }
@@ -114,8 +162,24 @@ pub struct FleetSim {
     pub meter: RecommendationMeter,
     /// The central data repository.
     pub repo: WorkloadRepository,
+    /// The service orchestrator's persistence storage: the config of record
+    /// each service reconciles back to after a partial failure (§4).
+    pub orch: ServiceOrchestrator,
+    /// Every fault injected and every recovery action taken, in order. The
+    /// log's fingerprint pins bit-for-bit reproducibility of chaos runs.
+    pub events: EventLog,
     backend: Backend,
-    pending: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// One §4 reconciler per node, watching live config against [`Self::orch`].
+    reconcilers: Vec<Reconciler>,
+    /// Scheduled fault injection, when armed via [`FleetSim::enable_chaos`].
+    chaos: Option<FaultEngine>,
+    /// Recommendation deliveries stall until this time (tuner outage fault).
+    tuner_outage_until: SimTime,
+    /// Crash recoveries in progress: (done_at, node, event to emit).
+    recovery_due: Vec<(SimTime, usize, &'static str)>,
+    /// Due tuning responses: (ready_at, node, request seq). The seq lets a
+    /// late response for an already-retried request be dropped as stale.
+    pending: BinaryHeap<Reverse<(SimTime, usize, u64)>>,
     now: SimTime,
     last_tde_run: SimTime,
     rng: StdRng,
@@ -143,12 +207,89 @@ impl FleetSim {
             director: ConfigDirector::new(&kinds),
             meter: RecommendationMeter::default(),
             repo: WorkloadRepository::new(),
+            orch: ServiceOrchestrator::new(),
+            events: EventLog::default(),
             backend,
+            reconcilers: Vec::new(),
+            chaos: None,
+            tuner_outage_until: 0,
+            recovery_due: Vec::new(),
             pending: BinaryHeap::new(),
             now: 0,
             last_tde_run: 0,
             parallel: false,
         }
+    }
+
+    /// Arm the chaos engine: `plan`'s faults inject themselves as simulated
+    /// time passes them, and the reconcilers switch to continuous watching.
+    pub fn enable_chaos(&mut self, plan: FaultPlan) {
+        self.chaos = Some(FaultEngine::new(plan));
+    }
+
+    /// Scheduled faults not yet injected (0 when chaos is off).
+    pub fn faults_remaining(&self) -> usize {
+        self.chaos.as_ref().map_or(0, |e| e.remaining())
+    }
+
+    /// Fleet-wide availability: fraction of driven node-ticks with the
+    /// master serving.
+    pub fn availability(&self) -> f64 {
+        let (down, total) = self.nodes.iter().fold((0u64, 0u64), |(d, t), n| {
+            (d + n.down_ticks, t + n.total_ticks)
+        });
+        if total == 0 {
+            1.0
+        } else {
+            1.0 - down as f64 / total as f64
+        }
+    }
+
+    /// Total reconciliations performed across the fleet.
+    pub fn reconciliations(&self) -> u64 {
+        self.reconcilers.iter().map(|r| r.reconciliations()).sum()
+    }
+
+    /// Nodes whose live reloadable config (master or any slave) currently
+    /// differs from the persisted config of record.
+    pub fn drifted_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&idx| {
+                let Some(persisted) = self.orch.persisted_config(ServiceId(idx as u64)) else {
+                    return false;
+                };
+                let rs = &self.nodes[idx].service;
+                let profile = rs.master().profile();
+                std::iter::once(rs.master())
+                    .chain(rs.slaves().iter())
+                    .any(|db| {
+                        let live = db.knobs();
+                        profile.iter().any(|(id, spec)| {
+                            !spec.restart_required
+                                && (live.get(id) - persisted.get(id)).abs() > 1e-9
+                        })
+                    })
+            })
+            .collect()
+    }
+
+    /// Nodes with stalled control-plane work: a master still in crash
+    /// recovery, a request past its deadline, or a parked retry past its
+    /// due time. Each of these clears on a subsequent [`FleetSim::step`],
+    /// so after a run's quiet tail this must be empty — the no-wedge
+    /// invariant the chaos tests pin.
+    pub fn wedged_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&idx| {
+                let n = &self.nodes[idx];
+                n.db().is_down()
+                    || n.in_flight.is_some_and(|r| self.now > r.deadline)
+                    || n.retry_at.is_some_and(|at| self.now > at)
+                    || n.deferred_apply
+                        .as_ref()
+                        .is_some_and(|d| self.now > d.next_try_at)
+            })
+            .collect()
     }
 
     /// Drive the fleet's per-tick traffic on worker threads. Per-node
@@ -169,11 +310,19 @@ impl FleetSim {
     }
 
     /// Register a managed database built by the caller. Its workload gets a
-    /// repository entry.
+    /// repository entry, its boot config becomes the first persisted config
+    /// of record, and a reconciler starts watching it.
     pub fn add_node(&mut self, mut node: ManagedDatabase, name: &str) -> usize {
         node.workload_id = self.repo.register(name, false);
+        let idx = self.nodes.len();
+        self.orch
+            .persist_config(ServiceId(idx as u64), node.db().knobs().clone());
+        self.reconcilers.push(Reconciler::new(
+            ServiceId(idx as u64),
+            self.cfg.watcher_timeout_ms,
+        ));
         self.nodes.push(node);
-        self.nodes.len() - 1
+        idx
     }
 
     /// Offline bootstrap (§5: "Before evaluating … we perform training of
@@ -238,6 +387,14 @@ impl FleetSim {
     pub fn step(&mut self) {
         self.now += self.cfg.tick_ms;
 
+        // 0. Chaos: inject every scheduled fault that came due this tick.
+        if let Some(engine) = self.chaos.as_mut() {
+            let due: Vec<FaultEvent> = engine.take_due(self.now).to_vec();
+            for ev in due {
+                self.inject(ev);
+            }
+        }
+
         // 1. Traffic. Databases are independent within a tick, so a big
         // fleet is driven on worker threads (std scoped threads; no 'static
         // bound needed on the nodes). Threshold and fan-out are
@@ -277,21 +434,233 @@ impl FleetSim {
             }
         }
 
-        // 2. Deliver due recommendations.
-        while let Some(&Reverse((ready, idx))) = self.pending.peek() {
-            if ready > self.now {
-                break;
+        // 2. Crash recoveries that completed this tick.
+        self.flush_recoveries();
+
+        // 3. Request timeouts, retries and parked applies.
+        self.control_scan();
+
+        // 4. Deliver due recommendations — unless the tuner service is in
+        // an outage, in which case responses sit until it returns (and may
+        // go stale if the node times out and retries meanwhile).
+        if self.now >= self.tuner_outage_until {
+            while let Some(&Reverse((ready, idx, seq))) = self.pending.peek() {
+                if ready > self.now {
+                    break;
+                }
+                self.pending.pop();
+                self.deliver_recommendation(idx, seq);
             }
-            self.pending.pop();
-            self.deliver_recommendation(idx);
         }
 
-        // 3. TDE cadence.
+        // 5. Reconcilers watch continuously while chaos is active (faults
+        // create drift at arbitrary times); in quiet runs a per-window
+        // check after the TDE round is equivalent and cheaper.
+        if self.chaos.is_some() {
+            self.reconcile_all();
+        }
+
+        // 6. TDE cadence.
         if self.now - self.last_tde_run >= self.cfg.tde_period_ms {
             let window_ms = self.now - self.last_tde_run;
             self.last_tde_run = self.now;
             self.run_tde_round(window_ms);
+            if self.chaos.is_none() {
+                self.reconcile_all();
+            }
         }
+    }
+
+    /// Inject one scheduled fault.
+    fn inject(&mut self, ev: FaultEvent) {
+        if ev.node >= self.nodes.len() {
+            return; // plan generated for a bigger fleet: ignore
+        }
+        let idx = ev.node;
+        let target = idx as u64;
+        match ev.kind {
+            FaultKind::VmCrash => {
+                self.events.emit(self.now, "fault.vm_crash", target);
+                self.handle_master_crash(idx);
+            }
+            FaultKind::MasterCrashMidApply => {
+                self.events
+                    .emit(self.now, "fault.master_crash_mid_apply", target);
+                self.nodes[idx].service.inject_master_crash();
+            }
+            FaultKind::SlaveCrashMidApply => {
+                if self.nodes[idx].service.n_slaves() > 0 {
+                    self.events
+                        .emit(self.now, "fault.slave_crash_mid_apply", target);
+                    self.nodes[idx].service.inject_slave_crash(0);
+                }
+            }
+            FaultKind::TunerOutage { duration_ms } => {
+                self.events.emit(self.now, "fault.tuner_outage", u64::MAX);
+                self.tuner_outage_until = self.tuner_outage_until.max(self.now + duration_ms);
+            }
+            FaultKind::TelemetryDrop { duration_ms } => {
+                self.events.emit(self.now, "fault.telemetry_drop", target);
+                let node = &mut self.nodes[idx];
+                node.telemetry_blackout_until =
+                    node.telemetry_blackout_until.max(self.now + duration_ms);
+            }
+            FaultKind::DiskStall {
+                duration_ms,
+                factor,
+            } => {
+                self.events.emit(self.now, "fault.disk_stall", target);
+                let node = &mut self.nodes[idx];
+                node.db_mut().degrade(duration_ms, factor);
+                node.window_tainted = true;
+            }
+            FaultKind::ReplicaLagSpike { pause_ms } => {
+                let node = &mut self.nodes[idx];
+                if node.service.n_slaves() > 0 {
+                    self.events
+                        .emit(self.now, "fault.replica_lag_spike", target);
+                    for i in 0..node.service.n_slaves() {
+                        node.service.pause_slave_replay(i, pause_ms);
+                    }
+                }
+            }
+            FaultKind::RequestLoss => {
+                let node = &mut self.nodes[idx];
+                if let Some(req) = node.in_flight.as_mut() {
+                    if !req.lost {
+                        req.lost = true;
+                        self.events.emit(self.now, "fault.request_loss", target);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The master VM of node `idx` just died. With HA slaves the most
+    /// caught-up one is promoted immediately (the service stays up, modulo
+    /// the unreplayed WAL the report counts as lost) and the demoted master
+    /// runs WAL crash recovery before rejoining as a replica. Without
+    /// slaves the single node is down for its full recovery time.
+    fn handle_master_crash(&mut self, idx: usize) {
+        let node = &mut self.nodes[idx];
+        node.window_tainted = true;
+        if node.service.n_slaves() > 0 {
+            if let Some(fo) = node.service.failover() {
+                let report = node.service.slave_mut(fo.promoted).crash();
+                self.events.emit(self.now, "recover.failover", idx as u64);
+                self.recovery_due
+                    .push((self.now + report.recovery_ms, idx, "recover.rejoined"));
+                return;
+            }
+        }
+        let report = node.service.master_mut().crash();
+        self.recovery_due
+            .push((self.now + report.recovery_ms, idx, "recover.restarted"));
+    }
+
+    /// Emit the recovery events whose crash-recovery intervals ended.
+    fn flush_recoveries(&mut self) {
+        if self.recovery_due.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let mut done: Vec<(SimTime, usize, &'static str)> = Vec::new();
+        self.recovery_due.retain(|&(at, idx, kind)| {
+            if at <= now {
+                done.push((at, idx, kind));
+                false
+            } else {
+                true
+            }
+        });
+        done.sort_by_key(|&(at, idx, _)| (at, idx));
+        for (_, idx, kind) in done {
+            self.events.emit(self.now, kind, idx as u64);
+        }
+    }
+
+    /// Per-node control-plane scan: expire timed-out requests into
+    /// exponential-backoff retries, fire due retries, and re-attempt
+    /// lag-deferred applies.
+    fn control_scan(&mut self) {
+        let retry_base = self.cfg.retry_base_ms.max(1);
+        let max_attempts = self.cfg.retry_max_attempts;
+        for idx in 0..self.nodes.len() {
+            let node = &mut self.nodes[idx];
+            if let Some(req) = node.in_flight {
+                if self.now >= req.deadline {
+                    node.in_flight = None;
+                    node.retry_attempt += 1;
+                    if node.retry_attempt > max_attempts {
+                        node.retry_attempt = 0;
+                        self.events.emit(self.now, "request.abandoned", idx as u64);
+                    } else {
+                        // Backoff doubles per consecutive timeout; jitter
+                        // desynchronises a fleet retrying into the same
+                        // recovering tuner. This path draws node RNG only
+                        // under faults, so fault-free streams are unchanged.
+                        let backoff = retry_base << (node.retry_attempt - 1).min(6);
+                        let jitter = node.rng.gen_range(0..retry_base);
+                        node.retry_at = Some(self.now + backoff + jitter);
+                        self.events.emit(self.now, "request.timeout", idx as u64);
+                    }
+                }
+            }
+            if self.nodes[idx].retry_at.is_some_and(|at| self.now >= at) {
+                self.nodes[idx].retry_at = None;
+                self.events.emit(self.now, "request.retry", idx as u64);
+                self.submit_tuning_request(idx);
+            }
+            let node = &mut self.nodes[idx];
+            if node
+                .deferred_apply
+                .as_ref()
+                .is_some_and(|d| self.now >= d.next_try_at)
+            {
+                let d = node.deferred_apply.take().expect("checked above");
+                self.apply_unit(idx, d.unit, d.attempts);
+            }
+        }
+    }
+
+    /// Reconcile every service whose master is reachable.
+    pub fn reconcile_all(&mut self) {
+        for idx in 0..self.nodes.len() {
+            let node = &mut self.nodes[idx];
+            if node.service.master().is_down() {
+                continue; // nothing to watch until recovery completes
+            }
+            let outcome = self.reconcilers[idx].check(&self.orch, &mut node.service, self.now);
+            if outcome == ReconcileOutcome::Reconciled {
+                self.events.emit(self.now, "recover.reconciled", idx as u64);
+            }
+        }
+    }
+
+    /// Submit a tuning request for node `idx` to the config director and
+    /// start its in-flight deadline clock.
+    fn submit_tuning_request(&mut self, idx: usize) {
+        let service_ms = match self.cfg.tuner {
+            TunerKind::Bo => BoTuner::train_cost_ms(self.repo.total_samples()),
+            TunerKind::Rl => 50.0,
+        };
+        let assignment = self
+            .director
+            .submit_request(ServiceId(idx as u64), self.now, service_ms);
+        self.meter.record(ServiceId(idx as u64), service_ms);
+        let node = &mut self.nodes[idx];
+        node.last_request_at = self.now;
+        let seq = node.request_seq;
+        node.request_seq += 1;
+        // The deadline counts from the *promised* completion, not the
+        // submission: director backlog under fleet saturation (Fig. 9) is
+        // expected latency, not a fault.
+        node.in_flight = Some(InFlightRequest {
+            deadline: assignment.ready_at + self.cfg.request_timeout_ms,
+            seq,
+            lost: false,
+        });
+        self.pending.push(Reverse((assignment.ready_at, idx, seq)));
     }
 
     /// Run for `duration_ms` of simulated time.
@@ -307,24 +676,105 @@ impl FleetSim {
     }
 
     fn run_tde_round(&mut self, window_ms: u64) {
+        let rollback = self.cfg.rollback;
         for idx in 0..self.nodes.len() {
             let node = &mut self.nodes[idx];
+            // A monitoring-agent blackout or a master still in crash
+            // recovery means no usable window: reset and move on — no
+            // sample, no RL transition, no tuning request.
+            if self.now < node.telemetry_blackout_until || node.service.master().is_down() {
+                node.window_start_snapshot = node.service.master().metrics_snapshot();
+                node.window_tainted = false;
+                continue;
+            }
             // Close the observation window: one snapshot and one delta
             // vector serve the objective, the RL transition and the
             // captured sample (which takes the vector by value below).
-            let snap = node.db.metrics_snapshot();
+            let snap = node.service.master().metrics_snapshot();
             let objective = node.window_objective_from(&snap, window_ms);
             let delta = snap.delta(&node.window_start_snapshot);
 
-            // TDE run.
-            let report = node.tde.run(&mut node.db, Some(&self.repo));
+            // TDE run. The TDE's MDP detector applies accepted planner-knob
+            // probes directly to the live master; those local moves are
+            // authoritative (the plugin owns them), so fold them into the
+            // persisted config of record — otherwise the reconciler would
+            // fight the TDE, rejecting each accepted probe as drift.
+            let pre_tde = node.service.master().knobs().clone();
+            let report = node.tde.run(node.service.master_mut(), Some(&self.repo));
             if report.plan_upgrade {
                 node.plan_upgrades += 1;
             }
+            if node.service.master().knobs() != &pre_tde {
+                let live = node.service.master().knobs().clone();
+                let profile = node.service.master().profile().clone();
+                let mut persisted = self
+                    .orch
+                    .persisted_config(ServiceId(idx as u64))
+                    .cloned()
+                    .unwrap_or_else(|| live.clone());
+                for (id, _) in profile.iter() {
+                    if live.get(id) != pre_tde.get(id) {
+                        persisted.set(&profile, id, live.get(id));
+                        // Replicas take the accepted move too, so an HA set
+                        // never drifts (and never fails over) away from it.
+                        for s in 0..node.service.n_slaves() {
+                            node.service.slave_mut(s).set_knob_direct(id, live.get(id));
+                        }
+                    }
+                }
+                self.orch.persist_config(ServiceId(idx as u64), persisted);
+            }
 
-            // Sample capture (gated or not).
+            // Cooldown bookkeeping (a window must pass after an apply
+            // before the TDE can indict the new config).
+            let in_cooldown = node.cooldown_windows > 0;
+            if in_cooldown {
+                node.cooldown_windows -= 1;
+            }
+
+            // Safe-tuning guard: judge the window that just closed against
+            // the pre-apply baseline. Fault-tainted windows are skipped —
+            // a disk stall is not the config's fault.
+            let mut quarantined = node.window_tainted;
+            if let Some(policy) = rollback {
+                if let Some(guard) = node.guard.take() {
+                    if in_cooldown || node.window_tainted {
+                        node.guard = Some(guard); // not judgeable; keep waiting
+                    } else if objective < guard.baseline * (1.0 - policy.regression_frac) {
+                        // Regression: restore the pre-apply config on every
+                        // node and re-persist it as the config of record.
+                        let profile = node.service.master().profile().clone();
+                        let changes: Vec<ConfigChange> = profile
+                            .iter()
+                            .filter(|(_, spec)| !spec.restart_required)
+                            .map(|(kid, _)| ConfigChange {
+                                knob: kid,
+                                value: guard.revert_to.get(kid),
+                            })
+                            .collect();
+                        let _ = node.service.apply(&changes, ApplyMode::Reload);
+                        self.orch.persist_config(
+                            ServiceId(idx as u64),
+                            node.service.master().knobs().clone(),
+                        );
+                        node.cooldown_windows = 1;
+                        // The regressed window would poison the repository
+                        // (and the RL reward) with the bad config's blame.
+                        quarantined = true;
+                        self.events.emit(self.now, "tune.rollback", idx as u64);
+                    } else if guard.windows_left > 1 {
+                        node.guard = Some(RollbackGuard {
+                            windows_left: guard.windows_left - 1,
+                            ..guard
+                        });
+                    } // else: enough clean windows — the config is accepted
+                }
+            }
+
+            // Sample capture (gated or not); fault-tainted and rolled-back
+            // windows never become samples.
             let throttled_window = report.tuning_request;
-            let capture = !self.cfg.gate_samples_with_tde || throttled_window;
+            let capture = (!self.cfg.gate_samples_with_tde || throttled_window) && !quarantined;
 
             // RL experience: reward is the relative throughput change since
             // the action was applied. Gated mode only feeds the agent
@@ -355,7 +805,10 @@ impl FleetSim {
                 self.repo.add_sample(
                     node.workload_id,
                     Sample {
-                        config: normalize_config(node.db.profile(), node.db.knobs().as_vec()),
+                        config: normalize_config(
+                            node.service.master().profile(),
+                            node.service.master().knobs().as_vec(),
+                        ),
                         metrics: delta,
                         objective,
                         quality,
@@ -363,12 +816,11 @@ impl FleetSim {
                 );
             }
 
-            // Policy decision.
-            let in_cooldown = node.cooldown_windows > 0;
-            if in_cooldown {
-                node.cooldown_windows -= 1;
-            }
-            let should = !node.pending_request
+            // Policy decision. A node with an open request, a pending
+            // retry, or a parked apply never stacks a second request.
+            let should = node.in_flight.is_none()
+                && node.retry_at.is_none()
+                && node.deferred_apply.is_none()
                 && !in_cooldown
                 && node
                     .policy
@@ -376,26 +828,35 @@ impl FleetSim {
             node.last_report = report;
             node.prev_objective = objective;
             node.window_start_snapshot = snap;
+            node.window_tainted = false;
             if should {
-                node.last_request_at = self.now;
-                node.pending_request = true;
-                let service_ms = match self.cfg.tuner {
-                    TunerKind::Bo => BoTuner::train_cost_ms(self.repo.total_samples()),
-                    TunerKind::Rl => 50.0,
-                };
-                let assignment =
-                    self.director
-                        .submit_request(ServiceId(idx as u64), self.now, service_ms);
-                self.meter.record(ServiceId(idx as u64), service_ms);
-                self.pending.push(Reverse((assignment.ready_at, idx)));
+                self.submit_tuning_request(idx);
             }
         }
     }
 
-    fn deliver_recommendation(&mut self, idx: usize) {
+    fn deliver_recommendation(&mut self, idx: usize, seq: u64) {
         let node = &mut self.nodes[idx];
-        node.pending_request = false;
-        let profile = node.db.profile();
+        match node.in_flight {
+            Some(req) if req.seq == seq => {
+                if req.lost {
+                    // The response vanished in transit; only the deadline
+                    // machinery clears this request.
+                    return;
+                }
+                node.in_flight = None;
+                node.retry_attempt = 0;
+            }
+            _ => {
+                // A late response to a request that already timed out and
+                // was retried or abandoned: applying it now would race the
+                // retry's own response, so drop it.
+                self.events
+                    .emit(self.now, "request.stale_dropped", idx as u64);
+                return;
+            }
+        }
+        let profile = node.service.master().profile();
         let unit = match &mut self.backend {
             Backend::Bo(bo) => {
                 // The tuning request carries the indicted knobs (the TDE
@@ -421,7 +882,7 @@ impl FleetSim {
                 }
             }
             Backend::Rl(rl) => {
-                let snap = node.db.metrics_snapshot();
+                let snap = node.service.master().metrics_snapshot();
                 let delta = snap.delta(&node.window_start_snapshot);
                 let state = Self::rl_state(&delta);
                 node.prev_rl_state = Some(state.clone());
@@ -438,20 +899,33 @@ impl FleetSim {
         if !self.cfg.apply_recommendations {
             return;
         }
+        self.apply_unit(idx, unit, 0);
+    }
+
+    /// Vet a unit-cube recommendation and land it on service `idx` through
+    /// the slave-first protocol; `attempts` counts lag-guard refusals this
+    /// recommendation already suffered.
+    fn apply_unit(&mut self, idx: usize, unit: Vec<f64>, attempts: u32) {
+        let node = &mut self.nodes[idx];
         // §4 budget vetting: the config director checks `A+B+C+D < X`
         // before shipping a recommendation — an oversubscribed config would
         // swap the instance to death, so memory knobs are rescaled to fit.
         // The vetted budget is the config *as it will run*: reloadable
         // knobs take the recommended values, restart-bound ones keep their
         // live values (they are deferred to the maintenance window).
-        let raw = denormalize_config(profile, &unit);
-        let mut vetted = node.db.knobs().clone();
+        let profile = node.service.master().profile().clone();
+        let raw = denormalize_config(&profile, &unit);
+        let mut vetted = node.service.master().knobs().clone();
         for (i, (kid, spec)) in profile.iter().enumerate() {
             if !spec.restart_required {
-                vetted.set(profile, kid, raw[i]);
+                vetted.set(&profile, kid, raw[i]);
             }
         }
-        autodbaas_simdb::instance::enforce_memory_cap(profile, &mut vetted, node.db.instance());
+        autodbaas_simdb::instance::enforce_memory_cap(
+            &profile,
+            &mut vetted,
+            node.service.master().instance(),
+        );
         let raw: Vec<f64> = profile.iter().map(|(kid, _)| vetted.get(kid)).collect();
         let changes: Vec<ConfigChange> = profile
             .iter()
@@ -459,11 +933,65 @@ impl FleetSim {
             .filter(|((_, spec), _)| !spec.restart_required)
             .map(|((kid, _), &value)| ConfigChange { knob: kid, value })
             .collect();
-        let _ = node
-            .db
-            .apply_config(&changes, autodbaas_simdb::ApplyMode::Reload);
-        node.prev_action = Some(unit);
-        node.cooldown_windows = 1;
+        let pre_apply = node.service.master().knobs().clone();
+        match node.service.apply_with_lag_guard(
+            &changes,
+            ApplyMode::Reload,
+            self.cfg.max_apply_lag_bytes,
+        ) {
+            Ok(_) => {
+                // Persisting right after the master apply (§4) is what
+                // keeps the reconciler quiet about *successful* tuning.
+                self.orch
+                    .persist_config(ServiceId(idx as u64), node.service.master().knobs().clone());
+                if let Some(policy) = self.cfg.rollback {
+                    node.guard = Some(RollbackGuard {
+                        baseline: node.prev_objective,
+                        revert_to: pre_apply,
+                        windows_left: policy.observe_windows.max(1),
+                    });
+                }
+                node.prev_action = Some(unit);
+                node.cooldown_windows = 1;
+                self.events.emit(self.now, "apply.ok", idx as u64);
+            }
+            Err(ApplyError::ReplicaLagging { .. }) => {
+                if attempts + 1 >= self.cfg.retry_max_attempts {
+                    self.events.emit(self.now, "apply.abandoned", idx as u64);
+                } else {
+                    let base = self.cfg.retry_base_ms.max(1);
+                    let backoff = base << attempts.min(6);
+                    let jitter = node.rng.gen_range(0..base);
+                    node.deferred_apply = Some(DeferredApply {
+                        unit,
+                        next_try_at: self.now + backoff + jitter,
+                        attempts: attempts + 1,
+                    });
+                    self.events.emit(self.now, "apply.lag_deferred", idx as u64);
+                }
+            }
+            Err(ApplyError::SlaveCrashed { slave }) => {
+                // §4: rejected slave-first — the master is untouched and
+                // the recommendation is simply dropped. The crashed slave
+                // runs WAL recovery and rejoins.
+                self.events
+                    .emit(self.now, "apply.rejected_slave_crash", idx as u64);
+                let report = node.service.slave_mut(slave).crash();
+                self.recovery_due.push((
+                    self.now + report.recovery_ms,
+                    idx,
+                    "recover.slave_restarted",
+                ));
+            }
+            Err(ApplyError::MasterCrashed) => {
+                // Slaves applied, master didn't: drift the reconciler will
+                // reject back to the persisted config, on top of the crash
+                // recovery itself.
+                self.events
+                    .emit(self.now, "apply.master_crashed", idx as u64);
+                self.handle_master_crash(idx);
+            }
+        }
     }
 }
 
@@ -571,14 +1099,14 @@ mod tests {
             make_node(TuningPolicy::Periodic(2 * MILLIS_PER_MIN), 4),
             "db",
         );
-        let default_knobs = sim.nodes[0].db.knobs().clone();
+        let default_knobs = sim.nodes[0].db().knobs().clone();
         sim.run_for(20 * MILLIS_PER_MIN);
         assert!(
             sim.nodes[0].prev_action.is_some(),
             "a recommendation should have been applied"
         );
         assert_ne!(
-            sim.nodes[0].db.knobs(),
+            sim.nodes[0].db().knobs(),
             &default_knobs,
             "knobs should have moved off defaults"
         );

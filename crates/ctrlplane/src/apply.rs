@@ -51,6 +51,16 @@ impl std::fmt::Display for ApplyError {
 
 impl std::error::Error for ApplyError {}
 
+/// What a master failover did — returned by [`ReplicaSet::failover`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverReport {
+    /// Index (in the pre-failover slave list) of the promoted slave.
+    pub promoted: usize,
+    /// WAL bytes the promoted slave had not replayed when it took over —
+    /// the transactions lost by promoting it.
+    pub lost_bytes: u64,
+}
+
 /// A replicated database service: one master, N read slaves.
 #[derive(Debug)]
 pub struct ReplicaSet {
@@ -116,6 +126,53 @@ impl ReplicaSet {
     /// The slaves.
     pub fn slaves(&self) -> &[SimDatabase] {
         &self.slaves
+    }
+
+    /// Mutable access to slave `i` (fault injection, crash recovery).
+    pub fn slave_mut(&mut self, i: usize) -> &mut SimDatabase {
+        &mut self.slaves[i]
+    }
+
+    /// Number of slaves in the set.
+    pub fn n_slaves(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// Pause slave `i`'s WAL replay for `ms` — the replica-lag-spike fault
+    /// (network partition, slave I/O stall).
+    pub fn pause_slave_replay(&mut self, i: usize, ms: u64) {
+        self.slots[i].pause(ms);
+    }
+
+    /// Promote the most-caught-up slave to master (highest replay LSN, ties
+    /// broken toward the lowest index, matching a DBA promoting the first
+    /// healthy candidate). The old master is demoted into the promoted
+    /// slave's slot and every replication stream is re-based onto the new
+    /// master's timeline. Returns `None` when there is no slave to promote.
+    pub fn failover(&mut self) -> Option<FailoverReport> {
+        if self.slaves.is_empty() {
+            return None;
+        }
+        let mut promoted = 0;
+        for i in 1..self.slots.len() {
+            if self.slots[i].replay_lsn() > self.slots[promoted].replay_lsn() {
+                promoted = i;
+            }
+        }
+        let old_master_lsn = self.master.bg().wal().insert_lsn();
+        let lost_bytes = old_master_lsn.saturating_sub(self.slots[promoted].replay_lsn());
+        std::mem::swap(&mut self.master, &mut self.slaves[promoted]);
+        // All streams (including the demoted master's, now in the promoted
+        // slave's slot) re-base onto the new master's timeline, as if from
+        // a fresh base backup.
+        let new_master_lsn = self.master.bg().wal().insert_lsn();
+        for slot in &mut self.slots {
+            slot.resync(new_master_lsn);
+        }
+        Some(FailoverReport {
+            promoted,
+            lost_bytes,
+        })
     }
 
     /// Fault injection for tests: crash slave `i` on the next apply.
@@ -337,6 +394,54 @@ mod tests {
         assert!(r
             .apply_with_lag_guard(&[ch], ApplyMode::Reload, u64::MAX)
             .is_ok());
+    }
+
+    #[test]
+    fn failover_promotes_most_caught_up_slave() {
+        let mut r = rs(2);
+        // Slave 0 pauses and falls behind; slave 1 keeps replaying.
+        r.pause_slave_replay(0, 60_000);
+        write_heavily(&mut r, 10);
+        assert!(r.slots()[0].replay_lsn() < r.slots()[1].replay_lsn());
+        let wm = r.master().profile().lookup("work_mem").unwrap();
+        let master_wm = r.master().knobs().get(wm);
+        r.slave_mut(1).set_knob_direct(wm, master_wm * 2.0);
+        // WAL written after the last replication tick is unreplayed
+        // everywhere — the bytes a promotion abandons.
+        {
+            use autodbaas_simdb::{QueryKind, QueryProfile};
+            let mut q = QueryProfile::new(QueryKind::Insert, 0);
+            q.rows_written = 50;
+            let _ = r.master_mut().submit(&q, 500);
+        }
+
+        let report = r.failover().unwrap();
+        assert_eq!(report.promoted, 1, "the caught-up slave wins");
+        assert!(report.lost_bytes > 0, "promotion loses unreplayed WAL");
+        assert_eq!(
+            r.master().knobs().get(wm),
+            master_wm * 2.0,
+            "slave 1's state is now the master's"
+        );
+        assert_eq!(r.n_slaves(), 2, "demoted master rejoins as a slave");
+        assert_eq!(
+            r.max_replication_lag(),
+            0,
+            "streams re-base onto the new master's timeline"
+        );
+    }
+
+    #[test]
+    fn failover_tie_breaks_toward_lowest_index() {
+        let mut r = rs(3);
+        // No traffic: every slot sits at LSN 0.
+        assert_eq!(r.failover().unwrap().promoted, 0);
+    }
+
+    #[test]
+    fn failover_without_slaves_is_refused() {
+        let mut r = rs(0);
+        assert!(r.failover().is_none());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod metering;
 pub mod orchestrator;
 pub mod reconciler;
 
-pub use apply::{ApplyError, ReplicaSet};
+pub use apply::{ApplyError, FailoverReport, ReplicaSet};
 pub use dfa::{DataFederationAgent, DbAdapter, DfaError, MySqlAdapter, PostgresAdapter};
 pub use director::{Assignment, ConfigDirector, TunerKind, TunerSlot};
 pub use maintenance::{plan_buffer_update, MaintenanceSchedule};

@@ -28,7 +28,8 @@ pub enum ReconcileOutcome {
     Reconciled,
 }
 
-/// Watches one service's master config against the persisted config.
+/// Watches one service's live config — master and slaves — against the
+/// persisted config.
 #[derive(Debug, Clone)]
 pub struct Reconciler {
     service: ServiceId,
@@ -65,11 +66,17 @@ impl Reconciler {
         };
         // Compare only reloadable knobs: restart-bound knobs legitimately
         // lag behind the persisted value until the next maintenance window.
+        // Every node in the set is watched — after a failover or a partial
+        // slave-first apply the master can be clean while a slave drifts.
         let profile = rs.master().profile().clone();
-        let live = rs.master().knobs();
-        let drifted = profile.iter().any(|(id, spec)| {
-            !spec.restart_required && (live.get(id) - persisted.get(id)).abs() > 1e-9
-        });
+        let drifted = std::iter::once(rs.master())
+            .chain(rs.slaves().iter())
+            .any(|node| {
+                let live = node.knobs();
+                profile.iter().any(|(id, spec)| {
+                    !spec.restart_required && (live.get(id) - persisted.get(id)).abs() > 1e-9
+                })
+            });
 
         if !drifted {
             self.drift_since = None;
@@ -193,6 +200,47 @@ mod tests {
         rs.master_mut().set_knob_direct(wm, persisted_value * 2.0);
         let mut rec = Reconciler::new(id, 0);
         assert_eq!(rec.check(&orch, &mut rs, 1), ReconcileOutcome::Reconciled);
+        for s in rs.slaves() {
+            assert_eq!(s.knobs().get(wm), persisted_value);
+        }
+    }
+
+    #[test]
+    fn slave_drift_with_clean_master_is_detected_and_reconciled() {
+        let (orch, id, mut rs) = setup();
+        let wm = rs.master().profile().lookup("work_mem").unwrap();
+        let persisted_value = orch.persisted_config(id).unwrap().get(wm);
+        // Only the slave drifts (e.g. a slave-side apply that the master
+        // crash then aborted): the master watch alone would never see it.
+        rs.slave_mut(0).set_knob_direct(wm, persisted_value * 4.0);
+        assert_eq!(rs.master().knobs().get(wm), persisted_value);
+
+        let mut rec = Reconciler::new(id, 10_000);
+        assert!(matches!(
+            rec.check(&orch, &mut rs, 1_000),
+            ReconcileOutcome::DriftObserved { .. }
+        ));
+        assert_eq!(
+            rec.check(&orch, &mut rs, 11_001),
+            ReconcileOutcome::Reconciled
+        );
+        assert_eq!(rs.slaves()[0].knobs().get(wm), persisted_value);
+        assert_eq!(rs.master().knobs().get(wm), persisted_value);
+    }
+
+    #[test]
+    fn drift_promoted_by_failover_is_reconciled() {
+        let (orch, id, mut rs) = setup();
+        let wm = rs.master().profile().lookup("work_mem").unwrap();
+        let persisted_value = orch.persisted_config(id).unwrap().get(wm);
+        // The slave drifts, then a failover makes the drifted node master.
+        rs.slave_mut(0).set_knob_direct(wm, persisted_value * 2.0);
+        rs.failover().unwrap();
+        assert_eq!(rs.master().knobs().get(wm), persisted_value * 2.0);
+
+        let mut rec = Reconciler::new(id, 0);
+        assert_eq!(rec.check(&orch, &mut rs, 1), ReconcileOutcome::Reconciled);
+        assert_eq!(rs.master().knobs().get(wm), persisted_value);
         for s in rs.slaves() {
             assert_eq!(s.knobs().get(wm), persisted_value);
         }

@@ -73,6 +73,18 @@ impl BgWriter {
         &self.wal
     }
 
+    /// Mutable WAL access (crash recovery aborts/forces checkpoints).
+    pub fn wal_mut(&mut self) -> &mut Wal {
+        &mut self.wal
+    }
+
+    /// Crash handling for the flush machinery: an in-flight checkpoint run
+    /// dies with the process.
+    pub fn abort_checkpoint_run(&mut self) {
+        self.run = None;
+        self.wal.abort_checkpoint();
+    }
+
     /// Executor feedback: dead-tuple bytes from updates/deletes.
     pub fn note_dead_tuples(&mut self, bytes: f64) {
         self.dead_tuple_bytes += bytes.max(0.0);

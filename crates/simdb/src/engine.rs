@@ -57,6 +57,20 @@ pub struct ApplyReport {
     pub capped_by_instance: bool,
 }
 
+/// What a crash cost and what recovery did — returned by
+/// [`SimDatabase::crash`] so the control plane can schedule the rejoin.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// WAL bytes replayed: `insert_lsn − redo_lsn` at crash time.
+    pub redo_bytes: u64,
+    /// Total downtime: base restart cost plus redo replay time. The
+    /// instance refuses queries until this has elapsed.
+    pub recovery_ms: u64,
+    /// Restart-bound knobs that landed because the crash restart applied
+    /// the staged set (a crash is a restart, just not a graceful one).
+    pub staged_applied: usize,
+}
+
 /// Result of submitting queries.
 #[derive(Debug, Clone, Copy)]
 pub enum SubmitResult {
@@ -83,6 +97,12 @@ const SOCKET_JITTER_MS: u64 = 12_000;
 const SOCKET_JITTER_FACTOR: f64 = 1.9;
 /// Hard restart downtime.
 const RESTART_DOWNTIME_MS: u64 = 8_000;
+/// Floor on crash-recovery downtime: process restart, shared-memory init,
+/// control-file read — paid even with an empty redo window.
+pub const RECOVERY_BASE_MS: u64 = 2_000;
+/// REDO replay bandwidth during crash recovery. Replay is random-read-bound,
+/// so it is slower than the streaming replication rate.
+pub const REDO_REPLAY_BYTES_PER_MS: u64 = 96 * 1024;
 
 /// A recently executed query with its observed spill flag: the TDE's
 /// streaming-log window.
@@ -532,6 +552,67 @@ impl SimDatabase {
         }
     }
 
+    /// Crash the process now and run WAL crash recovery.
+    ///
+    /// Models the PostgreSQL/InnoDB recovery sequence: everything volatile
+    /// dies with the process (socket backlog, stall/jitter state, in-flight
+    /// checkpoint), REDO replays from the last completed checkpoint's
+    /// `redo_lsn` at a finite rate — so recovery time is proportional to
+    /// un-checkpointed WAL — and the instance comes back with a cold buffer
+    /// pool and an end-of-recovery checkpoint. Staged restart-bound knobs
+    /// land, exactly as on a graceful restart.
+    pub fn crash(&mut self) -> RecoveryReport {
+        // Volatile state dies with the process.
+        self.backlog.clear();
+        self.stall_until = 0;
+        self.jitter_until = 0;
+        self.jitter_factor = 1.0;
+        self.bg.abort_checkpoint_run();
+
+        // REDO window: everything since the last completed checkpoint.
+        let wal = self.bg.wal();
+        let redo_bytes = wal.insert_lsn() - wal.redo_lsn();
+        let recovery_ms = RECOVERY_BASE_MS + redo_bytes / REDO_REPLAY_BYTES_PER_MS;
+
+        // The crash restart lands staged restart-bound knobs.
+        let staged = std::mem::take(&mut self.staged);
+        let staged_applied = staged.len();
+        for ch in &staged {
+            self.knobs.set(&self.profile, ch.knob, ch.value);
+        }
+
+        // Cold start: fresh (possibly resized) buffer pool, fresh workers.
+        let pool_bytes = self.knobs.get(self.planner.roles().buffer_pool) as u64;
+        self.pool.resize(pool_bytes);
+        self.workers.resize(self.instance.vcpus() * 2);
+
+        // End-of-recovery checkpoint: the replayed WAL is now durable.
+        let wal = self.bg.wal_mut();
+        wal.begin_checkpoint();
+        wal.complete_checkpoint();
+
+        self.down_until = self.now + recovery_ms;
+        RecoveryReport {
+            redo_bytes,
+            recovery_ms,
+            staged_applied,
+        }
+    }
+
+    /// Degrade performance for `duration_ms` by latency factor `factor`
+    /// (≥ 1.0) — the disk-stall / noisy-neighbor fault model. Overlapping
+    /// degradations max-merge rather than stack.
+    pub fn degrade(&mut self, duration_ms: u64, factor: f64) {
+        let until = self.now + duration_ms;
+        if self.now < self.jitter_until {
+            self.jitter_factor = self.jitter_factor.max(factor.max(1.0));
+            self.jitter_until = self.jitter_until.max(until);
+        } else {
+            self.jitter_factor = factor.max(1.0);
+            self.jitter_until = until;
+        }
+    }
+
     /// Knob values currently staged for the next restart.
     pub fn staged_changes(&self) -> &[ConfigChange] {
         &self.staged
@@ -826,6 +907,94 @@ mod tests {
             high > low * 3.0,
             "series must reflect the load drop ({high:.0} vs {low:.0})"
         );
+    }
+
+    #[test]
+    fn crash_recovery_time_scales_with_uncheckpointed_wal() {
+        let mut cold = db();
+        let quick = cold.crash();
+        assert_eq!(quick.redo_bytes, 0, "no writes, empty redo window");
+        assert_eq!(quick.recovery_ms, RECOVERY_BASE_MS);
+
+        let mut busy = db();
+        busy.bg_mut().note_wal(96.0 * 1024.0 * 10_000.0); // 10 s of replay
+        let slow = busy.crash();
+        assert_eq!(slow.recovery_ms, RECOVERY_BASE_MS + 10_000);
+        assert!(busy.is_down());
+        assert!(matches!(
+            busy.submit(&point_query(), 1),
+            SubmitResult::Refused
+        ));
+        // Recovery checkpointed the replayed WAL: a second immediate crash
+        // has an empty redo window again.
+        assert_eq!(busy.bg().wal().bytes_since_checkpoint(), 0);
+        for _ in 0..15 {
+            busy.tick(1_000);
+        }
+        assert!(!busy.is_down());
+        assert!(matches!(
+            busy.submit(&point_query(), 1),
+            SubmitResult::Done(_)
+        ));
+    }
+
+    #[test]
+    fn crash_lands_staged_knobs_and_clears_volatile_state() {
+        let mut d = db();
+        let p = d.profile().clone();
+        let shared = p.lookup("shared_buffers").unwrap();
+        // Queue a socket backlog, then stage a restart-bound knob mid-stall
+        // (socket activation itself is restart-class and would land it).
+        d.apply_config(&[], ApplyMode::SocketActivation);
+        assert!(matches!(d.submit(&point_query(), 50), SubmitResult::Queued));
+        d.apply_config(
+            &[ConfigChange {
+                knob: shared,
+                value: 512.0 * MIB,
+            }],
+            ApplyMode::Reload,
+        );
+        let before = d.metrics().get(MetricId::QueriesExecuted);
+        let report = d.crash();
+        assert_eq!(report.staged_applied, 1);
+        assert_eq!(d.knobs().get(shared), 512.0 * MIB);
+        assert!(d.staged_changes().is_empty());
+        for _ in 0..15 {
+            d.tick(1_000);
+        }
+        assert_eq!(
+            d.metrics().get(MetricId::QueriesExecuted),
+            before,
+            "socket backlog must not survive a crash"
+        );
+    }
+
+    #[test]
+    fn degrade_inflates_latency_then_expires() {
+        let mut d = db();
+        let q = point_query();
+        let base = match d.submit(&q, 1) {
+            SubmitResult::Done(o) => o.latency_ms,
+            _ => panic!(),
+        };
+        d.degrade(5_000, 4.0);
+        let stalled = match d.submit(&q, 1) {
+            SubmitResult::Done(o) => o.latency_ms,
+            _ => panic!(),
+        };
+        assert!(stalled > base * 2.0, "{stalled:.2} vs {base:.2}");
+        // Overlapping degradations max-merge, never stack.
+        d.degrade(1_000, 2.0);
+        assert!((d.jitter_factor - 4.0).abs() < 1e-9);
+        assert_eq!(d.jitter_until, 5_000);
+        for _ in 0..6 {
+            d.tick(1_000);
+        }
+        let recovered = match d.submit(&q, 1) {
+            SubmitResult::Done(o) => o.latency_ms,
+            _ => panic!(),
+        };
+        assert!(recovered < stalled / 2.0);
     }
 
     #[test]

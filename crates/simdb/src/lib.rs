@@ -33,7 +33,10 @@ pub mod replication;
 pub mod wal;
 
 pub use catalog::{Catalog, Table, PAGE_BYTES};
-pub use engine::{ApplyMode, ApplyReport, ConfigChange, LoggedQuery, SimDatabase, SubmitResult};
+pub use engine::{
+    ApplyMode, ApplyReport, ConfigChange, LoggedQuery, RecoveryReport, SimDatabase, SubmitResult,
+    RECOVERY_BASE_MS, REDO_REPLAY_BYTES_PER_MS,
+};
 pub use instance::{DiskKind, InstanceType};
 pub use knobs::{DbFlavor, KnobClass, KnobId, KnobProfile, KnobSet, KnobSpec, KnobUnit};
 pub use metrics::{MetricId, Metrics, MetricsSnapshot};

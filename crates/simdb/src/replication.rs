@@ -79,6 +79,15 @@ impl ReplicationSlot {
         let lag = self.lag_bytes(master_lsn) as f64;
         ((lag / self.replay_rate) * 1000.0) as u64 + self.paused_ms
     }
+
+    /// Re-seed the slot at `lsn`, dropping any pause and fractional carry —
+    /// what re-basing a replica onto a fresh base backup (after joining a new
+    /// master, or after a demoted master rejoins) does to its stream position.
+    pub fn resync(&mut self, lsn: Lsn) {
+        self.replay_lsn = lsn;
+        self.carry = 0.0;
+        self.paused_ms = 0;
+    }
 }
 
 #[cfg(test)]
@@ -125,5 +134,15 @@ mod tests {
         assert_eq!(slot.catchup_eta_ms(4_000), 2_000);
         slot.pause(500);
         assert_eq!(slot.catchup_eta_ms(4_000), 2_500);
+    }
+
+    #[test]
+    fn resync_rebases_position_and_clears_pause() {
+        let mut slot = ReplicationSlot::new(1_000.0);
+        slot.pause(5_000);
+        slot.resync(8_000);
+        assert_eq!(slot.replay_lsn(), 8_000);
+        assert!(!slot.is_paused());
+        assert_eq!(slot.lag_bytes(8_000), 0);
     }
 }

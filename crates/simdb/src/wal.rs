@@ -68,6 +68,12 @@ impl Wal {
         self.insert_lsn
     }
 
+    /// Redo point of the last *completed* checkpoint — where crash recovery
+    /// starts replaying from.
+    pub fn redo_lsn(&self) -> Lsn {
+        self.redo_lsn
+    }
+
     /// Bytes of log not yet covered by a completed checkpoint — the value
     /// the WAL-volume trigger compares against `max_wal_size`.
     pub fn bytes_since_checkpoint(&self) -> u64 {
@@ -105,6 +111,13 @@ impl Wal {
     /// True while a checkpoint is between begin and complete.
     pub fn checkpoint_in_progress(&self) -> bool {
         self.pending_redo_lsn.is_some()
+    }
+
+    /// Abandon an in-progress checkpoint without advancing the redo point —
+    /// what a crash does to a checkpoint that never fsynced its completion
+    /// record. A no-op when no checkpoint is in progress.
+    pub fn abort_checkpoint(&mut self) {
+        self.pending_redo_lsn = None;
     }
 
     /// Segments recycled over the instance's lifetime.
@@ -188,5 +201,21 @@ mod tests {
     fn complete_without_begin_panics() {
         let mut wal = Wal::new();
         wal.complete_checkpoint();
+    }
+
+    #[test]
+    fn abort_discards_pending_redo_point() {
+        let mut wal = Wal::with_segment_bytes(16 * MIB);
+        wal.append(40 * MIB);
+        wal.begin_checkpoint();
+        wal.abort_checkpoint();
+        assert!(!wal.checkpoint_in_progress());
+        assert_eq!(
+            wal.redo_lsn(),
+            0,
+            "aborted checkpoint must not advance redo"
+        );
+        assert_eq!(wal.bytes_since_checkpoint(), 40 * MIB);
+        wal.abort_checkpoint(); // no-op when nothing pending
     }
 }

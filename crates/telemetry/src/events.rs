@@ -1,0 +1,186 @@
+//! Countable, fingerprintable event log for fault-injection and recovery
+//! telemetry.
+//!
+//! The chaos engine and the self-healing control plane both need the same
+//! thing from telemetry: every fault injected and every recovery action
+//! taken must be *countable* (so harnesses can report availability, MTTR
+//! and convergence) and the whole log must be *comparable across runs* (so
+//! a seeded chaos run can assert bit-for-bit reproducibility). This module
+//! provides that as an append-only, deterministic event log.
+
+use crate::SimTime;
+
+/// One fault or recovery event.
+///
+/// `kind` is a static dotted label (`"fault.vm_crash"`,
+/// `"recover.failover"`, …) so logs stay allocation-free and greppable;
+/// `target` identifies the affected entity (node index, service id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Dotted event label, e.g. `"fault.vm_crash"`.
+    pub kind: &'static str,
+    /// Affected entity (node index / service id); `u64::MAX` = fleet-wide.
+    pub target: u64,
+}
+
+/// Append-only event log.
+///
+/// # Examples
+///
+/// ```
+/// use autodbaas_telemetry::EventLog;
+///
+/// let mut log = EventLog::new();
+/// log.emit(1_000, "fault.vm_crash", 3);
+/// log.emit(9_000, "recover.restarted", 3);
+/// assert_eq!(log.count("fault.vm_crash"), 1);
+/// assert_eq!(log.count_prefix("recover."), 1);
+/// assert_eq!(log.mean_gap_ms("fault.vm_crash", "recover.restarted"), Some(8_000.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn emit(&mut self, at: SimTime, kind: &'static str, target: u64) {
+        self.events.push(Event { at, kind, target });
+    }
+
+    /// All events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events logged.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events with exactly this kind.
+    pub fn count(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Events whose kind starts with `prefix` (e.g. `"fault."`).
+    pub fn count_prefix(&self, prefix: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind.starts_with(prefix))
+            .count()
+    }
+
+    /// Mean time from each `from` event to the *next* `to` event on the
+    /// same target — the MTTR measure when `from` is a fault and `to` its
+    /// recovery. `None` when no matched pair exists.
+    pub fn mean_gap_ms(&self, from: &str, to: &str) -> Option<f64> {
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for (i, e) in self.events.iter().enumerate() {
+            if e.kind != from {
+                continue;
+            }
+            if let Some(rec) = self.events[i + 1..]
+                .iter()
+                .find(|r| r.kind == to && r.target == e.target)
+            {
+                total += rec.at.saturating_sub(e.at);
+                pairs += 1;
+            }
+        }
+        (pairs > 0).then(|| total as f64 / pairs as f64)
+    }
+
+    /// FNV-1a fingerprint over the ordered log: two runs produced identical
+    /// event sequences iff their fingerprints match. This is the bit-for-bit
+    /// reproducibility check for seeded chaos runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for e in &self.events {
+            mix(&e.at.to_le_bytes());
+            mix(e.kind.as_bytes());
+            mix(&e.target.to_le_bytes());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_kind_and_prefix() {
+        let mut log = EventLog::new();
+        log.emit(0, "fault.vm_crash", 0);
+        log.emit(5, "fault.disk_stall", 1);
+        log.emit(9, "recover.restarted", 0);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count("fault.vm_crash"), 1);
+        assert_eq!(log.count_prefix("fault."), 2);
+        assert_eq!(log.count_prefix("recover."), 1);
+        assert_eq!(log.count("nope"), 0);
+    }
+
+    #[test]
+    fn mean_gap_pairs_by_target() {
+        let mut log = EventLog::new();
+        log.emit(0, "fault.vm_crash", 0);
+        log.emit(100, "fault.vm_crash", 1);
+        log.emit(400, "recover.restarted", 1); // 300 for node 1
+        log.emit(1_000, "recover.restarted", 0); // 1000 for node 0
+        assert_eq!(
+            log.mean_gap_ms("fault.vm_crash", "recover.restarted"),
+            Some(650.0)
+        );
+        assert_eq!(log.mean_gap_ms("fault.vm_crash", "missing"), None);
+    }
+
+    #[test]
+    fn unrecovered_faults_do_not_skew_the_mean() {
+        let mut log = EventLog::new();
+        log.emit(0, "fault.vm_crash", 0);
+        log.emit(50, "recover.restarted", 0);
+        log.emit(60, "fault.vm_crash", 2); // never recovers
+        assert_eq!(
+            log.mean_gap_ms("fault.vm_crash", "recover.restarted"),
+            Some(50.0)
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let mut a = EventLog::new();
+        let mut b = EventLog::new();
+        a.emit(1, "fault.vm_crash", 0);
+        a.emit(2, "recover.restarted", 0);
+        b.emit(1, "fault.vm_crash", 0);
+        b.emit(2, "recover.restarted", 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.emit(3, "fault.vm_crash", 1);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = EventLog::new();
+        c.emit(2, "recover.restarted", 0);
+        c.emit(1, "fault.vm_crash", 0);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "order matters");
+    }
+}

@@ -11,11 +11,13 @@
 
 pub mod dist;
 pub mod entropy;
+pub mod events;
 pub mod quantile;
 pub mod stats;
 pub mod timeseries;
 
 pub use entropy::{normalized_entropy, shannon_entropy};
+pub use events::{Event, EventLog};
 pub use quantile::P2Quantile;
 pub use stats::{mean, percentile, stddev, variance, Ewma, Histogram, SummaryStats};
 pub use timeseries::{PeakDetector, Sample, TimeSeries};

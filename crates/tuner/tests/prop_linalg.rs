@@ -104,12 +104,11 @@ proptest! {
         l.solve_lower_transpose_in_place(&mut alpha);
         // Residual ‖Kα − y‖∞ scaled by the conditioning-driven magnitude.
         let scale = 1.0 + alpha.iter().fold(0.0f64, |m, a| m.max(a.abs()));
-        for i in 0..n {
+        for (i, want) in rhs.iter().enumerate().take(n) {
             let kx: f64 = k.row(i).iter().zip(&alpha).map(|(a, b)| a * b).sum();
             prop_assert!(
-                (kx - rhs[i]).abs() < 1e-7 * scale,
-                "row {i}: K·α = {kx}, want {}, α-scale {scale}",
-                rhs[i]
+                (kx - want).abs() < 1e-7 * scale,
+                "row {i}: K·α = {kx}, want {want}, α-scale {scale}"
             );
         }
         // The batched solve agrees with the vector solve column-by-column.

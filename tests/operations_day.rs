@@ -47,7 +47,7 @@ fn a_day_in_the_life_of_a_managed_service() {
     );
     let mut rng: StdRng = SeedableRng::seed_from_u64(4);
 
-    let mut drive = |rs: &mut autodbaas::ctrlplane::ReplicaSet, rng: &mut StdRng, secs: u64| {
+    let drive = |rs: &mut autodbaas::ctrlplane::ReplicaSet, rng: &mut StdRng, secs: u64| {
         for _ in 0..secs {
             for _ in 0..8 {
                 let q = workload.next_query(rng);

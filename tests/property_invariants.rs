@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) over the core invariants of the
 //! reproduction, spanning crates.
 
+use autodbaas::ctrlplane::{Reconciler, ServiceSpec};
 use autodbaas::prelude::*;
 use autodbaas::simdb::{Catalog, QueryKind};
 use autodbaas::tde::{classify, normalize_sql, ClassHistogram, Reservoir, TemplateStore};
@@ -9,7 +10,7 @@ use autodbaas::telemetry::stats::percentile;
 use autodbaas::tuner::{denormalize_config, normalize_config};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 proptest! {
     // ---------------- entropy (Eqs. 1–2) ------------------------------
@@ -186,6 +187,107 @@ proptest! {
         ) {
             prop_assert!(new_value <= upper * 1.0001, "{new_value} > {upper}");
             prop_assert!(new_value > 0.0);
+        }
+    }
+
+    // ---------------- §4 reconciler convergence -------------------------
+
+    // For ANY seeded schedule of config faults — direct drift on any node,
+    // mid-apply crashes on either side of the slave-first protocol,
+    // failovers promoting a drifted replica — the reconciler converges the
+    // surviving service back to the persisted config within one watcher
+    // timeout of the last fault.
+    #[test]
+    fn reconciler_converges_after_any_fault_schedule(
+        seed in 0u64..500,
+        n_faults in 1usize..8,
+        n_slaves in 0usize..3,
+    ) {
+        const TICK: u64 = 5_000;
+        const WATCHER: u64 = 30_000;
+        let mut orch = ServiceOrchestrator::new();
+        let (id, mut rs) = orch.provision(ServiceSpec {
+            flavor: DbFlavor::Postgres,
+            instance: InstanceType::M4Large,
+            disk: DiskKind::Ssd,
+            catalog: Catalog::synthetic(3, 100_000_000, 150, 1),
+            n_slaves,
+            seed,
+        });
+        let mut rec = Reconciler::new(id, WATCHER);
+        let profile = rs.master().profile().clone();
+        let wm = profile.lookup("work_mem").unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a05);
+        let mut now = 0u64;
+        for _ in 0..n_faults {
+            for _ in 0..rng.gen_range(0..4usize) {
+                now += TICK;
+                rs.tick(TICK);
+                let _ = rec.check(&orch, &mut rs, now);
+            }
+            let value = rng.gen_range(8.0f64..256.0) * 1024.0 * 1024.0;
+            match rng.gen_range(0..5u32) {
+                0 => rs.master_mut().set_knob_direct(wm, value),
+                1 => {
+                    // Drift one replica (half-applied recommendation).
+                    if rs.n_slaves() > 0 {
+                        let i = rng.gen_range(0..rs.n_slaves());
+                        rs.slave_mut(i).set_knob_direct(wm, value);
+                    } else {
+                        rs.master_mut().set_knob_direct(wm, value);
+                    }
+                }
+                2 => {
+                    // Master crash mid-apply: slaves take the config, the
+                    // master (and persistence) never see it.
+                    rs.inject_master_crash();
+                    let _ = rs.apply(
+                        &[ConfigChange { knob: wm, value }],
+                        ApplyMode::Reload,
+                    );
+                }
+                3 => {
+                    // Slave crash mid-apply rejects the recommendation,
+                    // leaving earlier slaves drifted; with no slave to
+                    // crash the apply succeeds and must be persisted.
+                    if rs.n_slaves() > 0 {
+                        rs.inject_slave_crash(rng.gen_range(0..rs.n_slaves()));
+                    }
+                    if rs
+                        .apply(&[ConfigChange { knob: wm, value }], ApplyMode::Reload)
+                        .is_ok()
+                    {
+                        orch.persist_config(id, rs.master().knobs().clone());
+                    }
+                }
+                _ => {
+                    let _ = rs.failover();
+                }
+            }
+        }
+        // Quiet tail: one watcher timeout (plus the checks around it)
+        // after the last fault.
+        for _ in 0..(WATCHER / TICK + 2) {
+            now += TICK;
+            rs.tick(TICK);
+            let _ = rec.check(&orch, &mut rs, now);
+        }
+        let persisted = orch.persisted_config(id).unwrap().clone();
+        for (n, node) in std::iter::once(rs.master())
+            .chain(rs.slaves().iter())
+            .enumerate()
+        {
+            for (kid, spec) in profile.iter() {
+                if !spec.restart_required {
+                    let live = node.knobs().get(kid);
+                    prop_assert!(
+                        (live - persisted.get(kid)).abs() < 1e-9,
+                        "node {n} knob {} live {live} vs persisted {}",
+                        spec.name,
+                        persisted.get(kid)
+                    );
+                }
+            }
         }
     }
 
