@@ -14,17 +14,21 @@
 
 use crate::template::{TemplateId, TemplateStore};
 use autodbaas_simdb::QueryProfile;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Jensen–Shannon divergence between two frequency tables keyed by
 /// template id. Returns a value in `[0, ln 2]`.
-pub fn js_divergence(a: &HashMap<TemplateId, u64>, b: &HashMap<TemplateId, u64>) -> f64 {
+///
+/// Keyed on `BTreeMap` so the float accumulation below visits templates in
+/// id order — `HashMap` iteration order varies per process and would make
+/// the low bits of the divergence (and thus replay fingerprints) flap.
+pub fn js_divergence(a: &BTreeMap<TemplateId, u64>, b: &BTreeMap<TemplateId, u64>) -> f64 {
     let total_a: u64 = a.values().sum();
     let total_b: u64 = b.values().sum();
     if total_a == 0 || total_b == 0 {
         return 0.0;
     }
-    let keys: std::collections::HashSet<_> = a.keys().chain(b.keys()).collect();
+    let keys: std::collections::BTreeSet<_> = a.keys().chain(b.keys()).collect();
     let mut kl_am = 0.0;
     let mut kl_bm = 0.0;
     for k in keys {
@@ -74,8 +78,8 @@ pub enum DriftVerdict {
 #[derive(Debug)]
 pub struct DriftDetector {
     cfg: DriftConfig,
-    previous: Option<HashMap<TemplateId, u64>>,
-    current: HashMap<TemplateId, u64>,
+    previous: Option<BTreeMap<TemplateId, u64>>,
+    current: BTreeMap<TemplateId, u64>,
     consecutive_drifts: u32,
     changes_detected: u64,
 }
@@ -86,7 +90,7 @@ impl DriftDetector {
         Self {
             cfg,
             previous: None,
-            current: HashMap::new(),
+            current: BTreeMap::new(),
             consecutive_drifts: 0,
             changes_detected: 0,
         }
@@ -151,13 +155,13 @@ mod tests {
 
     #[test]
     fn js_divergence_basics() {
-        let mut a = HashMap::new();
+        let mut a = BTreeMap::new();
         a.insert(TemplateId(0), 10u64);
         a.insert(TemplateId(1), 10);
         // Identical distributions → 0.
         assert!(js_divergence(&a, &a).abs() < 1e-12);
         // Disjoint distributions → ln 2.
-        let mut b = HashMap::new();
+        let mut b = BTreeMap::new();
         b.insert(TemplateId(2), 7u64);
         let d = js_divergence(&a, &b);
         assert!(
@@ -165,7 +169,7 @@ mod tests {
             "disjoint JS = ln2, got {d}"
         );
         // Empty side → 0 (no evidence).
-        assert_eq!(js_divergence(&a, &HashMap::new()), 0.0);
+        assert_eq!(js_divergence(&a, &BTreeMap::new()), 0.0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use autodbaas_simdb::QueryProfile;
 use std::collections::HashMap;
 
 /// Identifier of a template within a [`TemplateStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TemplateId(pub u32);
 
 /// Strip numeric literals from SQL-ish text: every digit run becomes `?`.

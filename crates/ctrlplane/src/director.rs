@@ -91,11 +91,15 @@ impl ConfigDirector {
         service_time_ms: f64,
     ) -> Assignment {
         self.request_log.push(now);
-        let slot = self
-            .tuners
-            .iter_mut()
-            .min_by_key(|t| t.busy_until)
-            .expect("nonempty fleet");
+        // First minimum by busy_until; the constructor guarantees at least
+        // one tuner, so index 0 is always a valid starting candidate.
+        let mut best = 0;
+        for (i, t) in self.tuners.iter().enumerate().skip(1) {
+            if t.busy_until < self.tuners[best].busy_until {
+                best = i;
+            }
+        }
+        let slot = &mut self.tuners[best];
         let start = slot.busy_until.max(now);
         let ready_at = start + service_time_ms.max(0.0) as u64;
         slot.busy_until = ready_at;

@@ -9,7 +9,7 @@
 //! reduction directly shrinks.
 
 use crate::orchestrator::ServiceId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Hourly price of one tuner instance (the paper's m4.xlarge, on-demand
 /// 2020 pricing ≈ $0.20/h).
@@ -36,10 +36,13 @@ pub struct TenantUsage {
 /// assert_eq!(meter.usage(ServiceId(0)).recommendations, 1);
 /// assert!(meter.tenant_cost(ServiceId(0)) > 0.0);
 /// ```
+/// Tenants are kept in a `BTreeMap` so [`RecommendationMeter::totals`]
+/// sums the f64 busy-time in service-id order — hash-order iteration would
+/// make the low bits of the fleet total vary between processes.
 #[derive(Debug, Clone)]
 pub struct RecommendationMeter {
     rate_per_hour: f64,
-    tenants: HashMap<ServiceId, TenantUsage>,
+    tenants: BTreeMap<ServiceId, TenantUsage>,
 }
 
 impl Default for RecommendationMeter {
@@ -54,7 +57,7 @@ impl RecommendationMeter {
         assert!(rate_per_hour >= 0.0);
         Self {
             rate_per_hour,
-            tenants: HashMap::new(),
+            tenants: BTreeMap::new(),
         }
     }
 

@@ -1,0 +1,286 @@
+//! The committed findings baseline (`lint_baseline.toml`).
+//!
+//! The gate lands strict from day one by grandfathering pre-existing
+//! findings into a reviewed, reason-annotated file at the workspace root.
+//! A finding is baselined when its `(rule, file, key)` triple matches an
+//! entry, where `key` is the *trimmed source line* — robust to line-number
+//! drift from unrelated edits, and invalidated the moment the offending
+//! line itself changes (which is exactly when it should be re-reviewed).
+//!
+//! The file is a small TOML subset parsed here by hand (no crates.io):
+//!
+//! ```toml
+//! [[finding]]
+//! rule = "R002"
+//! file = "crates/simdb/src/planner.rs"
+//! key = "let max_workers = knobs.get(..) as u32;"
+//! reason = "clamped to [0, 16] by the knob spec; truncation is exact"
+//! ```
+//!
+//! Every entry MUST carry a non-empty `reason`; a reasonless entry is a
+//! configuration error (exit 2), mirroring the `detlint-allow` contract.
+
+use crate::rules::Finding;
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Trimmed source line of the finding.
+    pub key: String,
+    /// Why this finding is acceptable (required).
+    pub reason: String,
+    /// Line in the baseline file (for error messages).
+    pub line: u32,
+}
+
+/// A parsed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// All entries, in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// A baseline file that could not be used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line in the baseline file.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Parse baseline text. Unknown keys are rejected (they are typos);
+    /// entries missing `rule`/`file`/`key` or a non-empty `reason` are
+    /// errors.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        let mut current: Option<BaselineEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx as u32 + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[finding]]" {
+                if let Some(e) = current.take() {
+                    Self::validate(&e)?;
+                    entries.push(e);
+                }
+                current = Some(BaselineEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    key: String::new(),
+                    reason: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            let Some((k, v)) = line.split_once('=') else {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("expected `key = \"value\"`, got `{line}`"),
+                });
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: "key outside a [[finding]] table".to_string(),
+                });
+            };
+            let value = parse_string(v.trim()).ok_or_else(|| BaselineError {
+                line: lineno,
+                message: format!("value must be a double-quoted string: `{}`", v.trim()),
+            })?;
+            match k.trim() {
+                "rule" => entry.rule = value,
+                "file" => entry.file = value,
+                "key" => entry.key = value,
+                "reason" => entry.reason = value,
+                other => {
+                    return Err(BaselineError {
+                        line: lineno,
+                        message: format!("unknown key `{other}`"),
+                    })
+                }
+            }
+        }
+        if let Some(e) = current.take() {
+            Self::validate(&e)?;
+            entries.push(e);
+        }
+        Ok(Baseline { entries })
+    }
+
+    fn validate(e: &BaselineEntry) -> Result<(), BaselineError> {
+        let missing = [
+            ("rule", &e.rule),
+            ("file", &e.file),
+            ("key", &e.key),
+            ("reason", &e.reason),
+        ]
+        .iter()
+        .find(|(_, v)| v.trim().is_empty())
+        .map(|(k, _)| *k);
+        if let Some(k) = missing {
+            return Err(BaselineError {
+                line: e.line,
+                message: format!(
+                    "entry is missing a non-empty `{k}` — every grandfathered \
+                     finding needs rule, file, key and a justifying reason"
+                ),
+            });
+        }
+        if e.rule == "S001" {
+            return Err(BaselineError {
+                line: e.line,
+                message: "S001 (suppression without reason) cannot be baselined".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Index of the entry matching `f`, if any.
+    pub fn matches(&self, f: &Finding) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.rule == f.rule && e.file == f.file && e.key == f.snippet)
+    }
+
+    /// Render findings as baseline entries (the `--write-baseline` output).
+    pub fn render(findings: &[Finding], reason: &str) -> String {
+        let mut out = String::from(
+            "# detlint baseline — grandfathered findings. Every entry needs a\n\
+             # reviewed `reason`; delete entries as the underlying code is fixed.\n",
+        );
+        for f in findings {
+            out.push_str(&format!(
+                "\n[[finding]]\nrule = \"{}\"\nfile = \"{}\"\nkey = \"{}\"\nreason = \"{}\"\n",
+                escape(f.rule),
+                escape(&f.file),
+                escape(&f.snippet),
+                escape(reason),
+            ));
+        }
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parse a double-quoted TOML basic string with `\"` and `\\` escapes.
+fn parse_string(s: &str) -> Option<String> {
+    let body = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            return None; // unescaped quote mid-string: not a single string
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            col: 1,
+            snippet: snippet.to_string(),
+            message: String::new(),
+            in_test: false,
+        }
+    }
+
+    #[test]
+    fn parses_and_matches() {
+        let text = r#"
+# comment
+[[finding]]
+rule = "R002"
+file = "crates/simdb/src/knobs.rs"
+key = "KnobId(i as u16)"
+reason = "profile length bounded"
+"#;
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.entries.len(), 1);
+        let f = finding("R002", "crates/simdb/src/knobs.rs", "KnobId(i as u16)");
+        assert_eq!(b.matches(&f), Some(0));
+        // Different snippet (the line changed): no longer baselined.
+        let g = finding("R002", "crates/simdb/src/knobs.rs", "KnobId(j as u16)");
+        assert_eq!(b.matches(&g), None);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let text = "[[finding]]\nrule = \"D001\"\nfile = \"a.rs\"\nkey = \"x\"\n";
+        let err = Baseline::parse(text).unwrap_err();
+        assert!(err.message.contains("reason"));
+        let text = "[[finding]]\nrule = \"D001\"\nfile = \"a.rs\"\nkey = \"x\"\nreason = \"  \"\n";
+        assert!(Baseline::parse(text).is_err());
+    }
+
+    #[test]
+    fn s001_cannot_be_baselined() {
+        let text =
+            "[[finding]]\nrule = \"S001\"\nfile = \"a.rs\"\nkey = \"x\"\nreason = \"because\"\n";
+        let err = Baseline::parse(text).unwrap_err();
+        assert!(err.message.contains("S001"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines_and_unknown_keys() {
+        assert!(Baseline::parse("[[finding]]\nbogus\n").is_err());
+        assert!(
+            Baseline::parse("rule = \"D001\"\n").is_err(),
+            "key outside table"
+        );
+        assert!(Baseline::parse("[[finding]]\ncolor = \"red\"\n").is_err());
+        assert!(Baseline::parse("[[finding]]\nrule = unquoted\n").is_err());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let f = finding("D003", "a.rs", r#"let s = "quote \" and \\ slash";"#);
+        let rendered = Baseline::render(std::slice::from_ref(&f), "grandfathered");
+        let parsed = Baseline::parse(&rendered).unwrap();
+        assert_eq!(parsed.entries[0].key, f.snippet);
+        assert_eq!(parsed.matches(&f), Some(0));
+    }
+
+    #[test]
+    fn empty_baseline_is_fine() {
+        assert!(Baseline::parse("").unwrap().entries.is_empty());
+        assert!(Baseline::parse("# only comments\n")
+            .unwrap()
+            .entries
+            .is_empty());
+    }
+}

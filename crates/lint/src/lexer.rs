@@ -1,0 +1,536 @@
+//! A lightweight, span-accurate Rust lexer.
+//!
+//! detlint cannot depend on `syn`/`proc-macro2` (the build environment has
+//! no crates.io access), so it carries its own lexer. The lexer's job is
+//! narrower than a compiler front-end's: classify every byte of a source
+//! file into comments, string/char literals, identifiers, numbers and
+//! punctuation — with exact byte spans — so the rule engine can match
+//! token patterns without ever being fooled by `"HashMap::iter"` inside a
+//! string literal or a commented-out `SystemTime::now()`.
+//!
+//! Supported syntax: line comments (`//`, `///`, `//!`), block comments
+//! with nesting (`/* /* */ */`), string literals with escapes, raw strings
+//! with arbitrary `#` fences (`r#"…"#`, `r##"…"##`), byte and raw byte
+//! strings (`b"…"`, `br#"…"#`), char literals (including `'\''` and
+//! `'\u{…}'`), lifetimes (`'a`, distinguished from char literals), raw
+//! identifiers (`r#type`), numbers (decimal, hex/octal/binary, floats,
+//! exponents, suffixes) and multi-byte punctuation (only `::`, which the
+//! rules need for path matching; everything else is single-byte).
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type`).
+    Ident,
+    /// A lifetime such as `'a` (includes the quote).
+    Lifetime,
+    /// Numeric literal (`42`, `0xff`, `1.5e-9`, `0u64`).
+    Number,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte-char literal: `'a'`, `b'\n'`.
+    Char,
+    /// `// …` comment (terminating newline excluded).
+    LineComment,
+    /// `/* … */` comment, nesting included.
+    BlockComment,
+    /// Punctuation. Single byte except for `::`.
+    Punct,
+}
+
+/// One token with its exact location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenize `src`. Never panics: unterminated literals/comments run to end
+/// of input, and bytes that fit no rule become one-byte `Punct` tokens.
+/// Whitespace is skipped (it carries no information the rules need); spans
+/// of returned tokens are non-overlapping and strictly increasing.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Byte offset where the current line began (for column computation).
+    line_start: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, maintaining the line counter. Saturates at end of
+    /// input: an escape at EOF (`"…\`) asks to skip past the last byte, and
+    /// the resulting token span must still end at `len`.
+    fn bump(&mut self) {
+        if self.pos >= self.bytes.len() {
+            return;
+        }
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let col = (start - self.line_start) as u32 + 1;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    let kind = self.quote_token();
+                    self.push(kind, start, line, col);
+                }
+                b'r' | b'b' if self.raw_or_byte_string() => {
+                    self.push(TokKind::Str, start, line, col);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    // Byte-char literal b'x'.
+                    self.bump(); // b
+                    let _ = self.quote_token();
+                    self.push(TokKind::Char, start, line, col);
+                }
+                b'r' if self.peek(1) == Some(b'#') && Self::is_ident_start(self.peek(2)) => {
+                    // Raw identifier r#type.
+                    self.bump_n(2);
+                    self.ident_tail();
+                    self.push(TokKind::Ident, start, line, col);
+                }
+                _ if Self::is_ident_start(Some(b)) => {
+                    self.bump();
+                    self.ident_tail();
+                    self.push(TokKind::Ident, start, line, col);
+                }
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokKind::Number, start, line, col);
+                }
+                b':' if self.peek(1) == Some(b':') => {
+                    self.bump_n(2);
+                    self.push(TokKind::Punct, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn is_ident_start(b: Option<u8>) -> bool {
+        matches!(b, Some(b'a'..=b'z' | b'A'..=b'Z' | b'_')) || matches!(b, Some(x) if x >= 0x80)
+    }
+
+    fn is_ident_continue(b: Option<u8>) -> bool {
+        Self::is_ident_start(b) || matches!(b, Some(b'0'..=b'9'))
+    }
+
+    fn ident_tail(&mut self) {
+        while Self::is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+    }
+
+    /// Block comment with nesting; `pos` sits on the opening `/`.
+    fn block_comment(&mut self) {
+        self.bump_n(2); // consume /*
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Ordinary string literal; `pos` sits on the opening quote.
+    fn string_literal(&mut self) {
+        self.bump(); // opening "
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// `'`-introduced token: char literal or lifetime. `pos` sits on `'`.
+    fn quote_token(&mut self) -> TokKind {
+        self.bump(); // '
+        match self.peek(0) {
+            // Escape sequence: definitely a char literal ('\n', '\u{1F600}').
+            Some(b'\\') => {
+                self.bump_n(2);
+                // Consume to the closing quote (handles \u{…}).
+                while let Some(b) = self.peek(0) {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokKind::Char
+            }
+            Some(b) if Self::is_ident_start(Some(b)) || b.is_ascii_digit() => {
+                // 'a' is a char literal, 'a (no closing quote) a lifetime,
+                // 'static a lifetime. Consume the ident run, then decide.
+                self.bump();
+                self.ident_tail();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    TokKind::Char
+                } else {
+                    TokKind::Lifetime
+                }
+            }
+            // Something like '(' — a char literal of punctuation, or a
+            // stray quote. Consume conservatively: one char + closing quote
+            // when present.
+            Some(_) => {
+                self.bump();
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                }
+                TokKind::Char
+            }
+            None => TokKind::Lifetime,
+        }
+    }
+
+    /// Raw / byte / raw-byte string starters: `r"`, `r#"`, `b"`, `br"`,
+    /// `br#"`, … Returns false (consuming nothing) when the `r`/`b` at
+    /// `pos` does not start a string.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut look = 1usize;
+        let mut raw = false;
+        match self.bytes[self.pos] {
+            b'r' => raw = true,
+            b'b' => {
+                if self.peek(1) == Some(b'r') {
+                    raw = true;
+                    look = 2;
+                }
+            }
+            _ => return false,
+        }
+        let mut fences = 0usize;
+        if raw {
+            while self.peek(look) == Some(b'#') {
+                fences += 1;
+                look += 1;
+            }
+        }
+        if self.peek(look) != Some(b'"') {
+            return false;
+        }
+        if !raw && fences > 0 {
+            return false;
+        }
+        // Commit: consume prefix + opening quote.
+        self.bump_n(look + 1);
+        if raw {
+            // Scan for `"` followed by `fences` hashes; no escapes in raw.
+            'scan: while let Some(b) = self.peek(0) {
+                if b == b'"' {
+                    for i in 0..fences {
+                        if self.peek(1 + i) != Some(b'#') {
+                            self.bump();
+                            continue 'scan;
+                        }
+                    }
+                    self.bump_n(1 + fences);
+                    return true;
+                }
+                self.bump();
+            }
+        } else {
+            while let Some(b) = self.peek(0) {
+                match b {
+                    b'\\' => self.bump_n(2),
+                    b'"' => {
+                        self.bump();
+                        return true;
+                    }
+                    _ => self.bump(),
+                }
+            }
+        }
+        true // unterminated: ran to EOF
+    }
+
+    /// Numeric literal; `pos` sits on the first digit.
+    fn number(&mut self) {
+        // Prefixed integer (0x/0o/0b) — consume prefix then alnum/underscore.
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X')) {
+            self.bump_n(2);
+            while matches!(
+                self.peek(0),
+                Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'_')
+            ) {
+                self.bump();
+            }
+            // Suffix (u64, usize, …).
+            self.ident_tail();
+            return;
+        }
+        while matches!(self.peek(0), Some(b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        // Fractional part only when `.` is followed by a digit — keeps
+        // ranges (`0..n`) and method calls (`1.max(x)`) out of the literal.
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+            self.bump();
+            while matches!(self.peek(0), Some(b'0'..=b'9' | b'_')) {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E'))
+            && (matches!(self.peek(1), Some(b'0'..=b'9'))
+                || (matches!(self.peek(1), Some(b'+' | b'-'))
+                    && matches!(self.peek(2), Some(b'0'..=b'9'))))
+        {
+            self.bump();
+            if matches!(self.peek(0), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            while matches!(self.peek(0), Some(b'0'..=b'9' | b'_')) {
+                self.bump();
+            }
+        }
+        // Type suffix (f64, u32, …) — also swallows a stray `e` suffix with
+        // no digits, which is what rustc treats as a malformed-suffix error;
+        // for linting purposes one token is fine.
+        self.ident_tail();
+    }
+}
+
+/// The tokens of `src` with comments filtered out — what the rule matchers
+/// run on.
+pub fn code_tokens(tokens: &[Token]) -> Vec<Token> {
+    tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let ks = kinds("let x = 42;");
+        assert_eq!(
+            ks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Number, "42".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let ks = kinds("SystemTime::now()");
+        assert_eq!(ks[1], (TokKind::Punct, "::".into()));
+        assert_eq!(ks.len(), 5);
+    }
+
+    #[test]
+    fn strings_do_not_leak_code() {
+        let ks = kinds(r#"let s = "SystemTime::now()";"#);
+        assert!(ks.iter().filter(|(k, _)| *k == TokKind::Str).count() == 1);
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "SystemTime"));
+    }
+
+    #[test]
+    fn line_and_block_comments() {
+        let ks = kinds("a // trailing\n/* block */ b");
+        assert_eq!(ks[1].0, TokKind::LineComment);
+        assert_eq!(ks[2].0, TokKind::BlockComment);
+        assert_eq!(ks[3], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let ks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(ks[0].0, TokKind::BlockComment);
+        assert_eq!(ks[0].1, "/* outer /* inner */ still */");
+        assert_eq!(ks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        let chars: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r##"quote " and "# inside"##;"####;
+        let ks = kinds(src);
+        let strs: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("inside"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let ks = kinds(r##"let a = b"bytes"; let b = br#"raw"#;"##);
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ks = kinds("let r#type = 1;");
+        assert_eq!(ks[1], (TokKind::Ident, "r#type".into()));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let ks = kinds("0u64 1.5e-9 0xff_u32 0..10");
+        assert_eq!(ks[0], (TokKind::Number, "0u64".into()));
+        assert_eq!(ks[1], (TokKind::Number, "1.5e-9".into()));
+        assert_eq!(ks[2], (TokKind::Number, "0xff_u32".into()));
+        assert_eq!(ks[3], (TokKind::Number, "0".into()));
+        assert_eq!(ks[4], (TokKind::Punct, ".".into()));
+        assert_eq!(ks[5], (TokKind::Punct, ".".into()));
+        assert_eq!(ks[6], (TokKind::Number, "10".into()));
+    }
+
+    #[test]
+    fn spans_are_exact_and_increasing() {
+        let src = "fn main() { /* c */ \"s\" }";
+        let toks = tokenize(src);
+        let mut last_end = 0;
+        for t in &toks {
+            assert!(t.start >= last_end, "overlapping spans");
+            assert!(t.end > t.start);
+            last_end = t.end;
+        }
+        // Reconstructing from spans yields the original text per token.
+        for t in &toks {
+            assert_eq!(&src[t.start..t.end], t.text(src));
+        }
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let src = "a\n  b\n\tc";
+        let toks = tokenize(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (3, 2));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'x", "b\"", "0x"] {
+            let _ = tokenize(src); // must not panic
+        }
+    }
+
+    #[test]
+    fn escape_at_eof_keeps_spans_in_bounds() {
+        // A backslash as the last byte asks the escape handler to skip two
+        // bytes; the span must still saturate at the end of input.
+        for src in ["\"abc\\", "b\"x\\", "'\\", "\"\\"] {
+            for t in tokenize(src) {
+                assert!(t.end <= src.len(), "{src:?} produced {t:?}");
+            }
+        }
+    }
+}

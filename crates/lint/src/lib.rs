@@ -1,0 +1,538 @@
+//! `autodbaas-lint` (detlint): a from-scratch determinism & robustness
+//! lint engine for the AutoDBaaS workspace.
+//!
+//! The reproduction's value rests on bit-for-bit replayable simulation —
+//! the chaos engine asserts FNV-fingerprint-identical event logs and the
+//! parallel fleet drive asserts thread-count invariance — yet nothing
+//! *statically* prevented a future PR from reintroducing wall-clock reads,
+//! unseeded RNG, or hash-iteration-order dependence into a sim path. This
+//! crate is that gate. It carries its own Rust lexer ([`lexer`]) so it has
+//! zero external dependencies, a rule registry ([`rules`]) with per-crate
+//! scoping, a `// detlint-allow: <RULE> <reason>` suppression syntax that
+//! requires a reason, and a committed baseline ([`baseline`]) so the gate
+//! runs strict from day one.
+//!
+//! Three entry points:
+//! - `cargo run -p autodbaas-lint` — human output, exit 1 on findings;
+//! - `tests/lint_clean.rs` (tier-1) — fails the build on any
+//!   non-baselined finding via [`run_workspace`];
+//! - `cargo run -p autodbaas-lint -- --json` — machine-readable output.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use baseline::{Baseline, BaselineError};
+use rules::{all_rules, FileCtx, Finding, Rule};
+use std::path::{Path, PathBuf};
+
+/// How one finding was disposed of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Live violation: fails the gate.
+    Active,
+    /// Silenced by a reasoned `detlint-allow` comment.
+    Suppressed,
+    /// Grandfathered by a baseline entry.
+    Baselined,
+}
+
+/// One finding plus its disposition.
+#[derive(Debug, Clone)]
+pub struct Diagnosed {
+    /// The underlying finding.
+    pub finding: Finding,
+    /// What happened to it.
+    pub disposition: Disposition,
+}
+
+/// The result of linting a workspace.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every finding, in (file, line) order.
+    pub diagnostics: Vec<Diagnosed>,
+    /// Files analyzed.
+    pub files_scanned: usize,
+    /// Baseline entries that matched nothing (candidates for deletion).
+    pub stale_baseline: Vec<baseline::BaselineEntry>,
+}
+
+impl Report {
+    /// Findings that fail the gate.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.disposition == Disposition::Active)
+            .map(|d| &d.finding)
+    }
+
+    /// Number of gate-failing findings.
+    pub fn active_count(&self) -> usize {
+        self.active().count()
+    }
+
+    /// True when the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.active_count() == 0
+    }
+}
+
+/// A `// detlint-allow: RULES reason` comment, parsed.
+#[derive(Debug, Clone)]
+struct Allow {
+    rules: Vec<String>,
+    reason: String,
+    line: u32,
+    col: u32,
+}
+
+const ALLOW_MARKER: &str = "detlint-allow:";
+
+/// Parse every `detlint-allow` comment in a token stream.
+fn parse_allows(src: &str, tokens: &[lexer::Token]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if !matches!(
+            t.kind,
+            lexer::TokKind::LineComment | lexer::TokKind::BlockComment
+        ) {
+            continue;
+        }
+        let text = t.text(src);
+        let Some(pos) = text.find(ALLOW_MARKER) else {
+            continue;
+        };
+        let rest = text[pos + ALLOW_MARKER.len()..]
+            .trim_end_matches("*/")
+            .trim();
+        let (rules_part, reason) = match rest.split_once(char::is_whitespace) {
+            Some((r, why)) => (r, why.trim()),
+            None => (rest, ""),
+        };
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        // Only a list of plausible rule ids (a letter + digits, like D001)
+        // counts as a directive — prose *describing* the syntax, such as
+        // "detlint-allow: <RULE> <reason>" in documentation, does not.
+        let plausible = |s: &str| {
+            let mut cs = s.chars();
+            cs.next().is_some_and(|c| c.is_ascii_alphabetic())
+                && cs.clone().next().is_some()
+                && cs.all(|c| c.is_ascii_digit())
+        };
+        if rules.is_empty() && rest.is_empty() {
+            // Bare "detlint-allow:" — an allow someone forgot to finish.
+        } else if !rules.iter().all(|r| plausible(r)) {
+            continue;
+        }
+        out.push(Allow {
+            rules,
+            reason: reason.to_string(),
+            line: t.line,
+            col: t.col,
+        });
+    }
+    out
+}
+
+/// Lint one file's source. `path` must be workspace-relative with forward
+/// slashes; `crate_name` scopes the rules.
+pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Diagnosed> {
+    let tokens = lexer::tokenize(src);
+    let code = lexer::code_tokens(&tokens);
+    let regions = rules::test_regions(src, &code);
+    let ctx = FileCtx {
+        path,
+        crate_name,
+        src,
+        tokens: &tokens,
+        code: &code,
+        test_regions: &regions,
+    };
+    let mut findings = Vec::new();
+    for rule in all_rules() {
+        (rule.check)(&ctx, &mut findings);
+    }
+    let allows = parse_allows(src, &tokens);
+
+    let mut out = Vec::new();
+    // S001: every allow must carry a reason and name known rules.
+    for a in &allows {
+        let line_snip = src
+            .lines()
+            .nth(a.line as usize - 1)
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        if a.reason.is_empty() || a.rules.is_empty() {
+            out.push(Diagnosed {
+                finding: Finding {
+                    rule: "S001",
+                    file: path.to_string(),
+                    line: a.line,
+                    col: a.col,
+                    snippet: line_snip.clone(),
+                    message: "detlint-allow without a reason: write \
+                              `// detlint-allow: <RULE> <why this is safe>`"
+                        .to_string(),
+                    in_test: false,
+                },
+                disposition: Disposition::Active,
+            });
+            continue;
+        }
+        if let Some(bogus) = a
+            .rules
+            .iter()
+            .find(|r| !all_rules().iter().any(|rule| rule.id == **r))
+        {
+            out.push(Diagnosed {
+                finding: Finding {
+                    rule: "S001",
+                    file: path.to_string(),
+                    line: a.line,
+                    col: a.col,
+                    snippet: line_snip,
+                    message: format!("detlint-allow names unknown rule `{bogus}`"),
+                    in_test: false,
+                },
+                disposition: Disposition::Active,
+            });
+        }
+    }
+    // Apply suppressions: a reasoned allow on line L silences matching
+    // findings on L (trailing comment) and L+1 (comment-above style).
+    for f in findings {
+        let suppressed = allows.iter().any(|a| {
+            !a.reason.is_empty()
+                && a.rules.iter().any(|r| r == f.rule)
+                && (a.line == f.line || a.line + 1 == f.line)
+        });
+        out.push(Diagnosed {
+            disposition: if suppressed {
+                Disposition::Suppressed
+            } else {
+                Disposition::Active
+            },
+            finding: f,
+        });
+    }
+    out
+}
+
+/// Crate name for a workspace-relative path.
+pub fn crate_of(rel_path: &str) -> &str {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        return rest.split('/').next().unwrap_or("unknown");
+    }
+    match rel_path.split('/').next() {
+        Some("src") => "autodbaas",
+        Some("tests") => "tests",
+        Some("examples") => "examples",
+        _ => "unknown",
+    }
+}
+
+/// Collect the workspace's own `.rs` files (vendored stand-ins and build
+/// output excluded), as workspace-relative forward-slash paths, sorted so
+/// reports are stable.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Errors from a workspace run.
+#[derive(Debug)]
+pub enum RunError {
+    /// I/O failure reading sources.
+    Io(std::io::Error),
+    /// The baseline file is unusable.
+    Baseline(BaselineError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Io(e) => write!(f, "io error: {e}"),
+            RunError::Baseline(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> Self {
+        RunError::Io(e)
+    }
+}
+
+/// Lint the whole workspace rooted at `root`, applying the baseline at
+/// `root/lint_baseline.toml` when present (or `baseline_path` when given).
+pub fn run_workspace(root: &Path, baseline_path: Option<&Path>) -> Result<Report, RunError> {
+    let bl_path = baseline_path
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| root.join("lint_baseline.toml"));
+    let baseline = if bl_path.is_file() {
+        Baseline::parse(&std::fs::read_to_string(&bl_path)?).map_err(RunError::Baseline)?
+    } else {
+        Baseline::default()
+    };
+
+    let files = workspace_files(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let mut matched = vec![false; baseline.entries.len()];
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(file)?;
+        for mut d in lint_source(&rel, crate_of(&rel), &src) {
+            if d.disposition == Disposition::Active {
+                if let Some(idx) = baseline.matches(&d.finding) {
+                    matched[idx] = true;
+                    d.disposition = Disposition::Baselined;
+                }
+            }
+            report.diagnostics.push(d);
+        }
+    }
+    report.stale_baseline = baseline
+        .entries
+        .iter()
+        .zip(&matched)
+        .filter(|(_, m)| !**m)
+        .map(|(e, _)| e.clone())
+        .collect();
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.finding.file, a.finding.line).cmp(&(&b.finding.file, b.finding.line)));
+    Ok(report)
+}
+
+/// The rule registry entry for an id.
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    all_rules().iter().find(|r| r.id == id)
+}
+
+/// Render the report for humans.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let f = &d.finding;
+        let tag = match d.disposition {
+            Disposition::Active => "",
+            Disposition::Suppressed => " [allowed]",
+            Disposition::Baselined => " [baselined]",
+        };
+        if d.disposition == Disposition::Active {
+            out.push_str(&format!(
+                "{}: {}:{}:{}: {}\n    {}\n",
+                f.rule, f.file, f.line, f.col, f.message, f.snippet
+            ));
+        } else {
+            out.push_str(&format!(
+                "{}{}: {}:{}:{}\n",
+                f.rule, tag, f.file, f.line, f.col
+            ));
+        }
+    }
+    for e in &report.stale_baseline {
+        out.push_str(&format!(
+            "warning: stale baseline entry ({} {} — line {}): no finding matches; delete it\n",
+            e.rule, e.file, e.line
+        ));
+    }
+    let suppressed = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.disposition == Disposition::Suppressed)
+        .count();
+    let baselined = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.disposition == Disposition::Baselined)
+        .count();
+    out.push_str(&format!(
+        "detlint: {} files, {} active finding(s), {} allowed, {} baselined\n",
+        report.files_scanned,
+        report.active_count(),
+        suppressed,
+        baselined
+    ));
+    if report.active_count() > 0 {
+        out.push_str("run `cargo run -p autodbaas-lint -- --explain <RULE>` for rule details\n");
+    }
+    out
+}
+
+/// Render the report as JSON (hand-rolled; no serde in this workspace).
+pub fn render_json(report: &Report) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut items = Vec::new();
+    for d in &report.diagnostics {
+        let f = &d.finding;
+        let disp = match d.disposition {
+            Disposition::Active => "active",
+            Disposition::Suppressed => "suppressed",
+            Disposition::Baselined => "baselined",
+        };
+        items.push(format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\
+             \"message\":\"{}\",\"snippet\":\"{}\",\"in_test\":{},\"disposition\":\"{}\"}}",
+            esc(f.rule),
+            esc(&f.file),
+            f.line,
+            f.col,
+            esc(&f.message),
+            esc(&f.snippet),
+            f.in_test,
+            disp
+        ));
+    }
+    format!(
+        "{{\"files_scanned\":{},\"active\":{},\"findings\":[{}]}}\n",
+        report.files_scanned,
+        report.active_count(),
+        items.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_silences_same_and_next_line_only() {
+        let src = "\
+// detlint-allow: D001 startup banner only, never enters a replayed path
+fn f() { let t = Instant::now(); }
+fn g() { let t = Instant::now(); }
+fn h() { let t = Instant::now(); } // detlint-allow: D001 trailing, same line
+";
+        let ds = lint_source("crates/simdb/src/x.rs", "simdb", src);
+        let active: Vec<_> = ds
+            .iter()
+            .filter(|d| d.disposition == Disposition::Active)
+            .collect();
+        let suppressed: Vec<_> = ds
+            .iter()
+            .filter(|d| d.disposition == Disposition::Suppressed)
+            .collect();
+        assert_eq!(active.len(), 1, "line 3 is not covered by either allow");
+        assert_eq!(active[0].finding.line, 3);
+        assert_eq!(suppressed.len(), 2);
+    }
+
+    #[test]
+    fn allow_without_reason_is_its_own_finding() {
+        let src = "// detlint-allow: D001\nfn f() { let t = Instant::now(); }\n";
+        let ds = lint_source("crates/simdb/src/x.rs", "simdb", src);
+        // The reasonless allow does NOT suppress, and adds S001.
+        let rules: Vec<_> = ds
+            .iter()
+            .filter(|d| d.disposition == Disposition::Active)
+            .map(|d| d.finding.rule)
+            .collect();
+        assert!(rules.contains(&"S001"));
+        assert!(rules.contains(&"D001"));
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_flagged() {
+        let src = "// detlint-allow: D999 sounds plausible\nfn f() {}\n";
+        let ds = lint_source("crates/simdb/src/x.rs", "simdb", src);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].finding.rule, "S001");
+        assert!(ds[0].finding.message.contains("D999"));
+    }
+
+    #[test]
+    fn multi_rule_allow_covers_both() {
+        let src = "\
+// detlint-allow: D001,D002 fixture exercising both rules at once
+fn f() { let t = Instant::now(); let r = rand::thread_rng(); }
+";
+        let ds = lint_source("crates/simdb/src/x.rs", "simdb", src);
+        assert!(ds.iter().all(|d| d.disposition == Disposition::Suppressed));
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/simdb/src/wal.rs"), "simdb");
+        assert_eq!(crate_of("src/main.rs"), "autodbaas");
+        assert_eq!(crate_of("tests/lint_clean.rs"), "tests");
+        assert_eq!(crate_of("examples/quickstart.rs"), "examples");
+    }
+
+    #[test]
+    fn every_rule_has_an_explain_page() {
+        for r in all_rules() {
+            assert!(r.explain.len() > 100, "{} explain page is too thin", r.id);
+            assert!(r.explain.contains(r.id));
+            assert!(rule_by_id(r.id).is_some());
+        }
+        assert!(rule_by_id("D999").is_none());
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let src = "fn f() { let t = Instant::now(); } // has \"quotes\" in line\n";
+        let ds = lint_source("crates/simdb/src/x.rs", "simdb", src);
+        let report = Report {
+            diagnostics: ds,
+            files_scanned: 1,
+            stale_baseline: vec![],
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"active\":1"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(!json.contains("\n\""), "newlines must be escaped");
+    }
+}

@@ -1,0 +1,819 @@
+//! The detlint rule set: determinism (D···) and robustness (R···) rules,
+//! plus the engine-level suppression rule (S001).
+//!
+//! Every rule is a pure function over a [`FileCtx`] — the lexed tokens of
+//! one file plus enough workspace context (crate name, test regions) to
+//! scope itself. Rules match *token patterns*, never raw text, so string
+//! literals and comments can't produce false positives; the trade-off is
+//! that rules are heuristic (no type inference), which the baseline and
+//! `detlint-allow` escape hatches exist to absorb.
+
+use crate::lexer::{TokKind, Token};
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D001`, `R002`, `S001`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// The trimmed source line — also the baseline matching key, so
+    /// baselined findings survive unrelated line-number drift.
+    pub snippet: String,
+    /// Human-readable diagnostic.
+    pub message: String,
+    /// True when the finding sits inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+}
+
+/// Lexed view of one source file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path (`crates/simdb/src/knobs.rs`).
+    pub path: &'a str,
+    /// Crate the file belongs to (`simdb`, `autodbaas`, `tests`, …).
+    pub crate_name: &'a str,
+    /// Raw source.
+    pub src: &'a str,
+    /// All tokens including comments.
+    pub tokens: &'a [Token],
+    /// Tokens with comments stripped — what patterns match against.
+    pub code: &'a [Token],
+    /// Byte ranges lexically inside `#[cfg(test)]` modules / `#[test]` fns.
+    pub test_regions: &'a [(usize, usize)],
+}
+
+impl FileCtx<'_> {
+    fn in_test(&self, byte: usize) -> bool {
+        self.crate_name == "tests"
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| byte >= s && byte < e)
+    }
+
+    fn line_snippet(&self, line: u32) -> String {
+        self.src
+            .lines()
+            .nth(line as usize - 1)
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    }
+
+    fn finding(&self, rule: &'static str, tok: &Token, message: String) -> Finding {
+        Finding {
+            rule,
+            file: self.path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            snippet: self.line_snippet(tok.line),
+            message,
+            in_test: self.in_test(tok.start),
+        }
+    }
+
+    /// Positions `i` in `code` where the token texts starting at `i` equal
+    /// `pat` element-wise.
+    fn match_seq(&self, pat: &[&str]) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.code.len() < pat.len() {
+            return out;
+        }
+        'outer: for i in 0..=self.code.len() - pat.len() {
+            for (j, want) in pat.iter().enumerate() {
+                if self.code[i + j].text(self.src) != *want {
+                    continue 'outer;
+                }
+            }
+            out.push(i);
+        }
+        out
+    }
+}
+
+/// A registered rule.
+pub struct Rule {
+    /// Stable id.
+    pub id: &'static str,
+    /// One-line title.
+    pub title: &'static str,
+    /// The `--explain` page.
+    pub explain: &'static str,
+    /// The matcher.
+    pub check: fn(&FileCtx<'_>, &mut Vec<Finding>),
+}
+
+/// Crates whose tick/telemetry output must be bit-for-bit reproducible.
+const SIM_CRATES: &[&str] = &["simdb", "cloudsim", "ctrlplane", "tuner"];
+/// Crates where hash-order can reach event logs or tick results.
+const ORDER_SENSITIVE_CRATES: &[&str] = &["simdb", "cloudsim", "ctrlplane", "core", "telemetry"];
+
+/// The full rule registry, in report order.
+pub fn all_rules() -> &'static [Rule] {
+    &[
+        Rule {
+            id: "D001",
+            title: "wall-clock read in simulation/control-plane code",
+            explain: "\
+D001 — wall-clock reads in deterministic code
+
+`SystemTime::now()` and `Instant::now()` read the host clock, which makes
+any value derived from them differ between runs. The chaos engine (PR 2)
+asserts FNV-fingerprint-identical event logs across replays, and the
+fleet drive asserts thread-count invariance; a single wall-clock read in
+`simdb`, `cloudsim`, `ctrlplane` or `tuner` silently breaks both. All
+simulation time must come from the tick counter (`SimTime`).
+
+Allowed: the `bench` crate (wall-clock measurement is its purpose).
+Fix: thread `SimTime`/tick counters through instead; if a wall-clock
+read is genuinely outside every replayed path, add
+`// detlint-allow: D001 <why this cannot reach sim state>`.",
+            check: |ctx, out| {
+                if !SIM_CRATES.contains(&ctx.crate_name) {
+                    return;
+                }
+                for clock in ["SystemTime", "Instant"] {
+                    for i in ctx.match_seq(&[clock, "::", "now"]) {
+                        out.push(ctx.finding(
+                            "D001",
+                            &ctx.code[i],
+                            format!(
+                                "`{clock}::now()` in `{}` breaks replay determinism; \
+                                 derive time from `SimTime` ticks instead",
+                                ctx.crate_name
+                            ),
+                        ));
+                    }
+                }
+            },
+        },
+        Rule {
+            id: "D002",
+            title: "unseeded or entropy-seeded RNG construction",
+            explain: "\
+D002 — unseeded / entropy-seeded RNG
+
+`thread_rng()`, `SeedableRng::from_entropy()`, `OsRng` and
+`rand::random()` pull seeds from OS entropy, so every run draws a
+different stream. Every RNG in this workspace must be constructed with
+`StdRng::seed_from_u64(seed)` (or an explicitly derived seed such as
+`seed ^ SALT`) so reruns are bit-for-bit identical.
+
+Allowed: the `bench` crate only.
+Fix: accept a `seed: u64` parameter and use `seed_from_u64`; derive
+per-component seeds by XOR-ing distinct salts.",
+            check: |ctx, out| {
+                if ctx.crate_name == "bench" {
+                    return;
+                }
+                for (i, t) in ctx.code.iter().enumerate() {
+                    if t.kind != TokKind::Ident {
+                        continue;
+                    }
+                    let text = t.text(ctx.src);
+                    let entropy_ctor = matches!(
+                        text,
+                        "thread_rng" | "from_entropy" | "from_os_rng" | "OsRng"
+                    );
+                    // `rand::random` — require the path prefix so locals
+                    // named `random` don't trip the rule.
+                    let rand_random = text == "random"
+                        && i >= 2
+                        && ctx.code[i - 1].text(ctx.src) == "::"
+                        && ctx.code[i - 2].text(ctx.src) == "rand";
+                    if entropy_ctor || rand_random {
+                        out.push(ctx.finding(
+                            "D002",
+                            t,
+                            format!(
+                                "`{text}` seeds from OS entropy; construct RNGs with \
+                                 `StdRng::seed_from_u64(seed)` so runs replay identically"
+                            ),
+                        ));
+                    }
+                }
+            },
+        },
+        Rule {
+            id: "D003",
+            title: "iteration over HashMap/HashSet in order-sensitive code",
+            explain: "\
+D003 — hash-order iteration in sim/control-plane code
+
+`std::collections::HashMap`/`HashSet` iteration order depends on the
+per-process SipHash key, so any float accumulation, event emission or
+Vec built by iterating one differs between runs even at identical seeds.
+In `simdb`, `cloudsim`, `ctrlplane`, `core` and `telemetry` that order
+can reach telemetry, event logs or tick results.
+
+The rule tracks names declared with a HashMap/HashSet type (fields,
+params, lets) and flags `.iter()`, `.keys()`, `.values()`, `.drain()`,
+`.retain()`, `.into_iter()` and `for … in` over them.
+
+Fix: switch the container to `BTreeMap`/`BTreeSet` (keys here are small
+ints/strings — the hash win is negligible), or collect + sort before
+consuming. Integer-only reductions are order-safe but still flagged:
+keeping the container ordered is cheaper than re-auditing every use.",
+            check: |ctx, out| {
+                if !ORDER_SENSITIVE_CRATES.contains(&ctx.crate_name) {
+                    return;
+                }
+                let names = hash_container_names(ctx);
+                if names.is_empty() {
+                    return;
+                }
+                const ITERS: &[&str] = &[
+                    "iter",
+                    "iter_mut",
+                    "keys",
+                    "values",
+                    "values_mut",
+                    "drain",
+                    "retain",
+                    "into_iter",
+                    "into_keys",
+                    "into_values",
+                ];
+                for i in 0..ctx.code.len() {
+                    let t = &ctx.code[i];
+                    if t.kind != TokKind::Ident || !names.contains(&t.text(ctx.src)) {
+                        continue;
+                    }
+                    let name = t.text(ctx.src);
+                    // `name.iter()` / `self.name.values()` — the receiver
+                    // ident is immediately left of the dot either way.
+                    if i + 2 < ctx.code.len()
+                        && ctx.code[i + 1].text(ctx.src) == "."
+                        && ITERS.contains(&ctx.code[i + 2].text(ctx.src))
+                        && ctx.code.get(i + 3).map(|t| t.text(ctx.src)) == Some("(")
+                    {
+                        let method = ctx.code[i + 2].text(ctx.src);
+                        out.push(ctx.finding(
+                            "D003",
+                            t,
+                            format!(
+                                "`{name}.{method}()` iterates a hash container in \
+                                 hash order; use BTreeMap/BTreeSet or sort first"
+                            ),
+                        ));
+                        continue;
+                    }
+                    // `for k in name {` / `for k in &name {` /
+                    // `for k in &mut name {` / `for k in name.X {` forms:
+                    // look back past `&`/`mut` for the `in` keyword, and
+                    // require the loop body to open right after (so calls
+                    // like `map.get(k)` inside other exprs don't match).
+                    let mut back = i;
+                    while back > 0 && matches!(ctx.code[back - 1].text(ctx.src), "&" | "mut") {
+                        back -= 1;
+                    }
+                    if back > 0
+                        && ctx.code[back - 1].text(ctx.src) == "in"
+                        && ctx.code.get(i + 1).map(|t| t.text(ctx.src)) == Some("{")
+                    {
+                        out.push(ctx.finding(
+                            "D003",
+                            t,
+                            format!(
+                                "`for … in {name}` iterates a hash container in \
+                                 hash order; use BTreeMap/BTreeSet or sort first"
+                            ),
+                        ));
+                    }
+                }
+            },
+        },
+        Rule {
+            id: "D004",
+            title: "float accumulation across thread-partitioned work",
+            explain: "\
+D004 — float reduction in thread-spawning files
+
+Float addition is not associative: summing per-chunk partials in a file
+that partitions work across threads gives results that depend on chunk
+count, so `drive_threads = 4` and `= 8` diverge in the low bits — which
+the fleet drive's thread-count-invariance test will catch only long
+after the PR landed. This rule flags `sum::<f32|f64>()` turbofish
+reductions and `fold(0.0, …)` float folds in any order-sensitive-crate
+file that also spawns threads.
+
+Fix: accumulate integers (fixed-point) across chunks, reduce in a fixed
+chunk-index order on the coordinating thread, or keep per-node floats
+and never cross-reduce them in the parallel section.",
+            check: |ctx, out| {
+                if !ORDER_SENSITIVE_CRATES.contains(&ctx.crate_name) {
+                    return;
+                }
+                let spawns = ctx
+                    .code
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text(ctx.src) == "spawn");
+                if !spawns {
+                    return;
+                }
+                for fty in ["f32", "f64"] {
+                    for i in ctx.match_seq(&["sum", "::", "<", fty, ">"]) {
+                        out.push(ctx.finding(
+                            "D004",
+                            &ctx.code[i],
+                            format!(
+                                "`sum::<{fty}>()` in a thread-spawning file: float \
+                                 reduction order must not depend on thread/chunk count"
+                            ),
+                        ));
+                    }
+                }
+                for i in ctx.match_seq(&["fold", "("]) {
+                    // fold(0.0, …) or fold((0.0, …) — a float init literal.
+                    for j in [i + 2, i + 3] {
+                        if let Some(t) = ctx.code.get(j) {
+                            let text = t.text(ctx.src);
+                            if t.kind == TokKind::Number
+                                && (text.contains('.')
+                                    || text.contains("f3")
+                                    || text.contains("f6"))
+                            {
+                                out.push(
+                                    ctx.finding(
+                                        "D004",
+                                        &ctx.code[i],
+                                        "float `fold` in a thread-spawning file: float \
+                                     reduction order must not depend on thread/chunk count"
+                                            .to_string(),
+                                    ),
+                                );
+                                break;
+                            }
+                            if text != "(" {
+                                break;
+                            }
+                        }
+                    }
+                }
+            },
+        },
+        Rule {
+            id: "R001",
+            title: "panicking call in control-plane runtime path",
+            explain: "\
+R001 — unwrap/expect/panic! in control-plane runtime paths
+
+The control plane (`ctrlplane`) is the component that must keep running
+through faults — PR 2's whole point. A `unwrap()`/`expect()` on a path
+the reconciler or apply pipeline exercises turns a recoverable condition
+into a fleet-wide abort. Flagged in non-test `ctrlplane` code:
+`.unwrap()`, `.expect(…)`, `panic!`, `unimplemented!`, `todo!`.
+
+Not flagged: `unwrap_or*` (total functions), `assert!` (intentional
+invariant checks), and anything inside `#[cfg(test)]` / `#[test]`.
+Fix: return a typed error (see `ApplyError`) or restructure so the
+invariant holds by construction; for impossible-by-construction cases
+add `// detlint-allow: R001 <why it cannot fire>`.",
+            check: |ctx, out| {
+                if ctx.crate_name != "ctrlplane" {
+                    return;
+                }
+                for (i, t) in ctx.code.iter().enumerate() {
+                    if t.kind != TokKind::Ident || ctx.in_test(t.start) {
+                        continue;
+                    }
+                    let text = t.text(ctx.src);
+                    let method_call = |want: &str| {
+                        text == want
+                            && i > 0
+                            && ctx.code[i - 1].text(ctx.src) == "."
+                            && ctx.code.get(i + 1).map(|t| t.text(ctx.src)) == Some("(")
+                    };
+                    let macro_call = |want: &str| {
+                        text == want && ctx.code.get(i + 1).map(|t| t.text(ctx.src)) == Some("!")
+                    };
+                    if method_call("unwrap") || method_call("expect") {
+                        out.push(ctx.finding(
+                            "R001",
+                            t,
+                            format!(
+                                "`.{text}()` in a control-plane runtime path can abort \
+                                 the fleet; return a typed error instead"
+                            ),
+                        ));
+                    } else if macro_call("panic")
+                        || macro_call("unimplemented")
+                        || macro_call("todo")
+                    {
+                        out.push(ctx.finding(
+                            "R001",
+                            t,
+                            format!(
+                                "`{text}!` in a control-plane runtime path can abort \
+                                 the fleet; return a typed error instead"
+                            ),
+                        ));
+                    }
+                }
+            },
+        },
+        Rule {
+            id: "R002",
+            title: "lossy `as` cast in knob/unit arithmetic",
+            explain: "\
+R002 — lossy numeric `as` casts in knob/unit code
+
+Knob values flow through `f64` (bytes, milliseconds, counts) and are
+indexed by compact ids; an `as u16`/`as u32`/`as i32`/`as f32` cast in
+that arithmetic silently truncates or wraps when a fleet grows past the
+assumed bound, corrupting knob ids or planner estimates instead of
+failing. Flagged in `simdb`'s knob/planner files: `as` casts to u8,
+u16, u32, i8, i16, i32 and f32.
+
+Fix: use `TryFrom` (`u16::try_from(i).expect(…)` is fine in simdb — the
+panic names the violated bound), widen the target type, or clamp
+explicitly before casting and add
+`// detlint-allow: R002 <the bound that makes this lossless>`.",
+            check: |ctx, out| {
+                let knob_file = ctx.crate_name == "simdb"
+                    && (ctx.path.ends_with("knobs.rs") || ctx.path.ends_with("planner.rs"));
+                if !knob_file {
+                    return;
+                }
+                const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+                for (i, t) in ctx.code.iter().enumerate() {
+                    if t.kind == TokKind::Ident && t.text(ctx.src) == "as" {
+                        if let Some(target) = ctx.code.get(i + 1) {
+                            let ty = target.text(ctx.src);
+                            if NARROW.contains(&ty) {
+                                out.push(ctx.finding(
+                                    "R002",
+                                    t,
+                                    format!(
+                                        "`as {ty}` in knob/unit arithmetic truncates \
+                                         silently; use `{ty}::try_from` or clamp first"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            },
+        },
+        Rule {
+            id: "S001",
+            title: "detlint-allow suppression without a reason",
+            explain: "\
+S001 — suppression without a justification
+
+`// detlint-allow: <RULE> <reason>` silences a rule on the same or next
+line, but only with a non-empty reason: an unexplained suppression is
+indistinguishable from a silenced bug two PRs later. S001 fires on any
+`detlint-allow` comment whose reason is missing. S001 itself cannot be
+suppressed or baselined.
+
+Fix: state the bound or invariant that makes the finding a false
+positive, e.g. `// detlint-allow: R002 profile length is < 2^16 by
+construction`.",
+            check: |_ctx, _out| {
+                // S001 is emitted by the suppression pass in the engine
+                // (it needs the parsed allow comments), not by a matcher.
+            },
+        },
+    ]
+}
+
+/// Names declared in this file with a HashMap/HashSet type: struct fields
+/// and fn params (`name: HashMap<…>`), typed lets, and inferred lets
+/// (`let name = HashMap::new()`).
+fn hash_container_names<'a>(ctx: &FileCtx<'a>) -> Vec<&'a str> {
+    let mut names: Vec<&str> = Vec::new();
+    let code = ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let text = t.text(ctx.src);
+        if text != "HashMap" && text != "HashSet" {
+            continue;
+        }
+        // Walk left over a path prefix (`std :: collections ::`) and
+        // `& mut` sigils to find what introduced this type mention.
+        let mut j = i;
+        while j >= 2 && code[j - 1].text(ctx.src) == "::" && code[j - 2].kind == TokKind::Ident {
+            j -= 2;
+        }
+        while j >= 1
+            && (matches!(code[j - 1].text(ctx.src), "&" | "mut")
+                || code[j - 1].kind == TokKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j >= 2 && code[j - 1].text(ctx.src) == ":" && code[j - 2].kind == TokKind::Ident {
+            // `name : HashMap<…>` — field, param or typed let.
+            names.push(code[j - 2].text(ctx.src));
+        } else if j >= 2 && code[j - 1].text(ctx.src) == "=" {
+            // `let [mut] name = HashMap::new()`.
+            let mut k = j - 1;
+            if k >= 1 && code[k - 1].kind == TokKind::Ident {
+                k -= 1;
+                names.push(code[k].text(ctx.src));
+            }
+        }
+    }
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// Lexical `#[cfg(test)]` / `#[test]` region detection over code tokens:
+/// returns byte ranges covering the attributed item's braces.
+pub fn test_regions(src: &str, code: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let is_cfg_test = i + 6 < code.len()
+            && code[i].text(src) == "#"
+            && code[i + 1].text(src) == "["
+            && code[i + 2].text(src) == "cfg"
+            && code[i + 3].text(src) == "("
+            && code[i + 4].text(src) == "test"
+            && code[i + 5].text(src) == ")"
+            && code[i + 6].text(src) == "]";
+        let is_test_attr = i + 2 < code.len()
+            && code[i].text(src) == "#"
+            && code[i + 1].text(src) == "["
+            && code[i + 2].text(src) == "test"
+            && code.get(i + 3).map(|t| t.text(src)) == Some("]");
+        if !is_cfg_test && !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Find the attributed item's opening brace within a short window
+        // (further attributes, `pub`, `fn name(args)`, `mod name`).
+        let attr_end = if is_cfg_test { i + 7 } else { i + 4 };
+        let mut open = None;
+        let mut depth_parens = 0i32;
+        for (j, t) in code.iter().enumerate().skip(attr_end).take(64) {
+            match t.text(src) {
+                "(" | "[" => depth_parens += 1,
+                ")" | "]" => depth_parens -= 1,
+                "{" if depth_parens == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth_parens == 0 => break, // `#[cfg(test)] use …;`
+                _ => {}
+            }
+        }
+        let Some(open) = open else {
+            i = attr_end;
+            continue;
+        };
+        // Brace-match (over code tokens, so braces in literals are immune).
+        let mut depth = 0i32;
+        let mut close = code.len() - 1;
+        for (j, t) in code.iter().enumerate().skip(open) {
+            match t.text(src) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        regions.push((code[i].start, code[close].end));
+        i = close + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    /// Run all rules over a synthetic file with the given path/crate.
+    pub(crate) fn run_on(path: &str, crate_name: &str, src: &str) -> Vec<Finding> {
+        let tokens = lexer::tokenize(src);
+        let code = lexer::code_tokens(&tokens);
+        let regions = test_regions(src, &code);
+        let ctx = FileCtx {
+            path,
+            crate_name,
+            src,
+            tokens: &tokens,
+            code: &code,
+            test_regions: &regions,
+        };
+        let mut out = Vec::new();
+        for rule in all_rules() {
+            (rule.check)(&ctx, &mut out);
+        }
+        out
+    }
+
+    fn ids(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|f| f.rule).collect()
+    }
+
+    // ------------------------- D001 ---------------------------------
+
+    #[test]
+    fn d001_catches_wall_clock_in_sim_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let f = run_on("crates/cloudsim/src/x.rs", "cloudsim", src);
+        assert_eq!(ids(&f), vec!["D001"]);
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].snippet.contains("Instant::now"));
+        let f = run_on(
+            "crates/simdb/src/x.rs",
+            "simdb",
+            "let t = SystemTime::now();",
+        );
+        assert_eq!(ids(&f), vec!["D001"]);
+    }
+
+    #[test]
+    fn d001_allows_bench_and_strings_and_comments() {
+        assert!(run_on("crates/bench/src/x.rs", "bench", "Instant::now();").is_empty());
+        let masked = r#"let s = "Instant::now()"; // Instant::now()"#;
+        assert!(run_on("crates/simdb/src/x.rs", "simdb", masked).is_empty());
+    }
+
+    // ------------------------- D002 ---------------------------------
+
+    #[test]
+    fn d002_catches_entropy_rngs_everywhere_but_bench() {
+        for call in [
+            "let mut r = rand::thread_rng();",
+            "let r = StdRng::from_entropy();",
+            "let v: u8 = rand::random();",
+            "let r = OsRng;",
+        ] {
+            let f = run_on("crates/workload/src/x.rs", "workload", call);
+            assert_eq!(ids(&f), vec!["D002"], "missed: {call}");
+            assert!(run_on("crates/bench/src/x.rs", "bench", call).is_empty());
+        }
+    }
+
+    #[test]
+    fn d002_ignores_seeded_and_unrelated_idents() {
+        let src = "let mut rng = StdRng::seed_from_u64(42); let random = 3; f(random);";
+        assert!(run_on("crates/workload/src/x.rs", "workload", src).is_empty());
+    }
+
+    // ------------------------- D003 ---------------------------------
+
+    #[test]
+    fn d003_catches_field_param_and_let_iteration() {
+        let src = "
+            struct S { tenants: HashMap<u64, f64> }
+            impl S {
+                fn total(&self) -> f64 { self.tenants.values().sum() }
+            }
+            fn f(a: &HashMap<u32, u64>) -> usize { a.keys().count() }
+            fn g() {
+                let seen: std::collections::HashSet<u32> = Default::default();
+                for k in &seen { let _ = k; }
+                let m = HashMap::new();
+                m.iter().count();
+            }";
+        let f = run_on("crates/ctrlplane/src/x.rs", "ctrlplane", src);
+        assert_eq!(ids(&f), vec!["D003", "D003", "D003", "D003"]);
+        assert!(f[0].message.contains("tenants.values()"));
+        assert!(f[2].message.contains("for … in seen"));
+    }
+
+    #[test]
+    fn d003_ignores_keyed_access_and_out_of_scope_crates() {
+        let src = "
+            struct S { m: HashMap<u64, u64> }
+            impl S { fn get(&self, k: u64) -> Option<&u64> { self.m.get(&k) } }";
+        assert!(run_on("crates/simdb/src/x.rs", "simdb", src).is_empty());
+        // Same iteration in the workload crate: out of D003 scope.
+        let iter = "fn f(m: &HashMap<u8, u8>) { m.iter().count(); }";
+        assert!(run_on("crates/workload/src/x.rs", "workload", iter).is_empty());
+    }
+
+    #[test]
+    fn d003_ignores_strings_mentioning_hashmap_iter() {
+        let src = r#"fn f() { let s = "HashMap::iter is order-dependent"; let _ = s; }"#;
+        assert!(run_on("crates/simdb/src/x.rs", "simdb", src).is_empty());
+    }
+
+    // ------------------------- D004 ---------------------------------
+
+    #[test]
+    fn d004_catches_float_reductions_in_spawning_files() {
+        let src = "
+            fn drive() {
+                std::thread::scope(|s| { s.spawn(|| {}); });
+                let total = partials.iter().sum::<f64>();
+                let other = xs.iter().fold(0.0, |a, b| a + b);
+            }";
+        let f = run_on("crates/cloudsim/src/x.rs", "cloudsim", src);
+        assert_eq!(ids(&f), vec!["D004", "D004"]);
+    }
+
+    #[test]
+    fn d004_ignores_int_folds_and_non_spawning_files() {
+        let spawning_int = "
+            fn drive() { s.spawn(|| {}); let t = xs.iter().fold((0u64, 0u64), f); }";
+        assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", spawning_int).is_empty());
+        let no_spawn = "fn f() { let t: f64 = xs.iter().sum::<f64>(); }";
+        assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", no_spawn).is_empty());
+    }
+
+    // ------------------------- R001 ---------------------------------
+
+    #[test]
+    fn r001_catches_panicking_calls_in_ctrlplane_runtime() {
+        let src = "
+            fn apply(&mut self) {
+                let slot = self.tuners.iter_mut().min().unwrap();
+                let x = self.get().expect(\"present\");
+                if bad { panic!(\"boom\") }
+                unimplemented!()
+            }";
+        let f = run_on("crates/ctrlplane/src/x.rs", "ctrlplane", src);
+        assert_eq!(ids(&f), vec!["R001", "R001", "R001", "R001"]);
+    }
+
+    #[test]
+    fn r001_exempts_tests_total_functions_and_other_crates() {
+        let test_mod = "
+            fn runtime() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); y.expect(\"msg\"); panic!(\"ok\"); }
+            }";
+        assert!(run_on("crates/ctrlplane/src/x.rs", "ctrlplane", test_mod).is_empty());
+        let total = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }";
+        assert!(run_on("crates/ctrlplane/src/x.rs", "ctrlplane", total).is_empty());
+        assert!(run_on("crates/simdb/src/x.rs", "simdb", "fn f() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn r001_catches_runtime_code_even_with_test_mod_below() {
+        let src = "
+            fn runtime() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests { fn t() { y.unwrap(); } }";
+        let f = run_on("crates/ctrlplane/src/x.rs", "ctrlplane", src);
+        assert_eq!(ids(&f), vec!["R001"]);
+        assert_eq!(f[0].line, 2);
+    }
+
+    // ------------------------- R002 ---------------------------------
+
+    #[test]
+    fn r002_catches_narrowing_casts_in_knob_files() {
+        let src = "fn id(i: usize) -> KnobId { KnobId(i as u16) }";
+        let f = run_on("crates/simdb/src/knobs.rs", "simdb", src);
+        assert_eq!(ids(&f), vec!["R002"]);
+        assert!(f[0].message.contains("as u16"));
+        let f = run_on(
+            "crates/simdb/src/planner.rs",
+            "simdb",
+            "let w = x.max(0.0) as u32;",
+        );
+        assert_eq!(ids(&f), vec!["R002"]);
+    }
+
+    #[test]
+    fn r002_ignores_widening_and_other_files() {
+        let widen = "fn f(i: u16) -> usize { i as usize + x as u64 as usize }";
+        assert!(run_on("crates/simdb/src/knobs.rs", "simdb", widen).is_empty());
+        let narrow = "let x = i as u16;";
+        assert!(run_on("crates/simdb/src/engine.rs", "simdb", narrow).is_empty());
+    }
+
+    // ------------------------- regions ------------------------------
+
+    #[test]
+    fn test_region_detection_brace_matches() {
+        let src = "
+            fn a() { let s = \"}\"; }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { let x = \"{\"; }
+                #[test]
+                fn t() {}
+            }
+            fn b() {}";
+        let tokens = lexer::tokenize(src);
+        let code = lexer::code_tokens(&tokens);
+        let regions = test_regions(src, &code);
+        assert_eq!(regions.len(), 1, "nested #[test] folds into the mod region");
+        let (s, e) = regions[0];
+        let a_pos = src.find("fn a").unwrap();
+        let b_pos = src.find("fn b").unwrap();
+        let helper = src.find("fn helper").unwrap();
+        assert!(a_pos < s && helper > s && helper < e && b_pos >= e);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests: the lexer must survive arbitrary token soup.
+//!
+//! The vendored proptest has no string strategies, so soups are built by
+//! indexing into a fragment table that deliberately over-represents the
+//! lexer's hard cases: unterminated strings and block comments, raw-string
+//! fences, lifetimes next to char literals, stray backslashes, and the
+//! `detlint-allow:` marker itself.
+
+use autodbaas_lint::lexer::{code_tokens, tokenize, TokKind};
+use proptest::prelude::*;
+
+/// Fragments biased toward lexer edge cases. Concatenations of these reach
+/// every branch: comment nesting, fence counting, escape handling, and the
+/// char-vs-lifetime lookahead.
+const FRAGMENTS: &[&str] = &[
+    "//",
+    "/*",
+    "*/",
+    "\n",
+    "\"",
+    "\\",
+    "'",
+    "'a",
+    "'x'",
+    "r#\"",
+    "\"#",
+    "r\"",
+    "b\"",
+    "br##\"",
+    "\"##",
+    "#",
+    "ident",
+    "r#type",
+    "HashMap",
+    "::",
+    ".",
+    "iter",
+    "(",
+    ")",
+    "{",
+    "}",
+    "0x1f",
+    "1_000u64",
+    "3.14",
+    "0..10",
+    "1e9",
+    " ",
+    "\t",
+    "detlint-allow:",
+    "D003",
+    ",",
+    "reason text",
+    "SystemTime",
+    "now",
+    "unwrap",
+    "as",
+    "u16",
+    "fold",
+    "0.0",
+    "sum",
+    "<",
+    ">",
+    "f64",
+    "é",
+    "→",
+];
+
+fn soup(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn lexer_never_panics_and_spans_round_trip(
+        indices in prop::collection::vec(0usize..FRAGMENTS.len(), 0..120)
+    ) {
+        let src = soup(&indices);
+        let tokens = tokenize(&src);
+
+        // Spans are in-bounds, non-empty, strictly ordered, non-overlapping.
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start < t.end, "empty span {:?}", t);
+            prop_assert!(t.end <= src.len(), "span past EOF {:?}", t);
+            prop_assert!(t.start >= prev_end, "overlapping tokens at {}", t.start);
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            prev_end = t.end;
+        }
+
+        // Round trip: tokens plus the inter-token gaps reproduce the source,
+        // and every gap is pure whitespace (the lexer drops nothing else).
+        let mut rebuilt = String::with_capacity(src.len());
+        let mut pos = 0usize;
+        for t in &tokens {
+            let gap = &src[pos..t.start];
+            prop_assert!(
+                gap.chars().all(char::is_whitespace),
+                "lexer skipped non-whitespace {gap:?}"
+            );
+            rebuilt.push_str(gap);
+            rebuilt.push_str(t.text(&src));
+            pos = t.end;
+        }
+        rebuilt.push_str(&src[pos..]);
+        prop_assert_eq!(rebuilt, src);
+
+        // Line numbers never decrease.
+        for w in tokens.windows(2) {
+            prop_assert!(w[0].line <= w[1].line);
+        }
+
+        // code_tokens is a subsequence with comments removed.
+        let code = code_tokens(&tokens);
+        prop_assert!(code.len() <= tokens.len());
+        for t in &code {
+            prop_assert!(
+                !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+            );
+        }
+    }
+
+    #[test]
+    fn full_lint_pipeline_never_panics_on_soup(
+        indices in prop::collection::vec(0usize..FRAGMENTS.len(), 0..80)
+    ) {
+        let src = soup(&indices);
+        // Rules, test-region detection, and allow parsing all run over the
+        // soup; only absence of panics is asserted.
+        let _ = autodbaas_lint::lint_source("crates/ctrlplane/src/soup.rs", "ctrlplane", &src);
+        let _ = autodbaas_lint::lint_source("crates/simdb/src/knobs.rs", "simdb", &src);
+    }
+}

@@ -161,6 +161,14 @@ impl BufferPool {
         if write {
             self.dirty_frames += 1;
         }
+        debug_assert!(
+            self.map.len() <= self.frames.len(),
+            "mapped chunks exceed frame capacity"
+        );
+        debug_assert!(
+            self.dirty_frames <= self.frames.len(),
+            "dirty counter exceeds frame capacity"
+        );
         false
     }
 
@@ -207,6 +215,13 @@ impl BufferPool {
             }
         }
         self.dirty_frames -= cleaned;
+        // This path already paid for a frame scan, so it is the cheap place
+        // to re-check the incrementally-maintained counter against truth.
+        debug_assert_eq!(
+            self.dirty_frames,
+            self.frames.iter().filter(|f| f.valid && f.dirty).count(),
+            "incremental dirty counter diverged from frame state"
+        );
         cleaned
     }
 

@@ -104,6 +104,12 @@ pub struct KnobSpec {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct KnobId(pub u16);
 
+/// Checked construction from a profile index: profiles hold ~15 knobs, but
+/// the bound lives here instead of in silent `as u16` truncations.
+fn knob_id(index: usize) -> KnobId {
+    KnobId(u16::try_from(index).expect("knob profile exceeds the u16 id space"))
+}
+
 const KIB: f64 = 1024.0;
 const MIB: f64 = 1024.0 * 1024.0;
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
@@ -447,18 +453,12 @@ impl KnobProfile {
 
     /// Look a knob up by name.
     pub fn lookup(&self, name: &str) -> Option<KnobId> {
-        self.specs
-            .iter()
-            .position(|s| s.name == name)
-            .map(|i| KnobId(i as u16))
+        self.specs.iter().position(|s| s.name == name).map(knob_id)
     }
 
     /// Iterate over `(id, spec)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (KnobId, &KnobSpec)> {
-        self.specs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (KnobId(i as u16), s))
+        self.specs.iter().enumerate().map(|(i, s)| (knob_id(i), s))
     }
 
     /// Ids of all knobs in a class.
@@ -528,7 +528,7 @@ impl KnobSet {
         assert_eq!(raw.len(), profile.len(), "config vector length mismatch");
         let mut set = profile.defaults();
         for (i, &v) in raw.iter().enumerate() {
-            set.set(profile, KnobId(i as u16), v);
+            set.set(profile, knob_id(i), v);
         }
         set
     }

@@ -214,10 +214,13 @@ impl Planner {
         let (spill, spill_bytes, mem_grant) = self.spill_decision(q, knobs);
 
         // --- Parallelism --------------------------------------------------
-        let max_workers = knobs.get(self.roles.parallel_workers).max(0.0) as u32;
-        let useful_workers = (rows / 50_000) as u32; // below ~50k rows a worker costs more than it saves
+        let max_workers = knobs.get(self.roles.parallel_workers).max(0.0) as u64;
+        let useful_workers = rows / 50_000; // below ~50k rows a worker costs more than it saves
         let workers_requested = if q.parallelizable {
-            max_workers.min(useful_workers)
+            // The knob spec bounds max_workers to a small constant, so the
+            // min always fits the Plan's u32 field.
+            u32::try_from(max_workers.min(useful_workers))
+                .expect("worker count bounded by knob spec")
         } else {
             0
         };

@@ -60,6 +60,10 @@ impl Wal {
     /// Append `bytes` of log; returns the new insert LSN.
     pub fn append(&mut self, bytes: u64) -> Lsn {
         self.insert_lsn += bytes;
+        debug_assert!(
+            self.insert_lsn >= self.redo_lsn,
+            "insert LSN fell behind the redo point"
+        );
         self.insert_lsn
     }
 
@@ -101,6 +105,14 @@ impl Wal {
             .pending_redo_lsn
             .take()
             .expect("complete_checkpoint without begin_checkpoint");
+        debug_assert!(
+            redo >= self.redo_lsn,
+            "redo point must advance monotonically"
+        );
+        debug_assert!(
+            redo <= self.insert_lsn,
+            "redo point cannot pass the insert position"
+        );
         let freed_bytes = redo - self.redo_lsn;
         self.redo_lsn = redo;
         let freed_segments = freed_bytes / self.segment_bytes;

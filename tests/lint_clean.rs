@@ -1,0 +1,37 @@
+//! Tier-1 gate: the workspace's own sources must pass detlint.
+//!
+//! Any determinism or robustness regression (wall-clock reads in the
+//! simulation, hash-order iteration feeding results, runtime unwraps in the
+//! control plane, …) fails this test with the same diagnostics the CLI
+//! prints, so `cargo test -q` alone is enough to catch it.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_detlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = autodbaas_lint::run_workspace(root, None)
+        .unwrap_or_else(|e| panic!("detlint failed to run: {e}"));
+    assert!(
+        report.files_scanned > 0,
+        "detlint scanned no files — workspace walk is broken"
+    );
+    assert!(
+        report.is_clean(),
+        "detlint found active violations:\n{}",
+        autodbaas_lint::render_human(&report)
+    );
+}
+
+#[test]
+fn baseline_has_no_stale_entries() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = autodbaas_lint::run_workspace(root, None)
+        .unwrap_or_else(|e| panic!("detlint failed to run: {e}"));
+    assert!(
+        report.stale_baseline.is_empty(),
+        "lint_baseline.toml entries no longer match any finding (fixed code \
+         must shed its baseline entry): {:?}",
+        report.stale_baseline
+    );
+}
