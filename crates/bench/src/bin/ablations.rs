@@ -15,6 +15,7 @@
 use autodbaas_bench::{header, seed_offline, Rig};
 use autodbaas_core::{LearnedDetector, Tde, TdeConfig};
 use autodbaas_simdb::{DbFlavor, InstanceType, MetricId, SimDatabase};
+use autodbaas_telemetry::outln;
 use autodbaas_tuner::{
     normalize_config, BoConfig, BoTuner, Sample, SampleQuality, WorkloadRepository,
 };
@@ -33,16 +34,18 @@ fn main() {
     ablate_reservoir();
     ablate_knob_subset();
     ablate_learned_tde();
-    println!("\nall ablations hold.");
+    outln!("\nall ablations hold.");
 }
 
 /// Ablation 1 — entropy filter: on a cap-limited t2.small, the filter
 /// must divert unfixable throttles away from the tuner.
 fn ablate_entropy_filter() {
-    println!("\n--- 1. entropy filtration on a cap-limited instance ---");
-    println!(
+    outln!("\n--- 1. entropy filtration on a cap-limited instance ---");
+    outln!(
         "{:<10} {:>16} {:>22}",
-        "filter", "tuning requests", "upgrades+suppressed"
+        "filter",
+        "tuning requests",
+        "upgrades+suppressed"
     );
     let mut results = Vec::new();
     for enable in [true, false] {
@@ -68,7 +71,7 @@ fn ablate_entropy_filter() {
             let _ = tde.run(&mut rig.db, None);
         }
         let diverted = tde.plan_upgrades() + tde.suppressed();
-        println!(
+        outln!(
             "{:<10} {:>16} {:>22}",
             enable,
             tde.tuning_requests(),
@@ -86,8 +89,8 @@ fn ablate_entropy_filter() {
 /// Ablation 2 — TDE period: longer windows mean later detection of a
 /// real problem.
 fn ablate_tde_period() {
-    println!("\n--- 2. TDE observation-period sweep (detection latency) ---");
-    println!("{:<14} {:>22}", "period (s)", "detected after (s)");
+    outln!("\n--- 2. TDE observation-period sweep (detection latency) ---");
+    outln!("{:<14} {:>22}", "period (s)", "detected after (s)");
     let mut latencies = Vec::new();
     for period_s in [30u64, 60, 300] {
         let wl = AdulteratedWorkload::new(tpcc(1.0), 0.5);
@@ -109,7 +112,7 @@ fn ablate_tde_period() {
             }
         }
         let at = detected_at.expect("spilling workload must be detected");
-        println!("{:<14} {:>22}", period_s, at);
+        outln!("{:<14} {:>22}", period_s, at);
         latencies.push(at);
     }
     assert!(
@@ -121,8 +124,8 @@ fn ablate_tde_period() {
 /// Ablation 3 — reservoir size: too small a sample misses rare spilling
 /// templates.
 fn ablate_reservoir() {
-    println!("\n--- 3. reservoir-size sweep (rare-spill recall over 20 windows) ---");
-    println!("{:<14} {:>18}", "capacity", "windows w/ throttle");
+    outln!("\n--- 3. reservoir-size sweep (rare-spill recall over 20 windows) ---");
+    outln!("{:<14} {:>18}", "capacity", "windows w/ throttle");
     let mut hits = Vec::new();
     for cap in [2usize, 8, 64] {
         // 2% of queries spill — rare enough to stress a tiny reservoir.
@@ -149,7 +152,7 @@ fn ablate_reservoir() {
                 windows_with += 1;
             }
         }
-        println!("{:<14} {:>18}", cap, windows_with);
+        outln!("{:<14} {:>18}", cap, windows_with);
         hits.push(windows_with);
     }
     assert!(
@@ -162,8 +165,8 @@ fn ablate_reservoir() {
 /// Ablation 4 — BO knob subset: with few samples, tuning everything at
 /// once is worse than tuning the ranked subset.
 fn ablate_knob_subset() {
-    println!("\n--- 4. BO tune_top_k sweep (recommendation quality, 30 samples) ---");
-    println!("{:<14} {:>18}", "tune_top_k", "achieved qps");
+    outln!("\n--- 4. BO tune_top_k sweep (recommendation quality, 30 samples) ---");
+    outln!("{:<14} {:>18}", "tune_top_k", "achieved qps");
     let wl = AdulteratedWorkload::new(tpcc(1.0), 0.3);
     let profile = autodbaas_simdb::KnobProfile::postgres();
     let mut repo = WorkloadRepository::new();
@@ -224,7 +227,7 @@ fn ablate_knob_subset() {
         let before = db.metrics_snapshot();
         drive_db(&mut db, &wl, 60, 200, &mut eval_rng);
         let qps = db.metrics_snapshot().delta(&before)[MetricId::QueriesExecuted.index()] / 60.0;
-        println!("{:<14} {:>18.0}", k, qps);
+        outln!("{:<14} {:>18.0}", k, qps);
         achieved.push(qps);
     }
     // Focused tuning must not lose badly to the full-dimensional sweep.
@@ -249,7 +252,7 @@ fn drive_db(db: &mut SimDatabase, wl: &dyn QuerySource, secs: u64, rate: u64, rn
 /// Ablation 5 — learned TDE (future work): distilled online, its
 /// agreement with the rule engine must climb well above chance.
 fn ablate_learned_tde() {
-    println!("\n--- 5. learned TDE distillation (agreement with the rule engine) ---");
+    outln!("\n--- 5. learned TDE distillation (agreement with the rule engine) ---");
     let wl = AdulteratedWorkload::new(tpcc(1.0), 0.4);
     let mut rig = Rig::new(
         DbFlavor::Postgres,
@@ -275,7 +278,7 @@ fn ablate_learned_tde() {
         learned.observe(rig.db.knobs(), &delta, &report);
         if w % 40 == 0 {
             checkpoints.push(learned.recent_agreement());
-            println!(
+            outln!(
                 "after {w:>3} windows: recent agreement = {:.2} (lifetime {:.2})",
                 learned.recent_agreement(),
                 learned.agreement()

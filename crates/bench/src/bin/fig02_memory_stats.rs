@@ -9,6 +9,7 @@
 
 use autodbaas_bench::{header, Rig};
 use autodbaas_simdb::{DbFlavor, InstanceType, MetricId};
+use autodbaas_telemetry::outln;
 use autodbaas_workload::{by_name, AdulteratedWorkload, QuerySource};
 
 const MIB: f64 = 1024.0 * 1024.0;
@@ -20,9 +21,13 @@ fn main() {
         "TPCC ~0.5 MB of work_mem; YCSB/Wikipedia none; CH-bench and \
          adulterated TPCC demand 100s of MB and overflow to disk",
     );
-    println!(
+    outln!(
         "{:<18} {:>14} {:>16} {:>16} {:>14}",
-        "workload", "work_mem(MiB)", "mem used (MiB)", "disk used (MiB)", "sorts spilled"
+        "workload",
+        "work_mem(MiB)",
+        "mem used (MiB)",
+        "disk used (MiB)",
+        "sorts spilled"
     );
 
     let names = ["tpcc", "chbench", "ycsb", "wikipedia"];
@@ -57,7 +62,7 @@ fn report_row(name: &str, wl: &dyn QuerySource, catalog: autodbaas_simdb::Catalo
         + rig.db.metrics().get(MetricId::MaintenanceSpills)
         + rig.db.metrics().get(MetricId::TempTableSpills);
     let disk_used = rig.db.metrics().get(MetricId::TempBytes) / MIB;
-    println!(
+    outln!(
         "{:<18} {:>14.1} {:>16.2} {:>16.1} {:>14}",
         name,
         allocated / MIB,

@@ -13,6 +13,7 @@
 use autodbaas_bench::{arg_value, header, sparkline};
 use autodbaas_core::ClassHistogram;
 use autodbaas_telemetry::entropy::{normalized_entropy, paper_entropy_score};
+use autodbaas_telemetry::outln;
 use autodbaas_workload::{tpcc, AdulteratedWorkload, QuerySource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,14 +64,14 @@ fn main() {
         1,
     );
 
-    println!("\nper-window normalized entropy η (40 one-minute windows):");
+    outln!("\nper-window normalized entropy η (40 one-minute windows):");
     sparkline("plain TPCC", &plain);
     sparkline(&format!("adulterated p={p}"), &adulterated);
 
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     let m_plain = mean(&plain);
     let m_adult = mean(&adulterated);
-    println!("\nmean η:  plain = {m_plain:.3}   adulterated = {m_adult:.3}");
+    outln!("\nmean η:  plain = {m_plain:.3}   adulterated = {m_adult:.3}");
 
     // The paper's concentration-oriented score (1 - η).
     let mut hist_p = ClassHistogram::new();
@@ -82,15 +83,15 @@ fn main() {
         hist_p.record(&plain_wl.next_query(&mut rng));
         hist_a.record(&adult_wl.next_query(&mut rng));
     }
-    println!(
+    outln!(
         "concentration score (paper orientation): plain = {:.3}, adulterated = {:.3}",
         paper_entropy_score(hist_p.counts()),
         paper_entropy_score(hist_a.counts())
     );
-    println!("\nclass counts (20k queries):");
-    println!("  plain:       {:?}", hist_p.counts());
-    println!("  adulterated: {:?}", hist_a.counts());
+    outln!("\nclass counts (20k queries):");
+    outln!("  plain:       {:?}", hist_p.counts());
+    outln!("  adulterated: {:?}", hist_a.counts());
 
     assert!(m_adult > m_plain, "adulteration must raise Shannon entropy");
-    println!("\nresult: adulterated entropy > plain entropy — shape reproduced.");
+    outln!("\nresult: adulterated entropy > plain entropy — shape reproduced.");
 }

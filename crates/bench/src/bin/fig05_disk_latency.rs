@@ -10,6 +10,7 @@
 
 use autodbaas_bench::{header, sparkline, Rig};
 use autodbaas_simdb::{DbFlavor, InstanceType};
+use autodbaas_telemetry::outln;
 use autodbaas_telemetry::PeakDetector;
 use autodbaas_workload::tpcc;
 
@@ -69,19 +70,19 @@ fn main() {
     let (default_series, default_mean, default_peaks) = run(false);
     let (tuned_series, tuned_mean, tuned_peaks) = run(true);
 
-    println!("\nlatency over 20 minutes (60 bins):");
+    outln!("\nlatency over 20 minutes (60 bins):");
     sparkline("default knobs", &default_series);
     sparkline("tuned knobs", &tuned_series);
-    println!(
+    outln!(
         "\nmean write latency: default = {default_mean:.2} ms, tuned = {tuned_mean:.2} ms \
          (ratio {:.1}x)",
         default_mean / tuned_mean.max(1e-9)
     );
-    println!("latency peaks detected: default = {default_peaks}, tuned = {tuned_peaks}");
+    outln!("latency peaks detected: default = {default_peaks}, tuned = {tuned_peaks}");
 
     assert!(
         default_mean > tuned_mean,
         "tuned knobs must lower mean latency"
     );
-    println!("\nresult: tuned background-writer knobs cut disk latency — shape reproduced.");
+    outln!("\nresult: tuned background-writer knobs cut disk latency — shape reproduced.");
 }

@@ -10,6 +10,7 @@
 use autodbaas_bench::{header, sparkline, Rig};
 use autodbaas_core::{MdpConfig, MdpEngine};
 use autodbaas_simdb::{DbFlavor, InstanceType, QueryProfile};
+use autodbaas_telemetry::outln;
 use autodbaas_workload::production;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,14 +81,14 @@ fn main() {
 
     let rewards = mdp.episode_rewards();
     let accuracy = mdp.episode_accuracy();
-    println!("\n(a) episodic reward over {} episodes:", rewards.len());
+    outln!("\n(a) episodic reward over {} episodes:", rewards.len());
     sparkline("episodic reward", rewards);
-    println!("\n(b) accuracy (non-detrimental-step fraction):");
+    outln!("\n(b) accuracy (non-detrimental-step fraction):");
     sparkline("accuracy", accuracy);
 
     let early: f64 = rewards.iter().take(3).sum::<f64>() / 3.0;
     let late: f64 = rewards.iter().rev().take(3).sum::<f64>() / 3.0;
-    println!("\nmean episodic reward: first 3 episodes = {early:.3}, last 3 = {late:.3}");
+    outln!("\nmean episodic reward: first 3 episodes = {early:.3}, last 3 = {late:.3}");
     let cum: Vec<f64> = rewards
         .iter()
         .scan(0.0, |acc, r| {
@@ -96,7 +97,7 @@ fn main() {
         })
         .collect();
     sparkline("cumulative reward", &cum);
-    println!(
+    outln!(
         "\nfinal knob values: random_page_cost = {:.2}, workers = {:.0}",
         rig.db.knobs().get(p.lookup("random_page_cost").unwrap()),
         rig.db
@@ -107,5 +108,5 @@ fn main() {
         late > early,
         "episodic reward must improve as the automata learn (early {early:.3}, late {late:.3})"
     );
-    println!("result: episodic reward rises as the automata converge — shape reproduced.");
+    outln!("result: episodic reward rises as the automata converge — shape reproduced.");
 }

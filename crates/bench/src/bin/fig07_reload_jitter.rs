@@ -10,6 +10,7 @@
 
 use autodbaas_bench::{header, sparkline, Rig};
 use autodbaas_simdb::{ApplyMode, DbFlavor, InstanceType, MetricId};
+use autodbaas_telemetry::outln;
 use autodbaas_workload::tpcc;
 
 fn run(mode: Option<ApplyMode>) -> (Vec<f64>, f64, f64) {
@@ -82,22 +83,22 @@ fn main() {
     let (iops_reload, qps_reload, lat_reload) = run(Some(ApplyMode::Reload));
     let (iops_socket, qps_socket, lat_socket) = run(Some(ApplyMode::SocketActivation));
 
-    println!("\nIOPS over 15 minutes (45 bins):");
+    outln!("\nIOPS over 15 minutes (45 bins):");
     sparkline("no reloads", &iops_none);
     sparkline("reload every 20 s", &iops_reload);
     sparkline("socket-activation (ablation)", &iops_socket);
 
-    println!("\nmean completed qps / mean query latency:");
-    println!("  no reloads         {qps_none:>9.0} qps   {lat_none:>8.3} ms");
-    println!("  reload every 20 s  {qps_reload:>9.0} qps   {lat_reload:>8.3} ms");
-    println!("  socket activation  {qps_socket:>9.0} qps   {lat_socket:>8.3} ms");
+    outln!("\nmean completed qps / mean query latency:");
+    outln!("  no reloads         {qps_none:>9.0} qps   {lat_none:>8.3} ms");
+    outln!("  reload every 20 s  {qps_reload:>9.0} qps   {lat_reload:>8.3} ms");
+    outln!("  socket activation  {qps_socket:>9.0} qps   {lat_socket:>8.3} ms");
 
     // Degradation shows up as lost throughput (shed load during stalls)
     // and/or inflated latency, depending on how close to capacity the
     // instance runs.
     let reload_cost = (1.0 - qps_reload / qps_none).max(lat_reload / lat_none - 1.0);
     let socket_cost = (1.0 - qps_socket / qps_none).max(lat_socket / lat_none - 1.0);
-    println!(
+    outln!(
         "\nperformance cost vs no-reload baseline: reload = {:+.1}%, socket activation = {:+.1}%",
         reload_cost * 100.0,
         socket_cost * 100.0
@@ -107,5 +108,5 @@ fn main() {
         socket_cost > reload_cost + 0.05,
         "socket activation must cost far more than reload ({socket_cost:.3} vs {reload_cost:.3})"
     );
-    println!("\nresult: reload signals are jitter-free at 20 s frequency — shape reproduced.");
+    outln!("\nresult: reload signals are jitter-free at 20 s frequency — shape reproduced.");
 }

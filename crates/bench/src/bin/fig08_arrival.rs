@@ -6,6 +6,7 @@
 //! queries/day. The synthetic trace reproduces those statistics.
 
 use autodbaas_bench::{header, sparkline};
+use autodbaas_telemetry::outln;
 use autodbaas_telemetry::{MILLIS_PER_DAY, MILLIS_PER_HOUR};
 use autodbaas_workload::production;
 
@@ -24,7 +25,7 @@ fn main() {
     for h in 0..(7 * 24) {
         week.push(arrival.rate_at(h * MILLIS_PER_HOUR + MILLIS_PER_HOUR / 2));
     }
-    println!("\nrequests/second, one week at hourly resolution:");
+    outln!("\nrequests/second, one week at hourly resolution:");
     sparkline("week (Mon..Sun)", &week);
 
     // One weekday, and the peak location.
@@ -38,7 +39,7 @@ fn main() {
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
         .map(|(h, _)| h)
         .unwrap_or(0);
-    println!("\npeak hour: {peak_hour}:00 (paper: inside the 8–11 AM surge)");
+    outln!("\npeak hour: {peak_hour}:00 (paper: inside the 8–11 AM surge)");
 
     // Daily volume across the 33-day trace.
     let mut volumes = Vec::new();
@@ -54,7 +55,7 @@ fn main() {
     }
     sparkline("daily volume (M queries)", &volumes);
     let avg = volumes.iter().sum::<f64>() / volumes.len() as f64;
-    println!("\naverage daily volume: {avg:.2}M queries/day (paper: 42.13M)");
+    outln!("\naverage daily volume: {avg:.2}M queries/day (paper: 42.13M)");
 
     assert!(
         (8..=11).contains(&peak_hour),
@@ -64,5 +65,5 @@ fn main() {
         (25.0..70.0).contains(&avg),
         "daily volume in the plausible band"
     );
-    println!("\nresult: diurnal shape with 8–11 AM surge reproduced.");
+    outln!("\nresult: diurnal shape with 8–11 AM surge reproduced.");
 }

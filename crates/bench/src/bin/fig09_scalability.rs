@@ -17,6 +17,7 @@ use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_ctrlplane::TunerKind;
 use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+use autodbaas_telemetry::outln;
 use autodbaas_telemetry::{MILLIS_PER_HOUR, MILLIS_PER_MIN};
 use autodbaas_tuner::WorkloadId;
 use autodbaas_workload::{
@@ -138,16 +139,21 @@ fn main() {
         rows.push((name, binned, total, backlog, dollars, instances));
     }
 
-    println!("\nrequests/min (15-min bins across the run):");
+    outln!("\nrequests/min (15-min bins across the run):");
     for (name, binned, ..) in &rows {
         sparkline(name, binned);
     }
-    println!(
+    outln!(
         "\n{:<18} {:>11} {:>13} {:>15} {:>11} {:>9}",
-        "policy", "total reqs", "reqs/min avg", "backlog (s)", "tuner $", "tuners"
+        "policy",
+        "total reqs",
+        "reqs/min avg",
+        "backlog (s)",
+        "tuner $",
+        "tuners"
     );
     for (name, _, total, backlog, dollars, instances) in &rows {
-        println!(
+        outln!(
             "{:<18} {:>11} {:>13.2} {:>15.1} {:>11.2} {:>9}",
             name,
             total,
@@ -163,5 +169,5 @@ fn main() {
         tde_total < p5_total,
         "TDE-driven ({tde_total}) must undercut periodic 5-min ({p5_total})"
     );
-    println!("\nresult: the TDE breaks the periodic-polling floor — shape reproduced.");
+    outln!("\nresult: the TDE breaks the periodic-polling floor — shape reproduced.");
 }

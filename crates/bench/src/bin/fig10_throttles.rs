@@ -14,6 +14,7 @@
 use autodbaas_bench::{arg_value, header, seed_offline, Rig};
 use autodbaas_core::{Tde, TdeConfig};
 use autodbaas_simdb::{DbFlavor, InstanceType, KnobClass};
+use autodbaas_telemetry::outln;
 use autodbaas_telemetry::MILLIS_PER_MIN;
 use autodbaas_tuner::WorkloadRepository;
 use autodbaas_workload::{production, MixWorkload};
@@ -91,16 +92,22 @@ fn main() {
         ("ycsb (mix)", autodbaas_workload::ycsb(20.0), 5_000),
     ];
 
-    println!(
+    outln!(
         "\n{:<22} {:>10} {:>14} {:>14}",
-        "workload", "memory", "bgwriter", "async/planner"
+        "workload",
+        "memory",
+        "bgwriter",
+        "async/planner"
     );
     let mut rows = Vec::new();
     for (name, wl, rate) in runs {
         let counts = census(flavor, &wl, rate, &repo);
-        println!(
+        outln!(
             "{:<22} {:>10.2} {:>14.2} {:>14.2}",
-            name, counts[0], counts[1], counts[2]
+            name,
+            counts[0],
+            counts[1],
+            counts[2]
         );
         rows.push((name, counts));
     }
@@ -132,9 +139,12 @@ fn main() {
     for c in &mut counts {
         *c /= windows as f64;
     }
-    println!(
+    outln!(
         "{:<22} {:>10.2} {:>14.2} {:>14.2}",
-        "production (live)", counts[0], counts[1], counts[2]
+        "production (live)",
+        counts[0],
+        counts[1],
+        counts[2]
     );
     rows.push(("production", counts));
 
@@ -151,5 +161,5 @@ fn main() {
         read_mix_mem >= read_mix_bg,
         "read/mix workloads must lean toward memory+async ({read_mix_mem:.2} vs {read_mix_bg:.2})"
     );
-    println!("\nresult: class distribution per workload type — shape reproduced.");
+    outln!("\nresult: class distribution per workload type — shape reproduced.");
 }

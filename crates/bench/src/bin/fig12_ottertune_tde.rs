@@ -19,6 +19,7 @@ use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_ctrlplane::TunerKind;
 use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType, MetricId};
+use autodbaas_telemetry::outln;
 use autodbaas_telemetry::{MILLIS_PER_HOUR, MILLIS_PER_MIN};
 use autodbaas_tuner::WorkloadId;
 use autodbaas_workload::{tpcc, AdulteratedWorkload, ArrivalProcess, DiurnalProfile};
@@ -160,7 +161,7 @@ fn main() {
     let ungated = average(false);
     let gated = average(true);
 
-    println!(
+    outln!(
         "\nhourly throughput of the late-hooked database (queries/s, mean of {} seeds):",
         seeds.len()
     );
@@ -171,7 +172,7 @@ fn main() {
     // Skip hour 0 (both start at defaults).
     let m_ungated = mean(&ungated[1..]);
     let m_gated = mean(&gated[1..]);
-    println!(
+    outln!(
         "\nmean throughput (hours 1..{HOURS}): ungated = {m_ungated:.0} qps, gated = {m_gated:.0} qps \
          ({:+.1}%)",
         (m_gated / m_ungated - 1.0) * 100.0
@@ -180,5 +181,5 @@ fn main() {
         m_gated >= m_ungated * 0.95,
         "gated mode must not lose materially to ungated (gated {m_gated:.0} vs {m_ungated:.0})"
     );
-    println!("\nresult: TDE gating protects the learning model — shape reproduced.");
+    outln!("\nresult: TDE gating protects the learning model — shape reproduced.");
 }

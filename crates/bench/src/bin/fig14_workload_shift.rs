@@ -12,6 +12,7 @@
 use autodbaas_bench::{header, seed_offline, Rig};
 use autodbaas_core::{Tde, TdeConfig};
 use autodbaas_simdb::{Catalog, DbFlavor, InstanceType, KnobClass};
+use autodbaas_telemetry::outln;
 use autodbaas_tuner::WorkloadRepository;
 use autodbaas_workload::{by_name, MixWorkload};
 
@@ -137,9 +138,12 @@ fn main() {
         ("#5", "tpcc", "twitter"),
         ("#6", "twitter", "tpcc"),
     ];
-    println!(
+    outln!(
         "\n{:<4} {:<22} {:>10} {:>12}  classes",
-        "exp", "switch", "throttles", "detected in"
+        "exp",
+        "switch",
+        "throttles",
+        "detected in"
     );
     let mut any_detected = 0;
     for (id, from, to) in experiments {
@@ -156,16 +160,20 @@ fn main() {
         } else {
             o.classes.join(", ")
         };
-        println!(
+        outln!(
             "{:<4} {:<22} {:>10} {:>12}  {}",
-            id, switch, o.throttles_after, detected, classes
+            id,
+            switch,
+            o.throttles_after,
+            detected,
+            classes
         );
     }
     assert!(
         any_detected >= 4,
         "most switches must be detected ({any_detected}/6)"
     );
-    println!(
+    outln!(
         "\nresult: workload switches surface as throttles within a few \
          observation windows — shape reproduced."
     );

@@ -12,6 +12,7 @@
 use autodbaas_bench::{header, seed_offline, Rig};
 use autodbaas_core::{Tde, TdeConfig};
 use autodbaas_simdb::{DbFlavor, InstanceType, KnobClass, KnobProfile};
+use autodbaas_telemetry::outln;
 use autodbaas_tuner::{rank_knobs, WorkloadRepository};
 use autodbaas_workload::by_name;
 
@@ -94,15 +95,20 @@ fn main() {
                 }
             }
         }
-        println!(
+        outln!(
             "{name:<12} top-5 knob classes: memory={} bgwriter={} async={}",
-            votes[0], votes[1], votes[2]
+            votes[0],
+            votes[1],
+            votes[2]
         );
     }
 
-    println!(
+    outln!(
         "\n{:<22} {:>10} {:>10} {:>10}",
-        "throttle class", "matched", "total", "accuracy"
+        "throttle class",
+        "matched",
+        "total",
+        "accuracy"
     );
     let mut accuracy = [0.0f64; 3];
     for class in KnobClass::ALL {
@@ -112,7 +118,7 @@ fn main() {
         } else {
             acc[k][0] as f64 / acc[k][1] as f64
         };
-        println!(
+        outln!(
             "{:<22} {:>10} {:>10} {:>9.0}%",
             class.to_string(),
             acc[k][0],
@@ -120,7 +126,7 @@ fn main() {
             accuracy[k] * 100.0
         );
     }
-    println!(
+    outln!(
         "\nnote: as in the paper, async/planner accuracy under-reports because \
          the tuner's metric set carries no planner estimates; the throttle \
          points themselves showed cost/benefit improvement."
@@ -129,5 +135,5 @@ fn main() {
         accuracy[KnobClass::Memory.index()] >= accuracy[KnobClass::AsyncPlanner.index()],
         "memory accuracy must dominate async/planner accuracy"
     );
-    println!("\nresult: accuracy ordering (memory/bgwriter high, async low) — shape reproduced.");
+    outln!("\nresult: accuracy ordering (memory/bgwriter high, async low) — shape reproduced.");
 }

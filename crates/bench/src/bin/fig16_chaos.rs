@@ -21,6 +21,7 @@ use autodbaas_cloudsim::{FaultPlan, FleetConfig, FleetSim, ManagedDatabase, Roll
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_ctrlplane::TunerKind;
 use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+use autodbaas_telemetry::outln;
 use autodbaas_telemetry::MILLIS_PER_MIN;
 use autodbaas_tuner::WorkloadId;
 use autodbaas_workload::{tpcc, ycsb, ArrivalProcess, QuerySource};
@@ -146,34 +147,34 @@ fn main() {
     let a = run_once(n_dbs, minutes, seed, standard.clone());
     let b = run_once(n_dbs, minutes, seed, standard);
 
-    println!("\n{:<34} {:>14}", "metric", "value");
-    println!("{:<34} {:>14.5}", "availability (fleet)", a.availability);
-    println!("{:<34} {:>14}", "faults injected", a.faults);
-    println!("{:<34} {:>14}", "recovery events", a.recoveries);
-    println!("{:<34} {:>14}", "  of which failovers", a.failovers);
-    println!("{:<34} {:>14}", "reconciliations", a.reconciliations);
-    println!(
+    outln!("\n{:<34} {:>14}", "metric", "value");
+    outln!("{:<34} {:>14.5}", "availability (fleet)", a.availability);
+    outln!("{:<34} {:>14}", "faults injected", a.faults);
+    outln!("{:<34} {:>14}", "recovery events", a.recoveries);
+    outln!("{:<34} {:>14}", "  of which failovers", a.failovers);
+    outln!("{:<34} {:>14}", "reconciliations", a.reconciliations);
+    outln!(
         "{:<34} {:>14}",
         "failover MTTR (s)",
         fmt_mttr(a.failover_mttr_ms)
     );
-    println!(
+    outln!(
         "{:<34} {:>14}",
         "single-node restart MTTR (s)",
         fmt_mttr(a.restart_mttr_ms)
     );
-    println!(
+    outln!(
         "{:<34} {:>14}",
         "mid-apply crash -> reconciled (s)",
         fmt_mttr(a.reconcile_mttr_ms)
     );
-    println!("{:<34} {:>14}", "request timeouts", a.timeouts);
-    println!("{:<34} {:>14}", "request retries", a.retries);
-    println!("{:<34} {:>14}", "stale responses dropped", a.stale_dropped);
-    println!("{:<34} {:>14}", "safety rollbacks", a.rollbacks);
-    println!("{:<34} {:>14}", "wedged services at end", a.wedged.len());
-    println!("{:<34} {:>14}", "drifted services at end", a.drifted.len());
-    println!("{:<34} {:>14x}", "event-log fingerprint", a.fingerprint);
+    outln!("{:<34} {:>14}", "request timeouts", a.timeouts);
+    outln!("{:<34} {:>14}", "request retries", a.retries);
+    outln!("{:<34} {:>14}", "stale responses dropped", a.stale_dropped);
+    outln!("{:<34} {:>14}", "safety rollbacks", a.rollbacks);
+    outln!("{:<34} {:>14}", "wedged services at end", a.wedged.len());
+    outln!("{:<34} {:>14}", "drifted services at end", a.drifted.len());
+    outln!("{:<34} {:>14x}", "event-log fingerprint", a.fingerprint);
 
     assert!(a.faults > 0, "the plan must actually inject faults");
     assert!(
@@ -216,7 +217,7 @@ fn main() {
         c.wedged,
         c.drifted
     );
-    println!(
+    outln!(
         "\nresult: survived the standard fault plan with a replayable event \
          log — self-healing shape reproduced."
     );

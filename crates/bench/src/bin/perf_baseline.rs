@@ -26,6 +26,7 @@ use autodbaas_bench::arg_value;
 use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+use autodbaas_telemetry::outln;
 use autodbaas_telemetry::MILLIS_PER_MIN;
 use autodbaas_tuner::{
     top_k_xy, BoConfig, BoStats, BoTuner, GaussianProcess, GpParams, Sample, SampleQuality,
@@ -96,7 +97,7 @@ fn gp_fit_sweep(out: &mut String) {
             if i == 3 { "" } else { "," },
         );
         out.push_str(&line);
-        println!("gp_fit n={n:3}  full={full_ms:8.3} ms  extend={extend_ms:8.3} ms");
+        outln!("gp_fit n={n:3}  full={full_ms:8.3} ms  extend={extend_ms:8.3} ms");
     }
     out.push_str("  ],\n");
 }
@@ -313,12 +314,12 @@ fn repeated_recommend(rounds: usize, out: &mut String) {
 
     let speedup_vs_legacy = legacy_ms / incremental_ms.max(1e-6);
     let speedup_vs_full = full_ms / incremental_ms.max(1e-6);
-    println!(
+    outln!(
         "recommend x{rounds} @ n={n0}: legacy={legacy_ms:.1} ms  full={full_ms:.1} ms  \
          incremental={incremental_ms:.1} ms  speedup(legacy)={speedup_vs_legacy:.1}x  \
          speedup(full)={speedup_vs_full:.1}x"
     );
-    println!(
+    outln!(
         "  maintenance: incremental {{fits: {}, extends: {}}}, full {{fits: {}, extends: {}}}",
         inc_stats.full_fits,
         inc_stats.incremental_extends,
@@ -386,7 +387,7 @@ fn fleet_drive(out: &mut String) {
     let (parallel_ms, parallel_q) = run(true);
     assert_eq!(serial_q, parallel_q, "parallel drive must be bit-identical");
     let node_ticks = 48.0 * (minutes * 60) as f64;
-    println!(
+    outln!(
         "fleet 48 dbs x {minutes} min: serial={serial_ms:.0} ms ({:.0} node-ticks/s)  \
          parallel={parallel_ms:.0} ms ({:.0} node-ticks/s)  queries={serial_q}",
         node_ticks * 1e3 / serial_ms,
@@ -415,5 +416,5 @@ fn main() {
     out.push_str("}\n");
 
     std::fs::write(&out_path, &out).expect("write baseline file");
-    println!("wrote {out_path}");
+    outln!("wrote {out_path}");
 }

@@ -1,6 +1,7 @@
 //! Shared plumbing for the figure-regeneration binaries.
 
 use autodbaas_simdb::{Catalog, DbFlavor, DiskKind, InstanceType, MetricId, SimDatabase};
+use autodbaas_telemetry::outln;
 use autodbaas_tuner::{normalize_config, Sample, SampleQuality, WorkloadId, WorkloadRepository};
 use autodbaas_workload::{MixWorkload, QuerySource};
 use rand::rngs::StdRng;
@@ -8,10 +9,10 @@ use rand::{Rng, SeedableRng};
 
 /// Print a figure header in a consistent style.
 pub fn header(id: &str, title: &str, paper_expectation: &str) {
-    println!("==================================================================");
-    println!("{id}: {title}");
-    println!("paper expectation: {paper_expectation}");
-    println!("==================================================================");
+    outln!("==================================================================");
+    outln!("{id}: {title}");
+    outln!("paper expectation: {paper_expectation}");
+    outln!("==================================================================");
 }
 
 /// Print an ASCII sparkline for a series (keeps the binaries dependency-
@@ -25,7 +26,7 @@ pub fn sparkline(label: &str, series: &[f64]) {
         .iter()
         .map(|v| GLYPHS[(((v - min) / span) * 7.0).round() as usize])
         .collect();
-    println!("{label:<28} {line}  [min {min:.1}, max {max:.1}]");
+    outln!("{label:<28} {line}  [min {min:.1}, max {max:.1}]");
 }
 
 /// A standard single-database rig for figure experiments.

@@ -112,6 +112,17 @@ impl ClassHistogram {
         self.counts[classify(q).index()] += 1;
     }
 
+    /// Rebuild a histogram from raw per-class counts in [`QueryClass::ALL`]
+    /// order — the gateway wire format ships counts, not query profiles.
+    /// Extra entries are ignored; missing entries count as zero.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let mut h = Self::default();
+        for (dst, &src) in h.counts.iter_mut().zip(counts) {
+            *dst = src;
+        }
+        h
+    }
+
     /// Count for one class.
     pub fn count(&self, class: QueryClass) -> u64 {
         self.counts[class.index()]

@@ -22,6 +22,14 @@ pub struct TenantUsage {
     pub recommendations: u64,
     /// Tuner busy-time consumed, ms.
     pub tuner_busy_ms: f64,
+    /// Gateway requests admitted and served for this tenant.
+    pub gateway_requests: u64,
+    /// Gateway requests refused with `Busy` (admission-control shed).
+    pub gateway_busy: u64,
+    /// Request payload bytes received over the wire.
+    pub gateway_bytes_in: u64,
+    /// Response payload bytes sent over the wire.
+    pub gateway_bytes_out: u64,
 }
 
 /// The fleet-level meter.
@@ -67,6 +75,34 @@ impl RecommendationMeter {
         let u = self.tenants.entry(tenant).or_default();
         u.recommendations += 1;
         u.tuner_busy_ms += service_time_ms.max(0.0);
+    }
+
+    /// Record one gateway request served for `tenant` and the payload
+    /// bytes it moved. The TDE's request suppression shows up here: a
+    /// suppressed tenant accrues gateway traffic but no `record` calls,
+    /// so its metered tuner cost stays flat while its wire usage grows.
+    pub fn record_gateway(&mut self, tenant: ServiceId, bytes_in: u64, bytes_out: u64) {
+        let u = self.tenants.entry(tenant).or_default();
+        u.gateway_requests += 1;
+        u.gateway_bytes_in += bytes_in;
+        u.gateway_bytes_out += bytes_out;
+    }
+
+    /// Record one gateway request shed with a `Busy` reply for `tenant`.
+    pub fn record_gateway_busy(&mut self, tenant: ServiceId) {
+        self.tenants.entry(tenant).or_default().gateway_busy += 1;
+    }
+
+    /// Fleet-wide gateway totals: `(requests, busy, bytes_in, bytes_out)`.
+    pub fn gateway_totals(&self) -> (u64, u64, u64, u64) {
+        let mut t = (0u64, 0u64, 0u64, 0u64);
+        for u in self.tenants.values() {
+            t.0 += u.gateway_requests;
+            t.1 += u.gateway_busy;
+            t.2 += u.gateway_bytes_in;
+            t.3 += u.gateway_bytes_out;
+        }
+        t
     }
 
     /// Usage for one tenant.
@@ -159,6 +195,34 @@ mod tests {
             }
         }
         assert!(m80.instances_needed(3_600_000.0) >= 25);
+    }
+
+    #[test]
+    fn gateway_counters_accumulate_independently_of_tuner_cost() {
+        let mut m = RecommendationMeter::new(0.20);
+        // Tenant 0: all traffic suppressed at the gateway — wire usage
+        // grows, tuner cost stays zero.
+        m.record_gateway(svc(0), 64, 16);
+        m.record_gateway(svc(0), 64, 16);
+        m.record_gateway_busy(svc(0));
+        // Tenant 1: one forwarded request that cost a recommendation.
+        m.record_gateway(svc(1), 48, 24);
+        m.record(svc(1), 110_000.0);
+
+        let u0 = m.usage(svc(0));
+        assert_eq!(u0.gateway_requests, 2);
+        assert_eq!(u0.gateway_busy, 1);
+        assert_eq!(u0.gateway_bytes_in, 128);
+        assert_eq!(u0.gateway_bytes_out, 32);
+        assert_eq!(u0.recommendations, 0);
+        assert_eq!(m.tenant_cost(svc(0)), 0.0);
+
+        let u1 = m.usage(svc(1));
+        assert_eq!(u1.gateway_requests, 1);
+        assert_eq!(u1.recommendations, 1);
+        assert!(m.tenant_cost(svc(1)) > 0.0);
+
+        assert_eq!(m.gateway_totals(), (3, 1, 176, 56));
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! `autodbaas-gateway` — the front-door daemon.
+//!
+//! ```text
+//! autodbaas-gateway [--addr 127.0.0.1:7878] [--workers 8] [--queue 2]
+//!                   [--tuners 4] [--burst 64] [--rate 500]
+//! ```
+//!
+//! Binds, prints the bound address, then serves until stdin reaches EOF
+//! or a line `quit` arrives (the container-friendly stand-in for signal
+//! handling). Shutdown drains: in-flight requests finish, health flips to
+//! `draining`, then every worker joins. Exit codes: 0 clean, 2 usage or
+//! bind error.
+
+use autodbaas_ctrlplane::TunerKind;
+use autodbaas_gateway::{
+    serve, AdmissionConfig, GatewayState, RouterConfig, ServerConfig, WallClock,
+};
+use autodbaas_telemetry::outln;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parsed<T: std::str::FromStr>(name: &str, default: T) -> Result<T, ExitCode> {
+    match arg(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| {
+            eprintln!("error: {name} expects a number, got '{v}'");
+            ExitCode::from(2)
+        }),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(code) => code,
+    }
+}
+
+fn run() -> Result<ExitCode, ExitCode> {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        outln!(
+            "usage: autodbaas-gateway [--addr HOST:PORT] [--workers N] \
+             [--queue N] [--tuners N] [--burst N] [--rate RPS]"
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let addr = arg("--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let workers: usize = parsed("--workers", 8)?;
+    let queue: usize = parsed("--queue", 2)?;
+    let tuners: usize = parsed("--tuners", 4)?;
+    let burst: f64 = parsed("--burst", 64.0)?;
+    let rate: f64 = parsed("--rate", 500.0)?;
+    if workers == 0 || tuners == 0 || burst <= 0.0 || rate <= 0.0 {
+        eprintln!("error: --workers/--tuners/--burst/--rate must be positive");
+        return Err(ExitCode::from(2));
+    }
+
+    let state = GatewayState::new(RouterConfig {
+        admission: AdmissionConfig {
+            burst,
+            rate_per_sec: rate,
+        },
+        tuners: vec![TunerKind::Bo; tuners],
+        ..RouterConfig::default()
+    });
+    let server_cfg = ServerConfig {
+        workers,
+        queue_depth: queue,
+        ..ServerConfig::default()
+    };
+    let handle = match serve(&addr, state, server_cfg, Arc::new(WallClock::new())) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    outln!(
+        "autodbaas-gateway listening on {} ({} workers, queue depth {}, \
+         {} tuners, {}/s per tenant, burst {})",
+        handle.addr(),
+        workers,
+        queue,
+        tuners,
+        rate,
+        burst
+    );
+    outln!("send `quit` or close stdin to drain and exit");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    let state = handle.shutdown();
+    let s = state.lock();
+    let (served, busy, errors) = s.counters();
+    let (greq, gbusy, gin, gout) = s.meter().gateway_totals();
+    outln!(
+        "drained: served={served} busy={busy} errors={errors} \
+         tenant_requests={greq} tenant_busy={gbusy} bytes_in={gin} bytes_out={gout}"
+    );
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,89 @@
+//! Blocking gateway client: one request, one reply, in order.
+//!
+//! Used by the loadgen's closed-loop workers and by tests. The client
+//! owns a growable receive buffer and re-frames across short reads, so it
+//! works against any TCP segmentation.
+
+use crate::frame::{self, Decoded, FrameError};
+use crate::proto::{Request, Response, WireError};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why a call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent bytes that are not a valid frame.
+    Frame(FrameError),
+    /// The frame payload is not a valid response message.
+    Wire(WireError),
+    /// The server closed the connection before replying.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Frame(e) => write!(f, "frame: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Closed => write!(f, "connection closed mid-call"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected gateway client.
+pub struct GatewayClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl GatewayClient {
+    /// Connect to a gateway.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Bound how long a single reply may take (defaults to unbounded).
+    pub fn set_timeout(&mut self, timeout: Duration) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        Ok(())
+    }
+
+    /// Send `req` and block for its reply.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let payload = req.encode();
+        let bytes = frame::encode(&payload).map_err(ClientError::Frame)?;
+        self.stream.write_all(&bytes)?;
+        loop {
+            match frame::decode(&self.buf).map_err(ClientError::Frame)? {
+                Decoded::Frame { payload, consumed } => {
+                    self.buf.drain(..consumed);
+                    return Response::decode(&payload).map_err(ClientError::Wire);
+                }
+                Decoded::NeedMore(_) => {
+                    let mut chunk = [0u8; 4096];
+                    match self.stream.read(&mut chunk)? {
+                        0 => return Err(ClientError::Closed),
+                        n => self.buf.extend_from_slice(&chunk[..n]),
+                    }
+                }
+            }
+        }
+    }
+}

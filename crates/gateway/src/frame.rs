@@ -1,0 +1,254 @@
+//! The gateway's wire frame: the only bytes that ever cross a socket.
+//!
+//! Every message — request or response — travels inside one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"ADBG"
+//! 4       2     protocol version, u16 LE (currently 1)
+//! 6       2     reserved, must be zero
+//! 8       4     payload length, u32 LE (hard cap: MAX_PAYLOAD)
+//! 12      4     FNV-1a-32 checksum of the payload, u32 LE
+//! 16      N     payload (opcode + body, see `proto`)
+//! ```
+//!
+//! Decoding is *total*: any byte soup either yields a frame, a typed
+//! [`FrameError`], or a need-more-bytes signal — never a panic and never
+//! unbounded buffering (the length field is validated against
+//! [`MAX_PAYLOAD`] before any allocation). Versioning rule: the major
+//! version is the whole `u16`; peers reject frames whose version they do
+//! not implement rather than guessing at field layouts.
+
+/// Frame magic: "ADBG" (AutoDBaaS Gateway).
+pub const MAGIC: [u8; 4] = *b"ADBG";
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Header bytes before the payload.
+pub const HEADER_LEN: usize = 16;
+
+/// Hard cap on payload size. Frames claiming more are rejected before any
+/// buffer is grown, so a hostile or corrupt peer cannot balloon memory.
+pub const MAX_PAYLOAD: usize = 64 * 1024;
+
+/// Why a frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// First four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a version this build does not implement.
+    UnsupportedVersion(u16),
+    /// Reserved header bytes were non-zero (a version-1 frame never sets
+    /// them; a future version that does must bump the version instead).
+    ReservedBitsSet(u16),
+    /// Claimed payload length exceeds [`MAX_PAYLOAD`].
+    Oversize(u32),
+    /// Payload checksum mismatch: `{expected, got}`.
+    ChecksumMismatch {
+        /// Checksum carried in the header.
+        expected: u32,
+        /// Checksum computed over the received payload.
+        got: u32,
+    },
+    /// Encoding-side: refusing to build a frame larger than the cap.
+    PayloadTooLarge(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::ReservedBitsSet(r) => write!(f, "reserved header bits set ({r:#06x})"),
+            FrameError::Oversize(n) => {
+                write!(f, "frame claims {n} payload bytes (cap {MAX_PAYLOAD})")
+            }
+            FrameError::ChecksumMismatch { expected, got } => {
+                write!(f, "payload checksum {got:#010x} != header {expected:#010x}")
+            }
+            FrameError::PayloadTooLarge(n) => {
+                write!(f, "refusing to encode {n}-byte payload (cap {MAX_PAYLOAD})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// FNV-1a over `bytes`, truncated to 32 bits — cheap, dependency-free
+/// corruption detection (not cryptographic integrity).
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    h
+}
+
+/// Encode `payload` into a complete frame.
+pub fn encode(payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(FrameError::PayloadTooLarge(payload.len()));
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Outcome of a [`decode`] attempt over a byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// A complete frame: the payload plus the total bytes consumed.
+    Frame {
+        /// The validated payload.
+        payload: Vec<u8>,
+        /// Bytes of `buf` this frame occupied (header + payload).
+        consumed: usize,
+    },
+    /// The buffer holds a valid prefix; at least this many more bytes are
+    /// needed before another attempt can succeed.
+    NeedMore(usize),
+}
+
+/// Try to decode one frame from the front of `buf`.
+///
+/// Total over arbitrary input: returns [`Decoded::NeedMore`] for valid
+/// prefixes, a typed [`FrameError`] for invalid ones, and never panics.
+pub fn decode(buf: &[u8]) -> Result<Decoded, FrameError> {
+    if buf.len() < HEADER_LEN {
+        // Validate what we do have so garbage fails fast instead of
+        // stalling a connection waiting for "more" of a bad frame.
+        let n = buf.len().min(4);
+        if buf[..n] != MAGIC[..n] {
+            let mut m = [0u8; 4];
+            m[..n].copy_from_slice(&buf[..n]);
+            return Err(FrameError::BadMagic(m));
+        }
+        return Ok(Decoded::NeedMore(HEADER_LEN - buf.len()));
+    }
+    let mut magic = [0u8; 4];
+    magic.copy_from_slice(&buf[0..4]);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::UnsupportedVersion(version));
+    }
+    let reserved = u16::from_le_bytes([buf[6], buf[7]]);
+    if reserved != 0 {
+        return Err(FrameError::ReservedBitsSet(reserved));
+    }
+    let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    if len as usize > MAX_PAYLOAD {
+        return Err(FrameError::Oversize(len));
+    }
+    let expected = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(Decoded::NeedMore(total - buf.len()));
+    }
+    let payload = &buf[HEADER_LEN..total];
+    let got = checksum(payload);
+    if got != expected {
+        return Err(FrameError::ChecksumMismatch { expected, got });
+    }
+    Ok(Decoded::Frame {
+        payload: payload.to_vec(),
+        consumed: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_payloads() {
+        for payload in [&b""[..], b"x", b"hello gateway", &[0u8; 4096]] {
+            let frame = encode(payload).unwrap();
+            match decode(&frame).unwrap() {
+                Decoded::Frame {
+                    payload: p,
+                    consumed,
+                } => {
+                    assert_eq!(p, payload);
+                    assert_eq!(consumed, frame.len());
+                }
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_left_for_the_next_frame() {
+        let mut buf = encode(b"first").unwrap();
+        let second = encode(b"second").unwrap();
+        buf.extend_from_slice(&second);
+        let Decoded::Frame { payload, consumed } = decode(&buf).unwrap() else {
+            panic!("expected frame");
+        };
+        assert_eq!(payload, b"first");
+        let Decoded::Frame { payload, .. } = decode(&buf[consumed..]).unwrap() else {
+            panic!("expected second frame");
+        };
+        assert_eq!(payload, b"second");
+    }
+
+    #[test]
+    fn truncation_reports_exact_need() {
+        let frame = encode(b"abcdef").unwrap();
+        assert_eq!(decode(&frame[..3]).unwrap(), Decoded::NeedMore(13));
+        assert_eq!(decode(&frame[..HEADER_LEN]).unwrap(), Decoded::NeedMore(6));
+        assert_eq!(
+            decode(&frame[..HEADER_LEN + 2]).unwrap(),
+            Decoded::NeedMore(4)
+        );
+    }
+
+    #[test]
+    fn garbage_prefix_fails_immediately() {
+        assert!(matches!(decode(b"GET "), Err(FrameError::BadMagic(_))));
+        assert!(matches!(decode(b"A"), Ok(Decoded::NeedMore(_))));
+        assert!(matches!(decode(b"AX"), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn wrong_version_and_reserved_bits_are_rejected() {
+        let mut frame = encode(b"x").unwrap();
+        frame[4] = 9;
+        assert_eq!(decode(&frame), Err(FrameError::UnsupportedVersion(9)));
+        let mut frame = encode(b"x").unwrap();
+        frame[6] = 1;
+        assert_eq!(decode(&frame), Err(FrameError::ReservedBitsSet(1)));
+    }
+
+    #[test]
+    fn oversize_claim_is_rejected_before_buffering() {
+        let mut frame = encode(b"x").unwrap();
+        frame[8..12].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        assert_eq!(decode(&frame), Err(FrameError::Oversize(65537)));
+        assert_eq!(
+            encode(&vec![0u8; MAX_PAYLOAD + 1]),
+            Err(FrameError::PayloadTooLarge(MAX_PAYLOAD + 1))
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_is_caught_by_checksum() {
+        let mut frame = encode(b"important bytes").unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xff;
+        assert!(matches!(
+            decode(&frame),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+}

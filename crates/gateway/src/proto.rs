@@ -1,0 +1,789 @@
+//! Request/response messages carried inside gateway frames.
+//!
+//! The payload is `opcode (1 byte) + fixed-order fields`, all integers
+//! little-endian. Variable-length fields carry a `u16` count first and are
+//! capped (`MAX_STRING`, `MAX_CONFIG_DIM`) so a frame that passed the
+//! outer size check still cannot request absurd allocations. Decoding is
+//! total: every failure is a typed [`WireError`], never a panic.
+//!
+//! Opcode table (version 1):
+//!
+//! | opcode | message              | direction |
+//! |--------|----------------------|-----------|
+//! | 0x01   | RegisterService      | →         |
+//! | 0x02   | PushMetricsWindow    | →         |
+//! | 0x03   | ThrottleSignal       | →         |
+//! | 0x04   | FetchRecommendation  | →         |
+//! | 0x05   | ApplyAck             | →         |
+//! | 0x06   | Health               | →         |
+//! | 0x07   | Stats                | →         |
+//! | 0x81   | Registered           | ←         |
+//! | 0x82   | Classified           | ←         |
+//! | 0x83   | ThrottleQueued       | ←         |
+//! | 0x84   | Recommendation       | ←         |
+//! | 0x85   | ApplyRecorded        | ←         |
+//! | 0x86   | Healthy              | ←         |
+//! | 0x87   | StatsReply           | ←         |
+//! | 0x88   | Busy                 | ←         |
+//! | 0x89   | Error                | ←         |
+//!
+//! Versioning rule: adding an opcode or appending fields requires a new
+//! protocol version (the frame header's `u16`); peers never parse by
+//! guessing. Within one version the byte layout of every message is
+//! frozen.
+
+/// Query classes carried in a metrics window (mirrors
+/// `autodbaas_core::QueryClass::ALL`; the router asserts the two agree).
+pub const N_CLASSES: usize = 6;
+
+/// Cap on strings (error details) on the wire.
+pub const MAX_STRING: usize = 1024;
+
+/// Cap on unit-config dimensionality.
+pub const MAX_CONFIG_DIM: usize = 64;
+
+/// What a client asks the control plane to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Provision a managed service; the reply carries the tenant id used
+    /// on every subsequent request.
+    RegisterService {
+        /// Database flavor code (0 = Postgres, 1 = MySQL).
+        flavor: u8,
+        /// Instance plan code (0..=3, small → xlarge).
+        instance: u8,
+        /// Disk kind code (0 = SSD, 1 = HDD).
+        disk: u8,
+        /// HA replicas to provision.
+        n_slaves: u8,
+        /// Determinism seed for the tenant's replica set.
+        seed: u64,
+    },
+    /// One monitoring window: per-class query counts plus the throttle
+    /// verdict the tenant-side detector reached. The gateway runs the TDE
+    /// entropy filtration and decides whether a tuning request is
+    /// forwarded to the director or suppressed.
+    PushMetricsWindow {
+        /// Tenant id from registration.
+        tenant: u64,
+        /// Window start, tenant sim-time ms.
+        window_start: u64,
+        /// Window width, ms.
+        window_ms: u32,
+        /// Per-class query counts in `QueryClass::ALL` order.
+        class_counts: [u64; N_CLASSES],
+        /// Did this window trip the tenant-side throttle detector?
+        throttled: bool,
+        /// Is the throttled knob pinned at its instance cap?
+        knob_at_cap: bool,
+    },
+    /// An explicit throttle that must reach a tuner (bypasses filtration;
+    /// used for restart-bound escalations).
+    ThrottleSignal {
+        /// Tenant id.
+        tenant: u64,
+        /// Signal time, tenant sim-time ms.
+        at: u64,
+        /// Knob class code (0 memory, 1 bgwriter, 2 async/planner).
+        knob_class: u8,
+        /// Modelled tuner busy-time this request will consume, ms.
+        service_time_ms: u32,
+    },
+    /// Fetch the newest recommendation that is ready at `now`.
+    FetchRecommendation {
+        /// Tenant id.
+        tenant: u64,
+        /// Tenant sim-time ms; recommendations still training are held.
+        now: u64,
+    },
+    /// Acknowledge that a fetched recommendation was applied (persists the
+    /// config so it survives redeploys).
+    ApplyAck {
+        /// Tenant id.
+        tenant: u64,
+        /// Apply time, tenant sim-time ms.
+        at: u64,
+        /// Whether the apply succeeded tenant-side.
+        ok: bool,
+    },
+    /// Liveness probe.
+    Health,
+    /// Gateway-wide counters and latency quantiles.
+    Stats,
+}
+
+/// TDE verdict carried in [`Response::Classified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireDecision {
+    /// Below the consecutive-throttle threshold; keep counting.
+    Hold = 0,
+    /// Forwarded to the config director (a tuning request was submitted).
+    Forward = 1,
+    /// Suppressed: concentrated class with the knob at cap.
+    Suppress = 2,
+    /// Suppressed and a plan upgrade was requested.
+    PlanUpgrade = 3,
+}
+
+impl WireDecision {
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(WireDecision::Hold),
+            1 => Ok(WireDecision::Forward),
+            2 => Ok(WireDecision::Suppress),
+            3 => Ok(WireDecision::PlanUpgrade),
+            _ => Err(WireError::BadValue("decision")),
+        }
+    }
+}
+
+/// Machine-readable error classes in [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame/payload could not be decoded.
+    Malformed = 1,
+    /// The tenant id is not registered.
+    UnknownTenant = 2,
+    /// A field value is out of range for this gateway.
+    BadRequest = 3,
+    /// The gateway is draining; reconnect elsewhere.
+    ShuttingDown = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            1 => Ok(ErrorCode::Malformed),
+            2 => Ok(ErrorCode::UnknownTenant),
+            3 => Ok(ErrorCode::BadRequest),
+            4 => Ok(ErrorCode::ShuttingDown),
+            _ => Err(WireError::BadValue("error code")),
+        }
+    }
+}
+
+/// What the gateway replies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Registration succeeded; use this tenant id from now on.
+    Registered {
+        /// Assigned tenant id.
+        tenant: u64,
+    },
+    /// Verdict for a metrics window.
+    Classified {
+        /// The filtration decision.
+        decision: WireDecision,
+        /// True when a tuning request was submitted to the director.
+        submitted: bool,
+        /// When the resulting recommendation will be ready (0 if none).
+        ready_at: u64,
+    },
+    /// An explicit throttle was queued on a tuner.
+    ThrottleQueued {
+        /// Chosen tuner instance.
+        tuner: u32,
+        /// When the recommendation will be ready.
+        ready_at: u64,
+    },
+    /// Recommendation fetch result.
+    Recommendation {
+        /// False when nothing is ready yet (fields below are empty).
+        ready: bool,
+        /// Recommendation timestamp.
+        at: u64,
+        /// Normalised `[0,1]` knob vector.
+        unit_config: Vec<f64>,
+    },
+    /// ApplyAck recorded.
+    ApplyRecorded,
+    /// Health reply.
+    Healthy {
+        /// True once shutdown has begun (stop sending new work).
+        draining: bool,
+    },
+    /// Gateway-wide counters.
+    StatsReply {
+        /// Requests served (admitted and answered).
+        served: u64,
+        /// Requests shed with `Busy`.
+        busy: u64,
+        /// Protocol errors answered with `Error`.
+        errors: u64,
+        /// Registered tenants.
+        active_tenants: u64,
+        /// Median request latency, µs.
+        p50_us: u64,
+        /// 99th-percentile request latency, µs.
+        p99_us: u64,
+    },
+    /// Admission control refused the request; retry after the hint.
+    Busy {
+        /// Client back-off hint, ms.
+        retry_after_ms: u32,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail (capped at [`MAX_STRING`]).
+        detail: String,
+    },
+}
+
+/// Why a payload could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Opcode byte not in the version-1 table.
+    UnknownOpcode(u8),
+    /// Payload ended before the message did.
+    Truncated,
+    /// Bytes were left over after a complete message.
+    TrailingBytes(usize),
+    /// A field held an out-of-domain value (named for diagnostics).
+    BadValue(&'static str),
+    /// A length prefix exceeded its cap.
+    LengthCap(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::BadValue(what) => write!(f, "bad value for {what}"),
+            WireError::LengthCap(what) => write!(f, "length prefix over cap for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------- helpers
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::BadValue("bool")),
+        }
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(u8::from(b));
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    // Encoding side enforces the cap by truncation at a char boundary —
+    // an over-long diagnostic must not become an encode failure.
+    let mut end = s.len().min(MAX_STRING);
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    let bytes = &s.as_bytes()[..end];
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn read_string(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let len = r.u16()? as usize;
+    if len > MAX_STRING {
+        return Err(WireError::LengthCap("string"));
+    }
+    let bytes = r.take(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadValue("utf-8 string"))
+}
+
+// ---------------------------------------------------------------- encode
+
+impl Request {
+    /// Static label for access logs and event kinds.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::RegisterService { .. } => "gw.register",
+            Request::PushMetricsWindow { .. } => "gw.metrics",
+            Request::ThrottleSignal { .. } => "gw.throttle",
+            Request::FetchRecommendation { .. } => "gw.fetch",
+            Request::ApplyAck { .. } => "gw.apply_ack",
+            Request::Health => "gw.health",
+            Request::Stats => "gw.stats",
+        }
+    }
+
+    /// Tenant this request bills to, when it names one.
+    pub fn tenant(&self) -> Option<u64> {
+        match *self {
+            Request::PushMetricsWindow { tenant, .. }
+            | Request::ThrottleSignal { tenant, .. }
+            | Request::FetchRecommendation { tenant, .. }
+            | Request::ApplyAck { tenant, .. } => Some(tenant),
+            _ => None,
+        }
+    }
+
+    /// Serialise to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Request::RegisterService {
+                flavor,
+                instance,
+                disk,
+                n_slaves,
+                seed,
+            } => {
+                out.push(0x01);
+                out.push(*flavor);
+                out.push(*instance);
+                out.push(*disk);
+                out.push(*n_slaves);
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+            Request::PushMetricsWindow {
+                tenant,
+                window_start,
+                window_ms,
+                class_counts,
+                throttled,
+                knob_at_cap,
+            } => {
+                out.push(0x02);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.extend_from_slice(&window_start.to_le_bytes());
+                out.extend_from_slice(&window_ms.to_le_bytes());
+                for c in class_counts {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+                put_bool(&mut out, *throttled);
+                put_bool(&mut out, *knob_at_cap);
+            }
+            Request::ThrottleSignal {
+                tenant,
+                at,
+                knob_class,
+                service_time_ms,
+            } => {
+                out.push(0x03);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.extend_from_slice(&at.to_le_bytes());
+                out.push(*knob_class);
+                out.extend_from_slice(&service_time_ms.to_le_bytes());
+            }
+            Request::FetchRecommendation { tenant, now } => {
+                out.push(0x04);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.extend_from_slice(&now.to_le_bytes());
+            }
+            Request::ApplyAck { tenant, at, ok } => {
+                out.push(0x05);
+                out.extend_from_slice(&tenant.to_le_bytes());
+                out.extend_from_slice(&at.to_le_bytes());
+                put_bool(&mut out, *ok);
+            }
+            Request::Health => out.push(0x06),
+            Request::Stats => out.push(0x07),
+        }
+        out
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let op = r.u8()?;
+        let req = match op {
+            0x01 => Request::RegisterService {
+                flavor: r.u8()?,
+                instance: r.u8()?,
+                disk: r.u8()?,
+                n_slaves: r.u8()?,
+                seed: r.u64()?,
+            },
+            0x02 => {
+                let tenant = r.u64()?;
+                let window_start = r.u64()?;
+                let window_ms = r.u32()?;
+                let mut class_counts = [0u64; N_CLASSES];
+                for c in &mut class_counts {
+                    *c = r.u64()?;
+                }
+                Request::PushMetricsWindow {
+                    tenant,
+                    window_start,
+                    window_ms,
+                    class_counts,
+                    throttled: r.bool()?,
+                    knob_at_cap: r.bool()?,
+                }
+            }
+            0x03 => Request::ThrottleSignal {
+                tenant: r.u64()?,
+                at: r.u64()?,
+                knob_class: r.u8()?,
+                service_time_ms: r.u32()?,
+            },
+            0x04 => Request::FetchRecommendation {
+                tenant: r.u64()?,
+                now: r.u64()?,
+            },
+            0x05 => Request::ApplyAck {
+                tenant: r.u64()?,
+                at: r.u64()?,
+                ok: r.bool()?,
+            },
+            0x06 => Request::Health,
+            0x07 => Request::Stats,
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialise to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Response::Registered { tenant } => {
+                out.push(0x81);
+                out.extend_from_slice(&tenant.to_le_bytes());
+            }
+            Response::Classified {
+                decision,
+                submitted,
+                ready_at,
+            } => {
+                out.push(0x82);
+                out.push(*decision as u8);
+                put_bool(&mut out, *submitted);
+                out.extend_from_slice(&ready_at.to_le_bytes());
+            }
+            Response::ThrottleQueued { tuner, ready_at } => {
+                out.push(0x83);
+                out.extend_from_slice(&tuner.to_le_bytes());
+                out.extend_from_slice(&ready_at.to_le_bytes());
+            }
+            Response::Recommendation {
+                ready,
+                at,
+                unit_config,
+            } => {
+                out.push(0x84);
+                put_bool(&mut out, *ready);
+                out.extend_from_slice(&at.to_le_bytes());
+                let n = unit_config.len().min(MAX_CONFIG_DIM);
+                out.extend_from_slice(&(n as u16).to_le_bytes());
+                for v in &unit_config[..n] {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Response::ApplyRecorded => out.push(0x85),
+            Response::Healthy { draining } => {
+                out.push(0x86);
+                put_bool(&mut out, *draining);
+            }
+            Response::StatsReply {
+                served,
+                busy,
+                errors,
+                active_tenants,
+                p50_us,
+                p99_us,
+            } => {
+                out.push(0x87);
+                for v in [served, busy, errors, active_tenants, p50_us, p99_us] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::Busy { retry_after_ms } => {
+                out.push(0x88);
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
+            }
+            Response::Error { code, detail } => {
+                out.push(0x89);
+                out.push(*code as u8);
+                put_string(&mut out, detail);
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let op = r.u8()?;
+        let resp = match op {
+            0x81 => Response::Registered { tenant: r.u64()? },
+            0x82 => Response::Classified {
+                decision: WireDecision::from_u8(r.u8()?)?,
+                submitted: r.bool()?,
+                ready_at: r.u64()?,
+            },
+            0x83 => Response::ThrottleQueued {
+                tuner: r.u32()?,
+                ready_at: r.u64()?,
+            },
+            0x84 => {
+                let ready = r.bool()?;
+                let at = r.u64()?;
+                let n = r.u16()? as usize;
+                if n > MAX_CONFIG_DIM {
+                    return Err(WireError::LengthCap("unit_config"));
+                }
+                let mut unit_config = Vec::with_capacity(n);
+                for _ in 0..n {
+                    unit_config.push(r.f64()?);
+                }
+                Response::Recommendation {
+                    ready,
+                    at,
+                    unit_config,
+                }
+            }
+            0x85 => Response::ApplyRecorded,
+            0x86 => Response::Healthy {
+                draining: r.bool()?,
+            },
+            0x87 => Response::StatsReply {
+                served: r.u64()?,
+                busy: r.u64()?,
+                errors: r.u64()?,
+                active_tenants: r.u64()?,
+                p50_us: r.u64()?,
+                p99_us: r.u64()?,
+            },
+            0x88 => Response::Busy {
+                retry_after_ms: r.u32()?,
+            },
+            0x89 => Response::Error {
+                code: ErrorCode::from_u8(r.u8()?)?,
+                detail: read_string(&mut r)?,
+            },
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::RegisterService {
+                flavor: 0,
+                instance: 2,
+                disk: 0,
+                n_slaves: 1,
+                seed: 42,
+            },
+            Request::PushMetricsWindow {
+                tenant: 7,
+                window_start: 60_000,
+                window_ms: 60_000,
+                class_counts: [900, 3, 2, 40, 11, 250],
+                throttled: true,
+                knob_at_cap: false,
+            },
+            Request::ThrottleSignal {
+                tenant: 7,
+                at: 123_456,
+                knob_class: 0,
+                service_time_ms: 110_000,
+            },
+            Request::FetchRecommendation {
+                tenant: 7,
+                now: 200_000,
+            },
+            Request::ApplyAck {
+                tenant: 7,
+                at: 201_000,
+                ok: true,
+            },
+            Request::Health,
+            Request::Stats,
+        ]
+    }
+
+    pub(crate) fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Registered { tenant: 3 },
+            Response::Classified {
+                decision: WireDecision::Forward,
+                submitted: true,
+                ready_at: 310_000,
+            },
+            Response::ThrottleQueued {
+                tuner: 2,
+                ready_at: 310_000,
+            },
+            Response::Recommendation {
+                ready: true,
+                at: 310_000,
+                unit_config: vec![0.25, 0.5, 0.75],
+            },
+            Response::ApplyRecorded,
+            Response::Healthy { draining: false },
+            Response::StatsReply {
+                served: 50_000,
+                busy: 120,
+                errors: 0,
+                active_tenants: 8,
+                p50_us: 85,
+                p99_us: 900,
+            },
+            Response::Busy { retry_after_ms: 40 },
+            Response::Error {
+                code: ErrorCode::UnknownTenant,
+                detail: "tenant 99 is not registered".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes), Ok(req));
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips() {
+        for resp in sample_responses() {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn truncated_messages_error_not_panic() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                assert!(Request::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request::Health.encode();
+        bytes.push(0);
+        assert_eq!(Request::decode(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn unknown_opcode_is_typed() {
+        assert_eq!(
+            Request::decode(&[0x70]),
+            Err(WireError::UnknownOpcode(0x70))
+        );
+        assert_eq!(
+            Response::decode(&[0x01]),
+            Err(WireError::UnknownOpcode(0x01)),
+            "request opcodes are not valid responses"
+        );
+    }
+
+    #[test]
+    fn bad_bool_and_bad_enum_are_typed() {
+        let mut bytes = Request::ApplyAck {
+            tenant: 1,
+            at: 2,
+            ok: true,
+        }
+        .encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 7;
+        assert_eq!(Request::decode(&bytes), Err(WireError::BadValue("bool")));
+
+        let mut resp = Response::Classified {
+            decision: WireDecision::Hold,
+            submitted: false,
+            ready_at: 0,
+        }
+        .encode();
+        resp[1] = 200;
+        assert_eq!(
+            Response::decode(&resp),
+            Err(WireError::BadValue("decision"))
+        );
+    }
+
+    #[test]
+    fn long_error_detail_is_truncated_at_a_char_boundary() {
+        let detail: String = "é".repeat(MAX_STRING); // 2 bytes per char
+        let resp = Response::Error {
+            code: ErrorCode::BadRequest,
+            detail,
+        };
+        let bytes = resp.encode();
+        match Response::decode(&bytes) {
+            Ok(Response::Error { detail, .. }) => {
+                assert!(detail.len() <= MAX_STRING);
+                assert!(detail.chars().all(|c| c == 'é'));
+            }
+            other => panic!("expected error response, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! The TCP server shell: accept loop, fixed worker pool, bounded queues,
+//! graceful drain.
+//!
+//! Concurrency model — deliberately boring:
+//!
+//! * one **acceptor** thread owns the listener and deals accepted
+//!   connections to workers round-robin;
+//! * a **fixed pool** of worker threads each owns a bounded queue of
+//!   pending connections (`sync_channel(queue_depth)`). A worker serves
+//!   one connection at a time, request by request;
+//! * when every worker queue is full the acceptor **sheds the
+//!   connection**: it writes one `Busy` frame and closes, so overload
+//!   surfaces as an explicit signal at the edge instead of an unbounded
+//!   backlog;
+//! * **shutdown** flips an atomic flag; the acceptor stops accepting,
+//!   workers finish the request in flight on each connection, close, and
+//!   drain (queued-but-unserved connections get a `ShuttingDown` error
+//!   frame). `Health` replies flip to `draining` the moment shutdown
+//!   begins so load balancers stop routing here.
+//!
+//! Per-request backpressure (token buckets) lives in
+//! [`GatewayState::admit`]; this module only adds the connection-level
+//! bound.
+
+use crate::clock::Clock;
+use crate::frame::{self, Decoded, FrameError};
+use crate::proto::{ErrorCode, Request, Response};
+use crate::router::GatewayState;
+use parking_lot::Mutex;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server shell configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (fixed; the pool never grows).
+    pub workers: usize,
+    /// Pending connections each worker will queue before the acceptor
+    /// sheds new ones.
+    pub queue_depth: usize,
+    /// Socket read timeout — also the shutdown-poll granularity.
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            queue_depth: 2,
+            read_timeout_ms: 25,
+        }
+    }
+}
+
+/// A running gateway; dropping it without [`GatewayHandle::shutdown`]
+/// leaves the threads serving until process exit.
+pub struct GatewayHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<Mutex<GatewayState>>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl GatewayHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared routing state, for harnesses that want counters after a run.
+    pub fn state(&self) -> Arc<Mutex<GatewayState>> {
+        Arc::clone(&self.state)
+    }
+
+    /// Begin draining: stop accepting, let in-flight requests finish,
+    /// then join every thread. Returns the final state.
+    pub fn shutdown(self) -> Arc<Mutex<GatewayState>> {
+        self.state.lock().draining = true;
+        self.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads {
+            // A worker that panicked already lost its connections; the
+            // join error carries nothing actionable beyond that.
+            let _ = t.join();
+        }
+        self.state
+    }
+}
+
+/// Bind `addr` and serve `state` with `cfg`. `addr` may use port 0 to let
+/// the OS pick (see [`GatewayHandle::addr`]).
+pub fn serve(
+    addr: &str,
+    state: GatewayState,
+    cfg: ServerConfig,
+    clock: Arc<dyn Clock>,
+) -> std::io::Result<GatewayHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    let workers = cfg.workers.max(1);
+    let queue_depth = cfg.queue_depth.max(1);
+    let state = Arc::new(Mutex::new(state));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::with_capacity(workers + 1);
+    let mut senders: Vec<SyncSender<TcpStream>> = Vec::with_capacity(workers);
+
+    for _ in 0..workers {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue_depth);
+        senders.push(tx);
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&shutdown);
+        let clock = Arc::clone(&clock);
+        let read_timeout = Duration::from_millis(cfg.read_timeout_ms.max(1));
+        threads.push(std::thread::spawn(move || {
+            worker_loop(&rx, &state, &stop, clock.as_ref(), read_timeout);
+        }));
+    }
+
+    {
+        let stop = Arc::clone(&shutdown);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(&listener, &senders, &stop);
+        }));
+    }
+
+    Ok(GatewayHandle {
+        addr: local,
+        shutdown,
+        state,
+        threads,
+    })
+}
+
+/// Deal connections to workers; shed with a `Busy` frame when every queue
+/// is full.
+fn accept_loop(listener: &TcpListener, senders: &[SyncSender<TcpStream>], stop: &AtomicBool) {
+    let mut next = 0usize;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return; // senders drop here; workers drain and exit
+        }
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                let mut pending = Some(conn);
+                for i in 0..senders.len() {
+                    let idx = (next + i) % senders.len();
+                    let Some(stream) = pending.take() else { break };
+                    match senders[idx].try_send(stream) {
+                        Ok(()) => {
+                            next = idx + 1;
+                        }
+                        Err(TrySendError::Full(back)) | Err(TrySendError::Disconnected(back)) => {
+                            pending = Some(back);
+                        }
+                    }
+                }
+                if let Some(stream) = pending {
+                    // Every queue is at depth: explicit connection-level
+                    // shed. Best effort — the client may already be gone.
+                    shed_connection(stream);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                // Transient accept errors (per-connection resets) — keep
+                // listening rather than killing the gateway.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn shed_connection(mut conn: TcpStream) {
+    let payload = Response::Busy {
+        retry_after_ms: 100,
+    }
+    .encode();
+    if let Ok(bytes) = frame::encode(&payload) {
+        let _ = conn.write_all(&bytes);
+    }
+}
+
+fn refuse_draining(mut conn: TcpStream) {
+    let payload = Response::Error {
+        code: ErrorCode::ShuttingDown,
+        detail: "gateway is draining".to_string(),
+    }
+    .encode();
+    if let Ok(bytes) = frame::encode(&payload) {
+        let _ = conn.write_all(&bytes);
+    }
+}
+
+/// One worker: serve queued connections until the channel closes.
+fn worker_loop(
+    rx: &Receiver<TcpStream>,
+    state: &Mutex<GatewayState>,
+    stop: &AtomicBool,
+    clock: &dyn Clock,
+    read_timeout: Duration,
+) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(conn) => {
+                if stop.load(Ordering::SeqCst) {
+                    refuse_draining(conn);
+                    continue;
+                }
+                serve_connection(conn, state, stop, clock, read_timeout);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    // Acceptor may still hold the sender briefly; only
+                    // exit once it has dropped (Disconnected) or on stop
+                    // with an empty queue — both land here eventually.
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serve one connection request-by-request until EOF, protocol error, or
+/// drain.
+fn serve_connection(
+    mut conn: TcpStream,
+    state: &Mutex<GatewayState>,
+    stop: &AtomicBool,
+    clock: &dyn Clock,
+    read_timeout: Duration,
+) {
+    if conn.set_read_timeout(Some(read_timeout)).is_err() {
+        return;
+    }
+    let _ = conn.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain complete frames already buffered before reading more.
+        loop {
+            match frame::decode(&buf) {
+                Ok(Decoded::Frame { payload, consumed }) => {
+                    buf.drain(..consumed);
+                    if !handle_request(&payload, &mut conn, state, clock) {
+                        return;
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        // Drain semantics: the request in flight was
+                        // answered; now close.
+                        return;
+                    }
+                }
+                Ok(Decoded::NeedMore(_)) => break,
+                Err(e) => {
+                    reply_frame_error(&mut conn, state, clock, &e);
+                    return;
+                }
+            }
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => return, // clean EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decode, admit, route, reply. Returns `false` when the connection must
+/// close (write failure).
+fn handle_request(
+    payload: &[u8],
+    conn: &mut TcpStream,
+    state: &Mutex<GatewayState>,
+    clock: &dyn Clock,
+) -> bool {
+    let t0_us = clock.now_us();
+    let response = match Request::decode(payload) {
+        Ok(req) => {
+            let now_ms = clock.now_ms();
+            let mut s = state.lock();
+            match s.admit(&req, now_ms) {
+                crate::admission::Admission::Busy { retry_after_ms } => {
+                    Response::Busy { retry_after_ms }
+                }
+                crate::admission::Admission::Admit => {
+                    let resp = s.route(&req, now_ms);
+                    let out_len = resp.encode().len() as u64;
+                    s.meter_bytes(&req, payload.len() as u64, out_len);
+                    s.observe_latency_us(clock.now_us().saturating_sub(t0_us));
+                    resp
+                }
+            }
+        }
+        Err(e) => {
+            let mut s = state.lock();
+            s.record_error(clock.now_ms());
+            Response::Error {
+                code: ErrorCode::Malformed,
+                detail: e.to_string(),
+            }
+        }
+    };
+    write_response(conn, &response)
+}
+
+fn reply_frame_error(
+    conn: &mut TcpStream,
+    state: &Mutex<GatewayState>,
+    clock: &dyn Clock,
+    e: &FrameError,
+) {
+    state.lock().record_error(clock.now_ms());
+    let _ = write_response(
+        conn,
+        &Response::Error {
+            code: ErrorCode::Malformed,
+            detail: e.to_string(),
+        },
+    );
+}
+
+fn write_response(conn: &mut TcpStream, resp: &Response) -> bool {
+    let payload = resp.encode();
+    match frame::encode(&payload) {
+        Ok(bytes) => conn.write_all(&bytes).is_ok(),
+        // Unreachable for gateway-built responses (encode caps strings and
+        // config vectors far below MAX_PAYLOAD), but stay total anyway.
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::GatewayClient;
+    use crate::clock::WallClock;
+    use crate::router::RouterConfig;
+
+    fn start(cfg: ServerConfig) -> GatewayHandle {
+        serve(
+            "127.0.0.1:0",
+            GatewayState::new(RouterConfig::default()),
+            cfg,
+            Arc::new(WallClock::new()),
+        )
+        .expect("bind loopback")
+    }
+
+    #[test]
+    fn serves_health_and_stats_over_a_real_socket() {
+        let handle = start(ServerConfig::default());
+        let mut client = GatewayClient::connect(handle.addr()).expect("connect");
+        assert_eq!(
+            client.call(&Request::Health).expect("health"),
+            Response::Healthy { draining: false }
+        );
+        match client.call(&Request::Stats).expect("stats") {
+            Response::StatsReply { served, .. } => assert!(served >= 1),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        drop(client);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn garbage_bytes_get_a_typed_error_not_a_hang() {
+        let handle = start(ServerConfig::default());
+        let mut raw = TcpStream::connect(handle.addr()).expect("connect");
+        raw.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+        let mut buf = Vec::new();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).ok();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match raw.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    if let Ok(Decoded::Frame { .. }) = frame::decode(&buf) {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let Ok(Decoded::Frame { payload, .. }) = frame::decode(&buf) else {
+            panic!("expected an error frame back, got {} bytes", buf.len());
+        };
+        match Response::decode(&payload) {
+            Ok(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+            other => panic!("expected Error response, got {other:?}"),
+        }
+        let (_, _, errors) = handle.shutdown().lock().counters();
+        assert_eq!(errors, 1);
+    }
+
+    #[test]
+    fn connection_shed_when_every_queue_is_full() {
+        // 1 worker × queue depth 1: the worker serves conn A (held open),
+        // conn B waits in the queue, conn C must be shed with Busy.
+        let handle = start(ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout_ms: 10,
+        });
+        let mut a = GatewayClient::connect(handle.addr()).expect("a");
+        assert!(a.call(&Request::Health).is_ok(), "worker is now serving A");
+        let _b = TcpStream::connect(handle.addr()).expect("b queues");
+        std::thread::sleep(Duration::from_millis(50));
+        let mut c = GatewayClient::connect(handle.addr()).expect("c connects");
+        match c.call(&Request::Health) {
+            Ok(Response::Busy { retry_after_ms }) => assert!(retry_after_ms > 0),
+            other => panic!("expected connection-level Busy, got {other:?}"),
+        }
+        drop((a, c));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_and_flips_health() {
+        let handle = start(ServerConfig::default());
+        let addr = handle.addr();
+        let mut client = GatewayClient::connect(addr).expect("connect");
+        assert!(client.call(&Request::Health).is_ok());
+        let state = handle.shutdown();
+        assert!(state.lock().draining);
+        // New connections are refused or fail outright after drain.
+        if let Ok(mut c) = GatewayClient::connect(addr) {
+            assert!(c.call(&Request::Health).is_err());
+        }
+    }
+}

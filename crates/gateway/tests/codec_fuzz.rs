@@ -1,0 +1,220 @@
+//! Property tests for the gateway wire codec.
+//!
+//! The gateway reads these bytes off a public socket, so the codec's
+//! contract is *totality*: any byte sequence must produce either a frame
+//! or a typed error — never a panic, never an allocation proportional to
+//! an attacker-chosen length field. Three properties pin that down:
+//!
+//! 1. `frame::decode` and `Request::decode`/`Response::decode` never
+//!    panic on arbitrary bytes;
+//! 2. every representable message round-trips encode → frame → decode
+//!    bit-for-bit;
+//! 3. oversized frames are rejected with the typed `Oversize` error
+//!    *before* the payload is buffered.
+
+use autodbaas_gateway::frame::{self, Decoded, HEADER_LEN, MAX_PAYLOAD};
+use autodbaas_gateway::proto::{ErrorCode, Request, Response, WireDecision, N_CLASSES};
+use autodbaas_gateway::FrameError;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- totality
+
+proptest! {
+    /// Arbitrary byte soup: the frame decoder must return `Frame`,
+    /// `NeedMore` or a typed error — and on success, consume a sane span.
+    #[test]
+    fn frame_decode_never_panics_on_byte_soup(
+        bytes in prop::collection::vec(0u8..=255, 0..256)
+    ) {
+        match frame::decode(&bytes) {
+            Ok(Decoded::Frame { payload, consumed }) => {
+                prop_assert!(consumed <= bytes.len());
+                prop_assert_eq!(consumed, HEADER_LEN + payload.len());
+            }
+            Ok(Decoded::NeedMore(n)) => prop_assert!(n > 0),
+            Err(_) => {}
+        }
+    }
+
+    /// Same soup through the message decoders: typed errors only.
+    #[test]
+    fn message_decode_never_panics_on_byte_soup(
+        bytes in prop::collection::vec(0u8..=255, 0..192)
+    ) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// Soup *wrapped in a valid frame* exercises the message layer with a
+    /// checksum-correct envelope, as a confused-but-honest peer would.
+    #[test]
+    fn framed_soup_reaches_the_message_layer_safely(
+        bytes in prop::collection::vec(0u8..=255, 0..192)
+    ) {
+        let framed = frame::encode(&bytes).expect("soup is far below MAX_PAYLOAD");
+        match frame::decode(&framed) {
+            Ok(Decoded::Frame { payload, consumed }) => {
+                prop_assert_eq!(consumed, framed.len());
+                prop_assert_eq!(&payload[..], &bytes[..]);
+                let _ = Request::decode(&payload);
+            }
+            other => prop_assert!(false, "encode produced undecodable frame: {other:?}"),
+        }
+    }
+
+    /// Flipping any single byte of a valid frame must never decode to the
+    /// original payload: the magic/version/length checks or the checksum
+    /// catch it (or, for length-field corruption, `NeedMore`/`Oversize`).
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        seed in 0u64..u64::MAX, flip in 0usize..10_000, xor in 1u8..=255
+    ) {
+        let payload: Vec<u8> = (0..32).map(|i| (seed.rotate_left(i) & 0xFF) as u8).collect();
+        let mut framed = frame::encode(&payload).expect("fits");
+        let idx = flip % framed.len();
+        framed[idx] ^= xor;
+        match frame::decode(&framed) {
+            Ok(Decoded::Frame { payload: got, .. }) => {
+                prop_assert_ne!(got, payload, "corruption at byte {} went unnoticed", idx);
+            }
+            Ok(Decoded::NeedMore(_)) | Err(_) => {}
+        }
+    }
+}
+
+// ------------------------------------------------------------- round-trips
+
+fn class_counts(seed: u64) -> [u64; N_CLASSES] {
+    let mut out = [0u64; N_CLASSES];
+    for (i, c) in out.iter_mut().enumerate() {
+        *c = seed.rotate_left(i as u32 * 11) % 100_000;
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn register_round_trips(
+        flavor in 0u8..=1, instance in 0u8..=5, disk in 0u8..=1,
+        n_slaves in 0u8..=4, seed in 0u64..u64::MAX,
+    ) {
+        round_trip_request(&Request::RegisterService { flavor, instance, disk, n_slaves, seed });
+    }
+
+    #[test]
+    fn metrics_window_round_trips(
+        tenant in 0u64..u64::MAX, window_start in 0u64..u64::MAX,
+        window_ms in 0u32..u32::MAX, seed in 0u64..u64::MAX,
+        flags in 0u8..4,
+    ) {
+        round_trip_request(&Request::PushMetricsWindow {
+            tenant, window_start, window_ms,
+            class_counts: class_counts(seed),
+            throttled: flags & 1 != 0,
+            knob_at_cap: flags & 2 != 0,
+        });
+    }
+
+    #[test]
+    fn throttle_fetch_ack_round_trip(
+        tenant in 0u64..u64::MAX, at in 0u64..u64::MAX,
+        knob_class in 0u8..=2, service_time_ms in 0u32..u32::MAX,
+        flags in 0u8..2,
+    ) {
+        let ok = flags != 0;
+        round_trip_request(&Request::ThrottleSignal { tenant, at, knob_class, service_time_ms });
+        round_trip_request(&Request::FetchRecommendation { tenant, now: at });
+        round_trip_request(&Request::ApplyAck { tenant, at, ok });
+        round_trip_request(&Request::Health);
+        round_trip_request(&Request::Stats);
+    }
+
+    #[test]
+    fn responses_round_trip(
+        tenant in 0u64..u64::MAX, at in 0u64..u64::MAX,
+        served in 0u64..u64::MAX, retry in 0u32..u32::MAX,
+        dim in 0usize..16, seed in 0u64..u64::MAX,
+        flags in 0u8..2,
+    ) {
+        let flag = flags != 0;
+        let unit_config: Vec<f64> = (0..dim)
+            .map(|i| (seed.rotate_left(i as u32 * 7) % 1_000_000) as f64 / 1_000_000.0)
+            .collect();
+        let all = [
+            Response::Registered { tenant },
+            Response::Classified {
+                decision: match tenant % 4 {
+                    0 => WireDecision::Forward,
+                    1 => WireDecision::Suppress,
+                    2 => WireDecision::PlanUpgrade,
+                    _ => WireDecision::Hold,
+                },
+                submitted: flag,
+                ready_at: at,
+            },
+            Response::ThrottleQueued { tuner: retry, ready_at: at },
+            Response::Recommendation { ready: flag, at, unit_config },
+            Response::ApplyRecorded,
+            Response::Healthy { draining: flag },
+            Response::StatsReply {
+                served, busy: at, errors: tenant,
+                active_tenants: served % 1_000, p50_us: at, p99_us: served,
+            },
+            Response::Busy { retry_after_ms: retry },
+            Response::Error { code: ErrorCode::Malformed, detail: "x".repeat(dim) },
+        ];
+        for resp in &all {
+            round_trip_response(resp);
+        }
+    }
+}
+
+fn round_trip_request(req: &Request) {
+    let framed = frame::encode(&req.encode()).expect("requests fit in a frame");
+    let Ok(Decoded::Frame { payload, consumed }) = frame::decode(&framed) else {
+        panic!("frame did not round-trip for {req:?}");
+    };
+    assert_eq!(consumed, framed.len());
+    let back = Request::decode(&payload).expect("payload decodes");
+    assert_eq!(&back, req);
+}
+
+fn round_trip_response(resp: &Response) {
+    let framed = frame::encode(&resp.encode()).expect("responses fit in a frame");
+    let Ok(Decoded::Frame { payload, consumed }) = frame::decode(&framed) else {
+        panic!("frame did not round-trip for {resp:?}");
+    };
+    assert_eq!(consumed, framed.len());
+    let back = Response::decode(&payload).expect("payload decodes");
+    assert_eq!(&back, resp);
+}
+
+// ---------------------------------------------------------- size rejection
+
+proptest! {
+    /// A header advertising an oversize payload is rejected from the
+    /// header alone — `decode` must not ask for more bytes first.
+    #[test]
+    fn oversize_frames_rejected_from_header(excess in 1u64..1_000_000) {
+        let len = (MAX_PAYLOAD as u64 + excess).min(u64::from(u32::MAX)) as u32;
+        let mut hdr = Vec::with_capacity(HEADER_LEN);
+        hdr.extend_from_slice(b"ADBG");
+        hdr.extend_from_slice(&1u16.to_le_bytes());
+        hdr.extend_from_slice(&0u16.to_le_bytes());
+        hdr.extend_from_slice(&len.to_le_bytes());
+        hdr.extend_from_slice(&0u32.to_le_bytes());
+        match frame::decode(&hdr) {
+            Err(FrameError::Oversize(got)) => prop_assert_eq!(got, len),
+            other => prop_assert!(false, "expected Oversize, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn encode_rejects_oversize_payload_with_typed_error() {
+    let too_big = vec![0u8; MAX_PAYLOAD + 1];
+    match frame::encode(&too_big) {
+        Err(FrameError::PayloadTooLarge(n)) => assert_eq!(n, MAX_PAYLOAD + 1),
+        other => panic!("expected PayloadTooLarge, got {other:?}"),
+    }
+}

@@ -62,7 +62,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("{}", usage());
+                emit(&format!("{}\n", usage()));
                 return ExitCode::SUCCESS;
             }
             other => {

@@ -49,6 +49,10 @@ pub struct FileCtx<'a> {
 impl FileCtx<'_> {
     fn in_test(&self, byte: usize) -> bool {
         self.crate_name == "tests"
+            // Per-crate integration tests (`crates/X/tests/…`) and bench
+            // harnesses compile into test binaries, not the runtime.
+            || self.path.contains("/tests/")
+            || self.path.contains("/benches/")
             || self
                 .test_regions
                 .iter()
@@ -109,6 +113,15 @@ pub struct Rule {
 
 /// Crates whose tick/telemetry output must be bit-for-bit reproducible.
 const SIM_CRATES: &[&str] = &["simdb", "cloudsim", "ctrlplane", "tuner"];
+/// Crates whose runtime paths must never panic on request content.
+const PANIC_FREE_CRATES: &[&str] = &["ctrlplane", "gateway"];
+
+/// The gateway's binaries (daemon + loadgen) are measurement/driver
+/// shells like the `bench` crate: they may read the wall clock. The
+/// library — routing, admission, codec — stays in D001 scope.
+fn is_gateway_bin(ctx: &FileCtx<'_>) -> bool {
+    ctx.crate_name == "gateway" && ctx.path.contains("/src/bin/")
+}
 /// Crates where hash-order can reach event logs or tick results.
 const ORDER_SENSITIVE_CRATES: &[&str] = &["simdb", "cloudsim", "ctrlplane", "core", "telemetry"];
 
@@ -126,14 +139,20 @@ any value derived from them differ between runs. The chaos engine (PR 2)
 asserts FNV-fingerprint-identical event logs across replays, and the
 fleet drive asserts thread-count invariance; a single wall-clock read in
 `simdb`, `cloudsim`, `ctrlplane` or `tuner` silently breaks both. All
-simulation time must come from the tick counter (`SimTime`).
+simulation time must come from the tick counter (`SimTime`). The
+`gateway` library is also in scope: its routing/admission layers take
+`now_ms` as a parameter so they replay deterministically, and its only
+sanctioned wall-clock reads live in `clock.rs` behind reasoned allows.
 
-Allowed: the `bench` crate (wall-clock measurement is its purpose).
+Allowed: the `bench` crate and the gateway's binaries
+(`crates/gateway/src/bin/`) — wall-clock measurement is their purpose.
 Fix: thread `SimTime`/tick counters through instead; if a wall-clock
 read is genuinely outside every replayed path, add
 `// detlint-allow: D001 <why this cannot reach sim state>`.",
             check: |ctx, out| {
-                if !SIM_CRATES.contains(&ctx.crate_name) {
+                let in_scope = SIM_CRATES.contains(&ctx.crate_name)
+                    || (ctx.crate_name == "gateway" && !is_gateway_bin(ctx));
+                if !in_scope {
                     return;
                 }
                 for clock in ["SystemTime", "Instant"] {
@@ -358,23 +377,27 @@ and never cross-reduce them in the parallel section.",
         },
         Rule {
             id: "R001",
-            title: "panicking call in control-plane runtime path",
+            title: "panicking call in control-plane/gateway runtime path",
             explain: "\
-R001 — unwrap/expect/panic! in control-plane runtime paths
+R001 — unwrap/expect/panic! in control-plane and gateway runtime paths
 
-The control plane (`ctrlplane`) is the component that must keep running
-through faults — PR 2's whole point. A `unwrap()`/`expect()` on a path
-the reconciler or apply pipeline exercises turns a recoverable condition
-into a fleet-wide abort. Flagged in non-test `ctrlplane` code:
-`.unwrap()`, `.expect(…)`, `panic!`, `unimplemented!`, `todo!`.
+The control plane (`ctrlplane`) must keep running through faults — PR
+2's whole point — and the `gateway` sits on a network socket where any
+byte sequence an attacker sends must produce a typed error, never a
+worker-thread abort. A `unwrap()`/`expect()` on a path the reconciler,
+apply pipeline or request router exercises turns a recoverable
+condition into a fleet-wide outage. Flagged in non-test code of both
+crates (gateway binaries included): `.unwrap()`, `.expect(…)`,
+`panic!`, `unimplemented!`, `todo!`.
 
 Not flagged: `unwrap_or*` (total functions), `assert!` (intentional
 invariant checks), and anything inside `#[cfg(test)]` / `#[test]`.
-Fix: return a typed error (see `ApplyError`) or restructure so the
-invariant holds by construction; for impossible-by-construction cases
-add `// detlint-allow: R001 <why it cannot fire>`.",
+Fix: return a typed error (see `ApplyError`, `FrameError`) or
+restructure so the invariant holds by construction; for
+impossible-by-construction cases add
+`// detlint-allow: R001 <why it cannot fire>`.",
             check: |ctx, out| {
-                if ctx.crate_name != "ctrlplane" {
+                if !PANIC_FREE_CRATES.contains(&ctx.crate_name) {
                     return;
                 }
                 for (i, t) in ctx.code.iter().enumerate() {
@@ -396,8 +419,9 @@ add `// detlint-allow: R001 <why it cannot fire>`.",
                             "R001",
                             t,
                             format!(
-                                "`.{text}()` in a control-plane runtime path can abort \
-                                 the fleet; return a typed error instead"
+                                "`.{text}()` in a `{}` runtime path can abort \
+                                 the fleet; return a typed error instead",
+                                ctx.crate_name
                             ),
                         ));
                     } else if macro_call("panic")
@@ -408,8 +432,9 @@ add `// detlint-allow: R001 <why it cannot fire>`.",
                             "R001",
                             t,
                             format!(
-                                "`{text}!` in a control-plane runtime path can abort \
-                                 the fleet; return a typed error instead"
+                                "`{text}!` in a `{}` runtime path can abort \
+                                 the fleet; return a typed error instead",
+                                ctx.crate_name
                             ),
                         ));
                     }
@@ -644,6 +669,16 @@ mod tests {
         assert!(run_on("crates/simdb/src/x.rs", "simdb", masked).is_empty());
     }
 
+    #[test]
+    fn d001_covers_gateway_lib_but_not_gateway_bins() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let f = run_on("crates/gateway/src/router.rs", "gateway", src);
+        assert_eq!(ids(&f), vec!["D001"]);
+        // The daemon and loadgen are measurement shells, like `bench`.
+        assert!(run_on("crates/gateway/src/bin/loadgen.rs", "gateway", src).is_empty());
+        assert!(run_on("crates/gateway/src/bin/gateway.rs", "gateway", src).is_empty());
+    }
+
     // ------------------------- D002 ---------------------------------
 
     #[test]
@@ -767,6 +802,25 @@ mod tests {
         let f = run_on("crates/ctrlplane/src/x.rs", "ctrlplane", src);
         assert_eq!(ids(&f), vec!["R001"]);
         assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn r001_covers_gateway_runtime_including_bins() {
+        let src = "fn serve_one() { let req = decode(buf).unwrap(); }";
+        let f = run_on("crates/gateway/src/server.rs", "gateway", src);
+        assert_eq!(ids(&f), vec!["R001"]);
+        assert!(f[0].message.contains("`gateway`"));
+        // Unlike D001, the bins get no pass: a panicking daemon is an
+        // outage regardless of where the wall clock lives.
+        let f = run_on("crates/gateway/src/bin/gateway.rs", "gateway", src);
+        assert_eq!(ids(&f), vec!["R001"]);
+        assert!(run_on("crates/workload/src/x.rs", "workload", src).is_empty());
+        // Per-crate integration tests compile into test binaries.
+        let f = run_on("crates/gateway/tests/codec_fuzz.rs", "gateway", src);
+        assert!(
+            f.iter().all(|f| f.in_test),
+            "tests/ dir must count as test code"
+        );
     }
 
     // ------------------------- R002 ---------------------------------

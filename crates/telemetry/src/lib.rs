@@ -22,6 +22,30 @@ pub use quantile::P2Quantile;
 pub use stats::{mean, percentile, stddev, variance, Ewma, Histogram, SummaryStats};
 pub use timeseries::{PeakDetector, Sample, TimeSeries};
 
+/// Print a line to stdout, tolerating a closed pipe.
+///
+/// Every workspace binary reports through stdout; piping one into `head`
+/// closes the pipe early and a bare `println!` would panic on the next
+/// write. CLIs communicate failure through exit codes, not print success,
+/// so the write error is deliberately dropped.
+#[macro_export]
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use ::std::io::Write as _;
+        let _ = ::std::writeln!(::std::io::stdout(), $($arg)*);
+    }};
+}
+
+/// Print to stdout without a newline, tolerating a closed pipe.
+/// See [`outln!`].
+#[macro_export]
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use ::std::io::Write as _;
+        let _ = ::std::write!(::std::io::stdout(), $($arg)*);
+    }};
+}
+
 /// Simulation time, in whole milliseconds since the start of the scenario.
 ///
 /// All simulators in the workspace share this unit so series from different

@@ -14,6 +14,7 @@ use autodbaas::prelude::*;
 use autodbaas::tde::{ClassHistogram, TdeConfig};
 use autodbaas::telemetry::entropy::normalized_entropy;
 use autodbaas::telemetry::{MILLIS_PER_HOUR, MILLIS_PER_MIN};
+use autodbaas_telemetry::outln;
 use rand::rngs::StdRng;
 
 fn arg(name: &str) -> Option<String> {
@@ -71,7 +72,7 @@ fn demo() {
     let mut tde = Tde::new(&profile, TdeConfig::default(), 2);
     let mut rng: StdRng = SeedableRng::seed_from_u64(3);
 
-    println!("phase 1: vendor defaults");
+    outln!("phase 1: vendor defaults");
     for minute in 0..3 {
         for _ in 0..60 {
             let q = wl.next_query(&mut rng);
@@ -79,12 +80,12 @@ fn demo() {
             db.tick(1_000);
         }
         let r = tde.run(&mut db, None);
-        println!("  minute {minute}: {} throttle(s)", r.throttles.len());
+        outln!("  minute {minute}: {} throttle(s)", r.throttles.len());
         for t in &r.throttles {
-            println!("    -> {} ({:?})", profile.spec(t.knob).name, t.class);
+            outln!("    -> {} ({:?})", profile.spec(t.knob).name, t.class);
         }
     }
-    println!("phase 2: applying the obvious fix (the tuner's job in production)");
+    outln!("phase 2: applying the obvious fix (the tuner's job in production)");
     for name in ["work_mem", "maintenance_work_mem", "temp_buffers"] {
         let id = profile.lookup(name).unwrap();
         db.set_knob_direct(id, profile.spec(id).max.min(1024.0 * 1024.0 * 1024.0));
@@ -98,7 +99,7 @@ fn demo() {
         }
         after += tde.run(&mut db, None).throttles.len();
     }
-    println!("phase 3: {after} throttle(s) in the next 3 minutes — relief.");
+    outln!("phase 3: {after} throttle(s) in the next 3 minutes — relief.");
 }
 
 /// Fig. 10/11 in CLI form.
@@ -107,10 +108,13 @@ fn census() {
         Some("mysql") => DbFlavor::MySql,
         _ => DbFlavor::Postgres,
     };
-    println!("throttles/window by class on {flavor} (10 windows, no tuning):");
-    println!(
+    outln!("throttles/window by class on {flavor} (10 windows, no tuning):");
+    outln!(
         "{:<14} {:>8} {:>10} {:>8}",
-        "workload", "memory", "bgwriter", "async"
+        "workload",
+        "memory",
+        "bgwriter",
+        "async"
     );
     for (name, rate) in [("tpcc", 1_600u64), ("wikipedia", 800), ("ycsb", 2_000)] {
         let wl = autodbaas::workload::by_name(name).unwrap();
@@ -144,7 +148,7 @@ fn census() {
             let _ = tde.run(&mut db, None);
         }
         let c = tde.throttle_counts();
-        println!(
+        outln!(
             "{:<14} {:>8.2} {:>10.2} {:>8.2}",
             name,
             c[0] as f64 / 10.0,
@@ -196,7 +200,7 @@ fn fleet() {
         sim.add_node(node, &format!("db-{i}"));
     }
     sim.run_for(hours * MILLIS_PER_HOUR);
-    println!(
+    outln!(
         "{dbs} databases, {hours} h, policy {:?}: {} tuning requests, backlog {:.1} s",
         policy,
         sim.director.total_requests(),
@@ -220,7 +224,7 @@ fn entropy() {
         h_plain.record(&plain.next_query(&mut rng));
         h_adult.record(&adulterated.next_query(&mut rng));
     }
-    println!(
+    outln!(
         "normalized entropy: plain tpcc = {:.3}, adulterated(p={p}) = {:.3}",
         normalized_entropy(h_plain.counts()),
         normalized_entropy(h_adult.counts())
