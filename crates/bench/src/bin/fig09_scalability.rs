@@ -8,10 +8,16 @@
 //! GPR service time is precisely what multiplies how many databases one
 //! tuner deployment can serve.
 //!
+//! After the figure itself, a fleet-size sweep (48 → 10,000 services on
+//! the sharded tick engine) reports drive throughput and tuning-request
+//! load per size — how far past the paper's 80 databases one control
+//! plane stretches.
+//!
 //! Flags: `--dbs 80 --hours 12 --tick 5` (defaults shown).
 
 use autodbaas_bench::arg_value;
 use autodbaas_bench::header;
+use autodbaas_bench::longtail_fleet;
 use autodbaas_bench::sparkline;
 use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
 use autodbaas_core::{TdeConfig, TuningPolicy};
@@ -170,4 +176,39 @@ fn main() {
         "TDE-driven ({tde_total}) must undercut periodic 5-min ({p5_total})"
     );
     outln!("\nresult: the TDE breaks the periodic-polling floor — shape reproduced.");
+
+    fleet_sweep();
+}
+
+/// Fleet-size sweep on the sharded tick engine: how far past the paper's
+/// 80 connected databases one control plane stretches. A long-tail tenant
+/// fleet (one hot tenant in 128) at each size runs ten simulated minutes;
+/// the table reports drive throughput next to the tuning-request load the
+/// director absorbed — the two axes that bound fleet capacity.
+fn fleet_sweep() {
+    let sim_min = 10u64;
+    outln!("\nfleet-size sweep (sharded engine, {sim_min} sim-minutes each):");
+    outln!(
+        "{:>7} {:>10} {:>16} {:>7} {:>11} {:>13}",
+        "nodes",
+        "wall (s)",
+        "node-ticks/s",
+        "shards",
+        "tune reqs",
+        "reqs/min"
+    );
+    for n in [48usize, 512, 2048, 10_000] {
+        let mut sim = longtail_fleet(n, true, 0, 42);
+        let t = std::time::Instant::now();
+        sim.run_for(sim_min * MILLIS_PER_MIN);
+        let wall = t.elapsed().as_secs_f64();
+        let node_ticks = (n as u64 * sim_min * 60) as f64;
+        let reqs = sim.director.total_requests();
+        outln!(
+            "{n:>7} {wall:>10.2} {:>16.0} {:>7} {reqs:>11} {:>13.2}",
+            node_ticks / wall,
+            sim.shard_count(),
+            reqs as f64 / sim_min as f64
+        );
+    }
 }

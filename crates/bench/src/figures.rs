@@ -1,9 +1,11 @@
 //! Shared plumbing for the figure-regeneration binaries.
 
+use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
+use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_simdb::{Catalog, DbFlavor, DiskKind, InstanceType, MetricId, SimDatabase};
 use autodbaas_telemetry::outln;
 use autodbaas_tuner::{normalize_config, Sample, SampleQuality, WorkloadId, WorkloadRepository};
-use autodbaas_workload::{MixWorkload, QuerySource};
+use autodbaas_workload::{tpcc, ArrivalProcess, MixWorkload, QuerySource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -137,6 +139,94 @@ pub fn seed_offline(
         );
     }
     id
+}
+
+/// A long-tail tenant fleet for drive-engine scaling runs: `n` managed
+/// Postgres services on one-second ticks, with one tenant in 128 actively
+/// serving 2 rps of TPC-C traffic and the rest idle — the shape of a real
+/// DBaaS fleet, where a thin head of hot tenants rides on a long idle
+/// tail. `shards = 0` leaves the shard count to auto resolution; a
+/// positive value pins it (the determinism smokes force it wide).
+/// Deterministic for a given `seed` and engine, and bit-identical across
+/// engines and shard counts.
+pub fn longtail_fleet(n: usize, parallel: bool, shards: usize, seed: u64) -> FleetSim {
+    let mut sim = FleetSim::new(
+        FleetConfig {
+            seed,
+            shards,
+            ..FleetConfig::default()
+        },
+        2,
+    );
+    sim.set_parallel(parallel);
+    let proto = tpcc(0.5);
+    let catalog = proto.catalog().clone();
+    for i in 0..n {
+        let arrival = if i % 128 == 0 {
+            ArrivalProcess::Constant(2.0)
+        } else {
+            ArrivalProcess::Constant(0.0)
+        };
+        let node = ManagedDatabase::new(
+            DbFlavor::Postgres,
+            InstanceType::M4Large,
+            DiskKind::Ssd,
+            catalog.clone(),
+            Box::new(tpcc(0.5)),
+            arrival,
+            TuningPolicy::TdeDriven,
+            WorkloadId(0),
+            TdeConfig::default(),
+            seed ^ (i as u64).wrapping_mul(0x45d9),
+        );
+        sim.add_node(node, &format!("db-{i}"));
+    }
+    sim
+}
+
+/// One interleaved serial-vs-sharded comparison over two lockstep sims.
+///
+/// Both engines are bit-identical, so after every chunk the two sims are in
+/// the same simulated state and each chunk measures the same work. Chunks
+/// alternate which engine runs first (a shared host's slow phases cannot
+/// systematically tax one side) and each side reports its *fastest* chunk —
+/// the least-interference estimate of its true cost. Returns
+/// `(serial_ms, sharded_ms)` per chunk; panics if the engines diverge.
+pub fn race_engines(
+    serial: &mut FleetSim,
+    sharded: &mut FleetSim,
+    chunk_ms: u64,
+    reps: usize,
+) -> (f64, f64) {
+    let mut serial_best = f64::MAX;
+    let mut sharded_best = f64::MAX;
+    for rep in 0..reps {
+        let serial_first = rep % 2 == 0;
+        for leg in 0..2 {
+            let serial_turn = (leg == 0) == serial_first;
+            let sim: &mut FleetSim = if serial_turn { serial } else { sharded };
+            let t = std::time::Instant::now();
+            sim.run_for(chunk_ms);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if serial_turn {
+                serial_best = serial_best.min(ms);
+            } else {
+                sharded_best = sharded_best.min(ms);
+            }
+        }
+    }
+    assert_eq!(
+        serial.events.fingerprint(),
+        sharded.events.fingerprint(),
+        "sharded drive must be bit-identical to serial"
+    );
+    let q = |sim: &FleetSim| -> u64 { sim.nodes.iter().map(|n| n.queries_submitted).sum() };
+    assert_eq!(
+        q(serial),
+        q(sharded),
+        "engines diverged on accepted queries"
+    );
+    (serial_best, sharded_best)
 }
 
 /// Parse a simple `--flag value` style argument.

@@ -179,6 +179,16 @@ impl FaultEngine {
         &self.plan.events[start..self.cursor]
     }
 
+    /// [`FaultEngine::take_due`], draining into a caller-owned scratch
+    /// buffer. `out` is cleared first; the per-tick callers reuse one
+    /// buffer so the hot path never allocates (the borrow of `self` ends at
+    /// return, freeing the caller to inject against the same struct that
+    /// owns this engine).
+    pub fn take_due_into(&mut self, now: SimTime, out: &mut Vec<FaultEvent>) {
+        out.clear();
+        out.extend_from_slice(self.take_due(now));
+    }
+
     /// Faults not yet injected.
     pub fn remaining(&self) -> usize {
         self.plan.events.len() - self.cursor
@@ -252,5 +262,22 @@ mod tests {
         let rest = engine.take_due(u64::MAX).len();
         assert_eq!(first.len() + rest, total);
         assert_eq!(engine.remaining(), 0);
+    }
+
+    #[test]
+    fn take_due_into_drains_like_take_due() {
+        let plan = FaultPlan::standard(2, 100_000);
+        let mut a = FaultEngine::new(plan.clone());
+        let mut b = FaultEngine::new(plan);
+        let mut scratch = vec![FaultEvent {
+            at: 0,
+            node: 9,
+            kind: FaultKind::VmCrash,
+        }];
+        a.take_due_into(40_000, &mut scratch);
+        assert_eq!(scratch.as_slice(), b.take_due(40_000));
+        a.take_due_into(40_000, &mut scratch);
+        assert!(scratch.is_empty(), "stale contents must be cleared");
+        assert_eq!(a.remaining(), b.remaining());
     }
 }

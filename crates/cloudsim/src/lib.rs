@@ -10,6 +10,9 @@
 //!   recommendation completions, TDE-gated sample capture, both tuner
 //!   backends, and the self-healing control plane (failover, crash
 //!   recovery, retry/backoff, reconciliation, safe rollback);
+//! * [`shard`] — the persistent sharded tick engine: long-lived worker
+//!   shards behind a generation barrier, bit-identical to the serial drive
+//!   for any shard count;
 //! * [`faults`] — the deterministic seeded chaos engine driving the
 //!   robustness experiments (Fig. 16);
 //! * [`runner`] — single-database drive helpers for the figure harnesses.
@@ -17,9 +20,11 @@
 pub mod faults;
 pub mod node;
 pub mod runner;
+pub mod shard;
 pub mod sim;
 
 pub use faults::{FaultEngine, FaultEvent, FaultKind, FaultPlan};
-pub use node::{DeferredApply, InFlightRequest, ManagedDatabase, RollbackGuard};
+pub use node::{DeferredApply, DriveTick, InFlightRequest, ManagedDatabase, RollbackGuard};
 pub use runner::{drive_workload, drive_workload_with_faults, ChaosDriveResult, DriveResult};
+pub use shard::{derived_shard_seed, DriveStats, HotState, ShardPool};
 pub use sim::{FleetConfig, FleetSim, RollbackPolicy};

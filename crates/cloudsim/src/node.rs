@@ -120,6 +120,17 @@ pub struct ManagedDatabase {
 /// the arrival count is replayed as batches of these.
 const QUERY_SHAPES_PER_TICK: u64 = 24;
 
+/// What one [`ManagedDatabase::drive`] tick did — the per-node output the
+/// sharded tick engine folds into its per-shard accumulators instead of
+/// reading fleet counters back out of every node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveTick {
+    /// Queries accepted by the master this tick.
+    pub submitted: u64,
+    /// The master spent this tick hard-down (crash recovery).
+    pub down: bool,
+}
+
 impl ManagedDatabase {
     /// Assemble a managed database (no HA slaves; chain
     /// [`ManagedDatabase::with_slaves`] to add them).
@@ -212,13 +223,15 @@ impl ManagedDatabase {
     /// Drive one tick of traffic: Poisson arrivals from the workload,
     /// batched into a bounded number of distinct shapes, then the service
     /// tick (master, slaves, replication streams).
-    pub fn drive(&mut self, tick_ms: u64) {
+    pub fn drive(&mut self, tick_ms: u64) -> DriveTick {
         self.total_ticks += 1;
-        if self.service.master().is_down() {
+        let down = self.service.master().is_down();
+        if down {
             self.down_ticks += 1;
         }
         let now = self.service.master().now();
         let n = self.arrival.sample_count(&mut self.rng, now, tick_ms);
+        let mut submitted = 0u64;
         if n > 0 {
             let shapes = n.min(QUERY_SHAPES_PER_TICK);
             let per_shape = n / shapes;
@@ -229,14 +242,16 @@ impl ManagedDatabase {
                 if count > 0 {
                     match self.service.master_mut().submit(&q, count) {
                         SubmitResult::Done(_) | SubmitResult::Queued => {
-                            self.queries_submitted += count;
+                            submitted += count;
                         }
                         SubmitResult::Refused | SubmitResult::Saturated { .. } => {}
                     }
                 }
             }
         }
+        self.queries_submitted += submitted;
         self.service.tick(tick_ms);
+        DriveTick { submitted, down }
     }
 
     /// Swap the workload (the Fig. 14 switch), resetting TDE workload

@@ -1,0 +1,519 @@
+//! The sharded fleet tick engine: persistent worker shards behind a
+//! generation-counter barrier.
+//!
+//! The original parallel drive spawned one `std::thread::scope` fan-out per
+//! tick — a thread spawn, a stack, and a join for every shard on every tick
+//! of the run. At fleet scale that overhead dominates idle nodes. This
+//! module replaces it with a [`ShardPool`]: the fleet is partitioned *once*
+//! into `W` contiguous shards; shards `1..W` are owned by long-lived worker
+//! threads that park between ticks, and shard `0` is driven by the calling
+//! thread itself, so `W = 1` degenerates to the plain serial loop with zero
+//! synchronisation.
+//!
+//! # Barrier protocol
+//!
+//! Per tick the caller publishes `(base, tick_ms)`, resets the `done`
+//! counter, bumps the `generation` counter (Release) and unparks every
+//! worker. A worker wakes, Acquire-loads the generation, drives its node
+//! range, writes its [`ShardOutput`] into its slot, and announces with
+//! `done.fetch_add(1, Release)`. The caller drives shard 0 meanwhile, then
+//! waits for `done == W - 1` (Acquire) — that pairing makes every worker
+//! write happen-before the caller's merge. Outputs are merged in ascending
+//! shard order; since shards are contiguous ascending index ranges, the
+//! merged order equals the serial drive order and the engines are
+//! bit-identical for any shard count.
+//!
+//! # Determinism witness
+//!
+//! Every shard owns an RNG seeded with
+//! `master_seed ^ (shard × 0x9e3779b97f4a7c15)` (see
+//! [`derived_shard_seed`]). The stream never touches simulation state; each
+//! epoch draws one probe value that the caller checks against a mirrored
+//! stream, so a worker that ever missed or replayed an epoch — a barrier
+//! protocol violation — fails loudly instead of silently diverging.
+
+use crate::node::ManagedDatabase;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Golden-ratio increment decorrelating per-shard seed streams.
+const SEED_GAMMA: u64 = 0x9e3779b97f4a7c15;
+
+/// The seed of shard `shard`'s private RNG stream under `master_seed`.
+/// Shard 0 (the calling thread) gets the master seed itself.
+pub fn derived_shard_seed(master_seed: u64, shard: usize) -> u64 {
+    master_seed ^ (shard as u64).wrapping_mul(SEED_GAMMA)
+}
+
+/// Cumulative fleet drive statistics, merged from per-shard outputs in
+/// shard order every tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveStats {
+    /// Node-ticks driven (nodes × ticks).
+    pub node_ticks: u64,
+    /// Queries accepted across the fleet.
+    pub submitted: u64,
+    /// Node-ticks spent hard-down.
+    pub down_ticks: u64,
+}
+
+impl DriveStats {
+    /// Fold one tick's merged stats into a running total.
+    pub fn accumulate(&mut self, tick: &DriveStats) {
+        self.node_ticks += tick.node_ticks;
+        self.submitted += tick.submitted;
+        self.down_ticks += tick.down_ticks;
+    }
+}
+
+/// What one worker shard produced in one epoch.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardOutput {
+    submitted: u64,
+    down: u64,
+    probe: u64,
+}
+
+/// Shared control block between the caller and the workers.
+struct Ctl {
+    /// Epoch counter; a change is the "go" signal.
+    generation: AtomicU64,
+    /// Workers finished with the current epoch.
+    done: AtomicU64,
+    /// Terminal: workers exit instead of driving.
+    shutdown: AtomicBool,
+    /// A worker panicked mid-epoch; the caller re-raises.
+    poisoned: AtomicBool,
+    /// Tick length for the current epoch.
+    tick_ms: AtomicU64,
+    /// Base of the fleet's node slice for the current epoch. Only valid
+    /// between the generation bump and the matching `done` barrier.
+    base: AtomicPtr<ManagedDatabase>,
+}
+
+/// One worker's output slot. The `done` Release/Acquire pairing already
+/// orders the write before the caller's read; the mutex is belt and braces
+/// that keeps the slot access trivially race-free.
+struct Slot {
+    out: Mutex<ShardOutput>,
+}
+
+/// Persistent sharded tick engine over a fleet of [`ManagedDatabase`]s.
+pub struct ShardPool {
+    ctl: Arc<Ctl>,
+    slots: Vec<Arc<Slot>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Contiguous ascending node ranges, one per shard (shard 0 first).
+    ranges: Vec<Range<usize>>,
+    /// Caller-side mirrors of the worker shards' RNG streams (shards
+    /// `1..W`), used to verify the per-epoch probes.
+    mirrors: Vec<StdRng>,
+    n_nodes: usize,
+    generation: u64,
+}
+
+impl ShardPool {
+    /// Build a pool of `shards` shards (clamped to `[1, n_nodes]`) over a
+    /// fleet of `n_nodes` nodes. Spawns `shards − 1` worker threads; the
+    /// caller drives shard 0 inside [`ShardPool::drive_tick`].
+    pub fn new(shards: usize, n_nodes: usize, master_seed: u64) -> Self {
+        let shards = shards.clamp(1, n_nodes.max(1));
+        let chunk = n_nodes.div_ceil(shards).max(1);
+        let ranges: Vec<Range<usize>> = (0..shards)
+            .map(|i| (i * chunk).min(n_nodes)..((i + 1) * chunk).min(n_nodes))
+            .collect();
+        let ctl = Arc::new(Ctl {
+            generation: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            tick_ms: AtomicU64::new(0),
+            base: AtomicPtr::new(std::ptr::null_mut()),
+        });
+        let mut slots = Vec::with_capacity(shards - 1);
+        let mut handles = Vec::with_capacity(shards - 1);
+        let mut mirrors = Vec::with_capacity(shards - 1);
+        // One worker per shard, built once and parked between ticks — this
+        // loop is what replaces the old per-tick spawn fan-out.
+        for (shard, range) in ranges.iter().enumerate().skip(1) {
+            let slot = Arc::new(Slot {
+                out: Mutex::new(ShardOutput::default()),
+            });
+            let seed = derived_shard_seed(master_seed, shard);
+            mirrors.push(StdRng::seed_from_u64(seed));
+            let handle = std::thread::Builder::new()
+                .name(format!("fleet-shard-{shard}"))
+                // detlint-allow: D005 one-time pool build; workers persist across every tick
+                .spawn({
+                    let ctl = Arc::clone(&ctl);
+                    let slot = Arc::clone(&slot);
+                    let range = range.clone();
+                    move || worker_main(&ctl, &slot, range, seed)
+                })
+                .expect("spawn fleet shard worker");
+            slots.push(slot);
+            handles.push(handle);
+        }
+        Self {
+            ctl,
+            slots,
+            handles,
+            ranges,
+            mirrors,
+            n_nodes,
+            generation: 0,
+        }
+    }
+
+    /// Shard count (including the caller's shard 0).
+    pub fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Fleet size this pool was partitioned for.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Drive one tick across every shard and merge the outputs in shard
+    /// order. `nodes` must be the same fleet (same length) the pool was
+    /// built for.
+    pub fn drive_tick(&mut self, nodes: &mut [ManagedDatabase], tick_ms: u64) -> DriveStats {
+        assert_eq!(
+            nodes.len(),
+            self.n_nodes,
+            "pool partitioned for a different fleet size"
+        );
+        let mut total = DriveStats {
+            node_ticks: self.n_nodes as u64,
+            ..DriveStats::default()
+        };
+        if self.handles.is_empty() {
+            // Single shard: the plain serial loop, no synchronisation.
+            for node in nodes {
+                let t = node.drive(tick_ms);
+                total.submitted += t.submitted;
+                total.down_ticks += u64::from(t.down);
+            }
+            return total;
+        }
+
+        // Publish the epoch. The Release on `generation` orders the
+        // base/tick/done stores before any worker's Acquire load.
+        let base = nodes.as_mut_ptr();
+        self.ctl.base.store(base, Ordering::Relaxed);
+        self.ctl.tick_ms.store(tick_ms, Ordering::Relaxed);
+        self.ctl.done.store(0, Ordering::Relaxed);
+        self.generation += 1;
+        self.ctl
+            .generation
+            .store(self.generation, Ordering::Release);
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+
+        // Drive shard 0 here, through the same raw base the workers use:
+        // all shards hold disjoint index ranges, and `nodes` is not
+        // reborrowed until the barrier below retires the epoch.
+        for i in self.ranges[0].clone() {
+            let node = unsafe { &mut *base.add(i) };
+            let t = node.drive(tick_ms);
+            total.submitted += t.submitted;
+            total.down_ticks += u64::from(t.down);
+        }
+
+        // Barrier: every worker's `done` increment (Release) pairs with
+        // this Acquire, so their node mutations and slot writes are visible.
+        let workers = self.handles.len() as u64;
+        let mut spins = 0u32;
+        while self.ctl.done.load(Ordering::Acquire) < workers {
+            spins = spins.wrapping_add(1);
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if self.ctl.poisoned.load(Ordering::Acquire) {
+            panic!("a fleet shard worker panicked while driving its nodes");
+        }
+
+        // Merge in ascending shard order — the serial drive order.
+        for (w, slot) in self.slots.iter().enumerate() {
+            let out = *slot.out.lock();
+            let expected = self.mirrors[w].gen::<u64>();
+            assert_eq!(
+                out.probe,
+                expected,
+                "shard {} epoch probe mismatch: missed or replayed a tick",
+                w + 1
+            );
+            total.submitted += out.submitted;
+            total.down_ticks += out.down;
+        }
+        total
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.ctl.shutdown.store(true, Ordering::Release);
+        // Bump the generation too, so a worker that just observed the old
+        // value and is about to park still wakes and sees the shutdown.
+        self.ctl.generation.fetch_add(1, Ordering::Release);
+        for h in &self.handles {
+            h.thread().unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker loop for one shard: park until the generation moves, drive the
+/// owned node range, publish the output, announce on the barrier.
+fn worker_main(ctl: &Ctl, slot: &Slot, range: Range<usize>, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = 0u64;
+    loop {
+        loop {
+            if ctl.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let g = ctl.generation.load(Ordering::Acquire);
+            if g != seen {
+                seen = g;
+                break;
+            }
+            std::thread::park();
+        }
+        let base = ctl.base.load(Ordering::Relaxed);
+        let tick_ms = ctl.tick_ms.load(Ordering::Relaxed);
+        let probe = rng.gen::<u64>();
+        let driven = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut submitted = 0u64;
+            let mut down = 0u64;
+            for i in range.clone() {
+                // Disjoint from every other shard's range; valid for the
+                // whole epoch because the caller blocks on the barrier.
+                let node = unsafe { &mut *base.add(i) };
+                let t = node.drive(tick_ms);
+                submitted += t.submitted;
+                down += u64::from(t.down);
+            }
+            (submitted, down)
+        }));
+        match driven {
+            Ok((submitted, down)) => {
+                *slot.out.lock() = ShardOutput {
+                    submitted,
+                    down,
+                    probe,
+                };
+            }
+            Err(_) => ctl.poisoned.store(true, Ordering::Release),
+        }
+        let poisoned = ctl.poisoned.load(Ordering::Relaxed);
+        ctl.done.fetch_add(1, Ordering::Release);
+        if poisoned {
+            return;
+        }
+    }
+}
+
+/// Structure-of-arrays hot state for the fleet's per-tick scans.
+///
+/// The control-plane scan and the recovery flush each need one question
+/// answered per tick — "is anything due yet?" — but answering it out of the
+/// node structs means touching every node's cache-cold control fields every
+/// tick. This keeps the earliest due time per node in one dense array (and
+/// the earliest pending recovery as a single scalar), so the scans are
+/// gated by a linear walk over `8 × n` bytes instead of `n` scattered
+/// struct reads.
+///
+/// Every entry is a *lower bound*: it must never exceed the node's true
+/// earliest due time (a too-early entry costs one no-op scan; a too-late
+/// one would skip real work). The fleet refreshes a node's entry after
+/// every mutation of its control fields.
+#[derive(Debug, Clone, Default)]
+pub struct HotState {
+    control_due: Vec<u64>,
+    next_recovery_at: u64,
+}
+
+impl HotState {
+    /// Empty hot state (no nodes, no pending recoveries).
+    pub fn new() -> Self {
+        Self {
+            control_due: Vec::new(),
+            next_recovery_at: u64::MAX,
+        }
+    }
+
+    /// Register one more node (nothing due).
+    pub fn push_node(&mut self) {
+        self.control_due.push(u64::MAX);
+    }
+
+    /// Earliest time node `idx`'s control scan can act (`u64::MAX` = never).
+    pub fn control_due(&self, idx: usize) -> u64 {
+        self.control_due[idx]
+    }
+
+    /// Record node `idx`'s recomputed earliest control-due time.
+    pub fn set_control_due(&mut self, idx: usize, at: u64) {
+        self.control_due[idx] = at;
+    }
+
+    /// A crash recovery will complete at `at`.
+    pub fn note_recovery(&mut self, at: u64) {
+        self.next_recovery_at = self.next_recovery_at.min(at);
+    }
+
+    /// Earliest pending recovery completion (`u64::MAX` = none).
+    pub fn next_recovery_at(&self) -> u64 {
+        self.next_recovery_at
+    }
+
+    /// Replace the earliest-recovery bound after a flush.
+    pub fn set_next_recovery(&mut self, at: u64) {
+        self.next_recovery_at = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autodbaas_core::{TdeConfig, TuningPolicy};
+    use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType, MetricId};
+    use autodbaas_tuner::WorkloadId;
+    use autodbaas_workload::{tpcc, ArrivalProcess};
+
+    fn fleet(n: usize) -> Vec<ManagedDatabase> {
+        (0..n)
+            .map(|i| {
+                let wl = tpcc(0.5);
+                let catalog = wl.catalog().clone();
+                ManagedDatabase::new(
+                    DbFlavor::Postgres,
+                    InstanceType::M4Large,
+                    DiskKind::Ssd,
+                    catalog,
+                    Box::new(wl),
+                    ArrivalProcess::Constant(80.0),
+                    TuningPolicy::TdeDriven,
+                    WorkloadId(0),
+                    TdeConfig::default(),
+                    100 + i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_shard0_is_master() {
+        assert_eq!(derived_shard_seed(42, 0), 42);
+        let seeds: Vec<u64> = (0..16).map(|i| derived_shard_seed(42, i)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn any_shard_count_matches_the_serial_drive_bit_for_bit() {
+        let ticks = 30u64;
+        let mut serial = fleet(13);
+        let mut serial_stats = DriveStats::default();
+        for _ in 0..ticks {
+            serial_stats.node_ticks += serial.len() as u64;
+            for node in &mut serial {
+                let t = node.drive(1_000);
+                serial_stats.submitted += t.submitted;
+                serial_stats.down_ticks += u64::from(t.down);
+            }
+        }
+        let reference: Vec<(u64, f64)> = serial
+            .iter()
+            .map(|n| {
+                (
+                    n.queries_submitted,
+                    n.db().metrics().get(MetricId::QueriesExecuted),
+                )
+            })
+            .collect();
+        for shards in [1usize, 2, 3, 5, 13, 64] {
+            let mut nodes = fleet(13);
+            let mut pool = ShardPool::new(shards, nodes.len(), 0x5eed ^ 7);
+            let mut stats = DriveStats::default();
+            for _ in 0..ticks {
+                stats.accumulate(&pool.drive_tick(&mut nodes, 1_000));
+            }
+            assert_eq!(stats, serial_stats, "shards={shards}");
+            let got: Vec<(u64, f64)> = nodes
+                .iter()
+                .map(|n| {
+                    (
+                        n.queries_submitted,
+                        n.db().metrics().get(MetricId::QueriesExecuted),
+                    )
+                })
+                .collect();
+            assert_eq!(got, reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_epochs_and_rebuild() {
+        let mut nodes = fleet(6);
+        {
+            let mut pool = ShardPool::new(3, 6, 9);
+            assert_eq!(pool.shards(), 3);
+            for _ in 0..200 {
+                pool.drive_tick(&mut nodes, 250);
+            }
+        } // drop joins the workers
+        let mut pool = ShardPool::new(2, 6, 9);
+        let stats = pool.drive_tick(&mut nodes, 250);
+        assert_eq!(stats.node_ticks, 6);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_fleet_size() {
+        let pool = ShardPool::new(64, 3, 1);
+        assert!(pool.shards() <= 3);
+        let pool = ShardPool::new(0, 3, 1);
+        assert_eq!(pool.shards(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different fleet size")]
+    fn driving_a_resized_fleet_is_rejected() {
+        let mut nodes = fleet(4);
+        let mut pool = ShardPool::new(2, 5, 1);
+        pool.drive_tick(&mut nodes, 1_000);
+    }
+
+    #[test]
+    fn hot_state_tracks_lower_bounds() {
+        let mut hot = HotState::new();
+        hot.push_node();
+        hot.push_node();
+        assert_eq!(hot.control_due(0), u64::MAX);
+        hot.set_control_due(1, 5_000);
+        assert_eq!(hot.control_due(1), 5_000);
+        assert_eq!(hot.next_recovery_at(), u64::MAX);
+        hot.note_recovery(9_000);
+        hot.note_recovery(7_000);
+        assert_eq!(hot.next_recovery_at(), 7_000);
+        hot.set_next_recovery(u64::MAX);
+        assert_eq!(hot.next_recovery_at(), u64::MAX);
+    }
+}

@@ -8,10 +8,11 @@
 
 use crate::faults::{FaultEngine, FaultEvent, FaultKind, FaultPlan};
 use crate::node::{DeferredApply, InFlightRequest, ManagedDatabase, RollbackGuard};
+use crate::shard::{DriveStats, HotState, ShardPool};
 
 use autodbaas_ctrlplane::{
     ApplyError, ConfigDirector, RecommendationMeter, ReconcileOutcome, Reconciler, ServiceId,
-    ServiceOrchestrator, TunerKind,
+    ServiceOrchestrator, TunerKind, WindowStat,
 };
 use autodbaas_simdb::{ApplyMode, ConfigChange, MetricId, SimDatabase};
 use autodbaas_telemetry::{EventLog, SimTime};
@@ -47,17 +48,24 @@ pub struct FleetConfig {
     pub apply_recommendations: bool,
     /// Master seed.
     pub seed: u64,
-    /// Minimum fleet size before [`FleetSim::set_parallel`] actually fans
-    /// ticks out to worker threads — below this the spawn overhead exceeds
-    /// the win. Also the minimum number of nodes handed to each worker:
-    /// threads are spawned per tick, so the drive never uses more than
-    /// `nodes / parallel_threshold` of them regardless of
-    /// [`drive_threads`](Self::drive_threads).
+    /// Shard count for the sharded tick engine ([`FleetSim::set_parallel`]):
+    /// `0` resolves automatically — [`drive_threads`](Self::drive_threads)
+    /// if set, else the machine's available parallelism, capped so no shard
+    /// owns fewer than [`parallel_threshold`](Self::parallel_threshold)
+    /// nodes. An explicit count is taken as-is (clamped to `[1, nodes]`),
+    /// cap skipped. Shard 0 runs on the stepping thread itself, so one
+    /// shard is exactly the serial loop.
+    pub shards: usize,
+    /// Minimum nodes per worker shard under automatic shard resolution —
+    /// below this the coordination overhead exceeds the win. Ignored when
+    /// [`shards`](Self::shards) is explicit.
     pub parallel_threshold: usize,
-    /// Worker threads for the parallel drive; `0` means "use the machine's
-    /// available parallelism". Node order and RNG streams are per-node, so
-    /// serial and parallel drives produce bit-identical fleets for any
-    /// thread count (pinned by `parallel_drive_is_deterministic_and_equivalent`).
+    /// Automatic shard resolution's thread budget; `0` means "use the
+    /// machine's available parallelism". Node order and RNG streams are
+    /// per-node, so serial and sharded drives produce bit-identical fleets
+    /// for any shard count (pinned by
+    /// `parallel_drive_is_deterministic_and_equivalent` and the
+    /// `serial_and_sharded_fleets_are_bit_identical` property test).
     pub drive_threads: usize,
     /// How long past its promised `ready_at` a tuning request may wait for
     /// its recommendation before the node gives up and retries. Counted
@@ -110,6 +118,7 @@ impl Default for FleetConfig {
             rl: RlConfig::default(),
             apply_recommendations: true,
             seed: 0,
+            shards: 0,
             parallel_threshold: 8,
             drive_threads: 0,
             request_timeout_ms: 5 * 60 * 1_000,
@@ -180,6 +189,22 @@ pub struct FleetSim {
     /// Due tuning responses: (ready_at, node, request seq). The seq lets a
     /// late response for an already-retried request be dropped as stale.
     pending: BinaryHeap<Reverse<(SimTime, usize, u64)>>,
+    /// Persistent sharded tick engine; built lazily on the first sharded
+    /// step and rebuilt when the fleet size or shard count changes.
+    pool: Option<ShardPool>,
+    /// SoA per-node due times gating the control scan and recovery flush.
+    hot: HotState,
+    /// Cached machine thread budget for auto shard resolution. Querying
+    /// `available_parallelism` reads procfs/cgroup state (~12µs a call) —
+    /// per tick that dwarfs small fleets, so it is resolved exactly once.
+    thread_budget: Option<usize>,
+    /// Fleet drive totals merged from the shard outputs (sharded drives
+    /// only; the serial engine is the untouched reference path).
+    drive_stats: DriveStats,
+    /// Reusable scratch for the per-tick chaos drain.
+    fault_scratch: Vec<FaultEvent>,
+    /// Reusable scratch for the per-round batched window ingestion.
+    window_scratch: Vec<WindowStat>,
     now: SimTime,
     last_tde_run: SimTime,
     rng: StdRng,
@@ -215,6 +240,12 @@ impl FleetSim {
             tuner_outage_until: 0,
             recovery_due: Vec::new(),
             pending: BinaryHeap::new(),
+            pool: None,
+            hot: HotState::new(),
+            thread_budget: None,
+            drive_stats: DriveStats::default(),
+            fault_scratch: Vec::new(),
+            window_scratch: Vec::new(),
             now: 0,
             last_tde_run: 0,
             parallel: false,
@@ -292,11 +323,32 @@ impl FleetSim {
             .collect()
     }
 
-    /// Drive the fleet's per-tick traffic on worker threads. Per-node
-    /// determinism is unchanged (each node owns its RNG); only wall-clock
-    /// speed differs. Off by default.
+    /// Drive the fleet's per-tick traffic on the sharded tick engine:
+    /// persistent worker shards behind a generation barrier (see
+    /// [`crate::shard`]), with the control scan gated by the SoA hot state.
+    /// Per-node determinism is unchanged (each node owns its RNG) and the
+    /// shard merge order equals the serial order, so results are
+    /// bit-identical to the serial engine; only wall-clock speed differs.
+    /// Off by default.
     pub fn set_parallel(&mut self, on: bool) {
         self.parallel = on;
+        if !on {
+            self.pool = None; // joins the workers
+        }
+    }
+
+    /// Fleet drive totals (node-ticks, accepted queries, down node-ticks)
+    /// accumulated by the sharded engine. Zero while driving serially.
+    pub fn drive_stats(&self) -> DriveStats {
+        self.drive_stats
+    }
+
+    /// Shard count of the live pool (1 when driving serially or before the
+    /// first sharded step builds the pool). Benchmarks report this next to
+    /// wall-clock numbers so a figure regenerated on a different machine
+    /// records how wide the drive actually ran.
+    pub fn shard_count(&self) -> usize {
+        self.pool.as_ref().map_or(1, |p| p.shards())
     }
 
     /// Current sim time.
@@ -322,6 +374,7 @@ impl FleetSim {
             self.cfg.watcher_timeout_ms,
         ));
         self.nodes.push(node);
+        self.hot.push_node();
         idx
     }
 
@@ -387,47 +440,27 @@ impl FleetSim {
     pub fn step(&mut self) {
         self.now += self.cfg.tick_ms;
 
-        // 0. Chaos: inject every scheduled fault that came due this tick.
-        if let Some(engine) = self.chaos.as_mut() {
-            let due: Vec<FaultEvent> = engine.take_due(self.now).to_vec();
-            for ev in due {
+        // 0. Chaos: inject every scheduled fault that came due this tick,
+        // drained through a reusable scratch buffer (the per-tick `to_vec`
+        // this replaces allocated on every tick of every chaos run).
+        if self.chaos.is_some() {
+            let mut due = std::mem::take(&mut self.fault_scratch);
+            self.chaos
+                .as_mut()
+                .expect("checked above")
+                .take_due_into(self.now, &mut due);
+            for &ev in &due {
                 self.inject(ev);
             }
+            self.fault_scratch = due;
         }
 
-        // 1. Traffic. Databases are independent within a tick, so a big
-        // fleet is driven on worker threads (std scoped threads; no 'static
-        // bound needed on the nodes). Threshold and fan-out are
-        // configurable via `FleetConfig::{parallel_threshold, drive_threads}`.
-        if self.parallel && self.nodes.len() >= self.cfg.parallel_threshold.max(2) {
-            let tick_ms = self.cfg.tick_ms;
-            let threads = if self.cfg.drive_threads > 0 {
-                self.cfg.drive_threads
-            } else {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(4)
-            };
-            // Never hand a worker fewer than `parallel_threshold` nodes:
-            // threads are spawned per tick, so oversubscribing a small
-            // fleet buys only spawn overhead.
-            let threads = threads
-                .min(
-                    self.nodes
-                        .len()
-                        .div_ceil(self.cfg.parallel_threshold.max(1)),
-                )
-                .max(1);
-            let chunk = self.nodes.len().div_ceil(threads);
-            std::thread::scope(|scope| {
-                for nodes in self.nodes.chunks_mut(chunk) {
-                    scope.spawn(move || {
-                        for node in nodes {
-                            node.drive(tick_ms);
-                        }
-                    });
-                }
-            });
+        // 1. Traffic. Databases are independent within a tick. The sharded
+        // engine partitions them once over persistent worker shards (shard
+        // 0 is this thread); the serial engine is the untouched reference
+        // loop the property tests compare against.
+        if self.parallel {
+            self.drive_sharded();
         } else {
             for node in &mut self.nodes {
                 node.drive(self.cfg.tick_ms);
@@ -469,6 +502,72 @@ impl FleetSim {
                 self.reconcile_all();
             }
         }
+    }
+
+    /// Shard count the sharded engine should run with right now.
+    fn resolve_shards(&mut self) -> usize {
+        let n = self.nodes.len();
+        if n == 0 {
+            return 1;
+        }
+        if self.cfg.shards > 0 {
+            // Explicit: trusted as-is (clamped to the fleet), no
+            // nodes-per-shard cap — the determinism property tests sweep
+            // shard counts far beyond what auto resolution would pick.
+            return self.cfg.shards.min(n);
+        }
+        let budget = if self.cfg.drive_threads > 0 {
+            self.cfg.drive_threads
+        } else {
+            *self.thread_budget.get_or_insert_with(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(4)
+            })
+        };
+        // Never give a worker shard fewer than `parallel_threshold` nodes:
+        // below that the barrier costs more than the shard contributes.
+        budget
+            .min(n.div_ceil(self.cfg.parallel_threshold.max(1)))
+            .max(1)
+    }
+
+    /// Drive one tick on the sharded engine, (re)building the pool when the
+    /// fleet size or resolved shard count changed.
+    fn drive_sharded(&mut self) {
+        let want = self.resolve_shards();
+        let stale = self
+            .pool
+            .as_ref()
+            .is_none_or(|p| p.shards() != want || p.n_nodes() != self.nodes.len());
+        if stale {
+            self.pool = Some(ShardPool::new(want, self.nodes.len(), self.cfg.seed));
+        }
+        let tick = self
+            .pool
+            .as_mut()
+            .expect("built above")
+            .drive_tick(&mut self.nodes, self.cfg.tick_ms);
+        self.drive_stats.accumulate(&tick);
+    }
+
+    /// Recompute node `idx`'s SoA control-due entry: the earliest of its
+    /// in-flight deadline, retry time, and parked-apply time. Called after
+    /// every mutation of those fields so the entry is always a valid lower
+    /// bound for the gated control scan.
+    fn refresh_hot(&mut self, idx: usize) {
+        let node = &self.nodes[idx];
+        let mut due = u64::MAX;
+        if let Some(req) = node.in_flight {
+            due = due.min(req.deadline);
+        }
+        if let Some(at) = node.retry_at {
+            due = due.min(at);
+        }
+        if let Some(d) = &node.deferred_apply {
+            due = due.min(d.next_try_at);
+        }
+        self.hot.set_control_due(idx, due);
     }
 
     /// Inject one scheduled fault.
@@ -550,17 +649,22 @@ impl FleetSim {
                 self.events.emit(self.now, "recover.failover", idx as u64);
                 self.recovery_due
                     .push((self.now + report.recovery_ms, idx, "recover.rejoined"));
+                self.hot.note_recovery(self.now + report.recovery_ms);
                 return;
             }
         }
         let report = node.service.master_mut().crash();
         self.recovery_due
             .push((self.now + report.recovery_ms, idx, "recover.restarted"));
+        self.hot.note_recovery(self.now + report.recovery_ms);
     }
 
     /// Emit the recovery events whose crash-recovery intervals ended.
+    /// Gated on the cached earliest completion time: with nothing due this
+    /// is one scalar compare per tick (and `u64::MAX` — the empty list —
+    /// reproduces the old is-empty early return exactly).
     fn flush_recoveries(&mut self) {
-        if self.recovery_due.is_empty() {
+        if self.now < self.hot.next_recovery_at() {
             return;
         }
         let now = self.now;
@@ -574,53 +678,82 @@ impl FleetSim {
             }
         });
         done.sort_by_key(|&(at, idx, _)| (at, idx));
-        for (_, idx, kind) in done {
-            self.events.emit(self.now, kind, idx as u64);
-        }
+        self.events.emit_batch(
+            self.now,
+            done.iter().map(|&(_, idx, kind)| (kind, idx as u64)),
+        );
+        self.hot.set_next_recovery(
+            self.recovery_due
+                .iter()
+                .map(|&(at, _, _)| at)
+                .min()
+                .unwrap_or(u64::MAX),
+        );
     }
 
     /// Per-node control-plane scan: expire timed-out requests into
     /// exponential-backoff retries, fire due retries, and re-attempt
     /// lag-deferred applies.
+    ///
+    /// The sharded engine gates each node behind its SoA due time — a node
+    /// whose earliest possible action lies in the future is provably a
+    /// no-op, so the scan walks one dense `u64` per node instead of the
+    /// node structs. The serial engine keeps the legacy full scan; both
+    /// visit actionable nodes in the same ascending order, so the emitted
+    /// events (and therefore the log fingerprint) are identical.
     fn control_scan(&mut self) {
-        let retry_base = self.cfg.retry_base_ms.max(1);
-        let max_attempts = self.cfg.retry_max_attempts;
-        for idx in 0..self.nodes.len() {
-            let node = &mut self.nodes[idx];
-            if let Some(req) = node.in_flight {
-                if self.now >= req.deadline {
-                    node.in_flight = None;
-                    node.retry_attempt += 1;
-                    if node.retry_attempt > max_attempts {
-                        node.retry_attempt = 0;
-                        self.events.emit(self.now, "request.abandoned", idx as u64);
-                    } else {
-                        // Backoff doubles per consecutive timeout; jitter
-                        // desynchronises a fleet retrying into the same
-                        // recovering tuner. This path draws node RNG only
-                        // under faults, so fault-free streams are unchanged.
-                        let backoff = retry_base << (node.retry_attempt - 1).min(6);
-                        let jitter = node.rng.gen_range(0..retry_base);
-                        node.retry_at = Some(self.now + backoff + jitter);
-                        self.events.emit(self.now, "request.timeout", idx as u64);
-                    }
+        if self.parallel {
+            for idx in 0..self.nodes.len() {
+                if self.hot.control_due(idx) <= self.now {
+                    self.control_node(idx);
                 }
             }
-            if self.nodes[idx].retry_at.is_some_and(|at| self.now >= at) {
-                self.nodes[idx].retry_at = None;
-                self.events.emit(self.now, "request.retry", idx as u64);
-                self.submit_tuning_request(idx);
-            }
-            let node = &mut self.nodes[idx];
-            if node
-                .deferred_apply
-                .as_ref()
-                .is_some_and(|d| self.now >= d.next_try_at)
-            {
-                let d = node.deferred_apply.take().expect("checked above");
-                self.apply_unit(idx, d.unit, d.attempts);
+        } else {
+            for idx in 0..self.nodes.len() {
+                self.control_node(idx);
             }
         }
+    }
+
+    /// One node's control-plane scan (see [`FleetSim::control_scan`]).
+    fn control_node(&mut self, idx: usize) {
+        let retry_base = self.cfg.retry_base_ms.max(1);
+        let max_attempts = self.cfg.retry_max_attempts;
+        let node = &mut self.nodes[idx];
+        if let Some(req) = node.in_flight {
+            if self.now >= req.deadline {
+                node.in_flight = None;
+                node.retry_attempt += 1;
+                if node.retry_attempt > max_attempts {
+                    node.retry_attempt = 0;
+                    self.events.emit(self.now, "request.abandoned", idx as u64);
+                } else {
+                    // Backoff doubles per consecutive timeout; jitter
+                    // desynchronises a fleet retrying into the same
+                    // recovering tuner. This path draws node RNG only
+                    // under faults, so fault-free streams are unchanged.
+                    let backoff = retry_base << (node.retry_attempt - 1).min(6);
+                    let jitter = node.rng.gen_range(0..retry_base);
+                    node.retry_at = Some(self.now + backoff + jitter);
+                    self.events.emit(self.now, "request.timeout", idx as u64);
+                }
+            }
+        }
+        if self.nodes[idx].retry_at.is_some_and(|at| self.now >= at) {
+            self.nodes[idx].retry_at = None;
+            self.events.emit(self.now, "request.retry", idx as u64);
+            self.submit_tuning_request(idx);
+        }
+        let node = &mut self.nodes[idx];
+        if node
+            .deferred_apply
+            .as_ref()
+            .is_some_and(|d| self.now >= d.next_try_at)
+        {
+            let d = node.deferred_apply.take().expect("checked above");
+            self.apply_unit(idx, d.unit, d.attempts);
+        }
+        self.refresh_hot(idx);
     }
 
     /// Reconcile every service whose master is reachable.
@@ -661,6 +794,7 @@ impl FleetSim {
             lost: false,
         });
         self.pending.push(Reverse((assignment.ready_at, idx, seq)));
+        self.refresh_hot(idx);
     }
 
     /// Run for `duration_ms` of simulated time.
@@ -677,6 +811,8 @@ impl FleetSim {
 
     fn run_tde_round(&mut self, window_ms: u64) {
         let rollback = self.cfg.rollback;
+        let mut windows = std::mem::take(&mut self.window_scratch);
+        windows.clear();
         for idx in 0..self.nodes.len() {
             let node = &mut self.nodes[idx];
             // A monitoring-agent blackout or a master still in crash
@@ -693,6 +829,10 @@ impl FleetSim {
             let snap = node.service.master().metrics_snapshot();
             let objective = node.window_objective_from(&snap, window_ms);
             let delta = snap.delta(&node.window_start_snapshot);
+            windows.push(WindowStat {
+                service: ServiceId(idx as u64),
+                objective,
+            });
 
             // TDE run. The TDE's MDP detector applies accepted planner-knob
             // probes directly to the live master; those local moves are
@@ -833,6 +973,11 @@ impl FleetSim {
                 self.submit_tuning_request(idx);
             }
         }
+        // One batched metric-data report per round ("the config director
+        // receives the metric data … from service instances") instead of a
+        // per-node telemetry call; the buffer is kept and reused.
+        self.director.ingest_windows(self.now, &windows);
+        self.window_scratch = windows;
     }
 
     fn deliver_recommendation(&mut self, idx: usize, seq: u64) {
@@ -856,6 +1001,8 @@ impl FleetSim {
                 return;
             }
         }
+        self.refresh_hot(idx);
+        let node = &mut self.nodes[idx];
         let profile = node.service.master().profile();
         let unit = match &mut self.backend {
             Backend::Bo(bo) => {
@@ -982,6 +1129,7 @@ impl FleetSim {
                     idx,
                     "recover.slave_restarted",
                 ));
+                self.hot.note_recovery(self.now + report.recovery_ms);
             }
             Err(ApplyError::MasterCrashed) => {
                 // Slaves applied, master didn't: drift the reconciler will
@@ -992,6 +1140,7 @@ impl FleetSim {
                 self.handle_master_crash(idx);
             }
         }
+        self.refresh_hot(idx);
     }
 }
 
@@ -1114,15 +1263,18 @@ mod tests {
 
     #[test]
     fn parallel_drive_is_deterministic_and_equivalent() {
-        let build = |parallel: bool| {
+        // `shards: 4` forces real worker threads even on a single-core
+        // machine, where auto resolution would fall back to one shard.
+        let build = |shards: Option<usize>| {
             let mut sim = FleetSim::new(
                 FleetConfig {
                     gate_samples_with_tde: false,
+                    shards: shards.unwrap_or(0),
                     ..FleetConfig::default()
                 },
                 2,
             );
-            sim.set_parallel(parallel);
+            sim.set_parallel(shards.is_some());
             for i in 0..10 {
                 sim.add_node(
                     make_node(TuningPolicy::TdeDriven, 100 + i),
@@ -1130,16 +1282,32 @@ mod tests {
                 );
             }
             sim.run_for(5 * MILLIS_PER_MIN);
-            sim.nodes
-                .iter()
-                .map(|n| n.queries_submitted)
-                .collect::<Vec<_>>()
+            (
+                sim.nodes
+                    .iter()
+                    .map(|n| n.queries_submitted)
+                    .collect::<Vec<_>>(),
+                sim.events.fingerprint(),
+                sim.drive_stats(),
+            )
         };
-        assert_eq!(
-            build(false),
-            build(true),
-            "threading must not change results"
-        );
+        let serial = build(None);
+        assert_eq!(serial.2, crate::shard::DriveStats::default());
+        for shards in [1, 4] {
+            let sharded = build(Some(shards));
+            assert_eq!(serial.0, sharded.0, "sharding must not change results");
+            assert_eq!(serial.1, sharded.1, "event logs must match");
+            assert_eq!(
+                sharded.2.node_ticks,
+                10 * 5 * 60,
+                "sharded drives meter node-ticks"
+            );
+            assert_eq!(
+                sharded.2.submitted,
+                sharded.0.iter().sum::<u64>(),
+                "merged submit totals must equal the per-node counters"
+            );
+        }
     }
 
     #[test]

@@ -347,8 +347,16 @@ impl Tde {
         }
 
         // --- 4. Background-writer detector -------------------------------
-        if let Some(repo) = repo {
-            let signature = db.metrics_snapshot().as_vec().to_vec();
+        // An empty repository cannot map a baseline, so skip outright —
+        // healthy gated fleets run for hours with zero captured samples.
+        // The signature reuses the §3b snapshot: nothing touches `db`
+        // between the two sections, so it is the same vector re-read.
+        if let Some(repo) = repo.filter(|r| r.total_samples() > 0) {
+            let signature = self
+                .window_snapshot
+                .as_ref()
+                .map(|s| s.as_vec().to_vec())
+                .unwrap_or_default();
             if let Some(baseline) = baseline_from_repo(repo, &signature, self.cfg.baseline_window_s)
             {
                 if self.bg_detector.detect(db, baseline).is_some() {

@@ -7,7 +7,7 @@
 //! values; plan evaluation substitutes those back in ("substituting the
 //! actual (most frequent) parameters to the template").
 
-use autodbaas_simdb::QueryProfile;
+use autodbaas_simdb::{QueryKind, QueryProfile};
 use std::collections::HashMap;
 
 /// Identifier of a template within a [`TemplateStore`].
@@ -51,10 +51,22 @@ pub struct TemplateEntry {
     literal_counts: HashMap<[i64; 2], u64>,
 }
 
+/// Memo key that fully determines a query's normalised template text.
+///
+/// [`QueryProfile::render_sql`] has a fixed shape — `"{verb} t{table}
+/// WHERE k = {lit0} AND v < {lit1}"` — and [`normalize_sql`] collapses
+/// every digit run to `?`, so only the verb (no digits in any verb) and the
+/// literals' *signs* (the `-` of a negative literal survives stripping)
+/// reach the normalised text. Hashing this 3-tuple replaces two string
+/// allocations and a string-keyed lookup per ingested query.
+type TemplateKey = (QueryKind, bool, bool);
+
 /// The template dictionary built from the streaming log.
 #[derive(Debug, Default)]
 pub struct TemplateStore {
     by_text: HashMap<String, TemplateId>,
+    /// Fast path: render/normalise-free lookup for profile-shaped queries.
+    by_key: HashMap<TemplateKey, TemplateId>,
     entries: Vec<TemplateEntry>,
 }
 
@@ -66,19 +78,27 @@ impl TemplateStore {
 
     /// Ingest one query instance; returns its template id.
     pub fn ingest(&mut self, q: &QueryProfile) -> TemplateId {
-        let text = normalize_sql(&q.render_sql());
-        let id = match self.by_text.get(&text) {
+        let key: TemplateKey = (q.kind, q.literals[0] < 0, q.literals[1] < 0);
+        let id = match self.by_key.get(&key) {
             Some(&id) => id,
             None => {
-                let id = TemplateId(self.entries.len() as u32);
-                self.entries.push(TemplateEntry {
-                    id,
-                    text: text.clone(),
-                    frequency: 0,
-                    representative: q.clone(),
-                    literal_counts: HashMap::new(),
-                });
-                self.by_text.insert(text, id);
+                let text = normalize_sql(&q.render_sql());
+                let id = match self.by_text.get(&text) {
+                    Some(&id) => id,
+                    None => {
+                        let id = TemplateId(self.entries.len() as u32);
+                        self.entries.push(TemplateEntry {
+                            id,
+                            text: text.clone(),
+                            frequency: 0,
+                            representative: q.clone(),
+                            literal_counts: HashMap::new(),
+                        });
+                        self.by_text.insert(text, id);
+                        id
+                    }
+                };
+                self.by_key.insert(key, id);
                 id
             }
         };
@@ -122,6 +142,7 @@ impl TemplateStore {
     /// Drop all state (workload switch).
     pub fn clear(&mut self) {
         self.by_text.clear();
+        self.by_key.clear();
         self.entries.clear();
     }
 }
@@ -186,5 +207,32 @@ mod tests {
         store.ingest(&q(QueryKind::Insert, 0, [0, 0]));
         store.clear();
         assert!(store.is_empty());
+        // The key memo must reset too, or re-ingestion would return a
+        // dangling id into the cleared entry list.
+        let id = store.ingest(&q(QueryKind::Insert, 0, [0, 0]));
+        assert_eq!(id, TemplateId(0));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn memo_key_matches_text_normalisation_exactly() {
+        // Only the kind and the literal signs survive normalisation:
+        // magnitudes and table ids collapse to `?`, a negative literal
+        // keeps its `-`. The fast-path key must draw the same boundaries.
+        let mut store = TemplateStore::new();
+        let a = store.ingest(&q(QueryKind::PointSelect, 1, [5, 7]));
+        let same = store.ingest(&q(QueryKind::PointSelect, 42, [12345, 0]));
+        assert_eq!(a, same);
+        let neg = store.ingest(&q(QueryKind::PointSelect, 1, [-5, 7]));
+        assert_ne!(a, neg);
+        assert_eq!(
+            store.entry(a).text,
+            normalize_sql("SELECT t1 WHERE k = 5 AND v < 7")
+        );
+        assert_eq!(
+            store.entry(neg).text,
+            normalize_sql("SELECT t1 WHERE k = -5 AND v < 7")
+        );
+        assert_eq!(store.entry(a).frequency, 2);
     }
 }

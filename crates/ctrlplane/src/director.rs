@@ -46,12 +46,25 @@ pub struct Assignment {
     pub ready_at: SimTime,
 }
 
+/// One closed observation window, as reported to the director ("the config
+/// director receives the metric data … from service instances").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStat {
+    /// Reporting service.
+    pub service: ServiceId,
+    /// Objective (queries/second) over the window.
+    pub objective: f64,
+}
+
 /// The config director.
 #[derive(Debug)]
 pub struct ConfigDirector {
     tuners: Vec<TunerSlot>,
     request_log: Vec<SimTime>,
     config_repo: HashMap<ServiceId, Vec<(SimTime, Vec<f64>)>>,
+    windows_ingested: u64,
+    last_window_at: SimTime,
+    last_window_mean_objective: f64,
 }
 
 impl ConfigDirector {
@@ -73,7 +86,38 @@ impl ConfigDirector {
             tuners,
             request_log: Vec::new(),
             config_repo: HashMap::new(),
+            windows_ingested: 0,
+            last_window_at: 0,
+            last_window_mean_objective: 0.0,
         }
+    }
+
+    /// Ingest one batch of closed observation windows. The fleet simulator
+    /// calls this once per TDE round with every node's window in node
+    /// order, instead of a per-service telemetry call per window — the
+    /// batched path the sharded tick engine feeds from a reusable scratch
+    /// buffer. Pure observability: ingestion never influences assignments
+    /// or recommendations.
+    pub fn ingest_windows(&mut self, now: SimTime, windows: &[WindowStat]) {
+        if windows.is_empty() {
+            return;
+        }
+        self.windows_ingested += windows.len() as u64;
+        self.last_window_at = now;
+        self.last_window_mean_objective =
+            windows.iter().map(|w| w.objective).sum::<f64>() / windows.len() as f64;
+    }
+
+    /// Observation windows received so far across all batches.
+    pub fn windows_ingested(&self) -> u64 {
+        self.windows_ingested
+    }
+
+    /// Fleet-mean objective over the most recent ingested batch, with its
+    /// report time; `None` before the first batch.
+    pub fn last_window_mean(&self) -> Option<(SimTime, f64)> {
+        (self.windows_ingested > 0)
+            .then_some((self.last_window_at, self.last_window_mean_objective))
     }
 
     /// Tuner fleet view.
@@ -236,5 +280,36 @@ mod tests {
     #[should_panic]
     fn empty_fleet_is_rejected() {
         let _ = ConfigDirector::new(&[]);
+    }
+
+    #[test]
+    fn window_ingestion_counts_batches_and_tracks_the_mean() {
+        let mut d = ConfigDirector::new(&[TunerKind::Bo]);
+        assert_eq!(d.windows_ingested(), 0);
+        assert_eq!(d.last_window_mean(), None);
+        d.ingest_windows(60_000, &[]);
+        assert_eq!(d.windows_ingested(), 0, "empty batches are no-ops");
+        d.ingest_windows(
+            60_000,
+            &[
+                WindowStat {
+                    service: svc(0),
+                    objective: 100.0,
+                },
+                WindowStat {
+                    service: svc(1),
+                    objective: 300.0,
+                },
+            ],
+        );
+        d.ingest_windows(
+            120_000,
+            &[WindowStat {
+                service: svc(0),
+                objective: 50.0,
+            }],
+        );
+        assert_eq!(d.windows_ingested(), 3);
+        assert_eq!(d.last_window_mean(), Some((120_000, 50.0)));
     }
 }

@@ -27,7 +27,7 @@ pub mod reconciler;
 
 pub use apply::{ApplyError, FailoverReport, ReplicaSet};
 pub use dfa::{DataFederationAgent, DbAdapter, DfaError, MySqlAdapter, PostgresAdapter};
-pub use director::{Assignment, ConfigDirector, TunerKind, TunerSlot};
+pub use director::{Assignment, ConfigDirector, TunerKind, TunerSlot, WindowStat};
 pub use maintenance::{plan_buffer_update, MaintenanceSchedule};
 pub use metering::{RecommendationMeter, TenantUsage, DEFAULT_TUNER_RATE_PER_HOUR};
 pub use orchestrator::{Credentials, ServiceId, ServiceOrchestrator, ServiceSpec};

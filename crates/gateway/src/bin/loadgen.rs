@@ -145,6 +145,7 @@ fn run() -> Result<ExitCode, ExitCode> {
     let mut threads = Vec::new();
     for i in 0..conns {
         let sent_total = Arc::clone(&sent_total);
+        // detlint-allow: D005 one client thread per configured connection, spawned once per run
         threads.push(std::thread::spawn(move || {
             paced_client(
                 addr,

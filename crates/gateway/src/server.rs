@@ -115,6 +115,7 @@ pub fn serve(
         let stop = Arc::clone(&shutdown);
         let clock = Arc::clone(&clock);
         let read_timeout = Duration::from_millis(cfg.read_timeout_ms.max(1));
+        // detlint-allow: D005 fixed-size worker pool built once at startup, never per request
         threads.push(std::thread::spawn(move || {
             worker_loop(&rx, &state, &stop, clock.as_ref(), read_timeout);
         }));

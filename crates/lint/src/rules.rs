@@ -376,6 +376,72 @@ and never cross-reduce them in the parallel section.",
             },
         },
         Rule {
+            id: "D005",
+            title: "thread spawn inside a loop",
+            explain: "\
+D005 — thread spawn inside a loop
+
+Spawning a thread per loop iteration is how the fleet drive originally
+worked: a `std::thread::scope` fan-out per tick paid a spawn, a stack
+and a join for every shard on every one of millions of ticks, and the
+sharded tick engine (`cloudsim::shard::ShardPool`) exists precisely to
+delete that cost. A `spawn` inside a `for`/`while`/`loop` body is
+either that regression coming back, or an unbounded thread-per-item
+pattern that a large fleet or a hostile client can turn into resource
+exhaustion. Flagged in non-test code: any `spawn(…)` call and any
+`thread::scope(…)` call lexically inside a loop body.
+
+Allowed: the `bench` crate.
+Fix: hoist a fixed-size worker pool out of the loop and feed it through
+channels or a generation barrier (see `ShardPool`); for loops that
+genuinely build a bounded pool once — not per tick or per request —
+add `// detlint-allow: D005 <why this loop runs once per build>`.",
+            check: |ctx, out| {
+                if ctx.crate_name == "bench" {
+                    return;
+                }
+                let regions = loop_body_regions(ctx);
+                if regions.is_empty() {
+                    return;
+                }
+                for (i, t) in ctx.code.iter().enumerate() {
+                    if t.kind != TokKind::Ident || ctx.in_test(t.start) {
+                        continue;
+                    }
+                    let text = t.text(ctx.src);
+                    let called = ctx.code.get(i + 1).map(|t| t.text(ctx.src)) == Some("(");
+                    // Any `spawn(…)` — free fn, `thread::spawn`, builder or
+                    // scope method — plus `thread::scope(…)` itself, which
+                    // builds and joins a whole scope per call.
+                    let spawn_call = text == "spawn" && called;
+                    let scope_call = text == "scope"
+                        && called
+                        && i >= 2
+                        && ctx.code[i - 1].text(ctx.src) == "::"
+                        && ctx.code[i - 2].text(ctx.src) == "thread";
+                    if !(spawn_call || scope_call)
+                        || !regions.iter().any(|&(s, e)| t.start >= s && t.start < e)
+                    {
+                        continue;
+                    }
+                    let what = if spawn_call {
+                        "`spawn` inside a loop starts a thread per iteration"
+                    } else {
+                        "`thread::scope` inside a loop spawns and joins a \
+                         whole scope per iteration"
+                    };
+                    out.push(ctx.finding(
+                        "D005",
+                        t,
+                        format!(
+                            "{what}; hoist a persistent worker pool out of \
+                             the loop (see `cloudsim::shard::ShardPool`)"
+                        ),
+                    ));
+                }
+            },
+        },
+        Rule {
             id: "R001",
             title: "panicking call in control-plane/gateway runtime path",
             explain: "\
@@ -548,6 +614,67 @@ fn hash_container_names<'a>(ctx: &FileCtx<'a>) -> Vec<&'a str> {
     names.sort_unstable();
     names.dedup();
     names
+}
+
+/// Byte ranges of `for`/`while`/`loop` bodies, brace-matched over code
+/// tokens (nested loops yield nested, overlapping ranges — harmless for
+/// containment checks). The `for` of `impl Trait for Type` and of HRTB
+/// `for<'a>` bounds is not a loop and is excluded by its neighbors: a
+/// loop's `for` is never preceded by an identifier or `>`, and never
+/// followed by `<`.
+fn loop_body_regions(ctx: &FileCtx<'_>) -> Vec<(usize, usize)> {
+    let code = ctx.code;
+    let mut regions = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let kw = t.text(ctx.src);
+        if !matches!(kw, "for" | "while" | "loop") {
+            continue;
+        }
+        if kw == "for" {
+            let impl_for =
+                i > 0 && (code[i - 1].kind == TokKind::Ident || code[i - 1].text(ctx.src) == ">");
+            let hrtb = code.get(i + 1).map(|t| t.text(ctx.src)) == Some("<");
+            if impl_for || hrtb {
+                continue;
+            }
+        }
+        // The body `{` is the first brace at paren/bracket depth 0 after
+        // the header (closure braces in the header sit inside call parens);
+        // a `;` first means this wasn't a loop statement after all.
+        let mut open = None;
+        let mut depth = 0i32;
+        for (j, t) in code.iter().enumerate().skip(i + 1) {
+            match t.text(ctx.src) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let mut braces = 0i32;
+        for (j, t) in code.iter().enumerate().skip(open) {
+            match t.text(ctx.src) {
+                "{" => braces += 1,
+                "}" => {
+                    braces -= 1;
+                    if braces == 0 {
+                        regions.push((code[open].start, code[j].end));
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    regions
 }
 
 /// Lexical `#[cfg(test)]` / `#[test]` region detection over code tokens:
@@ -761,6 +888,56 @@ mod tests {
         assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", spawning_int).is_empty());
         let no_spawn = "fn f() { let t: f64 = xs.iter().sum::<f64>(); }";
         assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", no_spawn).is_empty());
+    }
+
+    // ------------------------- D005 ---------------------------------
+
+    #[test]
+    fn d005_catches_spawns_and_scopes_inside_loops() {
+        let src = "
+            fn f() {
+                for i in 0..n {
+                    std::thread::spawn(move || work(i));
+                }
+                while keep_going() {
+                    pool.spawn(task);
+                }
+                loop {
+                    std::thread::scope(|s| { s.spawn(|| {}); });
+                }
+            }";
+        let f = run_on("crates/gateway/src/x.rs", "gateway", src);
+        // The `loop` body yields two findings: the per-iteration scope
+        // and the spawn inside it.
+        assert_eq!(ids(&f), vec!["D005", "D005", "D005", "D005"]);
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].message.contains("per iteration"));
+    }
+
+    #[test]
+    fn d005_ignores_spawns_outside_loops_and_in_tests() {
+        let once = "fn serve() { std::thread::spawn(worker); std::thread::scope(run); }";
+        assert!(run_on("crates/gateway/src/x.rs", "gateway", once).is_empty());
+        let in_test = "
+            #[cfg(test)]
+            mod t {
+                fn f() { for _ in 0..4 { std::thread::spawn(|| {}); } }
+            }";
+        assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", in_test).is_empty());
+        let bench = "fn f() { for _ in 0..4 { std::thread::spawn(|| {}); } }";
+        assert!(run_on("crates/bench/src/x.rs", "bench", bench).is_empty());
+    }
+
+    #[test]
+    fn d005_impl_for_is_not_a_loop() {
+        // `impl … for …` braces must not register as a loop body, and
+        // neither must HRTB `for<'a>` bounds.
+        let src = "
+            impl Worker for Pool {
+                fn go(&self) { self.spawn(job); }
+            }
+            fn hrtb<F: for<'a> Fn(&'a str)>(f: F) { pool.spawn(f); }";
+        assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", src).is_empty());
     }
 
     // ------------------------- R001 ---------------------------------

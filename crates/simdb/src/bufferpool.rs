@@ -90,6 +90,11 @@ pub struct BufferPool {
     /// Dirty-frame count maintained incrementally — the background writer
     /// polls it every tick, so it must not cost a frame scan.
     dirty_frames: usize,
+    /// Lower bound on the smallest dirty frame index (`frames.len()` when
+    /// none): [`BufferPool::clean_dirty`] cleans in ascending frame order,
+    /// so starting the scan here skips the long clean prefix a mostly-idle
+    /// pool accumulates. Every frame below this index is clean.
+    dirty_low: usize,
     epoch_touched: HashSet<ChunkId, ChunkBuild>,
 }
 
@@ -107,6 +112,7 @@ impl BufferPool {
             hand: 0,
             stats: PoolStats::default(),
             dirty_frames: 0,
+            dirty_low: n,
             epoch_touched: HashSet::default(),
         }
     }
@@ -133,6 +139,7 @@ impl BufferPool {
             if write && !f.dirty {
                 f.dirty = true;
                 self.dirty_frames += 1;
+                self.dirty_low = self.dirty_low.min(idx as usize);
             }
             self.stats.hits += 1;
             return true;
@@ -160,6 +167,7 @@ impl BufferPool {
         self.map.insert(chunk, victim as u32);
         if write {
             self.dirty_frames += 1;
+            self.dirty_low = self.dirty_low.min(victim);
         }
         debug_assert!(
             self.map.len() <= self.frames.len(),
@@ -203,18 +211,31 @@ impl BufferPool {
     /// Clean up to `max` dirty frames (oldest-position first), returning how
     /// many were cleaned. The background writer and checkpointer call this;
     /// the *disk traffic* for the writes is accounted by the caller.
+    ///
+    /// The scan starts at the first possibly-dirty frame and exits O(1)
+    /// when nothing is dirty — the background writer polls every tick, and
+    /// a mostly-clean pool must not pay a full frame sweep for it. The
+    /// cleaning order (ascending frame index) is unchanged.
     pub fn clean_dirty(&mut self, max: usize) -> usize {
+        if self.dirty_frames == 0 || max == 0 {
+            return 0;
+        }
         let mut cleaned = 0;
-        for f in &mut self.frames {
-            if cleaned == max {
-                break;
-            }
+        let mut idx = self.dirty_low;
+        while idx < self.frames.len() && cleaned < max {
+            let f = &mut self.frames[idx];
             if f.valid && f.dirty {
                 f.dirty = false;
                 cleaned += 1;
             }
+            idx += 1;
         }
         self.dirty_frames -= cleaned;
+        self.dirty_low = if self.dirty_frames == 0 {
+            self.frames.len()
+        } else {
+            idx
+        };
         // This path already paid for a frame scan, so it is the cheap place
         // to re-check the incrementally-maintained counter against truth.
         debug_assert_eq!(

@@ -55,6 +55,21 @@ impl EventLog {
         self.events.push(Event { at, kind, target });
     }
 
+    /// Append a batch of same-timestamp events in iteration order. Exactly
+    /// equivalent to calling [`EventLog::emit`] per item — same log, same
+    /// [`EventLog::fingerprint`] — but reserves once, so producers that
+    /// buffer events locally (e.g. the fleet's sharded tick engine) can
+    /// flush a merged batch without per-event growth checks.
+    pub fn emit_batch<I>(&mut self, at: SimTime, items: I)
+    where
+        I: IntoIterator<Item = (&'static str, u64)>,
+    {
+        let items = items.into_iter();
+        self.events.reserve(items.size_hint().0);
+        self.events
+            .extend(items.map(|(kind, target)| Event { at, kind, target }));
+    }
+
     /// All events, in emission order.
     pub fn events(&self) -> &[Event] {
         &self.events
@@ -165,6 +180,28 @@ mod tests {
             log.mean_gap_ms("fault.vm_crash", "recover.restarted"),
             Some(50.0)
         );
+    }
+
+    #[test]
+    fn emit_batch_matches_sequential_emits_exactly() {
+        let mut seq = EventLog::new();
+        seq.emit(7, "recover.restarted", 0);
+        seq.emit(7, "recover.rejoined", 3);
+        seq.emit(7, "recover.slave_restarted", 1);
+        let mut batch = EventLog::new();
+        batch.emit_batch(
+            7,
+            [
+                ("recover.restarted", 0u64),
+                ("recover.rejoined", 3),
+                ("recover.slave_restarted", 1),
+            ],
+        );
+        assert_eq!(seq.events(), batch.events());
+        assert_eq!(seq.fingerprint(), batch.fingerprint());
+        // An empty batch is a no-op.
+        batch.emit_batch(8, []);
+        assert_eq!(seq.fingerprint(), batch.fingerprint());
     }
 
     #[test]

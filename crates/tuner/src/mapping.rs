@@ -7,7 +7,6 @@
 //! dimension is scaled by its maximum across the repository so large-unit
 //! counters don't dominate.
 
-use crate::linalg::euclidean;
 use crate::repo::{WorkloadId, WorkloadRepository};
 
 /// Result of mapping a target onto the repository.
@@ -29,11 +28,14 @@ pub fn map_workload(
     exclude: Option<WorkloadId>,
 ) -> Option<MappingResult> {
     // Per-dimension normalisation factors across the repository + target.
+    // Only sample-bearing workloads have signatures, so both sweeps walk
+    // `repo.sampled()` — fleets register thousands of workloads that never
+    // capture a sample, and those must not cost anything here.
     let dim = target_signature.len();
     let mut scale = vec![0.0f64; dim];
-    for w in repo.iter() {
-        if let Some(sig) = w.metric_signature() {
-            for (s, v) in scale.iter_mut().zip(&sig) {
+    for w in repo.sampled() {
+        if let Some(sig) = w.signature() {
+            for (s, v) in scale.iter_mut().zip(sig) {
                 *s = s.max(v.abs());
             }
         }
@@ -42,21 +44,37 @@ pub fn map_workload(
         *s = s.max(v.abs()).max(1e-12);
     }
 
-    let norm = |sig: &[f64]| -> Vec<f64> { sig.iter().zip(&scale).map(|(v, s)| v / s).collect() };
-    let target_n = norm(target_signature);
+    let target_n: Vec<f64> = target_signature
+        .iter()
+        .zip(&scale)
+        .map(|(v, s)| v / s)
+        .collect();
 
     let mut best: Option<MappingResult> = None;
-    for w in repo.iter() {
+    for w in repo.sampled() {
         if Some(w.id) == exclude {
             continue;
         }
-        let Some(sig) = w.metric_signature() else {
+        let Some(sig) = w.signature() else {
             continue;
         };
         if sig.len() != dim {
             continue;
         }
-        let d = euclidean(&target_n, &norm(&sig));
+        // Normalised Euclidean distance, fused per dimension: same
+        // operations ((v/s), subtract, square, sum, sqrt) in the same order
+        // as normalising into a scratch vector first, without the per-
+        // workload allocation.
+        let d2: f64 = target_n
+            .iter()
+            .zip(sig)
+            .zip(&scale)
+            .map(|((t, v), s)| {
+                let diff = t - v / s;
+                diff * diff
+            })
+            .sum();
+        let d = d2.sqrt();
         let score = 1.0 / (1.0 + d);
         if best.is_none_or(|b| score > b.score) {
             best = Some(MappingResult {

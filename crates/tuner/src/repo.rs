@@ -67,26 +67,42 @@ pub struct StoredWorkload {
     pub offline: bool,
     /// The samples.
     pub samples: Vec<Sample>,
+    /// Running per-dimension sums over the sample metrics (dimension fixed
+    /// by the first sample), maintained on every append.
+    sig_sum: Vec<f64>,
+    /// Cached signature: `sig_sum / samples.len()`, refreshed on append so
+    /// the mapper reads it in O(dim) instead of re-averaging every sample.
+    sig_mean: Vec<f64>,
 }
 
 impl StoredWorkload {
     /// Mean metric vector over all samples — the workload's signature used
     /// by the mapper. `None` when the workload has no samples yet.
     pub fn metric_signature(&self) -> Option<Vec<f64>> {
+        self.signature().map(<[f64]>::to_vec)
+    }
+
+    /// Borrowed form of [`StoredWorkload::metric_signature`] — the cached
+    /// mean, no allocation. `None` when the workload has no samples yet.
+    pub fn signature(&self) -> Option<&[f64]> {
+        (!self.samples.is_empty()).then_some(self.sig_mean.as_slice())
+    }
+
+    /// Append a sample, keeping the signature cache current. The running
+    /// sums accumulate in append order, so the cached mean is bit-identical
+    /// to re-averaging the sample list from scratch.
+    fn push_sample(&mut self, sample: Sample) {
         if self.samples.is_empty() {
-            return None;
-        }
-        let dim = self.samples[0].metrics.len();
-        let mut mean = vec![0.0; dim];
-        for s in &self.samples {
-            for (m, v) in mean.iter_mut().zip(&s.metrics) {
-                *m += v;
+            self.sig_sum = sample.metrics.clone();
+        } else {
+            for (s, v) in self.sig_sum.iter_mut().zip(&sample.metrics) {
+                *s += v;
             }
         }
-        for m in &mut mean {
-            *m /= self.samples.len() as f64;
-        }
-        Some(mean)
+        self.samples.push(sample);
+        let n = self.samples.len() as f64;
+        self.sig_mean.clear();
+        self.sig_mean.extend(self.sig_sum.iter().map(|s| s / n));
     }
 
     /// Best objective observed so far.
@@ -111,6 +127,12 @@ impl StoredWorkload {
 #[derive(Debug, Default)]
 pub struct WorkloadRepository {
     workloads: Vec<StoredWorkload>,
+    /// Ids of workloads holding at least one sample, in id order. A fleet
+    /// registers one workload per tenant but most never capture a sample
+    /// (TDE gating), so the mapper iterates this instead of everything.
+    sampled: Vec<WorkloadId>,
+    /// Running total across all workloads.
+    total_samples: usize,
 }
 
 impl WorkloadRepository {
@@ -127,13 +149,27 @@ impl WorkloadRepository {
             name: name.into(),
             offline,
             samples: Vec::new(),
+            sig_sum: Vec::new(),
+            sig_mean: Vec::new(),
         });
         id
     }
 
     /// Append a sample to a workload.
     pub fn add_sample(&mut self, id: WorkloadId, sample: Sample) {
-        self.workloads[id.0 as usize].samples.push(sample);
+        if self.workloads[id.0 as usize].samples.is_empty() {
+            let pos = self.sampled.partition_point(|&s| s.0 < id.0);
+            self.sampled.insert(pos, id);
+        }
+        self.workloads[id.0 as usize].push_sample(sample);
+        self.total_samples += 1;
+    }
+
+    /// Append a batch of samples to a workload.
+    pub fn add_samples(&mut self, id: WorkloadId, samples: impl IntoIterator<Item = Sample>) {
+        for s in samples {
+            self.add_sample(id, s);
+        }
     }
 
     /// Read a workload.
@@ -144,6 +180,12 @@ impl WorkloadRepository {
     /// Iterate over workloads.
     pub fn iter(&self) -> impl Iterator<Item = &StoredWorkload> {
         self.workloads.iter()
+    }
+
+    /// Iterate over workloads holding at least one sample, in id order —
+    /// the mapper's working set.
+    pub fn sampled(&self) -> impl Iterator<Item = &StoredWorkload> {
+        self.sampled.iter().map(|id| &self.workloads[id.0 as usize])
     }
 
     /// Number of registered workloads.
@@ -157,9 +199,9 @@ impl WorkloadRepository {
     }
 
     /// Total samples across all workloads — drives the GPR training-cost
-    /// model of the BO tuner.
+    /// model of the BO tuner. O(1): maintained on every append.
     pub fn total_samples(&self) -> usize {
-        self.workloads.iter().map(|w| w.samples.len()).sum()
+        self.total_samples
     }
 }
 
@@ -258,6 +300,67 @@ mod tests {
         repo.add_sample(b, sample(vec![0.0], 1.0, SampleQuality::Low));
         repo.add_sample(b, sample(vec![0.0], 1.0, SampleQuality::Low));
         assert_eq!(repo.total_samples(), 3);
+    }
+
+    #[test]
+    fn cached_signature_matches_full_recompute() {
+        let mut repo = WorkloadRepository::new();
+        let id = repo.register("w", false);
+        assert!(repo.workload(id).signature().is_none());
+        for i in 0..17u32 {
+            let m: Vec<f64> = (0..3).map(|d| (i * 7 + d) as f64 * 0.31).collect();
+            repo.add_sample(
+                id,
+                Sample {
+                    config: vec![],
+                    metrics: m,
+                    objective: 1.0,
+                    quality: SampleQuality::High,
+                },
+            );
+            // Reference: re-average the sample list from scratch.
+            let w = repo.workload(id);
+            let dim = w.samples[0].metrics.len();
+            let mut mean = vec![0.0; dim];
+            for s in &w.samples {
+                for (m, v) in mean.iter_mut().zip(&s.metrics) {
+                    *m += v;
+                }
+            }
+            for m in &mut mean {
+                *m /= w.samples.len() as f64;
+            }
+            assert_eq!(w.signature(), Some(mean.as_slice()), "after sample {i}");
+            assert_eq!(w.metric_signature(), Some(mean));
+        }
+    }
+
+    #[test]
+    fn sampled_iterates_sample_bearing_workloads_in_id_order() {
+        let mut repo = WorkloadRepository::new();
+        let a = repo.register("a", false);
+        let _gap = repo.register("never-sampled", false);
+        let c = repo.register("c", false);
+        assert_eq!(repo.sampled().count(), 0);
+        // First samples arrive out of id order; iteration stays in id order.
+        repo.add_sample(c, sample(vec![0.0], 1.0, SampleQuality::High));
+        repo.add_sample(a, sample(vec![0.0], 1.0, SampleQuality::High));
+        repo.add_sample(c, sample(vec![0.0], 2.0, SampleQuality::High));
+        let ids: Vec<_> = repo.sampled().map(|w| w.id).collect();
+        assert_eq!(ids, vec![a, c]);
+        assert_eq!(repo.total_samples(), 3);
+    }
+
+    #[test]
+    fn add_samples_batches_like_repeated_add_sample() {
+        let mut repo = WorkloadRepository::new();
+        let id = repo.register("w", false);
+        repo.add_samples(
+            id,
+            (0..4).map(|i| sample(vec![i as f64], i as f64, SampleQuality::High)),
+        );
+        assert_eq!(repo.total_samples(), 4);
+        assert_eq!(repo.workload(id).best_objective(), Some(3.0));
     }
 
     #[test]

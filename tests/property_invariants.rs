@@ -302,6 +302,96 @@ proptest! {
     }
 }
 
+// ---------------- sharded tick engine ---------------------------------
+
+/// One managed database for the fleet-equivalence property below.
+fn fleet_node(seed: u64) -> ManagedDatabase {
+    let wl = tpcc(0.5);
+    let catalog = wl.catalog().clone();
+    ManagedDatabase::new(
+        DbFlavor::Postgres,
+        InstanceType::M4Large,
+        DiskKind::Ssd,
+        catalog,
+        Box::new(wl),
+        ArrivalProcess::Constant(300.0),
+        TuningPolicy::TdeDriven,
+        autodbaas::tuner::WorkloadId(0),
+        TdeConfig::default(),
+        seed,
+    )
+}
+
+proptest! {
+    // The sharded tick engine must be invisible: for ANY fleet size, ANY
+    // shard count (clamping included) and ANY seeded chaos plan, the
+    // sharded drive produces the same event-log fingerprint and the same
+    // per-node counters as the serial reference engine, bit for bit.
+    #[test]
+    fn serial_and_sharded_fleets_are_bit_identical(
+        n_nodes in 1usize..7,
+        shards in 1usize..=16,
+        seed in 0u64..500,
+        faults in prop::collection::vec(0u64..100_000, 0..6),
+    ) {
+        use autodbaas::cloudsim::{FaultEvent, FaultKind, FaultPlan};
+        use autodbaas::simdb::MetricId;
+        const MIN: u64 = 60_000;
+        // Decode each raw draw into (injection slot, node, fault kind) —
+        // the vendored proptest has no tuple strategies.
+        let plan: Vec<FaultEvent> = faults
+            .iter()
+            .map(|&raw| FaultEvent {
+                at: 10_000 + (raw % 5) * 20_000,
+                node: (raw / 5) as usize % n_nodes,
+                kind: match (raw / 320) % 8 {
+                    0 => FaultKind::VmCrash,
+                    1 => FaultKind::MasterCrashMidApply,
+                    2 => FaultKind::SlaveCrashMidApply,
+                    3 => FaultKind::TunerOutage { duration_ms: 30_000 },
+                    4 => FaultKind::TelemetryDrop { duration_ms: 30_000 },
+                    5 => FaultKind::DiskStall { duration_ms: 20_000, factor: 4.0 },
+                    6 => FaultKind::ReplicaLagSpike { pause_ms: 10_000 },
+                    _ => FaultKind::RequestLoss,
+                },
+            })
+            .collect();
+        let run = |sharded: bool| {
+            let mut sim = FleetSim::new(
+                FleetConfig {
+                    gate_samples_with_tde: false,
+                    shards: if sharded { shards } else { 0 },
+                    ..FleetConfig::default()
+                },
+                2,
+            );
+            sim.set_parallel(sharded);
+            for i in 0..n_nodes {
+                sim.add_node(fleet_node(seed * 1000 + i as u64), &format!("db-{i}"));
+            }
+            sim.enable_chaos(FaultPlan::new(plan.clone()));
+            sim.run_for(2 * MIN);
+            let metrics: Vec<(u64, f64)> = sim
+                .nodes
+                .iter()
+                .map(|n| {
+                    (
+                        n.queries_submitted,
+                        n.db().metrics().get(MetricId::QueriesExecuted),
+                    )
+                })
+                .collect();
+            (sim.events.fingerprint(), metrics, sim.drive_stats())
+        };
+        let serial = run(false);
+        let sharded_run = run(true);
+        prop_assert_eq!(serial.0, sharded_run.0, "event fingerprints diverged");
+        prop_assert_eq!(serial.1, sharded_run.1, "per-node metrics diverged");
+        // The sharded engine also meters the drive it performed.
+        prop_assert_eq!(sharded_run.2.node_ticks, n_nodes as u64 * 2 * MIN / 1_000);
+    }
+}
+
 #[test]
 fn reservoir_sampling_is_unbiased_at_scale() {
     // Non-proptest statistical check: retention frequency ≈ k/n.
