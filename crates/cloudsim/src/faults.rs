@@ -55,6 +55,29 @@ pub enum FaultKind {
     RequestLoss,
 }
 
+impl FaultKind {
+    /// Total order over fault kinds for stable plan sorting: a discriminant
+    /// rank plus the kind's parameters (`f64`s via `to_bits`, which is a
+    /// total order here because no generator produces NaN or negative
+    /// factors). Two equal-`(at, node)` events therefore sort the same way
+    /// on every run, which is what keeps shrinking reproducible.
+    pub(crate) fn sort_key(&self) -> (u8, u64, u64) {
+        match *self {
+            FaultKind::VmCrash => (0, 0, 0),
+            FaultKind::MasterCrashMidApply => (1, 0, 0),
+            FaultKind::SlaveCrashMidApply => (2, 0, 0),
+            FaultKind::TunerOutage { duration_ms } => (3, duration_ms, 0),
+            FaultKind::TelemetryDrop { duration_ms } => (4, duration_ms, 0),
+            FaultKind::DiskStall {
+                duration_ms,
+                factor,
+            } => (5, duration_ms, factor.to_bits()),
+            FaultKind::ReplicaLagSpike { pause_ms } => (6, pause_ms, 0),
+            FaultKind::RequestLoss => (7, 0, 0),
+        }
+    }
+}
+
 /// A scheduled fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEvent {
@@ -92,10 +115,12 @@ const STANDARD_ROTATION: [FaultKind; 8] = [
 ];
 
 impl FaultPlan {
-    /// A plan from explicit events; sorted by `(at, node)` so injection
-    /// order never depends on construction order.
+    /// A plan from explicit events; sorted by `(at, node, kind)` so
+    /// injection order never depends on construction order — even for
+    /// events landing on the same node at the same tick, which matters when
+    /// the shrinker removes events and re-sorts the remainder.
     pub fn new(mut events: Vec<FaultEvent>) -> Self {
-        events.sort_by_key(|e| (e.at, e.node));
+        events.sort_by_key(|e| (e.at, e.node, e.kind.sort_key()));
         Self { events }
     }
 
@@ -169,24 +194,19 @@ impl FaultEngine {
         Self { plan, cursor: 0 }
     }
 
-    /// Events that have come due by `now`, in schedule order. Each event is
-    /// returned exactly once.
-    pub fn take_due(&mut self, now: SimTime) -> &[FaultEvent] {
+    /// Drain the events that have come due by `now`, in schedule order, into
+    /// a caller-owned scratch buffer. Each event is handed out exactly once.
+    /// `out` is cleared first; the per-tick callers reuse one buffer so the
+    /// hot path never allocates after warm-up, and because nothing borrows
+    /// from `self` at return the caller is free to inject against the same
+    /// struct that owns this engine.
+    pub fn take_due_into(&mut self, now: SimTime, out: &mut Vec<FaultEvent>) {
+        out.clear();
         let start = self.cursor;
         while self.cursor < self.plan.events.len() && self.plan.events[self.cursor].at <= now {
             self.cursor += 1;
         }
-        &self.plan.events[start..self.cursor]
-    }
-
-    /// [`FaultEngine::take_due`], draining into a caller-owned scratch
-    /// buffer. `out` is cleared first; the per-tick callers reuse one
-    /// buffer so the hot path never allocates (the borrow of `self` ends at
-    /// return, freeing the caller to inject against the same struct that
-    /// owns this engine).
-    pub fn take_due_into(&mut self, now: SimTime, out: &mut Vec<FaultEvent>) {
-        out.clear();
-        out.extend_from_slice(self.take_due(now));
+        out.extend_from_slice(&self.plan.events[start..self.cursor]);
     }
 
     /// Faults not yet injected.
@@ -254,30 +274,72 @@ mod tests {
         let plan = FaultPlan::standard(2, 100_000);
         let total = plan.len();
         let mut engine = FaultEngine::new(plan);
-        let first = engine.take_due(40_000).to_vec();
-        assert!(!first.is_empty());
-        assert!(first.windows(2).all(|w| w[0].at <= w[1].at));
-        let again = engine.take_due(40_000);
-        assert!(again.is_empty(), "events must not repeat");
-        let rest = engine.take_due(u64::MAX).len();
-        assert_eq!(first.len() + rest, total);
-        assert_eq!(engine.remaining(), 0);
-    }
-
-    #[test]
-    fn take_due_into_drains_like_take_due() {
-        let plan = FaultPlan::standard(2, 100_000);
-        let mut a = FaultEngine::new(plan.clone());
-        let mut b = FaultEngine::new(plan);
-        let mut scratch = vec![FaultEvent {
+        let mut first = vec![FaultEvent {
             at: 0,
             node: 9,
             kind: FaultKind::VmCrash,
         }];
-        a.take_due_into(40_000, &mut scratch);
-        assert_eq!(scratch.as_slice(), b.take_due(40_000));
-        a.take_due_into(40_000, &mut scratch);
-        assert!(scratch.is_empty(), "stale contents must be cleared");
-        assert_eq!(a.remaining(), b.remaining());
+        engine.take_due_into(40_000, &mut first);
+        assert!(!first.is_empty(), "stale contents must be cleared first");
+        assert!(first.iter().all(|e| e.node < 2));
+        assert!(first.windows(2).all(|w| w[0].at <= w[1].at));
+        let mut again = Vec::new();
+        engine.take_due_into(40_000, &mut again);
+        assert!(again.is_empty(), "events must not repeat");
+        let mut rest = Vec::new();
+        engine.take_due_into(u64::MAX, &mut rest);
+        assert_eq!(first.len() + rest.len(), total);
+        assert_eq!(engine.remaining(), 0);
+    }
+
+    #[test]
+    fn equal_timestamp_events_sort_by_node_then_kind() {
+        // Three events at the same tick, same node, inserted in three
+        // different orders — the plan must come out identical every time,
+        // so shrink steps that rebuild plans stay reproducible.
+        let e = |kind| FaultEvent {
+            at: 500,
+            node: 1,
+            kind,
+        };
+        let kinds = [
+            FaultKind::RequestLoss,
+            FaultKind::VmCrash,
+            FaultKind::DiskStall {
+                duration_ms: 30_000,
+                factor: 4.0,
+            },
+        ];
+        let a = FaultPlan::new(vec![e(kinds[0]), e(kinds[1]), e(kinds[2])]);
+        let b = FaultPlan::new(vec![e(kinds[2]), e(kinds[0]), e(kinds[1])]);
+        let c = FaultPlan::new(vec![e(kinds[1]), e(kinds[2]), e(kinds[0])]);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(b.events(), c.events());
+        // Rank order: VmCrash < DiskStall < RequestLoss.
+        assert_eq!(a.events()[0].kind, FaultKind::VmCrash);
+        assert_eq!(a.events()[2].kind, FaultKind::RequestLoss);
+        // Same kind, different parameters: sorted by parameter bits.
+        let stall = |factor| FaultKind::DiskStall {
+            duration_ms: 10_000,
+            factor,
+        };
+        let p = FaultPlan::new(vec![e(stall(8.0)), e(stall(2.0))]);
+        let q = FaultPlan::new(vec![e(stall(2.0)), e(stall(8.0))]);
+        assert_eq!(p.events(), q.events());
+        assert_eq!(p.events()[0].kind, stall(2.0));
+        // Node is a stronger tiebreak than kind.
+        let n = FaultPlan::new(vec![
+            FaultEvent {
+                at: 500,
+                node: 2,
+                kind: FaultKind::VmCrash,
+            },
+            FaultEvent {
+                at: 500,
+                node: 0,
+                kind: FaultKind::RequestLoss,
+            },
+        ]);
+        assert_eq!(n.events()[0].node, 0);
     }
 }

@@ -15,16 +15,20 @@
 //!   for any shard count;
 //! * [`faults`] — the deterministic seeded chaos engine driving the
 //!   robustness experiments (Fig. 16);
+//! * [`plan`] — interaction plans: the scenario simulator's superset of
+//!   fault plans (bursts, knob pushes, maintenance, replica churn);
 //! * [`runner`] — single-database drive helpers for the figure harnesses.
 
 pub mod faults;
 pub mod node;
+pub mod plan;
 pub mod runner;
 pub mod shard;
 pub mod sim;
 
 pub use faults::{FaultEngine, FaultEvent, FaultKind, FaultPlan};
 pub use node::{DeferredApply, DriveTick, InFlightRequest, ManagedDatabase, RollbackGuard};
+pub use plan::{InteractionPlan, PlanAction, PlanEngine, PlanEvent};
 pub use runner::{drive_workload, drive_workload_with_faults, ChaosDriveResult, DriveResult};
 pub use shard::{derived_shard_seed, DriveStats, HotState, ShardPool};
 pub use sim::{FleetConfig, FleetSim, RollbackPolicy};

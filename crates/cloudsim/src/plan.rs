@@ -1,0 +1,272 @@
+//! Interaction plans: the scenario simulator's superset of fault plans.
+//!
+//! A [`FaultPlan`](crate::FaultPlan) schedules *failures*; an
+//! [`InteractionPlan`] schedules everything that can happen to a managed
+//! fleet — workload bursts, operator knob pushes, maintenance windows,
+//! replica churn, *and* every [`FaultKind`] — as one time-sorted script.
+//! The scenario crate generates these from weighted profiles, drives them
+//! through [`FleetSim`](crate::FleetSim) via
+//! [`FleetSim::enable_plan`](crate::FleetSim::enable_plan), and shrinks the
+//! failing ones; everything here is deterministic and RNG-free so a shrunk
+//! plan replays bit-for-bit.
+
+use crate::faults::FaultKind;
+use autodbaas_telemetry::{Fingerprint, SimTime};
+
+/// One thing that can happen to a fleet node at a scheduled time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanAction {
+    /// Inject one chaos-engine fault (the [`FaultKind`] vocabulary).
+    Fault(FaultKind),
+    /// The tenant's traffic jumps to `rate_qps` for `duration_ms`, then
+    /// reverts to whatever arrival process was running before the burst.
+    Burst {
+        /// Burst arrival rate, queries/second.
+        rate_qps: f64,
+        /// Burst length.
+        duration_ms: u64,
+    },
+    /// An operator (or a buggy tuner) pushes every reloadable knob to the
+    /// same unit-cube coordinate `value` through the normal vetted apply
+    /// path — the adversarial input the rollback guard exists for.
+    KnobPush {
+        /// Unit-cube coordinate in `[0, 1]` for every knob dimension.
+        value: f64,
+    },
+    /// A maintenance window: rolling restart of the master (failover when
+    /// the service has replicas, full crash recovery otherwise).
+    Maintenance,
+    /// Grow the service by one caught-up replica.
+    AddReplica,
+    /// Shrink the service by one replica (no-op on a replica-less service).
+    RemoveReplica,
+}
+
+impl PlanAction {
+    /// Total order for stable plan sorting, mirroring
+    /// [`FaultKind::sort_key`]: discriminant rank plus parameter bits
+    /// (`f64` via `to_bits`; no generator produces NaN or negatives).
+    fn sort_key(&self) -> (u8, u64, u64, u64) {
+        match *self {
+            PlanAction::Fault(kind) => {
+                let (r, a, b) = kind.sort_key();
+                (0, r as u64, a, b)
+            }
+            PlanAction::Burst {
+                rate_qps,
+                duration_ms,
+            } => (1, rate_qps.to_bits(), duration_ms, 0),
+            PlanAction::KnobPush { value } => (2, value.to_bits(), 0, 0),
+            PlanAction::Maintenance => (3, 0, 0, 0),
+            PlanAction::AddReplica => (4, 0, 0, 0),
+            PlanAction::RemoveReplica => (5, 0, 0, 0),
+        }
+    }
+
+    /// Static dotted label, used for event logs and fingerprints.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanAction::Fault(kind) => match kind {
+                FaultKind::VmCrash => "fault.vm_crash",
+                FaultKind::MasterCrashMidApply => "fault.master_crash_mid_apply",
+                FaultKind::SlaveCrashMidApply => "fault.slave_crash_mid_apply",
+                FaultKind::TunerOutage { .. } => "fault.tuner_outage",
+                FaultKind::TelemetryDrop { .. } => "fault.telemetry_drop",
+                FaultKind::DiskStall { .. } => "fault.disk_stall",
+                FaultKind::ReplicaLagSpike { .. } => "fault.replica_lag_spike",
+                FaultKind::RequestLoss => "fault.request_loss",
+            },
+            PlanAction::Burst { .. } => "plan.burst",
+            PlanAction::KnobPush { .. } => "plan.knob_push",
+            PlanAction::Maintenance => "plan.maintenance",
+            PlanAction::AddReplica => "plan.replica_add",
+            PlanAction::RemoveReplica => "plan.replica_remove",
+        }
+    }
+}
+
+/// A scheduled interaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEvent {
+    /// When it happens.
+    pub at: SimTime,
+    /// Which fleet node (index into `FleetSim::nodes`).
+    pub node: usize,
+    /// What happens.
+    pub action: PlanAction,
+}
+
+/// A time-sorted interaction schedule.
+///
+/// # Examples
+///
+/// ```
+/// use autodbaas_cloudsim::{FaultKind, InteractionPlan, PlanAction, PlanEvent};
+///
+/// let plan = InteractionPlan::new(vec![
+///     PlanEvent { at: 60_000, node: 0, action: PlanAction::Maintenance },
+///     PlanEvent { at: 30_000, node: 1, action: PlanAction::Fault(FaultKind::VmCrash) },
+/// ]);
+/// assert_eq!(plan.events()[0].at, 30_000);
+/// assert_eq!(plan.fingerprint(), plan.clone().fingerprint());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InteractionPlan {
+    events: Vec<PlanEvent>,
+}
+
+impl InteractionPlan {
+    /// A plan from explicit events; sorted by `(at, node, action)` with the
+    /// same stable tiebreak as [`crate::FaultPlan::new`], so plans rebuilt
+    /// by the shrinker sort identically on every run.
+    pub fn new(mut events: Vec<PlanEvent>) -> Self {
+        events.sort_by_key(|e| (e.at, e.node, e.action.sort_key()));
+        Self { events }
+    }
+
+    /// The schedule, time-sorted.
+    pub fn events(&self) -> &[PlanEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled interactions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last scheduled interaction (0 for an empty plan).
+    pub fn last_at(&self) -> SimTime {
+        self.events.last().map_or(0, |e| e.at)
+    }
+
+    /// FNV-1a fingerprint of the whole schedule — the identity a bug-base
+    /// entry records so a replayed plan can prove it is the same plan.
+    /// Shares [`Fingerprint`] with the telemetry event log.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fingerprint::new();
+        for e in &self.events {
+            h.mix_u64(e.at);
+            h.mix_u64(e.node as u64);
+            h.mix(e.action.label().as_bytes());
+            let (r, a, b, c) = e.action.sort_key();
+            h.mix_u64(r as u64);
+            h.mix_u64(a);
+            h.mix_u64(b);
+            h.mix_u64(c);
+        }
+        h.finish()
+    }
+}
+
+/// Cursor over an [`InteractionPlan`] during a run; same contract as
+/// [`crate::FaultEngine`].
+#[derive(Debug, Clone)]
+pub struct PlanEngine {
+    plan: InteractionPlan,
+    cursor: usize,
+}
+
+impl PlanEngine {
+    /// Engine over `plan`.
+    pub fn new(plan: InteractionPlan) -> Self {
+        Self { plan, cursor: 0 }
+    }
+
+    /// Drain the events due by `now`, in schedule order, into a caller-owned
+    /// scratch buffer (cleared first). Each event is handed out exactly once.
+    pub fn take_due_into(&mut self, now: SimTime, out: &mut Vec<PlanEvent>) {
+        out.clear();
+        let start = self.cursor;
+        while self.cursor < self.plan.events.len() && self.plan.events[self.cursor].at <= now {
+            self.cursor += 1;
+        }
+        out.extend_from_slice(&self.plan.events[start..self.cursor]);
+    }
+
+    /// Interactions not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.plan.events.len() - self.cursor
+    }
+
+    /// The full plan.
+    pub fn plan(&self) -> &InteractionPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: SimTime, node: usize, action: PlanAction) -> PlanEvent {
+        PlanEvent { at, node, action }
+    }
+
+    #[test]
+    fn plans_sort_stably_regardless_of_insertion_order() {
+        let actions = [
+            PlanAction::Maintenance,
+            PlanAction::Fault(FaultKind::VmCrash),
+            PlanAction::Burst {
+                rate_qps: 900.0,
+                duration_ms: 60_000,
+            },
+            PlanAction::KnobPush { value: 1.0 },
+        ];
+        let a = InteractionPlan::new(actions.iter().map(|&x| ev(500, 1, x)).collect());
+        let b = InteractionPlan::new(actions.iter().rev().map(|&x| ev(500, 1, x)).collect());
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Faults rank before non-fault interactions at the same instant.
+        assert_eq!(a.events()[0].action, PlanAction::Fault(FaultKind::VmCrash));
+        // Time dominates node dominates action.
+        let c = InteractionPlan::new(vec![
+            ev(600, 0, PlanAction::Maintenance),
+            ev(500, 2, PlanAction::Maintenance),
+            ev(500, 1, PlanAction::AddReplica),
+        ]);
+        assert_eq!(c.events()[0].node, 1);
+        assert_eq!(c.events()[2].at, 600);
+        assert_eq!(c.last_at(), 600);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_parameters_and_order() {
+        let base = InteractionPlan::new(vec![ev(100, 0, PlanAction::KnobPush { value: 0.5 })]);
+        let other = InteractionPlan::new(vec![ev(100, 0, PlanAction::KnobPush { value: 0.9 })]);
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let moved = InteractionPlan::new(vec![ev(200, 0, PlanAction::KnobPush { value: 0.5 })]);
+        assert_ne!(base.fingerprint(), moved.fingerprint());
+        let renoded = InteractionPlan::new(vec![ev(100, 1, PlanAction::KnobPush { value: 0.5 })]);
+        assert_ne!(base.fingerprint(), renoded.fingerprint());
+        assert_eq!(
+            InteractionPlan::default().fingerprint(),
+            InteractionPlan::new(Vec::new()).fingerprint()
+        );
+    }
+
+    #[test]
+    fn engine_hands_out_each_event_once_in_order() {
+        let plan = InteractionPlan::new(
+            (0..10)
+                .map(|i| ev(i * 1_000, i as usize % 3, PlanAction::Maintenance))
+                .collect(),
+        );
+        let mut engine = PlanEngine::new(plan);
+        let mut due = vec![ev(0, 9, PlanAction::Maintenance)];
+        engine.take_due_into(4_000, &mut due);
+        assert_eq!(due.len(), 5, "events at 0..=4000 inclusive");
+        assert!(due.windows(2).all(|w| w[0].at <= w[1].at));
+        engine.take_due_into(4_000, &mut due);
+        assert!(due.is_empty(), "events must not repeat");
+        assert_eq!(engine.remaining(), 5);
+        engine.take_due_into(u64::MAX, &mut due);
+        assert_eq!(due.len(), 5);
+        assert_eq!(engine.remaining(), 0);
+    }
+}

@@ -104,10 +104,12 @@ pub fn drive_workload_with_faults(
     let mut faults_injected = 0usize;
     let mut down_ticks = 0u64;
     let mut total_ticks = 0u64;
+    // One scratch buffer for the whole run; `take_due_into` clears it per
+    // tick, so the hot path never allocates after the first drain.
+    let mut due = Vec::new();
     while db.now() < end {
-        // The engine and the database are separate locals, so the slice
-        // borrow costs nothing — no per-tick `to_vec` clone.
-        for ev in engine.take_due(db.now().saturating_sub(start)) {
+        engine.take_due_into(db.now().saturating_sub(start), &mut due);
+        for ev in &due {
             match ev.kind {
                 FaultKind::VmCrash => {
                     let _ = db.crash();

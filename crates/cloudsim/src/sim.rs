@@ -8,6 +8,7 @@
 
 use crate::faults::{FaultEngine, FaultEvent, FaultKind, FaultPlan};
 use crate::node::{DeferredApply, InFlightRequest, ManagedDatabase, RollbackGuard};
+use crate::plan::{InteractionPlan, PlanAction, PlanEngine, PlanEvent};
 use crate::shard::{DriveStats, HotState, ShardPool};
 
 use autodbaas_ctrlplane::{
@@ -20,7 +21,7 @@ use autodbaas_tuner::{
     assess_quality, denormalize_config, normalize_config, BoConfig, BoTuner, RlConfig, RlTuner,
     Sample, SampleQuality, Transition, WorkloadRepository,
 };
-use autodbaas_workload::MixWorkload;
+use autodbaas_workload::{ArrivalProcess, MixWorkload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -182,6 +183,11 @@ pub struct FleetSim {
     reconcilers: Vec<Reconciler>,
     /// Scheduled fault injection, when armed via [`FleetSim::enable_chaos`].
     chaos: Option<FaultEngine>,
+    /// Scheduled interaction plan, when armed via [`FleetSim::enable_plan`].
+    plan: Option<PlanEngine>,
+    /// Arrival processes to restore when running bursts end:
+    /// `(revert_at, node, saved_arrival)`.
+    burst_revert: Vec<(SimTime, usize, ArrivalProcess)>,
     /// Recommendation deliveries stall until this time (tuner outage fault).
     tuner_outage_until: SimTime,
     /// Crash recoveries in progress: (done_at, node, event to emit).
@@ -203,6 +209,8 @@ pub struct FleetSim {
     drive_stats: DriveStats,
     /// Reusable scratch for the per-tick chaos drain.
     fault_scratch: Vec<FaultEvent>,
+    /// Reusable scratch for the per-tick plan drain.
+    plan_scratch: Vec<PlanEvent>,
     /// Reusable scratch for the per-round batched window ingestion.
     window_scratch: Vec<WindowStat>,
     now: SimTime,
@@ -237,6 +245,8 @@ impl FleetSim {
             backend,
             reconcilers: Vec::new(),
             chaos: None,
+            plan: None,
+            burst_revert: Vec::new(),
             tuner_outage_until: 0,
             recovery_due: Vec::new(),
             pending: BinaryHeap::new(),
@@ -245,6 +255,7 @@ impl FleetSim {
             thread_budget: None,
             drive_stats: DriveStats::default(),
             fault_scratch: Vec::new(),
+            plan_scratch: Vec::new(),
             window_scratch: Vec::new(),
             now: 0,
             last_tde_run: 0,
@@ -261,6 +272,41 @@ impl FleetSim {
     /// Scheduled faults not yet injected (0 when chaos is off).
     pub fn faults_remaining(&self) -> usize {
         self.chaos.as_ref().map_or(0, |e| e.remaining())
+    }
+
+    /// Arm an interaction plan (the scenario simulator's chaos superset):
+    /// bursts, knob pushes, maintenance windows, replica churn and faults
+    /// inject themselves as simulated time passes them, and the reconcilers
+    /// switch to continuous watching, exactly as under
+    /// [`FleetSim::enable_chaos`].
+    pub fn enable_plan(&mut self, plan: InteractionPlan) {
+        self.plan = Some(PlanEngine::new(plan));
+    }
+
+    /// Scheduled interactions not yet delivered (0 when no plan is armed).
+    pub fn plan_remaining(&self) -> usize {
+        self.plan.as_ref().map_or(0, |e| e.remaining())
+    }
+
+    /// Stop (or resume) landing new recommendations while the simulation
+    /// keeps running. The scenario harness flips this off for its settle
+    /// phase — "quiesce, then audit": in-flight guards, retries and parked
+    /// applies drain to completion, but no *new* applies arm fresh guards,
+    /// so the terminal oracles judge a fleet that had a fair chance to
+    /// finish its work.
+    pub fn set_apply_recommendations(&mut self, on: bool) {
+        self.cfg.apply_recommendations = on;
+    }
+
+    /// Nodes whose post-apply rollback guard is still armed — i.e. an
+    /// applied config not yet accepted or reverted. After a run's quiet
+    /// tail every guard must have resolved one way or the other; the
+    /// scenario simulator's rollback-correctness oracle asserts exactly
+    /// that.
+    pub fn guard_armed_nodes(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&idx| self.nodes[idx].guard.is_some())
+            .collect()
     }
 
     /// Fleet-wide availability: fraction of driven node-ticks with the
@@ -455,6 +501,14 @@ impl FleetSim {
             self.fault_scratch = due;
         }
 
+        // 0b. Interaction plan: revert ended bursts, then deliver every
+        // scheduled interaction that came due this tick. Both run before
+        // the traffic phase, so a serial and a sharded drive of the same
+        // plan see identical node state at every tick.
+        if !self.burst_revert.is_empty() || self.plan.is_some() {
+            self.plan_tick();
+        }
+
         // 1. Traffic. Databases are independent within a tick. The sharded
         // engine partitions them once over persistent worker shards (shard
         // 0 is this thread); the serial engine is the untouched reference
@@ -486,10 +540,11 @@ impl FleetSim {
             }
         }
 
-        // 5. Reconcilers watch continuously while chaos is active (faults
-        // create drift at arbitrary times); in quiet runs a per-window
-        // check after the TDE round is equivalent and cheaper.
-        if self.chaos.is_some() {
+        // 5. Reconcilers watch continuously while chaos or a plan is
+        // active (faults create drift at arbitrary times); in quiet runs a
+        // per-window check after the TDE round is equivalent and cheaper.
+        let adversarial = self.chaos.is_some() || self.plan.is_some();
+        if adversarial {
             self.reconcile_all();
         }
 
@@ -498,7 +553,7 @@ impl FleetSim {
             let window_ms = self.now - self.last_tde_run;
             self.last_tde_run = self.now;
             self.run_tde_round(window_ms);
-            if self.chaos.is_none() {
+            if !adversarial {
                 self.reconcile_all();
             }
         }
@@ -630,6 +685,89 @@ impl FleetSim {
                         req.lost = true;
                         self.events.emit(self.now, "fault.request_loss", target);
                     }
+                }
+            }
+        }
+    }
+
+    /// One tick of interaction-plan machinery: restore the arrival process
+    /// of every burst that ended, then deliver the plan events that came
+    /// due. Reverts run first so a burst ending exactly as another begins
+    /// hands the new burst the *pre-burst* arrival to save.
+    fn plan_tick(&mut self) {
+        let now = self.now;
+        let mut i = 0;
+        while i < self.burst_revert.len() {
+            if self.burst_revert[i].0 <= now {
+                let (_, idx, arrival) = self.burst_revert.remove(i);
+                self.nodes[idx].arrival = arrival;
+                self.events.emit(now, "plan.burst_end", idx as u64);
+            } else {
+                i += 1;
+            }
+        }
+        if self.plan.is_some() {
+            let mut due = std::mem::take(&mut self.plan_scratch);
+            self.plan
+                .as_mut()
+                .expect("checked above")
+                .take_due_into(self.now, &mut due);
+            for &ev in &due {
+                self.apply_plan_event(ev);
+            }
+            self.plan_scratch = due;
+        }
+    }
+
+    /// Deliver one scheduled interaction.
+    fn apply_plan_event(&mut self, ev: PlanEvent) {
+        if ev.node >= self.nodes.len() {
+            return; // plan generated for a bigger fleet: ignore
+        }
+        let idx = ev.node;
+        let target = idx as u64;
+        match ev.action {
+            PlanAction::Fault(kind) => self.inject(FaultEvent {
+                at: ev.at,
+                node: idx,
+                kind,
+            }),
+            PlanAction::Burst {
+                rate_qps,
+                duration_ms,
+            } => {
+                let revert_at = self.now + duration_ms;
+                if let Some(entry) = self.burst_revert.iter_mut().find(|e| e.1 == idx) {
+                    // Overlapping burst: the first one already saved the
+                    // pre-burst arrival; the new rate and later end win.
+                    entry.0 = entry.0.max(revert_at);
+                } else {
+                    self.burst_revert
+                        .push((revert_at, idx, self.nodes[idx].arrival.clone()));
+                }
+                self.nodes[idx].arrival = ArrivalProcess::Constant(rate_qps);
+                self.events.emit(self.now, "plan.burst", target);
+            }
+            PlanAction::KnobPush { value } => {
+                self.events.emit(self.now, "plan.knob_push", target);
+                let dims = self.nodes[idx].service.master().profile().len();
+                self.apply_unit(idx, vec![value; dims], 0);
+            }
+            PlanAction::Maintenance => {
+                self.events.emit(self.now, "plan.maintenance", target);
+                self.handle_master_crash(idx);
+            }
+            PlanAction::AddReplica => {
+                self.events.emit(self.now, "plan.replica_add", target);
+                let seed = self.cfg.seed ^ target.wrapping_mul(0x9e3779b97f4a7c15) ^ self.now;
+                self.nodes[idx].service.add_slave(seed);
+            }
+            PlanAction::RemoveReplica => {
+                let node = &mut self.nodes[idx];
+                let n = node.service.n_slaves();
+                if n > 0 {
+                    node.service.remove_slave(n - 1);
+                    self.events.emit(self.now, "plan.replica_remove", target);
                 }
             }
         }
@@ -1308,6 +1446,105 @@ mod tests {
                 "merged submit totals must equal the per-node counters"
             );
         }
+    }
+
+    #[test]
+    fn interaction_plan_drives_fleet_and_is_shard_invariant() {
+        use crate::plan::{InteractionPlan, PlanAction, PlanEvent};
+        let plan_events = || {
+            vec![
+                PlanEvent {
+                    at: 30_000,
+                    node: 0,
+                    action: PlanAction::Burst {
+                        rate_qps: 900.0,
+                        duration_ms: 60_000,
+                    },
+                },
+                PlanEvent {
+                    at: 45_000,
+                    node: 1,
+                    action: PlanAction::AddReplica,
+                },
+                PlanEvent {
+                    at: 60_000,
+                    node: 1,
+                    action: PlanAction::Fault(FaultKind::VmCrash),
+                },
+                PlanEvent {
+                    at: 90_000,
+                    node: 2,
+                    action: PlanAction::KnobPush { value: 1.0 },
+                },
+                PlanEvent {
+                    at: 120_000,
+                    node: 3,
+                    action: PlanAction::Maintenance,
+                },
+                PlanEvent {
+                    at: 150_000,
+                    node: 1,
+                    action: PlanAction::RemoveReplica,
+                },
+            ]
+        };
+        let build = |shards: Option<usize>| {
+            let mut sim = FleetSim::new(
+                FleetConfig {
+                    gate_samples_with_tde: false,
+                    shards: shards.unwrap_or(0),
+                    rollback: Some(RollbackPolicy::default()),
+                    ..FleetConfig::default()
+                },
+                2,
+            );
+            sim.set_parallel(shards.is_some());
+            for i in 0..6 {
+                sim.add_node(
+                    make_node(TuningPolicy::TdeDriven, 200 + i),
+                    &format!("db-{i}"),
+                );
+            }
+            sim.enable_plan(InteractionPlan::new(plan_events()));
+            sim.run_for(6 * MILLIS_PER_MIN);
+            sim
+        };
+        let serial = build(None);
+        assert_eq!(serial.plan_remaining(), 0);
+        for label in [
+            "plan.burst",
+            "plan.burst_end",
+            "plan.replica_add",
+            "fault.vm_crash",
+            "plan.knob_push",
+            "plan.maintenance",
+            "plan.replica_remove",
+        ] {
+            assert_eq!(serial.events.count(label), 1, "{label}");
+        }
+        // The VmCrash at 60s hits a service that grew a replica at 45s, so
+        // it fails over instead of going fully down; the replica-less
+        // maintenance restart on node 3 must cost real downtime.
+        assert_eq!(serial.events.count("recover.failover"), 1);
+        assert!(serial.nodes[3].down_ticks > 0);
+        assert_eq!(serial.nodes[1].service.n_slaves(), 0, "removed at 150s");
+        // The burst tripled node 0's arrivals for a minute.
+        assert!(serial.nodes[0].queries_submitted > serial.nodes[4].queries_submitted);
+        // Bit-identical under the sharded tick engine.
+        let sharded = build(Some(3));
+        assert_eq!(
+            serial
+                .nodes
+                .iter()
+                .map(|n| n.queries_submitted)
+                .collect::<Vec<_>>(),
+            sharded
+                .nodes
+                .iter()
+                .map(|n| n.queries_submitted)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(serial.events.fingerprint(), sharded.events.fingerprint());
     }
 
     #[test]

@@ -175,6 +175,49 @@ impl ReplicaSet {
         })
     }
 
+    /// Provision one more read replica of the master's shape (the scenario
+    /// simulator's replica-churn plan event, and the orchestrator's
+    /// scale-out path). The new slave boots from a fresh base backup: its
+    /// reloadable knobs are cloned from the master's live config so joining
+    /// introduces no drift, and its replication slot resyncs to the
+    /// master's current insert LSN so the lag guard doesn't refuse the next
+    /// apply on account of a brand-new replica "lagging" from LSN 0.
+    /// Returns the new slave's index.
+    pub fn add_slave(&mut self, seed: u64) -> usize {
+        let m = &self.master;
+        let mut slave = SimDatabase::new(
+            m.flavor(),
+            m.instance(),
+            m.disks().data().kind(),
+            m.catalog().clone(),
+            seed,
+        );
+        let profile = m.profile().clone();
+        for (id, spec) in profile.iter() {
+            if !spec.restart_required {
+                slave.set_knob_direct(id, m.knobs().get(id));
+            }
+        }
+        let mut slot = ReplicationSlot::new(SLAVE_REPLAY_RATE);
+        slot.resync(m.bg().wal().insert_lsn());
+        self.slaves.push(slave);
+        self.slots.push(slot);
+        self.slaves.len() - 1
+    }
+
+    /// Decommission slave `i` and its replication slot (scale-in / the
+    /// scenario simulator's replica-removal plan event). A pending
+    /// crash-on-next-apply injection pointing at or past `i` is dropped —
+    /// the node it targeted is gone or renumbered.
+    pub fn remove_slave(&mut self, i: usize) {
+        assert!(i < self.slaves.len(), "no such slave");
+        self.slaves.remove(i);
+        self.slots.remove(i);
+        if self.crash_next_apply_on_slave.is_some_and(|c| c >= i) {
+            self.crash_next_apply_on_slave = None;
+        }
+    }
+
     /// Fault injection for tests: crash slave `i` on the next apply.
     pub fn inject_slave_crash(&mut self, i: usize) {
         assert!(i < self.slaves.len(), "no such slave");
@@ -452,5 +495,44 @@ mod tests {
         r.apply_with_lag_guard(&[ch], ApplyMode::Restart, u64::MAX)
             .unwrap();
         assert!(r.slots()[0].is_paused());
+    }
+
+    #[test]
+    fn added_slave_joins_caught_up_with_master_config() {
+        let mut r = rs(0);
+        let ch = work_mem_change(&r, 96.0);
+        r.apply(&[ch], ApplyMode::Reload).unwrap();
+        write_heavily(&mut r, 5);
+        let idx = r.add_slave(77);
+        assert_eq!(idx, 0);
+        assert_eq!(r.n_slaves(), 1);
+        assert_eq!(
+            r.slaves()[0].knobs().get(ch.knob),
+            96.0 * MIB,
+            "new replica clones the master's live reloadable config"
+        );
+        assert_eq!(
+            r.max_replication_lag(),
+            0,
+            "fresh base backup: the new slot starts at the master's LSN"
+        );
+        // The joined replica is a real failover target.
+        let next = work_mem_change(&r, 48.0);
+        r.apply_with_lag_guard(&[next], ApplyMode::Reload, 1024)
+            .unwrap();
+        assert!(r.failover().is_some());
+    }
+
+    #[test]
+    fn remove_slave_drops_node_slot_and_dangling_injection() {
+        let mut r = rs(2);
+        r.inject_slave_crash(1);
+        r.remove_slave(1);
+        assert_eq!(r.n_slaves(), 1);
+        assert_eq!(r.slots().len(), 1);
+        // The injection targeted the removed slave; the next apply must
+        // succeed instead of crashing a renumbered bystander.
+        let ch = work_mem_change(&r, 24.0);
+        assert!(r.apply(&[ch], ApplyMode::Reload).is_ok());
     }
 }

@@ -112,7 +112,7 @@ pub struct Rule {
 }
 
 /// Crates whose tick/telemetry output must be bit-for-bit reproducible.
-const SIM_CRATES: &[&str] = &["simdb", "cloudsim", "ctrlplane", "tuner"];
+const SIM_CRATES: &[&str] = &["simdb", "cloudsim", "ctrlplane", "tuner", "scenario"];
 /// Crates whose runtime paths must never panic on request content.
 const PANIC_FREE_CRATES: &[&str] = &["ctrlplane", "gateway"];
 
@@ -123,7 +123,14 @@ fn is_gateway_bin(ctx: &FileCtx<'_>) -> bool {
     ctx.crate_name == "gateway" && ctx.path.contains("/src/bin/")
 }
 /// Crates where hash-order can reach event logs or tick results.
-const ORDER_SENSITIVE_CRATES: &[&str] = &["simdb", "cloudsim", "ctrlplane", "core", "telemetry"];
+const ORDER_SENSITIVE_CRATES: &[&str] = &[
+    "simdb",
+    "cloudsim",
+    "ctrlplane",
+    "core",
+    "telemetry",
+    "scenario",
+];
 
 /// The full rule registry, in report order.
 pub fn all_rules() -> &'static [Rule] {
@@ -138,8 +145,10 @@ D001 — wall-clock reads in deterministic code
 any value derived from them differ between runs. The chaos engine (PR 2)
 asserts FNV-fingerprint-identical event logs across replays, and the
 fleet drive asserts thread-count invariance; a single wall-clock read in
-`simdb`, `cloudsim`, `ctrlplane` or `tuner` silently breaks both. All
-simulation time must come from the tick counter (`SimTime`). The
+`simdb`, `cloudsim`, `ctrlplane`, `tuner` or `scenario` silently breaks
+both — `scenario` additionally promises that `(profile, seed)` pins plan
+generation, shrinking and bug-base replay bit-for-bit. All simulation
+time must come from the tick counter (`SimTime`). The
 `gateway` library is also in scope: its routing/admission layers take
 `now_ms` as a parameter so they replay deterministically, and its only
 sanctioned wall-clock reads live in `clock.rs` behind reasoned allows.
@@ -226,8 +235,9 @@ D003 — hash-order iteration in sim/control-plane code
 `std::collections::HashMap`/`HashSet` iteration order depends on the
 per-process SipHash key, so any float accumulation, event emission or
 Vec built by iterating one differs between runs even at identical seeds.
-In `simdb`, `cloudsim`, `ctrlplane`, `core` and `telemetry` that order
-can reach telemetry, event logs or tick results.
+In `simdb`, `cloudsim`, `ctrlplane`, `core`, `telemetry` and `scenario`
+that order can reach telemetry, event logs, tick results or shrunk
+counterexamples.
 
 The rule tracks names declared with a HashMap/HashSet type (fields,
 params, lets) and flags `.iter()`, `.keys()`, `.values()`, `.drain()`,
@@ -804,6 +814,19 @@ mod tests {
         // The daemon and loadgen are measurement shells, like `bench`.
         assert!(run_on("crates/gateway/src/bin/loadgen.rs", "gateway", src).is_empty());
         assert!(run_on("crates/gateway/src/bin/gateway.rs", "gateway", src).is_empty());
+    }
+
+    #[test]
+    fn d001_and_d003_cover_the_scenario_crate() {
+        // The scenario simulator promises (profile, seed) ⇒ identical
+        // plans, shrinks and replays, so it inherits the full
+        // determinism ruleset.
+        let clock = "fn f() { let t = std::time::Instant::now(); }";
+        let f = run_on("crates/scenario/src/explore.rs", "scenario", clock);
+        assert_eq!(ids(&f), vec!["D001"]);
+        let iter = "fn f(m: &HashMap<u8, u8>) { m.iter().count(); }";
+        let f = run_on("crates/scenario/src/shrink.rs", "scenario", iter);
+        assert_eq!(ids(&f), vec!["D003"]);
     }
 
     // ------------------------- D002 ---------------------------------

@@ -1,0 +1,227 @@
+//! `autodbaas-scenario` — explore, shrink and replay fleet scenarios.
+//!
+//! ```text
+//! autodbaas-scenario list
+//! autodbaas-scenario gen      --profile diurnal-heavy --seed 7
+//! autodbaas-scenario explore  [--profile NAME|all] [--seeds N] [--start S]
+//!                             [--no-doublecheck] [--bugbase DIR]
+//! autodbaas-scenario replay     tests/bugbase/foo.toml
+//! autodbaas-scenario replay-all tests/bugbase
+//! ```
+//!
+//! `explore` exits non-zero when any seed violates a property (after
+//! shrinking it and, with `--bugbase`, persisting the counterexample);
+//! `replay`/`replay-all` exit non-zero when an entry breaks its contract
+//! (`fixed` regressed, or `fails` silently passed).
+
+use autodbaas_scenario::{
+    explore_seed, load_dir, profile, shrink_violation, verdict_line, BugEntry, Profile,
+    ReplayVerdict, PROFILES,
+};
+use autodbaas_telemetry::outln;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    outln!("usage: autodbaas-scenario <list|gen|explore|replay|replay-all> [options]");
+    outln!("  list                                  show the profile catalog");
+    outln!("  gen --profile NAME --seed S           print the generated plan");
+    outln!("  explore [--profile NAME|all] [--seeds N] [--start S]");
+    outln!("          [--no-doublecheck] [--bugbase DIR]");
+    outln!("  replay FILE.toml                      replay one bug-base entry");
+    outln!("  replay-all DIR                        replay every entry in DIR");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("gen") => gen(&args[1..]),
+        Some("explore") => explore(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        Some("replay-all") => replay_all(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn list() -> ExitCode {
+    for p in PROFILES {
+        outln!(
+            "{:<16} nodes={} slaves={} events={} duration={}s floor={:.3}  {}",
+            p.name,
+            p.n_nodes,
+            p.n_slaves,
+            p.n_events,
+            p.duration_ms / 1_000,
+            p.availability_floor,
+            p.blurb
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn resolve_profiles(args: &[String]) -> Result<Vec<&'static Profile>, ExitCode> {
+    match flag_value(args, "--profile") {
+        None | Some("all") => Ok(PROFILES.iter().collect()),
+        Some(name) => match profile(name) {
+            Some(p) => Ok(vec![p]),
+            None => {
+                outln!("unknown profile: {name} (try `autodbaas-scenario list`)");
+                Err(ExitCode::from(2))
+            }
+        },
+    }
+}
+
+fn gen(args: &[String]) -> ExitCode {
+    let profiles = match resolve_profiles(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    for p in profiles {
+        let plan = autodbaas_scenario::generate(p, seed);
+        outln!(
+            "# {} seed={} fingerprint={:016x} ({} events)",
+            p.name,
+            seed,
+            plan.fingerprint(),
+            plan.len()
+        );
+        for ev in plan.events() {
+            outln!("{}", autodbaas_scenario::format_event(ev));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn explore(args: &[String]) -> ExitCode {
+    let profiles = match resolve_profiles(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let seeds: u64 = flag_value(args, "--seeds")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let start: u64 = flag_value(args, "--start")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let doublecheck = !args.iter().any(|a| a == "--no-doublecheck");
+    let bugbase_dir = flag_value(args, "--bugbase").map(Path::new);
+    let mut failures = 0usize;
+    for p in profiles {
+        for seed in start..start + seeds {
+            let v = explore_seed(p, seed, doublecheck);
+            outln!("{}", verdict_line(p, &v));
+            if v.ok() {
+                continue;
+            }
+            failures += 1;
+            let violation = &v.violations[0];
+            let (shrunk, stats) = shrink_violation(p, &v.plan, seed, violation.property);
+            outln!(
+                "  shrunk {} -> {} events in {} probes:",
+                stats.from_len,
+                stats.to_len,
+                stats.probes
+            );
+            for ev in shrunk.events() {
+                outln!("    {}", autodbaas_scenario::format_event(ev));
+            }
+            if let Some(dir) = bugbase_dir {
+                let entry = autodbaas_scenario::entry_from(p, seed, shrunk, violation);
+                let path = dir.join(format!("{}.toml", entry.file_stem()));
+                match std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(&path, entry.to_toml()))
+                {
+                    Ok(()) => outln!("  persisted {}", path.display()),
+                    Err(e) => {
+                        outln!("  FAILED to persist {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        outln!("{failures} violating seed(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn replay_one(path: &Path) -> Result<ReplayVerdict, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entry = BugEntry::from_toml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (verdict, out) = entry.replay(false);
+    outln!(
+        "{}: {} seed={} property={} status={} -> {:?} (availability={:.4})",
+        path.display(),
+        entry.profile,
+        entry.seed,
+        entry.property.name(),
+        entry.status.name(),
+        verdict,
+        out.availability
+    );
+    Ok(verdict)
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let Some(file) = args.first() else {
+        return usage();
+    };
+    match replay_one(Path::new(file)) {
+        Ok(v) if v.ok() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            outln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn replay_all(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        return usage();
+    };
+    let entries = match load_dir(Path::new(dir)) {
+        Ok(e) => e,
+        Err(e) => {
+            outln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if entries.is_empty() {
+        outln!("{dir}: no bug-base entries");
+        return ExitCode::SUCCESS;
+    }
+    let mut broken = 0usize;
+    for (path, _) in &entries {
+        match replay_one(path) {
+            Ok(v) if v.ok() => {}
+            Ok(_) => broken += 1,
+            Err(e) => {
+                outln!("{e}");
+                broken += 1;
+            }
+        }
+    }
+    if broken > 0 {
+        outln!("{broken} entr(y/ies) broke their contract");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,461 @@
+//! The persistent bug base: shrunk counterexamples as small TOML files.
+//!
+//! Every failure the explorer finds is shrunk and persisted to
+//! `tests/bugbase/<name>.toml` as `{seed, profile, property, status,
+//! plan}`. A tier-1 test replays the directory forever: entries with
+//! `status = "fixed"` must pass (the bug stays fixed), entries with
+//! `status = "fails"` must still violate their recorded property (the bug
+//! is known and minimised; the test flags the day it silently disappears,
+//! because that is the day to flip the status and pin the fix).
+//!
+//! The format is a deliberate TOML subset — scalar `key = value` lines and
+//! one string array — parsed by hand because the workspace vendors no TOML
+//! crate. Plans serialise as one human-readable line per event
+//! (`"at=120000 node=2 vm_crash"`), so a bug report is also documentation.
+
+use crate::oracle::Property;
+use crate::profile::{profile, Profile};
+use crate::run::{run_plan, RunOutcome};
+use autodbaas_cloudsim::{FaultKind, InteractionPlan, PlanAction, PlanEvent};
+
+/// Replay contract of an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugStatus {
+    /// The underlying bug was fixed: replay must pass the property.
+    Fixed,
+    /// Known open (or by-design) failure: replay must still violate it.
+    Fails,
+}
+
+impl BugStatus {
+    /// Stable file vocabulary.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BugStatus::Fixed => "fixed",
+            BugStatus::Fails => "fails",
+        }
+    }
+
+    /// Inverse of [`BugStatus::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "fixed" => Some(BugStatus::Fixed),
+            "fails" => Some(BugStatus::Fails),
+            _ => None,
+        }
+    }
+}
+
+/// One persisted counterexample.
+#[derive(Debug, Clone)]
+pub struct BugEntry {
+    /// Fleet seed the violation reproduces under.
+    pub seed: u64,
+    /// Profile name (fleet shape + oracle thresholds).
+    pub profile: String,
+    /// The violated property.
+    pub property: Property,
+    /// Replay contract.
+    pub status: BugStatus,
+    /// Evidence recorded when the bug was found.
+    pub detail: String,
+    /// Fingerprint of `plan`, to catch hand-edited or corrupted files.
+    pub plan_fingerprint: u64,
+    /// The shrunk plan.
+    pub plan: InteractionPlan,
+}
+
+/// How a replayed entry compared against its contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayVerdict {
+    /// `fixed` entry passed its property — the regression stays fixed.
+    Pass,
+    /// `fails` entry still violates its property — the known bug is still
+    /// known.
+    StillFails,
+    /// `fixed` entry violates its property again: a regression.
+    Regressed(String),
+    /// `fails` entry now passes: the bug silently disappeared — flip the
+    /// status to `fixed` to pin it.
+    UnexpectedlyPassed,
+}
+
+impl ReplayVerdict {
+    /// True when the entry met its contract.
+    pub fn ok(&self) -> bool {
+        matches!(self, ReplayVerdict::Pass | ReplayVerdict::StillFails)
+    }
+}
+
+impl BugEntry {
+    /// Deterministic file stem: `<profile>-<property>-<seed>`.
+    pub fn file_stem(&self) -> String {
+        format!("{}-{}-{}", self.profile, self.property.name(), self.seed)
+    }
+
+    /// Serialise to the TOML subset.
+    pub fn to_toml(&self) -> String {
+        let mut s = String::new();
+        s.push_str("# shrunk scenario counterexample; replayed by tests/scenario_bugbase.rs\n");
+        s.push_str("# regenerate with: autodbaas-scenario explore (see DESIGN.md)\n");
+        s.push_str(&format!("seed = {}\n", self.seed));
+        s.push_str(&format!("profile = \"{}\"\n", self.profile));
+        s.push_str(&format!("property = \"{}\"\n", self.property.name()));
+        s.push_str(&format!("status = \"{}\"\n", self.status.name()));
+        s.push_str(&format!("detail = \"{}\"\n", self.detail.replace('"', "'")));
+        s.push_str(&format!("plan_fingerprint = {}\n", self.plan_fingerprint));
+        s.push_str("plan = [\n");
+        for ev in self.plan.events() {
+            s.push_str(&format!("    \"{}\",\n", format_event(ev)));
+        }
+        s.push_str("]\n");
+        s
+    }
+
+    /// Parse from the TOML subset. Validates the plan fingerprint and the
+    /// profile/property vocabulary.
+    pub fn from_toml(text: &str) -> Result<BugEntry, String> {
+        let mut seed = None;
+        let mut profile_name = None;
+        let mut property = None;
+        let mut status = None;
+        let mut detail = String::new();
+        let mut plan_fingerprint = None;
+        let mut plan_lines: Vec<String> = Vec::new();
+        let mut in_plan = false;
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if in_plan {
+                if line.starts_with(']') {
+                    in_plan = false;
+                    continue;
+                }
+                let item = line.trim_end_matches(',').trim();
+                plan_lines.push(unquote(item).ok_or_else(|| format!("bad plan item: {line}"))?);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| format!("expected `key = value`, got: {line}"))?;
+            match key {
+                "seed" => seed = Some(parse_u64(value)?),
+                "profile" => profile_name = Some(unquote(value).ok_or("profile must be quoted")?),
+                "property" => {
+                    let name = unquote(value).ok_or("property must be quoted")?;
+                    property = Some(
+                        Property::from_name(&name)
+                            .ok_or_else(|| format!("unknown property: {name}"))?,
+                    );
+                }
+                "status" => {
+                    let name = unquote(value).ok_or("status must be quoted")?;
+                    status = Some(
+                        BugStatus::from_name(&name)
+                            .ok_or_else(|| format!("unknown status: {name}"))?,
+                    );
+                }
+                "detail" => detail = unquote(value).ok_or("detail must be quoted")?,
+                "plan_fingerprint" => plan_fingerprint = Some(parse_u64(value)?),
+                "plan" => {
+                    if value != "[" {
+                        return Err("plan must open a multi-line array".into());
+                    }
+                    in_plan = true;
+                }
+                other => return Err(format!("unknown key: {other}")),
+            }
+        }
+        let events = plan_lines
+            .iter()
+            .map(|l| parse_event(l))
+            .collect::<Result<Vec<_>, _>>()?;
+        let plan = InteractionPlan::new(events);
+        let entry = BugEntry {
+            seed: seed.ok_or("missing seed")?,
+            profile: profile_name.ok_or("missing profile")?,
+            property: property.ok_or("missing property")?,
+            status: status.ok_or("missing status")?,
+            detail,
+            plan_fingerprint: plan_fingerprint.ok_or("missing plan_fingerprint")?,
+            plan,
+        };
+        if profile(&entry.profile).is_none() {
+            return Err(format!("unknown profile: {}", entry.profile));
+        }
+        if entry.plan.fingerprint() != entry.plan_fingerprint {
+            return Err(format!(
+                "plan fingerprint mismatch: recorded {}, computed {} — file edited or corrupted",
+                entry.plan_fingerprint,
+                entry.plan.fingerprint()
+            ));
+        }
+        Ok(entry)
+    }
+
+    /// The profile this entry runs under.
+    pub fn profile(&self) -> &'static Profile {
+        profile(&self.profile).expect("validated at parse time")
+    }
+
+    /// Re-run the entry's plan and judge it against its contract.
+    /// `doublecheck` additionally runs the sharded twin (needed when the
+    /// recorded property is the sharded-identity oracle).
+    pub fn replay(&self, doublecheck: bool) -> (ReplayVerdict, RunOutcome) {
+        let p = self.profile();
+        let need_twin = doublecheck || self.property == Property::ShardedIdentity;
+        let out = run_plan(p, &self.plan, self.seed, need_twin);
+        let violated = self.property.check(p, &out);
+        let verdict = match (self.status, violated) {
+            (BugStatus::Fixed, None) => ReplayVerdict::Pass,
+            (BugStatus::Fixed, Some(detail)) => ReplayVerdict::Regressed(detail),
+            (BugStatus::Fails, Some(_)) => ReplayVerdict::StillFails,
+            (BugStatus::Fails, None) => ReplayVerdict::UnexpectedlyPassed,
+        };
+        (verdict, out)
+    }
+}
+
+/// Strip one layer of double quotes.
+fn unquote(s: &str) -> Option<String> {
+    s.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad integer: {s}"))
+}
+
+fn parse_f64(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("bad float: {s}"))
+}
+
+/// One event as a human-readable line: `at=<ms> node=<idx> <kind> [k=v…]`.
+/// Floats use Rust's shortest-roundtrip formatting, so parse ∘ format is
+/// the identity on every value the generator can produce.
+pub fn format_event(ev: &PlanEvent) -> String {
+    let head = format!("at={} node={}", ev.at, ev.node);
+    let tail = match ev.action {
+        PlanAction::Fault(kind) => match kind {
+            FaultKind::VmCrash => "vm_crash".to_string(),
+            FaultKind::MasterCrashMidApply => "master_crash_mid_apply".to_string(),
+            FaultKind::SlaveCrashMidApply => "slave_crash_mid_apply".to_string(),
+            FaultKind::RequestLoss => "request_loss".to_string(),
+            FaultKind::TunerOutage { duration_ms } => {
+                format!("tuner_outage duration={duration_ms}")
+            }
+            FaultKind::TelemetryDrop { duration_ms } => {
+                format!("telemetry_drop duration={duration_ms}")
+            }
+            FaultKind::DiskStall {
+                duration_ms,
+                factor,
+            } => format!("disk_stall duration={duration_ms} factor={factor}"),
+            FaultKind::ReplicaLagSpike { pause_ms } => {
+                format!("replica_lag_spike pause={pause_ms}")
+            }
+        },
+        PlanAction::Burst {
+            rate_qps,
+            duration_ms,
+        } => format!("burst rate={rate_qps} duration={duration_ms}"),
+        PlanAction::KnobPush { value } => format!("knob_push value={value}"),
+        PlanAction::Maintenance => "maintenance".to_string(),
+        PlanAction::AddReplica => "replica_add".to_string(),
+        PlanAction::RemoveReplica => "replica_remove".to_string(),
+    };
+    format!("{head} {tail}")
+}
+
+/// Inverse of [`format_event`].
+pub fn parse_event(line: &str) -> Result<PlanEvent, String> {
+    let mut at = None;
+    let mut node = None;
+    let mut kind = None;
+    let mut params: Vec<(&str, &str)> = Vec::new();
+    for tok in line.split_whitespace() {
+        match tok.split_once('=') {
+            Some(("at", v)) => at = Some(parse_u64(v)?),
+            Some(("node", v)) => node = Some(parse_u64(v)? as usize),
+            Some((k, v)) => params.push((k, v)),
+            None => {
+                if kind.replace(tok).is_some() {
+                    return Err(format!("two kinds in one event: {line}"));
+                }
+            }
+        }
+    }
+    let get = |key: &str| -> Result<&str, String> {
+        params
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("missing {key}= in: {line}"))
+    };
+    let action = match kind.ok_or_else(|| format!("no action kind in: {line}"))? {
+        "vm_crash" => PlanAction::Fault(FaultKind::VmCrash),
+        "master_crash_mid_apply" => PlanAction::Fault(FaultKind::MasterCrashMidApply),
+        "slave_crash_mid_apply" => PlanAction::Fault(FaultKind::SlaveCrashMidApply),
+        "request_loss" => PlanAction::Fault(FaultKind::RequestLoss),
+        "tuner_outage" => PlanAction::Fault(FaultKind::TunerOutage {
+            duration_ms: parse_u64(get("duration")?)?,
+        }),
+        "telemetry_drop" => PlanAction::Fault(FaultKind::TelemetryDrop {
+            duration_ms: parse_u64(get("duration")?)?,
+        }),
+        "disk_stall" => PlanAction::Fault(FaultKind::DiskStall {
+            duration_ms: parse_u64(get("duration")?)?,
+            factor: parse_f64(get("factor")?)?,
+        }),
+        "replica_lag_spike" => PlanAction::Fault(FaultKind::ReplicaLagSpike {
+            pause_ms: parse_u64(get("pause")?)?,
+        }),
+        "burst" => PlanAction::Burst {
+            rate_qps: parse_f64(get("rate")?)?,
+            duration_ms: parse_u64(get("duration")?)?,
+        },
+        "knob_push" => PlanAction::KnobPush {
+            value: parse_f64(get("value")?)?,
+        },
+        "maintenance" => PlanAction::Maintenance,
+        "replica_add" => PlanAction::AddReplica,
+        "replica_remove" => PlanAction::RemoveReplica,
+        other => return Err(format!("unknown action kind: {other}")),
+    };
+    Ok(PlanEvent {
+        at: at.ok_or_else(|| format!("missing at= in: {line}"))?,
+        node: node.ok_or_else(|| format!("missing node= in: {line}"))?,
+        action,
+    })
+}
+
+/// Load every `*.toml` entry in `dir`, sorted by file name so replay order
+/// is stable across filesystems.
+pub fn load_dir(dir: &std::path::Path) -> Result<Vec<(std::path::PathBuf, BugEntry)>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text =
+                std::fs::read_to_string(&p).map_err(|e| format!("read {}: {e}", p.display()))?;
+            let entry = BugEntry::from_toml(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+            Ok((p, entry))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry() -> BugEntry {
+        let plan = InteractionPlan::new(vec![
+            PlanEvent {
+                at: 120_000,
+                node: 2,
+                action: PlanAction::Fault(FaultKind::VmCrash),
+            },
+            PlanEvent {
+                at: 180_000,
+                node: 0,
+                action: PlanAction::Burst {
+                    rate_qps: 912.5,
+                    duration_ms: 60_000,
+                },
+            },
+            PlanEvent {
+                at: 240_000,
+                node: 1,
+                action: PlanAction::KnobPush { value: 0.75 },
+            },
+        ]);
+        BugEntry {
+            seed: 42,
+            profile: "failover-storm".to_string(),
+            property: Property::NoWedgedServices,
+            status: BugStatus::Fails,
+            detail: "nodes wedged after quiet tail: [2]".to_string(),
+            plan_fingerprint: plan.fingerprint(),
+            plan,
+        }
+    }
+
+    #[test]
+    fn every_action_kind_round_trips_through_the_line_format() {
+        let actions = [
+            PlanAction::Fault(FaultKind::VmCrash),
+            PlanAction::Fault(FaultKind::MasterCrashMidApply),
+            PlanAction::Fault(FaultKind::SlaveCrashMidApply),
+            PlanAction::Fault(FaultKind::RequestLoss),
+            PlanAction::Fault(FaultKind::TunerOutage {
+                duration_ms: 90_000,
+            }),
+            PlanAction::Fault(FaultKind::TelemetryDrop {
+                duration_ms: 60_000,
+            }),
+            PlanAction::Fault(FaultKind::DiskStall {
+                duration_ms: 45_000,
+                factor: 7.25,
+            }),
+            PlanAction::Fault(FaultKind::ReplicaLagSpike { pause_ms: 30_000 }),
+            PlanAction::Burst {
+                rate_qps: 333.125,
+                duration_ms: 90_000,
+            },
+            PlanAction::KnobPush { value: 0.1 },
+            PlanAction::Maintenance,
+            PlanAction::AddReplica,
+            PlanAction::RemoveReplica,
+        ];
+        for (i, action) in actions.into_iter().enumerate() {
+            let ev = PlanEvent {
+                at: 1_000 * i as u64,
+                node: i % 5,
+                action,
+            };
+            let line = format_event(&ev);
+            assert_eq!(parse_event(&line).as_ref(), Ok(&ev), "{line}");
+        }
+        assert!(parse_event("at=5 node=0 bogus_kind").is_err());
+        assert!(parse_event("node=0 vm_crash").is_err(), "missing at");
+        assert!(parse_event("at=5 node=0").is_err(), "missing kind");
+        assert!(parse_event("at=5 node=0 disk_stall duration=1").is_err());
+    }
+
+    #[test]
+    fn entries_round_trip_through_toml() {
+        let entry = sample_entry();
+        let text = entry.to_toml();
+        let back = BugEntry::from_toml(&text).expect("round trip");
+        assert_eq!(back.seed, entry.seed);
+        assert_eq!(back.profile, entry.profile);
+        assert_eq!(back.property, entry.property);
+        assert_eq!(back.status, entry.status);
+        assert_eq!(back.detail, entry.detail);
+        assert_eq!(back.plan, entry.plan);
+        assert_eq!(back.to_toml(), text, "serialisation is a fixpoint");
+    }
+
+    #[test]
+    fn tampered_plans_are_rejected_by_the_fingerprint() {
+        let entry = sample_entry();
+        let text = entry
+            .to_toml()
+            .replace("node=2 vm_crash", "node=1 vm_crash");
+        let err = BugEntry::from_toml(&text).unwrap_err();
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        assert!(BugEntry::from_toml("seed = 1\n").is_err(), "missing keys");
+        assert!(
+            BugEntry::from_toml(&sample_entry().to_toml().replace("failover-storm", "nope"))
+                .is_err(),
+            "unknown profile"
+        );
+    }
+}

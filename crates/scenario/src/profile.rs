@@ -1,0 +1,146 @@
+//! Weighted scenario profiles: reusable shapes of production trouble.
+//!
+//! A [`Profile`] describes one *kind* of day a managed fleet can have —
+//! quiet drift, bursty diurnal load, a failover storm — as a set of weights
+//! over the [`PlanAction`](autodbaas_cloudsim::PlanAction) classes plus the
+//! fleet shape and the oracle thresholds a run of this profile must hold.
+//! The generator turns `(profile, seed)` into a concrete interaction plan;
+//! everything in the profile is data, so new profiles are one constant
+//! away.
+
+/// Relative weights over the generatable action classes. A weight of zero
+/// removes the class from the profile's vocabulary entirely.
+#[derive(Debug, Clone, Copy)]
+pub struct ActionWeights {
+    /// Chaos-engine faults (all eight [`FaultKind`](autodbaas_cloudsim::FaultKind)s).
+    pub fault: u32,
+    /// Traffic bursts.
+    pub burst: u32,
+    /// Adversarial whole-profile knob pushes.
+    pub knob_push: u32,
+    /// Maintenance-window rolling restarts.
+    pub maintenance: u32,
+    /// Replica adds.
+    pub add_replica: u32,
+    /// Replica removes.
+    pub remove_replica: u32,
+}
+
+impl ActionWeights {
+    /// Sum of all weights (the generator's dice size).
+    pub fn total(&self) -> u32 {
+        self.fault
+            + self.burst
+            + self.knob_push
+            + self.maintenance
+            + self.add_replica
+            + self.remove_replica
+    }
+}
+
+/// One reusable scenario shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Profile {
+    /// Stable name (`quiet`, `diurnal-heavy`, `failover-storm`); recorded
+    /// in bug-base entries, so renaming one orphans its bugs.
+    pub name: &'static str,
+    /// One-line description for `autodbaas-scenario list`.
+    pub blurb: &'static str,
+    /// Fleet size.
+    pub n_nodes: usize,
+    /// Replicas each service starts with.
+    pub n_slaves: usize,
+    /// Per-tenant steady arrival rate, queries/second.
+    pub base_qps: f64,
+    /// Run length. Events are scheduled in the first 75% so the tail is
+    /// quiet enough for every recovery, retry and guard to resolve.
+    pub duration_ms: u64,
+    /// Interactions per generated plan.
+    pub n_events: usize,
+    /// The dice.
+    pub weights: ActionWeights,
+    /// Fleet availability a run of this profile must keep (the
+    /// `availability_floor` oracle).
+    pub availability_floor: f64,
+}
+
+/// The built-in profile catalog.
+pub const PROFILES: &[Profile] = &[
+    Profile {
+        name: "quiet",
+        blurb: "light bursts and replica churn on a healthy fleet; near-full availability required",
+        n_nodes: 3,
+        n_slaves: 0,
+        base_qps: 200.0,
+        duration_ms: 8 * 60 * 1_000,
+        n_events: 6,
+        weights: ActionWeights {
+            fault: 0,
+            burst: 5,
+            knob_push: 1,
+            maintenance: 0,
+            add_replica: 2,
+            remove_replica: 2,
+        },
+        availability_floor: 0.999,
+    },
+    Profile {
+        name: "diurnal-heavy",
+        blurb: "heavy bursts, adversarial knob pushes and occasional faults over a tuning fleet",
+        n_nodes: 4,
+        n_slaves: 1,
+        base_qps: 250.0,
+        duration_ms: 12 * 60 * 1_000,
+        n_events: 14,
+        weights: ActionWeights {
+            fault: 3,
+            burst: 6,
+            knob_push: 3,
+            maintenance: 1,
+            add_replica: 1,
+            remove_replica: 1,
+        },
+        availability_floor: 0.95,
+    },
+    Profile {
+        name: "failover-storm",
+        blurb: "crash-dominated: VM crashes, maintenance restarts and replica churn back to back",
+        n_nodes: 4,
+        n_slaves: 1,
+        base_qps: 200.0,
+        duration_ms: 12 * 60 * 1_000,
+        n_events: 12,
+        weights: ActionWeights {
+            fault: 6,
+            burst: 1,
+            knob_push: 1,
+            maintenance: 3,
+            add_replica: 2,
+            remove_replica: 2,
+        },
+        availability_floor: 0.80,
+    },
+];
+
+/// Look up a profile by name.
+pub fn profile(name: &str) -> Option<&'static Profile> {
+    PROFILES.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_well_formed() {
+        assert_eq!(PROFILES.len(), 3);
+        for p in PROFILES {
+            assert!(p.weights.total() > 0, "{}: dead dice", p.name);
+            assert!(p.n_nodes > 0 && p.n_events > 0);
+            assert!((0.0..=1.0).contains(&p.availability_floor));
+            assert!(p.duration_ms >= 60_000);
+            assert_eq!(profile(p.name).map(|q| q.name), Some(p.name));
+        }
+        assert!(profile("no-such-profile").is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Drive a generated plan through the real fleet simulator and distill the
+//! run into the facts the oracles judge.
+//!
+//! The harness mirrors the chaos-recovery integration tests: 1 s ticks,
+//! 1-minute TDE windows, the RL backend (fixed 50 ms service time, so
+//! request timing is exact), TDE-gated sample capture and the OnlineTune
+//! rollback guard armed. In doublecheck mode the same plan runs twice —
+//! once on the serial tick engine, once sharded — and the pair of event
+//! logs feeds the serial-vs-sharded identity oracle.
+
+use crate::profile::Profile;
+use autodbaas_cloudsim::{FleetConfig, FleetSim, InteractionPlan, ManagedDatabase, RollbackPolicy};
+use autodbaas_core::{TdeConfig, TuningPolicy};
+use autodbaas_ctrlplane::TunerKind;
+use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+use autodbaas_telemetry::MILLIS_PER_MIN;
+use autodbaas_tuner::{SampleQuality, WorkloadId};
+use autodbaas_workload::{tpcc, ArrivalProcess};
+
+/// Shards forced in doublecheck mode: real worker threads even on a
+/// single-core machine, where auto resolution would pick one shard and the
+/// identity oracle would compare the serial engine against itself.
+const DOUBLECHECK_SHARDS: usize = 4;
+
+/// Quiesce-then-audit settle phase appended after the profile's duration:
+/// recommendation applies are frozen and the fleet runs on, long enough for
+/// every armed rollback guard (3 observation windows), parked apply
+/// (backoff ≤ 160 s) and crash recovery to resolve. Terminal oracles judge
+/// the fleet *after* this drain, so "guard still armed" means stuck, not
+/// merely recent.
+const SETTLE_MS: u64 = 5 * MILLIS_PER_MIN;
+
+/// Everything one simulated run tells the oracles.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Fleet availability over the run.
+    pub availability: f64,
+    /// Nodes with stalled control-plane work after the quiet tail.
+    pub wedged: Vec<usize>,
+    /// Nodes whose live config drifted from the persisted config of record.
+    pub drifted: Vec<usize>,
+    /// Nodes whose rollback guard is still armed after the quiet tail.
+    pub guards_armed: Vec<usize>,
+    /// Low-quality samples that reached the repository from *online*
+    /// workloads (the run captures TDE-gated, so this must be zero).
+    pub online_low_samples: usize,
+    /// Event-log fingerprint of the serial run.
+    pub fingerprint_serial: u64,
+    /// Event-log fingerprint of the sharded run (doublecheck mode only).
+    pub fingerprint_sharded: Option<u64>,
+    /// Per-node submitted-query counters, serial then sharded.
+    pub queries_serial: Vec<u64>,
+    /// Sharded counterpart of [`RunOutcome::queries_serial`].
+    pub queries_sharded: Option<Vec<u64>>,
+    /// Rollbacks the safety guard fired during the (serial) run.
+    pub rollbacks: u64,
+}
+
+/// One managed tenant shaped by the profile.
+fn managed_node(profile: &Profile, seed: u64) -> ManagedDatabase {
+    let wl = tpcc(1.0);
+    let catalog = wl.catalog().clone();
+    let node = ManagedDatabase::new(
+        DbFlavor::Postgres,
+        InstanceType::M4Large,
+        DiskKind::Ssd,
+        catalog,
+        Box::new(wl),
+        ArrivalProcess::Constant(profile.base_qps),
+        TuningPolicy::TdeDriven,
+        WorkloadId(0),
+        TdeConfig::default(),
+        seed,
+    );
+    node.with_slaves(profile.n_slaves)
+}
+
+/// Build the profile's fleet, arm `plan`, run to the end of the profile's
+/// duration (plan events stop at 75%, so the last quarter is already
+/// quiet), then freeze new applies and drain for [`SETTLE_MS`] before the
+/// caller audits terminal state.
+fn run_once(profile: &Profile, plan: &InteractionPlan, seed: u64, sharded: bool) -> FleetSim {
+    let mut sim = FleetSim::new(
+        FleetConfig {
+            tick_ms: 1_000,
+            tde_period_ms: MILLIS_PER_MIN,
+            tuner: TunerKind::Rl,
+            seed,
+            shards: if sharded { DOUBLECHECK_SHARDS } else { 0 },
+            request_timeout_ms: 30_000,
+            retry_base_ms: 5_000,
+            rollback: Some(RollbackPolicy::default()),
+            ..FleetConfig::default()
+        },
+        2,
+    );
+    sim.set_parallel(sharded);
+    for i in 0..profile.n_nodes {
+        sim.add_node(
+            managed_node(profile, seed ^ (i as u64 + 1).wrapping_mul(0x9e3779b9)),
+            &format!("{}-db-{i}", profile.name),
+        );
+    }
+    sim.enable_plan(plan.clone());
+    sim.run_for(profile.duration_ms);
+    sim.set_apply_recommendations(false);
+    sim.run_for(SETTLE_MS);
+    sim
+}
+
+/// Run `plan` under `profile` and distill the outcome. `doublecheck` adds
+/// the sharded twin run feeding the identity oracle.
+pub fn run_plan(
+    profile: &Profile,
+    plan: &InteractionPlan,
+    seed: u64,
+    doublecheck: bool,
+) -> RunOutcome {
+    let serial = run_once(profile, plan, seed, false);
+    let (_, low_online) = serial.repo.online_quality_counts();
+    let mut outcome = RunOutcome {
+        availability: serial.availability(),
+        wedged: serial.wedged_nodes(),
+        drifted: serial.drifted_nodes(),
+        guards_armed: serial.guard_armed_nodes(),
+        online_low_samples: low_online,
+        fingerprint_serial: serial.events.fingerprint(),
+        fingerprint_sharded: None,
+        queries_serial: serial.nodes.iter().map(|n| n.queries_submitted).collect(),
+        queries_sharded: None,
+        rollbacks: serial.events.count("tune.rollback") as u64,
+    };
+    if doublecheck {
+        let sharded = run_once(profile, plan, seed, true);
+        outcome.fingerprint_sharded = Some(sharded.events.fingerprint());
+        outcome.queries_sharded = Some(sharded.nodes.iter().map(|n| n.queries_submitted).collect());
+    }
+    outcome
+}
+
+/// Count low-quality online samples in a finished sim — exposed for tests
+/// that build their own fleets.
+pub fn online_low_samples(sim: &FleetSim) -> usize {
+    sim.repo
+        .iter()
+        .filter(|w| !w.offline)
+        .flat_map(|w| w.samples.iter())
+        .filter(|s| s.quality == SampleQuality::Low)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::profile::profile;
+
+    #[test]
+    fn runs_are_bit_deterministic() {
+        let p = profile("quiet").unwrap();
+        let plan = generate(p, 3);
+        let a = run_plan(p, &plan, 3, false);
+        let b = run_plan(p, &plan, 3, false);
+        assert_eq!(a.fingerprint_serial, b.fingerprint_serial);
+        assert_eq!(a.queries_serial, b.queries_serial);
+        assert_eq!(a.availability, b.availability);
+    }
+
+    #[test]
+    fn doublecheck_attaches_the_sharded_twin() {
+        let p = profile("quiet").unwrap();
+        let plan = generate(p, 5);
+        let out = run_plan(p, &plan, 5, true);
+        assert!(out.fingerprint_sharded.is_some());
+        assert_eq!(out.queries_sharded.as_ref().map(Vec::len), Some(p.n_nodes),);
+    }
+}

@@ -1,0 +1,265 @@
+//! Deterministic delta-debugging over interaction plans.
+//!
+//! Given a failing plan and a predicate "does this plan still fail?", the
+//! shrinker minimises in three phases: drop event *chunks* (classic ddmin,
+//! geometric granularity), then drop *individual* events to a fixpoint —
+//! which makes the result 1-minimal: removing any single remaining event
+//! makes the plan pass — then *simplify parameters* toward neutral values
+//! (shorter stalls, smaller factors, minute-aligned times). Everything is
+//! RNG-free and iteration order is fixed, so the same failing plan shrinks
+//! to the same counterexample on every machine.
+
+use autodbaas_cloudsim::{FaultKind, InteractionPlan, PlanAction, PlanEvent};
+
+/// What a shrink run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Events in the original plan.
+    pub from_len: usize,
+    /// Events in the shrunk plan.
+    pub to_len: usize,
+    /// Predicate evaluations spent.
+    pub probes: usize,
+}
+
+/// Minimise `plan` against `fails` (which must return `true` for `plan`
+/// itself — callers have already watched it fail). Returns the shrunk plan
+/// and the work done. The result is 1-minimal under event removal; its
+/// parameters are additionally simplified wherever simplification keeps
+/// the failure.
+pub fn shrink(
+    plan: &InteractionPlan,
+    mut fails: impl FnMut(&InteractionPlan) -> bool,
+) -> (InteractionPlan, ShrinkStats) {
+    let mut stats = ShrinkStats {
+        from_len: plan.len(),
+        to_len: plan.len(),
+        probes: 0,
+    };
+    let mut events = plan.events().to_vec();
+    let mut probe = |evs: &[PlanEvent], stats: &mut ShrinkStats| {
+        stats.probes += 1;
+        fails(&InteractionPlan::new(evs.to_vec()))
+    };
+
+    // Phase 1: ddmin chunk removal. Start at two chunks and double the
+    // granularity when nothing can be dropped; whenever a complement still
+    // fails, adopt it and re-coarsen.
+    let mut n = 2usize;
+    while events.len() >= 2 {
+        let chunk = events.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < events.len() {
+            let end = (start + chunk).min(events.len());
+            let mut candidate = Vec::with_capacity(events.len() - (end - start));
+            candidate.extend_from_slice(&events[..start]);
+            candidate.extend_from_slice(&events[end..]);
+            if !candidate.is_empty() && probe(&candidate, &mut stats) {
+                events = candidate;
+                n = (n.saturating_sub(1)).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(events.len());
+        }
+    }
+
+    // Phase 2 + 3 to fixpoint: single-event removal (this is what makes
+    // the result 1-minimal), then parameter simplification, repeating
+    // while either finds anything — a simplified event can unlock a
+    // removal and vice versa.
+    loop {
+        let mut changed = false;
+        // Single-event removal.
+        let mut i = 0;
+        while i < events.len() && events.len() > 1 {
+            let mut candidate = events.clone();
+            candidate.remove(i);
+            if probe(&candidate, &mut stats) {
+                events = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        // Parameter simplification, one candidate at a time.
+        for i in 0..events.len() {
+            for simpler in simplify(&events[i]) {
+                if events[i] == simpler {
+                    continue;
+                }
+                let mut candidate = events.clone();
+                candidate[i] = simpler;
+                if probe(&candidate, &mut stats) {
+                    events = candidate;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    stats.to_len = events.len();
+    (InteractionPlan::new(events), stats)
+}
+
+/// Candidate simplifications of one event, most aggressive first. Each is
+/// only adopted if the plan still fails with it in place.
+fn simplify(ev: &PlanEvent) -> Vec<PlanEvent> {
+    let mut out = Vec::new();
+    let mut push = |action: PlanAction| out.push(PlanEvent { action, ..*ev });
+    match ev.action {
+        PlanAction::Fault(kind) => match kind {
+            FaultKind::TunerOutage { .. } => push(PlanAction::Fault(FaultKind::TunerOutage {
+                duration_ms: 30_000,
+            })),
+            FaultKind::TelemetryDrop { .. } => push(PlanAction::Fault(FaultKind::TelemetryDrop {
+                duration_ms: 60_000,
+            })),
+            FaultKind::DiskStall { .. } => push(PlanAction::Fault(FaultKind::DiskStall {
+                duration_ms: 15_000,
+                factor: 2.0,
+            })),
+            FaultKind::ReplicaLagSpike { .. } => {
+                push(PlanAction::Fault(FaultKind::ReplicaLagSpike {
+                    pause_ms: 30_000,
+                }))
+            }
+            _ => {}
+        },
+        PlanAction::Burst { .. } => push(PlanAction::Burst {
+            rate_qps: 400.0,
+            duration_ms: 30_000,
+        }),
+        PlanAction::KnobPush { .. } => push(PlanAction::KnobPush { value: 0.5 }),
+        PlanAction::Maintenance | PlanAction::AddReplica | PlanAction::RemoveReplica => {}
+    }
+    // Minute-align the timestamp — easier to read, and collapses the time
+    // dimension for dedup across entries.
+    if !ev.at.is_multiple_of(60_000) {
+        out.push(PlanEvent {
+            at: ev.at - ev.at % 60_000,
+            ..*ev
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, node: usize, action: PlanAction) -> PlanEvent {
+        PlanEvent { at, node, action }
+    }
+
+    fn big_plan() -> InteractionPlan {
+        InteractionPlan::new(
+            (0..50)
+                .map(|i| {
+                    ev(
+                        (i as u64) * 7_001,
+                        i % 4,
+                        match i % 5 {
+                            0 => PlanAction::Maintenance,
+                            1 => PlanAction::Burst {
+                                rate_qps: 900.0,
+                                duration_ms: 60_000,
+                            },
+                            2 => PlanAction::Fault(FaultKind::VmCrash),
+                            3 => PlanAction::KnobPush { value: 1.0 },
+                            _ => PlanAction::Fault(FaultKind::DiskStall {
+                                duration_ms: 45_000,
+                                factor: 8.0,
+                            }),
+                        },
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn shrinks_a_single_culprit_to_one_event() {
+        // The plan "fails" iff it still contains a KnobPush at full tilt —
+        // the shrinker must find the 1-event counterexample (≥ 80% / here
+        // 98% reduction) without knowing which event matters.
+        let plan = big_plan();
+        let fails = |p: &InteractionPlan| {
+            p.events()
+                .iter()
+                .any(|e| matches!(e.action, PlanAction::KnobPush { value } if value >= 1.0))
+        };
+        assert!(fails(&plan), "the seeded plan must fail to begin with");
+        let (shrunk, stats) = shrink(&plan, fails);
+        assert_eq!(shrunk.len(), 1, "exactly the culprit survives");
+        assert!(matches!(
+            shrunk.events()[0].action,
+            PlanAction::KnobPush { value } if value >= 1.0
+        ));
+        assert_eq!(stats.from_len, 50);
+        assert_eq!(stats.to_len, 1);
+        assert!(stats.to_len <= stats.from_len / 5, "≥ 80% reduction");
+        // Timestamp got minute-aligned by the simplification phase.
+        assert_eq!(shrunk.events()[0].at % 60_000, 0);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let plan = big_plan();
+        let fails = |p: &InteractionPlan| {
+            p.events()
+                .iter()
+                .filter(|e| matches!(e.action, PlanAction::Fault(FaultKind::VmCrash)))
+                .count()
+                >= 2
+        };
+        let (a, sa) = shrink(&plan, fails);
+        let (b, sb) = shrink(&plan, fails);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert_eq!(a.len(), 2, "two crashes are needed to keep failing");
+    }
+
+    #[test]
+    fn parameters_simplify_toward_neutral_when_failure_is_kind_based() {
+        let plan = InteractionPlan::new(vec![
+            ev(
+                77_777,
+                0,
+                PlanAction::Fault(FaultKind::DiskStall {
+                    duration_ms: 45_000,
+                    factor: 8.0,
+                }),
+            ),
+            ev(10_000, 1, PlanAction::Maintenance),
+        ]);
+        // Fails whenever any disk stall exists at all.
+        let fails = |p: &InteractionPlan| {
+            p.events()
+                .iter()
+                .any(|e| matches!(e.action, PlanAction::Fault(FaultKind::DiskStall { .. })))
+        };
+        let (shrunk, _) = shrink(&plan, fails);
+        assert_eq!(
+            shrunk.events(),
+            &[ev(
+                60_000,
+                0,
+                PlanAction::Fault(FaultKind::DiskStall {
+                    duration_ms: 15_000,
+                    factor: 2.0,
+                })
+            )]
+        );
+    }
+}

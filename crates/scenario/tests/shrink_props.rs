@@ -1,0 +1,139 @@
+//! Property tests for the delta-debugging shrinker.
+//!
+//! The shrinker's contract has two halves, checked here over arbitrary
+//! generated plans and an artificial (cheap, simulator-free) failure
+//! predicate:
+//!
+//! 1. **soundness** — the shrunk plan still fails the same predicate the
+//!    original failed;
+//! 2. **1-minimality** — removing any single event from the shrunk plan
+//!    makes the predicate pass, so every surviving event is load-bearing.
+//!
+//! Plus determinism: the same failing plan shrinks to the same
+//! counterexample every time.
+//!
+//! The vendored proptest shim only generates scalars and vectors, so each
+//! event is decoded from one generated word; every plan-action kind is
+//! reachable.
+
+use autodbaas_cloudsim::{FaultKind, InteractionPlan, PlanAction, PlanEvent};
+use autodbaas_scenario::shrink;
+use proptest::prelude::*;
+
+/// Deterministically unpack one generated word into a plan event, covering
+/// every action kind (and a parameter spread for the parametric ones).
+fn decode_event(w: u64) -> PlanEvent {
+    let at = (w % 600) * 1_000;
+    let node = ((w >> 10) % 4) as usize;
+    let action = match (w >> 16) % 9 {
+        0 => PlanAction::Fault(FaultKind::VmCrash),
+        1 => PlanAction::Fault(FaultKind::RequestLoss),
+        2 => PlanAction::Fault(FaultKind::TunerOutage {
+            duration_ms: 10_000 + (w >> 24) % 110_000,
+        }),
+        3 => PlanAction::Fault(FaultKind::DiskStall {
+            duration_ms: 10_000 + (w >> 24) % 80_000,
+            factor: 2.0 + ((w >> 40) % 8) as f64,
+        }),
+        4 => PlanAction::Burst {
+            rate_qps: (200 + (w >> 24) % 1_000) as f64,
+            duration_ms: 15_000 + (w >> 40) % 105_000,
+        },
+        5 => PlanAction::KnobPush {
+            value: ((w >> 24) % 5) as f64 * 0.25,
+        },
+        6 => PlanAction::Maintenance,
+        7 => PlanAction::AddReplica,
+        _ => PlanAction::RemoveReplica,
+    };
+    PlanEvent { at, node, action }
+}
+
+/// Build a plan from generated words, then append `crashes` guaranteed
+/// fault events so the counting predicate provably fails up front (the
+/// shim has no `prop_assume`, so failure is made structural instead).
+fn plan_with_crashes(raw: &[u64], crashes: &[u64]) -> InteractionPlan {
+    let mut events: Vec<PlanEvent> = raw.iter().map(|&w| decode_event(w)).collect();
+    events.extend(crashes.iter().map(|&w| PlanEvent {
+        at: (w % 600) * 1_000,
+        node: ((w >> 10) % 4) as usize,
+        action: PlanAction::Fault(FaultKind::VmCrash),
+    }));
+    InteractionPlan::new(events)
+}
+
+/// The artificial property: "fails" while the plan still holds at least
+/// `threshold` fault events. Kind-based, so the shrinker cannot cheat by
+/// tweaking parameters, and cheap enough for thousands of probes.
+fn fault_count(p: &InteractionPlan) -> usize {
+    p.events()
+        .iter()
+        .filter(|e| matches!(e.action, PlanAction::Fault(_)))
+        .count()
+}
+
+proptest! {
+    /// Soundness + 1-minimality for the "any fault present" predicate: the
+    /// shrunk plan must still contain a fault, and must contain *only*
+    /// load-bearing events — dropping any one of them kills the failure.
+    #[test]
+    fn shrunk_plan_still_fails_and_is_one_minimal(
+        raw in prop::collection::vec(0u64..u64::MAX, 0..=36),
+        crash in 0u64..u64::MAX,
+    ) {
+        let plan = plan_with_crashes(&raw, &[crash]);
+        let fails = |p: &InteractionPlan| fault_count(p) >= 1;
+        prop_assert!(fails(&plan), "construction guarantees an initial failure");
+        let (shrunk, stats) = shrink(&plan, fails);
+        prop_assert!(fails(&shrunk), "shrinking lost the failure");
+        prop_assert_eq!(stats.from_len, plan.len());
+        prop_assert_eq!(stats.to_len, shrunk.len());
+        prop_assert_eq!(shrunk.len(), 1, "one fault suffices, so one event survives");
+        for i in 0..shrunk.len() {
+            let mut fewer = shrunk.events().to_vec();
+            fewer.remove(i);
+            prop_assert!(
+                !fails(&InteractionPlan::new(fewer)),
+                "event {i} of the shrunk plan is not load-bearing"
+            );
+        }
+    }
+
+    /// Same contract at a higher threshold — minimality pins the surviving
+    /// fault count from above, soundness from below, and no non-fault
+    /// passenger may ride along.
+    #[test]
+    fn shrinking_preserves_a_counting_predicate_exactly(
+        raw in prop::collection::vec(0u64..u64::MAX, 0..=36),
+        crashes in prop::collection::vec(0u64..u64::MAX, 2..=3),
+    ) {
+        let threshold = crashes.len();
+        let plan = plan_with_crashes(&raw, &crashes);
+        let fails = |p: &InteractionPlan| fault_count(p) >= threshold;
+        prop_assert!(fails(&plan));
+        let (shrunk, _) = shrink(&plan, fails);
+        prop_assert_eq!(fault_count(&shrunk), threshold);
+        prop_assert_eq!(shrunk.len(), threshold, "non-fault passengers survived");
+        for i in 0..shrunk.len() {
+            let mut fewer = shrunk.events().to_vec();
+            fewer.remove(i);
+            prop_assert!(!fails(&InteractionPlan::new(fewer)));
+        }
+    }
+
+    /// Determinism: two shrinks of the same plan agree bit-for-bit, probe
+    /// counts and all.
+    #[test]
+    fn shrinking_is_reproducible(
+        raw in prop::collection::vec(0u64..u64::MAX, 0..=36),
+        crash in 0u64..u64::MAX,
+    ) {
+        let plan = plan_with_crashes(&raw, &[crash]);
+        let fails = |p: &InteractionPlan| fault_count(p) >= 1;
+        let (a, sa) = shrink(&plan, fails);
+        let (b, sb) = shrink(&plan, fails);
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sa, sb);
+    }
+}

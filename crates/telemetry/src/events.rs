@@ -10,6 +10,71 @@
 
 use crate::SimTime;
 
+/// Streaming FNV-1a hasher over arbitrary byte chunks.
+///
+/// One fingerprint definition serves every bit-for-bit comparison in the
+/// workspace: [`EventLog::fingerprint`] pins chaos-run reproducibility, and
+/// the scenario simulator hashes interaction plans with the same function so
+/// a bug-base entry's plan fingerprint and its replayed event log share a
+/// vocabulary.
+///
+/// # Examples
+///
+/// ```
+/// use autodbaas_telemetry::Fingerprint;
+///
+/// let mut a = Fingerprint::new();
+/// a.mix(b"fault.vm_crash");
+/// a.mix(&3u64.to_le_bytes());
+/// let mut b = Fingerprint::new();
+/// b.mix(b"fault.vm_crash");
+/// b.mix(&3u64.to_le_bytes());
+/// assert_eq!(a.finish(), b.finish());
+/// assert_ne!(a.finish(), Fingerprint::new().finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    /// FNV-1a offset basis.
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    /// FNV-1a prime.
+    const PRIME: u64 = 0x100000001b3;
+
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Absorb a byte chunk.
+    pub fn mix(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorb a `u64` in little-endian byte order.
+    pub fn mix_u64(&mut self, v: u64) {
+        self.mix(&v.to_le_bytes());
+    }
+
+    /// The digest so far (the hasher stays usable).
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// One fault or recovery event.
 ///
 /// `kind` is a static dotted label (`"fault.vm_crash"`,
@@ -123,19 +188,13 @@ impl EventLog {
     /// event sequences iff their fingerprints match. This is the bit-for-bit
     /// reproducibility check for seeded chaos runs.
     pub fn fingerprint(&self) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
-        let mut mix = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        };
+        let mut h = Fingerprint::new();
         for e in &self.events {
-            mix(&e.at.to_le_bytes());
-            mix(e.kind.as_bytes());
-            mix(&e.target.to_le_bytes());
+            h.mix_u64(e.at);
+            h.mix(e.kind.as_bytes());
+            h.mix_u64(e.target);
         }
-        h
+        h.finish()
     }
 }
 
@@ -202,6 +261,37 @@ mod tests {
         // An empty batch is a no-op.
         batch.emit_batch(8, []);
         assert_eq!(seq.fingerprint(), batch.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_hasher_matches_the_inline_fnv_it_replaced() {
+        // The event-log digest must be stable across the refactor onto
+        // `Fingerprint` — bug-base fingerprints recorded before it would
+        // otherwise silently stop matching.
+        let mut log = EventLog::new();
+        log.emit(1_000, "fault.vm_crash", 3);
+        log.emit(9_000, "recover.restarted", 3);
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mix = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for e in log.events() {
+            mix(&mut h, &e.at.to_le_bytes());
+            mix(&mut h, e.kind.as_bytes());
+            mix(&mut h, &e.target.to_le_bytes());
+        }
+        assert_eq!(log.fingerprint(), h);
+        // Chunking must not matter: one mix of all bytes == many mixes.
+        let mut one = Fingerprint::new();
+        one.mix(b"abcdef");
+        let mut many = Fingerprint::new();
+        many.mix(b"ab");
+        many.mix(b"cd");
+        many.mix(b"ef");
+        assert_eq!(one.finish(), many.finish());
     }
 
     #[test]

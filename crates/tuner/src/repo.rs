@@ -121,6 +121,17 @@ impl StoredWorkload {
                 .expect("NaN objective")
         })
     }
+
+    /// `(high, low)` sample counts for this workload — the sample-hygiene
+    /// probe the scenario simulator's oracles read.
+    pub fn quality_counts(&self) -> (usize, usize) {
+        let high = self
+            .samples
+            .iter()
+            .filter(|s| s.quality == SampleQuality::High)
+            .count();
+        (high, self.samples.len() - high)
+    }
 }
 
 /// The repository itself.
@@ -202,6 +213,21 @@ impl WorkloadRepository {
     /// model of the BO tuner. O(1): maintained on every append.
     pub fn total_samples(&self) -> usize {
         self.total_samples
+    }
+
+    /// `(high, low)` sample counts over *online* workloads only. Offline
+    /// (staging/bench) workloads are excluded because the paper treats them
+    /// as always worth learning from; the sample-hygiene oracle asserts that
+    /// a TDE-gated fleet run leaves the low count at exactly zero.
+    pub fn online_quality_counts(&self) -> (usize, usize) {
+        self.sampled
+            .iter()
+            .map(|id| &self.workloads[id.0 as usize])
+            .filter(|w| !w.offline)
+            .fold((0, 0), |(h, l), w| {
+                let (wh, wl) = w.quality_counts();
+                (h + wh, l + wl)
+            })
     }
 }
 
@@ -361,6 +387,24 @@ mod tests {
         );
         assert_eq!(repo.total_samples(), 4);
         assert_eq!(repo.workload(id).best_objective(), Some(3.0));
+    }
+
+    #[test]
+    fn quality_counts_split_online_from_offline() {
+        let mut repo = WorkloadRepository::new();
+        let bench = repo.register("tpcc-offline", true);
+        let prod = repo.register("prod-42", false);
+        let _idle = repo.register("prod-never-sampled", false);
+        repo.add_sample(bench, sample(vec![0.1], 500.0, SampleQuality::High));
+        repo.add_sample(bench, sample(vec![0.2], 1.0, SampleQuality::Low));
+        repo.add_sample(prod, sample(vec![0.3], 400.0, SampleQuality::High));
+        repo.add_sample(prod, sample(vec![0.4], 450.0, SampleQuality::High));
+        assert_eq!(repo.workload(bench).quality_counts(), (1, 1));
+        assert_eq!(repo.workload(prod).quality_counts(), (2, 0));
+        // Offline samples never count against online hygiene.
+        assert_eq!(repo.online_quality_counts(), (2, 0));
+        repo.add_sample(prod, sample(vec![0.5], 2.0, SampleQuality::Low));
+        assert_eq!(repo.online_quality_counts(), (2, 1));
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Tier-1 regression gate over the scenario bug base.
+//!
+//! Every `tests/bugbase/*.toml` entry is a shrunk counterexample with a
+//! contract: `status = "fixed"` entries must replay clean (a re-failure is
+//! a regression), `status = "fails"` entries must still violate their
+//! recorded property (a silent pass means the behaviour changed and the
+//! entry's status is stale). Either way `ReplayVerdict::ok()` must hold.
+
+use autodbaas_scenario::{explore_seed, load_dir, profile, ReplayVerdict};
+use std::path::Path;
+
+fn bugbase_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/bugbase"))
+}
+
+#[test]
+fn every_bugbase_entry_honors_its_contract() {
+    let entries = load_dir(bugbase_dir()).expect("bug base must parse");
+    assert!(
+        !entries.is_empty(),
+        "tests/bugbase must hold at least one entry"
+    );
+    let mut broken = Vec::new();
+    for (path, entry) in &entries {
+        let (verdict, out) = entry.replay(false);
+        if !verdict.ok() {
+            broken.push(format!(
+                "{}: {} seed={} property={} status={} -> {:?} (availability={:.4})",
+                path.display(),
+                entry.profile,
+                entry.seed,
+                entry.property.name(),
+                entry.status.name(),
+                verdict,
+                out.availability
+            ));
+        }
+    }
+    assert!(broken.is_empty(), "contract breaks:\n{}", broken.join("\n"));
+}
+
+#[test]
+fn bugbase_holds_both_contract_kinds() {
+    // The base must document at least one fixed bug (regression guard) and
+    // at least one known limitation (expected-fail), so both replay paths
+    // stay exercised.
+    let entries = load_dir(bugbase_dir()).expect("bug base must parse");
+    let fixed = entries
+        .iter()
+        .filter(|(_, e)| e.status.name() == "fixed")
+        .count();
+    let fails = entries.len() - fixed;
+    assert!(fixed > 0, "need at least one status=fixed entry");
+    assert!(fails > 0, "need at least one status=fails entry");
+}
+
+#[test]
+fn replay_matches_a_fresh_exploration_of_the_same_seed() {
+    // A "fixed" entry records the seed that originally found the bug; the
+    // full generated plan for that seed must itself explore clean now, and
+    // bit-identically across repeated explorations.
+    let p = profile("quiet").unwrap();
+    let a = explore_seed(p, 1, false);
+    let b = explore_seed(p, 1, false);
+    assert_eq!(a.plan_fingerprint, b.plan_fingerprint);
+    assert_eq!(a.outcome.fingerprint_serial, b.outcome.fingerprint_serial);
+    assert!(a.ok(), "quiet seed 1 regressed: {:?}", a.violations);
+}
+
+#[test]
+fn replay_verdict_ok_covers_exactly_the_two_good_verdicts() {
+    assert!(ReplayVerdict::Pass.ok());
+    assert!(ReplayVerdict::StillFails.ok());
+    assert!(!ReplayVerdict::UnexpectedlyPassed.ok());
+    assert!(!ReplayVerdict::Regressed(String::new()).ok());
+}
