@@ -156,6 +156,7 @@ impl ShardPool {
                     let range = range.clone();
                     move || worker_main(&ctl, &slot, range, seed)
                 })
+                // detlint-allow: R003 spawn failure at pool construction is unrecoverable; fires once at startup, never in the tick path
                 .expect("spawn fleet shard worker");
             slots.push(slot);
             handles.push(handle);
@@ -218,10 +219,12 @@ impl ShardPool {
             h.thread().unpark();
         }
 
-        // Drive shard 0 here, through the same raw base the workers use:
-        // all shards hold disjoint index ranges, and `nodes` is not
-        // reborrowed until the barrier below retires the epoch.
         for i in self.ranges[0].clone() {
+            // SAFETY: `base` points at `nodes[0]` for this whole epoch and
+            // `i` stays inside `ranges[0]`, which is disjoint from every
+            // worker shard's range; `nodes` is not reborrowed until the
+            // barrier below retires the epoch, so this is the only live
+            // `&mut` to `nodes[i]`.
             let node = unsafe { &mut *base.add(i) };
             let t = node.drive(tick_ms);
             total.submitted += t.submitted;
@@ -241,6 +244,7 @@ impl ShardPool {
             }
         }
         if self.ctl.poisoned.load(Ordering::Acquire) {
+            // detlint-allow: R003 deliberately re-raises a worker panic on the driver thread; swallowing it would hand back a corrupt fleet state
             panic!("a fleet shard worker panicked while driving its nodes");
         }
 
@@ -300,8 +304,11 @@ fn worker_main(ctl: &Ctl, slot: &Slot, range: Range<usize>, seed: u64) {
             let mut submitted = 0u64;
             let mut down = 0u64;
             for i in range.clone() {
-                // Disjoint from every other shard's range; valid for the
-                // whole epoch because the caller blocks on the barrier.
+                // SAFETY: `i` stays inside this worker's `range`, disjoint
+                // from every other shard's range, and `base` stays valid
+                // for the whole epoch because the caller blocks on the
+                // barrier before touching `nodes` again — so this is the
+                // only live `&mut` to `nodes[i]`.
                 let node = unsafe { &mut *base.add(i) };
                 let t = node.drive(tick_ms);
                 submitted += t.submitted;

@@ -216,6 +216,7 @@ mod tests {
             snippet: snippet.to_string(),
             message: String::new(),
             in_test: false,
+            chain: Vec::new(),
         }
     }
 

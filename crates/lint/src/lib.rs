@@ -12,17 +12,33 @@
 //! requires a reason, and a committed baseline ([`baseline`]) so the gate
 //! runs strict from day one.
 //!
+//! v2 adds structural analysis on top of the same lexer: a
+//! recursive-descent parser ([`parse`] → [`ast`]) producing a coarse
+//! span-accurate item tree per file, a workspace symbol table and call
+//! graph ([`callgraph`]) with explicit resolved/ambiguous/external
+//! accounting, and interprocedural rules ([`flow`]): R003
+//! panic-reachability from fleet entry points (with the full call chain
+//! in the diagnostic), R004 lock discipline, and D006 determinism taint
+//! from wall-clock/RNG/hash-order sources into event-log and fingerprint
+//! sinks. S002 (SAFETY-audited `unsafe`) rides on the token layer.
+//!
 //! Three entry points:
 //! - `cargo run -p autodbaas-lint` — human output, exit 1 on findings;
 //! - `tests/lint_clean.rs` (tier-1) — fails the build on any
 //!   non-baselined finding via [`run_workspace`];
-//! - `cargo run -p autodbaas-lint -- --json` — machine-readable output.
+//! - `cargo run -p autodbaas-lint -- --json` — machine-readable output
+//!   (schema v2; v1 consumers fail loudly on the missing `active` field).
 
+pub mod ast;
 pub mod baseline;
+pub mod callgraph;
+pub mod flow;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 use baseline::{Baseline, BaselineError};
+use callgraph::GraphStats;
 use rules::{all_rules, FileCtx, Finding, Rule};
 use std::path::{Path, PathBuf};
 
@@ -46,6 +62,26 @@ pub struct Diagnosed {
     pub disposition: Disposition,
 }
 
+/// One source file handed to [`lint_sources`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Owning crate ([`crate_of`] derives it from the path).
+    pub crate_name: String,
+    /// File contents.
+    pub src: String,
+}
+
+/// The result of linting a set of sources (no baseline applied yet).
+#[derive(Debug)]
+pub struct LintRun {
+    /// Every finding with allow-suppression already applied.
+    pub diagnostics: Vec<Diagnosed>,
+    /// Call-graph resolution accounting.
+    pub graph: GraphStats,
+}
+
 /// The result of linting a workspace.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -55,6 +91,10 @@ pub struct Report {
     pub files_scanned: usize,
     /// Baseline entries that matched nothing (candidates for deletion).
     pub stale_baseline: Vec<baseline::BaselineEntry>,
+    /// Root-relative path of the baseline file (for stale-entry output).
+    pub baseline_file: String,
+    /// Call-graph resolution accounting.
+    pub graph: GraphStats,
 }
 
 impl Report {
@@ -138,29 +178,11 @@ fn parse_allows(src: &str, tokens: &[lexer::Token]) -> Vec<Allow> {
     out
 }
 
-/// Lint one file's source. `path` must be workspace-relative with forward
-/// slashes; `crate_name` scopes the rules.
-pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Diagnosed> {
-    let tokens = lexer::tokenize(src);
-    let code = lexer::code_tokens(&tokens);
-    let regions = rules::test_regions(src, &code);
-    let ctx = FileCtx {
-        path,
-        crate_name,
-        src,
-        tokens: &tokens,
-        code: &code,
-        test_regions: &regions,
-    };
-    let mut findings = Vec::new();
-    for rule in all_rules() {
-        (rule.check)(&ctx, &mut findings);
-    }
-    let allows = parse_allows(src, &tokens);
-
+/// S001 findings for a file's allow comments: every allow must carry a
+/// reason and name known rules.
+fn s001_findings(path: &str, src: &str, allows: &[Allow]) -> Vec<Diagnosed> {
     let mut out = Vec::new();
-    // S001: every allow must carry a reason and name known rules.
-    for a in &allows {
+    for a in allows {
         let line_snip = src
             .lines()
             .nth(a.line as usize - 1)
@@ -179,6 +201,7 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Diagnosed> {
                               `// detlint-allow: <RULE> <why this is safe>`"
                         .to_string(),
                     in_test: false,
+                    chain: Vec::new(),
                 },
                 disposition: Disposition::Active,
             });
@@ -198,29 +221,126 @@ pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Diagnosed> {
                     snippet: line_snip,
                     message: format!("detlint-allow names unknown rule `{bogus}`"),
                     in_test: false,
+                    chain: Vec::new(),
                 },
                 disposition: Disposition::Active,
             });
         }
     }
-    // Apply suppressions: a reasoned allow on line L silences matching
-    // findings on L (trailing comment) and L+1 (comment-above style).
-    for f in findings {
-        let suppressed = allows.iter().any(|a| {
-            !a.reason.is_empty()
-                && a.rules.iter().any(|r| r == f.rule)
-                && (a.line == f.line || a.line + 1 == f.line)
-        });
-        out.push(Diagnosed {
-            disposition: if suppressed {
-                Disposition::Suppressed
-            } else {
-                Disposition::Active
-            },
-            finding: f,
-        });
-    }
     out
+}
+
+/// Apply suppressions: a reasoned allow on line L silences matching
+/// findings on L (trailing comment) and L+1 (comment-above style).
+fn apply_allows(findings: Vec<Finding>, allows: &[Allow]) -> Vec<Diagnosed> {
+    findings
+        .into_iter()
+        .map(|f| {
+            let suppressed = allows.iter().any(|a| {
+                !a.reason.is_empty()
+                    && a.rules.iter().any(|r| r == f.rule)
+                    && (a.line == f.line || a.line + 1 == f.line)
+            });
+            Diagnosed {
+                disposition: if suppressed {
+                    Disposition::Suppressed
+                } else {
+                    Disposition::Active
+                },
+                finding: f,
+            }
+        })
+        .collect()
+}
+
+/// Lint one file's source with the **per-file** rules only (D001–D005,
+/// R001, R002, S001, S002). The interprocedural rules (R003, R004, D006)
+/// need the whole workspace — use [`lint_sources`] for those. `path`
+/// must be workspace-relative with forward slashes; `crate_name` scopes
+/// the rules.
+pub fn lint_source(path: &str, crate_name: &str, src: &str) -> Vec<Diagnosed> {
+    let tokens = lexer::tokenize(src);
+    let code = lexer::code_tokens(&tokens);
+    let regions = rules::test_regions(src, &code);
+    let ctx = FileCtx {
+        path,
+        crate_name,
+        src,
+        tokens: &tokens,
+        code: &code,
+        test_regions: &regions,
+    };
+    let mut findings = Vec::new();
+    for rule in all_rules() {
+        (rule.check)(&ctx, &mut findings);
+    }
+    let allows = parse_allows(src, &tokens);
+    let mut out = s001_findings(path, src, &allows);
+    out.extend(apply_allows(findings, &allows));
+    out
+}
+
+/// Lint a set of sources with the full v2 pipeline: per-file rules, then
+/// parse → call graph → interprocedural rules, with allow suppression
+/// applied to everything. This is what [`run_workspace`] runs on the real
+/// tree and what fixture tests feed synthetic workspaces into.
+pub fn lint_sources(files: &[SourceFile]) -> LintRun {
+    let mut diagnostics = Vec::new();
+    let mut parsed: Vec<callgraph::FileAst> = Vec::with_capacity(files.len());
+    let mut all_allows: Vec<Vec<Allow>> = Vec::with_capacity(files.len());
+    let mut hash_sites: Vec<Vec<(usize, u32)>> = Vec::with_capacity(files.len());
+    for f in files {
+        let tokens = lexer::tokenize(&f.src);
+        let code = lexer::code_tokens(&tokens);
+        let regions = rules::test_regions(&f.src, &code);
+        let ctx = FileCtx {
+            path: &f.path,
+            crate_name: &f.crate_name,
+            src: &f.src,
+            tokens: &tokens,
+            code: &code,
+            test_regions: &regions,
+        };
+        let mut findings = Vec::new();
+        for rule in all_rules() {
+            (rule.check)(&ctx, &mut findings);
+        }
+        let allows = parse_allows(&f.src, &tokens);
+        diagnostics.extend(s001_findings(&f.path, &f.src, &allows));
+        diagnostics.extend(apply_allows(findings, &allows));
+        // Hash-iteration sites feed D006 source detection in *every*
+        // crate (taint crosses crate boundaries; D003's crate scoping
+        // does not apply here).
+        hash_sites.push(
+            rules::hash_iteration_sites(&ctx)
+                .into_iter()
+                .map(|(i, _)| (code[i].start, code[i].line))
+                .collect(),
+        );
+        parsed.push(callgraph::FileAst {
+            path: f.path.clone(),
+            crate_name: f.crate_name.clone(),
+            src: f.src.clone(),
+            ast: parse::parse(&f.src, &code),
+            test_regions: regions,
+        });
+        all_allows.push(allows);
+    }
+
+    let graph = callgraph::CallGraph::build(&parsed);
+    let flow_findings = flow::run(&parsed, &graph, &hash_sites);
+    for finding in flow_findings {
+        let allows = files
+            .iter()
+            .position(|f| f.path == finding.file)
+            .map(|i| all_allows[i].as_slice())
+            .unwrap_or(&[]);
+        diagnostics.extend(apply_allows(vec![finding], allows));
+    }
+    LintRun {
+        diagnostics,
+        graph: graph.stats,
+    }
 }
 
 /// Crate name for a workspace-relative path.
@@ -236,9 +356,9 @@ pub fn crate_of(rel_path: &str) -> &str {
     }
 }
 
-/// Collect the workspace's own `.rs` files (vendored stand-ins and build
-/// output excluded), as workspace-relative forward-slash paths, sorted so
-/// reports are stable.
+/// Collect the workspace's own `.rs` files (vendored stand-ins, lint
+/// fixtures and build output excluded), as workspace-relative
+/// forward-slash paths, sorted so reports are stable.
 pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     for top in ["crates", "src", "tests", "examples"] {
@@ -258,7 +378,10 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name == "vendor" || name.starts_with('.') {
+            // `fixtures` holds known-bad snippets the rule tests feed to
+            // `lint_sources` directly; linting them would fail the gate
+            // by design.
+            if name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.') {
                 continue;
             }
             walk(&path, out)?;
@@ -305,28 +428,42 @@ pub fn run_workspace(root: &Path, baseline_path: Option<&Path>) -> Result<Report
         Baseline::default()
     };
 
-    let files = workspace_files(root)?;
-    let mut report = Report {
-        files_scanned: files.len(),
-        ..Report::default()
-    };
-    let mut matched = vec![false; baseline.entries.len()];
-    for file in &files {
+    let paths = workspace_files(root)?;
+    let mut sources = Vec::with_capacity(paths.len());
+    for file in &paths {
         let rel = file
             .strip_prefix(root)
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = std::fs::read_to_string(file)?;
-        for mut d in lint_source(&rel, crate_of(&rel), &src) {
-            if d.disposition == Disposition::Active {
-                if let Some(idx) = baseline.matches(&d.finding) {
-                    matched[idx] = true;
-                    d.disposition = Disposition::Baselined;
-                }
+        let crate_name = crate_of(&rel).to_string();
+        sources.push(SourceFile {
+            path: rel,
+            crate_name,
+            src: std::fs::read_to_string(file)?,
+        });
+    }
+    let run = lint_sources(&sources);
+
+    let mut report = Report {
+        files_scanned: sources.len(),
+        graph: run.graph,
+        baseline_file: bl_path
+            .strip_prefix(root)
+            .unwrap_or(&bl_path)
+            .to_string_lossy()
+            .replace('\\', "/"),
+        ..Report::default()
+    };
+    let mut matched = vec![false; baseline.entries.len()];
+    for mut d in run.diagnostics {
+        if d.disposition == Disposition::Active {
+            if let Some(idx) = baseline.matches(&d.finding) {
+                matched[idx] = true;
+                d.disposition = Disposition::Baselined;
             }
-            report.diagnostics.push(d);
         }
+        report.diagnostics.push(d);
     }
     report.stale_baseline = baseline
         .entries
@@ -335,9 +472,13 @@ pub fn run_workspace(root: &Path, baseline_path: Option<&Path>) -> Result<Report
         .filter(|(_, m)| !**m)
         .map(|(e, _)| e.clone())
         .collect();
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.finding.file, a.finding.line).cmp(&(&b.finding.file, b.finding.line)));
+    report.diagnostics.sort_by(|a, b| {
+        (&a.finding.file, a.finding.line, a.finding.rule).cmp(&(
+            &b.finding.file,
+            b.finding.line,
+            b.finding.rule,
+        ))
+    });
     Ok(report)
 }
 
@@ -361,6 +502,18 @@ pub fn render_human(report: &Report) -> String {
                 "{}: {}:{}:{}: {}\n    {}\n",
                 f.rule, f.file, f.line, f.col, f.message, f.snippet
             ));
+            if !f.chain.is_empty() {
+                out.push_str("    call chain:\n");
+                for (k, hop) in f.chain.iter().enumerate() {
+                    out.push_str(&format!(
+                        "      {}. {} ({}:{})\n",
+                        k + 1,
+                        hop.function,
+                        hop.file,
+                        hop.line
+                    ));
+                }
+            }
         } else {
             out.push_str(&format!(
                 "{}{}: {}:{}:{}\n",
@@ -368,10 +521,16 @@ pub fn render_human(report: &Report) -> String {
             ));
         }
     }
+    let bl = if report.baseline_file.is_empty() {
+        "lint_baseline.toml"
+    } else {
+        &report.baseline_file
+    };
     for e in &report.stale_baseline {
         out.push_str(&format!(
-            "warning: stale baseline entry ({} {} — line {}): no finding matches; delete it\n",
-            e.rule, e.file, e.line
+            "warning: stale baseline entry at {bl}:{}: {} in {} (`{}`) matches no \
+             finding — the code was fixed, delete this [[finding]] block\n",
+            e.line, e.rule, e.file, e.key
         ));
     }
     let suppressed = report
@@ -384,9 +543,15 @@ pub fn render_human(report: &Report) -> String {
         .iter()
         .filter(|d| d.disposition == Disposition::Baselined)
         .count();
+    let g = &report.graph;
     out.push_str(&format!(
-        "detlint: {} files, {} active finding(s), {} allowed, {} baselined\n",
+        "detlint: {} files, {} fns, {} call edges (+{} ambiguous, {} external), \
+         {} active finding(s), {} allowed, {} baselined\n",
         report.files_scanned,
+        g.functions,
+        g.resolved_edges,
+        g.ambiguous_edges,
+        g.external_calls,
         report.active_count(),
         suppressed,
         baselined
@@ -397,7 +562,11 @@ pub fn render_human(report: &Report) -> String {
     out
 }
 
-/// Render the report as JSON (hand-rolled; no serde in this workspace).
+/// Render the report as JSON, schema v2 (hand-rolled; no serde in this
+/// workspace). v2 moves the per-disposition counts under `counts` and
+/// drops the v1 top-level `active` field on purpose: a v1 consumer that
+/// reads `.active` must fail loudly rather than silently mis-parse, and
+/// `schema_version` tells it why.
 pub fn render_json(report: &Report) -> String {
     fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len() + 2);
@@ -422,23 +591,60 @@ pub fn render_json(report: &Report) -> String {
             Disposition::Suppressed => "suppressed",
             Disposition::Baselined => "baselined",
         };
+        let chain = f
+            .chain
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"function\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                    esc(&h.function),
+                    esc(&h.file),
+                    h.line
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         items.push(format!(
-            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\
-             \"message\":\"{}\",\"snippet\":\"{}\",\"in_test\":{},\"disposition\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"category\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\
+             \"message\":\"{}\",\"snippet\":\"{}\",\"in_test\":{},\"disposition\":\"{}\",\
+             \"chain\":[{}]}}",
             esc(f.rule),
+            rules::category(f.rule),
             esc(&f.file),
             f.line,
             f.col,
             esc(&f.message),
             esc(&f.snippet),
             f.in_test,
-            disp
+            disp,
+            chain
         ));
     }
+    let suppressed = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.disposition == Disposition::Suppressed)
+        .count();
+    let baselined = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.disposition == Disposition::Baselined)
+        .count();
+    let g = &report.graph;
     format!(
-        "{{\"files_scanned\":{},\"active\":{},\"findings\":[{}]}}\n",
+        "{{\"schema_version\":2,\"files_scanned\":{},\
+         \"counts\":{{\"active\":{},\"suppressed\":{},\"baselined\":{}}},\
+         \"callgraph\":{{\"functions\":{},\"resolved_edges\":{},\
+         \"ambiguous_edges\":{},\"external_calls\":{}}},\
+         \"findings\":[{}]}}\n",
         report.files_scanned,
         report.active_count(),
+        suppressed,
+        baselined,
+        g.functions,
+        g.resolved_edges,
+        g.ambiguous_edges,
+        g.external_calls,
         items.join(",")
     )
 }
@@ -522,17 +728,106 @@ fn f() { let t = Instant::now(); let r = rand::thread_rng(); }
     }
 
     #[test]
-    fn json_escapes_and_counts() {
+    fn json_v2_shape_escapes_and_counts() {
         let src = "fn f() { let t = Instant::now(); } // has \"quotes\" in line\n";
         let ds = lint_source("crates/simdb/src/x.rs", "simdb", src);
         let report = Report {
             diagnostics: ds,
             files_scanned: 1,
-            stale_baseline: vec![],
+            ..Report::default()
         };
         let json = render_json(&report);
-        assert!(json.contains("\"active\":1"));
+        assert!(json.contains("\"schema_version\":2"));
+        assert!(json.contains("\"counts\":{\"active\":1,\"suppressed\":0,\"baselined\":0}"));
+        assert!(json.contains("\"category\":\"determinism\""));
+        assert!(json.contains("\"chain\":[]"));
+        assert!(json.contains("\"callgraph\":"));
         assert!(json.contains("\\\"quotes\\\""));
         assert!(!json.contains("\n\""), "newlines must be escaped");
+        // The v1 top-level field is gone: v1 consumers must break loudly.
+        assert!(!json.contains("{\"files_scanned\""));
+        assert!(!json.contains(",\"active\":"));
+    }
+
+    #[test]
+    fn lint_sources_runs_flow_rules_and_applies_allows() {
+        let files = vec![
+            SourceFile {
+                path: "crates/ctrlplane/src/d.rs".into(),
+                crate_name: "ctrlplane".into(),
+                src: "pub fn reconcile() { simdb::apply(); }".into(),
+            },
+            SourceFile {
+                path: "crates/simdb/src/lib.rs".into(),
+                crate_name: "simdb".into(),
+                src: "pub fn apply() { x.unwrap(); }".into(),
+            },
+        ];
+        let run = lint_sources(&files);
+        let active: Vec<_> = run
+            .diagnostics
+            .iter()
+            .filter(|d| d.disposition == Disposition::Active)
+            .collect();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].finding.rule, "R003");
+        assert_eq!(active[0].finding.chain.len(), 2);
+        assert!(run.graph.functions == 2 && run.graph.resolved_edges == 1);
+
+        // A reasoned allow at the panic site suppresses the flow finding.
+        let files_allowed = vec![
+            files[0].clone(),
+            SourceFile {
+                path: "crates/simdb/src/lib.rs".into(),
+                crate_name: "simdb".into(),
+                src: "pub fn apply() {\n    // detlint-allow: R003 x is Some by construction\n    x.unwrap();\n}".into(),
+            },
+        ];
+        let run = lint_sources(&files_allowed);
+        assert!(
+            run.diagnostics
+                .iter()
+                .all(|d| d.disposition == Disposition::Suppressed),
+            "flow findings must honor detlint-allow"
+        );
+    }
+
+    #[test]
+    fn render_human_prints_chain_and_stale_baseline_location() {
+        let files = vec![
+            SourceFile {
+                path: "crates/ctrlplane/src/d.rs".into(),
+                crate_name: "ctrlplane".into(),
+                src: "pub fn reconcile() { simdb::apply(); }".into(),
+            },
+            SourceFile {
+                path: "crates/simdb/src/lib.rs".into(),
+                crate_name: "simdb".into(),
+                src: "pub fn apply() { x.unwrap(); }".into(),
+            },
+        ];
+        let run = lint_sources(&files);
+        let report = Report {
+            diagnostics: run.diagnostics,
+            files_scanned: 2,
+            stale_baseline: vec![baseline::BaselineEntry {
+                rule: "R001".into(),
+                file: "crates/gone.rs".into(),
+                key: "x.unwrap();".into(),
+                reason: "old".into(),
+                line: 12,
+            }],
+            baseline_file: "lint_baseline.toml".into(),
+            graph: run.graph,
+        };
+        let text = render_human(&report);
+        assert!(text.contains("call chain:"));
+        assert!(text.contains("1. ctrlplane::d::reconcile"));
+        assert!(text.contains("2. simdb::apply"));
+        assert!(
+            text.contains("stale baseline entry at lint_baseline.toml:12: R001 in crates/gone.rs"),
+            "stale entries must carry baseline file:line, rule and source file:\n{text}"
+        );
+        assert!(text.contains("delete this [[finding]] block"));
     }
 }

@@ -10,6 +10,19 @@
 
 use crate::lexer::{TokKind, Token};
 
+/// One hop of an interprocedural call chain (entry→panic for R003,
+/// sink→source for D006).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    /// Display path of the function (`cloudsim::shard::ShardPool::new`).
+    pub function: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// Line of the call into the next hop (or of the panic/source itself
+    /// on the last hop).
+    pub line: u32,
+}
+
 /// One diagnostic produced by a rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -28,6 +41,18 @@ pub struct Finding {
     pub message: String,
     /// True when the finding sits inside `#[cfg(test)]` / `#[test]` code.
     pub in_test: bool,
+    /// Interprocedural call chain (empty for single-site rules).
+    pub chain: Vec<ChainHop>,
+}
+
+/// Report category for a rule id: `D…` rules guard determinism, `R…`
+/// robustness, `S…` lint-engine hygiene.
+pub fn category(rule_id: &str) -> &'static str {
+    match rule_id.as_bytes().first() {
+        Some(b'D') => "determinism",
+        Some(b'R') => "robustness",
+        _ => "hygiene",
+    }
 }
 
 /// Lexed view of one source file.
@@ -77,6 +102,7 @@ impl FileCtx<'_> {
             snippet: self.line_snippet(tok.line),
             message,
             in_test: self.in_test(tok.start),
+            chain: Vec::new(),
         }
     }
 
@@ -112,9 +138,9 @@ pub struct Rule {
 }
 
 /// Crates whose tick/telemetry output must be bit-for-bit reproducible.
-const SIM_CRATES: &[&str] = &["simdb", "cloudsim", "ctrlplane", "tuner", "scenario"];
+pub(crate) const SIM_CRATES: &[&str] = &["simdb", "cloudsim", "ctrlplane", "tuner", "scenario"];
 /// Crates whose runtime paths must never panic on request content.
-const PANIC_FREE_CRATES: &[&str] = &["ctrlplane", "gateway"];
+pub(crate) const PANIC_FREE_CRATES: &[&str] = &["ctrlplane", "gateway"];
 
 /// The gateway's binaries (daemon + loadgen) are measurement/driver
 /// shells like the `bench` crate: they may read the wall clock. The
@@ -251,68 +277,8 @@ keeping the container ordered is cheaper than re-auditing every use.",
                 if !ORDER_SENSITIVE_CRATES.contains(&ctx.crate_name) {
                     return;
                 }
-                let names = hash_container_names(ctx);
-                if names.is_empty() {
-                    return;
-                }
-                const ITERS: &[&str] = &[
-                    "iter",
-                    "iter_mut",
-                    "keys",
-                    "values",
-                    "values_mut",
-                    "drain",
-                    "retain",
-                    "into_iter",
-                    "into_keys",
-                    "into_values",
-                ];
-                for i in 0..ctx.code.len() {
-                    let t = &ctx.code[i];
-                    if t.kind != TokKind::Ident || !names.contains(&t.text(ctx.src)) {
-                        continue;
-                    }
-                    let name = t.text(ctx.src);
-                    // `name.iter()` / `self.name.values()` — the receiver
-                    // ident is immediately left of the dot either way.
-                    if i + 2 < ctx.code.len()
-                        && ctx.code[i + 1].text(ctx.src) == "."
-                        && ITERS.contains(&ctx.code[i + 2].text(ctx.src))
-                        && ctx.code.get(i + 3).map(|t| t.text(ctx.src)) == Some("(")
-                    {
-                        let method = ctx.code[i + 2].text(ctx.src);
-                        out.push(ctx.finding(
-                            "D003",
-                            t,
-                            format!(
-                                "`{name}.{method}()` iterates a hash container in \
-                                 hash order; use BTreeMap/BTreeSet or sort first"
-                            ),
-                        ));
-                        continue;
-                    }
-                    // `for k in name {` / `for k in &name {` /
-                    // `for k in &mut name {` / `for k in name.X {` forms:
-                    // look back past `&`/`mut` for the `in` keyword, and
-                    // require the loop body to open right after (so calls
-                    // like `map.get(k)` inside other exprs don't match).
-                    let mut back = i;
-                    while back > 0 && matches!(ctx.code[back - 1].text(ctx.src), "&" | "mut") {
-                        back -= 1;
-                    }
-                    if back > 0
-                        && ctx.code[back - 1].text(ctx.src) == "in"
-                        && ctx.code.get(i + 1).map(|t| t.text(ctx.src)) == Some("{")
-                    {
-                        out.push(ctx.finding(
-                            "D003",
-                            t,
-                            format!(
-                                "`for … in {name}` iterates a hash container in \
-                                 hash order; use BTreeMap/BTreeSet or sort first"
-                            ),
-                        ));
-                    }
+                for (i, msg) in hash_iteration_sites(ctx) {
+                    out.push(ctx.finding("D003", &ctx.code[i], msg));
                 }
             },
         },
@@ -452,6 +418,36 @@ add `// detlint-allow: D005 <why this loop runs once per build>`.",
             },
         },
         Rule {
+            id: "D006",
+            title: "determinism taint flowing into event-log/fingerprint sinks",
+            explain: "\
+D006 — determinism taint reaching replay-visible sinks
+
+D001–D003 flag wall-clock reads, entropy-seeded RNGs and hash-order
+iteration *where they happen* — but only inside the scoped crates, and
+only locally. D006 lifts them to a flow property: a function anywhere in
+the workspace that reads `Instant::now()`/`SystemTime::now()`, builds a
+`thread_rng()`/`from_entropy()` RNG, or iterates a hash container is a
+taint *source*; any function in the sim crates (or `telemetry`/`core`)
+that calls `emit`/`emit_batch`/`fingerprint`/`mix`/`mix_u64` is a
+*sink*. If a sink function transitively calls a source function over the
+workspace call graph (loose edges — over-approximate on purpose), the
+nondeterministic value can reach the event log or replay fingerprint,
+and the chaos engine's bit-for-bit replay contract breaks. The
+diagnostic prints the sink→source call chain.
+
+Same-function source+sink is D001–D003's (local) finding and is not
+re-reported. Blind spots: taint through stored state (write a timestamp
+to a field, emit it later) and through function pointers is not tracked.
+Fix: thread seeded/tick-derived values through the chain, or add
+`// detlint-allow: D006 <why the tainted value cannot reach the sink
+payload>` at the sink line.",
+            check: |_ctx, _out| {
+                // Emitted by the interprocedural engine (`flow.rs`),
+                // which needs the whole-workspace call graph.
+            },
+        },
+        Rule {
             id: "R001",
             title: "panicking call in control-plane/gateway runtime path",
             explain: "\
@@ -561,6 +557,65 @@ explicitly before casting and add
             },
         },
         Rule {
+            id: "R003",
+            title: "panic transitively reachable from a fleet entry point",
+            explain: "\
+R003 — panic reachable from control-plane/gateway/shard entry points
+
+R001 sees a panic only where it is written; R003 walks the workspace
+call graph. Entry points are the public functions of `ctrlplane` and
+`gateway` (plus the gateway binaries' `main`), and the `ShardPool`
+worker entry points in `cloudsim/src/shard.rs` (`worker_main` and the
+pool's public surface) — the threads PR 5 keeps alive for the life of
+the fleet, where one panic wedges a shard barrier forever. From those
+roots R003 traverses only *strict* (unambiguously resolved) call edges
+and flags every reachable `panic!`/`unimplemented!`/`todo!`/
+`.unwrap()`/`.expect(…)` in non-test code, printing the full
+entry→panic call chain in the diagnostic.
+
+Panics written directly in `ctrlplane`/`gateway` are already R001
+findings and are not re-reported. Blind spots (documented in DESIGN.md):
+calls the resolver cannot pin to one definition (trait objects,
+same-name functions across crates, common std method names) terminate
+the walk; `assert!`/`unreachable!` and slice indexing are deliberate
+invariant checks and are not panic sources.
+Fix: return a typed error up the chain; for panics that guard
+impossible-by-construction states, add
+`// detlint-allow: R003 <the invariant>` at the panic site.",
+            check: |_ctx, _out| {
+                // Emitted by the interprocedural engine (`flow.rs`).
+            },
+        },
+        Rule {
+            id: "R004",
+            title: "blocking or panicking call while a lock guard is live",
+            explain: "\
+R004 — lock discipline: nothing slow or fallible under a guard
+
+A `Mutex`/`RwLock` guard bound with
+`let g = x.lock()/.read()/.write()` is live from its `let` to the end
+of the smallest enclosing block (or an explicit `drop(g)`). While it is
+live, R004 flags: (1) re-locking the same receiver — self-deadlock with
+the vendored parking_lot shim, which has no reentrancy or poisoning;
+(2) calls that can block indefinitely (`join`, channel `recv`, socket
+`accept`/`connect`, `write_all`, `flush`, `sleep`, `park`, …) — every
+other thread contending that lock stalls behind the blocked holder, the
+exact pathology the gateway's p99 and the shard barrier cannot absorb;
+(3) panic-capable calls (`unwrap`/`expect`/`panic!`) — a panic while
+holding a guard wedges every later locker.
+
+Not flagged: `Condvar::wait` (atomically releases the guard — that is
+the designed pattern), deref-copies like `let v = *cell.lock();` (the
+temporary guard dies at the semicolon), and the `.unwrap()` that is
+part of the guard-binding statement itself (acquiring, not holding).
+Fix: shrink the critical section — copy what you need out of the guard,
+drop it, then block/handle errors; or add
+`// detlint-allow: R004 <why this cannot stall other lockers>`.",
+            check: |_ctx, _out| {
+                // Emitted by the interprocedural engine (`flow.rs`).
+            },
+        },
+        Rule {
             id: "S001",
             title: "detlint-allow suppression without a reason",
             explain: "\
@@ -580,7 +635,154 @@ construction`.",
                 // (it needs the parsed allow comments), not by a matcher.
             },
         },
+        Rule {
+            id: "S002",
+            title: "unsafe block without a `// SAFETY:` comment",
+            explain: "\
+S002 — every unsafe block must state its invariant
+
+An `unsafe { … }` block is a claim that the author has checked an
+invariant the compiler cannot — in this workspace, most prominently the
+disjoint-index raw-pointer lanes in `cloudsim::shard`, where workers
+write `&mut` references derived from a shared base pointer and the
+whole soundness argument is \"strided index sets never overlap\". That
+argument must be written down where the `unsafe` is, mirroring rustc's
+own internal convention: S002 requires a comment containing `SAFETY:`
+on the same line as the `unsafe` keyword or somewhere in the contiguous
+run of comment lines directly above it (no blank line in between),
+stating the invariant that makes the block sound.
+
+Scope: every non-test `unsafe` block in the workspace. `unsafe fn`
+declarations and `unsafe impl`s are signature-level contracts and are
+not flagged — the rule targets the blocks where the dereference
+actually happens.
+Fix: write the invariant, e.g. `// SAFETY: shard stride partitions
+0..n disjointly; no two workers receive the same index`. There is no
+allow escape — if you can justify the block, that justification *is*
+the SAFETY comment.",
+            check: |ctx, out| {
+                for (i, t) in ctx.code.iter().enumerate() {
+                    if t.kind != TokKind::Ident
+                        || t.text(ctx.src) != "unsafe"
+                        || ctx.code.get(i + 1).map(|n| n.text(ctx.src)) != Some("{")
+                        || ctx.in_test(t.start)
+                    {
+                        continue;
+                    }
+                    // A comment documents the block if it sits on the same
+                    // line, or anywhere in the contiguous run of comment
+                    // lines directly above (a blank line breaks the run —
+                    // a SAFETY comment separated from its block describes
+                    // something else).
+                    let comments: Vec<(u32, u32, bool)> = ctx
+                        .tokens
+                        .iter()
+                        .filter(|c| matches!(c.kind, TokKind::LineComment | TokKind::BlockComment))
+                        .map(|c| {
+                            let text = c.text(ctx.src);
+                            let end = c.line + text.matches('\n').count() as u32;
+                            (c.line, end, text.contains("SAFETY:"))
+                        })
+                        .collect();
+                    let mut documented = comments
+                        .iter()
+                        .any(|&(start, end, safety)| safety && start <= t.line && end >= t.line);
+                    let mut cursor = t.line.saturating_sub(1);
+                    while !documented && cursor > 0 {
+                        let Some(&(start, _, safety)) =
+                            comments.iter().find(|&&(_, end, _)| end == cursor)
+                        else {
+                            break;
+                        };
+                        documented = safety;
+                        cursor = start.saturating_sub(1);
+                    }
+                    if !documented {
+                        out.push(
+                            ctx.finding(
+                                "S002",
+                                t,
+                                "unsafe block without a `// SAFETY:` comment; state \
+                             the invariant that makes it sound directly above"
+                                    .to_string(),
+                            ),
+                        );
+                    }
+                }
+            },
+        },
     ]
+}
+
+/// Hash-container iteration sites in one file: `(code token index,
+/// message)` pairs. D003 reports these in order-sensitive crates; D006
+/// additionally treats the *containing function* as a determinism-taint
+/// source in every crate (taint can cross crate boundaries through
+/// calls, so the source detection must not be crate-scoped).
+pub(crate) fn hash_iteration_sites(ctx: &FileCtx<'_>) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let names = hash_container_names(ctx);
+    if names.is_empty() {
+        return out;
+    }
+    const ITERS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "drain",
+        "retain",
+        "into_iter",
+        "into_keys",
+        "into_values",
+    ];
+    for i in 0..ctx.code.len() {
+        let t = &ctx.code[i];
+        if t.kind != TokKind::Ident || !names.contains(&t.text(ctx.src)) {
+            continue;
+        }
+        let name = t.text(ctx.src);
+        // `name.iter()` / `self.name.values()` — the receiver
+        // ident is immediately left of the dot either way.
+        if i + 2 < ctx.code.len()
+            && ctx.code[i + 1].text(ctx.src) == "."
+            && ITERS.contains(&ctx.code[i + 2].text(ctx.src))
+            && ctx.code.get(i + 3).map(|t| t.text(ctx.src)) == Some("(")
+        {
+            let method = ctx.code[i + 2].text(ctx.src);
+            out.push((
+                i,
+                format!(
+                    "`{name}.{method}()` iterates a hash container in \
+                     hash order; use BTreeMap/BTreeSet or sort first"
+                ),
+            ));
+            continue;
+        }
+        // `for k in name {` / `for k in &name {` /
+        // `for k in &mut name {` / `for k in name.X {` forms:
+        // look back past `&`/`mut` for the `in` keyword, and
+        // require the loop body to open right after (so calls
+        // like `map.get(k)` inside other exprs don't match).
+        let mut back = i;
+        while back > 0 && matches!(ctx.code[back - 1].text(ctx.src), "&" | "mut") {
+            back -= 1;
+        }
+        if back > 0
+            && ctx.code[back - 1].text(ctx.src) == "in"
+            && ctx.code.get(i + 1).map(|t| t.text(ctx.src)) == Some("{")
+        {
+            out.push((
+                i,
+                format!(
+                    "`for … in {name}` iterates a hash container in \
+                     hash order; use BTreeMap/BTreeSet or sort first"
+                ),
+            ));
+        }
+    }
+    out
 }
 
 /// Names declared in this file with a HashMap/HashSet type: struct fields
@@ -1045,6 +1247,64 @@ mod tests {
         assert!(run_on("crates/simdb/src/knobs.rs", "simdb", widen).is_empty());
         let narrow = "let x = i as u16;";
         assert!(run_on("crates/simdb/src/engine.rs", "simdb", narrow).is_empty());
+    }
+
+    // ------------------------- S002 ---------------------------------
+
+    #[test]
+    fn s002_catches_undocumented_unsafe_blocks() {
+        let src = "fn lane(&self, i: usize) -> &mut Node { unsafe { &mut *self.base.add(i) } }";
+        let f = run_on("crates/cloudsim/src/shard.rs", "cloudsim", src);
+        assert_eq!(ids(&f), vec!["S002"]);
+        assert!(f[0].message.contains("SAFETY:"));
+    }
+
+    #[test]
+    fn s002_accepts_safety_comments_same_line_or_in_block_above() {
+        let same_line = "fn f() { let x = unsafe { g() }; } // SAFETY: g is total";
+        assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", same_line).is_empty());
+        let above = "
+            // SAFETY: indices are strided disjointly across workers, so no
+            // two shards ever alias the same node.
+            fn f(&self) { let n = unsafe { &mut *self.base.add(0) }; }";
+        assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", above).is_empty());
+        // SAFETY on the *first* line of a long contiguous comment block
+        // still counts — the run, not the marker line, must touch the
+        // `unsafe` line.
+        let long_block = "
+            fn f(&self) {
+                // SAFETY: base points at nodes[0] for the whole epoch and
+                // the index stays inside this shard's range, which is
+                // disjoint from every other shard's range, so this is
+                // the only live &mut to the node.
+                let n = unsafe { &mut *self.base.add(0) };
+            }";
+        assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", long_block).is_empty());
+        // A blank line severs the run: that comment describes something
+        // else.
+        let severed = "
+            // SAFETY: too far away to plausibly describe this block.
+
+            fn f(&self) { let n = unsafe { &mut *self.base.add(0) }; }";
+        let f = run_on("crates/cloudsim/src/x.rs", "cloudsim", severed);
+        assert_eq!(ids(&f), vec!["S002"]);
+        // Comment lines directly above, but none of them carries SAFETY:.
+        let undocumented = "
+            // disjoint strides, trust me
+            fn f(&self) { let n = unsafe { &mut *self.base.add(0) }; }";
+        let f = run_on("crates/cloudsim/src/x.rs", "cloudsim", undocumented);
+        assert_eq!(ids(&f), vec!["S002"]);
+    }
+
+    #[test]
+    fn s002_exempts_tests_and_unsafe_fn_declarations() {
+        let in_test = "
+            #[cfg(test)]
+            mod t { fn f() { let x = unsafe { g() }; } }";
+        assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", in_test).is_empty());
+        // `unsafe fn` is a signature-level contract, not a block.
+        let decl = "unsafe fn raw(&self) -> *mut u8 { self.base }";
+        assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", decl).is_empty());
     }
 
     // ------------------------- regions ------------------------------

@@ -1,0 +1,26 @@
+//! Known-bad D006 fixture. Fed to `lint_sources` under the synthetic
+//! path `crates/cloudsim/src/fixture_taint.rs` (the `fixtures` directory
+//! is excluded from the real workspace walk).
+//!
+//! The wall-clock read and the event-log emit live in *different*
+//! functions, so the lexical rules (D001 flags the read itself) cannot
+//! see the connection — only the interprocedural taint walk reports
+//! that `flush` feeds a nondeterministic value into the log.
+
+pub struct TaintFixture {
+    log: EventLog,
+}
+
+fn stamp_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis() as u64
+}
+
+impl TaintFixture {
+    pub fn flush(&mut self) {
+        let at = stamp_ms();
+        self.log.emit(EventKind::Flush, at);
+    }
+}

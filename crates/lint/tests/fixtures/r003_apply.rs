@@ -1,0 +1,17 @@
+//! Known-bad R003 fixture, engine half. Fed to `lint_sources` under the
+//! synthetic path `crates/simdb/src/lib.rs` (see `fixture_entry.rs` for
+//! why this never lints the real tree).
+//!
+//! The panic lives here, outside the panic-free crates, so R001 stays
+//! silent and only the interprocedural walk can connect it to the
+//! ctrlplane entry point.
+
+/// Applies a knob step; panics when the pending queue is empty.
+pub fn apply_knobs(target: u64) -> u64 {
+    let pending: Option<u64> = lookup(target);
+    pending.unwrap()
+}
+
+fn lookup(target: u64) -> Option<u64> {
+    Some(target)
+}

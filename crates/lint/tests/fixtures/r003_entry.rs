@@ -1,0 +1,19 @@
+//! Known-bad R003 fixture, control-plane half. Fed to `lint_sources` by
+//! `tests/lint_clean.rs` under the synthetic path
+//! `crates/ctrlplane/src/fixture_entry.rs` — the `fixtures` directory is
+//! excluded from the real workspace walk, so this file never fails the
+//! gate on its own.
+//!
+//! `reconcile_fixture` is a public ctrlplane fn, i.e. an R003 entry
+//! point. Its chain crosses a private same-file hop and then a crate
+//! boundary before reaching a panic; the test asserts the full chain is
+//! reported.
+
+/// Entry point: reachable by the director loop.
+pub fn reconcile_fixture(target: u64) -> u64 {
+    plan_step(target)
+}
+
+fn plan_step(target: u64) -> u64 {
+    simdb::apply_knobs(target)
+}

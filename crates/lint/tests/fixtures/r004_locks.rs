@@ -1,0 +1,46 @@
+//! Known-bad R004 fixture. Fed to `lint_sources` under the synthetic
+//! path `crates/cloudsim/src/fixture_locks.rs` (the `fixtures` directory
+//! is excluded from the real workspace walk).
+//!
+//! Three violations — a panic-capable call, a blocking call, and a
+//! re-lock of the same receiver, each while a guard is live — plus one
+//! clean fn proving an explicit `drop` before the risky call silences
+//! the rule.
+
+use crate::sync::Mutex;
+
+pub struct LockFixture {
+    state: Mutex<u64>,
+    rx: Receiver<u64>,
+}
+
+impl LockFixture {
+    pub fn panics_while_locked(&self) -> u64 {
+        let guard = self.state.lock();
+        let boost = decode("7").unwrap();
+        *guard + boost
+    }
+
+    pub fn blocks_while_locked(&self) -> u64 {
+        let guard = self.state.lock();
+        let incoming = self.rx.recv();
+        *guard + incoming
+    }
+
+    pub fn double_locks(&self) -> u64 {
+        let guard = self.state.lock();
+        let again = self.state.lock();
+        *guard + *again
+    }
+
+    pub fn drops_before_blocking(&self) -> u64 {
+        let guard = self.state.lock();
+        let held = *guard;
+        drop(guard);
+        held + self.rx.recv()
+    }
+}
+
+fn decode(raw: &str) -> Option<u64> {
+    raw.parse().ok()
+}

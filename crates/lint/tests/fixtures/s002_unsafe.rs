@@ -1,0 +1,24 @@
+//! Known-bad S002 fixture. Fed to `lint_sources` under the synthetic
+//! path `crates/cloudsim/src/fixture_unsafe.rs` (the `fixtures`
+//! directory is excluded from the real workspace walk).
+//!
+//! One undocumented unsafe block (the finding) next to a documented one
+//! (silent), proving the rule keys on the `SAFETY:` comment and not on
+//! `unsafe` itself.
+
+pub struct Lanes {
+    base: *mut u64,
+}
+
+impl Lanes {
+    pub fn undocumented(&self, i: usize) -> u64 {
+        unsafe { *self.base.add(i) }
+    }
+
+    pub fn documented(&self, i: usize) -> u64 {
+        // SAFETY: `i` is bounds-checked by every caller and `base` owns
+        // the allocation for the lifetime of `Lanes`, so the read stays
+        // in bounds and cannot race.
+        unsafe { *self.base.add(i) }
+    }
+}

@@ -107,6 +107,7 @@ pub struct KnobId(pub u16);
 /// Checked construction from a profile index: profiles hold ~15 knobs, but
 /// the bound lives here instead of in silent `as u16` truncations.
 fn knob_id(index: usize) -> KnobId {
+    // detlint-allow: R003 profiles are static tables of ~15 knobs; the checked construction exists to keep `as u16` truncation out, not because overflow can happen
     KnobId(u16::try_from(index).expect("knob profile exceeds the u16 id space"))
 }
 

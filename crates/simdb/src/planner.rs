@@ -101,6 +101,7 @@ impl KnobRoles {
         let get = |name: &str| {
             profile
                 .lookup(name)
+                // detlint-allow: R003 built-in profiles always resolve; a custom profile lacking a role knob is unusable, so failing at construction is the contract
                 .unwrap_or_else(|| panic!("profile {} lacks knob {name}", profile.flavor()))
         };
         match profile.flavor() {

@@ -135,7 +135,7 @@ impl P2Quantile {
                 return 0.0;
             }
             let mut sorted = self.init.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+            sorted.sort_by(f64::total_cmp);
             let idx = ((sorted.len() - 1) as f64 * self.q).round() as usize;
             return sorted[idx];
         }

@@ -33,7 +33,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0) / 100.0;
     let rank = p * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
