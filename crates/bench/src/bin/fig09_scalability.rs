@@ -19,10 +19,11 @@ use autodbaas_bench::arg_value;
 use autodbaas_bench::header;
 use autodbaas_bench::longtail_fleet;
 use autodbaas_bench::sparkline;
-use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
+use autodbaas_bench::NodeSpec;
+use autodbaas_cloudsim::{FleetConfig, FleetSim};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_ctrlplane::TunerKind;
-use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+use autodbaas_simdb::{DbFlavor, InstanceType};
 use autodbaas_telemetry::outln;
 use autodbaas_telemetry::{MILLIS_PER_HOUR, MILLIS_PER_MIN};
 use autodbaas_tuner::WorkloadId;
@@ -91,10 +92,7 @@ fn build_fleet(policy: TuningPolicy, n_dbs: usize, tick_ms: u64, seed: u64) -> F
                     (Box::new(wl), ArrivalProcess::Constant(300.0), cat)
                 }
             };
-        let node = ManagedDatabase::new(
-            DbFlavor::Postgres,
-            plans[i % plans.len()],
-            DiskKind::Ssd,
+        let node = NodeSpec::new(DbFlavor::Postgres, plans[i % plans.len()]).managed(
             catalog,
             workload,
             arrival,

@@ -14,11 +14,11 @@
 //! `--tuner bo` (default, Fig. 12) or `--tuner rl` (Fig. 13);
 //! `--db pg` (default) or `--db mysql` for the (a)/(b) panels.
 
-use autodbaas_bench::{arg_value, header, sparkline};
-use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
+use autodbaas_bench::{arg_value, header, sparkline, NodeSpec};
+use autodbaas_cloudsim::{FleetConfig, FleetSim};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_ctrlplane::TunerKind;
-use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType, MetricId};
+use autodbaas_simdb::{DbFlavor, InstanceType, MetricId};
 use autodbaas_telemetry::outln;
 use autodbaas_telemetry::{MILLIS_PER_HOUR, MILLIS_PER_MIN};
 use autodbaas_tuner::WorkloadId;
@@ -71,10 +71,7 @@ fn run(kind: TunerKind, flavor: DbFlavor, gated: bool, seed: u64) -> Vec<f64> {
             peak_rps: 90.0,
             ..DiurnalProfile::default()
         });
-        let node = ManagedDatabase::new(
-            flavor,
-            InstanceType::M4Large,
-            DiskKind::Ssd,
+        let node = NodeSpec::new(flavor, InstanceType::M4Large).managed(
             catalog,
             Box::new(wl),
             arrival,
@@ -99,10 +96,7 @@ fn run(kind: TunerKind, flavor: DbFlavor, gated: bool, seed: u64) -> Vec<f64> {
     // through workload mapping.
     let wl = AdulteratedWorkload::new(tpcc(2.0), 0.25);
     let catalog = wl.base().catalog().clone();
-    let node = ManagedDatabase::new(
-        flavor,
-        InstanceType::M4XLarge,
-        DiskKind::Ssd,
+    let node = NodeSpec::new(flavor, InstanceType::M4XLarge).managed(
         catalog,
         Box::new(wl),
         ArrivalProcess::Constant(120.0),

@@ -14,13 +14,16 @@
 //! telemetry event-log fingerprints must match bit-for-bit: chaos here is
 //! deterministic, so every failure it finds is replayable.
 //!
-//! Flags: `--dbs 6 --minutes 45 --seed 42` (defaults shown).
+//! Flags: `--dbs 6 --minutes 45 --seed 42 --backend pageheap` (defaults
+//! shown; `--backend lsm` runs the same fault plan against the LSM
+//! adapter — self-healing is a property of the control plane, not of the
+//! engine profile underneath it).
 
-use autodbaas_bench::{arg_value, header};
-use autodbaas_cloudsim::{FaultPlan, FleetConfig, FleetSim, ManagedDatabase, RollbackPolicy};
+use autodbaas_bench::{arg_value, backend_arg, header, NodeSpec};
+use autodbaas_cloudsim::{FaultPlan, FleetConfig, FleetSim, RollbackPolicy};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_ctrlplane::TunerKind;
-use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+use autodbaas_simdb::{DbFlavor, InstanceType};
 use autodbaas_telemetry::outln;
 use autodbaas_telemetry::MILLIS_PER_MIN;
 use autodbaas_tuner::WorkloadId;
@@ -45,7 +48,13 @@ struct ChaosSummary {
     drifted: Vec<usize>,
 }
 
-fn run_once(n_dbs: usize, minutes: u64, seed: u64, plan: FaultPlan) -> ChaosSummary {
+fn run_once(
+    n_dbs: usize,
+    minutes: u64,
+    seed: u64,
+    flavor: DbFlavor,
+    plan: FaultPlan,
+) -> ChaosSummary {
     let mut sim = FleetSim::new(
         FleetConfig {
             tick_ms: 1_000,
@@ -62,7 +71,7 @@ fn run_once(n_dbs: usize, minutes: u64, seed: u64, plan: FaultPlan) -> ChaosSumm
         },
         4,
     );
-    sim.seed_offline_training(&tpcc(1.0), DbFlavor::Postgres, 12);
+    sim.seed_offline_training(&tpcc(1.0), flavor, 12);
     for i in 0..n_dbs {
         let (workload, arrival): (Box<dyn QuerySource + Send>, _) = if i % 2 == 0 {
             (Box::new(ycsb(1.0)), ArrivalProcess::Constant(250.0))
@@ -74,10 +83,7 @@ fn run_once(n_dbs: usize, minutes: u64, seed: u64, plan: FaultPlan) -> ChaosSumm
         } else {
             tpcc(1.0).catalog().clone()
         };
-        let mut node = ManagedDatabase::new(
-            DbFlavor::Postgres,
-            InstanceType::M4Large,
-            DiskKind::Ssd,
+        let mut node = NodeSpec::new(flavor, InstanceType::M4Large).managed(
             catalog,
             workload,
             arrival,
@@ -133,10 +139,11 @@ fn main() {
     let seed: u64 = arg_value("--seed")
         .map(|v| v.parse().unwrap())
         .unwrap_or(42);
+    let flavor = backend_arg();
     header(
         "Fig. 16",
         &format!(
-            "chaos run, {n_dbs} services ({} HA) over {minutes} min + 10 min quiet-down",
+            "chaos run, {n_dbs} {flavor} services ({} HA) over {minutes} min + 10 min quiet-down",
             n_dbs / 2
         ),
         "every service serving at the end, zero config drift, zero wedged \
@@ -144,8 +151,8 @@ fn main() {
     );
 
     let standard = FaultPlan::standard(n_dbs, minutes * MILLIS_PER_MIN);
-    let a = run_once(n_dbs, minutes, seed, standard.clone());
-    let b = run_once(n_dbs, minutes, seed, standard);
+    let a = run_once(n_dbs, minutes, seed, flavor, standard.clone());
+    let b = run_once(n_dbs, minutes, seed, flavor, standard);
 
     outln!("\n{:<34} {:>14}", "metric", "value");
     outln!("{:<34} {:>14.5}", "availability (fleet)", a.availability);
@@ -205,6 +212,7 @@ fn main() {
         n_dbs,
         minutes,
         seed,
+        flavor,
         FaultPlan::generate(seed ^ 1, n_dbs, minutes * MILLIS_PER_MIN, 16),
     );
     assert_ne!(

@@ -17,7 +17,11 @@
 //!    engine, in interleaved one-minute chunks (fastest chunk per engine);
 //!    node-ticks/second plus a determinism witness (event-log fingerprint
 //!    and total queries must be bit-identical across both engines).
-//! 4. **Fleet scaling** — the same head-to-head over a long-tail tenant
+//! 4. **Backend drive** — a 16-database fleet per backend adapter
+//!    (page-heap and LSM) on the serial engine, recording the relative
+//!    per-tick cost of each engine profile plus a per-backend determinism
+//!    witness (event-log fingerprint equal across a same-seed replay).
+//! 5. **Fleet scaling** — the same head-to-head over a long-tail tenant
 //!    fleet at {48, 512, 2048, 10_000} services. Fails if the sharded
 //!    engine loses to serial at ≥512 nodes or the 10k fleet drops below
 //!    1M node-ticks/s.
@@ -26,12 +30,17 @@
 //! deterministic. Timing fields are medians or fastest-reps over several
 //! repetitions.
 //!
+//! The file starts with `"schema_version": 3`; v3 added the per-backend
+//! `backends` section. Consumers must check the version field and refuse
+//! older/newer files rather than guess (the detlint `--json` v2 bump set
+//! the precedent).
+//!
 //! Flags: `--rounds 24 --out BENCH_perf.json`.
 
-use autodbaas_bench::{arg_value, longtail_fleet, race_engines};
-use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
+use autodbaas_bench::{arg_value, longtail_fleet, race_engines, NodeSpec};
+use autodbaas_cloudsim::{FleetConfig, FleetSim};
 use autodbaas_core::{TdeConfig, TuningPolicy};
-use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+use autodbaas_simdb::{DbFlavor, InstanceType};
 use autodbaas_telemetry::outln;
 use autodbaas_telemetry::MILLIS_PER_MIN;
 use autodbaas_tuner::{
@@ -359,10 +368,7 @@ fn build_fleet(parallel: bool) -> FleetSim {
     for i in 0..48 {
         let wl = tpcc(0.5);
         let catalog = wl.catalog().clone();
-        let node = ManagedDatabase::new(
-            DbFlavor::Postgres,
-            InstanceType::M4Large,
-            DiskKind::Ssd,
+        let node = NodeSpec::new(DbFlavor::Postgres, InstanceType::M4Large).managed(
             catalog,
             Box::new(wl),
             ArrivalProcess::Constant(250.0),
@@ -405,15 +411,104 @@ fn fleet_drive(out: &mut String) {
     ));
 }
 
-/// Stage 4: the fleet-size sweep (ROADMAP item 1). A long-tail tenant
+/// A 16-node single-backend fleet for the per-backend dimension; smaller
+/// than the stage-3 rig so the section stays cheap, serial engine so the
+/// numbers isolate engine-profile cost from sharding.
+fn backend_fleet(flavor: DbFlavor, seed: u64) -> FleetSim {
+    let mut sim = FleetSim::new(
+        FleetConfig {
+            gate_samples_with_tde: false,
+            seed,
+            ..FleetConfig::default()
+        },
+        2,
+    );
+    for i in 0..16 {
+        let wl = tpcc(0.5);
+        let catalog = wl.catalog().clone();
+        let node = NodeSpec::new(flavor, InstanceType::M4Large).managed(
+            catalog,
+            Box::new(wl),
+            ArrivalProcess::Constant(250.0),
+            TuningPolicy::TdeDriven,
+            WorkloadId(0),
+            TdeConfig::default(),
+            3_000 + i,
+        );
+        sim.add_node(node, &format!("db-{i}"));
+    }
+    sim
+}
+
+/// Stage 4: the backend dimension (schema v3). The same drive loop per
+/// engine profile — the page-heap adapter and the LSM adapter — so an
+/// engine-profile regression (say, compaction scheduling going quadratic)
+/// shows up as its own diff line instead of being averaged into the
+/// all-Postgres fleet numbers. Each backend also carries a determinism
+/// witness: a same-seed replay must reproduce the event-log fingerprint.
+fn backend_drive(out: &mut String) {
+    out.push_str("  \"backends\": [\n");
+    let backends = [(DbFlavor::Postgres, "pageheap"), (DbFlavor::Lsm, "lsm")];
+    for (bi, &(flavor, name)) in backends.iter().enumerate() {
+        let mut sim = backend_fleet(flavor, 0xbac4e7d);
+        sim.run_for(MILLIS_PER_MIN); // warm-up
+        let t = Instant::now();
+        sim.run_for(2 * MILLIS_PER_MIN);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let queries: u64 = sim.nodes.iter().map(|n| n.queries_submitted).sum();
+        assert!(queries > 0, "{name} backend fleet executed no queries");
+
+        let mut replay = backend_fleet(flavor, 0xbac4e7d);
+        replay.run_for(3 * MILLIS_PER_MIN);
+        assert_eq!(
+            sim.events.fingerprint(),
+            replay.events.fingerprint(),
+            "{name} backend drive must replay bit-identically"
+        );
+
+        let node_ticks = 16.0 * 120.0;
+        let tps = node_ticks * 1e3 / wall_ms;
+        outln!(
+            "backend {name:<8}: 16 dbs, 2-min drive = {wall_ms:>7.1} ms \
+             ({tps:>8.0} node-ticks/s)  queries={queries}"
+        );
+        out.push_str(&format!(
+            "    {{\"backend\": \"{name}\", \"nodes\": 16, \"drive_sim_minutes\": 2, \
+             \"wall_ms\": {wall_ms:.1}, \"node_ticks_per_sec\": {tps:.0}, \
+             \"total_queries\": {queries}, \"replay_deterministic\": true}}{}\n",
+            if bi == backends.len() - 1 { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+}
+
+/// Stage 5: the fleet-size sweep (ROADMAP item 1). A long-tail tenant
 /// fleet at {48, 512, 2048, 10_000} services, serial vs sharded, one-minute
 /// interleaved chunks. Hard gates: the sharded engine must not lose to
 /// serial at ≥512 nodes, and the 10k fleet must sustain ≥1M node-ticks/s
 /// on the sharded engine. A losing/slow size gets up to two appeal rounds
 /// of extra chunks before the gate fires, so a single noise burst on a
 /// shared host doesn't fail the bin.
+///
+/// Both parallel gates apply only when the host can actually parallelize
+/// (≥2 cores): on a single-core host the pool resolves to one worker shard
+/// and the head-to-head degenerates to serial-plus-thread-handoff, so the
+/// strict gates are replaced by a 2× overhead ceiling (a genuinely
+/// pathological sharded engine still fails) and the JSON records
+/// `host_parallelism` so readers know why the timings look the way they do.
 fn fleet_scaling(out: &mut String) {
     const FLOOR_10K: f64 = 1_000_000.0; // node-ticks/s, ROADMAP item 1
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let parallel_host = host_threads >= 2;
+    if !parallel_host {
+        outln!(
+            "fleet_scaling: single-core host ({host_threads} thread) — \
+             parallel win/floor gates relaxed to a 2x overhead ceiling"
+        );
+    }
+    out.push_str(&format!("  \"host_parallelism\": {host_threads},\n"));
     out.push_str("  \"fleet_scaling\": [\n");
     let sizes = [48usize, 512, 2048, 10_000];
     for (si, &n) in sizes.iter().enumerate() {
@@ -427,6 +522,7 @@ fn fleet_scaling(out: &mut String) {
         let node_ticks = (n * 60) as f64;
         let mut appeals = 0;
         while appeals < 2
+            && parallel_host
             && ((n >= 512 && sharded_ms > serial_ms)
                 || (n >= 10_000 && node_ticks * 1e3 / sharded_ms < FLOOR_10K))
         {
@@ -442,15 +538,23 @@ fn fleet_scaling(out: &mut String) {
             "fleet_scaling n={n:>6}: serial={serial_ms:>8.1} ms ({serial_tps:>9.0} t/s)  \
              sharded={sharded_ms:>8.1} ms ({sharded_tps:>9.0} t/s, {shards} shard(s))"
         );
-        assert!(
-            n < 512 || sharded_ms <= serial_ms,
-            "sharded drive slower than serial at {n} nodes \
-             ({sharded_ms:.1} ms vs {serial_ms:.1} ms)"
-        );
-        assert!(
-            n < 10_000 || sharded_tps >= FLOOR_10K,
-            "10k fleet below the 1M node-ticks/s floor: {sharded_tps:.0}"
-        );
+        if parallel_host {
+            assert!(
+                n < 512 || sharded_ms <= serial_ms,
+                "sharded drive slower than serial at {n} nodes \
+                 ({sharded_ms:.1} ms vs {serial_ms:.1} ms)"
+            );
+            assert!(
+                n < 10_000 || sharded_tps >= FLOOR_10K,
+                "10k fleet below the 1M node-ticks/s floor: {sharded_tps:.0}"
+            );
+        } else {
+            assert!(
+                sharded_ms <= serial_ms * 2.0,
+                "sharded overhead ceiling breached on single-core host at {n} \
+                 nodes ({sharded_ms:.1} ms vs {serial_ms:.1} ms serial)"
+            );
+        }
         out.push_str(&format!(
             "    {{\"nodes\": {n}, \
              \"serial\": {{\"wall_ms\": {serial_ms:.1}, \"node_ticks_per_sec\": {serial_tps:.0}}}, \
@@ -468,10 +572,13 @@ fn main() {
         .unwrap_or(24);
     let out_path = arg_value("out").unwrap_or_else(|| "BENCH_perf.json".into());
 
-    let mut out = String::from("{\n  \"schema_version\": 2,\n");
+    // v3: added the per-backend `backends` section. Consumers pinned to an
+    // older schema must fail on the version field, not silently miss it.
+    let mut out = String::from("{\n  \"schema_version\": 3,\n");
     gp_fit_sweep(&mut out);
     repeated_recommend(rounds, &mut out);
     fleet_drive(&mut out);
+    backend_drive(&mut out);
     fleet_scaling(&mut out);
     out.push_str("}\n");
 

@@ -1,8 +1,8 @@
 //! Shared plumbing for the figure-regeneration binaries.
 
-use autodbaas_cloudsim::{FleetConfig, FleetSim, ManagedDatabase};
+use autodbaas_cloudsim::{FleetConfig, FleetSim};
 use autodbaas_core::{TdeConfig, TuningPolicy};
-use autodbaas_simdb::{Catalog, DbFlavor, DiskKind, InstanceType, MetricId, SimDatabase};
+use autodbaas_simdb::{AnyBackend, Catalog, DbFlavor, DiskKind, InstanceType, MetricId};
 use autodbaas_telemetry::outln;
 use autodbaas_tuner::{normalize_config, Sample, SampleQuality, WorkloadId, WorkloadRepository};
 use autodbaas_workload::{tpcc, ArrivalProcess, MixWorkload, QuerySource};
@@ -33,8 +33,8 @@ pub fn sparkline(label: &str, series: &[f64]) {
 
 /// A standard single-database rig for figure experiments.
 pub struct Rig {
-    /// The database under test.
-    pub db: SimDatabase,
+    /// The database under test (any backend adapter).
+    pub db: AnyBackend,
     /// RNG for workload sampling.
     pub rng: StdRng,
 }
@@ -54,7 +54,9 @@ impl Rig {
         seed: u64,
     ) -> Self {
         Self {
-            db: SimDatabase::new(flavor, instance, disk, catalog, seed),
+            db: crate::NodeSpec::new(flavor, instance)
+                .with_disk(disk)
+                .db(catalog, seed),
             rng: StdRng::seed_from_u64(seed ^ 0xbead),
         }
     }
@@ -94,10 +96,7 @@ pub fn seed_offline(
     let profile = autodbaas_simdb::KnobProfile::for_flavor(flavor);
     let mut rng = StdRng::seed_from_u64(seed);
     for s in 0..n_samples {
-        let mut db = SimDatabase::new(
-            flavor,
-            InstanceType::M4XLarge,
-            DiskKind::Ssd,
+        let mut db = crate::NodeSpec::new(flavor, InstanceType::M4XLarge).db(
             workload.catalog().clone(),
             seed ^ (s as u64).wrapping_mul(0x9e37),
         );
@@ -167,10 +166,7 @@ pub fn longtail_fleet(n: usize, parallel: bool, shards: usize, seed: u64) -> Fle
         } else {
             ArrivalProcess::Constant(0.0)
         };
-        let node = ManagedDatabase::new(
-            DbFlavor::Postgres,
-            InstanceType::M4Large,
-            DiskKind::Ssd,
+        let node = crate::NodeSpec::new(DbFlavor::Postgres, InstanceType::M4Large).managed(
             catalog.clone(),
             Box::new(tpcc(0.5)),
             arrival,

@@ -1,0 +1,126 @@
+//! Fleet-setup helpers shared by the figure binaries.
+//!
+//! Every bench bin used to re-import and re-assemble the same
+//! `(DbFlavor, InstanceType, DiskKind)` tuple at each construction site.
+//! [`NodeSpec`] names that tuple once and stamps out databases — raw
+//! [`AnyBackend`] engines or fully [`ManagedDatabase`] fleet nodes — so a
+//! binary switches its whole fleet between backends by changing one value
+//! (usually from [`backend_arg`]).
+
+use autodbaas_cloudsim::ManagedDatabase;
+use autodbaas_core::TdeConfig;
+use autodbaas_core::TuningPolicy;
+use autodbaas_simdb::{AnyBackend, BackendKind, Catalog, DbFlavor, DiskKind, InstanceType};
+use autodbaas_tuner::WorkloadId;
+use autodbaas_workload::{ArrivalProcess, QuerySource};
+
+/// The per-node hardware/engine tuple the bench bins kept re-assembling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Engine flavor — selects the backend adapter and knob profile.
+    pub flavor: DbFlavor,
+    /// VM size.
+    pub instance: InstanceType,
+    /// Disk technology.
+    pub disk: DiskKind,
+}
+
+impl NodeSpec {
+    /// A spec on SSD (the fleet default every bin was hand-writing).
+    pub fn new(flavor: DbFlavor, instance: InstanceType) -> Self {
+        Self {
+            flavor,
+            instance,
+            disk: DiskKind::Ssd,
+        }
+    }
+
+    /// Override the disk technology.
+    pub fn with_disk(mut self, disk: DiskKind) -> Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Which backend adapter this spec resolves to.
+    pub fn backend_kind(&self) -> BackendKind {
+        BackendKind::for_flavor(self.flavor)
+    }
+
+    /// A bare engine on this spec.
+    pub fn db(&self, catalog: Catalog, seed: u64) -> AnyBackend {
+        AnyBackend::new(self.flavor, self.instance, self.disk, catalog, seed)
+    }
+
+    /// A managed fleet node on this spec.
+    #[allow(clippy::too_many_arguments)]
+    pub fn managed(
+        &self,
+        catalog: Catalog,
+        workload: Box<dyn QuerySource + Send>,
+        arrival: ArrivalProcess,
+        policy: TuningPolicy,
+        workload_id: WorkloadId,
+        tde: TdeConfig,
+        seed: u64,
+    ) -> ManagedDatabase {
+        ManagedDatabase::new(
+            self.flavor,
+            self.instance,
+            self.disk,
+            catalog,
+            workload,
+            arrival,
+            policy,
+            workload_id,
+            tde,
+            seed,
+        )
+    }
+}
+
+/// Parse a backend selector string (`--backend` values): `pageheap` (or
+/// `pg`/`postgres`), `mysql` (page-heap adapter, MySQL knob surface), or
+/// `lsm`. `None` means the page-heap default.
+pub fn backend_from_arg(arg: Option<&str>) -> DbFlavor {
+    match arg {
+        None | Some("pageheap") | Some("pg") | Some("postgres") => DbFlavor::Postgres,
+        Some("mysql") => DbFlavor::MySql,
+        Some("lsm") => DbFlavor::Lsm,
+        Some(other) => panic!("unknown --backend {other:?} (expected pageheap|mysql|lsm)"),
+    }
+}
+
+/// Read the `--backend` CLI flag into a flavor (page-heap default).
+pub fn backend_arg() -> DbFlavor {
+    backend_from_arg(crate::arg_value("--backend").as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_maps_all_backends() {
+        assert_eq!(backend_from_arg(None), DbFlavor::Postgres);
+        assert_eq!(backend_from_arg(Some("pageheap")), DbFlavor::Postgres);
+        assert_eq!(backend_from_arg(Some("mysql")), DbFlavor::MySql);
+        assert_eq!(backend_from_arg(Some("lsm")), DbFlavor::Lsm);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown --backend")]
+    fn selector_rejects_typos() {
+        backend_from_arg(Some("rocksdb"));
+    }
+
+    #[test]
+    fn spec_builds_the_selected_adapter() {
+        let catalog = Catalog::synthetic(2, 100_000_000, 150, 1);
+        let spec = NodeSpec::new(DbFlavor::Lsm, InstanceType::M4Large);
+        assert_eq!(spec.backend_kind(), BackendKind::Lsm);
+        let db = spec.db(catalog.clone(), 7);
+        assert_eq!(db.kind(), BackendKind::Lsm);
+        let pg = NodeSpec::new(DbFlavor::Postgres, InstanceType::M4Large).db(catalog, 7);
+        assert_eq!(pg.kind(), BackendKind::PageHeap);
+    }
+}

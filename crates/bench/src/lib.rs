@@ -14,5 +14,7 @@
 //! This library crate holds the shared helpers the binaries use.
 
 pub mod figures;
+pub mod fleet_setup;
 
 pub use figures::*;
+pub use fleet_setup::{backend_arg, backend_from_arg, NodeSpec};

@@ -4,7 +4,7 @@
 use autodbaas_core::{Tde, TdeConfig, TdeReport, TuningPolicy};
 use autodbaas_ctrlplane::ReplicaSet;
 use autodbaas_simdb::{
-    Catalog, DbFlavor, DiskKind, InstanceType, KnobSet, MetricsSnapshot, SimDatabase, SubmitResult,
+    AnyBackend, Catalog, DbFlavor, DiskKind, InstanceType, KnobSet, MetricsSnapshot, SubmitResult,
 };
 use autodbaas_telemetry::SimTime;
 use autodbaas_tuner::WorkloadId;
@@ -201,13 +201,14 @@ impl ManagedDatabase {
         self
     }
 
-    /// The master node (where traffic and tuning act).
-    pub fn db(&self) -> &SimDatabase {
+    /// The master node (where traffic and tuning act). Any [`AnyBackend`]
+    /// adapter — page-heap and LSM masters coexist in one fleet.
+    pub fn db(&self) -> &AnyBackend {
         self.service.master()
     }
 
     /// Mutable master.
-    pub fn db_mut(&mut self) -> &mut SimDatabase {
+    pub fn db_mut(&mut self) -> &mut AnyBackend {
         self.service.master_mut()
     }
 

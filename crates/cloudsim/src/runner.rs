@@ -4,7 +4,7 @@
 
 use crate::faults::{FaultEngine, FaultKind, FaultPlan};
 
-use autodbaas_simdb::{MetricId, SimDatabase};
+use autodbaas_simdb::{Backend, MetricId};
 use autodbaas_telemetry::SimTime;
 use autodbaas_workload::{ArrivalProcess, QuerySource};
 use rand::rngs::StdRng;
@@ -25,8 +25,8 @@ pub struct DriveResult {
 
 /// Drive `workload` at `arrival` against `db` for `duration_ms`,
 /// with `tick_ms` resolution. Traffic is batched like the fleet simulator.
-pub fn drive_workload(
-    db: &mut SimDatabase,
+pub fn drive_workload<B: Backend>(
+    db: &mut B,
     workload: &dyn QuerySource,
     arrival: &ArrivalProcess,
     duration_ms: u64,
@@ -85,8 +85,8 @@ pub struct ChaosDriveResult {
 /// `VmCrash` runs WAL crash recovery, `DiskStall` degrades the disks. The
 /// control-plane kinds (mid-apply crashes, tuner outages, request loss,
 /// replica lag) need the fleet simulator and are ignored here.
-pub fn drive_workload_with_faults(
-    db: &mut SimDatabase,
+pub fn drive_workload_with_faults<B: Backend>(
+    db: &mut B,
     workload: &dyn QuerySource,
     arrival: &ArrivalProcess,
     duration_ms: u64,
@@ -167,7 +167,7 @@ pub fn drive_workload_with_faults(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+    use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType, SimDatabase};
     use autodbaas_workload::tpcc;
 
     #[test]

@@ -15,7 +15,7 @@ use autodbaas_ctrlplane::{
     ApplyError, ConfigDirector, RecommendationMeter, ReconcileOutcome, Reconciler, ServiceId,
     ServiceOrchestrator, TunerKind, WindowStat,
 };
-use autodbaas_simdb::{ApplyMode, ConfigChange, MetricId, SimDatabase};
+use autodbaas_simdb::{AnyBackend, ApplyMode, ConfigChange, MetricId};
 use autodbaas_telemetry::{EventLog, SimTime};
 use autodbaas_tuner::{
     assess_quality, denormalize_config, normalize_config, BoConfig, BoTuner, RlConfig, RlTuner,
@@ -133,7 +133,7 @@ impl Default for FleetConfig {
 }
 
 /// The tuner backend actually computing recommendations.
-enum Backend {
+enum TunerBackend {
     Bo(Box<BoTuner>),
     Rl(Box<RlTuner>),
 }
@@ -178,7 +178,7 @@ pub struct FleetSim {
     /// Every fault injected and every recovery action taken, in order. The
     /// log's fingerprint pins bit-for-bit reproducibility of chaos runs.
     pub events: EventLog,
-    backend: Backend,
+    backend: TunerBackend,
     /// One §4 reconciler per node, watching live config against [`Self::orch`].
     reconcilers: Vec<Reconciler>,
     /// Scheduled fault injection, when armed via [`FleetSim::enable_chaos`].
@@ -225,8 +225,10 @@ impl FleetSim {
     pub fn new(cfg: FleetConfig, n_tuner_instances: usize) -> Self {
         let kinds = vec![cfg.tuner; n_tuner_instances.max(1)];
         let backend = match cfg.tuner {
-            TunerKind::Bo => Backend::Bo(Box::new(BoTuner::new(cfg.bo.clone(), cfg.seed ^ 0xb0))),
-            TunerKind::Rl => Backend::Rl(Box::new(RlTuner::new(
+            TunerKind::Bo => {
+                TunerBackend::Bo(Box::new(BoTuner::new(cfg.bo.clone(), cfg.seed ^ 0xb0)))
+            }
+            TunerKind::Rl => TunerBackend::Rl(Box::new(RlTuner::new(
                 MetricId::ALL.len(),
                 autodbaas_simdb::KnobProfile::postgres().len(),
                 cfg.rl.clone(),
@@ -439,7 +441,7 @@ impl FleetSim {
             .register(format!("{}-offline", workload.name()), true);
         let profile = autodbaas_simdb::KnobProfile::for_flavor(flavor);
         for s in 0..n_samples {
-            let mut db = SimDatabase::new(
+            let mut db = AnyBackend::new(
                 flavor,
                 autodbaas_simdb::InstanceType::M4XLarge,
                 autodbaas_simdb::DiskKind::Ssd,
@@ -1058,7 +1060,7 @@ impl FleetSim {
             // the action was applied. Gated mode only feeds the agent
             // TDE-certified windows — the corruption shield Fig. 13 tests.
             if capture {
-                if let (Backend::Rl(rl), Some(action), Some(prev_state)) = (
+                if let (TunerBackend::Rl(rl), Some(action), Some(prev_state)) = (
                     &mut self.backend,
                     node.prev_action.clone(),
                     node.prev_rl_state.clone(),
@@ -1143,7 +1145,7 @@ impl FleetSim {
         let node = &mut self.nodes[idx];
         let profile = node.service.master().profile();
         let unit = match &mut self.backend {
-            Backend::Bo(bo) => {
+            TunerBackend::Bo(bo) => {
                 // The tuning request carries the indicted knobs (the TDE
                 // sends metric data and query context with the request);
                 // focus the acquisition on them.
@@ -1166,7 +1168,7 @@ impl FleetSim {
                     None => return, // nothing learned yet
                 }
             }
-            Backend::Rl(rl) => {
+            TunerBackend::Rl(rl) => {
                 let snap = node.service.master().metrics_snapshot();
                 let delta = snap.delta(&node.window_start_snapshot);
                 let state = Self::rl_state(&delta);

@@ -13,7 +13,7 @@
 //! cadence) because a too-*rare*-but-huge checkpoint also degrades service
 //! and the paper's Fig. 5 plots exactly that contrast.
 
-use autodbaas_simdb::{MetricId, SimDatabase};
+use autodbaas_simdb::{Backend, MetricId};
 use autodbaas_telemetry::{PeakDetector, SimTime, MILLIS_PER_MIN};
 use autodbaas_tuner::{map_workload, WorkloadRepository};
 
@@ -111,7 +111,7 @@ impl BgwriterDetector {
     /// Estimate checkpoint cadence from disk-latency peaks alone — the
     /// paper's external-monitoring path for when internal counters are
     /// unavailable. Returns checkpoints/minute.
-    pub fn cadence_from_latency_peaks(db: &SimDatabase, since: SimTime) -> Option<f64> {
+    pub fn cadence_from_latency_peaks<B: Backend>(db: &B, since: SimTime) -> Option<f64> {
         let series = db.disks().data().latency_series();
         let window = series.window(since);
         let mean = autodbaas_telemetry::mean(&window.iter().map(|s| s.value).collect::<Vec<_>>());
@@ -123,13 +123,13 @@ impl BgwriterDetector {
     /// Run the detector over the window since the last run. Returns a
     /// finding when the live ratio exceeds the baseline's or the latency
     /// guard fires.
-    pub fn detect(&mut self, db: &SimDatabase, baseline: BgBaseline) -> Option<BgFinding> {
+    pub fn detect<B: Backend>(&mut self, db: &B, baseline: BgBaseline) -> Option<BgFinding> {
         let now = db.now();
         let window_ms = now.saturating_sub(self.last_run_at);
         if window_ms == 0 {
             return None;
         }
-        let checkpoints_now = db.bg().checkpoints_done();
+        let checkpoints_now = db.checkpoints_done();
         let delta = checkpoints_now.saturating_sub(self.last_checkpoints);
         let cpm = delta as f64 * MILLIS_PER_MIN as f64 / window_ms as f64;
         let latency = db
@@ -165,7 +165,9 @@ impl BgwriterDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autodbaas_simdb::{Catalog, DbFlavor, DiskKind, InstanceType, QueryKind, QueryProfile};
+    use autodbaas_simdb::{
+        Catalog, DbFlavor, DiskKind, InstanceType, QueryKind, QueryProfile, SimDatabase,
+    };
     use autodbaas_tuner::{Sample, SampleQuality};
 
     fn db() -> SimDatabase {

@@ -26,7 +26,7 @@ use crate::mdp::{MdpConfig, MdpEngine};
 use crate::memory::{check_working_set, detect_spills, knob_at_cap, WorkingSetFinding};
 use crate::reservoir::Reservoir;
 use crate::template::TemplateStore;
-use autodbaas_simdb::{KnobClass, KnobId, QueryProfile, SimDatabase, SpillKind};
+use autodbaas_simdb::{Backend, KnobClass, KnobId, QueryProfile, SpillKind};
 use autodbaas_telemetry::{SimTime, MILLIS_PER_MIN};
 use autodbaas_tuner::WorkloadRepository;
 use rand::rngs::StdRng;
@@ -224,9 +224,10 @@ impl Tde {
         self.filter.reset();
     }
 
-    /// One periodic TDE run against `db`, optionally consulting the tuner
-    /// repository for the background-writer baseline.
-    pub fn run(&mut self, db: &mut SimDatabase, repo: Option<&WorkloadRepository>) -> TdeReport {
+    /// One periodic TDE run against `db` (any [`Backend`] adapter),
+    /// optionally consulting the tuner repository for the background-writer
+    /// baseline.
+    pub fn run<B: Backend>(&mut self, db: &mut B, repo: Option<&WorkloadRepository>) -> TdeReport {
         let now = db.now();
         let mut report = TdeReport::default();
 
@@ -438,7 +439,7 @@ impl TuningPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autodbaas_simdb::{Catalog, DbFlavor, DiskKind, InstanceType, QueryKind};
+    use autodbaas_simdb::{Catalog, DbFlavor, DiskKind, InstanceType, QueryKind, SimDatabase};
 
     const MIB: u64 = 1024 * 1024;
 

@@ -16,7 +16,7 @@
 //! response, `N` the value transition (apply the step), `H` the probability
 //! update below.
 
-use autodbaas_simdb::{KnobId, KnobProfile, KnobSet, QueryProfile, SimDatabase};
+use autodbaas_simdb::{Backend, KnobId, KnobProfile, KnobSet, QueryProfile};
 use rand::{Rng, RngCore};
 
 /// The automaton's two actions.
@@ -143,7 +143,7 @@ impl MdpEngine {
 
     /// Total planner cost of `queries` under `knobs` — the environment
     /// response `B`. Uses the current buffer hit ratio as ground truth.
-    pub fn evaluate_cost(db: &SimDatabase, knobs: &KnobSet, queries: &[QueryProfile]) -> f64 {
+    pub fn evaluate_cost<B: Backend>(db: &B, knobs: &KnobSet, queries: &[QueryProfile]) -> f64 {
         let planner = db.planner();
         let catalog = db.catalog();
         // Hit ratio approximated from metrics (blks_hit / total).
@@ -166,9 +166,9 @@ impl MdpEngine {
     /// Run one automaton step for every knob against the sampled queries.
     /// Knob values in `knobs` are mutated to the accepted new values
     /// (profit keeps the move, loss reverts it).
-    pub fn step(
+    pub fn step<B: Backend>(
         &mut self,
-        db: &SimDatabase,
+        db: &B,
         knobs: &mut KnobSet,
         sampled: &[QueryProfile],
         rng: &mut dyn RngCore,
@@ -254,7 +254,9 @@ impl MdpEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autodbaas_simdb::{Catalog, DbFlavor, DiskKind, InstanceType, KnobClass, QueryKind};
+    use autodbaas_simdb::{
+        Catalog, DbFlavor, DiskKind, InstanceType, KnobClass, QueryKind, SimDatabase,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -12,7 +12,7 @@
 //!   the finding is *not* a tuning request; the config director accumulates
 //!   it for the scheduled maintenance window (§4).
 
-use autodbaas_simdb::{KnobId, QueryProfile, SimDatabase, SpillKind};
+use autodbaas_simdb::{Backend, KnobId, QueryProfile, SpillKind};
 
 /// One spill finding from template re-planning.
 #[derive(Debug, Clone)]
@@ -30,7 +30,7 @@ pub struct SpillFinding {
 
 /// Re-plan `sampled` templates under the database's current configuration
 /// and report every spill.
-pub fn detect_spills(db: &SimDatabase, sampled: &[QueryProfile]) -> Vec<SpillFinding> {
+pub fn detect_spills<B: Backend>(db: &B, sampled: &[QueryProfile]) -> Vec<SpillFinding> {
     let roles = db.planner().roles();
     let mut findings = Vec::new();
     for q in sampled {
@@ -62,7 +62,7 @@ pub struct WorkingSetFinding {
 
 /// Compare the working-set gauge against the buffer-pool knob. `reset`
 /// starts a new gauging epoch (pass `true` on the TDE's periodic cadence).
-pub fn check_working_set(db: &mut SimDatabase, reset: bool) -> Option<WorkingSetFinding> {
+pub fn check_working_set<B: Backend>(db: &mut B, reset: bool) -> Option<WorkingSetFinding> {
     let knob = db.planner().roles().buffer_pool;
     let buffer_bytes = db.knobs().get(knob) as u64;
     let ws = db.working_set_bytes(reset);
@@ -81,7 +81,7 @@ pub fn check_working_set(db: &mut SimDatabase, reset: bool) -> Option<WorkingSet
 /// sits within `cap_fraction` of its spec max, or when the instance's
 /// whole memory budget is saturated — both are the "underlying instance
 /// configuration limit is in-sufficient" situations of §3.1.
-pub fn knob_at_cap(db: &SimDatabase, knob: KnobId, cap_fraction: f64) -> bool {
+pub fn knob_at_cap<B: Backend>(db: &B, knob: KnobId, cap_fraction: f64) -> bool {
     let spec = db.profile().spec(knob);
     let v = db.knobs().get(knob);
     if v >= spec.max * cap_fraction {
@@ -94,7 +94,9 @@ pub fn knob_at_cap(db: &SimDatabase, knob: KnobId, cap_fraction: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autodbaas_simdb::{Catalog, DbFlavor, DiskKind, InstanceType, QueryKind, SubmitResult};
+    use autodbaas_simdb::{
+        Catalog, DbFlavor, DiskKind, InstanceType, QueryKind, SimDatabase, SubmitResult,
+    };
 
     const MIB: u64 = 1024 * 1024;
 

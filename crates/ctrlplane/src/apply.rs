@@ -11,8 +11,8 @@
 //! implements the slave-first protocol with fault injection for tests.
 
 use autodbaas_simdb::{
-    ApplyMode, ApplyReport, Catalog, ConfigChange, DbFlavor, DiskKind, InstanceType,
-    ReplicationSlot, SimDatabase,
+    AnyBackend, ApplyMode, ApplyReport, Catalog, ConfigChange, DbFlavor, DiskKind, InstanceType,
+    ReplicationSlot,
 };
 
 /// Why an apply was rejected.
@@ -64,8 +64,8 @@ pub struct FailoverReport {
 /// A replicated database service: one master, N read slaves.
 #[derive(Debug)]
 pub struct ReplicaSet {
-    master: SimDatabase,
-    slaves: Vec<SimDatabase>,
+    master: AnyBackend,
+    slaves: Vec<AnyBackend>,
     /// Per-slave replication stream state.
     slots: Vec<ReplicationSlot>,
     /// Fault injection: the next apply crashes this slave.
@@ -89,10 +89,10 @@ impl ReplicaSet {
         n_slaves: usize,
         seed: u64,
     ) -> Self {
-        let master = SimDatabase::new(flavor, instance, disk, catalog.clone(), seed);
-        let slaves: Vec<SimDatabase> = (0..n_slaves)
+        let master = AnyBackend::new(flavor, instance, disk, catalog.clone(), seed);
+        let slaves: Vec<AnyBackend> = (0..n_slaves)
             .map(|i| {
-                SimDatabase::new(
+                AnyBackend::new(
                     flavor,
                     instance,
                     disk,
@@ -114,22 +114,22 @@ impl ReplicaSet {
     }
 
     /// The master node.
-    pub fn master(&self) -> &SimDatabase {
+    pub fn master(&self) -> &AnyBackend {
         &self.master
     }
 
     /// Mutable master (query traffic goes here).
-    pub fn master_mut(&mut self) -> &mut SimDatabase {
+    pub fn master_mut(&mut self) -> &mut AnyBackend {
         &mut self.master
     }
 
     /// The slaves.
-    pub fn slaves(&self) -> &[SimDatabase] {
+    pub fn slaves(&self) -> &[AnyBackend] {
         &self.slaves
     }
 
     /// Mutable access to slave `i` (fault injection, crash recovery).
-    pub fn slave_mut(&mut self, i: usize) -> &mut SimDatabase {
+    pub fn slave_mut(&mut self, i: usize) -> &mut AnyBackend {
         &mut self.slaves[i]
     }
 
@@ -159,13 +159,13 @@ impl ReplicaSet {
                 promoted = i;
             }
         }
-        let old_master_lsn = self.master.bg().wal().insert_lsn();
+        let old_master_lsn = self.master.wal().insert_lsn();
         let lost_bytes = old_master_lsn.saturating_sub(self.slots[promoted].replay_lsn());
         std::mem::swap(&mut self.master, &mut self.slaves[promoted]);
         // All streams (including the demoted master's, now in the promoted
         // slave's slot) re-base onto the new master's timeline, as if from
         // a fresh base backup.
-        let new_master_lsn = self.master.bg().wal().insert_lsn();
+        let new_master_lsn = self.master.wal().insert_lsn();
         for slot in &mut self.slots {
             slot.resync(new_master_lsn);
         }
@@ -185,7 +185,7 @@ impl ReplicaSet {
     /// Returns the new slave's index.
     pub fn add_slave(&mut self, seed: u64) -> usize {
         let m = &self.master;
-        let mut slave = SimDatabase::new(
+        let mut slave = AnyBackend::new(
             m.flavor(),
             m.instance(),
             m.disks().data().kind(),
@@ -199,7 +199,7 @@ impl ReplicaSet {
             }
         }
         let mut slot = ReplicationSlot::new(SLAVE_REPLAY_RATE);
-        slot.resync(m.bg().wal().insert_lsn());
+        slot.resync(m.wal().insert_lsn());
         self.slaves.push(slave);
         self.slots.push(slot);
         self.slaves.len() - 1
@@ -232,7 +232,7 @@ impl ReplicaSet {
     /// Advance every node's clock and the replication streams.
     pub fn tick(&mut self, dt_ms: u64) {
         self.master.tick(dt_ms);
-        let master_lsn = self.master.bg().wal().insert_lsn();
+        let master_lsn = self.master.wal().insert_lsn();
         for (s, slot) in self.slaves.iter_mut().zip(&mut self.slots) {
             s.tick(dt_ms);
             slot.tick(dt_ms, master_lsn);
@@ -241,7 +241,7 @@ impl ReplicaSet {
 
     /// The worst replication lag across slaves, in bytes.
     pub fn max_replication_lag(&self) -> u64 {
-        let master_lsn = self.master.bg().wal().insert_lsn();
+        let master_lsn = self.master.wal().insert_lsn();
         self.slots
             .iter()
             .map(|s| s.lag_bytes(master_lsn))
@@ -264,7 +264,7 @@ impl ReplicaSet {
         mode: ApplyMode,
         max_lag_bytes: u64,
     ) -> Result<ApplyReport, ApplyError> {
-        let master_lsn = self.master.bg().wal().insert_lsn();
+        let master_lsn = self.master.wal().insert_lsn();
         for (i, slot) in self.slots.iter().enumerate() {
             let lag = slot.lag_bytes(master_lsn);
             if lag > max_lag_bytes {

@@ -94,8 +94,10 @@ fn finding(
 
 /// Entry points whose transitive call tree must be panic-free: the
 /// control plane and gateway public surface (plus gateway binaries'
-/// `main`), and the `ShardPool` worker entry points that PR 5's
-/// persistent fleet shards run on.
+/// `main`), the `ShardPool` worker entry points that PR 5's persistent
+/// fleet shards run on, and the backend adapters' `Backend` trait
+/// `tick`/`apply_config` impls — the per-tick hot path every fleet node
+/// runs, where one panic takes the whole drive down.
 fn is_entry(files: &[FileAst], n: &crate::callgraph::FnNode) -> bool {
     if n.in_test || n.body.is_none() {
         return false;
@@ -106,6 +108,10 @@ fn is_entry(files: &[FileAst], n: &crate::callgraph::FnNode) -> bool {
         "gateway" => n.is_pub || (f.path.contains("/src/bin/") && n.name == "main"),
         "cloudsim" if f.path.ends_with("shard.rs") => {
             n.name == "worker_main" || (n.impl_ty.as_deref() == Some("ShardPool") && n.is_pub)
+        }
+        "simdb" if f.path.contains("/backend/") => {
+            n.trait_impl.as_deref() == Some("Backend")
+                && matches!(n.name.as_str(), "tick" | "apply_config")
         }
         _ => false,
     }

@@ -171,7 +171,10 @@ D001 — wall-clock reads in deterministic code
 any value derived from them differ between runs. The chaos engine (PR 2)
 asserts FNV-fingerprint-identical event logs across replays, and the
 fleet drive asserts thread-count invariance; a single wall-clock read in
-`simdb`, `cloudsim`, `ctrlplane`, `tuner` or `scenario` silently breaks
+`simdb` (including the backend adapter modules under `simdb/src/backend/`
+— the LSM engine's compaction scheduling is as replay-sensitive as the
+page-heap checkpointer), `cloudsim`, `ctrlplane`, `tuner` or `scenario`
+silently breaks
 both — `scenario` additionally promises that `(profile, seed)` pins plan
 generation, shrinking and bug-base replay bit-for-bit. All simulation
 time must come from the tick counter (`SimTime`). The
@@ -261,9 +264,10 @@ D003 — hash-order iteration in sim/control-plane code
 `std::collections::HashMap`/`HashSet` iteration order depends on the
 per-process SipHash key, so any float accumulation, event emission or
 Vec built by iterating one differs between runs even at identical seeds.
-In `simdb`, `cloudsim`, `ctrlplane`, `core`, `telemetry` and `scenario`
-that order can reach telemetry, event logs, tick results or shrunk
-counterexamples.
+In `simdb` (all backend adapters included — an unordered map in the LSM
+compaction planner would shuffle write-amp between runs), `cloudsim`,
+`ctrlplane`, `core`, `telemetry` and `scenario` that order can reach
+telemetry, event logs, tick results or shrunk counterexamples.
 
 The rule tracks names declared with a HashMap/HashSet type (fields,
 params, lets) and flags `.iter()`, `.keys()`, `.values()`, `.drain()`,
@@ -564,10 +568,14 @@ R003 — panic reachable from control-plane/gateway/shard entry points
 
 R001 sees a panic only where it is written; R003 walks the workspace
 call graph. Entry points are the public functions of `ctrlplane` and
-`gateway` (plus the gateway binaries' `main`), and the `ShardPool`
+`gateway` (plus the gateway binaries' `main`), the `ShardPool`
 worker entry points in `cloudsim/src/shard.rs` (`worker_main` and the
 pool's public surface) — the threads PR 5 keeps alive for the life of
-the fleet, where one panic wedges a shard barrier forever. From those
+the fleet, where one panic wedges a shard barrier forever — and the
+backend adapters' `Backend` trait `tick`/`apply_config` impls in
+`simdb/src/backend/` (page-heap, LSM, and any future engine): the
+per-tick hot path every fleet node runs, where a reachable panic takes
+the whole drive down with it. From those
 roots R003 traverses only *strict* (unambiguously resolved) call edges
 and flags every reachable `panic!`/`unimplemented!`/`todo!`/
 `.unwrap()`/`.expect(…)` in non-test code, printing the full

@@ -28,16 +28,30 @@ pub enum Property {
     /// The serial and sharded tick engines produced bit-identical runs
     /// (event-log fingerprints and per-node query counters).
     ShardedIdentity,
+    /// LSM-only write-availability floor: no LSM master may spend more
+    /// than [`MAX_LSM_STALL_FRAC`] of the run in compaction write-stall
+    /// (L0 at or past `write_stall_l0`). Abstains on fleets with no LSM
+    /// nodes — the compaction-debt failure mode does not exist on the
+    /// page heap.
+    CompactionStallFloor,
 }
+
+/// Largest tolerable write-stall fraction for the
+/// [`Property::CompactionStallFloor`] oracle. Generated bursts (≤6× base
+/// rate for ≤2 min) leave LSM stall exposure well under this; a service
+/// past it has effectively lost write availability for a quarter of the
+/// run, which no tuning outcome justifies.
+pub const MAX_LSM_STALL_FRAC: f64 = 0.25;
 
 impl Property {
     /// Every property, in check order.
-    pub const ALL: [Property; 5] = [
+    pub const ALL: [Property; 6] = [
         Property::AvailabilityFloor,
         Property::NoWedgedServices,
         Property::RollbackGuardCorrectness,
         Property::SampleHygiene,
         Property::ShardedIdentity,
+        Property::CompactionStallFloor,
     ];
 
     /// Stable snake_case name (the bug-base vocabulary).
@@ -48,6 +62,7 @@ impl Property {
             Property::RollbackGuardCorrectness => "rollback_guard_correctness",
             Property::SampleHygiene => "sample_hygiene",
             Property::ShardedIdentity => "sharded_identity",
+            Property::CompactionStallFloor => "compaction_stall_floor",
         }
     }
 
@@ -104,6 +119,21 @@ impl Property {
                     None
                 }
             }
+            Property::CompactionStallFloor => {
+                let over: Vec<String> = out
+                    .lsm_stall_frac
+                    .iter()
+                    .filter(|(_, frac)| *frac > MAX_LSM_STALL_FRAC)
+                    .map(|(i, frac)| format!("node {i} stalled {:.1}% of the run", frac * 100.0))
+                    .collect();
+                (!over.is_empty()).then(|| {
+                    format!(
+                        "LSM write-stall budget {:.0}% exceeded: {}",
+                        MAX_LSM_STALL_FRAC * 100.0,
+                        over.join(", ")
+                    )
+                })
+            }
         }
     }
 }
@@ -147,6 +177,7 @@ mod tests {
             queries_serial: vec![10, 20],
             queries_sharded: Some(vec![10, 20]),
             rollbacks: 0,
+            lsm_stall_frac: vec![(1, 0.02)],
         }
     }
 
@@ -217,6 +248,13 @@ mod tests {
                     ..healthy()
                 },
             ),
+            (
+                Property::CompactionStallFloor,
+                RunOutcome {
+                    lsm_stall_frac: vec![(1, 0.02), (3, MAX_LSM_STALL_FRAC + 0.1)],
+                    ..healthy()
+                },
+            ),
         ];
         for (want, out) in cases {
             let violations = check_all(p, &out);
@@ -230,5 +268,11 @@ mod tests {
             ..healthy()
         };
         assert!(check_all(p, &solo).is_empty());
+        // Without LSM nodes the compaction-stall oracle abstains.
+        let all_pageheap = RunOutcome {
+            lsm_stall_frac: vec![],
+            ..healthy()
+        };
+        assert!(check_all(p, &all_pageheap).is_empty());
     }
 }

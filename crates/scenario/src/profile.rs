@@ -62,6 +62,11 @@ pub struct Profile {
     /// Fleet availability a run of this profile must keep (the
     /// `availability_floor` oracle).
     pub availability_floor: f64,
+    /// Host a mixed-backend fleet: odd node indices run the LSM adapter,
+    /// even ones the page heap, under the same control plane. Off, the
+    /// whole fleet is page-heap Postgres. Mixed profiles are also judged
+    /// by the LSM-only `compaction_stall_floor` oracle.
+    pub mixed_backends: bool,
 }
 
 /// The built-in profile catalog.
@@ -83,10 +88,11 @@ pub const PROFILES: &[Profile] = &[
             remove_replica: 2,
         },
         availability_floor: 0.999,
+        mixed_backends: false,
     },
     Profile {
         name: "diurnal-heavy",
-        blurb: "heavy bursts, adversarial knob pushes and occasional faults over a tuning fleet",
+        blurb: "heavy bursts, adversarial knob pushes and occasional faults over a mixed page-heap/LSM tuning fleet",
         n_nodes: 4,
         n_slaves: 1,
         base_qps: 250.0,
@@ -101,6 +107,7 @@ pub const PROFILES: &[Profile] = &[
             remove_replica: 1,
         },
         availability_floor: 0.95,
+        mixed_backends: true,
     },
     Profile {
         name: "failover-storm",
@@ -119,6 +126,7 @@ pub const PROFILES: &[Profile] = &[
             remove_replica: 2,
         },
         availability_floor: 0.80,
+        mixed_backends: false,
     },
 ];
 

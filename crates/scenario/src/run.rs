@@ -12,7 +12,7 @@ use crate::profile::Profile;
 use autodbaas_cloudsim::{FleetConfig, FleetSim, InteractionPlan, ManagedDatabase, RollbackPolicy};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_ctrlplane::TunerKind;
-use autodbaas_simdb::{DbFlavor, DiskKind, InstanceType};
+use autodbaas_simdb::{AnyBackend, DbFlavor, DiskKind, InstanceType};
 use autodbaas_telemetry::MILLIS_PER_MIN;
 use autodbaas_tuner::{SampleQuality, WorkloadId};
 use autodbaas_workload::{tpcc, ArrivalProcess};
@@ -54,14 +54,28 @@ pub struct RunOutcome {
     pub queries_sharded: Option<Vec<u64>>,
     /// Rollbacks the safety guard fired during the (serial) run.
     pub rollbacks: u64,
+    /// Per-node write-stall exposure of every LSM master, as a fraction of
+    /// the full run (duration + settle). Empty on all-page-heap fleets, so
+    /// the compaction-stall oracle abstains there.
+    pub lsm_stall_frac: Vec<(usize, f64)>,
+}
+
+/// Which engine serves node `i` of this profile's fleet: mixed-backend
+/// profiles interleave the LSM adapter on odd indices.
+fn node_flavor(profile: &Profile, i: usize) -> DbFlavor {
+    if profile.mixed_backends && i % 2 == 1 {
+        DbFlavor::Lsm
+    } else {
+        DbFlavor::Postgres
+    }
 }
 
 /// One managed tenant shaped by the profile.
-fn managed_node(profile: &Profile, seed: u64) -> ManagedDatabase {
+fn managed_node(profile: &Profile, i: usize, seed: u64) -> ManagedDatabase {
     let wl = tpcc(1.0);
     let catalog = wl.catalog().clone();
     let node = ManagedDatabase::new(
-        DbFlavor::Postgres,
+        node_flavor(profile, i),
         InstanceType::M4Large,
         DiskKind::Ssd,
         catalog,
@@ -97,7 +111,7 @@ fn run_once(profile: &Profile, plan: &InteractionPlan, seed: u64, sharded: bool)
     sim.set_parallel(sharded);
     for i in 0..profile.n_nodes {
         sim.add_node(
-            managed_node(profile, seed ^ (i as u64 + 1).wrapping_mul(0x9e3779b9)),
+            managed_node(profile, i, seed ^ (i as u64 + 1).wrapping_mul(0x9e3779b9)),
             &format!("{}-db-{i}", profile.name),
         );
     }
@@ -118,6 +132,16 @@ pub fn run_plan(
 ) -> RunOutcome {
     let serial = run_once(profile, plan, seed, false);
     let (_, low_online) = serial.repo.online_quality_counts();
+    let run_ms = (profile.duration_ms + SETTLE_MS) as f64;
+    let lsm_stall_frac = serial
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| match n.db() {
+            AnyBackend::Lsm(db) => Some((i, db.write_stalled_ms() as f64 / run_ms)),
+            AnyBackend::PageHeap(_) => None,
+        })
+        .collect();
     let mut outcome = RunOutcome {
         availability: serial.availability(),
         wedged: serial.wedged_nodes(),
@@ -129,6 +153,7 @@ pub fn run_plan(
         queries_serial: serial.nodes.iter().map(|n| n.queries_submitted).collect(),
         queries_sharded: None,
         rollbacks: serial.events.count("tune.rollback") as u64,
+        lsm_stall_frac,
     };
     if doublecheck {
         let sharded = run_once(profile, plan, seed, true);
@@ -164,6 +189,29 @@ mod tests {
         assert_eq!(a.fingerprint_serial, b.fingerprint_serial);
         assert_eq!(a.queries_serial, b.queries_serial);
         assert_eq!(a.availability, b.availability);
+    }
+
+    #[test]
+    fn mixed_profile_hosts_lsm_masters_and_reports_stall_exposure() {
+        let p = profile("diurnal-heavy").unwrap();
+        assert!(p.mixed_backends);
+        let plan = generate(p, 11);
+        let out = run_plan(p, &plan, 11, false);
+        // Odd indices carry the LSM adapter (4-node fleet → nodes 1, 3)…
+        assert_eq!(
+            out.lsm_stall_frac
+                .iter()
+                .map(|&(i, _)| i)
+                .collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        // …and a generated plan stays well inside the write-stall budget.
+        for &(i, frac) in &out.lsm_stall_frac {
+            assert!(
+                frac <= crate::oracle::MAX_LSM_STALL_FRAC,
+                "node {i} stalled {frac:.3} of the run"
+            );
+        }
     }
 
     #[test]

@@ -154,6 +154,15 @@ impl BgWriter {
                         self.wal.bytes_since_checkpoint() as f64 >= wal_trigger,
                     )
                 }
+                DbFlavor::Lsm => {
+                    // The LSM adapter runs its own flush/compaction engine;
+                    // this arm keeps BgWriter usable under the flavor:
+                    // "timed" = the memtable budget filled, "requested" =
+                    // enough memtables accumulated to hit the L0 trigger.
+                    let memtable = knobs.get(roles.checkpoint_interval).max(1.0);
+                    let written = self.wal.bytes_since_checkpoint() as f64;
+                    (written >= memtable, written >= memtable * wal_trigger)
+                }
             };
             if (timed || requested) && dirty > 0 {
                 // Spread the flush across the completion window. PostgreSQL
@@ -176,6 +185,8 @@ impl BgWriter {
                     DbFlavor::MySql => {
                         10_000.0 / (1.0 + knobs.get(roles.checkpoint_spread)).max(1.0)
                     }
+                    // compaction_spread ∈ [0.1, 0.95]: higher = smoother.
+                    DbFlavor::Lsm => (20_000.0 * knobs.get(roles.checkpoint_spread)).max(1_000.0),
                 };
                 self.run = Some(CheckpointRun {
                     remaining: dirty,

@@ -298,8 +298,9 @@ impl SimDatabase {
         self.now
     }
 
-    /// Recent query log (streaming-log stand-in for the TDE).
-    pub fn query_log(&self) -> impl Iterator<Item = &LoggedQuery> {
+    /// Recent query log (streaming-log stand-in for the TDE). The concrete
+    /// iterator type lets the [`crate::backend::Backend`] trait name it.
+    pub fn query_log(&self) -> std::collections::vec_deque::Iter<'_, LoggedQuery> {
         self.query_log.iter()
     }
 

@@ -16,6 +16,9 @@ pub enum DbFlavor {
     Postgres,
     /// MySQL 5.6-style knobs (`sort_buffer_size`, `key_buffer_size`, …).
     MySql,
+    /// LSM/embedded-style knobs (`memtable_bytes`, `level_fanout`,
+    /// `bloom_bits_per_key`, …) for the compaction-driven backend.
+    Lsm,
 }
 
 impl fmt::Display for DbFlavor {
@@ -23,6 +26,7 @@ impl fmt::Display for DbFlavor {
         match self {
             DbFlavor::Postgres => write!(f, "postgresql"),
             DbFlavor::MySql => write!(f, "mysql"),
+            DbFlavor::Lsm => write!(f, "lsm"),
         }
     }
 }
@@ -424,11 +428,170 @@ impl KnobProfile {
         }
     }
 
+    /// The LSM/embedded-style profile for the compaction-driven backend.
+    /// Same three-class split, different physics: the memory class sizes
+    /// the block cache, memtable and per-query areas; the background class
+    /// steers flush/compaction cadence (the LSM analogue of checkpoints);
+    /// the async class holds planner-estimate knobs (bloom bits stand in
+    /// for random-cost pessimism).
+    pub fn lsm() -> Self {
+        use KnobClass::*;
+        use KnobUnit::*;
+        let specs = vec![
+            // Memory class. The block cache is the restart-bound buffer.
+            KnobSpec {
+                name: "block_cache_bytes",
+                class: Memory,
+                unit: Bytes,
+                min: 16.0 * MIB,
+                max: 64.0 * GIB,
+                default: 128.0 * MIB,
+                restart_required: true,
+            },
+            KnobSpec {
+                name: "scan_buffer_bytes",
+                class: Memory,
+                unit: Bytes,
+                min: 64.0 * KIB,
+                max: 4.0 * GIB,
+                default: 4.0 * MIB,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "compaction_buffer_bytes",
+                class: Memory,
+                unit: Bytes,
+                min: 1.0 * MIB,
+                max: 8.0 * GIB,
+                default: 64.0 * MIB,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "temp_buffer_bytes",
+                class: Memory,
+                unit: Bytes,
+                min: 800.0 * KIB,
+                max: 4.0 * GIB,
+                default: 8.0 * MIB,
+                restart_required: false,
+            },
+            // The memtable budget plays the checkpoint-interval role: a
+            // bigger memtable flushes less often, exactly as a longer
+            // checkpoint_timeout spaces out checkpoint bursts.
+            KnobSpec {
+                name: "memtable_bytes",
+                class: Memory,
+                unit: Bytes,
+                min: 4.0 * MIB,
+                max: 2.0 * GIB,
+                default: 64.0 * MIB,
+                restart_required: false,
+            },
+            // Background (flush/compaction) class.
+            KnobSpec {
+                name: "level_fanout",
+                class: BackgroundWriter,
+                unit: Scalar,
+                min: 2.0,
+                max: 20.0,
+                default: 10.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "l0_compaction_trigger",
+                class: BackgroundWriter,
+                unit: Count,
+                min: 2.0,
+                max: 32.0,
+                default: 4.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "compaction_spread",
+                class: BackgroundWriter,
+                unit: Scalar,
+                min: 0.1,
+                max: 0.95,
+                default: 0.5,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "compaction_parallelism",
+                class: BackgroundWriter,
+                unit: Count,
+                min: 1.0,
+                max: 16.0,
+                default: 2.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "write_stall_l0",
+                class: BackgroundWriter,
+                unit: Count,
+                min: 4.0,
+                max: 64.0,
+                default: 20.0,
+                restart_required: false,
+            },
+            // Async / planner-estimate class.
+            KnobSpec {
+                name: "bloom_bits_per_key",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 0.0,
+                max: 20.0,
+                default: 10.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "parallel_scan_workers",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 0.0,
+                max: 16.0,
+                default: 0.0,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "background_threads",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 1.0,
+                max: 64.0,
+                default: 8.0,
+                restart_required: true,
+            },
+            KnobSpec {
+                name: "cache_size_estimate_bytes",
+                class: AsyncPlanner,
+                unit: Bytes,
+                min: 8.0 * MIB,
+                max: 128.0 * GIB,
+                default: 4.0 * GIB,
+                restart_required: false,
+            },
+            KnobSpec {
+                name: "read_ahead_ios",
+                class: AsyncPlanner,
+                unit: Count,
+                min: 0.0,
+                max: 256.0,
+                default: 1.0,
+                restart_required: false,
+            },
+        ];
+        Self {
+            flavor: DbFlavor::Lsm,
+            specs,
+        }
+    }
+
     /// Profile for a flavor.
     pub fn for_flavor(flavor: DbFlavor) -> Self {
         match flavor {
             DbFlavor::Postgres => Self::postgres(),
             DbFlavor::MySql => Self::mysql(),
+            DbFlavor::Lsm => Self::lsm(),
         }
     }
 
@@ -553,7 +716,11 @@ mod tests {
 
     #[test]
     fn profiles_cover_all_three_classes() {
-        for profile in [KnobProfile::postgres(), KnobProfile::mysql()] {
+        for profile in [
+            KnobProfile::postgres(),
+            KnobProfile::mysql(),
+            KnobProfile::lsm(),
+        ] {
             for class in KnobClass::ALL {
                 assert!(
                     !profile.ids_in_class(class).is_empty(),
@@ -575,7 +742,11 @@ mod tests {
 
     #[test]
     fn defaults_are_within_bounds() {
-        for profile in [KnobProfile::postgres(), KnobProfile::mysql()] {
+        for profile in [
+            KnobProfile::postgres(),
+            KnobProfile::mysql(),
+            KnobProfile::lsm(),
+        ] {
             for (_, spec) in profile.iter() {
                 assert!(
                     spec.min <= spec.default && spec.default <= spec.max,
@@ -607,6 +778,11 @@ mod tests {
         let my = KnobProfile::mysql();
         assert!(
             my.spec(my.lookup("innodb_buffer_pool_size").unwrap())
+                .restart_required
+        );
+        let lsm = KnobProfile::lsm();
+        assert!(
+            lsm.spec(lsm.lookup("block_cache_bytes").unwrap())
                 .restart_required
         );
     }

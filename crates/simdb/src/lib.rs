@@ -17,7 +17,14 @@
 //! * `pg_stat`-style [`metrics`], and
 //! * the [`engine::SimDatabase`] facade with §4 apply semantics
 //!   (reload / socket-activation / restart, staged restart-only knobs).
+//!
+//! The [`backend`] module is the engine seam: the [`backend::Backend`]
+//! trait is the surface every upstream layer consumes, `SimDatabase` is
+//! its page-heap adapter, [`backend::LsmDatabase`] a second engine family
+//! (memtable + levelled compaction), and [`backend::AnyBackend`] the
+//! static dispatcher mixed fleets hold.
 
+pub mod backend;
 pub mod bgwriter;
 pub mod bufferpool;
 pub mod catalog;
@@ -32,6 +39,7 @@ pub mod query;
 pub mod replication;
 pub mod wal;
 
+pub use backend::{AnyBackend, Backend, BackendDescriptor, BackendKind, LsmDatabase};
 pub use catalog::{Catalog, Table, PAGE_BYTES};
 pub use engine::{
     ApplyMode, ApplyReport, ConfigChange, LoggedQuery, RecoveryReport, SimDatabase, SubmitResult,

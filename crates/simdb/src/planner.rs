@@ -133,6 +133,23 @@ impl KnobRoles {
                 cache_estimate: get("read_rnd_buffer_size"),
                 io_concurrency: get("innodb_read_io_threads"),
             },
+            DbFlavor::Lsm => Self {
+                buffer_pool: get("block_cache_bytes"),
+                work_area: get("scan_buffer_bytes"),
+                maintenance_area: get("compaction_buffer_bytes"),
+                temp_area: get("temp_buffer_bytes"),
+                // A bigger memtable spaces out flushes the way a longer
+                // checkpoint_timeout spaces out checkpoints, so bg-cadence
+                // findings raise it.
+                checkpoint_interval: get("memtable_bytes"),
+                checkpoint_spread: get("compaction_spread"),
+                bg_clean_rate: get("compaction_parallelism"),
+                wal_trigger: get("l0_compaction_trigger"),
+                parallel_workers: get("parallel_scan_workers"),
+                random_cost: get("bloom_bits_per_key"),
+                cache_estimate: get("cache_size_estimate_bytes"),
+                io_concurrency: get("read_ahead_ios"),
+            },
         }
     }
 
@@ -190,6 +207,9 @@ impl Planner {
             // optimizer_search_depth: deeper search = better estimates =
             // effectively lower random-cost pessimism.
             DbFlavor::MySql => 1.0 + (1.0 - t) * 9.0,
+            // bloom_bits_per_key: more bits = fewer wasted SSTable probes
+            // per point read = lower effective random-access cost.
+            DbFlavor::Lsm => 1.0 + (1.0 - t) * 9.0,
         }
     }
 
@@ -372,9 +392,10 @@ mod tests {
     }
 
     #[test]
-    fn roles_resolve_for_both_flavors() {
+    fn roles_resolve_for_all_flavors() {
         let _ = KnobRoles::resolve(&KnobProfile::postgres());
         let _ = KnobRoles::resolve(&KnobProfile::mysql());
+        let _ = KnobRoles::resolve(&KnobProfile::lsm());
     }
 
     #[test]

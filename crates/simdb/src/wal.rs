@@ -104,6 +104,7 @@ impl Wal {
         let redo = self
             .pending_redo_lsn
             .take()
+            // detlint-allow: R003 checkpoint protocol invariant — every caller (bgwriter cycle, LSM memtable flush) pairs begin/complete in straight-line code; a completion without a begin is a construction bug, not a runtime state
             .expect("complete_checkpoint without begin_checkpoint");
         debug_assert!(
             redo >= self.redo_lsn,

@@ -1,0 +1,238 @@
+//! Backend conformance suite — the contract every adapter behind the
+//! [`Backend`] trait must honour, run against *all* of them.
+//!
+//! The TDE, the config director and the fleet engine are generic over the
+//! trait; they rely on exactly these behaviours, so each is pinned here
+//! for every adapter rather than trusted to hold by analogy with the
+//! page-heap engine:
+//!
+//! * knob writes clamp to the spec bounds (a recommendation outside
+//!   `[min, max]` must land at the bound, not explode the engine);
+//! * `apply_config` semantics: reloadable knobs land on `Reload`,
+//!   restart-bound knobs stage on `Reload` and land on `Restart`;
+//! * metrics deltas are monotone for every counter (gauges exempt) — the
+//!   tuner's sample windows assume counters never run backwards;
+//! * tick replay from a fixed seed is bit-identical — fleet fingerprints
+//!   and the bug base depend on it.
+
+use autodbaas::prelude::*;
+use autodbaas::simdb::{KnobId, MetricId};
+
+/// Every flavor × adapter pairing the substrate ships.
+const FLAVORS: [DbFlavor; 3] = [DbFlavor::Postgres, DbFlavor::MySql, DbFlavor::Lsm];
+
+fn mk(flavor: DbFlavor, seed: u64) -> AnyBackend {
+    let catalog = Catalog::synthetic(4, 1_000_000_000, 150, 2);
+    AnyBackend::new(flavor, InstanceType::M4Large, DiskKind::Ssd, catalog, seed)
+}
+
+/// A write-heavy, sort-heavy driving loop exercising both the foreground
+/// and background paths of any engine.
+fn drive(db: &mut AnyBackend, secs: u64) {
+    let mut write = QueryProfile::new(QueryKind::Insert, 0);
+    write.rows_written = 40;
+    let mut scan = QueryProfile::new(QueryKind::RangeSelect, 1);
+    scan.rows_examined = 30_000;
+    for _ in 0..secs {
+        let _ = db.submit(&write, 120);
+        let _ = db.submit(&scan, 10);
+        db.tick(1_000);
+    }
+}
+
+/// A reloadable knob and a restart-bound knob from the adapter's own
+/// profile (every profile must expose both classes).
+fn sample_knobs(db: &AnyBackend) -> (KnobId, KnobId) {
+    let profile = db.profile();
+    let mut reload = None;
+    let mut restart = None;
+    for (id, spec) in profile.iter() {
+        if spec.restart_required {
+            restart.get_or_insert(id);
+        } else {
+            reload.get_or_insert(id);
+        }
+    }
+    (
+        reload.expect("profile must have a reloadable knob"),
+        restart.expect("profile must have a restart-bound knob"),
+    )
+}
+
+#[test]
+fn knob_writes_clamp_to_spec_bounds() {
+    for flavor in FLAVORS {
+        let mut db = mk(flavor, 7);
+        let (reload, _) = sample_knobs(&db);
+        let spec = db.profile().spec(reload).clone();
+        db.apply_config(
+            &[ConfigChange {
+                knob: reload,
+                value: spec.max * 16.0,
+            }],
+            ApplyMode::Reload,
+        );
+        let v = db.knobs().get(reload);
+        assert!(
+            v <= spec.max,
+            "{flavor}: over-max write must clamp ({v} > {})",
+            spec.max
+        );
+        db.apply_config(
+            &[ConfigChange {
+                knob: reload,
+                value: spec.min - spec.max,
+            }],
+            ApplyMode::Reload,
+        );
+        let v = db.knobs().get(reload);
+        assert!(
+            v >= spec.min,
+            "{flavor}: under-min write must clamp ({v} < {})",
+            spec.min
+        );
+    }
+}
+
+#[test]
+fn reload_stages_restart_bound_knobs_and_restart_lands_them() {
+    for flavor in FLAVORS {
+        let mut db = mk(flavor, 11);
+        let (_, restart) = sample_knobs(&db);
+        let spec = db.profile().spec(restart).clone();
+        let before = db.knobs().get(restart);
+        let target = (before * 2.0).clamp(spec.min, spec.max);
+        assert_ne!(before, target, "{flavor}: pick a knob with headroom");
+
+        let report = db.apply_config(
+            &[ConfigChange {
+                knob: restart,
+                value: target,
+            }],
+            ApplyMode::Reload,
+        );
+        assert_eq!(
+            db.knobs().get(restart),
+            before,
+            "{flavor}: restart-bound knob must not move on reload"
+        );
+        assert!(
+            db.staged_changes().iter().any(|c| c.knob == restart),
+            "{flavor}: reload must stage the restart-bound change"
+        );
+        assert!(
+            report.deferred.contains(&restart),
+            "{flavor}: the report must list the deferral"
+        );
+        assert_eq!(
+            report.downtime_ms, 0,
+            "{flavor}: reload must not incur hard downtime"
+        );
+
+        let report = db.apply_config(&[], ApplyMode::Restart);
+        assert!(
+            report.downtime_ms > 0,
+            "{flavor}: restart mode incurs downtime"
+        );
+        assert_eq!(
+            db.knobs().get(restart),
+            target,
+            "{flavor}: restart must land the staged change"
+        );
+        assert!(
+            db.staged_changes().is_empty(),
+            "{flavor}: staging drains on restart"
+        );
+    }
+}
+
+#[test]
+fn counter_metrics_never_run_backwards() {
+    for flavor in FLAVORS {
+        let mut db = mk(flavor, 23);
+        let mut prev = db.metrics_snapshot();
+        for chunk in 0..20 {
+            drive(&mut db, 5);
+            let now = db.metrics_snapshot();
+            let delta = now.delta(&prev);
+            for id in MetricId::ALL {
+                if !id.is_gauge() {
+                    assert!(
+                        delta[id.index()] >= 0.0,
+                        "{flavor}: counter {} went backwards in chunk {chunk} ({})",
+                        id.name(),
+                        delta[id.index()]
+                    );
+                }
+            }
+            prev = now;
+        }
+    }
+}
+
+#[test]
+fn tick_replay_from_fixed_seed_is_bit_identical() {
+    for flavor in FLAVORS {
+        let mut a = mk(flavor, 97);
+        let mut b = mk(flavor, 97);
+        let mut scan = QueryProfile::new(QueryKind::RangeSelect, 2);
+        scan.rows_examined = 50_000;
+        let mut write = QueryProfile::new(QueryKind::Update, 3);
+        write.rows_written = 25;
+        write.rows_examined = 500;
+        for i in 0..120 {
+            let (ra, rb) = (a.submit(&scan, 20), b.submit(&scan, 20));
+            match (ra, rb) {
+                (SubmitResult::Done(oa), SubmitResult::Done(ob)) => {
+                    assert_eq!(
+                        oa.latency_ms.to_bits(),
+                        ob.latency_ms.to_bits(),
+                        "{flavor}: latency diverged at tick {i}"
+                    );
+                }
+                (SubmitResult::Done(_), _) | (_, SubmitResult::Done(_)) => {
+                    panic!("{flavor}: admission diverged at tick {i}")
+                }
+                _ => {}
+            }
+            let _ = a.submit(&write, 40);
+            let _ = b.submit(&write, 40);
+            a.tick(1_000);
+            b.tick(1_000);
+        }
+        assert_eq!(
+            a.metrics_snapshot().as_vec(),
+            b.metrics_snapshot().as_vec(),
+            "{flavor}: metric stores diverged"
+        );
+        assert_eq!(
+            a.wal().insert_lsn(),
+            b.wal().insert_lsn(),
+            "{flavor}: WAL diverged"
+        );
+    }
+}
+
+#[test]
+fn descriptor_scopes_names_per_backend_with_shared_layout() {
+    let pg = mk(DbFlavor::Postgres, 1).descriptor();
+    let lsm = mk(DbFlavor::Lsm, 1).descriptor();
+    assert_eq!(pg.metric_names.len(), lsm.metric_names.len());
+    assert_eq!(pg.metric_names.len(), MetricId::ALL.len());
+    assert_eq!(pg.kind, BackendKind::PageHeap);
+    assert_eq!(lsm.kind, BackendKind::Lsm);
+    // Same slot, backend-scoped vocabulary: checkpoints vs compactions.
+    let slot = MetricId::CheckpointsTimed.index();
+    assert_ne!(pg.metric_names[slot], lsm.metric_names[slot]);
+    // The knob profiles genuinely differ.
+    assert_ne!(
+        pg.knob_profile
+            .iter()
+            .map(|(_, s)| s.name)
+            .collect::<Vec<_>>(),
+        lsm.knob_profile
+            .iter()
+            .map(|(_, s)| s.name)
+            .collect::<Vec<_>>()
+    );
+}

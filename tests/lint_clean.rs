@@ -98,6 +98,34 @@ fn r003_fixture_reports_the_full_cross_crate_chain() {
 }
 
 #[test]
+fn r003_fixture_treats_backend_tick_impls_as_entry_points() {
+    let findings = fixture_findings(
+        "R003",
+        &[(
+            "crates/simdb/src/backend/fixture_adapter.rs",
+            include_str!("../crates/lint/tests/fixtures/r003_backend.rs"),
+        )],
+    );
+    assert_eq!(
+        findings.len(),
+        1,
+        "the trait tick impl must root exactly one chain: {findings:#?}"
+    );
+    let f = &findings[0];
+    assert!(f.snippet.contains("pending.unwrap()"), "{f:#?}");
+    let chain: Vec<&str> = f.chain.iter().map(|h| h.function.as_str()).collect();
+    assert_eq!(
+        chain,
+        [
+            "simdb::backend::fixture_adapter::FixtureEngine::tick",
+            "simdb::backend::fixture_adapter::advance_clock",
+        ],
+        "chain must be rooted at the Backend trait impl, not the inherent helper"
+    );
+    assert!(f.message.contains("tick"), "{}", f.message);
+}
+
+#[test]
 fn r004_fixture_reports_panic_blocking_and_double_lock() {
     let findings = fixture_findings(
         "R004",
