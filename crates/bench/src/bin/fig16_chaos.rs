@@ -17,9 +17,11 @@
 //! Flags: `--dbs 6 --minutes 45 --seed 42 --backend pageheap` (defaults
 //! shown; `--backend lsm` runs the same fault plan against the LSM
 //! adapter — self-healing is a property of the control plane, not of the
-//! engine profile underneath it).
+//! engine profile underneath it). With `--resume <snapshot>` the first
+//! run crosses a save/reload boundary at the halfway mark and must still
+//! match the uninterrupted replay bit-for-bit.
 
-use autodbaas_bench::{arg_value, backend_arg, header, NodeSpec};
+use autodbaas_bench::{arg_value, backend_arg, checkpoint_roundtrip, header, resume_arg, NodeSpec};
 use autodbaas_cloudsim::{FaultPlan, FleetConfig, FleetSim, RollbackPolicy};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_ctrlplane::TunerKind;
@@ -54,6 +56,7 @@ fn run_once(
     seed: u64,
     flavor: DbFlavor,
     plan: FaultPlan,
+    checkpoint: Option<&std::path::Path>,
 ) -> ChaosSummary {
     let mut sim = FleetSim::new(
         FleetConfig {
@@ -102,7 +105,14 @@ fn run_once(
         sim.add_node(node, &format!("db-{i}"));
     }
     sim.enable_chaos(plan);
-    sim.run_for(minutes * MILLIS_PER_MIN);
+    // With --resume, cross a serialize/deserialize boundary mid-chaos;
+    // the caller's fingerprint comparison against an uninterrupted run
+    // then proves the snapshot carried the complete fleet state.
+    sim.run_for(minutes / 2 * MILLIS_PER_MIN);
+    if let Some(path) = checkpoint {
+        sim = checkpoint_roundtrip(sim, path);
+    }
+    sim.run_for((minutes - minutes / 2) * MILLIS_PER_MIN);
     // Quiet-down: long enough for every in-flight recovery, backoff retry
     // and watcher timeout to resolve — the no-wedge check below is strict.
     sim.run_for(10 * MILLIS_PER_MIN);
@@ -150,9 +160,20 @@ fn main() {
          control loops, and a bit-for-bit reproducible event log",
     );
 
+    let resume = resume_arg();
+    if let Some(path) = &resume {
+        outln!("checkpointing run A through {}", path.display());
+    }
     let standard = FaultPlan::standard(n_dbs, minutes * MILLIS_PER_MIN);
-    let a = run_once(n_dbs, minutes, seed, flavor, standard.clone());
-    let b = run_once(n_dbs, minutes, seed, flavor, standard);
+    let a = run_once(
+        n_dbs,
+        minutes,
+        seed,
+        flavor,
+        standard.clone(),
+        resume.as_deref(),
+    );
+    let b = run_once(n_dbs, minutes, seed, flavor, standard, None);
 
     outln!("\n{:<34} {:>14}", "metric", "value");
     outln!("{:<34} {:>14.5}", "availability (fleet)", a.availability);
@@ -214,6 +235,7 @@ fn main() {
         seed,
         flavor,
         FaultPlan::generate(seed ^ 1, n_dbs, minutes * MILLIS_PER_MIN, 16),
+        None,
     );
     assert_ne!(
         a.fingerprint, c.fingerprint,

@@ -17,9 +17,12 @@
 //!      fingerprints must match bit-for-bit (heterogeneity does not cost
 //!      determinism).
 //!
-//! Flags: `--hours 6 --seed 42` (defaults shown).
+//! Flags: `--hours 6 --seed 42` (defaults shown). With
+//! `--resume <snapshot>` the first mixed-fleet run crosses a save/reload
+//! boundary at the halfway hour and must still match the uninterrupted
+//! replay bit-for-bit.
 
-use autodbaas_bench::{arg_value, header, sparkline, NodeSpec};
+use autodbaas_bench::{arg_value, checkpoint_roundtrip, header, resume_arg, sparkline, NodeSpec};
 use autodbaas_cloudsim::{FleetConfig, FleetSim};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_ctrlplane::{ServiceId, TunerKind};
@@ -94,8 +97,11 @@ struct MixedOutcome {
     availability: f64,
 }
 
-/// Both adapters simultaneously under one ConfigDirector.
-fn mixed_fleet(hours: u64, seed: u64) -> MixedOutcome {
+/// Both adapters simultaneously under one ConfigDirector. With a
+/// `checkpoint` path the fleet round-trips through the snapshot file at
+/// the halfway hour — the replay assertion downstream then doubles as a
+/// snapshot-identity check.
+fn mixed_fleet(hours: u64, seed: u64, checkpoint: Option<&std::path::Path>) -> MixedOutcome {
     let mut sim = fleet(seed);
     let idxs: Vec<(DbFlavor, usize)> = BACKENDS
         .iter()
@@ -106,7 +112,12 @@ fn mixed_fleet(hours: u64, seed: u64) -> MixedOutcome {
         .collect();
     let mut curves: Vec<(DbFlavor, Vec<f64>)> =
         idxs.iter().map(|&(f, _)| (f, Vec::new())).collect();
-    for _ in 0..hours {
+    for hour in 0..hours {
+        if hour == hours / 2 {
+            if let Some(path) = checkpoint {
+                sim = checkpoint_roundtrip(sim, path);
+            }
+        }
         let before: Vec<_> = idxs
             .iter()
             .map(|&(_, i)| sim.nodes[i].db().metrics_snapshot())
@@ -180,7 +191,11 @@ fn main() {
     }
 
     outln!("\nmixed fleet: both adapters under one ConfigDirector:");
-    let mixed = mixed_fleet(hours, seed);
+    let resume = resume_arg();
+    if let Some(path) = &resume {
+        outln!("  (checkpointing through {})", path.display());
+    }
+    let mixed = mixed_fleet(hours, seed, resume.as_deref());
     for (flavor, curve) in &mixed.curves {
         let kind = BackendKind::for_flavor(*flavor);
         sparkline(&format!("mixed {}", kind.name()), curve);
@@ -204,8 +219,9 @@ fn main() {
         mixed.availability
     );
 
-    // Replay: heterogeneity must not cost determinism.
-    let replay = mixed_fleet(hours, seed);
+    // Replay: heterogeneity (and a --resume checkpoint crossing) must
+    // not cost determinism.
+    let replay = mixed_fleet(hours, seed, None);
     assert_eq!(
         mixed.fingerprint, replay.fingerprint,
         "mixed-fleet replay must be bit-identical"

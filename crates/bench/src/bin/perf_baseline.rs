@@ -25,24 +25,30 @@
 //!    fleet at {48, 512, 2048, 10_000} services. Fails if the sharded
 //!    engine loses to serial at ≥512 nodes or the 10k fleet drops below
 //!    1M node-ticks/s.
+//! 6. **Safe tuning** — one simulated day of the fig18 rig: a guarded
+//!    and an observe-only arm cold-start a BO tuner against the
+//!    production trace. Gates: the guarded arm finishes with zero
+//!    SLO-floor breaches and strictly lower cumulative regret, the
+//!    observe-only arm never clamps, and the guarded region clamps at
+//!    least once (i.e. it did real work).
 //!
 //! All seeds are fixed; every non-timing field in the JSON is
 //! deterministic. Timing fields are medians or fastest-reps over several
 //! repetitions.
 //!
-//! The file starts with `"schema_version": 3`; v3 added the per-backend
-//! `backends` section. Consumers must check the version field and refuse
-//! older/newer files rather than guess (the detlint `--json` v2 bump set
-//! the precedent).
+//! The file starts with `"schema_version": 4`; v3 added the per-backend
+//! `backends` section, v4 the `safetune` regret/SLO section. Consumers
+//! must check the version field and refuse older/newer files rather than
+//! guess (the detlint `--json` v2 bump set the precedent).
 //!
 //! Flags: `--rounds 24 --out BENCH_perf.json`.
 
-use autodbaas_bench::{arg_value, longtail_fleet, race_engines, NodeSpec};
+use autodbaas_bench::{arg_value, longtail_fleet, race_engines, safetune, NodeSpec};
 use autodbaas_cloudsim::{FleetConfig, FleetSim};
 use autodbaas_core::{TdeConfig, TuningPolicy};
 use autodbaas_simdb::{DbFlavor, InstanceType};
 use autodbaas_telemetry::outln;
-use autodbaas_telemetry::MILLIS_PER_MIN;
+use autodbaas_telemetry::{MILLIS_PER_HOUR, MILLIS_PER_MIN};
 use autodbaas_tuner::{
     top_k_xy, BoConfig, BoStats, BoTuner, GaussianProcess, GpParams, Sample, SampleQuality,
     WorkloadId, WorkloadRepository,
@@ -566,19 +572,98 @@ fn fleet_scaling(out: &mut String) {
     out.push_str("  ]\n");
 }
 
+/// Stage 6 (schema v4): the safe-tuning gate. One simulated day of the
+/// fig18 rig — a guarded and an observe-only arm, identical fleets and
+/// acquisition, only the safe-region geometry differing — with the
+/// safety layer's contract asserted, not just recorded: the guard must
+/// hold the SLO floor without giving up the regret advantage it exists
+/// to provide.
+fn safetune_gate(out: &mut String) {
+    const SIM_DAYS: u64 = 1;
+    const DBS: usize = 2;
+    const SEED: u64 = 42;
+    let run = |guarded: bool| {
+        let mut sim = safetune::production_arm(guarded, DBS, SEED);
+        sim.run_for(SIM_DAYS * 24 * MILLIS_PER_HOUR);
+        sim
+    };
+    let t = Instant::now();
+    let guarded = run(true);
+    let unguarded = run(false);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let gs = guarded.safety().expect("guarded governor");
+    let us = unguarded.safety().expect("unguarded governor");
+    let (g_clamps, g_breaches) = guarded.meter.safety_totals();
+    let (u_clamps, u_breaches) = unguarded.meter.safety_totals();
+    let regret_ratio = us.cumulative_regret() / gs.cumulative_regret().max(1e-9);
+    outln!(
+        "safetune {SIM_DAYS} day(s), {DBS} dbs/arm: regret guarded={:.1} unguarded={:.1} \
+         ({regret_ratio:.2}x)  breaches {}/{}  clamps {g_clamps}/{u_clamps}  ({wall_ms:.0} ms)",
+        gs.cumulative_regret(),
+        us.cumulative_regret(),
+        gs.total_violations(),
+        us.total_violations(),
+    );
+
+    assert_eq!(
+        g_breaches,
+        gs.total_violations(),
+        "meter/ledger breach split"
+    );
+    assert_eq!(
+        u_breaches,
+        us.total_violations(),
+        "meter/ledger breach split"
+    );
+    assert_eq!(
+        gs.total_violations(),
+        0,
+        "guarded arm must hold the SLO floor for the whole day"
+    );
+    assert_eq!(u_clamps, 0, "the observe-only arm must never clamp");
+    assert!(
+        g_clamps > 0,
+        "the guarded region never clamped — it did no work"
+    );
+    assert!(
+        gs.cumulative_regret() < us.cumulative_regret(),
+        "guarded regret {:.1} must undercut unguarded {:.1}",
+        gs.cumulative_regret(),
+        us.cumulative_regret()
+    );
+
+    out.push_str(&format!(
+        "  \"safetune\": {{\n    \"sim_days\": {SIM_DAYS},\n    \"services_per_arm\": {DBS},\n    \
+         \"guarded\": {{\"cumulative_regret\": {:.1}, \"slo_breaches\": {}, \"clamps\": {g_clamps}, \
+         \"worst_shortfall\": {:.4}}},\n    \
+         \"unguarded\": {{\"cumulative_regret\": {:.1}, \"slo_breaches\": {}, \"clamps\": {u_clamps}, \
+         \"worst_shortfall\": {:.4}}},\n    \
+         \"regret_ratio\": {regret_ratio:.3},\n    \"wall_ms\": {wall_ms:.0}\n  }},\n",
+        gs.cumulative_regret(),
+        gs.total_violations(),
+        gs.worst_shortfall(),
+        us.cumulative_regret(),
+        us.total_violations(),
+        us.worst_shortfall(),
+    ));
+}
+
 fn main() {
     let rounds: usize = arg_value("rounds")
         .and_then(|v| v.parse().ok())
         .unwrap_or(24);
     let out_path = arg_value("out").unwrap_or_else(|| "BENCH_perf.json".into());
 
-    // v3: added the per-backend `backends` section. Consumers pinned to an
-    // older schema must fail on the version field, not silently miss it.
-    let mut out = String::from("{\n  \"schema_version\": 3,\n");
+    // v4: added the `safetune` regret/SLO section (v3 the per-backend
+    // `backends` one). Consumers pinned to an older schema must fail on
+    // the version field, not silently miss it.
+    let mut out = String::from("{\n  \"schema_version\": 4,\n");
     gp_fit_sweep(&mut out);
     repeated_recommend(rounds, &mut out);
     fleet_drive(&mut out);
     backend_drive(&mut out);
+    safetune_gate(&mut out);
     fleet_scaling(&mut out);
     out.push_str("}\n");
 

@@ -95,6 +95,74 @@ pub fn backend_arg() -> DbFlavor {
     backend_from_arg(crate::arg_value("--backend").as_deref())
 }
 
+use autodbaas_cloudsim::FleetSim;
+use std::path::{Path, PathBuf};
+
+/// The shared `--resume <snapshot>` flag (fig16/fig17/fig18): a path the
+/// harness checkpoints its fleet through.
+pub fn resume_arg() -> Option<PathBuf> {
+    crate::arg_value("--resume").map(PathBuf::from)
+}
+
+/// Save `sim` to `path`, drop it, and reload the fleet from the written
+/// file — the checkpoint crossing every `--resume` harness puts in the
+/// middle of its run. State the snapshot subsystem failed to carry
+/// surfaces as a fingerprint mismatch in the harness's own determinism
+/// assertions, so each figure binary doubles as a snapshot-identity
+/// check when `--resume` is passed.
+pub fn checkpoint_roundtrip(sim: FleetSim, path: &Path) -> FleetSim {
+    sim.save_snapshot(path).expect("write snapshot");
+    drop(sim);
+    FleetSim::load_snapshot(path).expect("reload snapshot")
+}
+
+/// Frame tags for two-arm snapshot files: fig18 checkpoints its guarded
+/// and unguarded fleets side by side into one `--resume` file, so a
+/// segment boundary never splits the experiment.
+pub const FRAME_ARM_A: u16 = 0x0010;
+/// See [`FRAME_ARM_A`].
+pub const FRAME_ARM_B: u16 = 0x0011;
+
+/// Save two fleets into one snapshot file.
+pub fn save_fleet_pair(path: &Path, a: &FleetSim, b: &FleetSim) {
+    let mut fw = autodbaas_snapshot::FrameWriter::new();
+    fw.frame_snap(FRAME_ARM_A, a);
+    fw.frame_snap(FRAME_ARM_B, b);
+    autodbaas_snapshot::write_snapshot_file(path, &fw.finish()).expect("write snapshot pair");
+}
+
+/// Load a two-arm snapshot written by [`save_fleet_pair`]; `None` when
+/// the file does not exist yet (first segment of a checkpointed run).
+pub fn load_fleet_pair(path: &Path) -> Option<(FleetSim, FleetSim)> {
+    if !path.exists() {
+        return None;
+    }
+    let data = autodbaas_snapshot::read_snapshot_file(path).expect("read snapshot pair");
+    let mut reader = autodbaas_snapshot::FrameReader::new(&data).expect("snapshot header");
+    let (mut a, mut b) = (None, None);
+    while let Some((tag, payload)) = reader.next_frame().expect("snapshot frame") {
+        match tag {
+            FRAME_ARM_A => a = Some(autodbaas_snapshot::decode_from_slice(payload).expect("arm A")),
+            FRAME_ARM_B => b = Some(autodbaas_snapshot::decode_from_slice(payload).expect("arm B")),
+            _ => {}
+        }
+    }
+    Some((
+        a.expect("missing arm A frame"),
+        b.expect("missing arm B frame"),
+    ))
+}
+
+/// Resume from `path` when a snapshot is already there (a previous
+/// process segment wrote it), otherwise build a fresh fleet. Returns the
+/// fleet and whether it was resumed — fig18's cross-process segments.
+pub fn fleet_or_resume(path: Option<&Path>, build: impl FnOnce() -> FleetSim) -> (FleetSim, bool) {
+    match path {
+        Some(p) if p.exists() => (FleetSim::load_snapshot(p).expect("resume snapshot"), true),
+        _ => (build(), false),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,6 +15,10 @@
 
 pub mod figures;
 pub mod fleet_setup;
+pub mod safetune;
 
 pub use figures::*;
-pub use fleet_setup::{backend_arg, backend_from_arg, NodeSpec};
+pub use fleet_setup::{
+    backend_arg, backend_from_arg, checkpoint_roundtrip, fleet_or_resume, load_fleet_pair,
+    resume_arg, save_fleet_pair, NodeSpec,
+};

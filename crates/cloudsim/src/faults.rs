@@ -220,6 +220,70 @@ impl FaultEngine {
     }
 }
 
+use autodbaas_snapshot::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for FaultKind {
+    fn encode(&self, w: &mut SnapWriter) {
+        match *self {
+            FaultKind::VmCrash => 0u16.encode(w),
+            FaultKind::MasterCrashMidApply => 1u16.encode(w),
+            FaultKind::SlaveCrashMidApply => 2u16.encode(w),
+            FaultKind::TunerOutage { duration_ms } => {
+                3u16.encode(w);
+                duration_ms.encode(w);
+            }
+            FaultKind::TelemetryDrop { duration_ms } => {
+                4u16.encode(w);
+                duration_ms.encode(w);
+            }
+            FaultKind::DiskStall {
+                duration_ms,
+                factor,
+            } => {
+                5u16.encode(w);
+                duration_ms.encode(w);
+                factor.encode(w);
+            }
+            FaultKind::ReplicaLagSpike { pause_ms } => {
+                6u16.encode(w);
+                pause_ms.encode(w);
+            }
+            FaultKind::RequestLoss => 7u16.encode(w),
+        }
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(match u16::decode(r)? {
+            0 => FaultKind::VmCrash,
+            1 => FaultKind::MasterCrashMidApply,
+            2 => FaultKind::SlaveCrashMidApply,
+            3 => FaultKind::TunerOutage {
+                duration_ms: u64::decode(r)?,
+            },
+            4 => FaultKind::TelemetryDrop {
+                duration_ms: u64::decode(r)?,
+            },
+            5 => FaultKind::DiskStall {
+                duration_ms: u64::decode(r)?,
+                factor: f64::decode(r)?,
+            },
+            6 => FaultKind::ReplicaLagSpike {
+                pause_ms: u64::decode(r)?,
+            },
+            7 => FaultKind::RequestLoss,
+            t => {
+                return Err(SnapError::UnknownTag {
+                    what: "FaultKind",
+                    tag: t.into(),
+                })
+            }
+        })
+    }
+}
+
+snap_struct!(FaultEvent { at, node, kind });
+snap_struct!(FaultPlan { events });
+snap_struct!(FaultEngine { plan, cursor });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,7 @@ pub mod faults;
 pub mod node;
 pub mod plan;
 pub mod runner;
+pub mod safety;
 pub mod shard;
 pub mod sim;
 
@@ -30,5 +31,6 @@ pub use faults::{FaultEngine, FaultEvent, FaultKind, FaultPlan};
 pub use node::{DeferredApply, DriveTick, InFlightRequest, ManagedDatabase, RollbackGuard};
 pub use plan::{InteractionPlan, PlanAction, PlanEngine, PlanEvent};
 pub use runner::{drive_workload, drive_workload_with_faults, ChaosDriveResult, DriveResult};
+pub use safety::{RegretLedger, SafeRegion, SafetyConfig, SafetyGovernor, WindowVerdict};
 pub use shard::{derived_shard_seed, DriveStats, HotState, ShardPool};
-pub use sim::{FleetConfig, FleetSim, RollbackPolicy};
+pub use sim::{FleetConfig, FleetSim, RollbackPolicy, FRAME_FLEET};

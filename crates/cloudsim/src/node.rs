@@ -292,6 +292,91 @@ impl ManagedDatabase {
     }
 }
 
+use autodbaas_snapshot::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
+use autodbaas_workload::WorkloadSnap;
+
+snap_struct!(InFlightRequest {
+    deadline,
+    seq,
+    lost
+});
+snap_struct!(DeferredApply {
+    unit,
+    next_try_at,
+    attempts
+});
+snap_struct!(RollbackGuard {
+    baseline,
+    revert_to,
+    windows_left
+});
+
+// The boxed `dyn QuerySource` is the one field that cannot go through
+// `snap_struct!`: it round-trips through [`WorkloadSnap`], the closed
+// enumeration of every concrete workload the fleet can host.
+impl Snap for ManagedDatabase {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.service.encode(w);
+        self.tde.encode(w);
+        self.workload.to_snap().encode(w);
+        self.arrival.encode(w);
+        self.policy.encode(w);
+        self.workload_id.encode(w);
+        self.last_request_at.encode(w);
+        self.window_start_snapshot.encode(w);
+        self.last_report.encode(w);
+        self.prev_objective.encode(w);
+        self.prev_action.encode(w);
+        self.prev_rl_state.encode(w);
+        self.rng.encode(w);
+        self.queries_submitted.encode(w);
+        self.plan_upgrades.encode(w);
+        self.in_flight.encode(w);
+        self.request_seq.encode(w);
+        self.retry_at.encode(w);
+        self.retry_attempt.encode(w);
+        self.deferred_apply.encode(w);
+        self.guard.encode(w);
+        self.window_tainted.encode(w);
+        self.telemetry_blackout_until.encode(w);
+        self.down_ticks.encode(w);
+        self.total_ticks.encode(w);
+        self.cooldown_windows.encode(w);
+        self.seed.encode(w);
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(ManagedDatabase {
+            service: Snap::decode(r)?,
+            tde: Snap::decode(r)?,
+            workload: WorkloadSnap::decode(r)?.into_source(),
+            arrival: Snap::decode(r)?,
+            policy: Snap::decode(r)?,
+            workload_id: Snap::decode(r)?,
+            last_request_at: Snap::decode(r)?,
+            window_start_snapshot: Snap::decode(r)?,
+            last_report: Snap::decode(r)?,
+            prev_objective: Snap::decode(r)?,
+            prev_action: Snap::decode(r)?,
+            prev_rl_state: Snap::decode(r)?,
+            rng: Snap::decode(r)?,
+            queries_submitted: Snap::decode(r)?,
+            plan_upgrades: Snap::decode(r)?,
+            in_flight: Snap::decode(r)?,
+            request_seq: Snap::decode(r)?,
+            retry_at: Snap::decode(r)?,
+            retry_attempt: Snap::decode(r)?,
+            deferred_apply: Snap::decode(r)?,
+            guard: Snap::decode(r)?,
+            window_tainted: Snap::decode(r)?,
+            telemetry_blackout_until: Snap::decode(r)?,
+            down_ticks: Snap::decode(r)?,
+            total_ticks: Snap::decode(r)?,
+            cooldown_windows: Snap::decode(r)?,
+            seed: Snap::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

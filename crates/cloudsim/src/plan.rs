@@ -199,6 +199,59 @@ impl PlanEngine {
     }
 }
 
+use autodbaas_snapshot::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for PlanAction {
+    fn encode(&self, w: &mut SnapWriter) {
+        match *self {
+            PlanAction::Fault(kind) => {
+                0u16.encode(w);
+                kind.encode(w);
+            }
+            PlanAction::Burst {
+                rate_qps,
+                duration_ms,
+            } => {
+                1u16.encode(w);
+                rate_qps.encode(w);
+                duration_ms.encode(w);
+            }
+            PlanAction::KnobPush { value } => {
+                2u16.encode(w);
+                value.encode(w);
+            }
+            PlanAction::Maintenance => 3u16.encode(w),
+            PlanAction::AddReplica => 4u16.encode(w),
+            PlanAction::RemoveReplica => 5u16.encode(w),
+        }
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(match u16::decode(r)? {
+            0 => PlanAction::Fault(Snap::decode(r)?),
+            1 => PlanAction::Burst {
+                rate_qps: f64::decode(r)?,
+                duration_ms: u64::decode(r)?,
+            },
+            2 => PlanAction::KnobPush {
+                value: f64::decode(r)?,
+            },
+            3 => PlanAction::Maintenance,
+            4 => PlanAction::AddReplica,
+            5 => PlanAction::RemoveReplica,
+            t => {
+                return Err(SnapError::UnknownTag {
+                    what: "PlanAction",
+                    tag: t.into(),
+                })
+            }
+        })
+    }
+}
+
+snap_struct!(PlanEvent { at, node, action });
+snap_struct!(InteractionPlan { events });
+snap_struct!(PlanEngine { plan, cursor });
+
 #[cfg(test)]
 mod tests {
     use super::*;

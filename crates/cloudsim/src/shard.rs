@@ -394,6 +394,19 @@ impl HotState {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(DriveStats {
+    node_ticks,
+    submitted,
+    down_ticks
+});
+
+snap_struct!(HotState {
+    control_due,
+    next_recovery_at
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,7 @@
 use crate::faults::{FaultEngine, FaultEvent, FaultKind, FaultPlan};
 use crate::node::{DeferredApply, InFlightRequest, ManagedDatabase, RollbackGuard};
 use crate::plan::{InteractionPlan, PlanAction, PlanEngine, PlanEvent};
+use crate::safety::{SafetyConfig, SafetyGovernor};
 use crate::shard::{DriveStats, HotState, ShardPool};
 
 use autodbaas_ctrlplane::{
@@ -217,6 +218,9 @@ pub struct FleetSim {
     last_tde_run: SimTime,
     rng: StdRng,
     parallel: bool,
+    /// Safe-tuning governor ([`FleetSim::enable_safety`]); `None` leaves
+    /// every existing run's fingerprint untouched.
+    safety: Option<SafetyGovernor>,
 }
 
 impl FleetSim {
@@ -262,6 +266,7 @@ impl FleetSim {
             now: 0,
             last_tde_run: 0,
             parallel: false,
+            safety: None,
         }
     }
 
@@ -378,6 +383,27 @@ impl FleetSim {
     /// shard merge order equals the serial order, so results are
     /// bit-identical to the serial engine; only wall-clock speed differs.
     /// Off by default.
+    /// Arm the OnlineTune-style safety layer: every tenant gets a safe
+    /// region seeded at its current config, and every tuner candidate is
+    /// clamped into it before the vetted apply. Late-joining nodes are
+    /// seeded as they are added.
+    pub fn enable_safety(&mut self, cfg: SafetyConfig) {
+        let mut gov = SafetyGovernor::new(cfg);
+        for node in &self.nodes {
+            let profile = node.service.master().profile();
+            gov.push_node(normalize_config(
+                profile,
+                node.service.master().knobs().as_vec(),
+            ));
+        }
+        self.safety = Some(gov);
+    }
+
+    /// The safe-tuning governor, when armed.
+    pub fn safety(&self) -> Option<&SafetyGovernor> {
+        self.safety.as_ref()
+    }
+
     pub fn set_parallel(&mut self, on: bool) {
         self.parallel = on;
         if !on {
@@ -421,6 +447,15 @@ impl FleetSim {
             ServiceId(idx as u64),
             self.cfg.watcher_timeout_ms,
         ));
+        self.meter
+            .set_backend(ServiceId(idx as u64), node.db().kind());
+        if let Some(gov) = &mut self.safety {
+            let profile = node.service.master().profile();
+            gov.push_node(normalize_config(
+                profile,
+                node.service.master().knobs().as_vec(),
+            ));
+        }
         self.nodes.push(node);
         self.hot.push_node();
         idx
@@ -973,6 +1008,27 @@ impl FleetSim {
                 service: ServiceId(idx as u64),
                 objective,
             });
+            if let Some(gov) = &mut self.safety {
+                // The safety SLO is demand-normalized: the fraction of
+                // offered queries the service actually executed this
+                // window. Raw throughput would charge the tuner for every
+                // diurnal/weekend demand swing; the completion ratio only
+                // moves when the service fails offered load — which is
+                // what a config can cause and an SLO is about.
+                let executed = delta[MetricId::QueriesExecuted.index()];
+                let dropped = delta[MetricId::QueriesDropped.index()];
+                let offered = executed + dropped;
+                let slo_objective = if offered > 0.0 {
+                    executed / offered
+                } else {
+                    1.0
+                };
+                let verdict = gov.observe_window(idx, slo_objective, window_ms as f64 / 1_000.0);
+                if verdict.breach {
+                    self.events.emit(self.now, "safe.slo_breach", idx as u64);
+                    self.meter.record_slo_breach(ServiceId(idx as u64));
+                }
+            }
 
             // TDE run. The TDE's MDP detector applies accepted planner-knob
             // probes directly to the live master; those local moves are
@@ -1181,6 +1237,13 @@ impl FleetSim {
                 action
             }
         };
+        let mut unit = unit;
+        if let Some(gov) = &mut self.safety {
+            if gov.constrain(idx, &mut unit) {
+                self.events.emit(self.now, "safe.clamped", idx as u64);
+                self.meter.record_safety_clamp(ServiceId(idx as u64));
+            }
+        }
         self.director
             .record_recommendation(ServiceId(idx as u64), self.now, unit.clone());
         if !self.cfg.apply_recommendations {
@@ -1281,6 +1344,203 @@ impl FleetSim {
             }
         }
         self.refresh_hot(idx);
+    }
+}
+
+use autodbaas_snapshot::{
+    snap_struct, FrameReader, FrameWriter, Snap, SnapError, SnapReader, SnapWriter,
+};
+
+snap_struct!(RollbackPolicy {
+    regression_frac,
+    observe_windows
+});
+
+snap_struct!(FleetConfig {
+    tick_ms,
+    tde_period_ms,
+    gate_samples_with_tde,
+    tuner,
+    bo,
+    rl,
+    apply_recommendations,
+    seed,
+    shards,
+    parallel_threshold,
+    drive_threads,
+    request_timeout_ms,
+    retry_base_ms,
+    retry_max_attempts,
+    watcher_timeout_ms,
+    max_apply_lag_bytes,
+    rollback
+});
+
+impl Snap for TunerBackend {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            TunerBackend::Bo(t) => {
+                0u16.encode(w);
+                t.encode(w);
+            }
+            TunerBackend::Rl(t) => {
+                1u16.encode(w);
+                t.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(match u16::decode(r)? {
+            0 => TunerBackend::Bo(Snap::decode(r)?),
+            1 => TunerBackend::Rl(Snap::decode(r)?),
+            t => {
+                return Err(SnapError::UnknownTag {
+                    what: "TunerBackend",
+                    tag: t.into(),
+                })
+            }
+        })
+    }
+}
+
+// The fleet's complete deterministic state. Scratch that the next tick
+// rebuilds (shard pool threads, thread-budget cache, drain buffers) is
+// deliberately absent: a restored fleet re-resolves them lazily, exactly
+// as a freshly built one does, so serial/sharded equivalence carries over.
+// `recovery_due` holds `&'static str` labels and round-trips through the
+// bounded telemetry interner.
+impl Snap for FleetSim {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.cfg.encode(w);
+        self.nodes.encode(w);
+        self.director.encode(w);
+        self.meter.encode(w);
+        self.repo.encode(w);
+        self.orch.encode(w);
+        self.events.encode(w);
+        self.backend.encode(w);
+        self.reconcilers.encode(w);
+        self.chaos.encode(w);
+        self.plan.encode(w);
+        self.burst_revert.encode(w);
+        self.tuner_outage_until.encode(w);
+        w.put_u64(self.recovery_due.len() as u64);
+        for (at, node, label) in &self.recovery_due {
+            at.encode(w);
+            node.encode(w);
+            w.put_str(label);
+        }
+        self.pending.encode(w);
+        self.drive_stats.encode(w);
+        self.hot.encode(w);
+        self.now.encode(w);
+        self.last_tde_run.encode(w);
+        self.rng.encode(w);
+        self.parallel.encode(w);
+        self.safety.encode(w);
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let cfg = FleetConfig::decode(r)?;
+        let nodes = Vec::<ManagedDatabase>::decode(r)?;
+        let director = ConfigDirector::decode(r)?;
+        let meter = RecommendationMeter::decode(r)?;
+        let repo = WorkloadRepository::decode(r)?;
+        let orch = ServiceOrchestrator::decode(r)?;
+        let events = EventLog::decode(r)?;
+        let backend = TunerBackend::decode(r)?;
+        let reconcilers = Vec::<Reconciler>::decode(r)?;
+        let chaos = Option::<FaultEngine>::decode(r)?;
+        let plan = Option::<PlanEngine>::decode(r)?;
+        let burst_revert = Vec::<(SimTime, usize, ArrivalProcess)>::decode(r)?;
+        let tuner_outage_until = SimTime::decode(r)?;
+        let n_recovery = r.get_len()?;
+        let mut recovery_due = Vec::with_capacity(n_recovery);
+        for _ in 0..n_recovery {
+            let at = SimTime::decode(r)?;
+            let node = usize::decode(r)?;
+            let label = autodbaas_telemetry::intern_kind(r.get_str()?);
+            recovery_due.push((at, node, label));
+        }
+        let pending = BinaryHeap::<Reverse<(SimTime, usize, u64)>>::decode(r)?;
+        let drive_stats = DriveStats::decode(r)?;
+        let hot = HotState::decode(r)?;
+        let now = SimTime::decode(r)?;
+        let last_tde_run = SimTime::decode(r)?;
+        let rng = Snap::decode(r)?;
+        let parallel = bool::decode(r)?;
+        let safety = Option::<SafetyGovernor>::decode(r)?;
+        Ok(FleetSim {
+            cfg,
+            nodes,
+            director,
+            meter,
+            repo,
+            orch,
+            events,
+            backend,
+            reconcilers,
+            chaos,
+            plan,
+            burst_revert,
+            tuner_outage_until,
+            recovery_due,
+            pending,
+            pool: None,
+            hot,
+            thread_budget: None,
+            drive_stats,
+            fault_scratch: Vec::new(),
+            plan_scratch: Vec::new(),
+            window_scratch: Vec::new(),
+            now,
+            last_tde_run,
+            rng,
+            parallel,
+            safety,
+        })
+    }
+}
+
+/// Frame tag for one serialized [`FleetSim`] inside a snapshot file.
+pub const FRAME_FLEET: u16 = 0x0001;
+
+impl FleetSim {
+    /// Serialize the fleet into a sealed snapshot file image (magic,
+    /// version, one [`FRAME_FLEET`] frame, trailer).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut fw = FrameWriter::new();
+        fw.frame_snap(FRAME_FLEET, self);
+        fw.finish()
+    }
+
+    /// Restore a fleet from a snapshot file image produced by
+    /// [`FleetSim::snapshot_bytes`]. Every frame seal and the whole-file
+    /// trailer are verified; any flipped bit surfaces as a [`SnapError`].
+    pub fn from_snapshot_bytes(data: &[u8]) -> Result<Self, SnapError> {
+        let mut fr = FrameReader::new(data)?;
+        let mut fleet = None;
+        while let Some((tag, payload)) = fr.next_frame()? {
+            if tag == FRAME_FLEET && fleet.is_none() {
+                fleet = Some(autodbaas_snapshot::decode_from_slice::<FleetSim>(payload)?);
+            }
+        }
+        fleet.ok_or(SnapError::Malformed("no fleet frame"))
+    }
+
+    /// Write the fleet snapshot to `path` atomically (temp file + rename),
+    /// so a crash mid-write never leaves a half-snapshot behind.
+    pub fn save_snapshot(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let bytes = self.snapshot_bytes();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Read and restore a fleet snapshot from `path`.
+    pub fn load_snapshot(path: &std::path::Path) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_snapshot_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))
     }
 }
 

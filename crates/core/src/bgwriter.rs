@@ -162,6 +162,14 @@ impl BgwriterDetector {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(BgwriterDetector {
+    last_checkpoints,
+    last_run_at,
+    latency_guard
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -162,6 +162,10 @@ impl ClassHistogram {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(ClassHistogram { counts });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -436,6 +436,110 @@ impl TuningPolicy {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(TdeConfig {
+    reservoir_capacity,
+    filter,
+    enable_entropy_filter,
+    mdp,
+    mdp_interval_ms,
+    baseline_window_s,
+    ws_epoch_runs,
+    hit_ratio_floor
+});
+
+snap_struct!(Tde {
+    cfg,
+    reservoir,
+    templates,
+    hist,
+    filter,
+    bg_detector,
+    mdp,
+    mdp_last_run,
+    last_ingested_at,
+    rng,
+    class_counts,
+    ws_run_counter,
+    window_snapshot,
+    total_tuning_requests,
+    total_plan_upgrades,
+    total_suppressed
+});
+
+use autodbaas_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for ThrottleReason {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            ThrottleReason::MemorySpill(kind) => {
+                0u16.encode(w);
+                kind.encode(w);
+            }
+            ThrottleReason::WorkingSetExceedsBuffer => 1u16.encode(w),
+            ThrottleReason::MemoryOversubscribed => 2u16.encode(w),
+            ThrottleReason::BufferHitRatio => 3u16.encode(w),
+            ThrottleReason::CheckpointLatencyRatio => 4u16.encode(w),
+            ThrottleReason::PlannerProfit => 5u16.encode(w),
+        }
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(match u16::decode(r)? {
+            0 => ThrottleReason::MemorySpill(Snap::decode(r)?),
+            1 => ThrottleReason::WorkingSetExceedsBuffer,
+            2 => ThrottleReason::MemoryOversubscribed,
+            3 => ThrottleReason::BufferHitRatio,
+            4 => ThrottleReason::CheckpointLatencyRatio,
+            5 => ThrottleReason::PlannerProfit,
+            t => {
+                return Err(SnapError::UnknownTag {
+                    what: "ThrottleReason",
+                    tag: t.into(),
+                })
+            }
+        })
+    }
+}
+
+impl Snap for TuningPolicy {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            TuningPolicy::TdeDriven => 0u16.encode(w),
+            TuningPolicy::Periodic(period) => {
+                1u16.encode(w);
+                period.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(match u16::decode(r)? {
+            0 => TuningPolicy::TdeDriven,
+            1 => TuningPolicy::Periodic(u64::decode(r)?),
+            t => {
+                return Err(SnapError::UnknownTag {
+                    what: "TuningPolicy",
+                    tag: t.into(),
+                })
+            }
+        })
+    }
+}
+
+snap_struct!(ThrottleSignal {
+    knob,
+    class,
+    reason,
+    at
+});
+
+snap_struct!(TdeReport {
+    throttles,
+    tuning_request,
+    plan_upgrade,
+    buffer_findings
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -134,6 +134,20 @@ impl EntropyFilter {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(FilterConfig {
+    consecutive_threshold,
+    entropy_threshold,
+    cap_fraction
+});
+
+snap_struct!(EntropyFilter {
+    cfg,
+    consecutive,
+    entropy_hits
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

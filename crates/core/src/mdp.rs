@@ -251,6 +251,32 @@ impl MdpEngine {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(MdpConfig {
+    alpha,
+    beta,
+    profit_threshold,
+    episode_steps
+});
+
+snap_struct!(KnobAutomaton {
+    knob,
+    p_increase,
+    step,
+    visited
+});
+
+snap_struct!(MdpEngine {
+    cfg,
+    automata,
+    steps_in_episode,
+    episode_reward,
+    episode_profitable_steps,
+    episode_rewards,
+    episode_accuracy
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -91,6 +91,12 @@ pub fn knob_at_cap<B: Backend>(db: &B, knob: KnobId, cap_fraction: f64) -> bool 
     budget >= db.instance().db_mem_cap() * 0.9
 }
 
+autodbaas_snapshot::snap_struct!(WorkingSetFinding {
+    knob,
+    working_set_bytes,
+    buffer_bytes
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -77,6 +77,27 @@ impl<T> Reservoir<T> {
     }
 }
 
+use autodbaas_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl<T: Snap> Snap for Reservoir<T> {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.capacity.encode(w);
+        self.seen.encode(w);
+        self.items.encode(w);
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let capacity = usize::decode(r)?;
+        if capacity == 0 {
+            return Err(SnapError::Malformed("reservoir capacity"));
+        }
+        Ok(Self {
+            capacity,
+            seen: Snap::decode(r)?,
+            items: Snap::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

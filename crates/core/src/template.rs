@@ -147,6 +147,47 @@ impl TemplateStore {
     }
 }
 
+use autodbaas_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for TemplateId {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(TemplateId(u32::decode(r)?))
+    }
+}
+
+autodbaas_snapshot::snap_struct!(TemplateEntry {
+    id,
+    text,
+    frequency,
+    representative,
+    literal_counts
+});
+
+impl Snap for TemplateStore {
+    fn encode(&self, w: &mut SnapWriter) {
+        // Entries are the primary data; both lookup maps rebuild from them.
+        self.entries.encode(w);
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let entries: Vec<TemplateEntry> = Snap::decode(r)?;
+        let mut by_text = HashMap::new();
+        let mut by_key = HashMap::new();
+        for e in &entries {
+            by_text.insert(e.text.clone(), e.id);
+            let rep = &e.representative;
+            by_key.insert((rep.kind, rep.literals[0] < 0, rep.literals[1] < 0), e.id);
+        }
+        Ok(Self {
+            by_text,
+            by_key,
+            entries,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

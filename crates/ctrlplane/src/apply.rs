@@ -314,6 +314,16 @@ impl ReplicaSet {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(ReplicaSet {
+    master,
+    slaves,
+    slots,
+    crash_next_apply_on_slave,
+    crash_next_apply_on_master
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

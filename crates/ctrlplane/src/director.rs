@@ -217,6 +217,26 @@ impl ConfigDirector {
     }
 }
 
+use autodbaas_snapshot::{snap_enum, snap_struct};
+
+snap_enum!(TunerKind { Bo = 0, Rl = 1 });
+
+snap_struct!(TunerSlot {
+    id,
+    kind,
+    busy_until,
+    requests_served
+});
+
+snap_struct!(ConfigDirector {
+    tuners,
+    request_log,
+    config_repo,
+    windows_ingested,
+    last_window_at,
+    last_window_mean_objective
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,6 +9,7 @@
 //! reduction directly shrinks.
 
 use crate::orchestrator::ServiceId;
+use autodbaas_simdb::BackendKind;
 use std::collections::BTreeMap;
 
 /// Hourly price of one tuner instance (the paper's m4.xlarge, on-demand
@@ -30,6 +31,14 @@ pub struct TenantUsage {
     pub gateway_bytes_in: u64,
     /// Response payload bytes sent over the wire.
     pub gateway_bytes_out: u64,
+    /// Storage engine behind this tenant's service, once known. Billing
+    /// reports split by engine: an LSM tenant's write-stall tuning profile
+    /// prices differently from a page-heap tenant's checkpoint tuning.
+    pub backend: Option<BackendKind>,
+    /// Tuner candidates clamped into the learned safe region before apply.
+    pub safety_clamps: u64,
+    /// Observation windows that breached the tenant's safety SLO floor.
+    pub slo_breaches: u64,
 }
 
 /// The fleet-level meter.
@@ -93,6 +102,48 @@ impl RecommendationMeter {
         self.tenants.entry(tenant).or_default().gateway_busy += 1;
     }
 
+    /// Record which storage engine serves `tenant` (idempotent; the last
+    /// write wins, matching a plan migration).
+    pub fn set_backend(&mut self, tenant: ServiceId, backend: BackendKind) {
+        self.tenants.entry(tenant).or_default().backend = Some(backend);
+    }
+
+    /// Record one safety clamp: the safe-tuning layer pulled a tuner
+    /// candidate back inside the learned safe region before it was applied.
+    pub fn record_safety_clamp(&mut self, tenant: ServiceId) {
+        self.tenants.entry(tenant).or_default().safety_clamps += 1;
+    }
+
+    /// Record one safety-SLO breach: an observation window whose objective
+    /// fell below the tenant's contracted floor.
+    pub fn record_slo_breach(&mut self, tenant: ServiceId) {
+        self.tenants.entry(tenant).or_default().slo_breaches += 1;
+    }
+
+    /// Per-engine recommendation counts: `(pageheap, lsm, unattributed)`.
+    /// Tenants whose backend was never reported land in the last bucket.
+    pub fn backend_totals(&self) -> (u64, u64, u64) {
+        let mut t = (0u64, 0u64, 0u64);
+        for u in self.tenants.values() {
+            match u.backend {
+                Some(BackendKind::PageHeap) => t.0 += u.recommendations,
+                Some(BackendKind::Lsm) => t.1 += u.recommendations,
+                None => t.2 += u.recommendations,
+            }
+        }
+        t
+    }
+
+    /// Fleet-wide safety totals: `(safety_clamps, slo_breaches)`.
+    pub fn safety_totals(&self) -> (u64, u64) {
+        let mut t = (0u64, 0u64);
+        for u in self.tenants.values() {
+            t.0 += u.safety_clamps;
+            t.1 += u.slo_breaches;
+        }
+        t
+    }
+
     /// Fleet-wide gateway totals: `(requests, busy, bytes_in, bytes_out)`.
     pub fn gateway_totals(&self) -> (u64, u64, u64, u64) {
         let mut t = (0u64, 0u64, 0u64, 0u64);
@@ -133,6 +184,25 @@ impl RecommendationMeter {
         (busy / horizon_ms).ceil() as u64
     }
 }
+
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(TenantUsage {
+    recommendations,
+    tuner_busy_ms,
+    gateway_requests,
+    gateway_busy,
+    gateway_bytes_in,
+    gateway_bytes_out,
+    backend,
+    safety_clamps,
+    slo_breaches
+});
+
+snap_struct!(RecommendationMeter {
+    rate_per_hour,
+    tenants
+});
 
 #[cfg(test)]
 mod tests {
@@ -223,6 +293,26 @@ mod tests {
         assert!(m.tenant_cost(svc(1)) > 0.0);
 
         assert_eq!(m.gateway_totals(), (3, 1, 176, 56));
+    }
+
+    #[test]
+    fn backend_and_safety_totals_split_by_engine() {
+        let mut m = RecommendationMeter::default();
+        m.set_backend(svc(0), BackendKind::PageHeap);
+        m.set_backend(svc(1), BackendKind::Lsm);
+        m.record(svc(0), 1_000.0);
+        m.record(svc(0), 1_000.0);
+        m.record(svc(1), 1_000.0);
+        m.record(svc(2), 1_000.0); // never attributed
+        m.record_safety_clamp(svc(1));
+        m.record_safety_clamp(svc(1));
+        m.record_slo_breach(svc(2));
+        assert_eq!(m.backend_totals(), (2, 1, 1));
+        assert_eq!(m.safety_totals(), (2, 1));
+        assert_eq!(m.usage(svc(1)).backend, Some(BackendKind::Lsm));
+        // A plan migration re-attributes: last write wins.
+        m.set_backend(svc(0), BackendKind::Lsm);
+        assert_eq!(m.backend_totals(), (0, 3, 1));
     }
 
     #[test]

@@ -146,6 +146,35 @@ impl ServiceOrchestrator {
     }
 }
 
+use autodbaas_snapshot::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for ServiceId {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(ServiceId(u64::decode(r)?))
+    }
+}
+
+snap_struct!(Credentials { user, secret });
+
+snap_struct!(ServiceSpec {
+    flavor,
+    instance,
+    disk,
+    catalog,
+    n_slaves,
+    seed
+});
+
+snap_struct!(ServiceOrchestrator {
+    specs,
+    credentials,
+    persisted,
+    next_id
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

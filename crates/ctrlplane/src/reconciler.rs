@@ -106,6 +106,15 @@ impl Reconciler {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(Reconciler {
+    service,
+    watcher_timeout_ms,
+    drift_since,
+    reconciliations
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -310,11 +310,22 @@ pub fn lint_sources(files: &[SourceFile]) -> LintRun {
         diagnostics.extend(apply_allows(findings, &allows));
         // Hash-iteration sites feed D006 source detection in *every*
         // crate (taint crosses crate boundaries; D003's crate scoping
-        // does not apply here).
+        // does not apply here). A reviewed `detlint-allow: D003` clears
+        // the site as a taint source too — its mandatory reason asserts
+        // the iteration is order-independent (e.g. collected then
+        // sorted), which is exactly the property D006 propagates.
+        let d003_allowed = |line: u32| {
+            allows.iter().any(|a| {
+                !a.reason.is_empty()
+                    && a.rules.iter().any(|r| r == "D003")
+                    && (a.line == line || a.line + 1 == line)
+            })
+        };
         hash_sites.push(
             rules::hash_iteration_sites(&ctx)
                 .into_iter()
                 .map(|(i, _)| (code[i].start, code[i].line))
+                .filter(|&(_, line)| !d003_allowed(line))
                 .collect(),
         );
         parsed.push(callgraph::FileAst {
@@ -789,6 +800,55 @@ fn f() { let t = Instant::now(); let r = rand::thread_rng(); }
                 .iter()
                 .all(|d| d.disposition == Disposition::Suppressed),
             "flow findings must honor detlint-allow"
+        );
+    }
+
+    #[test]
+    fn d003_allow_clears_the_site_as_a_d006_taint_source() {
+        let sink = SourceFile {
+            path: "crates/cloudsim/src/rec.rs".into(),
+            crate_name: "cloudsim".into(),
+            src: "pub fn record(&mut self) { self.log.emit(simdb::agg::tally()); }".into(),
+        };
+        let bare = "pub fn tally() -> u64 {\n\
+                    \x20   let counts: HashMap<u32, u64> = HashMap::new();\n\
+                    \x20   let mut v: Vec<u64> = counts.values().copied().collect();\n\
+                    \x20   v.sort_unstable();\n\
+                    \x20   v[0]\n\
+                    }";
+        let run = lint_sources(&[
+            sink.clone(),
+            SourceFile {
+                path: "crates/simdb/src/agg.rs".into(),
+                crate_name: "simdb".into(),
+                src: bare.into(),
+            },
+        ]);
+        assert!(
+            run.diagnostics
+                .iter()
+                .any(|d| d.finding.rule == "D006" && d.disposition == Disposition::Active),
+            "unallowed hash iteration must taint the sink"
+        );
+
+        // The same workspace with a reviewed D003 allow at the iteration
+        // site: the allow's reason asserts order-independence, so the
+        // site stops seeding D006 taint entirely (not merely suppressed).
+        let allowed = bare.replace(
+            "    let mut v",
+            "    // detlint-allow: D003 collected then sorted before use\n    let mut v",
+        );
+        let run = lint_sources(&[
+            sink,
+            SourceFile {
+                path: "crates/simdb/src/agg.rs".into(),
+                crate_name: "simdb".into(),
+                src: allowed,
+            },
+        ]);
+        assert!(
+            run.diagnostics.iter().all(|d| d.finding.rule != "D006"),
+            "a D003-allowed site must not seed D006 taint"
         );
     }
 

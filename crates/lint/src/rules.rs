@@ -138,9 +138,16 @@ pub struct Rule {
 }
 
 /// Crates whose tick/telemetry output must be bit-for-bit reproducible.
-pub(crate) const SIM_CRATES: &[&str] = &["simdb", "cloudsim", "ctrlplane", "tuner", "scenario"];
+pub(crate) const SIM_CRATES: &[&str] = &[
+    "simdb",
+    "cloudsim",
+    "ctrlplane",
+    "tuner",
+    "scenario",
+    "snapshot",
+];
 /// Crates whose runtime paths must never panic on request content.
-pub(crate) const PANIC_FREE_CRATES: &[&str] = &["ctrlplane", "gateway"];
+pub(crate) const PANIC_FREE_CRATES: &[&str] = &["ctrlplane", "gateway", "snapshot"];
 
 /// The gateway's binaries (daemon + loadgen) are measurement/driver
 /// shells like the `bench` crate: they may read the wall clock. The
@@ -462,7 +469,10 @@ The control plane (`ctrlplane`) must keep running through faults — PR
 byte sequence an attacker sends must produce a typed error, never a
 worker-thread abort. A `unwrap()`/`expect()` on a path the reconciler,
 apply pipeline or request router exercises turns a recoverable
-condition into a fleet-wide outage. Flagged in non-test code of both
+condition into a fleet-wide outage. The `snapshot` codec is held to the
+same bar: a corrupted or truncated snapshot file must surface as a typed
+`SnapError`, never a decoder panic — restore paths run inside the same
+resumable harness processes. Flagged in non-test code of all three
 crates (gateway binaries included): `.unwrap()`, `.expect(…)`,
 `panic!`, `unimplemented!`, `todo!`.
 
@@ -1173,6 +1183,22 @@ mod tests {
         assert!(run_on("crates/cloudsim/src/x.rs", "cloudsim", src).is_empty());
     }
 
+    #[test]
+    fn d001_d002_cover_the_snapshot_crate() {
+        let f = run_on(
+            "crates/snapshot/src/lib.rs",
+            "snapshot",
+            "fn f() { let t = std::time::Instant::now(); }",
+        );
+        assert_eq!(ids(&f), vec!["D001"]);
+        let f = run_on(
+            "crates/snapshot/src/lib.rs",
+            "snapshot",
+            "fn f() { let mut r = rand::thread_rng(); }",
+        );
+        assert_eq!(ids(&f), vec!["D002"]);
+    }
+
     // ------------------------- R001 ---------------------------------
 
     #[test]
@@ -1201,6 +1227,18 @@ mod tests {
         let total = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }";
         assert!(run_on("crates/ctrlplane/src/x.rs", "ctrlplane", total).is_empty());
         assert!(run_on("crates/simdb/src/x.rs", "simdb", "fn f() { x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn r001_covers_the_snapshot_codec() {
+        // A decoder panic on attacker-shaped bytes is exactly what the
+        // SnapError vocabulary exists to prevent.
+        let f = run_on(
+            "crates/snapshot/src/lib.rs",
+            "snapshot",
+            "fn decode() { let v = bytes.get(i).unwrap(); }",
+        );
+        assert_eq!(ids(&f), vec!["R001"]);
     }
 
     #[test]

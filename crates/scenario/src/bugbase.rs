@@ -202,11 +202,15 @@ impl BugEntry {
     }
 
     /// Re-run the entry's plan and judge it against its contract.
-    /// `doublecheck` additionally runs the sharded twin (needed when the
-    /// recorded property is the sharded-identity oracle).
+    /// `doublecheck` additionally runs the sharded and save/restore twins
+    /// (needed when the recorded property is one of the identity oracles).
     pub fn replay(&self, doublecheck: bool) -> (ReplayVerdict, RunOutcome) {
         let p = self.profile();
-        let need_twin = doublecheck || self.property == Property::ShardedIdentity;
+        let need_twin = doublecheck
+            || matches!(
+                self.property,
+                Property::ShardedIdentity | Property::SnapshotIdentity
+            );
         let out = run_plan(p, &self.plan, self.seed, need_twin);
         let violated = self.property.check(p, &out);
         let verdict = match (self.status, violated) {

@@ -51,16 +51,20 @@ pub fn explore_seed(profile: &Profile, seed: u64, doublecheck: bool) -> SeedVerd
 
 /// Shrink a failing plan against one recorded property: the predicate
 /// re-runs the candidate plan under the same `(profile, seed)` and asks
-/// whether that property still fails. The sharded twin only runs when the
-/// property under shrink is the identity oracle — every other property is
-/// serial-observable, and the twin would double the probe cost.
+/// whether that property still fails. The twins only run when the
+/// property under shrink is one of the identity oracles — every other
+/// property is serial-observable, and the twins would triple the probe
+/// cost.
 pub fn shrink_violation(
     profile: &Profile,
     plan: &InteractionPlan,
     seed: u64,
     property: Property,
 ) -> (InteractionPlan, ShrinkStats) {
-    let doublecheck = property == Property::ShardedIdentity;
+    let doublecheck = matches!(
+        property,
+        Property::ShardedIdentity | Property::SnapshotIdentity
+    );
     shrink(plan, |candidate| {
         let out = run_plan(profile, candidate, seed, doublecheck);
         property.check(profile, &out).is_some()

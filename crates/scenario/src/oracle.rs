@@ -28,6 +28,11 @@ pub enum Property {
     /// The serial and sharded tick engines produced bit-identical runs
     /// (event-log fingerprints and per-node query counters).
     ShardedIdentity,
+    /// A mid-plan save/restore round trip did not change the run: the
+    /// interrupted twin ends with the same event-log fingerprint and
+    /// per-node query counters as the uninterrupted run (ROADMAP item 5's
+    /// bit-identity contract). Abstains when no save/restore twin ran.
+    SnapshotIdentity,
     /// LSM-only write-availability floor: no LSM master may spend more
     /// than [`MAX_LSM_STALL_FRAC`] of the run in compaction write-stall
     /// (L0 at or past `write_stall_l0`). Abstains on fleets with no LSM
@@ -45,12 +50,13 @@ pub const MAX_LSM_STALL_FRAC: f64 = 0.25;
 
 impl Property {
     /// Every property, in check order.
-    pub const ALL: [Property; 6] = [
+    pub const ALL: [Property; 7] = [
         Property::AvailabilityFloor,
         Property::NoWedgedServices,
         Property::RollbackGuardCorrectness,
         Property::SampleHygiene,
         Property::ShardedIdentity,
+        Property::SnapshotIdentity,
         Property::CompactionStallFloor,
     ];
 
@@ -62,6 +68,7 @@ impl Property {
             Property::RollbackGuardCorrectness => "rollback_guard_correctness",
             Property::SampleHygiene => "sample_hygiene",
             Property::ShardedIdentity => "sharded_identity",
+            Property::SnapshotIdentity => "snapshot_identity",
             Property::CompactionStallFloor => "compaction_stall_floor",
         }
     }
@@ -115,6 +122,22 @@ impl Property {
                     ))
                 } else if out.queries_sharded.as_ref() != Some(&out.queries_serial) {
                     Some("per-node query counters diverge between engines".to_string())
+                } else {
+                    None
+                }
+            }
+            Property::SnapshotIdentity => {
+                let resumed_fp = out.fingerprint_resumed?;
+                if resumed_fp != out.fingerprint_serial {
+                    Some(format!(
+                        "event-log fingerprints diverge: uninterrupted {:016x} vs save/restore {:016x}",
+                        out.fingerprint_serial, resumed_fp
+                    ))
+                } else if out.queries_resumed.as_ref() != Some(&out.queries_serial) {
+                    Some(
+                        "per-node query counters diverge across the snapshot round trip"
+                            .to_string(),
+                    )
                 } else {
                     None
                 }
@@ -178,6 +201,8 @@ mod tests {
             queries_sharded: Some(vec![10, 20]),
             rollbacks: 0,
             lsm_stall_frac: vec![(1, 0.02)],
+            fingerprint_resumed: Some(7),
+            queries_resumed: Some(vec![10, 20]),
         }
     }
 
@@ -249,6 +274,20 @@ mod tests {
                 },
             ),
             (
+                Property::SnapshotIdentity,
+                RunOutcome {
+                    fingerprint_resumed: Some(9),
+                    ..healthy()
+                },
+            ),
+            (
+                Property::SnapshotIdentity,
+                RunOutcome {
+                    queries_resumed: Some(vec![10, 19]),
+                    ..healthy()
+                },
+            ),
+            (
                 Property::CompactionStallFloor,
                 RunOutcome {
                     lsm_stall_frac: vec![(1, 0.02), (3, MAX_LSM_STALL_FRAC + 0.1)],
@@ -261,10 +300,12 @@ mod tests {
             assert_eq!(violations.len(), 1, "{want:?}");
             assert_eq!(violations[0].property, want);
         }
-        // Without a doublecheck twin the identity oracle abstains.
+        // Without the doublecheck twins both identity oracles abstain.
         let solo = RunOutcome {
             fingerprint_sharded: None,
             queries_sharded: None,
+            fingerprint_resumed: None,
+            queries_resumed: None,
             ..healthy()
         };
         assert!(check_all(p, &solo).is_empty());

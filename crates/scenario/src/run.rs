@@ -4,9 +4,10 @@
 //! The harness mirrors the chaos-recovery integration tests: 1 s ticks,
 //! 1-minute TDE windows, the RL backend (fixed 50 ms service time, so
 //! request timing is exact), TDE-gated sample capture and the OnlineTune
-//! rollback guard armed. In doublecheck mode the same plan runs twice —
-//! once on the serial tick engine, once sharded — and the pair of event
-//! logs feeds the serial-vs-sharded identity oracle.
+//! rollback guard armed. In doublecheck mode the same plan runs three
+//! times — once on the serial tick engine, once sharded, and once
+//! interrupted by a mid-plan save/restore — and the extra event logs feed
+//! the serial-vs-sharded and snapshot identity oracles.
 
 use crate::profile::Profile;
 use autodbaas_cloudsim::{FleetConfig, FleetSim, InteractionPlan, ManagedDatabase, RollbackPolicy};
@@ -52,6 +53,12 @@ pub struct RunOutcome {
     pub queries_serial: Vec<u64>,
     /// Sharded counterpart of [`RunOutcome::queries_serial`].
     pub queries_sharded: Option<Vec<u64>>,
+    /// Event-log fingerprint of the save/restore twin — the same serial
+    /// run interrupted mid-plan by a snapshot round trip (doublecheck mode
+    /// only).
+    pub fingerprint_resumed: Option<u64>,
+    /// Save/restore counterpart of [`RunOutcome::queries_serial`].
+    pub queries_resumed: Option<Vec<u64>>,
     /// Rollbacks the safety guard fired during the (serial) run.
     pub rollbacks: u64,
     /// Per-node write-stall exposure of every LSM master, as a fraction of
@@ -89,11 +96,8 @@ fn managed_node(profile: &Profile, i: usize, seed: u64) -> ManagedDatabase {
     node.with_slaves(profile.n_slaves)
 }
 
-/// Build the profile's fleet, arm `plan`, run to the end of the profile's
-/// duration (plan events stop at 75%, so the last quarter is already
-/// quiet), then freeze new applies and drain for [`SETTLE_MS`] before the
-/// caller audits terminal state.
-fn run_once(profile: &Profile, plan: &InteractionPlan, seed: u64, sharded: bool) -> FleetSim {
+/// The profile's fleet with `plan` armed and the clock at zero.
+fn armed_fleet(profile: &Profile, plan: &InteractionPlan, seed: u64, sharded: bool) -> FleetSim {
     let mut sim = FleetSim::new(
         FleetConfig {
             tick_ms: 1_000,
@@ -116,14 +120,49 @@ fn run_once(profile: &Profile, plan: &InteractionPlan, seed: u64, sharded: bool)
         );
     }
     sim.enable_plan(plan.clone());
-    sim.run_for(profile.duration_ms);
+    sim
+}
+
+/// Freeze new applies and drain for [`SETTLE_MS`] before the caller
+/// audits terminal state.
+fn settle(sim: &mut FleetSim) {
     sim.set_apply_recommendations(false);
     sim.run_for(SETTLE_MS);
+}
+
+/// Build the profile's fleet, arm `plan`, run to the end of the profile's
+/// duration (plan events stop at 75%, so the last quarter is already
+/// quiet), then settle.
+fn run_once(profile: &Profile, plan: &InteractionPlan, seed: u64, sharded: bool) -> FleetSim {
+    let mut sim = armed_fleet(profile, plan, seed, sharded);
+    sim.run_for(profile.duration_ms);
+    settle(&mut sim);
+    sim
+}
+
+/// The serial run again, but interrupted halfway through the plan by a
+/// full snapshot round trip — serialize, drop the live fleet, restore
+/// from bytes, continue. The plan generator places events up to 75% of
+/// the duration, so the split lands with live plan state (a cursor into
+/// pending events, often an in-flight burst or fault) on both sides of
+/// the checkpoint. Bit-identity with the uninterrupted run is exactly
+/// the ROADMAP item 5 contract, judged by the `snapshot_identity`
+/// oracle.
+fn run_resumed(profile: &Profile, plan: &InteractionPlan, seed: u64) -> FleetSim {
+    let mut sim = armed_fleet(profile, plan, seed, false);
+    let half = profile.duration_ms / 2;
+    sim.run_for(half);
+    let bytes = sim.snapshot_bytes();
+    drop(sim);
+    let mut sim = FleetSim::from_snapshot_bytes(&bytes).expect("restore mid-plan snapshot");
+    sim.run_for(profile.duration_ms - half);
+    settle(&mut sim);
     sim
 }
 
 /// Run `plan` under `profile` and distill the outcome. `doublecheck` adds
-/// the sharded twin run feeding the identity oracle.
+/// the sharded twin and the mid-plan save/restore twin feeding the two
+/// identity oracles.
 pub fn run_plan(
     profile: &Profile,
     plan: &InteractionPlan,
@@ -154,11 +193,16 @@ pub fn run_plan(
         queries_sharded: None,
         rollbacks: serial.events.count("tune.rollback") as u64,
         lsm_stall_frac,
+        fingerprint_resumed: None,
+        queries_resumed: None,
     };
     if doublecheck {
         let sharded = run_once(profile, plan, seed, true);
         outcome.fingerprint_sharded = Some(sharded.events.fingerprint());
         outcome.queries_sharded = Some(sharded.nodes.iter().map(|n| n.queries_submitted).collect());
+        let resumed = run_resumed(profile, plan, seed);
+        outcome.fingerprint_resumed = Some(resumed.events.fingerprint());
+        outcome.queries_resumed = Some(resumed.nodes.iter().map(|n| n.queries_submitted).collect());
     }
     outcome
 }
@@ -215,11 +259,15 @@ mod tests {
     }
 
     #[test]
-    fn doublecheck_attaches_the_sharded_twin() {
+    fn doublecheck_attaches_the_sharded_and_resumed_twins() {
         let p = profile("quiet").unwrap();
         let plan = generate(p, 5);
         let out = run_plan(p, &plan, 5, true);
         assert!(out.fingerprint_sharded.is_some());
         assert_eq!(out.queries_sharded.as_ref().map(Vec::len), Some(p.n_nodes),);
+        // The save/restore twin is attached too — and on a healthy build
+        // it reproduces the uninterrupted run bit for bit.
+        assert_eq!(out.fingerprint_resumed, Some(out.fingerprint_serial));
+        assert_eq!(out.queries_resumed.as_ref(), Some(&out.queries_serial));
     }
 }

@@ -682,6 +682,111 @@ impl Backend for LsmDatabase {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_struct!(CompactionRun {
+    remaining,
+    per_ms,
+    carry
+});
+
+/// Mirrors [`SimDatabase`]'s snapshot layout: profile/planner/executor and
+/// the cached role-knob ids are rebuilt from the LSM profile; live LSM
+/// state (memtable fill, L0 shape, in-flight compaction) is persisted.
+///
+/// [`SimDatabase`]: crate::SimDatabase
+impl autodbaas_snapshot::Snap for LsmDatabase {
+    fn encode(&self, w: &mut autodbaas_snapshot::SnapWriter) {
+        self.instance.encode(w);
+        self.knobs.encode(w);
+        self.catalog.encode(w);
+        self.cache.encode(w);
+        self.disk.encode(w);
+        self.wal.encode(w);
+        self.metrics.encode(w);
+        self.workers.encode(w);
+        self.rng.encode(w);
+        self.now.encode(w);
+        self.memtable_fill.encode(w);
+        self.l0_files.encode(w);
+        self.l0_bytes.encode(w);
+        self.dead_bytes.encode(w);
+        self.compaction.encode(w);
+        self.compactions_done.encode(w);
+        self.flushes_done.encode(w);
+        self.write_stalled_ms.encode(w);
+        self.jitter_until.encode(w);
+        self.jitter_factor.encode(w);
+        self.stall_until.encode(w);
+        self.down_until.encode(w);
+        self.backlog.encode(w);
+        self.staged.encode(w);
+        self.tick_busy_ms.encode(w);
+        self.tick_capacity_ms.encode(w);
+        self.query_log.encode(w);
+        self.throughput_series.encode(w);
+        self.completed_this_window.encode(w);
+        self.window_started.encode(w);
+        self.active_connections.encode(w);
+    }
+    fn decode(
+        r: &mut autodbaas_snapshot::SnapReader<'_>,
+    ) -> Result<Self, autodbaas_snapshot::SnapError> {
+        use autodbaas_snapshot::Snap;
+        let instance = InstanceType::decode(r)?;
+        let knobs = KnobSet::decode(r)?;
+        let catalog = Catalog::decode(r)?;
+        let profile = KnobProfile::lsm();
+        let planner = Planner::new(profile.clone());
+        let exec = Executor::new(&catalog, DEFAULT_CHUNK_BYTES);
+        let role = |name: &str| {
+            profile
+                .lookup(name)
+                .ok_or(autodbaas_snapshot::SnapError::Malformed("lsm role knob"))
+        };
+        Ok(Self {
+            instance,
+            profile: profile.clone(),
+            knobs,
+            planner,
+            catalog,
+            cache: Snap::decode(r)?,
+            disk: Snap::decode(r)?,
+            wal: Snap::decode(r)?,
+            metrics: Snap::decode(r)?,
+            workers: Snap::decode(r)?,
+            exec,
+            rng: Snap::decode(r)?,
+            now: Snap::decode(r)?,
+            memtable_fill: Snap::decode(r)?,
+            l0_files: Snap::decode(r)?,
+            l0_bytes: Snap::decode(r)?,
+            dead_bytes: Snap::decode(r)?,
+            compaction: Snap::decode(r)?,
+            compactions_done: Snap::decode(r)?,
+            flushes_done: Snap::decode(r)?,
+            write_stalled_ms: Snap::decode(r)?,
+            k_fanout: role("level_fanout")?,
+            k_stall: role("write_stall_l0")?,
+            k_bloom: role("bloom_bits_per_key")?,
+            k_threads: role("background_threads")?,
+            jitter_until: Snap::decode(r)?,
+            jitter_factor: Snap::decode(r)?,
+            stall_until: Snap::decode(r)?,
+            down_until: Snap::decode(r)?,
+            backlog: Snap::decode(r)?,
+            staged: Snap::decode(r)?,
+            tick_busy_ms: Snap::decode(r)?,
+            tick_capacity_ms: Snap::decode(r)?,
+            query_log: Snap::decode(r)?,
+            throughput_series: Snap::decode(r)?,
+            completed_this_window: Snap::decode(r)?,
+            window_started: Snap::decode(r)?,
+            active_connections: Snap::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,6 +822,32 @@ mod tests {
             d.submit(&q, 50);
             d.tick(1_000);
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical_under_further_load() {
+        let mut d = db();
+        pump_writes(&mut d, 60); // mid-compaction state, L0 populated
+        let bytes = autodbaas_snapshot::encode_to_vec(&d);
+        let mut restored: LsmDatabase = autodbaas_snapshot::decode_from_slice(&bytes)
+            .expect("snapshot of a live LSM engine decodes");
+        assert_eq!(autodbaas_snapshot::encode_to_vec(&restored), bytes);
+        let rq = point_query();
+        let wq = insert_query();
+        for i in 0..40 {
+            let a = format!("{:?}", d.submit(&rq, 20));
+            let b = format!("{:?}", restored.submit(&rq, 20));
+            assert_eq!(a, b, "divergence at step {i}");
+            d.submit(&wq, 40);
+            restored.submit(&wq, 40);
+            d.tick(1_000);
+            restored.tick(1_000);
+        }
+        assert_eq!(d.metrics_snapshot(), restored.metrics_snapshot());
+        assert_eq!(
+            autodbaas_snapshot::encode_to_vec(&d),
+            autodbaas_snapshot::encode_to_vec(&restored)
+        );
     }
 
     #[test]

@@ -458,6 +458,38 @@ impl Backend for AnyBackend {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_enum!(BackendKind { PageHeap = 0, Lsm = 1 });
+
+impl autodbaas_snapshot::Snap for AnyBackend {
+    fn encode(&self, w: &mut autodbaas_snapshot::SnapWriter) {
+        match self {
+            AnyBackend::PageHeap(db) => {
+                w.put_u16(0);
+                db.encode(w);
+            }
+            AnyBackend::Lsm(db) => {
+                w.put_u16(1);
+                db.encode(w);
+            }
+        }
+    }
+    fn decode(
+        r: &mut autodbaas_snapshot::SnapReader<'_>,
+    ) -> Result<Self, autodbaas_snapshot::SnapError> {
+        use autodbaas_snapshot::Snap;
+        match r.get_u16()? {
+            0 => Ok(AnyBackend::PageHeap(Snap::decode(r)?)),
+            1 => Ok(AnyBackend::Lsm(Snap::decode(r)?)),
+            tag => Err(autodbaas_snapshot::SnapError::UnknownTag {
+                what: "AnyBackend",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

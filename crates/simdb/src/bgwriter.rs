@@ -247,6 +247,24 @@ impl BgWriter {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_struct!(CheckpointRun {
+    remaining,
+    per_ms,
+    carry
+});
+autodbaas_snapshot::snap_struct!(BgWriter {
+    flavor,
+    last_checkpoint_at,
+    wal,
+    dead_tuple_bytes,
+    vacuum_interval_ms,
+    last_vacuum_at,
+    run,
+    checkpoints_done,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

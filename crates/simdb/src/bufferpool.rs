@@ -279,6 +279,69 @@ impl BufferPool {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_struct!(Frame {
+    chunk,
+    referenced,
+    dirty,
+    valid
+});
+autodbaas_snapshot::snap_struct!(PoolStats {
+    hits,
+    misses,
+    backend_writes,
+    evictions
+});
+
+/// The chunk map and the epoch set use a custom hasher, so the blanket
+/// hash-container impls don't apply: the map is rebuilt from the frame
+/// array (it is a pure index), and the epoch set encodes in sorted order.
+impl autodbaas_snapshot::Snap for BufferPool {
+    fn encode(&self, w: &mut autodbaas_snapshot::SnapWriter) {
+        self.chunk_bytes.encode(w);
+        self.frames.encode(w);
+        self.hand.encode(w);
+        self.stats.encode(w);
+        self.dirty_frames.encode(w);
+        self.dirty_low.encode(w);
+        // detlint-allow: D003 collected then sorted before any byte is written
+        let mut touched: Vec<ChunkId> = self.epoch_touched.iter().copied().collect();
+        touched.sort_unstable();
+        touched.encode(w);
+    }
+    fn decode(
+        r: &mut autodbaas_snapshot::SnapReader<'_>,
+    ) -> Result<Self, autodbaas_snapshot::SnapError> {
+        let chunk_bytes = u64::decode(r)?;
+        let frames = Vec::<Frame>::decode(r)?;
+        let hand = usize::decode(r)?;
+        let stats = PoolStats::decode(r)?;
+        let dirty_frames = usize::decode(r)?;
+        let dirty_low = usize::decode(r)?;
+        let touched = Vec::<ChunkId>::decode(r)?;
+        let mut map = HashMap::with_capacity_and_hasher(frames.len(), ChunkBuild::default());
+        for (idx, f) in frames.iter().enumerate() {
+            if f.valid {
+                map.insert(f.chunk, idx as u32);
+            }
+        }
+        let mut epoch_touched =
+            HashSet::with_capacity_and_hasher(touched.len(), ChunkBuild::default());
+        epoch_touched.extend(touched);
+        Ok(Self {
+            chunk_bytes,
+            frames,
+            map,
+            hand,
+            stats,
+            dirty_frames,
+            dirty_low,
+            epoch_touched,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

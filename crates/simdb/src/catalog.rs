@@ -125,6 +125,17 @@ impl Catalog {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_struct!(Table {
+    id,
+    name,
+    rows,
+    row_bytes,
+    indexes
+});
+autodbaas_snapshot::snap_struct!(Catalog { tables });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -229,6 +229,19 @@ impl DiskSet {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_struct!(Disk {
+    kind,
+    pending_ios,
+    written_by_source,
+    current_latency_ms,
+    current_iops,
+    latency_series,
+    iops_series,
+});
+autodbaas_snapshot::snap_struct!(DiskSet { data, aux });
+
 #[cfg(test)]
 mod tests {
     use super::*;

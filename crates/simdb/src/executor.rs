@@ -246,6 +246,10 @@ impl Executor {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_struct!(WorkerPool { total, in_use });
+
 #[cfg(test)]
 mod tests {
     use super::*;

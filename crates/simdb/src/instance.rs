@@ -142,6 +142,19 @@ pub fn enforce_memory_cap(
     true
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_enum!(InstanceType {
+    T2Small = 0,
+    T2Medium = 1,
+    T2Large = 2,
+    M4Large = 3,
+    M4XLarge = 4,
+    T3XLarge = 5,
+});
+
+autodbaas_snapshot::snap_enum!(DiskKind { Ssd = 0, Hdd = 1 });
+
 #[cfg(test)]
 mod tests {
     use super::*;

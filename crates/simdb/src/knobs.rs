@@ -710,6 +710,29 @@ impl KnobSet {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_enum!(DbFlavor { Postgres = 0, MySql = 1, Lsm = 2 });
+
+autodbaas_snapshot::snap_enum!(KnobClass {
+    Memory = 0,
+    BackgroundWriter = 1,
+    AsyncPlanner = 2
+});
+
+impl autodbaas_snapshot::Snap for KnobId {
+    fn encode(&self, w: &mut autodbaas_snapshot::SnapWriter) {
+        w.put_u16(self.0);
+    }
+    fn decode(
+        r: &mut autodbaas_snapshot::SnapReader<'_>,
+    ) -> Result<Self, autodbaas_snapshot::SnapError> {
+        Ok(Self(r.get_u16()?))
+    }
+}
+
+autodbaas_snapshot::snap_struct!(KnobSet { values });
+
 #[cfg(test)]
 mod tests {
     use super::*;

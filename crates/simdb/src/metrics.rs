@@ -258,6 +258,11 @@ impl MetricsSnapshot {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_struct!(Metrics { values });
+autodbaas_snapshot::snap_struct!(MetricsSnapshot { values });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -368,6 +368,12 @@ impl Planner {
     }
 }
 
+autodbaas_snapshot::snap_enum!(SpillKind {
+    WorkMem = 0,
+    MaintenanceMem = 1,
+    TempBuffers = 2
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

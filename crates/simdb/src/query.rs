@@ -173,6 +173,37 @@ impl QueryProfile {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_enum!(QueryKind {
+    PointSelect = 0,
+    RangeSelect = 1,
+    Join = 2,
+    Aggregate = 3,
+    OrderBy = 4,
+    ComplexAggregate = 5,
+    Insert = 6,
+    Update = 7,
+    Delete = 8,
+    CreateIndex = 9,
+    DropIndex = 10,
+    TempTable = 11,
+    AlterTable = 12,
+});
+
+autodbaas_snapshot::snap_struct!(QueryProfile {
+    kind,
+    table,
+    rows_examined,
+    rows_written,
+    sort_bytes,
+    maintenance_bytes,
+    temp_bytes,
+    parallelizable,
+    locality,
+    literals,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

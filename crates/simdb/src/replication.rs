@@ -90,6 +90,15 @@ impl ReplicationSlot {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_struct!(ReplicationSlot {
+    replay_lsn,
+    replay_rate,
+    carry,
+    paused_ms,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

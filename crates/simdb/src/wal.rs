@@ -150,6 +150,16 @@ impl Default for Wal {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+autodbaas_snapshot::snap_struct!(Wal {
+    segment_bytes,
+    insert_lsn,
+    redo_lsn,
+    pending_redo_lsn,
+    recycled_segments,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,6 +113,8 @@ pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     weights.len() - 1
 }
 
+autodbaas_snapshot::snap_struct!(Zipf { cdf });
+
 #[cfg(test)]
 mod tests {
     use super::*;

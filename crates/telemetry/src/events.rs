@@ -198,6 +198,120 @@ impl EventLog {
     }
 }
 
+// ------------------------------------------------------- snapshot support
+
+/// Every static event-kind label the workspace emits. Snapshot decode
+/// interns decoded kind strings against this table so restored logs keep
+/// pointing at the same `&'static str` data (and `count`/`count_prefix`
+/// comparisons stay allocation-free).
+const KNOWN_KINDS: &[&str] = &[
+    "apply.abandoned",
+    "apply.lag_deferred",
+    "apply.master_crashed",
+    "apply.ok",
+    "apply.rejected_slave_crash",
+    "fault.disk_stall",
+    "fault.master_crash_mid_apply",
+    "fault.replica_lag_spike",
+    "fault.request_loss",
+    "fault.slave_crash_mid_apply",
+    "fault.telemetry_drop",
+    "fault.tuner_outage",
+    "fault.vm_crash",
+    "plan.burst",
+    "plan.burst_end",
+    "plan.knob_push",
+    "plan.maintenance",
+    "plan.replica_add",
+    "plan.replica_remove",
+    "recover.failover",
+    "recover.reconciled",
+    "recover.rejoined",
+    "recover.restarted",
+    "recover.slave_restarted",
+    "request.abandoned",
+    "request.retry",
+    "request.stale_dropped",
+    "request.timeout",
+    "safe.clamped",
+    "safe.slo_breach",
+    "tune.rollback",
+];
+
+/// Map an event-kind string back to its `&'static str` identity. Known
+/// labels resolve to the compiled-in literal; an unknown label (a snapshot
+/// from a build with extra vocabulary) is leaked once — bounded by the
+/// number of distinct unknown kinds, never per event.
+pub fn intern_kind(kind: &str) -> &'static str {
+    for k in KNOWN_KINDS {
+        if *k == kind {
+            return k;
+        }
+    }
+    Box::leak(kind.to_owned().into_boxed_str())
+}
+
+impl autodbaas_snapshot::Snap for Fingerprint {
+    fn encode(&self, w: &mut autodbaas_snapshot::SnapWriter) {
+        w.put_u64(self.state);
+    }
+    fn decode(
+        r: &mut autodbaas_snapshot::SnapReader<'_>,
+    ) -> Result<Self, autodbaas_snapshot::SnapError> {
+        Ok(Self {
+            state: r.get_u64()?,
+        })
+    }
+}
+
+/// The log encodes as a string table of distinct kinds (first-appearance
+/// order) plus `(at, kind_index, target)` triples, so multi-million-event
+/// logs don't repeat label bytes per event.
+impl autodbaas_snapshot::Snap for EventLog {
+    fn encode(&self, w: &mut autodbaas_snapshot::SnapWriter) {
+        let mut table: Vec<&'static str> = Vec::new();
+        let mut index: std::collections::HashMap<&'static str, u32> =
+            std::collections::HashMap::new();
+        for e in &self.events {
+            index.entry(e.kind).or_insert_with(|| {
+                table.push(e.kind);
+                (table.len() - 1) as u32
+            });
+        }
+        w.put_u64(table.len() as u64);
+        for kind in &table {
+            w.put_str(kind);
+        }
+        w.put_u64(self.events.len() as u64);
+        for e in &self.events {
+            w.put_u64(e.at);
+            w.put_u32(index[e.kind]);
+            w.put_u64(e.target);
+        }
+    }
+    fn decode(
+        r: &mut autodbaas_snapshot::SnapReader<'_>,
+    ) -> Result<Self, autodbaas_snapshot::SnapError> {
+        let n_kinds = r.get_len()?;
+        let mut table: Vec<&'static str> = Vec::with_capacity(n_kinds);
+        for _ in 0..n_kinds {
+            table.push(intern_kind(r.get_str()?));
+        }
+        let n_events = r.get_len()?;
+        let mut events = Vec::with_capacity(n_events.min(r.remaining()));
+        for _ in 0..n_events {
+            let at = r.get_u64()?;
+            let idx = r.get_u32()? as usize;
+            let target = r.get_u64()?;
+            let kind = *table
+                .get(idx)
+                .ok_or(autodbaas_snapshot::SnapError::Malformed("event kind index"))?;
+            events.push(Event { at, kind, target });
+        }
+        Ok(Self { events })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,7 +17,7 @@ pub mod stats;
 pub mod timeseries;
 
 pub use entropy::{normalized_entropy, shannon_entropy};
-pub use events::{Event, EventLog, Fingerprint};
+pub use events::{intern_kind, Event, EventLog, Fingerprint};
 pub use quantile::P2Quantile;
 pub use stats::{mean, percentile, stddev, variance, Ewma, Histogram, SummaryStats};
 pub use timeseries::{PeakDetector, Sample, TimeSeries};

@@ -190,6 +190,9 @@ impl PeakDetector {
     }
 }
 
+autodbaas_snapshot::snap_struct!(Sample { at, value });
+autodbaas_snapshot::snap_struct!(TimeSeries { samples, capacity });
+
 #[cfg(test)]
 mod tests {
     use super::*;

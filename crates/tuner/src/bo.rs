@@ -392,6 +392,45 @@ impl BoTuner {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(BoConfig {
+    candidates,
+    kappa,
+    gp,
+    gate_low_quality,
+    max_train_samples,
+    tune_top_k,
+    anchored_candidates,
+    incremental
+});
+
+snap_struct!(BoStats {
+    full_fits,
+    incremental_extends
+});
+
+snap_struct!(FitCache {
+    target,
+    mapped,
+    xs,
+    ys,
+    gp
+});
+
+// Sweep buffers are pure scratch; only the surrogate state persists.
+snap_struct!(BoTuner {
+    cfg,
+    rng,
+    cache,
+    stats
+} defaults {
+    cands: Vec::new(),
+    means: Vec::new(),
+    vars: Vec::new(),
+    scratch: GpScratch::new()
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

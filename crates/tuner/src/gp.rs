@@ -398,6 +398,28 @@ fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     crate::linalg::sq_euclidean(a, b)
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(GpParams {
+    length_scale,
+    signal_variance,
+    noise
+});
+
+// The Cholesky factor is persisted, not refit: `extend` appends rank-1
+// rows, and a from-scratch refactorisation would not be bit-identical.
+snap_struct!(GaussianProcess {
+    params,
+    x,
+    x_sq_norms,
+    y_raw,
+    alpha,
+    chol,
+    jitter,
+    y_mean,
+    y_scale
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,6 +124,16 @@ impl HybridTuner {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(HybridConfig {
+    bo_takeover_samples,
+    bo,
+    rl
+});
+
+snap_struct!(HybridTuner { cfg, bo, rl });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -517,6 +517,25 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+use autodbaas_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Matrix {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.rows.encode(w);
+        self.cols.encode(w);
+        self.data.encode(w);
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        let rows = usize::decode(r)?;
+        let cols = usize::decode(r)?;
+        let data: Vec<f64> = Snap::decode(r)?;
+        if data.len() != rows.saturating_mul(cols) {
+            return Err(SnapError::Malformed("matrix shape"));
+        }
+        Ok(Self { rows, cols, data })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

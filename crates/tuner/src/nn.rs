@@ -176,6 +176,17 @@ impl Mlp {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(Layer {
+    w,
+    b,
+    inputs,
+    outputs
+});
+
+snap_struct!(Mlp { layers });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -241,6 +241,41 @@ pub fn shared_repository() -> SharedRepository {
     Arc::new(Mutex::new(WorkloadRepository::new()))
 }
 
+use autodbaas_snapshot::{snap_enum, snap_struct, Snap, SnapError, SnapReader, SnapWriter};
+
+snap_enum!(SampleQuality { High = 0, Low = 1 });
+
+snap_struct!(Sample {
+    config,
+    metrics,
+    objective,
+    quality
+});
+
+impl Snap for WorkloadId {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.0.encode(w);
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        Ok(WorkloadId(u64::decode(r)?))
+    }
+}
+
+snap_struct!(StoredWorkload {
+    id,
+    name,
+    offline,
+    samples,
+    sig_sum,
+    sig_mean
+});
+
+snap_struct!(WorkloadRepository {
+    workloads,
+    sampled,
+    total_samples
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

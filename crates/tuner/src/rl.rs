@@ -205,6 +205,35 @@ impl RlTuner {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(Transition {
+    state,
+    action,
+    reward,
+    next_state
+});
+
+snap_struct!(RlConfig {
+    hidden,
+    gamma,
+    lr,
+    exploration_noise,
+    buffer_capacity,
+    batch,
+    actor_candidates
+});
+
+snap_struct!(RlTuner {
+    cfg,
+    actor,
+    critic,
+    replay,
+    rng,
+    state_dim,
+    action_dim
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -115,6 +115,15 @@ impl AdulteratedWorkload {
     }
 }
 
+use autodbaas_snapshot::snap_struct;
+
+snap_struct!(AdulteratedWorkload {
+    base,
+    extras,
+    extra_weights,
+    probability
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

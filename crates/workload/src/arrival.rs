@@ -85,6 +85,38 @@ impl ArrivalProcess {
     }
 }
 
+use autodbaas_snapshot::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
+
+snap_struct!(DiurnalProfile {
+    base_rps,
+    peak_rps,
+    surge_start_hour,
+    surge_end_hour,
+    weekend_factor
+});
+
+impl Snap for ArrivalProcess {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            ArrivalProcess::Constant(rps) => {
+                w.put_u16(0);
+                rps.encode(w);
+            }
+            ArrivalProcess::Diurnal(p) => {
+                w.put_u16(1);
+                p.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.get_u16()? {
+            0 => Ok(ArrivalProcess::Constant(f64::decode(r)?)),
+            1 => Ok(ArrivalProcess::Diurnal(DiurnalProfile::decode(r)?)),
+            _ => Err(SnapError::Malformed("ArrivalProcess tag")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

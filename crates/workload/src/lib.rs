@@ -19,7 +19,7 @@ pub use adulterate::AdulteratedWorkload;
 pub use arrival::{ArrivalProcess, DiurnalProfile};
 pub use benchmarks::{by_name, chbench, tpcc, tpch, twitter, wikipedia, ycsb};
 pub use mix::{MixWorkload, TemplateSpec};
-pub use production::production;
+pub use production::{production, TRACE_DAYS};
 pub use trace::{Trace, TraceEvent, TraceParseError, TraceReplay};
 
 use autodbaas_simdb::QueryProfile;
@@ -32,6 +32,8 @@ pub trait QuerySource {
     fn next_query(&self, rng: &mut dyn RngCore) -> QueryProfile;
     /// Name for reports.
     fn source_name(&self) -> &str;
+    /// Clone into a snapshotable descriptor (see [`WorkloadSnap`]).
+    fn to_snap(&self) -> WorkloadSnap;
 }
 
 impl QuerySource for MixWorkload {
@@ -41,6 +43,9 @@ impl QuerySource for MixWorkload {
     fn source_name(&self) -> &str {
         self.name()
     }
+    fn to_snap(&self) -> WorkloadSnap {
+        WorkloadSnap::Mix(self.clone())
+    }
 }
 
 impl QuerySource for AdulteratedWorkload {
@@ -49,6 +54,53 @@ impl QuerySource for AdulteratedWorkload {
     }
     fn source_name(&self) -> &str {
         self.base().name()
+    }
+    fn to_snap(&self) -> WorkloadSnap {
+        WorkloadSnap::Adulterated(self.clone())
+    }
+}
+
+use autodbaas_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+/// Concrete, snapshotable form of a boxed [`QuerySource`]. Each source type
+/// clones itself into a variant here; restore turns it back into a box.
+#[derive(Debug, Clone)]
+pub enum WorkloadSnap {
+    /// A plain mix.
+    Mix(MixWorkload),
+    /// A mix with probabilistic injections.
+    Adulterated(AdulteratedWorkload),
+}
+
+impl WorkloadSnap {
+    /// Rebuild the boxed source this snapshot was taken from.
+    pub fn into_source(self) -> Box<dyn QuerySource + Send> {
+        match self {
+            WorkloadSnap::Mix(m) => Box::new(m),
+            WorkloadSnap::Adulterated(a) => Box::new(a),
+        }
+    }
+}
+
+impl Snap for WorkloadSnap {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            WorkloadSnap::Mix(m) => {
+                w.put_u16(0);
+                m.encode(w);
+            }
+            WorkloadSnap::Adulterated(a) => {
+                w.put_u16(1);
+                a.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        match r.get_u16()? {
+            0 => Ok(WorkloadSnap::Mix(Snap::decode(r)?)),
+            1 => Ok(WorkloadSnap::Adulterated(Snap::decode(r)?)),
+            _ => Err(SnapError::Malformed("WorkloadSnap tag")),
+        }
     }
 }
 

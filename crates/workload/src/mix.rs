@@ -203,6 +203,47 @@ impl MixWorkload {
     }
 }
 
+use autodbaas_snapshot::{snap_struct, Snap, SnapError, SnapReader, SnapWriter};
+
+snap_struct!(TemplateSpec {
+    weight,
+    kind,
+    tables,
+    rows,
+    writes,
+    sort_bytes,
+    maintenance_bytes,
+    temp_bytes,
+    parallelizable,
+    locality
+});
+
+impl Snap for MixWorkload {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.put_str(self.name);
+        self.templates.encode(w);
+        self.weights.encode(w);
+        self.table_zipf.encode(w);
+        self.table_offset.encode(w);
+        self.catalog.encode(w);
+        self.default_arrival.encode(w);
+    }
+    fn decode(r: &mut SnapReader) -> Result<Self, SnapError> {
+        // Workload names are a small closed set; the telemetry interner
+        // restores the `&'static str` without leaking per-decode.
+        let name = autodbaas_telemetry::intern_kind(r.get_str()?);
+        Ok(Self {
+            name,
+            templates: Snap::decode(r)?,
+            weights: Snap::decode(r)?,
+            table_zipf: Snap::decode(r)?,
+            table_offset: Snap::decode(r)?,
+            catalog: Snap::decode(r)?,
+            default_arrival: Snap::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -179,6 +179,27 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// Expose the raw xoshiro256++ state so snapshot/restore can
+        /// persist the exact stream position. The words are the generator
+        /// state verbatim; `from_state(state())` is the identity.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator at an exact stream position captured by
+        /// [`StdRng::state`]. An all-zero state is nudged exactly like
+        /// `from_seed`, so no reachable state is pathological.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                let mut seed = [0u8; 32];
+                seed.fill(0);
+                return <Self as SeedableRng>::from_seed(seed);
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
@@ -204,6 +225,25 @@ pub mod rngs {
                 let word = self.next_u64().to_le_bytes();
                 chunk.copy_from_slice(&word[..chunk.len()]);
             }
+        }
+    }
+
+    /// Snapshot persistence: the exact stream position round-trips, so a
+    /// restored generator continues the identical draw sequence.
+    impl autodbaas_snapshot::Snap for StdRng {
+        fn encode(&self, w: &mut autodbaas_snapshot::SnapWriter) {
+            for word in self.s {
+                w.put_u64(word);
+            }
+        }
+        fn decode(
+            r: &mut autodbaas_snapshot::SnapReader<'_>,
+        ) -> Result<Self, autodbaas_snapshot::SnapError> {
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = r.get_u64()?;
+            }
+            Ok(Self::from_state(s))
         }
     }
 
